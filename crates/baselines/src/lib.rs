@@ -1,0 +1,30 @@
+//! # ptf-baselines
+//!
+//! The comparison points of the paper's evaluation:
+//!
+//! * [`centralized`] — NeuMF/NGCF/LightGCN trained with full data access
+//!   (Table III upper bounds);
+//! * [`fcf`] — Federated Collaborative Filtering, the canonical
+//!   parameter-transmission FedRec;
+//! * [`fedmf`] — FCF dynamics with homomorphically encrypted gradient
+//!   uploads ([`he`] provides the simulated additively homomorphic
+//!   cipher — see DESIGN.md §4 for the substitution note);
+//! * [`metamf`] — a hypernetwork server generating personalized item
+//!   embeddings.
+//!
+//! All federated baselines implement [`traits::FederatedBaseline`], so the
+//! bench harness can run them uniformly against PTF-FedRec.
+
+pub mod centralized;
+pub mod fcf;
+pub mod fedmf;
+pub mod he;
+pub mod metamf;
+pub mod traits;
+
+pub use centralized::{train_centralized, CentralizedConfig};
+pub use fcf::{Fcf, FcfConfig};
+pub use fedmf::{FedMf, FedMfConfig};
+pub use he::HeContext;
+pub use metamf::{MetaMf, MetaMfConfig};
+pub use traits::FederatedBaseline;

@@ -1,0 +1,32 @@
+//! Common interface over the parameter-transmission federated baselines.
+
+use ptf_comm::CommLedger;
+use ptf_federated::{RoundTrace, RunTrace};
+use ptf_models::Recommender;
+
+/// A runnable federated baseline (FCF, FedMF, MetaMF).
+pub trait FederatedBaseline {
+    /// Name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Configured number of global rounds.
+    fn configured_rounds(&self) -> u32;
+
+    /// Executes one global round.
+    fn run_round(&mut self) -> RoundTrace;
+
+    /// The communication record of the run so far.
+    fn ledger(&self) -> &CommLedger;
+
+    /// A scoring view of the trained global model, for evaluation.
+    fn recommender(&self) -> &dyn Recommender;
+
+    /// Runs all configured rounds.
+    fn run(&mut self) -> RunTrace {
+        let mut trace = RunTrace::default();
+        for _ in 0..self.configured_rounds() {
+            trace.push(self.run_round());
+        }
+        trace
+    }
+}

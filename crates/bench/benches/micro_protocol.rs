@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of protocol building blocks.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ptf_core::{build_upload, DefenseKind, PtfConfig, PtfFedRec};
+use ptf_data::SyntheticConfig;
+use ptf_models::{ModelHyper, ModelKind};
+use ptf_privacy::{SamplingConfig, ScoredItem, TopGuessAttack};
+use rand::SeedableRng;
+
+fn bench_upload_construction(c: &mut Criterion) {
+    let pos: Vec<ScoredItem> = (0..100).map(|i| (i, 0.9 - i as f32 * 0.001)).collect();
+    let neg: Vec<ScoredItem> = (100..500).map(|i| (i, 0.1)).collect();
+    c.bench_function("build_upload_sampling_swapping_500items", |bench| {
+        bench.iter_batched(
+            || (pos.clone(), neg.clone(), rand::rngs::StdRng::seed_from_u64(1)),
+            |(p, n, mut rng)| {
+                std::hint::black_box(build_upload(
+                    0,
+                    p,
+                    n,
+                    DefenseKind::SamplingSwapping,
+                    &SamplingConfig::default(),
+                    0.1,
+                    &mut rng,
+                ))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_top_guess_attack(c: &mut Criterion) {
+    let upload: Vec<ScoredItem> =
+        (0..1000).map(|i| (i, ((i * 37) % 100) as f32 / 100.0)).collect();
+    let truth: Vec<u32> = (0..200).collect();
+    let attack = TopGuessAttack::default();
+    c.bench_function("top_guess_attack_1000items", |bench| {
+        bench.iter(|| std::hint::black_box(attack.evaluate(&upload, &truth)));
+    });
+}
+
+fn bench_protocol_round(c: &mut Criterion) {
+    let data = SyntheticConfig::new("bench", 24, 60, 10.0)
+        .generate(&mut rand::rngs::StdRng::seed_from_u64(2));
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 1;
+    cfg.client_epochs = 1;
+    c.bench_function("ptf_round_24clients_neumf_ngcf", |bench| {
+        bench.iter_batched(
+            || {
+                PtfFedRec::new(
+                    &data,
+                    ModelKind::NeuMf,
+                    ModelKind::Ngcf,
+                    &ModelHyper::small(),
+                    cfg.clone(),
+                )
+            },
+            |mut fed| std::hint::black_box(fed.run_round()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_upload_construction, bench_top_guess_attack, bench_protocol_round
+}
+criterion_main!(benches);

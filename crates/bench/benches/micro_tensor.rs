@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the tensor substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ptf_tensor::prelude::*;
+use ptf_tensor::test_rng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = test_rng(1);
+    let a = Matrix::randn(128, 128, 1.0, &mut rng);
+    let b = Matrix::randn(128, 128, 1.0, &mut rng);
+    c.bench_function("matmul_128x128", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)));
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = test_rng(2);
+    // ~1% dense 1000×1000 adjacency × 1000×32 embeddings
+    let triplets: Vec<(u32, u32, f32)> = (0..10_000)
+        .map(|k| (((k * 37) % 1000) as u32, ((k * 91) % 1000) as u32, 0.5))
+        .collect();
+    let m = Csr::from_triplets(1000, 1000, &triplets);
+    let x = Matrix::randn(1000, 32, 1.0, &mut rng);
+    c.bench_function("spmm_1000x1000_nnz10k_d32", |bench| {
+        bench.iter(|| std::hint::black_box(m.matmul(&x)));
+    });
+}
+
+fn bench_mlp_train_step(c: &mut Criterion) {
+    // a NeuMF-shaped forward+backward+Adam step on a 64-row batch
+    let mut rng = test_rng(3);
+    let mut params = Params::new();
+    let emb_u = params.push("eu", Matrix::randn(1000, 32, 0.1, &mut rng));
+    let emb_v = params.push("ev", Matrix::randn(2000, 32, 0.1, &mut rng));
+    let w1 = params.push("w1", Matrix::randn(64, 64, 0.1, &mut rng));
+    let w2 = params.push("w2", Matrix::randn(64, 1, 0.1, &mut rng));
+    let users: Vec<u32> = (0..64).map(|i| i % 1000).collect();
+    let items: Vec<u32> = (0..64).map(|i| (i * 7) % 2000).collect();
+    let labels: Vec<f32> = (0..64).map(|i| (i % 2) as f32).collect();
+    let adam = Adam::with_defaults(&params, 1e-3);
+
+    c.bench_function("neumf_shaped_train_step_batch64", |bench| {
+        bench.iter_batched(
+            || (params.clone(), adam.clone()),
+            |(mut p, mut opt)| {
+                let grads = {
+                    let mut g = Graph::new(&p);
+                    let eu = g.param(emb_u);
+                    let ev = g.param(emb_v);
+                    let u = g.gather(eu, &users);
+                    let v = g.gather(ev, &items);
+                    let h = g.concat_cols(u, v);
+                    let w1v = g.param(w1);
+                    let h = g.matmul(h, w1v);
+                    let h = g.relu(h);
+                    let w2v = g.param(w2);
+                    let o = g.matmul(h, w2v);
+                    let loss = g.bce_with_logits(o, &labels);
+                    g.backward(loss)
+                };
+                opt.step(&mut p, &grads);
+                std::hint::black_box(p.num_scalars())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_spmm, bench_mlp_train_step
+}
+criterion_main!(benches);

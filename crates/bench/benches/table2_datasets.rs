@@ -1,0 +1,38 @@
+//! Table II — statistics of the three evaluation datasets.
+//!
+//! Regenerates the synthetic equivalents and prints their statistics next
+//! to the published values so the calibration is auditable.
+
+use ptf_bench::{dataset_for, scale, Table};
+use ptf_data::{DatasetPreset, DatasetStats, Scale};
+
+fn main() {
+    let scale = scale();
+    let mut table = Table::new(
+        format!("Table II — dataset statistics ({scale:?} scale)"),
+        &["Dataset", "Users", "Items", "Interactions", "AvgLen", "Density%", "Paper(U/I/Inter)"],
+    );
+    for preset in DatasetPreset::ALL {
+        eprintln!("[table2] generating {}", preset.name());
+        let stats = DatasetStats::of(&dataset_for(preset, scale));
+        let paper_ref = match preset {
+            DatasetPreset::MovieLens100K => "943 / 1,682 / 100,000",
+            DatasetPreset::Steam200K => "3,753 / 5,134 / 114,713",
+            DatasetPreset::Gowalla => "8,392 / 10,086 / 391,238",
+        };
+        table.row(vec![
+            stats.name.clone(),
+            stats.users.to_string(),
+            stats.items.to_string(),
+            stats.interactions.to_string(),
+            format!("{:.1}", stats.avg_length),
+            format!("{:.2}", stats.density_pct),
+            paper_ref.to_string(),
+        ]);
+    }
+    table.print();
+    table.save("table2_datasets");
+    if scale == Scale::Small {
+        println!("\n(small scale: ~20x reduced; run with PTF_SCALE=paper for Table II sizes)");
+    }
+}

@@ -1,0 +1,92 @@
+//! Table III — recommendation performance of PTF-FedRec against
+//! centralized and federated baselines on all three datasets.
+
+use ptf_baselines::{train_centralized, Fcf, FedMf, FederatedBaseline, MetaMf};
+use ptf_bench::*;
+use ptf_data::DatasetPreset;
+use ptf_models::{evaluate_model, ModelKind};
+
+fn main() {
+    let scale = scale();
+    let h = hyper(scale);
+
+    // method name → (recall, ndcg) per dataset, in preset order
+    let mut rows: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    fn push(rows: &mut Vec<(String, Vec<(f64, f64)>)>, name: String, val: (f64, f64)) {
+        if let Some(entry) = rows.iter_mut().find(|(n, _)| *n == name) {
+            entry.1.push(val);
+        } else {
+            rows.push((name, vec![val]));
+        }
+    }
+
+    for preset in DatasetPreset::ALL {
+        let split = split_for(preset, scale);
+        eprintln!("[table3] {} — centralized baselines", preset.name());
+        for kind in ModelKind::ALL {
+            let (model, _) =
+                train_centralized(kind, &split.train, &h, &centralized_config(scale));
+            let r = evaluate_model(&*model, &split.train, &split.test, EVAL_K);
+            push(
+                &mut rows,
+                format!("Centralized {}", kind.name()),
+                (r.metrics.recall, r.metrics.ndcg),
+            );
+        }
+
+        eprintln!("[table3] {} — FCF", preset.name());
+        let mut fcf = Fcf::new(&split.train, fcf_config(scale));
+        fcf.run();
+        let r = evaluate_model(fcf.recommender(), &split.train, &split.test, EVAL_K);
+        push(&mut rows, "FCF".into(), (r.metrics.recall, r.metrics.ndcg));
+
+        eprintln!("[table3] {} — FedMF", preset.name());
+        let mut fedmf = FedMf::new(&split.train, fedmf_config(scale));
+        fedmf.run();
+        let r = evaluate_model(fedmf.recommender(), &split.train, &split.test, EVAL_K);
+        push(&mut rows, "FedMF".into(), (r.metrics.recall, r.metrics.ndcg));
+
+        eprintln!("[table3] {} — MetaMF", preset.name());
+        let mut metamf = MetaMf::new(&split.train, metamf_config(scale));
+        metamf.run();
+        let r = evaluate_model(metamf.recommender(), &split.train, &split.test, EVAL_K);
+        push(&mut rows, "MetaMF".into(), (r.metrics.recall, r.metrics.ndcg));
+
+        for server in ModelKind::ALL {
+            eprintln!("[table3] {} — PTF-FedRec({})", preset.name(), server.name());
+            let fed = run_ptf(&split, ModelKind::NeuMf, server, ptf_config(scale), &h);
+            let r = fed.evaluate(&split.train, &split.test, EVAL_K);
+            push(
+                &mut rows,
+                format!("PTF-FedRec({})", server.name()),
+                (r.metrics.recall, r.metrics.ndcg),
+            );
+        }
+    }
+
+    let mut table = Table::new(
+        format!("Table III — Recall@{EVAL_K} / NDCG@{EVAL_K} ({scale:?} scale)"),
+        &[
+            "Method",
+            "ML R@20",
+            "ML N@20",
+            "Steam R@20",
+            "Steam N@20",
+            "Gowalla R@20",
+            "Gowalla N@20",
+        ],
+    );
+    for (name, vals) in &rows {
+        let mut cells = vec![name.clone()];
+        for &(r, n) in vals {
+            cells.push(fmt4(r));
+            cells.push(fmt4(n));
+        }
+        while cells.len() < 7 {
+            cells.push("-".into());
+        }
+        table.row(cells);
+    }
+    table.print();
+    table.save("table3_performance");
+}

@@ -1,0 +1,14 @@
+//! # ptf-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§IV). Each `benches/tableN_*.rs` / `benches/figN_*.rs`
+//! target is a standalone binary (`harness = false`) that prints the
+//! paper-formatted rows and writes machine-readable JSON next to the
+//! workspace root under `experiments/`.
+//!
+//! Scale is controlled by `PTF_SCALE` (`small` default, `paper` for
+//! Table II sized runs) and the master seed by `PTF_SEED`.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,131 @@
+//! The communication ledger.
+
+use crate::message::{Endpoint, Message, Payload};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Append-only record of every message a protocol run produced, with the
+/// aggregations the paper's Table IV reports.
+#[derive(Clone, Debug, Default)]
+pub struct CommLedger {
+    total_bytes: u64,
+    /// bytes by (client, round) — the unit Table IV averages over.
+    by_client_round: HashMap<(u32, u32), u64>,
+    uploads_bytes: u64,
+    downloads_bytes: u64,
+    messages: u64,
+    rounds_seen: u32,
+}
+
+/// Aggregated view of a ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct LedgerSummary {
+    pub total_bytes: u64,
+    pub messages: u64,
+    pub uploads_bytes: u64,
+    pub downloads_bytes: u64,
+    /// Average bytes exchanged by a participating client in one round —
+    /// the Table IV metric.
+    pub avg_client_bytes_per_round: f64,
+    pub rounds: u32,
+}
+
+impl CommLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message.
+    pub fn record(&mut self, msg: &Message) {
+        let bytes = msg.bytes() as u64;
+        self.total_bytes += bytes;
+        self.messages += 1;
+        self.rounds_seen = self.rounds_seen.max(msg.round + 1);
+        match (msg.from, msg.to) {
+            (Endpoint::Client(_), Endpoint::Server) => self.uploads_bytes += bytes,
+            (Endpoint::Server, Endpoint::Client(_)) => self.downloads_bytes += bytes,
+            _ => {}
+        }
+        if let Some(c) = msg.client() {
+            *self.by_client_round.entry((c, msg.round)).or_default() += bytes;
+        }
+    }
+
+    /// Convenience: record a client upload.
+    pub fn upload(&mut self, client: u32, round: u32, label: &'static str, payload: Payload) {
+        self.record(&Message {
+            from: Endpoint::Client(client),
+            to: Endpoint::Server,
+            round,
+            label,
+            payload,
+        });
+    }
+
+    /// Convenience: record a server→client download.
+    pub fn download(&mut self, client: u32, round: u32, label: &'static str, payload: Payload) {
+        self.record(&Message {
+            from: Endpoint::Server,
+            to: Endpoint::Client(client),
+            round,
+            label,
+            payload,
+        });
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Average bytes a participating client exchanges in one round.
+    pub fn avg_client_bytes_per_round(&self) -> f64 {
+        if self.by_client_round.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.by_client_round.values().sum();
+        sum as f64 / self.by_client_round.len() as f64
+    }
+
+    pub fn summary(&self) -> LedgerSummary {
+        LedgerSummary {
+            total_bytes: self.total_bytes,
+            messages: self.messages,
+            uploads_bytes: self.uploads_bytes,
+            downloads_bytes: self.downloads_bytes,
+            avg_client_bytes_per_round: self.avg_client_bytes_per_round(),
+            rounds: self.rounds_seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages_per_client_round() {
+        let mut ledger = CommLedger::new();
+        // round 0: client 0 uploads 12B and downloads 8B; client 1 uploads 24B
+        ledger.upload(0, 0, "up", Payload::Triples { count: 1 });
+        ledger.download(0, 0, "down", Payload::ScoredItems { count: 1 });
+        ledger.upload(1, 0, "up", Payload::Triples { count: 2 });
+        // round 1: only client 0, 12B
+        ledger.upload(0, 1, "up", Payload::Triples { count: 1 });
+
+        let s = ledger.summary();
+        assert_eq!(s.total_bytes, 12 + 8 + 24 + 12);
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.uploads_bytes, 48);
+        assert_eq!(s.downloads_bytes, 8);
+        assert_eq!(s.rounds, 2);
+        // client-rounds: (0,0)=20, (1,0)=24, (0,1)=12 → avg 56/3
+        assert!((s.avg_client_bytes_per_round - 56.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let s = CommLedger::new().summary();
+        assert_eq!(s.total_bytes, 0);
+        assert_eq!(s.avg_client_bytes_per_round, 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ptf-comm
+//!
+//! Communication accounting for federated protocols.
+//!
+//! Table IV of the paper compares the *average per-client, per-round
+//! communication cost* of PTF-FedRec against parameter-transmission
+//! baselines. This crate provides the shared vocabulary all protocols use
+//! to report what they send:
+//!
+//! * [`message`] — typed payloads ([`Payload`]) with an explicit wire-size
+//!   model, and [`Message`] envelopes between [`Endpoint`]s.
+//! * [`ledger`] — [`CommLedger`], an append-only record of every message,
+//!   with the aggregations the paper reports.
+//! * [`report`] — human-readable byte formatting ("3.02 KB", "7.32 MB").
+
+pub mod ledger;
+pub mod message;
+pub mod report;
+
+pub use ledger::{CommLedger, LedgerSummary};
+pub use message::{Endpoint, Message, Payload};
+pub use report::format_bytes;

@@ -1,0 +1,113 @@
+//! Typed messages and their wire-size model.
+//!
+//! Sizes assume the natural dense binary encoding the paper assumes:
+//! 4 bytes per `f32`/id. Prediction triples `(u, v, r̂)` are "just a few
+//! real numbers" — 12 bytes each; parameter matrices are `rows×cols×4`;
+//! homomorphic ciphertexts carry an explicit per-ciphertext byte width.
+
+use serde::Serialize;
+
+/// Bytes of one `f32` on the wire.
+pub const BYTES_PER_F32: usize = 4;
+/// Bytes of one user/item id on the wire.
+pub const BYTES_PER_ID: usize = 4;
+/// Bytes of one `(user, item, score)` prediction triple.
+pub const BYTES_PER_TRIPLE: usize = 2 * BYTES_PER_ID + BYTES_PER_F32;
+
+/// One side of a federated exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum Endpoint {
+    Server,
+    Client(u32),
+}
+
+/// What a message carries; determines its size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Payload {
+    /// A dense `f32` parameter matrix (e.g. item embeddings).
+    DenseMatrix { rows: usize, cols: usize },
+    /// `(user, item, score)` prediction triples — PTF-FedRec's carrier.
+    Triples { count: usize },
+    /// `(item, score)` pairs when the user id is implicit in the channel.
+    ScoredItems { count: usize },
+    /// Homomorphic ciphertexts of an explicit width (FedMF).
+    Ciphertexts { count: usize, bytes_each: usize },
+    /// A plain `f32` vector (e.g. MetaMF user codes).
+    Vector { len: usize },
+    /// Anything else, pre-sized by the caller.
+    Raw { bytes: usize },
+}
+
+impl Payload {
+    /// Wire size in bytes.
+    pub fn bytes(&self) -> usize {
+        match *self {
+            Payload::DenseMatrix { rows, cols } => rows * cols * BYTES_PER_F32,
+            Payload::Triples { count } => count * BYTES_PER_TRIPLE,
+            Payload::ScoredItems { count } => count * (BYTES_PER_ID + BYTES_PER_F32),
+            Payload::Ciphertexts { count, bytes_each } => count * bytes_each,
+            Payload::Vector { len } => len * BYTES_PER_F32,
+            Payload::Raw { bytes } => bytes,
+        }
+    }
+}
+
+/// A logged federated message.
+#[derive(Clone, Debug, Serialize)]
+pub struct Message {
+    pub from: Endpoint,
+    pub to: Endpoint,
+    pub round: u32,
+    /// Short protocol-level label ("upload-predictions", "broadcast-emb").
+    pub label: &'static str,
+    pub payload: Payload,
+}
+
+impl Message {
+    pub fn bytes(&self) -> usize {
+        self.payload.bytes()
+    }
+
+    /// The client endpoint involved, if any (server↔server is never used).
+    pub fn client(&self) -> Option<u32> {
+        match (self.from, self.to) {
+            (Endpoint::Client(c), _) => Some(c),
+            (_, Endpoint::Client(c)) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::DenseMatrix { rows: 1682, cols: 32 }.bytes(), 1682 * 32 * 4);
+        assert_eq!(Payload::Triples { count: 100 }.bytes(), 1200);
+        assert_eq!(Payload::ScoredItems { count: 30 }.bytes(), 240);
+        assert_eq!(Payload::Ciphertexts { count: 10, bytes_each: 64 }.bytes(), 640);
+        assert_eq!(Payload::Vector { len: 32 }.bytes(), 128);
+        assert_eq!(Payload::Raw { bytes: 7 }.bytes(), 7);
+    }
+
+    #[test]
+    fn triple_constant_is_three_words() {
+        assert_eq!(BYTES_PER_TRIPLE, 12);
+    }
+
+    #[test]
+    fn message_client_attribution() {
+        let up = Message {
+            from: Endpoint::Client(3),
+            to: Endpoint::Server,
+            round: 0,
+            label: "up",
+            payload: Payload::Triples { count: 1 },
+        };
+        assert_eq!(up.client(), Some(3));
+        let down = Message { from: Endpoint::Server, to: Endpoint::Client(9), ..up.clone() };
+        assert_eq!(down.client(), Some(9));
+    }
+}

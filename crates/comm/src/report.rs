@@ -1,0 +1,31 @@
+//! Byte formatting in the paper's style.
+
+/// Formats a byte count the way Table IV prints it: two decimals with a
+/// binary-ish unit, e.g. `3.02 KB`, `7.32 MB`.
+pub fn format_bytes(bytes: f64) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    if bytes >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if bytes >= MB {
+        format!("{:.2} MB", bytes / MB)
+    } else if bytes >= KB {
+        format!("{:.2} KB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_selection() {
+        assert_eq!(format_bytes(12.0), "12 B");
+        assert_eq!(format_bytes(3_092.0), "3.02 KB");
+        assert_eq!(format_bytes(7.32 * 1024.0 * 1024.0), "7.32 MB");
+        assert_eq!(format_bytes(2.0 * 1024.0 * 1024.0 * 1024.0), "2.00 GB");
+    }
+}

@@ -1,0 +1,213 @@
+//! The PTF-FedRec client (Algorithm 1, `CLIENT TRAIN`).
+//!
+//! Each client owns a *single-user* local model (its user table has one
+//! row), its private positives `D_i`, and the latest server-dispersed
+//! soft-label set `D̃_i`. One local round is Eq. 3 — several epochs of BCE
+//! over `D_i ∪ D̃_i` — followed by the privacy-preserving construction of
+//! the upload `D̂ᵗᵢ` (§III-B2).
+
+use crate::config::PtfConfig;
+use crate::upload::{build_upload, ClientUpload};
+use ptf_data::negative::sample_negatives;
+use ptf_federated::ClientData;
+use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
+use ptf_privacy::ScoredItem;
+use rand::Rng;
+
+/// A PTF-FedRec client.
+pub struct PtfClient {
+    pub id: u32,
+    /// Private positives `D_i` (sorted item ids).
+    positives: Vec<u32>,
+    /// Server-dispersed soft labels `D̃_i` (empty before first dispersal).
+    server_data: Vec<ScoredItem>,
+    /// The client's local model; its internal user id is always 0.
+    model: Box<dyn Recommender>,
+    kind: ModelKind,
+}
+
+impl PtfClient {
+    pub fn new(data: &ClientData, kind: ModelKind, hyper: &ModelHyper, num_items: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            id: data.id,
+            positives: data.positives.clone(),
+            server_data: Vec::new(),
+            model: build_model(kind, 1, num_items, hyper, rng),
+            kind,
+        }
+    }
+
+    pub fn num_positives(&self) -> usize {
+        self.positives.len()
+    }
+
+    pub fn model_kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Current `D̃_i` (for inspection/tests).
+    pub fn server_data(&self) -> &[ScoredItem] {
+        &self.server_data
+    }
+
+    /// Receives the server's dispersed predictions, replacing `D̃_i`.
+    pub fn receive_disperse(&mut self, data: Vec<ScoredItem>) {
+        self.server_data = data;
+    }
+
+    /// Local model scores for `items` (exposed for evaluation/attacks).
+    pub fn score(&self, items: &[u32]) -> Vec<f32> {
+        self.model.score(0, items)
+    }
+
+    /// One local round: train on `D_i ∪ D̃_i`, then build the upload.
+    /// Returns the upload and the mean training loss.
+    pub fn local_round(&mut self, cfg: &PtfConfig, rng: &mut impl Rng) -> (ClientUpload, f32) {
+        let num_items = self.model.num_items();
+
+        // 1. this round's trained pool V^t_i: positives + fresh 1:ratio negatives
+        let negatives = sample_negatives(
+            &self.positives,
+            num_items,
+            self.positives.len() * cfg.neg_ratio,
+            rng,
+        );
+
+        // 2. training samples (user id 0 inside the local model)
+        let mut samples: Vec<(u32, u32, f32)> = Vec::with_capacity(
+            self.positives.len() + negatives.len() + self.server_data.len(),
+        );
+        samples.extend(self.positives.iter().map(|&i| (0u32, i, 1.0f32)));
+        samples.extend(negatives.iter().map(|&i| (0u32, i, 0.0f32)));
+        samples.extend(self.server_data.iter().map(|&(i, s)| (0u32, i, s)));
+
+        // graph clients rebuild their one-hop ego graph from everything
+        // they currently believe is positive
+        let edges: Vec<(u32, u32, f32)> = self
+            .positives
+            .iter()
+            .map(|&i| (0u32, i, 1.0f32))
+            .chain(
+                self.server_data
+                    .iter()
+                    .filter(|&&(_, s)| s >= cfg.graph_threshold)
+                    .map(|&(i, s)| (0u32, i, s)),
+            )
+            .collect();
+        self.model.set_graph(&edges);
+
+        // 3. Eq. 3: several epochs of soft-label BCE
+        let mut loss_sum = 0.0f32;
+        for _ in 0..cfg.client_epochs {
+            shuffle(&mut samples, rng);
+            loss_sum += ptf_models::train_on_samples(&mut *self.model, &samples, cfg.client_batch);
+        }
+        let mean_loss = loss_sum / cfg.client_epochs as f32;
+
+        // 4. §III-B2: score the trained pool and build D̂ᵗᵢ
+        let pos_scores = self.model.score(0, &self.positives);
+        let neg_scores = self.model.score(0, &negatives);
+        let pos: Vec<ScoredItem> =
+            self.positives.iter().copied().zip(pos_scores).collect();
+        let neg: Vec<ScoredItem> = negatives.iter().copied().zip(neg_scores).collect();
+        let upload =
+            build_upload(self.id, pos, neg, cfg.defense, &cfg.sampling, cfg.lambda, rng);
+        (upload, mean_loss)
+    }
+}
+
+fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DefenseKind;
+    use ptf_tensor::test_rng;
+
+    fn client(kind: ModelKind) -> PtfClient {
+        let data = ClientData { id: 7, positives: vec![1, 4, 9, 15, 22] };
+        PtfClient::new(&data, kind, &ModelHyper::small(), 40, &mut test_rng(1))
+    }
+
+    fn cfg() -> PtfConfig {
+        let mut c = PtfConfig::small();
+        c.client_epochs = 2;
+        c
+    }
+
+    #[test]
+    fn local_round_produces_upload_from_trained_pool() {
+        let mut c = client(ModelKind::NeuMf);
+        let (upload, loss) = c.local_round(&cfg(), &mut test_rng(2));
+        assert_eq!(upload.client, 7);
+        assert!(!upload.is_empty());
+        assert!(loss.is_finite() && loss > 0.0);
+        // uploads only trained items: positives or sampled negatives (which
+        // are never positives) — so every audit positive is a true positive
+        for &p in &upload.audit_positives {
+            assert!(c.positives.binary_search(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn training_improves_local_separation() {
+        let mut c = client(ModelKind::NeuMf);
+        let mut config = cfg();
+        config.client_epochs = 15;
+        config.defense = DefenseKind::NoDefense;
+        let mut rng = test_rng(3);
+        let (_, first_loss) = c.local_round(&config, &mut rng);
+        let mut last_loss = first_loss;
+        for _ in 0..4 {
+            let (_, l) = c.local_round(&config, &mut rng);
+            last_loss = l;
+        }
+        assert!(last_loss < first_loss, "client loss did not improve: {first_loss} → {last_loss}");
+        // positives should now outscore random non-items
+        let pos_score = c.score(&[1])[0];
+        let neg_score = c.score(&[30])[0];
+        assert!(pos_score > neg_score, "{pos_score} vs {neg_score}");
+    }
+
+    #[test]
+    fn server_data_enters_training() {
+        let mut c = client(ModelKind::NeuMf);
+        let mut config = cfg();
+        config.client_epochs = 20;
+        // keep uploading simple
+        config.defense = DefenseKind::NoDefense;
+        // teach the client that item 33 is great via D̃ only
+        c.receive_disperse(vec![(33, 0.95)]);
+        let mut rng = test_rng(4);
+        for _ in 0..4 {
+            let _ = c.local_round(&config, &mut rng);
+        }
+        let taught = c.score(&[33])[0];
+        // compare against an item the client never saw anywhere
+        // (36 might have been a sampled negative occasionally, but 33 was
+        // reinforced every round)
+        assert!(taught > 0.5, "soft-labelled item not learned: {taught}");
+    }
+
+    #[test]
+    fn graph_client_builds_ego_graph() {
+        let mut c = client(ModelKind::LightGcn);
+        let (upload, loss) = c.local_round(&cfg(), &mut test_rng(5));
+        assert!(loss.is_finite());
+        assert!(!upload.is_empty());
+    }
+
+    #[test]
+    fn receive_disperse_replaces_previous_set() {
+        let mut c = client(ModelKind::NeuMf);
+        c.receive_disperse(vec![(1, 0.9), (2, 0.8)]);
+        assert_eq!(c.server_data().len(), 2);
+        c.receive_disperse(vec![(3, 0.7)]);
+        assert_eq!(c.server_data(), &[(3, 0.7)]);
+    }
+}

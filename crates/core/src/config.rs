@@ -1,0 +1,192 @@
+//! PTF-FedRec hyperparameters (§IV-D of the paper).
+
+use ptf_federated::Participation;
+use ptf_privacy::SamplingConfig;
+
+/// Which client-side defense shapes the uploaded prediction set D̂ᵗᵢ
+/// (the rows of Table V).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DefenseKind {
+    /// Upload predictions for the whole trained pool.
+    NoDefense,
+    /// Laplace noise on every uploaded score (the LDP baseline row).
+    Ldp { epsilon: f64 },
+    /// The paper's sampling step only.
+    Sampling,
+    /// Sampling followed by score swapping — the full PTF-FedRec defense.
+    SamplingSwapping,
+}
+
+impl DefenseKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NoDefense => "No Defense",
+            Self::Ldp { .. } => "LDP",
+            Self::Sampling => "Sampling",
+            Self::SamplingSwapping => "Sampling + Swapping",
+        }
+    }
+}
+
+/// How the server selects the α items of D̃ᵢ (Table VII ablation rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DisperseStrategy {
+    /// µα by embedding-update frequency + (1−µ)α hardest (the paper's
+    /// confidence-based hard construction).
+    ConfidenceHard,
+    /// "-confidence": random items replace the confidence share.
+    RandomHard,
+    /// "-hard": random items replace the hard share.
+    ConfidenceRandom,
+    /// "-confidence -hard": α random items.
+    Random,
+}
+
+impl DisperseStrategy {
+    pub const ALL: [DisperseStrategy; 4] =
+        [Self::ConfidenceHard, Self::RandomHard, Self::ConfidenceRandom, Self::Random];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ConfidenceHard => "PTF-FedRec",
+            Self::RandomHard => "-confidence",
+            Self::ConfidenceRandom => "-hard",
+            Self::Random => "-confidence -hard",
+        }
+    }
+}
+
+/// Full protocol configuration. [`PtfConfig::paper`] reproduces §IV-D;
+/// [`PtfConfig::small`] shrinks rounds/epochs for quick runs while keeping
+/// every mechanism active.
+#[derive(Clone, Debug)]
+pub struct PtfConfig {
+    /// Global federation rounds T (paper: 20).
+    pub rounds: u32,
+    /// Client local epochs L (paper: 5).
+    pub client_epochs: u32,
+    /// Server training epochs per round (paper: 2).
+    pub server_epochs: u32,
+    /// Client mini-batch size (paper: 64).
+    pub client_batch: usize,
+    /// Server mini-batch size (paper: 1024).
+    pub server_batch: usize,
+    /// Negative sampling ratio (paper: 1:4).
+    pub neg_ratio: usize,
+    /// Size of the server-dispersed set D̃ᵢ (paper: α = 30).
+    pub alpha: usize,
+    /// Confidence share of D̃ᵢ (paper: µ = 0.5).
+    pub mu: f64,
+    /// Swap fraction (paper: λ = 0.1).
+    pub lambda: f64,
+    /// β/γ sampling ranges (paper: β ∈ [0.1, 1], γ ∈ [1, 4]).
+    pub sampling: SamplingConfig,
+    /// Client-side upload defense (paper default: sampling + swapping).
+    pub defense: DefenseKind,
+    /// Server-side D̃ᵢ construction strategy.
+    pub disperse: DisperseStrategy,
+    /// Participation policy (paper: all clients every round).
+    pub participation: Participation,
+    /// Soft-label threshold above which an uploaded prediction becomes an
+    /// edge of the server's interaction graph (see DESIGN.md §5).
+    pub graph_threshold: f32,
+    /// Master seed for all protocol randomness.
+    pub seed: u64,
+}
+
+impl PtfConfig {
+    /// The paper's §IV-D settings.
+    pub fn paper() -> Self {
+        Self {
+            rounds: 20,
+            client_epochs: 5,
+            server_epochs: 2,
+            client_batch: 64,
+            server_batch: 1024,
+            neg_ratio: 4,
+            alpha: 30,
+            mu: 0.5,
+            lambda: 0.1,
+            sampling: SamplingConfig::default(),
+            defense: DefenseKind::SamplingSwapping,
+            disperse: DisperseStrategy::ConfidenceHard,
+            participation: Participation::full(),
+            graph_threshold: 0.5,
+            seed: 17,
+        }
+    }
+
+    /// Reduced rounds/epochs for quick experiments; every mechanism stays
+    /// enabled so qualitative behaviour is unchanged.
+    pub fn small() -> Self {
+        Self {
+            rounds: 10,
+            client_epochs: 3,
+            server_epochs: 2,
+            client_batch: 64,
+            server_batch: 256,
+            alpha: 20,
+            ..Self::paper()
+        }
+    }
+
+    /// Validates internal consistency (panics with a clear message).
+    pub fn validate(&self) {
+        assert!(self.rounds > 0, "rounds must be positive");
+        assert!(self.client_epochs > 0, "client_epochs must be positive");
+        assert!(self.server_epochs > 0, "server_epochs must be positive");
+        assert!(self.client_batch > 0 && self.server_batch > 0, "batch sizes must be positive");
+        assert!((0.0..=1.0).contains(&self.mu), "mu must be in [0,1]");
+        assert!((0.0..=1.0).contains(&self.lambda), "lambda must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.graph_threshold),
+            "graph_threshold must be in [0,1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4d() {
+        let c = PtfConfig::paper();
+        assert_eq!(c.rounds, 20);
+        assert_eq!(c.client_epochs, 5);
+        assert_eq!(c.server_epochs, 2);
+        assert_eq!(c.client_batch, 64);
+        assert_eq!(c.server_batch, 1024);
+        assert_eq!(c.neg_ratio, 4);
+        assert_eq!(c.alpha, 30);
+        assert_eq!(c.mu, 0.5);
+        assert_eq!(c.lambda, 0.1);
+        assert_eq!(c.sampling.beta_range, (0.1, 1.0));
+        assert_eq!(c.sampling.gamma_range, (1.0, 4.0));
+        c.validate();
+    }
+
+    #[test]
+    fn small_keeps_mechanisms() {
+        let c = PtfConfig::small();
+        assert_eq!(c.defense, DefenseKind::SamplingSwapping);
+        assert_eq!(c.disperse, DisperseStrategy::ConfidenceHard);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be in")]
+    fn validate_catches_bad_mu() {
+        let mut c = PtfConfig::paper();
+        c.mu = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    fn strategy_names_match_table7_rows() {
+        assert_eq!(DisperseStrategy::ConfidenceHard.name(), "PTF-FedRec");
+        assert_eq!(DisperseStrategy::ConfidenceRandom.name(), "-hard");
+        assert_eq!(DisperseStrategy::RandomHard.name(), "-confidence");
+        assert_eq!(DisperseStrategy::Random.name(), "-confidence -hard");
+    }
+}

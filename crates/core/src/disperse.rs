@@ -1,0 +1,277 @@
+//! Confidence-based hard construction of D̃ᵢ (§III-B3, Eq. 9).
+//!
+//! The server picks α items per client: a µ share by *confidence* (items
+//! whose embeddings were updated most often across all uploads — their
+//! predictions are best-trained) and the rest by *hardness* (the highest
+//! server-predicted scores for this client), always excluding items the
+//! client itself just uploaded. Table VII ablates each part by replacing
+//! it with uniform random selection.
+
+use crate::config::DisperseStrategy;
+use rand::Rng;
+
+/// Selects the item ids of D̃ᵢ.
+///
+/// * `update_counts[i]` — how often item `i`'s embedding was touched by
+///   server training (the confidence signal);
+/// * `server_scores[i]` — the server model's prediction of this client's
+///   preference for item `i` (the hardness signal);
+/// * `uploaded` — sorted items of the client's current upload V̂ᵗᵢ
+///   (excluded per Eq. 9).
+///
+/// Returns at most `alpha` distinct item ids.
+pub fn select_disperse_items(
+    update_counts: &[u64],
+    server_scores: &[f32],
+    uploaded: &[u32],
+    alpha: usize,
+    mu: f64,
+    strategy: DisperseStrategy,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    let num_items = server_scores.len();
+    assert_eq!(update_counts.len(), num_items, "signal length mismatch");
+    debug_assert!(uploaded.windows(2).all(|w| w[0] < w[1]), "uploaded must be sorted");
+
+    let conf_quota = ((alpha as f64) * mu).round() as usize;
+    let hard_quota = alpha.saturating_sub(conf_quota);
+
+    let mut selected: Vec<u32> = Vec::with_capacity(alpha);
+    let mut taken = vec![false; num_items];
+    for &i in uploaded {
+        if (i as usize) < num_items {
+            taken[i as usize] = true;
+        }
+    }
+
+    let use_confidence = matches!(
+        strategy,
+        DisperseStrategy::ConfidenceHard | DisperseStrategy::ConfidenceRandom
+    );
+    let use_hard = matches!(
+        strategy,
+        DisperseStrategy::ConfidenceHard | DisperseStrategy::RandomHard
+    );
+
+    // first share: confidence (or its random replacement)
+    if use_confidence {
+        take_top_by(&mut selected, &mut taken, conf_quota, |i| update_counts[i] as f64);
+    } else {
+        take_random(&mut selected, &mut taken, conf_quota, num_items, rng);
+    }
+
+    // second share: hardness (or its random replacement)
+    if use_hard {
+        take_top_by(&mut selected, &mut taken, hard_quota, |i| server_scores[i] as f64);
+    } else {
+        take_random(&mut selected, &mut taken, hard_quota, num_items, rng);
+    }
+
+    selected
+}
+
+/// Greedily takes the `quota` untaken items maximizing `key`.
+fn take_top_by(
+    selected: &mut Vec<u32>,
+    taken: &mut [bool],
+    quota: usize,
+    key: impl Fn(usize) -> f64,
+) {
+    if quota == 0 {
+        return;
+    }
+    let mut candidates: Vec<u32> =
+        (0..taken.len() as u32).filter(|&i| !taken[i as usize]).collect();
+    let quota = quota.min(candidates.len());
+    if quota == 0 {
+        return;
+    }
+    candidates.select_nth_unstable_by(quota - 1, |&a, &b| {
+        key(b as usize)
+            .partial_cmp(&key(a as usize))
+            .expect("selection keys must not be NaN")
+            .then(a.cmp(&b))
+    });
+    for &i in &candidates[..quota] {
+        taken[i as usize] = true;
+        selected.push(i);
+    }
+}
+
+/// Takes `quota` untaken items uniformly at random (rejection sampling
+/// with a fallback scan for nearly-exhausted item spaces).
+fn take_random(
+    selected: &mut Vec<u32>,
+    taken: &mut [bool],
+    quota: usize,
+    num_items: usize,
+    rng: &mut impl Rng,
+) {
+    let free = taken.iter().filter(|&&t| !t).count();
+    let quota = quota.min(free);
+    let mut got = 0usize;
+    let mut attempts = 0usize;
+    while got < quota && attempts < quota.saturating_mul(20) {
+        let i = rng.gen_range(0..num_items);
+        attempts += 1;
+        if !taken[i] {
+            taken[i] = true;
+            selected.push(i as u32);
+            got += 1;
+        }
+    }
+    if got < quota {
+        // dense fallback
+        for (i, slot) in taken.iter_mut().enumerate() {
+            if got == quota {
+                break;
+            }
+            if !*slot {
+                *slot = true;
+                selected.push(i as u32);
+                got += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    fn signals() -> (Vec<u64>, Vec<f32>) {
+        // items 0..20; update counts favour low ids, scores favour high ids
+        let counts: Vec<u64> = (0..20).map(|i| (20 - i) as u64).collect();
+        let scores: Vec<f32> = (0..20).map(|i| i as f32 / 20.0).collect();
+        (counts, scores)
+    }
+
+    #[test]
+    fn confidence_hard_picks_both_signals() {
+        let (counts, scores) = signals();
+        let sel = select_disperse_items(
+            &counts,
+            &scores,
+            &[],
+            6,
+            0.5,
+            DisperseStrategy::ConfidenceHard,
+            &mut test_rng(1),
+        );
+        assert_eq!(sel.len(), 6);
+        // confidence share: items 0,1,2 (highest counts)
+        assert!(sel.contains(&0) && sel.contains(&1) && sel.contains(&2), "{sel:?}");
+        // hard share: items 19,18,17 (highest scores)
+        assert!(sel.contains(&19) && sel.contains(&18) && sel.contains(&17), "{sel:?}");
+    }
+
+    #[test]
+    fn uploaded_items_are_excluded() {
+        let (counts, scores) = signals();
+        let uploaded = vec![0, 1, 18, 19];
+        let sel = select_disperse_items(
+            &counts,
+            &scores,
+            &uploaded,
+            6,
+            0.5,
+            DisperseStrategy::ConfidenceHard,
+            &mut test_rng(2),
+        );
+        for &i in &sel {
+            assert!(uploaded.binary_search(&i).is_err(), "uploaded item {i} dispersed");
+        }
+        // next-best replacements appear instead
+        assert!(sel.contains(&2) && sel.contains(&3), "{sel:?}");
+        assert!(sel.contains(&17) && sel.contains(&16), "{sel:?}");
+    }
+
+    #[test]
+    fn no_duplicates_across_shares() {
+        // make the same items best on both signals
+        let counts: Vec<u64> = (0..10).map(|i| if i < 3 { 100 } else { 1 }).collect();
+        let scores: Vec<f32> = (0..10).map(|i| if i < 3 { 0.9 } else { 0.1 }).collect();
+        let sel = select_disperse_items(
+            &counts,
+            &scores,
+            &[],
+            6,
+            0.5,
+            DisperseStrategy::ConfidenceHard,
+            &mut test_rng(3),
+        );
+        let mut dedup = sel.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sel.len(), "duplicate selections: {sel:?}");
+    }
+
+    #[test]
+    fn random_strategy_ignores_signals() {
+        let (counts, scores) = signals();
+        // with 20 items and α=6, a signal-driven pick would always include
+        // item 0 (top count) or 19 (top score); random eventually misses both
+        let mut missed_either = false;
+        for seed in 0..20 {
+            let sel = select_disperse_items(
+                &counts,
+                &scores,
+                &[],
+                6,
+                0.5,
+                DisperseStrategy::Random,
+                &mut test_rng(seed),
+            );
+            assert_eq!(sel.len(), 6);
+            if !sel.contains(&0) || !sel.contains(&19) {
+                missed_either = true;
+            }
+        }
+        assert!(missed_either, "random selection suspiciously mirrors the signals");
+    }
+
+    #[test]
+    fn mu_controls_share_split() {
+        let (counts, scores) = signals();
+        // µ=1: all confidence
+        let sel = select_disperse_items(
+            &counts,
+            &scores,
+            &[],
+            4,
+            1.0,
+            DisperseStrategy::ConfidenceHard,
+            &mut test_rng(4),
+        );
+        assert_eq!(sel, vec![0, 1, 2, 3]);
+        // µ=0: all hard
+        let sel = select_disperse_items(
+            &counts,
+            &scores,
+            &[],
+            4,
+            0.0,
+            DisperseStrategy::ConfidenceHard,
+            &mut test_rng(5),
+        );
+        assert_eq!({ let mut s = sel; s.sort_unstable(); s }, vec![16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn exhausted_item_space_returns_fewer() {
+        let counts = vec![1u64; 5];
+        let scores = vec![0.5f32; 5];
+        let uploaded = vec![0, 1, 2, 3];
+        let sel = select_disperse_items(
+            &counts,
+            &scores,
+            &uploaded,
+            10,
+            0.5,
+            DisperseStrategy::Random,
+            &mut test_rng(6),
+        );
+        assert_eq!(sel, vec![4], "only one free item existed");
+    }
+}

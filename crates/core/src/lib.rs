@@ -1,0 +1,54 @@
+//! # ptf-core
+//!
+//! **PTF-FedRec** — the parameter transmission-free federated
+//! recommendation protocol of *"Hide Your Model: A Parameter
+//! Transmission-free Federated Recommender System"* (ICDE 2024).
+//!
+//! Instead of shipping model parameters, clients and the central server
+//! exchange *prediction triples*:
+//!
+//! 1. [`client::PtfClient::local_round`] — each client trains its small
+//!    local model on `D_i ∪ D̃_i` (Eq. 3) and uploads a subsampled,
+//!    score-swapped prediction set `D̂ᵗᵢ` ([`upload`], §III-B2);
+//! 2. [`server::PtfServer::train_on_uploads`] — the server trains its
+//!    *hidden* model on the union of uploads with soft-label BCE (Eq. 5);
+//! 3. [`server::PtfServer::disperse_for`] — the server returns α
+//!    confidence/hard scored items per client ([`disperse`], §III-B3).
+//!
+//! [`protocol::PtfFedRec`] wires the loop together (Algorithm 1), records
+//! every message in a `CommLedger`, and evaluates the hidden server model
+//! with the paper's ranking protocol.
+//!
+//! ```no_run
+//! use ptf_core::{PtfConfig, PtfFedRec};
+//! use ptf_data::{DatasetPreset, Scale, TrainTestSplit};
+//! use ptf_models::{ModelHyper, ModelKind};
+//!
+//! let mut rng = ptf_data::test_rng(7);
+//! let data = DatasetPreset::MovieLens100K.generate(Scale::Small, &mut rng);
+//! let split = TrainTestSplit::split_80_20(&data, &mut rng);
+//! let mut fed = PtfFedRec::new(
+//!     &split.train,
+//!     ModelKind::NeuMf,          // public client model
+//!     ModelKind::Ngcf,           // hidden server model
+//!     &ModelHyper::default(),
+//!     PtfConfig::paper(),
+//! );
+//! fed.run();
+//! println!("{}", fed.evaluate(&split.train, &split.test, 20));
+//! ```
+
+pub mod client;
+pub mod config;
+pub mod converge;
+pub mod disperse;
+pub mod protocol;
+pub mod server;
+pub mod upload;
+
+pub use client::PtfClient;
+pub use converge::ConvergedRun;
+pub use config::{DefenseKind, DisperseStrategy, PtfConfig};
+pub use protocol::PtfFedRec;
+pub use server::PtfServer;
+pub use upload::{build_upload, ClientUpload};

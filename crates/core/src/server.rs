@@ -1,0 +1,210 @@
+//! The PTF-FedRec central server (Algorithm 1, lines 9–12).
+//!
+//! The server's elaborately designed model never leaves this struct — the
+//! only things that cross the trust boundary are prediction triples in
+//! (via [`ClientUpload`]) and scored items out (via [`PtfServer::disperse_for`]).
+
+use crate::config::PtfConfig;
+use crate::disperse::select_disperse_items;
+use crate::upload::ClientUpload;
+use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
+use ptf_privacy::ScoredItem;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The central server: hidden model + the state backing D̃ construction.
+pub struct PtfServer {
+    model: Box<dyn Recommender>,
+    kind: ModelKind,
+    /// Per-item embedding-update counts — the confidence signal (§III-B3).
+    item_update_counts: Vec<u64>,
+    /// Persistent soft-edge memory `(user, item) → last uploaded score`,
+    /// backing the graph models' adjacency (DESIGN.md §5).
+    edges: HashMap<(u32, u32), f32>,
+}
+
+impl PtfServer {
+    pub fn new(
+        num_users: usize,
+        num_items: usize,
+        kind: ModelKind,
+        hyper: &ModelHyper,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            model: build_model(kind, num_users, num_items, hyper, rng),
+            kind,
+            item_update_counts: vec![0; num_items],
+            edges: HashMap::new(),
+        }
+    }
+
+    pub fn model(&self) -> &dyn Recommender {
+        &*self.model
+    }
+
+    pub fn model_kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    pub fn item_update_counts(&self) -> &[u64] {
+        &self.item_update_counts
+    }
+
+    /// Eq. 5: trains the hidden model on this round's uploads with a
+    /// soft-label BCE. Returns the mean training loss.
+    pub fn train_on_uploads(
+        &mut self,
+        uploads: &[ClientUpload],
+        cfg: &PtfConfig,
+        rng: &mut impl Rng,
+    ) -> f32 {
+        let mut samples: Vec<(u32, u32, f32)> = Vec::new();
+        for up in uploads {
+            for &(item, score) in &up.predictions {
+                samples.push((up.client, item, score));
+                self.item_update_counts[item as usize] += 1;
+                self.edges.insert((up.client, item), score);
+            }
+        }
+        if samples.is_empty() {
+            return 0.0;
+        }
+
+        // graph models rebuild their bipartite graph from the accumulated
+        // high-confidence soft edges
+        let edges: Vec<(u32, u32, f32)> = self
+            .edges
+            .iter()
+            .filter(|&(_, &s)| s >= cfg.graph_threshold)
+            .map(|(&(u, i), &s)| (u, i, s))
+            .collect();
+        self.model.set_graph(&edges);
+
+        let mut loss_sum = 0.0f32;
+        for _ in 0..cfg.server_epochs {
+            shuffle(&mut samples, rng);
+            loss_sum +=
+                ptf_models::train_on_samples(&mut *self.model, &samples, cfg.server_batch);
+        }
+        loss_sum / cfg.server_epochs as f32
+    }
+
+    /// §III-B3: builds D̃ᵢ for one client — α confidence/hard items scored
+    /// by the hidden model.
+    pub fn disperse_for(
+        &self,
+        client: u32,
+        uploaded_sorted: &[u32],
+        cfg: &PtfConfig,
+        rng: &mut impl Rng,
+    ) -> Vec<ScoredItem> {
+        let scores = self.model.score_all(client);
+        let items = select_disperse_items(
+            &self.item_update_counts,
+            &scores,
+            uploaded_sorted,
+            cfg.alpha,
+            cfg.mu,
+            cfg.disperse,
+            rng,
+        );
+        items.into_iter().map(|i| (i, scores[i as usize])).collect()
+    }
+}
+
+fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    fn cfg() -> PtfConfig {
+        let mut c = PtfConfig::small();
+        c.alpha = 6;
+        c
+    }
+
+    fn upload(client: u32, items: &[(u32, f32)]) -> ClientUpload {
+        let mut audit: Vec<u32> =
+            items.iter().filter(|&&(_, s)| s >= 0.5).map(|&(i, _)| i).collect();
+        audit.sort_unstable();
+        ClientUpload { client, predictions: items.to_vec(), audit_positives: audit }
+    }
+
+    fn server(kind: ModelKind) -> PtfServer {
+        PtfServer::new(4, 30, kind, &ModelHyper::small(), &mut test_rng(1))
+    }
+
+    #[test]
+    fn update_counts_track_uploads() {
+        let mut s = server(ModelKind::NeuMf);
+        let ups = vec![
+            upload(0, &[(3, 0.9), (7, 0.1)]),
+            upload(1, &[(3, 0.8), (9, 0.2)]),
+        ];
+        let loss = s.train_on_uploads(&ups, &cfg(), &mut test_rng(2));
+        assert!(loss > 0.0 && loss.is_finite());
+        assert_eq!(s.item_update_counts()[3], 2);
+        assert_eq!(s.item_update_counts()[7], 1);
+        assert_eq!(s.item_update_counts()[0], 0);
+    }
+
+    #[test]
+    fn server_learns_uploaded_preferences() {
+        let mut s = server(ModelKind::NeuMf);
+        let mut config = cfg();
+        config.server_epochs = 30;
+        let ups = vec![upload(0, &[(3, 0.95), (7, 0.05), (9, 0.05), (11, 0.05)])];
+        for _ in 0..6 {
+            s.train_on_uploads(&ups, &config, &mut test_rng(3));
+        }
+        let scores = s.model().score(0, &[3, 7]);
+        assert!(
+            scores[0] > scores[1],
+            "server did not learn the uploaded ordering: {scores:?}"
+        );
+    }
+
+    #[test]
+    fn graph_server_accumulates_edges() {
+        let mut s = server(ModelKind::LightGcn);
+        let config = cfg();
+        let mut rng = test_rng(4);
+        s.train_on_uploads(&[upload(0, &[(3, 0.9), (7, 0.2)])], &config, &mut rng);
+        s.train_on_uploads(&[upload(1, &[(3, 0.85)])], &config, &mut rng);
+        // edges (0,3) and (1,3) survive the 0.5 threshold; (0,7) does not
+        let high: Vec<_> =
+            s.edges.iter().filter(|&(_, &v)| v >= 0.5).map(|(&k, _)| k).collect();
+        assert!(high.contains(&(0, 3)));
+        assert!(high.contains(&(1, 3)));
+        assert!(!high.contains(&(0, 7)));
+    }
+
+    #[test]
+    fn disperse_excludes_uploaded_and_scores_with_server_model() {
+        let mut s = server(ModelKind::NeuMf);
+        let config = cfg();
+        let mut rng = test_rng(5);
+        s.train_on_uploads(&[upload(0, &[(3, 0.9), (7, 0.1)])], &config, &mut rng);
+        let d = s.disperse_for(0, &[3, 7], &config, &mut rng);
+        assert_eq!(d.len(), config.alpha);
+        for &(i, score) in &d {
+            assert!(i != 3 && i != 7, "uploaded item {i} dispersed back");
+            let model_score = s.model().score(0, &[i])[0];
+            assert!((score - model_score).abs() < 1e-6, "dispersed score is stale");
+        }
+    }
+
+    #[test]
+    fn empty_round_is_harmless() {
+        let mut s = server(ModelKind::Ngcf);
+        assert_eq!(s.train_on_uploads(&[], &cfg(), &mut test_rng(6)), 0.0);
+    }
+}

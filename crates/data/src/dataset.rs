@@ -1,0 +1,269 @@
+//! The core implicit-feedback dataset type.
+
+/// User identifier. In a federated recommender each user *is* a client, so
+/// the same id addresses both the data partition and the client.
+pub type UserId = u32;
+
+/// An implicit-feedback dataset: for every user, the sorted set of item ids
+/// the user interacted with (`r_{ij} = 1` in the paper's notation; absent
+/// pairs are candidate negatives).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    name: String,
+    num_items: usize,
+    /// `by_user[u]` = sorted, deduplicated item ids of user `u`.
+    by_user: Vec<Vec<u32>>,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-user item lists. Lists are sorted and
+    /// deduplicated; out-of-range item ids panic.
+    pub fn from_user_items(
+        name: impl Into<String>,
+        num_items: usize,
+        mut by_user: Vec<Vec<u32>>,
+    ) -> Self {
+        for items in &mut by_user {
+            items.sort_unstable();
+            items.dedup();
+            if let Some(&max) = items.last() {
+                assert!(
+                    (max as usize) < num_items,
+                    "item id {max} out of range ({num_items} items)"
+                );
+            }
+        }
+        Self { name: name.into(), num_items, by_user }
+    }
+
+    /// Builds a dataset from `(user, item)` pairs.
+    pub fn from_pairs(
+        name: impl Into<String>,
+        num_users: usize,
+        num_items: usize,
+        pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
+        let mut by_user = vec![Vec::new(); num_users];
+        for (u, i) in pairs {
+            assert!((u as usize) < num_users, "user id {u} out of range ({num_users} users)");
+            by_user[u as usize].push(i);
+        }
+        Self::from_user_items(name, num_items, by_user)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn num_users(&self) -> usize {
+        self.by_user.len()
+    }
+
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Total number of stored interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.by_user.iter().map(Vec::len).sum()
+    }
+
+    /// The sorted items of user `u`.
+    pub fn user_items(&self, u: UserId) -> &[u32] {
+        &self.by_user[u as usize]
+    }
+
+    /// True if `(u, i)` is a stored interaction.
+    pub fn contains(&self, u: UserId, i: u32) -> bool {
+        self.by_user[u as usize].binary_search(&i).is_ok()
+    }
+
+    /// Iterates all `(user, item)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.by_user
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&i| (u as u32, i)))
+    }
+
+    /// Users with at least one interaction.
+    pub fn active_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.by_user
+            .iter()
+            .enumerate()
+            .filter(|(_, items)| !items.is_empty())
+            .map(|(u, _)| u as u32)
+    }
+
+    /// Per-item interaction counts (item popularity).
+    pub fn item_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_items];
+        for (_, i) in self.pairs() {
+            counts[i as usize] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of the user×item grid that is filled.
+    pub fn density(&self) -> f64 {
+        if self.num_users() == 0 || self.num_items == 0 {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / (self.num_users() as f64 * self.num_items as f64)
+    }
+
+    /// Mean interactions per user ("Average Lengths" in Table II).
+    pub fn avg_profile_len(&self) -> f64 {
+        if self.num_users() == 0 {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / self.num_users() as f64
+    }
+
+    /// A renamed shallow copy (used when deriving train/test splits).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::from_pairs("tiny", 3, 5, vec![(0, 1), (0, 3), (1, 0), (0, 1), (2, 4), (2, 0)])
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let d = tiny();
+        assert_eq!(d.user_items(0), &[1, 3]); // duplicate (0,1) removed
+        assert_eq!(d.user_items(2), &[0, 4]); // sorted
+        assert_eq!(d.num_interactions(), 5);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let d = tiny();
+        assert!(d.contains(0, 3));
+        assert!(!d.contains(0, 2));
+        assert!(d.contains(2, 4));
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let d = tiny();
+        let pairs: Vec<_> = d.pairs().collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 3), (1, 0), (2, 0), (2, 4)]);
+    }
+
+    #[test]
+    fn stats() {
+        let d = tiny();
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_items(), 5);
+        assert!((d.density() - 5.0 / 15.0).abs() < 1e-12);
+        assert!((d.avg_profile_len() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.item_counts(), vec![2, 1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn active_users_skips_empty() {
+        let d = Dataset::from_user_items("d", 3, vec![vec![0], vec![], vec![2]]);
+        let active: Vec<_> = d.active_users().collect();
+        assert_eq!(active, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_item() {
+        let _ = Dataset::from_user_items("d", 2, vec![vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_user() {
+        let _ = Dataset::from_pairs("d", 1, 5, vec![(3, 0)]);
+    }
+}
+
+/// Wire form for (de)serialization; [`Dataset`] invariants (sorted,
+/// deduplicated, in-range) are re-established on load.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct DatasetWire {
+    name: String,
+    num_items: usize,
+    by_user: Vec<Vec<u32>>,
+}
+
+impl serde::Serialize for Dataset {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        DatasetWire {
+            name: self.name.clone(),
+            num_items: self.num_items,
+            by_user: self.by_user.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Dataset {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = DatasetWire::deserialize(deserializer)?;
+        for items in &wire.by_user {
+            if let Some(&max) = items.iter().max() {
+                if max as usize >= wire.num_items {
+                    return Err(serde::de::Error::custom(format!(
+                        "item id {max} out of range ({} items)",
+                        wire.num_items
+                    )));
+                }
+            }
+        }
+        Ok(Dataset::from_user_items(wire.name, wire.num_items, wire.by_user))
+    }
+}
+
+impl Dataset {
+    /// Serializes to a JSON string (reproducible experiment exports).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialization is infallible")
+    }
+
+    /// Parses a dataset from JSON, re-validating all invariants.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let d = Dataset::from_pairs("rt", 3, 9, vec![(0, 4), (1, 2), (2, 8), (0, 1)]);
+        let back = Dataset::from_json(&d.to_json()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn unsorted_json_is_normalized() {
+        let json = r#"{"name":"x","num_items":5,"by_user":[[3,1,3,0]]}"#;
+        let d = Dataset::from_json(json).unwrap();
+        assert_eq!(d.user_items(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn out_of_range_json_is_rejected() {
+        let json = r#"{"name":"x","num_items":2,"by_user":[[7]]}"#;
+        let err = Dataset::from_json(json).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Dataset::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Parsers for the original dataset formats.
+//!
+//! Experiments default to the synthetic presets, but users who have the
+//! real dumps can load them here:
+//!
+//! * [`parse_movielens_100k`] — tab-separated `user \t item \t rating \t ts`
+//!   (the `u.data` file). Ratings are binarized (any rating counts as an
+//!   interaction, as the paper "transform[s] all positive ratings to 1").
+//! * [`parse_pairs_csv`] — generic `user,item` CSV with optional header,
+//!   covering the common Steam-200K / Gowalla exports.
+//!
+//! Ids in the source files are arbitrary; both parsers reindex users and
+//! items densely in first-appearance order.
+
+use crate::dataset::Dataset;
+use std::collections::HashMap;
+
+/// Errors produced while parsing dataset files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not have enough columns.
+    MissingColumn { line: usize },
+    /// A column could not be parsed as an id.
+    BadField { line: usize, field: String },
+    /// The file contained no interactions.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingColumn { line } => write!(f, "line {line}: missing column"),
+            ParseError::BadField { line, field } => {
+                write!(f, "line {line}: cannot parse id from {field:?}")
+            }
+            ParseError::Empty => write!(f, "no interactions found"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Densely reindexes raw ids in first-appearance order.
+#[derive(Default)]
+struct Reindexer {
+    map: HashMap<String, u32>,
+}
+
+impl Reindexer {
+    fn resolve(&mut self, raw: &str) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(raw.to_string()).or_insert(next)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn build(
+    name: &str,
+    rows: Vec<(String, String)>,
+) -> Result<Dataset, ParseError> {
+    if rows.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut users = Reindexer::default();
+    let mut items = Reindexer::default();
+    let pairs: Vec<(u32, u32)> = rows
+        .iter()
+        .map(|(u, i)| (users.resolve(u), items.resolve(i)))
+        .collect();
+    Ok(Dataset::from_pairs(name, users.len(), items.len(), pairs))
+}
+
+/// Parses MovieLens-100K `u.data` content (`user \t item \t rating \t ts`).
+pub fn parse_movielens_100k(name: &str, content: &str) -> Result<Dataset, ParseError> {
+    let mut rows = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cols = line.split_whitespace();
+        let user = cols.next().ok_or(ParseError::MissingColumn { line: lineno + 1 })?;
+        let item = cols.next().ok_or(ParseError::MissingColumn { line: lineno + 1 })?;
+        for field in [user, item] {
+            if field.parse::<u64>().is_err() {
+                return Err(ParseError::BadField { line: lineno + 1, field: field.to_string() });
+            }
+        }
+        rows.push((user.to_string(), item.to_string()));
+    }
+    build(name, rows)
+}
+
+/// Parses `user,item[,...]` CSV content; a non-numeric first row is treated
+/// as a header and skipped.
+pub fn parse_pairs_csv(name: &str, content: &str) -> Result<Dataset, ParseError> {
+    let mut rows = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cols = line.split(',').map(str::trim);
+        let user = cols.next().ok_or(ParseError::MissingColumn { line: lineno + 1 })?;
+        let item = cols.next().ok_or(ParseError::MissingColumn { line: lineno + 1 })?;
+        if lineno == 0 && (user.parse::<u64>().is_err() || item.parse::<u64>().is_err()) {
+            continue; // header
+        }
+        if user.is_empty() || item.is_empty() {
+            return Err(ParseError::MissingColumn { line: lineno + 1 });
+        }
+        rows.push((user.to_string(), item.to_string()));
+    }
+    build(name, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movielens_roundtrip() {
+        let content = "196\t242\t3\t881250949\n186\t302\t3\t891717742\n196\t377\t1\t878887116\n";
+        let d = parse_movielens_100k("ml", content).unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 3);
+        assert_eq!(d.num_interactions(), 3);
+        // user 196 → 0 with items 242→0, 377→2
+        assert_eq!(d.user_items(0), &[0, 2]);
+    }
+
+    #[test]
+    fn movielens_rejects_garbage() {
+        let err = parse_movielens_100k("ml", "abc\tdef\t3\t0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadField { line: 1, .. }));
+    }
+
+    #[test]
+    fn movielens_rejects_short_line() {
+        let err = parse_movielens_100k("ml", "196\n").unwrap_err();
+        assert_eq!(err, ParseError::MissingColumn { line: 1 });
+    }
+
+    #[test]
+    fn csv_with_header() {
+        let content = "user_id,item_id\n10,20\n10,21\n11,20\n";
+        let d = parse_pairs_csv("csv", content).unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_items(), 2);
+        assert_eq!(d.num_interactions(), 3);
+    }
+
+    #[test]
+    fn csv_without_header() {
+        let d = parse_pairs_csv("csv", "1,2\n3,4\n").unwrap();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_interactions(), 2);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(parse_pairs_csv("csv", "\n\n").unwrap_err(), ParseError::Empty);
+    }
+
+    #[test]
+    fn duplicate_interactions_collapse() {
+        let d = parse_pairs_csv("csv", "1,2\n1,2\n1,2\n").unwrap();
+        assert_eq!(d.num_interactions(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Negative sampling.
+//!
+//! Implicit-feedback training pairs every positive item with sampled
+//! non-interacted "negative" items; the paper uses a 1:4 positive:negative
+//! ratio throughout.
+
+use rand::Rng;
+
+/// Samples up to `count` *distinct* negative item ids uniformly from the
+/// complement of the **sorted** positive set. The trained pool `V_t` is a
+/// set of items, so duplicates are never returned; when the complement has
+/// fewer than `count` items, all of it is returned (shuffled).
+///
+/// # Panics
+/// If every item is positive (no negatives exist) and `count > 0`.
+pub fn sample_negatives(
+    sorted_positives: &[u32],
+    num_items: usize,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<u32> {
+    debug_assert!(sorted_positives.windows(2).all(|w| w[0] < w[1]), "positives must be sorted");
+    let available = num_items - sorted_positives.len();
+    assert!(
+        count == 0 || available > 0,
+        "cannot sample negatives: all {num_items} items are positive"
+    );
+    let count = count.min(available);
+    // dense candidate pool when the request covers most of the complement,
+    // rejection sampling otherwise
+    if count * 3 >= available {
+        let mut pool: Vec<u32> = (0..num_items as u32)
+            .filter(|c| sorted_positives.binary_search(c).is_err())
+            .collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(count);
+        return pool;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let candidate = rng.gen_range(0..num_items as u32);
+        if sorted_positives.binary_search(&candidate).is_err() && seen.insert(candidate) {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+/// The labelled training pool of one client for one epoch: all positives
+/// plus `ratio`× sampled negatives, shuffled. Labels are 1.0 / 0.0.
+///
+/// This is the "trained item pool `V_t`" of the paper (§III-B2): *both*
+/// the positives and the sampled negatives count as trained items.
+pub fn build_training_pool(
+    sorted_positives: &[u32],
+    num_items: usize,
+    ratio: usize,
+    rng: &mut impl Rng,
+) -> Vec<(u32, f32)> {
+    let negatives =
+        sample_negatives(sorted_positives, num_items, sorted_positives.len() * ratio, rng);
+    let mut pool: Vec<(u32, f32)> = sorted_positives
+        .iter()
+        .map(|&i| (i, 1.0))
+        .chain(negatives.into_iter().map(|i| (i, 0.0)))
+        .collect();
+    // Fisher–Yates so batches mix labels
+    for i in (1..pool.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pool.swap(i, j);
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negatives_avoid_positives_and_are_distinct() {
+        let pos = vec![1, 3, 5, 7];
+        let negs = sample_negatives(&pos, 100, 50, &mut crate::test_rng(1));
+        assert_eq!(negs.len(), 50);
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "duplicates returned");
+        for n in negs {
+            assert!(pos.binary_search(&n).is_err(), "sampled positive {n}");
+            assert!(n < 100);
+        }
+    }
+
+    #[test]
+    fn oversized_request_returns_whole_complement() {
+        let pos = vec![0, 2];
+        let negs = sample_negatives(&pos, 6, 50, &mut crate::test_rng(9));
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 3, 4, 5], "complement is {{1,3,4,5}}");
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        assert!(sample_negatives(&[0, 1], 2, 0, &mut crate::test_rng(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "all 3 items are positive")]
+    fn rejects_saturated_item_space() {
+        let _ = sample_negatives(&[0, 1, 2], 3, 1, &mut crate::test_rng(3));
+    }
+
+    #[test]
+    fn pool_has_correct_ratio_and_labels() {
+        let pos = vec![2, 4, 9];
+        let pool = build_training_pool(&pos, 30, 4, &mut crate::test_rng(4));
+        assert_eq!(pool.len(), 3 + 12);
+        let positives: Vec<u32> =
+            pool.iter().filter(|(_, l)| *l == 1.0).map(|&(i, _)| i).collect();
+        let mut sorted = positives.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, pos, "every positive appears exactly once");
+        for &(i, l) in &pool {
+            if l == 0.0 {
+                assert!(pos.binary_search(&i).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_shuffled() {
+        let pos: Vec<u32> = (0..20).map(|i| i * 2).collect();
+        let pool = build_training_pool(&pos, 100, 1, &mut crate::test_rng(5));
+        let first_labels: Vec<f32> = pool.iter().take(20).map(|&(_, l)| l).collect();
+        assert!(
+            first_labels.contains(&0.0),
+            "positives still at the front — pool not shuffled"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Train/test splitting.
+//!
+//! The paper splits every dataset "randomly … into training and test sets
+//! with the ratio of 8:2". We split per user so each client keeps a local
+//! training profile and contributes held-out items to the ranking
+//! evaluation; users with a single interaction keep it for training.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+
+/// A train/test partition of a [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct TrainTestSplit {
+    pub train: Dataset,
+    pub test: Dataset,
+}
+
+impl TrainTestSplit {
+    /// Splits each user's interactions, sending `test_fraction` of them
+    /// (rounded down, but at most `len − 1`) to the test set.
+    pub fn split(dataset: &Dataset, test_fraction: f64, rng: &mut impl Rng) -> Self {
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test_fraction must be in [0, 1), got {test_fraction}"
+        );
+        let mut train_by_user = Vec::with_capacity(dataset.num_users());
+        let mut test_by_user = Vec::with_capacity(dataset.num_users());
+        for u in 0..dataset.num_users() {
+            let mut items: Vec<u32> = dataset.user_items(u as u32).to_vec();
+            // Fisher–Yates
+            for i in (1..items.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                items.swap(i, j);
+            }
+            let n_test = ((items.len() as f64 * test_fraction) as usize)
+                .min(items.len().saturating_sub(1));
+            let test_items = items.split_off(items.len() - n_test);
+            train_by_user.push(items);
+            test_by_user.push(test_items);
+        }
+        let name = dataset.name().to_string();
+        Self {
+            train: Dataset::from_user_items(format!("{name}/train"), dataset.num_items(), train_by_user),
+            test: Dataset::from_user_items(format!("{name}/test"), dataset.num_items(), test_by_user),
+        }
+    }
+
+    /// The paper's 8:2 split.
+    pub fn split_80_20(dataset: &Dataset, rng: &mut impl Rng) -> Self {
+        Self::split(dataset, 0.2, rng)
+    }
+}
+
+/// A train/validation/test partition. The paper holds out 20% for test
+/// and samples validation "from the client's local training set", which
+/// is exactly how this splits: test first, then validation out of the
+/// remaining training interactions.
+#[derive(Clone, Debug)]
+pub struct ThreeWaySplit {
+    pub train: Dataset,
+    pub validation: Dataset,
+    pub test: Dataset,
+}
+
+impl ThreeWaySplit {
+    /// Splits off `test_fraction` for test, then `val_fraction` *of the
+    /// remainder* for validation.
+    pub fn split(
+        dataset: &Dataset,
+        test_fraction: f64,
+        val_fraction: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let outer = TrainTestSplit::split(dataset, test_fraction, rng);
+        let inner = TrainTestSplit::split(&outer.train, val_fraction, rng);
+        let name = dataset.name().to_string();
+        Self {
+            train: inner.train.with_name(format!("{name}/train")),
+            validation: inner.test.with_name(format!("{name}/validation")),
+            test: outer.test,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        let by_user = vec![
+            (0..20).collect::<Vec<u32>>(),
+            vec![3],
+            vec![],
+            (5..15).collect(),
+        ];
+        Dataset::from_user_items("d", 30, by_user)
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let d = dataset();
+        let s = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(1));
+        assert_eq!(
+            s.train.num_interactions() + s.test.num_interactions(),
+            d.num_interactions()
+        );
+        for u in 0..d.num_users() as u32 {
+            for &i in s.test.user_items(u) {
+                assert!(!s.train.contains(u, i), "({u},{i}) in both train and test");
+                assert!(d.contains(u, i), "({u},{i}) not in the original data");
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_is_respected() {
+        let d = dataset();
+        let s = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(2));
+        assert_eq!(s.test.user_items(0).len(), 4); // 20% of 20
+        assert_eq!(s.test.user_items(3).len(), 2); // 20% of 10
+    }
+
+    #[test]
+    fn singleton_profiles_stay_in_train() {
+        let d = dataset();
+        let s = TrainTestSplit::split(&d, 0.9, &mut crate::test_rng(3));
+        assert_eq!(s.train.user_items(1), &[3], "singleton must remain trainable");
+        assert!(s.test.user_items(1).is_empty());
+    }
+
+    #[test]
+    fn empty_users_stay_empty() {
+        let s = TrainTestSplit::split_80_20(&dataset(), &mut crate::test_rng(4));
+        assert!(s.train.user_items(2).is_empty());
+        assert!(s.test.user_items(2).is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = dataset();
+        let a = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(5));
+        let b = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(5));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}
+
+#[cfg(test)]
+mod three_way_tests {
+    use super::*;
+
+    #[test]
+    fn three_way_partitions_exactly() {
+        let by_user = vec![(0..30).collect::<Vec<u32>>(), (5..25).collect()];
+        let d = Dataset::from_user_items("d", 40, by_user);
+        let s = ThreeWaySplit::split(&d, 0.2, 0.1, &mut crate::test_rng(7));
+        assert_eq!(
+            s.train.num_interactions()
+                + s.validation.num_interactions()
+                + s.test.num_interactions(),
+            d.num_interactions()
+        );
+        for u in 0..d.num_users() as u32 {
+            for &i in s.validation.user_items(u) {
+                assert!(!s.train.contains(u, i));
+                assert!(!s.test.contains(u, i));
+            }
+            for &i in s.test.user_items(u) {
+                assert!(!s.train.contains(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn validation_comes_from_the_training_side() {
+        let by_user = vec![(0..50).collect::<Vec<u32>>()];
+        let d = Dataset::from_user_items("d", 60, by_user);
+        let s = ThreeWaySplit::split(&d, 0.2, 0.25, &mut crate::test_rng(8));
+        assert_eq!(s.test.user_items(0).len(), 10); // 20% of 50
+        assert_eq!(s.validation.user_items(0).len(), 10); // 25% of remaining 40
+        assert_eq!(s.train.user_items(0).len(), 30);
+    }
+}

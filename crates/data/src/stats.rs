@@ -1,0 +1,66 @@
+//! Table II style dataset statistics.
+
+use crate::dataset::Dataset;
+use serde::Serialize;
+
+/// Summary statistics of a dataset, matching the rows of the paper's
+/// Table II.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct DatasetStats {
+    pub name: String,
+    pub users: usize,
+    pub items: usize,
+    pub interactions: usize,
+    /// Mean interactions per user ("Average Lengths").
+    pub avg_length: f64,
+    /// Filled fraction of the user×item grid, in percent.
+    pub density_pct: f64,
+}
+
+impl DatasetStats {
+    pub fn of(dataset: &Dataset) -> Self {
+        Self {
+            name: dataset.name().to_string(),
+            users: dataset.num_users(),
+            items: dataset.num_items(),
+            interactions: dataset.num_interactions(),
+            avg_length: dataset.avg_profile_len(),
+            density_pct: dataset.density() * 100.0,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<24} users={:<6} items={:<6} interactions={:<8} avg_len={:<6.1} density={:.2}%",
+            self.name, self.users, self.items, self.interactions, self.avg_length,
+            self.density_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_dataset() {
+        let d = Dataset::from_user_items("x", 10, vec![vec![0, 1, 2], vec![5]]);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.items, 10);
+        assert_eq!(s.interactions, 4);
+        assert!((s.avg_length - 2.0).abs() < 1e-12);
+        assert!((s.density_pct - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let d = Dataset::from_user_items("x", 4, vec![vec![0]]);
+        let line = DatasetStats::of(&d).to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("users=1"));
+    }
+}

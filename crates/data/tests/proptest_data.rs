@@ -1,0 +1,74 @@
+//! Property-based tests of dataset invariants.
+
+use proptest::prelude::*;
+use ptf_data::negative::sample_negatives;
+use ptf_data::{Dataset, TrainTestSplit};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Arbitrary small dataset: up to 12 users over 30 items.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(proptest::collection::vec(0u32..30, 0..20), 1..12)
+        .prop_map(|by_user| Dataset::from_user_items("prop", 30, by_user))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dataset_invariants(d in dataset_strategy()) {
+        // per-user lists sorted + deduplicated
+        for u in 0..d.num_users() as u32 {
+            let items = d.user_items(u);
+            prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        }
+        // pair iteration agrees with counts
+        prop_assert_eq!(d.pairs().count(), d.num_interactions());
+        // item counts sum to interactions
+        prop_assert_eq!(d.item_counts().iter().sum::<usize>(), d.num_interactions());
+    }
+
+    #[test]
+    fn split_partitions_exactly(d in dataset_strategy(), seed in 0u64..500) {
+        let s = TrainTestSplit::split_80_20(&d, &mut rng(seed));
+        prop_assert_eq!(
+            s.train.num_interactions() + s.test.num_interactions(),
+            d.num_interactions()
+        );
+        for u in 0..d.num_users() as u32 {
+            for &i in s.train.user_items(u) {
+                prop_assert!(d.contains(u, i));
+                prop_assert!(!s.test.contains(u, i));
+            }
+            // non-empty users always retain a training item
+            if !d.user_items(u).is_empty() {
+                prop_assert!(!s.train.user_items(u).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn negatives_disjoint_from_positives(
+        positives in proptest::collection::btree_set(0u32..50, 0..30),
+        count in 0usize..60,
+        seed in 0u64..500,
+    ) {
+        let pos: Vec<u32> = positives.into_iter().collect();
+        if pos.len() == 50 {
+            return Ok(()); // saturated space panics by contract
+        }
+        let negs = sample_negatives(&pos, 50, count, &mut rng(seed));
+        prop_assert!(negs.len() <= count);
+        prop_assert_eq!(negs.len(), count.min(50 - pos.len()));
+        let mut dedup = negs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), negs.len(), "duplicates");
+        for n in negs {
+            prop_assert!(pos.binary_search(&n).is_err());
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # ptf-federated
+//!
+//! The federated-learning substrate shared by PTF-FedRec and the
+//! parameter-transmission baselines:
+//!
+//! * [`client`] — per-client data partitions of a dataset (each user *is*
+//!   a client in federated recommendation);
+//! * [`sampler`] — per-round participant selection (`U^t ⊆ U`);
+//! * [`sim`] — round-by-round run traces every protocol reports.
+
+pub mod client;
+pub mod sampler;
+pub mod sim;
+
+pub use client::{partition_clients, ClientData};
+pub use sampler::Participation;
+pub use sim::{RoundTrace, RunTrace};

@@ -1,0 +1,97 @@
+//! Per-round participant selection.
+
+use rand::Rng;
+
+/// Participation policy: which fraction of trainable clients joins a
+/// round. The paper uses full participation (`fraction = 1.0`); partial
+/// participation is supported for scalability studies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Participation {
+    pub fraction: f64,
+    /// Lower bound so tiny fractions still train someone.
+    pub min_clients: usize,
+}
+
+impl Default for Participation {
+    fn default() -> Self {
+        Self { fraction: 1.0, min_clients: 1 }
+    }
+}
+
+impl Participation {
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Samples this round's participant set `U^t` from the trainable
+    /// client ids. Full participation returns the input order unchanged
+    /// (deterministic, no RNG consumption).
+    pub fn sample(&self, trainable: &[u32], rng: &mut impl Rng) -> Vec<u32> {
+        assert!((0.0..=1.0).contains(&self.fraction), "fraction must be in [0,1]");
+        if trainable.is_empty() {
+            return Vec::new();
+        }
+        if self.fraction >= 1.0 {
+            return trainable.to_vec();
+        }
+        let want = ((trainable.len() as f64 * self.fraction).round() as usize)
+            .max(self.min_clients.min(trainable.len()))
+            .min(trainable.len());
+        // partial Fisher–Yates over a copy
+        let mut ids = trainable.to_vec();
+        for i in 0..want {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        ids.truncate(want);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn full_participation_keeps_everyone() {
+        let ids: Vec<u32> = (0..10).collect();
+        assert_eq!(Participation::full().sample(&ids, &mut rng()), ids);
+    }
+
+    #[test]
+    fn fraction_selects_subset() {
+        let ids: Vec<u32> = (0..100).collect();
+        let p = Participation { fraction: 0.25, min_clients: 1 };
+        let sel = p.sample(&ids, &mut rng());
+        assert_eq!(sel.len(), 25);
+        let mut dedup = sel.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 25, "duplicates selected");
+        assert!(sel.iter().all(|&c| c < 100));
+    }
+
+    #[test]
+    fn min_clients_floor() {
+        let ids: Vec<u32> = (0..10).collect();
+        let p = Participation { fraction: 0.01, min_clients: 3 };
+        assert_eq!(p.sample(&ids, &mut rng()).len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(Participation::full().sample(&[], &mut rng()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn rejects_bad_fraction() {
+        let p = Participation { fraction: 1.5, min_clients: 1 };
+        let _ = p.sample(&[1], &mut rng());
+    }
+}

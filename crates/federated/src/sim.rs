@@ -1,0 +1,79 @@
+//! Run traces: what every federated protocol reports per round.
+
+/// Statistics of one global round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundTrace {
+    pub round: u32,
+    /// Mean client-side training loss over this round's participants.
+    pub mean_client_loss: f32,
+    /// Server-side training loss (0 for protocols without server training).
+    pub server_loss: f32,
+    /// Clients that participated.
+    pub participants: usize,
+    /// Total bytes moved this round (all participants, both directions).
+    pub bytes: u64,
+}
+
+/// The full trace of a federated run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunTrace {
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl RunTrace {
+    pub fn push(&mut self, r: RoundTrace) {
+        self.rounds.push(r);
+    }
+
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Final-round mean client loss (NaN-free convenience for tests).
+    pub fn final_client_loss(&self) -> f32 {
+        self.rounds.last().map_or(0.0, |r| r.mean_client_loss)
+    }
+
+    pub fn final_server_loss(&self) -> f32 {
+        self.rounds.last().map_or(0.0, |r| r.server_loss)
+    }
+
+    /// True if the client loss decreased between the first and last round.
+    pub fn client_loss_improved(&self) -> bool {
+        match (self.rounds.first(), self.rounds.last()) {
+            (Some(a), Some(b)) => b.mean_client_loss < a.mean_client_loss,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(round: u32, loss: f32) -> RoundTrace {
+        RoundTrace { round, mean_client_loss: loss, server_loss: 0.1, participants: 4, bytes: 100 }
+    }
+
+    #[test]
+    fn accumulates_rounds() {
+        let mut t = RunTrace::default();
+        t.push(trace(0, 0.9));
+        t.push(trace(1, 0.5));
+        assert_eq!(t.num_rounds(), 2);
+        assert_eq!(t.total_bytes(), 200);
+        assert_eq!(t.final_client_loss(), 0.5);
+        assert!(t.client_loss_improved());
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = RunTrace::default();
+        assert_eq!(t.final_client_loss(), 0.0);
+        assert!(!t.client_loss_improved());
+    }
+}

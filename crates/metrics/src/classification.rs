@@ -1,0 +1,61 @@
+//! Set-based precision / recall / F1 (attack evaluation).
+
+/// Precision, recall and F1 of a predicted set against an actual set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrecisionRecallF1 {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub true_positives: usize,
+}
+
+/// Computes set precision/recall/F1. Both slices must be sorted and
+/// deduplicated.
+pub fn set_f1(predicted: &[u32], actual: &[u32]) -> PrecisionRecallF1 {
+    debug_assert!(predicted.windows(2).all(|w| w[0] < w[1]), "predicted must be sorted");
+    debug_assert!(actual.windows(2).all(|w| w[0] < w[1]), "actual must be sorted");
+    let tp = predicted.iter().filter(|p| actual.binary_search(p).is_ok()).count();
+    let precision = if predicted.is_empty() { 0.0 } else { tp as f64 / predicted.len() as f64 };
+    let recall = if actual.is_empty() { 0.0 } else { tp as f64 / actual.len() as f64 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PrecisionRecallF1 { precision, recall, f1, true_positives: tp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let m = set_f1(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.true_positives, 3);
+    }
+
+    #[test]
+    fn disjoint_prediction() {
+        let m = set_f1(&[4, 5], &[1, 2, 3]);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.true_positives, 0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // precision 1/2, recall 1/4 → F1 = 2·(0.5·0.25)/(0.75) = 1/3
+        let m = set_f1(&[1, 9], &[1, 2, 3, 4]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.25).abs() < 1e-12);
+        assert!((m.f1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(set_f1(&[], &[1]).f1, 0.0);
+        assert_eq!(set_f1(&[1], &[]).f1, 0.0);
+        assert_eq!(set_f1(&[], &[]).f1, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Dataset-level ranking evaluation.
+
+use crate::ranking::{rank_metrics, RankingMetrics};
+
+/// Averaged ranking metrics over the evaluated users.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankingReport {
+    pub metrics: RankingMetrics,
+    /// Users that had at least one held-out item and were averaged.
+    pub users_evaluated: usize,
+    pub k: usize,
+}
+
+impl std::fmt::Display for RankingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Recall@{k}={recall:.4} NDCG@{k}={ndcg:.4} HR@{k}={hr:.4} (over {n} users)",
+            k = self.k,
+            recall = self.metrics.recall,
+            ndcg = self.metrics.ndcg,
+            hr = self.metrics.hit_rate,
+            n = self.users_evaluated
+        )
+    }
+}
+
+/// Evaluates a scoring function over every user.
+///
+/// For each user `u`, `score_items(u)` must return one score per item;
+/// `excluded(u)` returns the (sorted) items to remove from the candidate
+/// pool — normally the user's training items; `relevant(u)` the (sorted)
+/// held-out test items. Users with no relevant items are skipped.
+pub fn evaluate_ranking(
+    num_users: usize,
+    k: usize,
+    mut score_items: impl FnMut(u32) -> Vec<f32>,
+    mut excluded: impl FnMut(u32) -> Vec<u32>,
+    mut relevant: impl FnMut(u32) -> Vec<u32>,
+) -> RankingReport {
+    let mut sum = RankingMetrics::default();
+    let mut n = 0usize;
+    for u in 0..num_users as u32 {
+        let rel = relevant(u);
+        if rel.is_empty() {
+            continue;
+        }
+        let scores = score_items(u);
+        let exc = excluded(u);
+        if let Some(m) = rank_metrics(&scores, &exc, &rel, k) {
+            sum.recall += m.recall;
+            sum.ndcg += m.ndcg;
+            sum.hit_rate += m.hit_rate;
+            sum.precision += m.precision;
+            sum.mrr += m.mrr;
+            sum.map += m.map;
+            n += 1;
+        }
+    }
+    if n > 0 {
+        sum.recall /= n as f64;
+        sum.ndcg /= n as f64;
+        sum.hit_rate /= n as f64;
+        sum.precision /= n as f64;
+        sum.mrr /= n as f64;
+        sum.map /= n as f64;
+    }
+    RankingReport { metrics: sum, users_evaluated: n, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_users_with_test_items() {
+        // user 0: perfect (relevant item ranked first)
+        // user 1: no test items (skipped)
+        // user 2: complete miss
+        let report = evaluate_ranking(
+            3,
+            1,
+            |u| match u {
+                0 => vec![0.9, 0.1, 0.1],
+                _ => vec![0.9, 0.1, 0.1],
+            },
+            |_| vec![],
+            |u| match u {
+                0 => vec![0],
+                1 => vec![],
+                _ => vec![2],
+            },
+        );
+        assert_eq!(report.users_evaluated, 2);
+        assert!((report.metrics.recall - 0.5).abs() < 1e-12);
+        assert!((report.metrics.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_users_is_all_zero() {
+        let report = evaluate_ranking(2, 5, |_| vec![0.0; 3], |_| vec![], |_| vec![]);
+        assert_eq!(report.users_evaluated, 0);
+        assert_eq!(report.metrics.recall, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_k() {
+        let report = evaluate_ranking(1, 20, |_| vec![1.0, 0.0], |_| vec![], |_| vec![0]);
+        let s = report.to_string();
+        assert!(s.contains("Recall@20"), "{s}");
+        assert!(s.contains("NDCG@20"), "{s}");
+    }
+}

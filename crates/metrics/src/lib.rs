@@ -1,0 +1,18 @@
+//! # ptf-metrics
+//!
+//! Evaluation metrics for the PTF-FedRec reproduction:
+//!
+//! * [`ranking`] — Recall@K, NDCG@K, HitRate@K, Precision@K over full-item
+//!   ranking with training-item exclusion (the paper "calculate[s] the
+//!   metrics scores for all items that have not interacted with users").
+//! * [`classification`] — set precision/recall/F1, used to score the
+//!   Top-Guess membership-inference attack (Table V).
+//! * [`eval`] — dataset-level averaging of per-user ranking metrics.
+
+pub mod classification;
+pub mod eval;
+pub mod ranking;
+
+pub use classification::{set_f1, PrecisionRecallF1};
+pub use eval::{evaluate_ranking, RankingReport};
+pub use ranking::{rank_metrics, top_k_indices, RankingMetrics};

@@ -1,0 +1,202 @@
+//! Per-user ranking metrics.
+
+/// Metrics of one ranked list against a relevant set, all in `[0, 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankingMetrics {
+    /// |top-K ∩ relevant| / |relevant|.
+    pub recall: f64,
+    /// DCG@K / IDCG@K with binary relevance.
+    pub ndcg: f64,
+    /// 1 if any relevant item is in the top-K.
+    pub hit_rate: f64,
+    /// |top-K ∩ relevant| / K.
+    pub precision: f64,
+    /// Reciprocal rank of the first relevant item (0 if none retrieved).
+    pub mrr: f64,
+    /// Average precision at K, normalized by min(|relevant|, K).
+    pub map: f64,
+}
+
+/// Indices of the `k` largest scores, excluding `excluded` (sorted ids),
+/// ties broken toward lower index for determinism.
+pub fn top_k_indices(scores: &[f32], excluded: &[u32], k: usize) -> Vec<u32> {
+    debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded must be sorted");
+    let mut candidates: Vec<u32> = (0..scores.len() as u32)
+        .filter(|i| excluded.binary_search(i).is_err())
+        .collect();
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    // partial selection, then exact ordering of the selected head
+    candidates.select_nth_unstable_by(k - 1, |&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    let mut head: Vec<u32> = candidates[..k].to_vec();
+    head.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    head
+}
+
+/// Ranks all non-excluded items by `scores` and evaluates the top-`k`
+/// against the sorted `relevant` set.
+///
+/// Returns `None` when `relevant` is empty (the user contributes nothing
+/// to the average, matching common recsys evaluation practice).
+pub fn rank_metrics(
+    scores: &[f32],
+    excluded: &[u32],
+    relevant: &[u32],
+    k: usize,
+) -> Option<RankingMetrics> {
+    debug_assert!(relevant.windows(2).all(|w| w[0] < w[1]), "relevant must be sorted");
+    if relevant.is_empty() {
+        return None;
+    }
+    let top = top_k_indices(scores, excluded, k);
+    let mut hits = 0usize;
+    let mut dcg = 0.0f64;
+    let mut mrr = 0.0f64;
+    let mut ap_sum = 0.0f64;
+    for (pos, &i) in top.iter().enumerate() {
+        if relevant.binary_search(&i).is_ok() {
+            hits += 1;
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+            if mrr == 0.0 {
+                mrr = 1.0 / (pos + 1) as f64;
+            }
+            // precision at this hit's position
+            ap_sum += hits as f64 / (pos + 1) as f64;
+        }
+    }
+    let ideal_hits = relevant.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    Some(RankingMetrics {
+        recall: hits as f64 / relevant.len() as f64,
+        ndcg: if idcg > 0.0 { dcg / idcg } else { 0.0 },
+        hit_rate: if hits > 0 { 1.0 } else { 0.0 },
+        precision: if k > 0 { hits as f64 / k as f64 } else { 0.0 },
+        mrr,
+        map: if ideal_hits > 0 { ap_sum / ideal_hits as f64 } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&scores, &[], 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&scores, &[], 10), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn top_k_excludes() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&scores, &[1, 3], 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_index() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&scores, &[], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        // relevant items hold the top positions
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let m = rank_metrics(&scores, &[], &[0, 1], 2).unwrap();
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+        assert_eq!(m.hit_rate, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.map, 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_scores_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let m = rank_metrics(&scores, &[], &[2], 2).unwrap();
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+        assert_eq!(m.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn ndcg_position_discount() {
+        // one relevant item at rank 2 (0-based position 1)
+        let scores = [0.9, 0.8, 0.1];
+        let m = rank_metrics(&scores, &[], &[1], 2).unwrap();
+        let expected = (1.0 / 3.0f64.log2()) / 1.0; // dcg at pos 1, idcg at pos 0
+        assert!((m.ndcg - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_at_20_shape() {
+        // 5 relevant, 2 retrieved in top-20 → recall 0.4
+        let mut scores = vec![0.0f32; 100];
+        scores[3] = 0.99;
+        scores[7] = 0.98;
+        for (rank, idx) in (40..58).enumerate() {
+            scores[idx] = 0.9 - rank as f32 * 0.01;
+        }
+        let m = rank_metrics(&scores, &[], &[3, 7, 90, 95, 99], 20).unwrap();
+        assert!((m.recall - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relevant_gives_none() {
+        assert!(rank_metrics(&[0.1, 0.2], &[], &[], 2).is_none());
+    }
+
+    #[test]
+    fn excluded_relevant_items_cannot_be_retrieved() {
+        // the single relevant item is excluded from candidates (it was a
+        // training item) — metrics must be 0, not a crash
+        let scores = [0.9, 0.1];
+        let m = rank_metrics(&scores, &[0], &[0], 1).unwrap();
+        assert_eq!(m.recall, 0.0);
+    }
+}
+
+
+#[cfg(test)]
+mod mrr_map_tests {
+    use super::*;
+
+    #[test]
+    fn mrr_is_reciprocal_rank_of_first_hit() {
+        // first relevant item lands at position 2 (0-based 1)
+        let scores = [0.9f32, 0.8, 0.7];
+        let m = rank_metrics(&scores, &[], &[1], 3).unwrap();
+        assert!((m.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_averages_precision_at_hits() {
+        // relevant at positions 1 and 3 → AP = (1/1 + 2/3)/2
+        let scores = [0.9f32, 0.8, 0.7, 0.6];
+        let m = rank_metrics(&scores, &[], &[0, 2], 4).unwrap();
+        let expected = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((m.map - expected).abs() < 1e-12, "{}", m.map);
+    }
+
+    #[test]
+    fn miss_gives_zero_mrr_and_map() {
+        let scores = [0.9f32, 0.8];
+        let m = rank_metrics(&scores, &[], &[1], 1).unwrap();
+        assert_eq!(m.mrr, 0.0);
+        assert_eq!(m.map, 0.0);
+    }
+}

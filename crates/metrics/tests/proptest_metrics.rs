@@ -1,0 +1,91 @@
+//! Property-based tests of the ranking metrics.
+
+use proptest::prelude::*;
+use ptf_metrics::{rank_metrics, set_f1, top_k_indices};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn top_k_is_sorted_by_score_and_excludes(
+        scores in proptest::collection::vec(0.0f32..1.0, 1..80),
+        k in 1usize..30,
+        excluded in proptest::collection::btree_set(0u32..80, 0..20),
+    ) {
+        let excluded: Vec<u32> =
+            excluded.into_iter().filter(|&i| (i as usize) < scores.len()).collect();
+        let top = top_k_indices(&scores, &excluded, k);
+        prop_assert!(top.len() <= k);
+        // descending scores
+        for w in top.windows(2) {
+            prop_assert!(scores[w[0] as usize] >= scores[w[1] as usize]);
+        }
+        // exclusion respected
+        for i in &top {
+            prop_assert!(excluded.binary_search(i).is_err());
+        }
+        // completeness: as many as available
+        prop_assert_eq!(top.len(), k.min(scores.len() - excluded.len()));
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        scores in proptest::collection::vec(0.0f32..1.0, 2..60),
+        relevant in proptest::collection::btree_set(0u32..60, 1..15),
+        k in 1usize..25,
+    ) {
+        let relevant: Vec<u32> =
+            relevant.into_iter().filter(|&i| (i as usize) < scores.len()).collect();
+        if relevant.is_empty() {
+            return Ok(());
+        }
+        let m = rank_metrics(&scores, &[], &relevant, k).unwrap();
+        for v in [m.recall, m.ndcg, m.hit_rate, m.precision] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        // hit_rate is 1 iff recall > 0
+        prop_assert_eq!(m.hit_rate > 0.0, m.recall > 0.0);
+        // precision·k == recall·|relevant| (both count hits)
+        let hits_from_p = m.precision * k as f64;
+        let hits_from_r = m.recall * relevant.len() as f64;
+        prop_assert!((hits_from_p - hits_from_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_scores_give_perfect_metrics(
+        n_rel in 1usize..10,
+        n_items in 10usize..50,
+    ) {
+        let n_rel = n_rel.min(n_items);
+        // relevant items hold the highest scores
+        let scores: Vec<f32> = (0..n_items)
+            .map(|i| if i < n_rel { 1.0 } else { 0.1 })
+            .collect();
+        let relevant: Vec<u32> = (0..n_rel as u32).collect();
+        let m = rank_metrics(&scores, &[], &relevant, n_rel).unwrap();
+        prop_assert_eq!(m.recall, 1.0);
+        prop_assert!((m.ndcg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_symmetric_in_perfect_cases(
+        set in proptest::collection::btree_set(0u32..100, 1..30),
+    ) {
+        let v: Vec<u32> = set.into_iter().collect();
+        let m = set_f1(&v, &v);
+        prop_assert_eq!(m.f1, 1.0);
+        prop_assert_eq!(m.true_positives, v.len());
+    }
+
+    #[test]
+    fn f1_never_exceeds_precision_or_recall_max(
+        predicted in proptest::collection::btree_set(0u32..40, 0..20),
+        actual in proptest::collection::btree_set(0u32..40, 0..20),
+    ) {
+        let p: Vec<u32> = predicted.into_iter().collect();
+        let a: Vec<u32> = actual.into_iter().collect();
+        let m = set_f1(&p, &a);
+        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+        prop_assert!(m.f1 >= 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ptf-models
+//!
+//! The recommendation models of the PTF-FedRec paper, built from scratch on
+//! the `ptf-tensor` autograd substrate:
+//!
+//! * [`neumf::NeuMf`] — MLP-over-concatenated-embeddings (Eq. 1), the
+//!   default *client* model;
+//! * [`ngcf::Ngcf`] — Neural Graph Collaborative Filtering with the full
+//!   message-passing rule (Eq. 2), the strongest *server* model;
+//! * [`lightgcn::LightGcn`] — simplified propagation-only GCN;
+//! * [`mf`] — matrix factorization with exposed per-sample gradients, the
+//!   substrate the parameter-transmission baselines (FCF/FedMF) decompose.
+//!
+//! All models implement [`traits::Recommender`] and are constructible by
+//! name through [`registry`], which is how the protocol layers stay
+//! model-agnostic (the heart of the paper's "hide your model" property).
+
+pub mod eval;
+pub mod graph;
+pub mod lightgcn;
+pub mod mf;
+pub mod neumf;
+pub mod ngcf;
+pub mod registry;
+pub mod traits;
+
+pub use eval::evaluate_model;
+pub use lightgcn::{LightGcn, LightGcnConfig};
+pub use mf::MfModel;
+pub use neumf::{NeuMf, NeuMfConfig};
+pub use ngcf::{Ngcf, NgcfConfig};
+pub use registry::{build_model, ModelHyper, ModelKind};
+pub use traits::{train_on_samples, Recommender};

@@ -1,0 +1,333 @@
+//! LightGCN — simplified graph convolution (He et al., SIGIR 2020).
+//!
+//! One embedding table over the joint user+item node space; each layer is
+//! a pure normalized-adjacency propagation `E^{(l+1)} = Ã E^{(l)}`; the
+//! final representation is the layer mean `E = mean(E^{(0)}, …, E^{(L)})`
+//! and the score of `(u, i)` is `σ(⟨e_u, e_i⟩)`.
+
+use crate::graph::{empty_propagation, item_node, normalized_bipartite};
+use crate::traits::Recommender;
+use ptf_tensor::prelude::*;
+use ptf_tensor::ParamId;
+use rand::Rng;
+use std::cell::RefCell;
+
+/// LightGCN hyperparameters (defaults follow §IV-D: dim 32, 3 layers).
+#[derive(Clone, Debug)]
+pub struct LightGcnConfig {
+    pub dim: usize,
+    pub layers: usize,
+    pub lr: f32,
+}
+
+impl Default for LightGcnConfig {
+    fn default() -> Self {
+        Self { dim: 32, layers: 3, lr: 1e-3 }
+    }
+}
+
+/// The LightGCN model.
+pub struct LightGcn {
+    num_users: usize,
+    num_items: usize,
+    layers: usize,
+    params: Params,
+    emb: ParamId,
+    prop: PropagationMatrix,
+    adam: Adam,
+    /// Final propagated embeddings, invalidated on training/graph changes.
+    cache: RefCell<Option<Matrix>>,
+}
+
+impl LightGcn {
+    pub fn new(
+        num_users: usize,
+        num_items: usize,
+        cfg: &LightGcnConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_users > 0 && num_items > 0, "empty model");
+        assert!(cfg.layers > 0, "LightGCN needs at least one propagation layer");
+        let mut params = Params::new();
+        let emb = params.push("emb", Matrix::randn(num_users + num_items, cfg.dim, 0.1, rng));
+        let adam = Adam::with_defaults(&params, cfg.lr);
+        Self {
+            num_users,
+            num_items,
+            layers: cfg.layers,
+            params,
+            emb,
+            prop: empty_propagation(num_users, num_items),
+            adam,
+            cache: RefCell::new(None),
+        }
+    }
+
+    /// Builds the layer-mean node embeddings in the autograd graph.
+    fn build_final(&self, g: &mut Graph<'_>) -> Var {
+        let e0 = g.param(self.emb);
+        let mut acc = e0;
+        let mut e = e0;
+        for _ in 0..self.layers {
+            e = g.spmm(&self.prop, e);
+            acc = g.add(acc, e);
+        }
+        g.scale(acc, 1.0 / (self.layers + 1) as f32)
+    }
+
+    fn ensure_cache(&self) {
+        if self.cache.borrow().is_none() {
+            let mut g = Graph::new(&self.params);
+            let f = self.build_final(&mut g);
+            *self.cache.borrow_mut() = Some(g.value(f).clone());
+        }
+    }
+
+    fn invalidate(&mut self) {
+        *self.cache.get_mut() = None;
+    }
+
+    /// One optimizer step of the *pairwise* BPR objective the original
+    /// LightGCN paper trains with: for each `(user, pos_item, neg_item)`
+    /// triple, push `⟨e_u, e_pos⟩` above `⟨e_u, e_neg⟩`. Returns the mean
+    /// BPR loss. (The federated protocols use the pointwise
+    /// [`Recommender::train_batch`] because soft labels cross the wire;
+    /// this method serves centralized/ablation use.)
+    pub fn train_bpr_batch(&mut self, batch: &[(u32, u32, u32)]) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        self.invalidate();
+        let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
+        let pos: Vec<u32> =
+            batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let neg: Vec<u32> =
+            batch.iter().map(|&(_, _, j)| item_node(self.num_users, j)).collect();
+        let (grads, loss) = {
+            let mut g = Graph::new(&self.params);
+            let f = self.build_final(&mut g);
+            let u = g.gather(f, &users);
+            let p = g.gather(f, &pos);
+            let n = g.gather(f, &neg);
+            let pos_logits = g.row_dot(u, p);
+            let neg_logits = g.row_dot(u, n);
+            let loss = g.bpr_loss(pos_logits, neg_logits);
+            (g.backward(loss), g.scalar(loss))
+        };
+        self.adam.step(&mut self.params, &grads);
+        loss
+    }
+}
+
+impl Recommender for LightGcn {
+    fn name(&self) -> &'static str {
+        "LightGCN"
+    }
+
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn num_params(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        debug_assert!((user as usize) < self.num_users, "user id out of range");
+        self.ensure_cache();
+        let cache = self.cache.borrow();
+        let emb = cache.as_ref().expect("cache ensured above");
+        let u = emb.row(user as usize);
+        items
+            .iter()
+            .map(|&i| {
+                debug_assert!((i as usize) < self.num_items, "item id out of range");
+                let v = emb.row(item_node(self.num_users, i) as usize);
+                let dot: f32 = u.iter().zip(v).map(|(&a, &b)| a * b).sum();
+                stable_sigmoid(dot)
+            })
+            .collect()
+    }
+
+    fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        self.invalidate();
+        let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
+        let items: Vec<u32> =
+            batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
+        let (grads, loss) = {
+            let mut g = Graph::new(&self.params);
+            let f = self.build_final(&mut g);
+            let u = g.gather(f, &users);
+            let v = g.gather(f, &items);
+            let logits = g.row_dot(u, v);
+            let loss = g.bce_with_logits(logits, &labels);
+            (g.backward(loss), g.scalar(loss))
+        };
+        self.adam.step(&mut self.params, &grads);
+        loss
+    }
+
+    fn set_graph(&mut self, edges: &[(u32, u32, f32)]) {
+        self.prop = normalized_bipartite(self.num_users, self.num_items, edges);
+        self.invalidate();
+    }
+
+    fn export_state(&self) -> Option<String> {
+        serde_json::to_string(&self.params).ok()
+    }
+
+    fn import_state(&mut self, json: &str) -> Result<(), String> {
+        let loaded: Params =
+            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
+        self.params.load_state_from(&loaded)?;
+        self.invalidate();
+        Ok(())
+    }
+}
+
+#[inline]
+pub(crate) fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    fn tiny() -> LightGcn {
+        let cfg = LightGcnConfig { dim: 8, layers: 2, lr: 0.02 };
+        LightGcn::new(4, 6, &cfg, &mut test_rng(3))
+    }
+
+    #[test]
+    fn param_count_is_one_table() {
+        let m = tiny();
+        assert_eq!(m.num_params(), (4 + 6) * 8);
+    }
+
+    #[test]
+    fn layer_mean_matches_hand_computation() {
+        // 1 user, 1 item, 1 layer: Ã = [[0,1],[1,0]] after normalization.
+        let cfg = LightGcnConfig { dim: 2, layers: 1, lr: 0.01 };
+        let mut m = LightGcn::new(1, 1, &cfg, &mut test_rng(4));
+        m.set_graph(&[(0, 0, 1.0)]);
+        let e = m.params.get(m.emb).clone();
+        m.ensure_cache();
+        let cache = m.cache.borrow();
+        let f = cache.as_ref().unwrap();
+        // final_u = (e_u + e_i)/2, final_i = (e_i + e_u)/2
+        for c in 0..2 {
+            let mean = (e.get(0, c) + e.get(1, c)) / 2.0;
+            assert!((f.get(0, c) - mean).abs() < 1e-6);
+            assert!((f.get(1, c) - mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_graph_still_scores() {
+        let m = tiny();
+        let s = m.score(0, &[0, 1, 2]);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn training_reduces_loss_and_separates() {
+        let mut m = tiny();
+        m.set_graph(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let batch: Vec<(u32, u32, f32)> =
+            vec![(0, 0, 1.0), (0, 3, 0.0), (1, 1, 1.0), (1, 4, 0.0)];
+        let first = m.train_batch(&batch);
+        let mut last = first;
+        for _ in 0..250 {
+            last = m.train_batch(&batch);
+        }
+        assert!(last < first * 0.5, "loss did not shrink: {first} → {last}");
+        let s = m.score(0, &[0, 3]);
+        assert!(s[0] > s[1], "positive not ranked above negative: {s:?}");
+    }
+
+    #[test]
+    fn cache_invalidated_by_training() {
+        let mut m = tiny();
+        let before = m.score(0, &[0])[0];
+        for _ in 0..50 {
+            m.train_batch(&[(0, 0, 1.0)]);
+        }
+        let after = m.score(0, &[0])[0];
+        assert!(after > before, "training had no visible effect: {before} vs {after}");
+    }
+
+    #[test]
+    fn cache_invalidated_by_graph_change() {
+        let mut m = tiny();
+        let before = m.score(0, &[0])[0];
+        m.set_graph(&[(0, 0, 1.0), (1, 0, 1.0)]);
+        let after = m.score(0, &[0])[0];
+        assert_ne!(before, after, "graph change should alter propagation");
+    }
+
+    #[test]
+    fn propagation_couples_neighbors() {
+        // two users sharing an item should end closer than strangers
+        let cfg = LightGcnConfig { dim: 8, layers: 2, lr: 0.05 };
+        let mut m = LightGcn::new(3, 3, &cfg, &mut test_rng(5));
+        m.set_graph(&[(0, 0, 1.0), (1, 0, 1.0), (2, 2, 1.0)]);
+        for _ in 0..150 {
+            m.train_batch(&[(0, 0, 1.0), (1, 0, 1.0), (2, 2, 1.0), (0, 1, 0.0), (2, 0, 0.0)]);
+        }
+        // user 1 never trained on item 0's pair but propagation links them
+        let s_linked = m.score(1, &[0])[0];
+        let s_unlinked = m.score(2, &[0])[0];
+        assert!(
+            s_linked > s_unlinked,
+            "graph propagation did not transfer preference: {s_linked} vs {s_unlinked}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod bpr_tests {
+    use super::*;
+    use crate::traits::Recommender;
+    use ptf_tensor::test_rng;
+
+    #[test]
+    fn bpr_training_ranks_positives_above_negatives() {
+        let cfg = LightGcnConfig { dim: 8, layers: 2, lr: 0.05 };
+        let mut m = LightGcn::new(3, 6, &cfg, &mut test_rng(11));
+        m.set_graph(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let batch: Vec<(u32, u32, u32)> =
+            vec![(0, 0, 3), (0, 0, 4), (1, 1, 5), (2, 2, 3)];
+        let first = m.train_bpr_batch(&batch);
+        let mut last = first;
+        for _ in 0..150 {
+            last = m.train_bpr_batch(&batch);
+        }
+        assert!(last < first, "BPR loss did not improve: {first} → {last}");
+        let s = m.score(0, &[0, 3]);
+        assert!(s[0] > s[1], "BPR failed to rank positive first: {s:?}");
+    }
+
+    #[test]
+    fn bpr_empty_batch_is_noop() {
+        let cfg = LightGcnConfig { dim: 4, layers: 1, lr: 0.05 };
+        let mut m = LightGcn::new(2, 3, &cfg, &mut test_rng(12));
+        let before = m.score(0, &[0]);
+        assert_eq!(m.train_bpr_batch(&[]), 0.0);
+        assert_eq!(m.score(0, &[0]), before);
+    }
+}

@@ -1,0 +1,214 @@
+//! Matrix factorization: the workhorse of the parameter-transmission
+//! baselines (FCF, FedMF) and a centralized reference point.
+//!
+//! Unlike the autograd-backed models, MF exposes its per-sample gradient
+//! math directly — the federated baselines need raw item-embedding
+//! gradients as *protocol messages* (FCF uploads them in the clear, FedMF
+//! encrypts them), so the math must be callable outside a training step.
+
+use crate::lightgcn::stable_sigmoid;
+use crate::traits::Recommender;
+use ptf_tensor::Matrix;
+use rand::Rng;
+
+/// Numerically stable BCE of a logit against a (soft) target.
+pub fn bce_loss(logit: f32, target: f32) -> f32 {
+    logit.max(0.0) - logit * target + (-logit.abs()).exp().ln_1p()
+}
+
+/// Per-sample MF gradients for `σ(⟨u, v⟩ + b) ≈ label` under BCE with L2
+/// regularization `reg` on both embeddings.
+///
+/// Returns `(du, dv, db, loss)`.
+pub fn mf_gradients(
+    user_vec: &[f32],
+    item_vec: &[f32],
+    item_bias: f32,
+    label: f32,
+    reg: f32,
+) -> (Vec<f32>, Vec<f32>, f32, f32) {
+    debug_assert_eq!(user_vec.len(), item_vec.len());
+    let logit: f32 =
+        user_vec.iter().zip(item_vec).map(|(&a, &b)| a * b).sum::<f32>() + item_bias;
+    let err = stable_sigmoid(logit) - label;
+    let du: Vec<f32> = user_vec
+        .iter()
+        .zip(item_vec)
+        .map(|(&u, &v)| err * v + reg * u)
+        .collect();
+    let dv: Vec<f32> = user_vec
+        .iter()
+        .zip(item_vec)
+        .map(|(&u, &v)| err * u + reg * v)
+        .collect();
+    (du, dv, err, bce_loss(logit, label))
+}
+
+/// Applies one SGD step in place; returns the sample's loss.
+pub fn mf_sgd_step(
+    user_vec: &mut [f32],
+    item_vec: &mut [f32],
+    item_bias: &mut f32,
+    label: f32,
+    lr: f32,
+    reg: f32,
+) -> f32 {
+    let (du, dv, db, loss) = mf_gradients(user_vec, item_vec, *item_bias, label, reg);
+    for (u, d) in user_vec.iter_mut().zip(&du) {
+        *u -= lr * d;
+    }
+    for (v, d) in item_vec.iter_mut().zip(&dv) {
+        *v -= lr * d;
+    }
+    *item_bias -= lr * db;
+    loss
+}
+
+/// A plain MF model (user table, item table, item bias) implementing
+/// [`Recommender`] with per-sample SGD. Used as a centralized sanity
+/// baseline and as the building block the federated baselines decompose.
+pub struct MfModel {
+    pub user_emb: Matrix,
+    pub item_emb: Matrix,
+    pub item_bias: Vec<f32>,
+    pub lr: f32,
+    pub reg: f32,
+}
+
+impl MfModel {
+    pub fn new(num_users: usize, num_items: usize, dim: usize, lr: f32, rng: &mut impl Rng) -> Self {
+        Self {
+            user_emb: Matrix::randn(num_users, dim, 0.1, rng),
+            item_emb: Matrix::randn(num_items, dim, 0.1, rng),
+            item_bias: vec![0.0; num_items],
+            lr,
+            reg: 1e-4,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.user_emb.cols()
+    }
+
+    pub fn logit(&self, user: u32, item: u32) -> f32 {
+        let u = self.user_emb.row(user as usize);
+        let v = self.item_emb.row(item as usize);
+        u.iter().zip(v).map(|(&a, &b)| a * b).sum::<f32>() + self.item_bias[item as usize]
+    }
+}
+
+impl Recommender for MfModel {
+    fn name(&self) -> &'static str {
+        "MF"
+    }
+
+    fn num_users(&self) -> usize {
+        self.user_emb.rows()
+    }
+
+    fn num_items(&self) -> usize {
+        self.item_emb.rows()
+    }
+
+    fn num_params(&self) -> usize {
+        self.user_emb.len() + self.item_emb.len() + self.item_bias.len()
+    }
+
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        items.iter().map(|&i| stable_sigmoid(self.logit(user, i))).collect()
+    }
+
+    fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for &(u, i, label) in batch {
+            // split borrows: user row and item row live in different matrices
+            let urow = self.user_emb.row(u as usize).to_vec();
+            let mut urow_mut = urow;
+            let vrow = self.item_emb.row_mut(i as usize);
+            let mut bias = self.item_bias[i as usize];
+            total += mf_sgd_step(&mut urow_mut, vrow, &mut bias, label, self.lr, self.reg);
+            self.item_bias[i as usize] = bias;
+            self.user_emb.row_mut(u as usize).copy_from_slice(&urow_mut);
+        }
+        total / batch.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    #[test]
+    fn bce_loss_matches_naive_formula() {
+        for &(x, t) in &[(0.5f32, 1.0f32), (-2.0, 0.0), (3.0, 0.3), (0.0, 0.5)] {
+            let s = stable_sigmoid(x);
+            let naive = -(t * s.ln() + (1.0 - t) * (1.0 - s).ln());
+            assert!((bce_loss(x, t) - naive).abs() < 1e-5, "x={x} t={t}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let u = vec![0.3f32, -0.2, 0.5];
+        let v = vec![-0.1f32, 0.4, 0.2];
+        let bias = 0.05f32;
+        let label = 1.0f32;
+        let (du, dv, db, _) = mf_gradients(&u, &v, bias, label, 0.0);
+        let eps = 1e-3f32;
+        for k in 0..3 {
+            let mut up = u.clone();
+            up[k] += eps;
+            let mut un = u.clone();
+            un[k] -= eps;
+            let logit = |uu: &[f32]| -> f32 {
+                uu.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias
+            };
+            let num = (bce_loss(logit(&up), label) - bce_loss(logit(&un), label)) / (2.0 * eps);
+            assert!((du[k] - num).abs() < 1e-3, "du[{k}]: {} vs {num}", du[k]);
+        }
+        // dv symmetric by construction; spot-check bias
+        let num_db = (bce_loss(
+            u.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias + eps,
+            label,
+        ) - bce_loss(
+            u.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias - eps,
+            label,
+        )) / (2.0 * eps);
+        assert!((db - num_db).abs() < 1e-3);
+        let _ = dv;
+    }
+
+    #[test]
+    fn regularization_pulls_toward_zero() {
+        let u = vec![1.0f32];
+        let v = vec![0.0f32];
+        // err = σ(0) − 0.5 = 0 → gradient is purely the reg term
+        let (du, dv, _, _) = mf_gradients(&u, &v, 0.0, 0.5, 0.1);
+        assert!((du[0] - 0.1).abs() < 1e-6);
+        assert_eq!(dv[0], 0.0);
+    }
+
+    #[test]
+    fn sgd_overfits_tiny_data() {
+        let mut m = MfModel::new(2, 4, 8, 0.1, &mut test_rng(2));
+        let data: Vec<(u32, u32, f32)> =
+            vec![(0, 0, 1.0), (0, 1, 0.0), (1, 2, 1.0), (1, 3, 0.0)];
+        for _ in 0..300 {
+            m.train_batch(&data);
+        }
+        let s0 = m.score(0, &[0, 1]);
+        assert!(s0[0] > 0.8 && s0[1] < 0.2, "{s0:?}");
+    }
+
+    #[test]
+    fn recommender_impl_shapes() {
+        let m = MfModel::new(3, 5, 4, 0.1, &mut test_rng(3));
+        assert_eq!(m.num_params(), 3 * 4 + 5 * 4 + 5);
+        assert_eq!(m.score_all(1).len(), 5);
+        assert_eq!(m.name(), "MF");
+    }
+}

@@ -1,0 +1,245 @@
+//! NeuMF — the paper's "simple and straightforward" client model.
+//!
+//! As specified in the paper (Eq. 1 and §IV-D): user and item embeddings
+//! are concatenated and pushed through an MLP (`64 → 32 → 16` on top of
+//! 32-dim embeddings), then a trainable head `h` produces the logit:
+//! `r̂_ij = σ(hᵀ MLP([u_i, v_j]))`.
+
+use crate::traits::Recommender;
+use ptf_tensor::prelude::*;
+use ptf_tensor::{init, ParamId};
+use rand::Rng;
+
+/// NeuMF hyperparameters (defaults follow §IV-D).
+#[derive(Clone, Debug)]
+pub struct NeuMfConfig {
+    /// Embedding dimension (paper: 32).
+    pub dim: usize,
+    /// MLP layer output widths (paper: 64, 32, 16).
+    pub layers: Vec<usize>,
+    /// Adam learning rate (paper: 0.001).
+    pub lr: f32,
+}
+
+impl Default for NeuMfConfig {
+    fn default() -> Self {
+        Self { dim: 32, layers: vec![64, 32, 16], lr: 1e-3 }
+    }
+}
+
+/// The NeuMF model.
+pub struct NeuMf {
+    num_users: usize,
+    num_items: usize,
+    params: Params,
+    user_emb: ParamId,
+    item_emb: ParamId,
+    /// `(weight, bias)` per MLP layer, then the scoring head.
+    layers: Vec<(ParamId, ParamId)>,
+    head: (ParamId, ParamId),
+    adam: Adam,
+}
+
+impl NeuMf {
+    pub fn new(num_users: usize, num_items: usize, cfg: &NeuMfConfig, rng: &mut impl Rng) -> Self {
+        assert!(num_users > 0 && num_items > 0, "empty model");
+        assert!(!cfg.layers.is_empty(), "NeuMF needs at least one MLP layer");
+        let mut params = Params::new();
+        let user_emb = params.push("user_emb", Matrix::randn(num_users, cfg.dim, 0.1, rng));
+        let item_emb = params.push("item_emb", Matrix::randn(num_items, cfg.dim, 0.1, rng));
+        let mut layers = Vec::with_capacity(cfg.layers.len());
+        let mut fan_in = 2 * cfg.dim;
+        for (l, &width) in cfg.layers.iter().enumerate() {
+            let w = params.push(format!("w{l}"), init::xavier_uniform(fan_in, width, rng));
+            let b = params.push(format!("b{l}"), Matrix::zeros(1, width));
+            layers.push((w, b));
+            fan_in = width;
+        }
+        let head_w = params.push("head_w", init::xavier_uniform(fan_in, 1, rng));
+        let head_b = params.push("head_b", Matrix::zeros(1, 1));
+        let adam = Adam::with_defaults(&params, cfg.lr);
+        Self { num_users, num_items, params, user_emb, item_emb, layers, head: (head_w, head_b), adam }
+    }
+
+    /// Builds the logit column for `(users[k], items[k])` pairs.
+    fn build_logits(&self, g: &mut Graph<'_>, users: &[u32], items: &[u32]) -> Var {
+        let ue = g.param(self.user_emb);
+        let ie = g.param(self.item_emb);
+        let u = g.gather(ue, users);
+        let v = g.gather(ie, items);
+        let mut h = g.concat_cols(u, v);
+        for &(w, b) in &self.layers {
+            let wv = g.param(w);
+            let bv = g.param(b);
+            let lin = g.matmul(h, wv);
+            let lin = g.add_row(lin, bv);
+            h = g.relu(lin);
+        }
+        let (hw, hb) = self.head;
+        let hwv = g.param(hw);
+        let hbv = g.param(hb);
+        let out = g.matmul(h, hwv);
+        g.add_row(out, hbv)
+    }
+
+    fn check_ids(&self, users: &[u32], items: &[u32]) {
+        debug_assert!(users.iter().all(|&u| (u as usize) < self.num_users), "user id out of range");
+        debug_assert!(items.iter().all(|&i| (i as usize) < self.num_items), "item id out of range");
+    }
+}
+
+impl Recommender for NeuMf {
+    fn name(&self) -> &'static str {
+        "NeuMF"
+    }
+
+    fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn num_params(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let users = vec![user; items.len()];
+        self.check_ids(&users, items);
+        let mut g = Graph::new(&self.params);
+        let logits = self.build_logits(&mut g, &users, items);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
+    }
+
+    fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
+        let items: Vec<u32> = batch.iter().map(|&(_, i, _)| i).collect();
+        let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
+        self.check_ids(&users, &items);
+        let (grads, loss) = {
+            let mut g = Graph::new(&self.params);
+            let logits = self.build_logits(&mut g, &users, &items);
+            let loss = g.bce_with_logits(logits, &labels);
+            (g.backward(loss), g.scalar(loss))
+        };
+        self.adam.step(&mut self.params, &grads);
+        loss
+    }
+
+    fn export_state(&self) -> Option<String> {
+        serde_json::to_string(&self.params).ok()
+    }
+
+    fn import_state(&mut self, json: &str) -> Result<(), String> {
+        let loaded: Params =
+            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
+        self.params.load_state_from(&loaded)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    fn tiny() -> NeuMf {
+        let cfg = NeuMfConfig { dim: 8, layers: vec![16, 8], lr: 0.01 };
+        NeuMf::new(5, 12, &cfg, &mut test_rng(1))
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let m = tiny();
+        // embeddings: 5*8 + 12*8; mlp: 16*16+16 + 16*8+8; head: 8*1+1
+        let expected = 5 * 8 + 12 * 8 + (16 * 16 + 16) + (16 * 8 + 8) + (8 + 1);
+        assert_eq!(m.num_params(), expected);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let m = tiny();
+        let s = m.score(0, &[0, 1, 2, 3]);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)), "{s:?}");
+    }
+
+    #[test]
+    fn score_all_default_impl() {
+        let m = tiny();
+        assert_eq!(m.score_all(2).len(), 12);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = tiny();
+        let batch: Vec<(u32, u32, f32)> = vec![
+            (0, 0, 1.0),
+            (0, 1, 0.0),
+            (1, 2, 1.0),
+            (1, 3, 0.0),
+            (2, 4, 1.0),
+            (2, 5, 0.0),
+        ];
+        let first = m.train_batch(&batch);
+        let mut last = first;
+        for _ in 0..120 {
+            last = m.train_batch(&batch);
+        }
+        assert!(last < first * 0.5, "loss did not shrink: {first} → {last}");
+    }
+
+    #[test]
+    fn overfits_to_separate_positives_from_negatives() {
+        let mut m = tiny();
+        let batch: Vec<(u32, u32, f32)> =
+            vec![(0, 0, 1.0), (0, 1, 0.0), (0, 2, 1.0), (0, 3, 0.0)];
+        for _ in 0..200 {
+            m.train_batch(&batch);
+        }
+        let s = m.score(0, &[0, 1, 2, 3]);
+        assert!(s[0] > 0.8 && s[2] > 0.8, "positives low: {s:?}");
+        assert!(s[1] < 0.2 && s[3] < 0.2, "negatives high: {s:?}");
+    }
+
+    #[test]
+    fn soft_labels_are_regressed() {
+        let mut m = tiny();
+        let batch = vec![(0, 0, 0.7f32)];
+        for _ in 0..300 {
+            m.train_batch(&batch);
+        }
+        let s = m.score(0, &[0]);
+        assert!((s[0] - 0.7).abs() < 0.1, "soft target missed: {}", s[0]);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut m = tiny();
+        let before = m.score(0, &[0]);
+        assert_eq!(m.train_batch(&[]), 0.0);
+        assert_eq!(m.score(0, &[0]), before);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = NeuMfConfig::default();
+        let a = NeuMf::new(3, 4, &cfg, &mut test_rng(9));
+        let b = NeuMf::new(3, 4, &cfg, &mut test_rng(9));
+        assert_eq!(a.score(0, &[0, 1]), b.score(0, &[0, 1]));
+    }
+
+    #[test]
+    fn set_graph_is_accepted_and_ignored() {
+        let mut m = tiny();
+        let before = m.score(0, &[0]);
+        m.set_graph(&[(0, 0, 1.0)]);
+        assert_eq!(m.score(0, &[0]), before);
+    }
+}

@@ -1,0 +1,213 @@
+//! Model registry: build any paper model by name.
+//!
+//! Table VIII evaluates every client-model × server-model combination, so
+//! protocols construct models through [`ModelKind`] + [`ModelHyper`]
+//! instead of naming concrete types.
+
+use crate::lightgcn::{LightGcn, LightGcnConfig};
+use crate::neumf::{NeuMf, NeuMfConfig};
+use crate::ngcf::{Ngcf, NgcfConfig};
+use crate::traits::Recommender;
+use rand::Rng;
+
+/// The three architectures the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    NeuMf,
+    Ngcf,
+    LightGcn,
+}
+
+impl ModelKind {
+    pub const ALL: [ModelKind; 3] = [Self::NeuMf, Self::Ngcf, Self::LightGcn];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NeuMf => "NeuMF",
+            Self::Ngcf => "NGCF",
+            Self::LightGcn => "LightGCN",
+        }
+    }
+
+    /// Case-insensitive parse of the paper's model names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "neumf" => Some(Self::NeuMf),
+            "ngcf" => Some(Self::Ngcf),
+            "lightgcn" => Some(Self::LightGcn),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shared hyperparameters (§IV-D defaults).
+#[derive(Clone, Debug)]
+pub struct ModelHyper {
+    /// Embedding dimension (paper: 32).
+    pub dim: usize,
+    /// Adam learning rate (paper: 0.001).
+    pub lr: f32,
+    /// Propagation layers for NGCF/LightGCN (paper: 3).
+    pub gcn_layers: usize,
+    /// MLP widths for NeuMF (paper: 64, 32, 16).
+    pub mlp_layers: Vec<usize>,
+    /// L2 weight decay for NGCF's propagation weights/embeddings.
+    pub ngcf_reg: f32,
+    /// NGCF message dropout rate (reference implementation: 0.1).
+    pub ngcf_dropout: f32,
+}
+
+impl Default for ModelHyper {
+    fn default() -> Self {
+        Self { dim: 32, lr: 1e-3, gcn_layers: 3, mlp_layers: vec![64, 32, 16], ngcf_reg: 2e-2, ngcf_dropout: 0.1 }
+    }
+}
+
+impl ModelHyper {
+    /// A reduced configuration for quick experiments and tests.
+    pub fn small() -> Self {
+        Self { dim: 16, lr: 5e-3, gcn_layers: 2, mlp_layers: vec![32, 16], ngcf_reg: 5e-2, ngcf_dropout: 0.1 }
+    }
+}
+
+/// Constructs a boxed model of the requested architecture.
+pub fn build_model(
+    kind: ModelKind,
+    num_users: usize,
+    num_items: usize,
+    hyper: &ModelHyper,
+    rng: &mut impl Rng,
+) -> Box<dyn Recommender> {
+    match kind {
+        ModelKind::NeuMf => Box::new(NeuMf::new(
+            num_users,
+            num_items,
+            &NeuMfConfig { dim: hyper.dim, layers: hyper.mlp_layers.clone(), lr: hyper.lr },
+            rng,
+        )),
+        ModelKind::Ngcf => Box::new(Ngcf::new(
+            num_users,
+            num_items,
+            &NgcfConfig {
+                dim: hyper.dim,
+                layers: hyper.gcn_layers,
+                lr: hyper.lr,
+                leaky_slope: 0.2,
+                reg: hyper.ngcf_reg,
+                message_dropout: hyper.ngcf_dropout,
+            },
+            rng,
+        )),
+        ModelKind::LightGcn => Box::new(LightGcn::new(
+            num_users,
+            num_items,
+            &LightGcnConfig { dim: hyper.dim, layers: hyper.gcn_layers, lr: hyper.lr },
+            rng,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+            assert_eq!(ModelKind::parse(&kind.name().to_lowercase()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("bert4rec"), None);
+    }
+
+    #[test]
+    fn builds_every_kind() {
+        let hyper = ModelHyper::small();
+        for kind in ModelKind::ALL {
+            let m = build_model(kind, 4, 6, &hyper, &mut test_rng(1));
+            assert_eq!(m.name(), kind.name());
+            assert_eq!(m.num_users(), 4);
+            assert_eq!(m.num_items(), 6);
+            assert!(m.num_params() > 0);
+            let s = m.score(0, &[0, 5]);
+            assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn boxed_models_train_through_the_trait() {
+        let hyper = ModelHyper::small();
+        for kind in ModelKind::ALL {
+            let mut m = build_model(kind, 3, 4, &hyper, &mut test_rng(2));
+            m.set_graph(&[(0, 0, 1.0), (1, 1, 1.0)]);
+            let batch = vec![(0u32, 0u32, 1.0f32), (0, 2, 0.0)];
+            let first = m.train_batch(&batch);
+            let mut last = first;
+            for _ in 0..100 {
+                last = m.train_batch(&batch);
+            }
+            assert!(last < first, "{kind}: loss {first} → {last} did not improve");
+        }
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let h = ModelHyper::default();
+        assert_eq!(h.dim, 32);
+        assert_eq!(h.gcn_layers, 3);
+        assert_eq!(h.mlp_layers, vec![64, 32, 16]);
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use ptf_tensor::test_rng;
+
+    #[test]
+    fn export_import_roundtrip_preserves_scores() {
+        let hyper = ModelHyper::small();
+        for kind in ModelKind::ALL {
+            let mut trained = build_model(kind, 4, 8, &hyper, &mut test_rng(5));
+            trained.set_graph(&[(0, 0, 1.0), (1, 3, 1.0)]);
+            for _ in 0..30 {
+                trained.train_batch(&[(0, 0, 1.0), (0, 5, 0.0), (1, 3, 1.0)]);
+            }
+            let checkpoint = trained.export_state().expect("autograd models checkpoint");
+            let expected = trained.score(0, &[0, 3, 5]);
+
+            let mut fresh = build_model(kind, 4, 8, &hyper, &mut test_rng(99));
+            fresh.set_graph(&[(0, 0, 1.0), (1, 3, 1.0)]);
+            assert_ne!(fresh.score(0, &[0, 3, 5]), expected, "{kind}: seeds collided?");
+            fresh.import_state(&checkpoint).unwrap();
+            assert_eq!(fresh.score(0, &[0, 3, 5]), expected, "{kind}: state not restored");
+        }
+    }
+
+    #[test]
+    fn import_rejects_wrong_architecture() {
+        let hyper = ModelHyper::small();
+        let neumf = build_model(ModelKind::NeuMf, 4, 8, &hyper, &mut test_rng(1));
+        let mut lightgcn = build_model(ModelKind::LightGcn, 4, 8, &hyper, &mut test_rng(2));
+        let ckpt = neumf.export_state().unwrap();
+        assert!(lightgcn.import_state(&ckpt).is_err(), "cross-architecture load must fail");
+        assert!(lightgcn.import_state("{garbage").is_err());
+    }
+
+    #[test]
+    fn import_rejects_wrong_shape() {
+        let hyper = ModelHyper::small();
+        let small = build_model(ModelKind::LightGcn, 4, 8, &hyper, &mut test_rng(3));
+        let mut big = build_model(ModelKind::LightGcn, 4, 16, &hyper, &mut test_rng(4));
+        let ckpt = small.export_state().unwrap();
+        let err = big.import_state(&ckpt).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+}

@@ -1,0 +1,130 @@
+//! The model-agnostic recommender interface.
+//!
+//! PTF-FedRec is explicitly model-agnostic: clients and the server may run
+//! *different* architectures, exchanging only prediction triples. Every
+//! model in this crate therefore implements [`Recommender`], and the
+//! protocol crates program against `Box<dyn Recommender>`.
+
+/// A trainable implicit-feedback recommender.
+///
+/// Scores are probabilities in `[0, 1]` (sigmoid outputs): the protocol
+/// ships them across the network as soft labels, and the receiving side
+/// trains on them with a soft-target binary cross-entropy.
+pub trait Recommender {
+    /// Architecture name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    fn num_users(&self) -> usize;
+
+    fn num_items(&self) -> usize;
+
+    /// Number of scalar parameters (drives parameter-transmission costs).
+    fn num_params(&self) -> usize;
+
+    /// Predicted preference of `user` for each of `items`.
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32>;
+
+    /// Predicted preference of `user` for every item.
+    fn score_all(&self, user: u32) -> Vec<f32> {
+        let items: Vec<u32> = (0..self.num_items() as u32).collect();
+        self.score(user, &items)
+    }
+
+    /// One optimizer step on `(user, item, soft_label)` triples; returns
+    /// the batch's mean BCE loss.
+    fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32;
+
+    /// Rebuilds internal interaction-graph structure from weighted
+    /// `(user, item, weight)` edges. Non-graph models ignore this.
+    fn set_graph(&mut self, _edges: &[(u32, u32, f32)]) {}
+
+    /// Serializes the model's trainable parameters as JSON (the hidden
+    /// server model's checkpoint format), if the model supports it.
+    fn export_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores previously [`Recommender::export_state`]d parameters.
+    /// Names and shapes must match exactly; optimizer state is *not*
+    /// restored (resuming training re-warms Adam's moments).
+    fn import_state(&mut self, _json: &str) -> Result<(), String> {
+        Err("this model does not support checkpointing".to_string())
+    }
+}
+
+/// Trains on `samples` in fixed-size batches (caller shuffles), returning
+/// the mean per-batch loss. Empty input returns 0.
+pub fn train_on_samples(
+    model: &mut dyn Recommender,
+    samples: &[(u32, u32, f32)],
+    batch_size: usize,
+) -> f32 {
+    assert!(batch_size > 0, "batch_size must be positive");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
+    for chunk in samples.chunks(batch_size) {
+        total += model.train_batch(chunk) as f64;
+        batches += 1;
+    }
+    (total / batches as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A degenerate recommender for exercising the trait's defaults.
+    struct Constant {
+        users: usize,
+        items: usize,
+        calls: usize,
+    }
+
+    impl Recommender for Constant {
+        fn name(&self) -> &'static str {
+            "Constant"
+        }
+        fn num_users(&self) -> usize {
+            self.users
+        }
+        fn num_items(&self) -> usize {
+            self.items
+        }
+        fn num_params(&self) -> usize {
+            0
+        }
+        fn score(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+            vec![0.5; items.len()]
+        }
+        fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32 {
+            self.calls += 1;
+            batch.len() as f32
+        }
+    }
+
+    #[test]
+    fn score_all_covers_every_item() {
+        let m = Constant { users: 2, items: 7, calls: 0 };
+        assert_eq!(m.score_all(0).len(), 7);
+    }
+
+    #[test]
+    fn train_on_samples_chunks_and_averages() {
+        let mut m = Constant { users: 1, items: 1, calls: 0 };
+        let samples = vec![(0, 0, 1.0); 10];
+        // batches of 4,4,2 → "losses" 4,4,2 → mean 10/3
+        let loss = train_on_samples(&mut m, &samples, 4);
+        assert_eq!(m.calls, 3);
+        assert!((loss - 10.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_samples_are_noop() {
+        let mut m = Constant { users: 1, items: 1, calls: 0 };
+        assert_eq!(train_on_samples(&mut m, &[], 4), 0.0);
+        assert_eq!(m.calls, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Privacy accounting for the sampling defense.
+//!
+//! The paper grounds its sampling step in *noise-free differential
+//! privacy* (Sun & Lyu, IJCAI 2021): releasing a random subsample of a
+//! dataset is itself (ε, δ)-differentially private, and post-processing
+//! (the swap step) preserves the guarantee. This module provides the
+//! standard privacy-amplification-by-subsampling bookkeeping used to
+//! reason about those guarantees.
+
+/// Amplification by subsampling: running an ε-DP mechanism on a uniform
+/// q-subsample of the data is `ln(1 + q·(e^ε − 1))`-DP.
+pub fn amplified_epsilon(epsilon: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    (1.0 + q * (epsilon.exp() - 1.0)).ln()
+}
+
+/// δ under subsampling scales linearly: δ' = q·δ.
+pub fn amplified_delta(delta: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "sampling rate must be in [0,1], got {q}");
+    q * delta
+}
+
+/// Accounting view of PTF-FedRec's sampling defense over many rounds.
+///
+/// Each round the client reveals a β-subsample of its positives. With the
+/// per-round release treated as an ε₀-DP mechanism (Sun & Lyu's noise-free
+/// analysis supplies ε₀ as a function of the hidden sampling rate), basic
+/// composition over `rounds` gives the totals reported here.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplingAccountant {
+    /// Per-round base epsilon of the release mechanism.
+    pub base_epsilon: f64,
+    /// Worst-case (largest) positive sampling rate, e.g. `beta_range.1`.
+    pub max_rate: f64,
+}
+
+impl SamplingAccountant {
+    /// Effective per-round epsilon after amplification.
+    pub fn per_round_epsilon(&self) -> f64 {
+        amplified_epsilon(self.base_epsilon, self.max_rate)
+    }
+
+    /// Basic (linear) composition across rounds.
+    pub fn total_epsilon(&self, rounds: u32) -> f64 {
+        self.per_round_epsilon() * rounds as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sampling_is_identity() {
+        assert!((amplified_epsilon(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(amplified_delta(1e-5, 1.0), 1e-5);
+    }
+
+    #[test]
+    fn full_suppression_gives_zero() {
+        assert_eq!(amplified_epsilon(3.0, 0.0), 0.0);
+        assert_eq!(amplified_delta(1e-5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn amplification_is_monotone_in_rate() {
+        let eps = 2.0;
+        let mut last = 0.0;
+        for q in [0.1, 0.3, 0.5, 0.9] {
+            let amp = amplified_epsilon(eps, q);
+            assert!(amp > last, "not monotone at q={q}");
+            assert!(amp < eps, "amplified epsilon must shrink");
+            last = amp;
+        }
+    }
+
+    #[test]
+    fn small_q_is_approximately_linear() {
+        // for small q, ln(1+q(e^ε−1)) ≈ q(e^ε−1)
+        let eps = 0.5;
+        let q = 1e-4;
+        let exact = amplified_epsilon(eps, q);
+        let approx = q * (eps.exp() - 1.0);
+        assert!((exact - approx).abs() / approx < 1e-3);
+    }
+
+    #[test]
+    fn accountant_composes_linearly() {
+        let acc = SamplingAccountant { base_epsilon: 1.0, max_rate: 0.5 };
+        let one = acc.total_epsilon(1);
+        assert!((acc.total_epsilon(20) - 20.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn rejects_bad_rate() {
+        let _ = amplified_epsilon(1.0, 1.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the privacy mechanisms' invariants.
+
+use proptest::prelude::*;
+use ptf_privacy::{sample_upload, swap_scores, Ldp, SamplingConfig, ScoredItem, TopGuessAttack};
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampling_counts_respect_config(
+        num_pos in 1usize..200,
+        num_neg in 0usize..800,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SamplingConfig::default();
+        let s = sample_upload(num_pos, num_neg, &cfg, &mut rng(seed));
+        // β bounds: at least 1, at most all positives
+        prop_assert!(!s.positives.is_empty());
+        prop_assert!(s.positives.len() <= num_pos);
+        // γ bounds: requested = round(n_pos · γ) capped by pool
+        let requested = (s.positives.len() as f64 * s.gamma).round() as usize;
+        prop_assert_eq!(s.negatives.len(), requested.min(num_neg));
+        // indices valid and distinct
+        let mut pos = s.positives.clone();
+        pos.sort_unstable();
+        pos.dedup();
+        prop_assert_eq!(pos.len(), s.positives.len());
+        prop_assert!(pos.iter().all(|&i| i < num_pos));
+    }
+
+    #[test]
+    fn swapping_permutes_scores_only(
+        pos_scores in proptest::collection::vec(0.0f32..1.0, 1..40),
+        neg_scores in proptest::collection::vec(0.0f32..1.0, 1..40),
+        lambda in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut pos: Vec<ScoredItem> =
+            pos_scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        let mut neg: Vec<ScoredItem> = neg_scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (1000 + i as u32, s))
+            .collect();
+        let mut before: Vec<f32> =
+            pos.iter().chain(neg.iter()).map(|&(_, s)| s).collect();
+        let ids_before: Vec<u32> =
+            pos.iter().chain(neg.iter()).map(|&(i, _)| i).collect();
+        swap_scores(&mut pos, &mut neg, lambda, &mut rng(seed));
+        let mut after: Vec<f32> =
+            pos.iter().chain(neg.iter()).map(|&(_, s)| s).collect();
+        let ids_after: Vec<u32> =
+            pos.iter().chain(neg.iter()).map(|&(i, _)| i).collect();
+        before.sort_by(f32::total_cmp);
+        after.sort_by(f32::total_cmp);
+        prop_assert_eq!(before, after, "swap must conserve the score multiset");
+        prop_assert_eq!(ids_before, ids_after, "swap must never move item ids");
+    }
+
+    #[test]
+    fn ldp_outputs_stay_in_unit_interval(
+        scores in proptest::collection::vec(0.0f32..1.0, 1..100),
+        epsilon in 0.1f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let mut items: Vec<ScoredItem> =
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        Ldp::new(epsilon).perturb(&mut items, &mut rng(seed));
+        prop_assert!(items.iter().all(|&(_, s)| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn attack_guess_is_subset_of_upload(
+        scores in proptest::collection::vec(0.0f32..1.0, 1..120),
+        gamma in 0.01f64..0.9,
+    ) {
+        let upload: Vec<ScoredItem> =
+            scores.iter().enumerate().map(|(i, &s)| (i as u32 * 3, s)).collect();
+        let guess = TopGuessAttack { gamma }.guess(&upload);
+        // sorted, distinct, within the uploaded id set, correct size
+        prop_assert!(guess.windows(2).all(|w| w[0] < w[1]));
+        for id in &guess {
+            prop_assert!(upload.iter().any(|&(i, _)| i == *id));
+        }
+        let expected = ((upload.len() as f64 * gamma).round() as usize)
+            .clamp(1, upload.len());
+        prop_assert_eq!(guess.len(), expected);
+    }
+
+    #[test]
+    fn attack_f1_bounded(
+        scores in proptest::collection::vec(0.0f32..1.0, 2..60),
+        n_pos in 1usize..20,
+    ) {
+        let upload: Vec<ScoredItem> =
+            scores.iter().enumerate().map(|(i, &s)| (i as u32, s)).collect();
+        let truth: Vec<u32> = (0..n_pos.min(upload.len()) as u32).collect();
+        let m = TopGuessAttack::default().evaluate(&upload, &truth);
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+    }
+}

@@ -1,0 +1,1061 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is built fresh for every training batch ("define-by-run"):
+//! operations execute eagerly, recording just enough structure for
+//! [`Graph::backward`] to replay the chain rule in reverse insertion order.
+//! Parameters live *outside* the graph in a [`Params`] store that the graph
+//! borrows; their gradients are returned in a [`Grads`] aligned with the
+//! store, with embedding-style lookups producing row-sparse buffers.
+
+use crate::grad::{GradBuf, Grads, RowSparse};
+use crate::matrix::Matrix;
+use crate::params::{ParamId, Params};
+use crate::sparse::PropagationMatrix;
+use std::rc::Rc;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Clone, Copy, Debug)]
+enum UnaryOp {
+    Sigmoid,
+    Relu,
+    LeakyRelu(f32),
+    Tanh,
+    Neg,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+enum Source {
+    /// Constant input; receives no gradient.
+    Leaf,
+    /// Trainable parameter; gradient goes to the [`Grads`] store.
+    Param(ParamId),
+    Unary { p: Var, op: UnaryOp },
+    Binary { a: Var, b: Var, op: BinOp },
+    MatMul { a: Var, b: Var },
+    /// `prop.forward() × b`; backward is `prop.backward() × dY`.
+    Spmm { prop: PropagationMatrix, b: Var },
+    Gather { src: Var, idx: Rc<[u32]> },
+    ConcatCols { a: Var, b: Var },
+    /// Row-wise dot product of two n×d matrices → n×1.
+    RowDot { a: Var, b: Var },
+    SumAll { p: Var },
+    MeanAll { p: Var },
+    /// n×d matrix plus a 1×d row vector broadcast over rows.
+    AddRow { m: Var, row: Var },
+    Scale { p: Var, c: f32 },
+    /// Mean binary cross-entropy over an n×1 logit column.
+    BceWithLogits { logits: Var, targets: Rc<[f32]> },
+    /// Mean BPR (pairwise) loss over two n×1 logit columns.
+    BprLoss { pos: Var, neg: Var },
+    /// Squared Frobenius norm → 1×1 (for L2 regularization).
+    FrobSq { p: Var },
+    /// Inverted dropout: forward multiplies by a frozen 0/(1−rate)⁻¹ mask.
+    Dropout { p: Var, mask: Rc<[f32]> },
+}
+
+enum NodeValue {
+    Owned(Matrix),
+    /// Value lives in the borrowed parameter store.
+    Param(ParamId),
+}
+
+struct Node {
+    value: NodeValue,
+    src: Source,
+}
+
+/// A single-use autodiff tape over a borrowed parameter store.
+pub struct Graph<'p> {
+    params: &'p Params,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Graph<'p> {
+    pub fn new(params: &'p Params) -> Self {
+        Self { params, nodes: Vec::with_capacity(32) }
+    }
+
+    fn push(&mut self, value: Matrix, src: Source) -> Var {
+        self.nodes.push(Node { value: NodeValue::Owned(value), src });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        match &self.nodes[v.0].value {
+            NodeValue::Owned(m) => m,
+            NodeValue::Param(id) => self.params.get(*id),
+        }
+    }
+
+    /// Shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.value(v).shape()
+    }
+
+    /// The scalar held by a 1×1 node (e.g. a loss).
+    pub fn scalar(&self, v: Var) -> f32 {
+        self.value(v).scalar()
+    }
+
+    /// Inserts a constant (no gradient flows into it).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Source::Leaf)
+    }
+
+    /// Inserts a reference to parameter `id` (no copy is made).
+    pub fn param(&mut self, id: ParamId) -> Var {
+        assert!(id.index() < self.params.len(), "unknown ParamId");
+        self.nodes.push(Node { value: NodeValue::Param(id), src: Source::Param(id) });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Dense matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Source::MatMul { a, b })
+    }
+
+    /// Sparse propagation `prop × b` (NGCF/LightGCN message passing).
+    pub fn spmm(&mut self, prop: &PropagationMatrix, b: Var) -> Var {
+        let v = prop.forward().matmul(self.value(b));
+        self.push(v, Source::Spmm { prop: prop.clone(), b })
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
+        self.push(v, Source::Binary { a, b, op: BinOp::Add })
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        self.push(v, Source::Binary { a, b, op: BinOp::Sub })
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        self.push(v, Source::Binary { a, b, op: BinOp::Mul })
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, p: Var, c: f32) -> Var {
+        let v = self.value(p).map(|x| c * x);
+        self.push(v, Source::Scale { p, c })
+    }
+
+    pub fn sigmoid(&mut self, p: Var) -> Var {
+        let v = self.value(p).map(sigmoid);
+        self.push(v, Source::Unary { p, op: UnaryOp::Sigmoid })
+    }
+
+    pub fn relu(&mut self, p: Var) -> Var {
+        let v = self.value(p).map(|x| x.max(0.0));
+        self.push(v, Source::Unary { p, op: UnaryOp::Relu })
+    }
+
+    /// Leaky ReLU with negative slope `alpha` (NGCF uses 0.2).
+    pub fn leaky_relu(&mut self, p: Var, alpha: f32) -> Var {
+        let v = self.value(p).map(|x| if x > 0.0 { x } else { alpha * x });
+        self.push(v, Source::Unary { p, op: UnaryOp::LeakyRelu(alpha) })
+    }
+
+    pub fn tanh(&mut self, p: Var) -> Var {
+        let v = self.value(p).map(f32::tanh);
+        self.push(v, Source::Unary { p, op: UnaryOp::Tanh })
+    }
+
+    pub fn neg(&mut self, p: Var) -> Var {
+        let v = self.value(p).map(|x| -x);
+        self.push(v, Source::Unary { p, op: UnaryOp::Neg })
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.shape(a);
+        let (br, bc) = self.shape(b);
+        assert_eq!(ar, br, "concat_cols: row mismatch {ar} vs {br}");
+        let mut out = Matrix::zeros(ar, ac + bc);
+        for r in 0..ar {
+            out.row_mut(r)[..ac].copy_from_slice(self.value(a).row(r));
+            out.row_mut(r)[ac..].copy_from_slice(self.value(b).row(r));
+        }
+        self.push(out, Source::ConcatCols { a, b })
+    }
+
+    /// Gathers rows `idx` of `src` (embedding lookup). Gradients to a
+    /// parameter source are accumulated row-sparsely.
+    pub fn gather(&mut self, src: Var, idx: &[u32]) -> Var {
+        let v = self.value(src).gather_rows(idx);
+        self.push(v, Source::Gather { src, idx: idx.into() })
+    }
+
+    /// Row-wise dot product of two equally-shaped matrices → n×1 column.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let (ar, ac) = self.shape(a);
+        assert_eq!((ar, ac), self.shape(b), "row_dot shape mismatch");
+        let mut out = Matrix::zeros(ar, 1);
+        for r in 0..ar {
+            let dot: f32 = self
+                .value(a)
+                .row(r)
+                .iter()
+                .zip(self.value(b).row(r))
+                .map(|(&x, &y)| x * y)
+                .sum();
+            out.set(r, 0, dot);
+        }
+        self.push(out, Source::RowDot { a, b })
+    }
+
+    /// Sum of all elements → 1×1.
+    pub fn sum_all(&mut self, p: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(p).sum());
+        self.push(v, Source::SumAll { p })
+    }
+
+    /// Mean of all elements → 1×1.
+    pub fn mean_all(&mut self, p: Var) -> Var {
+        let n = self.value(p).len() as f32;
+        let v = Matrix::full(1, 1, self.value(p).sum() / n);
+        self.push(v, Source::MeanAll { p })
+    }
+
+    /// Squared Frobenius norm → 1×1.
+    pub fn frob_sq(&mut self, p: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(p).frob_sq());
+        self.push(v, Source::FrobSq { p })
+    }
+
+    /// Broadcast-adds a 1×d row vector over the rows of an n×d matrix.
+    pub fn add_row(&mut self, m: Var, row: Var) -> Var {
+        let (_, mc) = self.shape(m);
+        let (rr, rc) = self.shape(row);
+        assert_eq!((rr, rc), (1, mc), "add_row: bias must be 1x{mc}, got {rr}x{rc}");
+        let bias = self.value(row).as_slice().to_vec();
+        let mut out = self.value(m).clone();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias) {
+                *o += b;
+            }
+        }
+        self.push(out, Source::AddRow { m, row })
+    }
+
+    /// Numerically stable mean binary cross-entropy over an n×1 logit
+    /// column with (possibly soft) targets in `[0, 1]` → 1×1.
+    ///
+    /// `loss = mean_i [ max(xᵢ,0) − xᵢ·tᵢ + ln(1 + e^{−|xᵢ|}) ]`
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let (n, c) = self.shape(logits);
+        assert_eq!(c, 1, "bce_with_logits expects an n×1 logit column");
+        assert_eq!(n, targets.len(), "bce_with_logits: {n} logits vs {} targets", targets.len());
+        let x = self.value(logits).as_slice();
+        let mut total = 0.0f64;
+        for (&xi, &ti) in x.iter().zip(targets) {
+            debug_assert!((0.0..=1.0).contains(&ti), "target {ti} outside [0,1]");
+            total += (xi.max(0.0) - xi * ti + (-xi.abs()).exp().ln_1p()) as f64;
+        }
+        let v = Matrix::full(1, 1, (total / n as f64) as f32);
+        self.push(v, Source::BceWithLogits { logits, targets: targets.into() })
+    }
+
+    /// Mean Bayesian Personalized Ranking loss `−mean ln σ(xᵖ − xⁿ)` over
+    /// paired n×1 logit columns (positive item vs sampled negative).
+    pub fn bpr_loss(&mut self, pos: Var, neg: Var) -> Var {
+        let (n, c) = self.shape(pos);
+        assert_eq!(c, 1, "bpr_loss expects n×1 logit columns");
+        assert_eq!((n, c), self.shape(neg), "bpr_loss: pos/neg shape mismatch");
+        let p = self.value(pos).as_slice();
+        let q = self.value(neg).as_slice();
+        let mut total = 0.0f64;
+        for (&xp, &xn) in p.iter().zip(q) {
+            let d = xp - xn;
+            // −ln σ(d) = softplus(−d), computed stably
+            total += ((-d).max(0.0) + (-(-d).abs()).exp().ln_1p()) as f64;
+        }
+        let v = Matrix::full(1, 1, (total / n as f64) as f32);
+        self.push(v, Source::BprLoss { pos, neg })
+    }
+
+    /// Inverted dropout with the given drop `rate`: each element is zeroed
+    /// with probability `rate` and survivors are scaled by `1/(1−rate)`,
+    /// so expectations match the identity at inference time (where callers
+    /// simply skip this op).
+    pub fn dropout(&mut self, p: Var, rate: f32, rng: &mut impl rand::Rng) -> Var {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1), got {rate}");
+        if rate == 0.0 {
+            return p;
+        }
+        let keep = 1.0 - rate;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..self.value(p).len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let v = {
+            let x = self.value(p);
+            let mut out = x.clone();
+            for (o, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+                *o *= m;
+            }
+            out
+        };
+        self.push(v, Source::Dropout { p, mask: mask.into() })
+    }
+
+    /// Runs the chain rule backwards from the 1×1 node `loss`, returning
+    /// gradients for every parameter the loss depends on.
+    ///
+    /// # Panics
+    /// If `loss` is not 1×1.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1×1 scalar");
+        let mut node_grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        let mut grads = Grads::new_for(self.params);
+        node_grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = node_grads[i].take() else { continue };
+            match &self.nodes[i].src {
+                Source::Leaf => {}
+                Source::Param(id) => {
+                    grads
+                        .slot_mut(*id)
+                        .get_or_insert_with(|| GradBuf::Dense(Matrix::zeros_like(self.params.get(*id))))
+                        .add_dense(&g);
+                }
+                Source::Unary { p, op } => {
+                    let dg = match op {
+                        UnaryOp::Sigmoid => {
+                            // y(1-y) in terms of the stored output
+                            let y = self.value(Var(i));
+                            y.zip_map(&g, |y, g| y * (1.0 - y) * g)
+                        }
+                        UnaryOp::Relu => self.value(*p).zip_map(&g, |x, g| if x > 0.0 { g } else { 0.0 }),
+                        UnaryOp::LeakyRelu(a) => {
+                            let a = *a;
+                            self.value(*p).zip_map(&g, move |x, g| if x > 0.0 { g } else { a * g })
+                        }
+                        UnaryOp::Tanh => {
+                            let y = self.value(Var(i));
+                            y.zip_map(&g, |y, g| (1.0 - y * y) * g)
+                        }
+                        UnaryOp::Neg => g.map(|x| -x),
+                    };
+                    self.accumulate(&mut node_grads, &mut grads, *p, dg);
+                }
+                Source::Binary { a, b, op } => match op {
+                    BinOp::Add => {
+                        self.accumulate(&mut node_grads, &mut grads, *a, g.clone());
+                        self.accumulate(&mut node_grads, &mut grads, *b, g);
+                    }
+                    BinOp::Sub => {
+                        self.accumulate(&mut node_grads, &mut grads, *a, g.clone());
+                        self.accumulate(&mut node_grads, &mut grads, *b, g.map(|x| -x));
+                    }
+                    BinOp::Mul => {
+                        let da = self.value(*b).zip_map(&g, |b, g| b * g);
+                        let db = self.value(*a).zip_map(&g, |a, g| a * g);
+                        self.accumulate(&mut node_grads, &mut grads, *a, da);
+                        self.accumulate(&mut node_grads, &mut grads, *b, db);
+                    }
+                },
+                Source::MatMul { a, b } => {
+                    let da = g.matmul(&self.value(*b).transpose());
+                    let db = self.value(*a).transpose().matmul(&g);
+                    self.accumulate(&mut node_grads, &mut grads, *a, da);
+                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                }
+                Source::Spmm { prop, b } => {
+                    let db = prop.backward().matmul(&g);
+                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                }
+                Source::Gather { src, idx } => {
+                    // Row-sparse fast path straight into a parameter table.
+                    if let Source::Param(id) = &self.nodes[src.0].src {
+                        let cols = self.params.get(*id).cols();
+                        grads
+                            .slot_mut(*id)
+                            .get_or_insert_with(|| GradBuf::Rows(RowSparse::new(cols)))
+                            .add_rows(idx, &g);
+                    } else {
+                        let mut dsrc = Matrix::zeros_like(self.value(*src));
+                        dsrc.scatter_add_rows(idx, &g);
+                        self.accumulate(&mut node_grads, &mut grads, *src, dsrc);
+                    }
+                }
+                Source::ConcatCols { a, b } => {
+                    let ac = self.value(*a).cols();
+                    let (gr, gc) = g.shape();
+                    let mut da = Matrix::zeros(gr, ac);
+                    let mut db = Matrix::zeros(gr, gc - ac);
+                    for r in 0..gr {
+                        da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                    }
+                    self.accumulate(&mut node_grads, &mut grads, *a, da);
+                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                }
+                Source::RowDot { a, b } => {
+                    let av = self.value(*a);
+                    let bv = self.value(*b);
+                    let mut da = Matrix::zeros_like(av);
+                    let mut db = Matrix::zeros_like(bv);
+                    for r in 0..av.rows() {
+                        let gr = g.get(r, 0);
+                        for (c, (&x, &y)) in av.row(r).iter().zip(bv.row(r)).enumerate() {
+                            da.row_mut(r)[c] = gr * y;
+                            db.row_mut(r)[c] = gr * x;
+                        }
+                    }
+                    self.accumulate(&mut node_grads, &mut grads, *a, da);
+                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                }
+                Source::SumAll { p } => {
+                    let s = g.scalar();
+                    let dp = Matrix::full(self.value(*p).rows(), self.value(*p).cols(), s);
+                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                }
+                Source::MeanAll { p } => {
+                    let n = self.value(*p).len() as f32;
+                    let s = g.scalar() / n;
+                    let dp = Matrix::full(self.value(*p).rows(), self.value(*p).cols(), s);
+                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                }
+                Source::FrobSq { p } => {
+                    let s = g.scalar();
+                    let dp = self.value(*p).map(|x| 2.0 * s * x);
+                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                }
+                Source::AddRow { m, row } => {
+                    let drow = g.col_sums();
+                    self.accumulate(&mut node_grads, &mut grads, *m, g);
+                    self.accumulate(&mut node_grads, &mut grads, *row, drow);
+                }
+                Source::Scale { p, c } => {
+                    let c = *c;
+                    self.accumulate(&mut node_grads, &mut grads, *p, g.map(|x| c * x));
+                }
+                Source::BceWithLogits { logits, targets } => {
+                    let s = g.scalar();
+                    let n = targets.len() as f32;
+                    let x = self.value(*logits);
+                    let mut dl = Matrix::zeros(targets.len(), 1);
+                    for (r, &t) in targets.iter().enumerate() {
+                        dl.set(r, 0, s * (sigmoid(x.get(r, 0)) - t) / n);
+                    }
+                    self.accumulate(&mut node_grads, &mut grads, *logits, dl);
+                }
+                Source::BprLoss { pos, neg } => {
+                    let s = g.scalar();
+                    let p = self.value(*pos);
+                    let q = self.value(*neg);
+                    let n = p.rows() as f32;
+                    let mut dp = Matrix::zeros(p.rows(), 1);
+                    let mut dq = Matrix::zeros(p.rows(), 1);
+                    for r in 0..p.rows() {
+                        // d/dxp [−ln σ(xp−xn)] = σ(xn−xp)
+                        let coeff = s * sigmoid(q.get(r, 0) - p.get(r, 0)) / n;
+                        dp.set(r, 0, -coeff);
+                        dq.set(r, 0, coeff);
+                    }
+                    self.accumulate(&mut node_grads, &mut grads, *pos, dp);
+                    self.accumulate(&mut node_grads, &mut grads, *neg, dq);
+                }
+                Source::Dropout { p, mask } => {
+                    let mut dp = g;
+                    for (d, &m) in dp.as_mut_slice().iter_mut().zip(mask.iter()) {
+                        *d *= m;
+                    }
+                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                }
+            }
+        }
+        grads
+    }
+
+    fn accumulate(
+        &self,
+        node_grads: &mut [Option<Matrix>],
+        grads: &mut Grads,
+        target: Var,
+        g: Matrix,
+    ) {
+        match &self.nodes[target.0].src {
+            Source::Leaf => {} // constants absorb nothing
+            Source::Param(id) => {
+                grads
+                    .slot_mut(*id)
+                    .get_or_insert_with(|| GradBuf::Dense(Matrix::zeros_like(self.params.get(*id))))
+                    .add_dense(&g);
+            }
+            _ => match &mut node_grads[target.0] {
+                Some(acc) => acc.add_assign(&g),
+                slot @ None => *slot = Some(g),
+            },
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Matrix {
+    /// Zero matrix with the same shape as `other`.
+    pub fn zeros_like(other: &Matrix) -> Matrix {
+        Matrix::zeros(other.rows(), other.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Csr;
+
+    /// Central finite differences of `loss(params)` w.r.t. parameter `id`.
+    fn numeric_grad(
+        params: &mut Params,
+        id: ParamId,
+        loss: &dyn Fn(&Params) -> f32,
+    ) -> Matrix {
+        let eps = 1e-2f32;
+        let (rows, cols) = params.get(id).shape();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let orig = params.get(id).get(i, j);
+                params.get_mut(id).set(i, j, orig + eps);
+                let hi = loss(params);
+                params.get_mut(id).set(i, j, orig - eps);
+                let lo = loss(params);
+                params.get_mut(id).set(i, j, orig);
+                out.set(i, j, (hi - lo) / (2.0 * eps));
+            }
+        }
+        out
+    }
+
+    /// Asserts analytic gradients match finite differences for every param.
+    fn assert_grads_match(params: &mut Params, build: &dyn Fn(&mut Graph) -> Var, tol: f32) {
+        let grads = {
+            let mut g = Graph::new(params);
+            let l = build(&mut g);
+            assert_eq!(g.shape(l), (1, 1), "test losses must be scalar");
+            g.backward(l)
+        };
+        let ids: Vec<ParamId> = params.iter().map(|(id, _, _)| id).collect();
+        for id in ids {
+            let analytic = grads.dense(id, params);
+            let numeric = numeric_grad(params, id, &|p| {
+                let mut g = Graph::new(p);
+                let l = build(&mut g);
+                g.scalar(l)
+            });
+            let diff = analytic.max_abs_diff(&numeric);
+            assert!(
+                diff < tol,
+                "gradient mismatch for param {}: max abs diff {diff}\nanalytic {:?}\nnumeric {:?}",
+                id.index(),
+                analytic.as_slice(),
+                numeric.as_slice()
+            );
+        }
+    }
+
+    /// Deterministic "random-ish" values away from ReLU kinks.
+    fn test_matrix(rows: usize, cols: usize, scale: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = ((r * 31 + c * 17 + 7) % 13) as f32 / 13.0 - 0.5;
+            scale * (v + 0.08 * v.signum().max(0.0) + 0.12)
+        })
+    }
+
+    #[test]
+    fn matmul_grad() {
+        let mut p = Params::new();
+        p.push("a", test_matrix(2, 3, 1.0));
+        p.push("b", test_matrix(3, 2, 1.0));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let ids: Vec<ParamId> = (0..2).map(ParamId).collect();
+                let a = g.param(ids[0]);
+                let b = g.param(ids[1]);
+                let c = g.matmul(a, b);
+                g.sum_all(c)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn elementwise_grads() {
+        let mut p = Params::new();
+        p.push("a", test_matrix(3, 2, 0.8));
+        p.push("b", test_matrix(3, 2, 0.6));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let a = g.param(ParamId(0));
+                let b = g.param(ParamId(1));
+                let s = g.add(a, b);
+                let d = g.sub(s, b);
+                let m = g.mul(d, b);
+                let sc = g.scale(m, 1.7);
+                let n = g.neg(sc);
+                g.mean_all(n)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn activation_grads() {
+        let mut p = Params::new();
+        p.push("x", test_matrix(4, 3, 1.5));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let x = g.param(ParamId(0));
+                let a = g.sigmoid(x);
+                let b = g.tanh(a);
+                let c = g.leaky_relu(b, 0.2);
+                let d = g.relu(c);
+                g.sum_all(d)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn concat_and_addrow_grads() {
+        let mut p = Params::new();
+        p.push("a", test_matrix(3, 2, 1.0));
+        p.push("b", test_matrix(3, 2, 0.5));
+        p.push("bias", test_matrix(1, 4, 0.3));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let a = g.param(ParamId(0));
+                let b = g.param(ParamId(1));
+                let cat = g.concat_cols(a, b);
+                let bias = g.param(ParamId(2));
+                let biased = g.add_row(cat, bias);
+                let act = g.tanh(biased);
+                g.mean_all(act)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn row_dot_grad() {
+        let mut p = Params::new();
+        p.push("a", test_matrix(4, 3, 1.0));
+        p.push("b", test_matrix(4, 3, 0.7));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let a = g.param(ParamId(0));
+                let b = g.param(ParamId(1));
+                let d = g.row_dot(a, b);
+                g.sum_all(d)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gather_param_grad_is_row_sparse_and_correct() {
+        let mut p = Params::new();
+        let emb = p.push("emb", test_matrix(6, 3, 1.0));
+        let idx: Vec<u32> = vec![4, 1, 4, 0];
+        // analytic
+        let grads = {
+            let mut g = Graph::new(&p);
+            let e = g.param(emb);
+            let rows = g.gather(e, &idx);
+            let l = g.sum_all(rows);
+            g.backward(l)
+        };
+        match grads.get(emb) {
+            Some(GradBuf::Rows(rs)) => {
+                assert_eq!(rs.num_rows(), 3, "three distinct rows touched");
+            }
+            other => panic!("expected row-sparse grad, got {other:?}"),
+        }
+        let idx2 = idx.clone();
+        assert_grads_match(
+            &mut p,
+            &move |g| {
+                let e = g.param(ParamId(0));
+                let rows = g.gather(e, &idx2);
+                g.sum_all(rows)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gather_from_intermediate_grad() {
+        let mut p = Params::new();
+        p.push("a", test_matrix(4, 2, 1.0));
+        p.push("b", test_matrix(2, 2, 1.0));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let a = g.param(ParamId(0));
+                let b = g.param(ParamId(1));
+                let prod = g.matmul(a, b); // intermediate, 4x2
+                let rows = g.gather(prod, &[3, 3, 0]);
+                g.sum_all(rows)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn spmm_matches_dense_and_grad() {
+        let adj = Csr::from_triplets(
+            3,
+            4,
+            &[(0, 0, 0.5), (0, 3, 1.5), (1, 1, 2.0), (2, 0, 1.0), (2, 2, 0.25)],
+        );
+        let prop = PropagationMatrix::new(adj.clone());
+        let mut p = Params::new();
+        let x = p.push("x", test_matrix(4, 2, 1.0));
+
+        // forward equivalence with dense matmul
+        let mut g = Graph::new(&p);
+        let xv = g.param(x);
+        let y = g.spmm(&prop, xv);
+        let dense = adj.to_dense().matmul(p.get(x));
+        assert!(g.value(y).max_abs_diff(&dense) < 1e-6);
+        drop(g);
+
+        let prop2 = prop.clone();
+        assert_grads_match(
+            &mut p,
+            &move |g| {
+                let xv = g.param(ParamId(0));
+                let y = g.spmm(&prop2, xv);
+                let s = g.sigmoid(y);
+                g.mean_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn bce_matches_manual_formula() {
+        let mut p = Params::new();
+        let w = p.push("w", test_matrix(5, 1, 2.0));
+        let targets = [1.0, 0.0, 0.3, 1.0, 0.0];
+        let mut g = Graph::new(&p);
+        let logits = g.param(w);
+        let loss = g.bce_with_logits(logits, &targets);
+        let manual: f32 = p
+            .get(w)
+            .as_slice()
+            .iter()
+            .zip(&targets)
+            .map(|(&x, &t)| {
+                let s = 1.0 / (1.0 + (-x).exp());
+                -(t * s.ln() + (1.0 - t) * (1.0 - s).ln())
+            })
+            .sum::<f32>()
+            / 5.0;
+        assert!((g.scalar(loss) - manual).abs() < 1e-5);
+        drop(g);
+
+        assert_grads_match(
+            &mut p,
+            &move |g| {
+                let logits = g.param(ParamId(0));
+                g.bce_with_logits(logits, &targets)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn frob_sq_grad() {
+        let mut p = Params::new();
+        p.push("w", test_matrix(3, 3, 1.0));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let w = g.param(ParamId(0));
+                let n = g.frob_sq(w);
+                g.scale(n, 0.5)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn shared_param_accumulates() {
+        // the same embedding table used twice must sum both contributions
+        let mut p = Params::new();
+        p.push("emb", test_matrix(4, 2, 1.0));
+        assert_grads_match(
+            &mut p,
+            &|g| {
+                let e1 = g.param(ParamId(0));
+                let e2 = g.param(ParamId(0));
+                let ga = g.gather(e1, &[0, 1]);
+                let gb = g.gather(e2, &[1, 2]);
+                let d = g.row_dot(ga, gb);
+                let s = g.sigmoid(d);
+                g.mean_all(s)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn disconnected_param_gets_no_grad() {
+        let mut p = Params::new();
+        let used = p.push("used", test_matrix(2, 2, 1.0));
+        let unused = p.push("unused", test_matrix(2, 2, 1.0));
+        let mut g = Graph::new(&p);
+        let u = g.param(used);
+        let l = g.sum_all(u);
+        let grads = g.backward(l);
+        assert!(grads.get(used).is_some());
+        assert!(grads.get(unused).is_none());
+    }
+
+    #[test]
+    fn mlp_composite_grad() {
+        // two-layer MLP with biases: the NeuMF shape in miniature
+        let mut p = Params::new();
+        p.push("w1", test_matrix(4, 3, 0.9));
+        p.push("b1", test_matrix(1, 3, 0.2));
+        p.push("w2", test_matrix(3, 1, 1.1));
+        p.push("b2", test_matrix(1, 1, 0.1));
+        let x = test_matrix(5, 4, 1.0);
+        let targets = [1.0, 0.0, 1.0, 0.0, 1.0];
+        assert_grads_match(
+            &mut p,
+            &move |g| {
+                let xv = g.leaf(x.clone());
+                let w1 = g.param(ParamId(0));
+                let b1 = g.param(ParamId(1));
+                let w2 = g.param(ParamId(2));
+                let b2 = g.param(ParamId(3));
+                let h = g.matmul(xv, w1);
+                let h = g.add_row(h, b1);
+                let h = g.leaky_relu(h, 0.2);
+                let o = g.matmul(h, w2);
+                let o = g.add_row(o, b2);
+                g.bce_with_logits(o, &targets)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1×1 scalar")]
+    fn backward_rejects_non_scalar() {
+        let p = Params::new();
+        let mut g = Graph::new(&p);
+        let x = g.leaf(Matrix::zeros(2, 2));
+        let _ = g.backward(x);
+    }
+
+    #[test]
+    fn leaf_absorbs_no_gradient() {
+        let mut p = Params::new();
+        let w = p.push("w", test_matrix(2, 2, 1.0));
+        let mut g = Graph::new(&p);
+        let x = g.leaf(test_matrix(2, 2, 1.0));
+        let wv = g.param(w);
+        let y = g.mul(x, wv);
+        let l = g.sum_all(y);
+        let grads = g.backward(l); // must not panic on the leaf
+        assert_eq!(grads.num_touched(), 1);
+    }
+}
+
+#[cfg(test)]
+mod loss_op_tests {
+    use super::*;
+    use crate::test_rng;
+    use rand::Rng as _;
+
+    fn col(vals: &[f32]) -> Matrix {
+        Matrix::col_vector(vals.to_vec())
+    }
+
+    #[test]
+    fn bpr_loss_matches_manual_formula() {
+        let mut p = Params::new();
+        let pos = p.push("pos", col(&[1.2, -0.3, 0.5]));
+        let neg = p.push("neg", col(&[0.2, 0.4, -1.0]));
+        let mut g = Graph::new(&p);
+        let pv = g.param(pos);
+        let nv = g.param(neg);
+        let l = g.bpr_loss(pv, nv);
+        let manual: f32 = [1.2f32 - 0.2, -0.3 - 0.4, 0.5 + 1.0]
+            .iter()
+            .map(|&d| -(1.0 / (1.0 + (-d).exp())).ln())
+            .sum::<f32>()
+            / 3.0;
+        assert!((g.scalar(l) - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bpr_gradient_matches_finite_difference() {
+        let mut p = Params::new();
+        let pos = p.push("pos", col(&[0.4, -0.2]));
+        let neg = p.push("neg", col(&[0.1, 0.6]));
+        let grads = {
+            let mut g = Graph::new(&p);
+            let pv = g.param(pos);
+            let nv = g.param(neg);
+            let l = g.bpr_loss(pv, nv);
+            g.backward(l)
+        };
+        let eps = 1e-2f32;
+        for (id, sign) in [(pos, 1.0f32), (neg, 1.0)] {
+            let analytic = grads.dense(id, &p);
+            for r in 0..2 {
+                let orig = p.get(id).get(r, 0);
+                p.get_mut(id).set(r, 0, orig + eps);
+                let hi = {
+                    let mut g = Graph::new(&p);
+                    let pv = g.param(pos);
+                    let nv = g.param(neg);
+                    let l = g.bpr_loss(pv, nv);
+                    g.scalar(l)
+                };
+                p.get_mut(id).set(r, 0, orig - eps);
+                let lo = {
+                    let mut g = Graph::new(&p);
+                    let pv = g.param(pos);
+                    let nv = g.param(neg);
+                    let l = g.bpr_loss(pv, nv);
+                    g.scalar(l)
+                };
+                p.get_mut(id).set(r, 0, orig);
+                let numeric = (hi - lo) / (2.0 * eps) * sign;
+                assert!(
+                    (analytic.get(r, 0) - numeric).abs() < 1e-3,
+                    "bpr grad mismatch at ({r}): {} vs {numeric}",
+                    analytic.get(r, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bpr_loss_decreases_when_positive_outranks_negative() {
+        let p = Params::new();
+        let mut g = Graph::new(&p);
+        let close = {
+            let pv = g.leaf(col(&[0.1]));
+            let nv = g.leaf(col(&[0.0]));
+            let l = g.bpr_loss(pv, nv);
+            g.scalar(l)
+        };
+        let wide = {
+            let pv = g.leaf(col(&[3.0]));
+            let nv = g.leaf(col(&[-3.0]));
+            let l = g.bpr_loss(pv, nv);
+            g.scalar(l)
+        };
+        assert!(wide < close);
+    }
+
+    #[test]
+    fn dropout_zeroes_and_rescales() {
+        let p = Params::new();
+        let mut g = Graph::new(&p);
+        let x = g.leaf(Matrix::full(20, 10, 1.0));
+        let mut rng = test_rng(5);
+        let d = g.dropout(x, 0.4, &mut rng);
+        let vals = g.value(d).as_slice();
+        let scale = 1.0 / 0.6;
+        let mut zeros = 0;
+        for &v in vals {
+            assert!(v == 0.0 || (v - scale).abs() < 1e-6, "unexpected value {v}");
+            if v == 0.0 {
+                zeros += 1;
+            }
+        }
+        let rate = zeros as f32 / vals.len() as f32;
+        assert!((rate - 0.4).abs() < 0.1, "empirical drop rate {rate}");
+    }
+
+    #[test]
+    fn dropout_gradient_respects_mask() {
+        let mut p = Params::new();
+        let id = p.push("x", Matrix::full(4, 4, 0.5));
+        let mut rng = test_rng(9);
+        let (grads, mask_vals) = {
+            let mut g = Graph::new(&p);
+            let x = g.param(id);
+            let d = g.dropout(x, 0.5, &mut rng);
+            let mask_vals: Vec<f32> = g.value(d).as_slice().to_vec();
+            let l = g.sum_all(d);
+            (g.backward(l), mask_vals)
+        };
+        let dx = grads.dense(id, &p);
+        for (g_val, &m) in dx.as_slice().iter().zip(&mask_vals) {
+            if m == 0.0 {
+                assert_eq!(*g_val, 0.0, "gradient leaked through dropped element");
+            } else {
+                assert!((g_val - 2.0).abs() < 1e-6, "kept gradient should be 1/(1-p)");
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_rate_zero_is_identity() {
+        let p = Params::new();
+        let mut g = Graph::new(&p);
+        let x = g.leaf(Matrix::full(2, 2, 3.0));
+        let mut rng = test_rng(1);
+        let d = g.dropout(x, 0.0, &mut rng);
+        assert_eq!(d, x, "rate 0 must be a no-op returning the same var");
+    }
+
+    #[test]
+    fn dropout_mask_is_frozen_for_backward() {
+        // the same mask must apply in forward and backward even if the RNG
+        // advances in between
+        let mut p = Params::new();
+        let id = p.push("x", Matrix::full(1, 8, 1.0));
+        let mut rng = test_rng(2);
+        let mut g = Graph::new(&p);
+        let x = g.param(id);
+        let d = g.dropout(x, 0.5, &mut rng);
+        let forward: Vec<f32> = g.value(d).as_slice().to_vec();
+        let _ = rng.gen::<u64>(); // perturb the RNG
+        let l = g.sum_all(d);
+        let grads = g.backward(l);
+        let dx = grads.dense(id, &p);
+        for (f, gr) in forward.iter().zip(dx.as_slice()) {
+            assert_eq!((*f == 0.0), (*gr == 0.0), "mask changed between passes");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Weight initializers.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// I.i.d. normal entries N(0, std²).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
+    let dist = Normal::new(0.0f32, std).expect("std must be finite and non-negative");
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+/// Xavier/Glorot uniform: U(−a, a) with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Used for the dense layers of NeuMF and the NGCF propagation weights, as
+/// in the reference implementations of those models.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    let dist = Uniform::new_inclusive(-a, a);
+    Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_has_roughly_requested_moments() {
+        let mut rng = crate::test_rng(1);
+        let m = normal(200, 50, 0.5, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = crate::test_rng(2);
+        let m = xavier_uniform(64, 32, &mut rng);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= a));
+        // and actually spreads out
+        assert!(m.as_slice().iter().any(|x| x.abs() > a * 0.5));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = normal(4, 4, 1.0, &mut crate::test_rng(42));
+        let b = normal(4, 4, 1.0, &mut crate::test_rng(42));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

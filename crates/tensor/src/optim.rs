@@ -1,0 +1,259 @@
+//! Optimizers: Adam (with lazy row-sparse embedding updates) and SGD.
+
+use crate::grad::{GradBuf, Grads};
+use crate::matrix::Matrix;
+use crate::params::Params;
+
+/// Plain stochastic gradient descent: `p ← p − lr·g`.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    pub fn step(&mut self, params: &mut Params, grads: &Grads) {
+        for (id, buf) in grads.iter() {
+            match buf {
+                GradBuf::Dense(g) => params.get_mut(id).scaled_add_assign(-self.lr, g),
+                GradBuf::Rows(rs) => {
+                    let table = params.get_mut(id);
+                    for (r, vals) in rs.iter() {
+                        let row = table.row_mut(r as usize);
+                        for (p, &v) in row.iter_mut().zip(vals) {
+                            *p -= self.lr * v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adam configuration (PyTorch defaults unless stated otherwise).
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConfig {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+}
+
+impl AdamConfig {
+    pub fn with_lr(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Adam optimizer.
+///
+/// Dense gradients get the textbook update. Row-sparse gradients (from
+/// embedding gathers) get a *lazy* update: first/second-moment state and
+/// the parameter move only for rows that actually received gradient this
+/// step, with bias correction driven by the global step counter. This is
+/// the same semantics as TensorFlow's `LazyAdam` and keeps per-batch cost
+/// proportional to the batch, not the vocabulary.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    cfg: AdamConfig,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    pub fn new(params: &Params, cfg: AdamConfig) -> Self {
+        let m = params.iter().map(|(_, _, p)| Matrix::zeros_like(p)).collect();
+        let v = params.iter().map(|(_, _, p)| Matrix::zeros_like(p)).collect();
+        Self { cfg, t: 0, m, v }
+    }
+
+    pub fn with_defaults(params: &Params, lr: f32) -> Self {
+        Self::new(params, AdamConfig::with_lr(lr))
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    pub fn step(&mut self, params: &mut Params, grads: &Grads) {
+        self.t += 1;
+        let b1 = self.cfg.beta1;
+        let b2 = self.cfg.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.cfg.lr;
+        let eps = self.cfg.eps;
+
+        for (id, buf) in grads.iter() {
+            let i = id.index();
+            match buf {
+                GradBuf::Dense(g) => {
+                    let m = self.m[i].as_mut_slice();
+                    let v = self.v[i].as_mut_slice();
+                    let p = params.get_mut(id).as_mut_slice();
+                    for k in 0..g.len() {
+                        let gk = g.as_slice()[k];
+                        m[k] = b1 * m[k] + (1.0 - b1) * gk;
+                        v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
+                        let mhat = m[k] / bc1;
+                        let vhat = v[k] / bc2;
+                        p[k] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+                GradBuf::Rows(rs) => {
+                    let cols = rs.cols();
+                    for (r, vals) in rs.iter() {
+                        let r = r as usize;
+                        let m = &mut self.m[i].as_mut_slice()[r * cols..(r + 1) * cols];
+                        let v = &mut self.v[i].as_mut_slice()[r * cols..(r + 1) * cols];
+                        let prow = params.get_mut(id).row_mut(r);
+                        for k in 0..cols {
+                            let gk = vals[k];
+                            m[k] = b1 * m[k] + (1.0 - b1) * gk;
+                            v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
+                            let mhat = m[k] / bc1;
+                            let vhat = v[k] / bc2;
+                            prow[k] -= lr * mhat / (vhat.sqrt() + eps);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::grad::RowSparse;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Params::new();
+        let w = p.push("w", Matrix::full(1, 2, 1.0));
+        let mut grads = Grads::new_for(&p);
+        *grads.slot_mut(w) = Some(GradBuf::Dense(Matrix::from_vec(1, 2, vec![1.0, -2.0])));
+        Sgd::new(0.5).step(&mut p, &grads);
+        assert_eq!(p.get(w).as_slice(), &[0.5, 2.0]);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize ||w - c||² for a fixed target c
+        let mut p = Params::new();
+        let w = p.push("w", Matrix::zeros(1, 3));
+        let target = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        let mut adam = Adam::with_defaults(&p, 0.05);
+        for _ in 0..600 {
+            let grads = {
+                let mut g = Graph::new(&p);
+                let wv = g.param(w);
+                let t = g.leaf(target.clone());
+                let d = g.sub(wv, t);
+                let l = g.frob_sq(d);
+                g.backward(l)
+            };
+            adam.step(&mut p, &grads);
+        }
+        assert!(p.get(w).max_abs_diff(&target) < 1e-2, "{:?}", p.get(w));
+    }
+
+    #[test]
+    fn adam_fits_logistic_regression() {
+        // separable 2-D data: label = x0 > x1
+        let n = 64;
+        let x = Matrix::from_fn(n, 2, |r, c| {
+            let v = ((r * 7 + c * 13) % 17) as f32 / 17.0 - 0.5;
+            v * 2.0
+        });
+        let targets: Vec<f32> =
+            (0..n).map(|r| if x.get(r, 0) > x.get(r, 1) { 1.0 } else { 0.0 }).collect();
+        let mut p = Params::new();
+        let w = p.push("w", Matrix::zeros(2, 1));
+        let b = p.push("b", Matrix::zeros(1, 1));
+        let mut adam = Adam::with_defaults(&p, 0.05);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            let (grads, loss) = {
+                let mut g = Graph::new(&p);
+                let xv = g.leaf(x.clone());
+                let wv = g.param(w);
+                let bv = g.param(b);
+                let o = g.matmul(xv, wv);
+                let o = g.add_row(o, bv);
+                let l = g.bce_with_logits(o, &targets);
+                (g.backward(l), g.scalar(l))
+            };
+            adam.step(&mut p, &grads);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.1, "logistic loss did not converge: {last_loss}");
+        // weights should point in the (+, −) direction
+        assert!(p.get(w).get(0, 0) > 0.5);
+        assert!(p.get(w).get(1, 0) < -0.5);
+    }
+
+    #[test]
+    fn lazy_rows_match_dense_when_all_rows_touched() {
+        // When every row receives gradient each step, lazy Adam must agree
+        // exactly with the dense path.
+        let init = Matrix::from_fn(3, 2, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
+        let grad = Matrix::from_fn(3, 2, |r, c| 0.05 * (r + 2 * c) as f32 + 0.01);
+
+        let mut p_dense = Params::new();
+        let id_d = p_dense.push("w", init.clone());
+        let mut p_rows = Params::new();
+        let id_r = p_rows.push("w", init.clone());
+
+        let mut adam_d = Adam::with_defaults(&p_dense, 0.01);
+        let mut adam_r = Adam::with_defaults(&p_rows, 0.01);
+
+        for _ in 0..5 {
+            let mut gd = Grads::new_for(&p_dense);
+            *gd.slot_mut(id_d) = Some(GradBuf::Dense(grad.clone()));
+            adam_d.step(&mut p_dense, &gd);
+
+            let mut rs = RowSparse::new(2);
+            for r in 0..3 {
+                rs.add_row(r as u32, grad.row(r));
+            }
+            let mut gr = Grads::new_for(&p_rows);
+            *gr.slot_mut(id_r) = Some(GradBuf::Rows(rs));
+            adam_r.step(&mut p_rows, &gr);
+        }
+        assert!(p_dense.get(id_d).max_abs_diff(p_rows.get(id_r)) < 1e-6);
+    }
+
+    #[test]
+    fn lazy_rows_leave_untouched_rows_alone() {
+        let init = Matrix::full(4, 2, 1.0);
+        let mut p = Params::new();
+        let id = p.push("w", init);
+        let mut adam = Adam::with_defaults(&p, 0.1);
+        let mut rs = RowSparse::new(2);
+        rs.add_row(2, &[1.0, 1.0]);
+        let mut g = Grads::new_for(&p);
+        *g.slot_mut(id) = Some(GradBuf::Rows(rs));
+        adam.step(&mut p, &g);
+        assert_eq!(p.get(id).row(0), &[1.0, 1.0], "untouched row moved");
+        assert_eq!(p.get(id).row(3), &[1.0, 1.0], "untouched row moved");
+        assert!(p.get(id).get(2, 0) < 1.0, "touched row did not move");
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut p = Params::new();
+        p.push("w", Matrix::zeros(1, 1));
+        let mut adam = Adam::with_defaults(&p, 0.1);
+        let g = Grads::new_for(&p);
+        adam.step(&mut p, &g);
+        adam.step(&mut p, &g);
+        assert_eq!(adam.steps(), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Trainable parameter storage.
+//!
+//! A model owns a [`Params`] store; each training batch builds a
+//! [`crate::Graph`] borrowing the store immutably, and the optimizer then
+//! applies the returned [`crate::Grads`] mutably. Identifiers are plain
+//! indices so models can keep them in their structs.
+
+use crate::matrix::Matrix;
+
+/// Handle to one parameter matrix inside a [`Params`] store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ordered collection of named parameter matrices.
+#[derive(Clone, Debug, Default)]
+pub struct Params {
+    mats: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl Params {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn push(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.mats.push(value);
+        self.names.push(name.into());
+        ParamId(self.mats.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.mats[id.0]
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.mats
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (m, n))| (ParamId(i), n.as_str(), m))
+    }
+
+    /// Total number of scalar parameters, i.e. the "model size" used in
+    /// communication-cost discussions.
+    pub fn num_scalars(&self) -> usize {
+        self.mats.iter().map(Matrix::len).sum()
+    }
+
+    /// True if every parameter is finite (cheap divergence check in tests).
+    pub fn all_finite(&self) -> bool {
+        self.mats.iter().all(Matrix::all_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut p = Params::new();
+        let a = p.push("emb", Matrix::zeros(3, 2));
+        let b = p.push("w", Matrix::full(2, 2, 1.0));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(a).shape(), (3, 2));
+        assert_eq!(p.name(b), "w");
+        assert_eq!(p.num_scalars(), 10);
+        p.get_mut(a).set(0, 0, 5.0);
+        assert_eq!(p.get(a).get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut p = Params::new();
+        p.push("a", Matrix::zeros(1, 1));
+        p.push("b", Matrix::zeros(1, 2));
+        let names: Vec<_> = p.iter().map(|(_, n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}
+
+/// Wire form of a parameter store. Names travel with the values so a
+/// checkpoint loaded into a differently-shaped model fails loudly.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ParamsWire {
+    names: Vec<String>,
+    mats: Vec<Matrix>,
+}
+
+impl serde::Serialize for Params {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ParamsWire { names: self.names.clone(), mats: self.mats.clone() }.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Params {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = ParamsWire::deserialize(deserializer)?;
+        if wire.names.len() != wire.mats.len() {
+            return Err(serde::de::Error::custom("names/values length mismatch"));
+        }
+        Ok(Params { mats: wire.mats, names: wire.names })
+    }
+}
+
+impl Params {
+    /// Copies values from a checkpointed store into this one. Every
+    /// parameter must match by name, order and shape — this is a *state*
+    /// restore, not a migration tool.
+    pub fn load_state_from(&mut self, other: &Params) -> Result<(), String> {
+        if self.len() != other.len() {
+            return Err(format!(
+                "parameter count mismatch: {} vs {}",
+                self.len(),
+                other.len()
+            ));
+        }
+        for ((_, name_a, mat_a), (_, name_b, mat_b)) in self.iter().zip(other.iter()) {
+            if name_a != name_b {
+                return Err(format!("parameter name mismatch: {name_a:?} vs {name_b:?}"));
+            }
+            if mat_a.shape() != mat_b.shape() {
+                return Err(format!(
+                    "shape mismatch for {name_a:?}: {:?} vs {:?}",
+                    mat_a.shape(),
+                    mat_b.shape()
+                ));
+            }
+        }
+        for i in 0..other.len() {
+            let id = ParamId(i);
+            let src = other.get(id).clone();
+            *self.get_mut(id) = src;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    fn store() -> Params {
+        let mut p = Params::new();
+        p.push("emb", Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        p.push("w", Matrix::from_vec(1, 2, vec![5., 6.]));
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_names_and_values() {
+        let p = store();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Params = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.name(ParamId(0)), "emb");
+        assert_eq!(back.get(ParamId(1)).as_slice(), &[5., 6.]);
+    }
+
+    #[test]
+    fn load_state_restores_checkpoint() {
+        let checkpoint = store();
+        let mut live = store();
+        live.get_mut(ParamId(0)).fill(0.0); // "training" drifted
+        live.load_state_from(&checkpoint).unwrap();
+        assert_eq!(live.get(ParamId(0)).as_slice(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn load_state_rejects_mismatches() {
+        let mut live = store();
+        let mut renamed = Params::new();
+        renamed.push("other", Matrix::zeros(2, 2));
+        renamed.push("w", Matrix::zeros(1, 2));
+        assert!(live.load_state_from(&renamed).unwrap_err().contains("name mismatch"));
+
+        let mut reshaped = Params::new();
+        reshaped.push("emb", Matrix::zeros(3, 2));
+        reshaped.push("w", Matrix::zeros(1, 2));
+        assert!(live.load_state_from(&reshaped).unwrap_err().contains("shape mismatch"));
+
+        let mut short = Params::new();
+        short.push("emb", Matrix::zeros(2, 2));
+        assert!(live.load_state_from(&short).unwrap_err().contains("count mismatch"));
+    }
+}

@@ -1,0 +1,290 @@
+//! CSR sparse matrices for graph propagation.
+//!
+//! NGCF and LightGCN repeatedly multiply a fixed, symmetrically normalized
+//! bipartite adjacency matrix with a dense embedding matrix. [`Csr`] stores
+//! that adjacency once; [`PropagationMatrix`] additionally caches the
+//! transpose so the autograd backward pass (`dX = Aᵀ·dY`) pays no per-batch
+//! transposition cost.
+
+use crate::matrix::Matrix;
+
+/// Compressed sparse row matrix with `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, `rows + 1` entries.
+    indptr: Vec<usize>,
+    /// Column index per stored value.
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate coordinates are summed. Triplets may arrive in any order.
+    ///
+    /// # Panics
+    /// If a coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < rows, "row {r} out of bounds ({rows} rows)");
+            assert!((c as usize) < cols, "col {c} out of bounds ({cols} cols)");
+        }
+        // counting sort by row
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr_raw = counts.clone();
+        let mut order = vec![0usize; triplets.len()];
+        let mut cursor = indptr_raw.clone();
+        for (i, &(r, _, _)) in triplets.iter().enumerate() {
+            order[cursor[r as usize]] = i;
+            cursor[r as usize] += 1;
+        }
+
+        // within each row, sort by column and merge duplicates
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f32> = Vec::with_capacity(triplets.len());
+        indptr.push(0);
+        let mut row_buf: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            row_buf.clear();
+            for &t in &order[indptr_raw[r]..indptr_raw[r + 1]] {
+                let (_, c, v) = triplets[t];
+                row_buf.push((c, v));
+            }
+            row_buf.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row_buf.len() {
+                let (c, mut v) = row_buf[i];
+                let mut j = i + 1;
+                while j < row_buf.len() && row_buf[j].0 == c {
+                    v += row_buf[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(row, col, value)` over stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.indptr[r]..self.indptr[r + 1]
+        }.map(move |k| (r as u32, self.indices[k], self.values[k])))
+    }
+
+    /// Sparse × dense product `self × rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            rhs.rows(),
+            "spmm: {}x{} × {}x{} shape mismatch",
+            self.rows,
+            self.cols,
+            rhs.rows(),
+            rhs.cols()
+        );
+        let d = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let out_row = &mut out.as_mut_slice()[r * d..(r + 1) * d];
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                let v = self.values[k];
+                let rhs_row = &rhs.as_slice()[c * d..(c + 1) * d];
+                for (o, &x) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = counts.clone();
+        for r in 0..self.rows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k] as usize;
+                let slot = cursor[c];
+                cursor[c] += 1;
+                indices[slot] = r as u32;
+                values[slot] = self.values[k];
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr: counts, indices, values }
+    }
+
+    /// Materializes as a dense matrix (tests and tiny graphs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            let cur = m.get(r as usize, c as usize);
+            m.set(r as usize, c as usize, cur + v);
+        }
+        m
+    }
+
+    /// Per-row number of stored entries (node degree for adjacency use).
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|r| self.indptr[r + 1] - self.indptr[r]).collect()
+    }
+}
+
+/// An adjacency matrix plus its cached transpose, shared by every
+/// autograd graph that propagates over it.
+#[derive(Clone, Debug)]
+pub struct PropagationMatrix {
+    forward: std::rc::Rc<Csr>,
+    backward: std::rc::Rc<Csr>,
+}
+
+impl PropagationMatrix {
+    pub fn new(m: Csr) -> Self {
+        let backward = std::rc::Rc::new(m.transpose());
+        Self { forward: std::rc::Rc::new(m), backward }
+    }
+
+    /// For symmetric matrices (e.g. symmetrically normalized adjacency)
+    /// the transpose equals the matrix itself; this constructor skips the
+    /// transposition and shares one buffer.
+    pub fn new_symmetric(m: Csr) -> Self {
+        assert_eq!(m.rows(), m.cols(), "symmetric propagation matrix must be square");
+        let rc = std::rc::Rc::new(m);
+        Self { forward: rc.clone(), backward: rc }
+    }
+
+    pub fn forward(&self) -> &std::rc::Rc<Csr> {
+        &self.forward
+    }
+
+    pub fn backward(&self) -> &std::rc::Rc<Csr> {
+        &self.backward
+    }
+
+    pub fn rows(&self) -> usize {
+        self.forward.rows()
+    }
+
+    pub fn cols(&self) -> usize {
+        self.forward.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        Csr::from_triplets(3, 3, &[(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)])
+    }
+
+    #[test]
+    fn triplets_sorted_and_indexed() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let m = Csr::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.iter().next(), Some((0, 1, 3.5)));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let sparse = m.matmul(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert_eq!(sparse.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.to_dense().as_slice(), m.to_dense().transpose().as_slice());
+        // double transpose is identity
+        assert_eq!(t.transpose().to_dense().as_slice(), m.to_dense().as_slice());
+    }
+
+    #[test]
+    fn identity_propagates_unchanged() {
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(Csr::identity(3).matmul(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = Csr::from_triplets(3, 3, &[]);
+        assert_eq!(m.nnz(), 0);
+        let x = Matrix::full(3, 2, 1.0);
+        assert_eq!(m.matmul(&x).as_slice(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn degrees() {
+        assert_eq!(sample().row_degrees(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        let _ = Csr::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Communication report: measure what each federated protocol actually
+//! puts on the wire for the same training task (the Table IV experiment
+//! as a runnable program), plus the scaling argument of §III-C2.
+//!
+//! ```sh
+//! cargo run --release --example communication_report
+//! ```
+
+use ptf_fedrec::baselines::{Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig};
+use ptf_fedrec::comm::format_bytes;
+use ptf_fedrec::core::{PtfConfig, PtfFedRec};
+use ptf_fedrec::data::{DatasetPreset, Scale, TrainTestSplit};
+use ptf_fedrec::models::{ModelHyper, ModelKind};
+
+fn main() {
+    let mut rng = ptf_fedrec::data::test_rng(31);
+    let data = DatasetPreset::Gowalla.generate(Scale::Small, &mut rng);
+    let split = TrainTestSplit::split_80_20(&data, &mut rng);
+    println!(
+        "task: {} clients, {} items, 3 measured rounds each\n",
+        data.num_users(),
+        data.num_items()
+    );
+
+    println!("{:<12} {:>16} {:>16} {:>14}", "protocol", "per client-round", "total", "messages");
+
+    let mut fcf = Fcf::new(&split.train, FcfConfig::small());
+    for _ in 0..3 {
+        fcf.run_round();
+    }
+    report(fcf.name(), fcf.ledger());
+
+    let mut fedmf = FedMf::new(&split.train, FedMfConfig::small());
+    for _ in 0..3 {
+        fedmf.run_round();
+    }
+    report(fedmf.name(), fedmf.ledger());
+
+    let mut metamf = MetaMf::new(&split.train, MetaMfConfig::small());
+    for _ in 0..3 {
+        metamf.run_round();
+    }
+    report(metamf.name(), metamf.ledger());
+
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 3;
+    let mut ptf = PtfFedRec::new(
+        &split.train,
+        ModelKind::NeuMf,
+        ModelKind::Ngcf,
+        &ModelHyper::small(),
+        cfg,
+    );
+    ptf.run();
+    report("PTF-FedRec", ptf.ledger());
+
+    println!("\nwhy it matters as models grow (per client-round, analytic):");
+    println!("{:>12} {:>12} {:>12}", "items", "FCF", "PTF-FedRec");
+    for items in [10_000usize, 100_000, 1_000_000] {
+        let fcf_bytes = 2.0 * (items * 33 * 4) as f64;
+        let ptf_bytes = ((0.55 * 46.0 * 3.5) as usize + 30) as f64 * 12.0;
+        println!(
+            "{:>12} {:>12} {:>12}",
+            items,
+            format_bytes(fcf_bytes),
+            format_bytes(ptf_bytes)
+        );
+    }
+}
+
+fn report(name: &str, ledger: &ptf_fedrec::comm::CommLedger) {
+    let s = ledger.summary();
+    println!(
+        "{:<12} {:>16} {:>16} {:>14}",
+        name,
+        format_bytes(s.avg_client_bytes_per_round),
+        format_bytes(s.total_bytes as f64),
+        s.messages
+    );
+}

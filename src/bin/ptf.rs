@@ -1,0 +1,146 @@
+//! `ptf` — the command-line entry point of the PTF-FedRec reproduction.
+//!
+//! See `ptf help` (or [`ptf_fedrec::cli::USAGE`]) for the commands.
+
+use ptf_fedrec::cli::{parse, Command, DefenseChoice, USAGE};
+use ptf_fedrec::comm::format_bytes;
+use ptf_fedrec::core::{DefenseKind, PtfConfig, PtfFedRec};
+use ptf_fedrec::data::{DatasetPreset, DatasetStats, Scale, TrainTestSplit};
+use ptf_fedrec::models::{ModelHyper, ModelKind};
+use ptf_fedrec::privacy::TopGuessAttack;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(cmd) => {
+            if let Err(e) = run(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn scaled_hyper(scale: Scale) -> ModelHyper {
+    match scale {
+        Scale::Paper => ModelHyper::default(),
+        Scale::Small => ModelHyper::small(),
+    }
+}
+
+fn scaled_config(scale: Scale, seed: u64) -> PtfConfig {
+    let mut cfg = match scale {
+        Scale::Paper => PtfConfig::paper(),
+        Scale::Small => PtfConfig::small(),
+    };
+    cfg.seed = seed;
+    cfg
+}
+
+fn load_split(dataset: DatasetPreset, scale: Scale, seed: u64) -> TrainTestSplit {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data = dataset.generate(scale, &mut rng);
+    TrainTestSplit::split_80_20(&data, &mut rng)
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Stats { scale, seed } => {
+            for preset in DatasetPreset::ALL {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let data = preset.generate(scale, &mut rng);
+                println!("{}", DatasetStats::of(&data));
+            }
+            Ok(())
+        }
+        Command::Train { dataset, client, server, rounds, scale, seed, k, save } => {
+            let split = load_split(dataset, scale, seed);
+            let mut cfg = scaled_config(scale, seed);
+            if let Some(r) = rounds {
+                cfg.rounds = r;
+            }
+            eprintln!(
+                "training PTF-FedRec on {} ({} clients, {} items): client={}, hidden server={}",
+                dataset.name(),
+                split.train.num_users(),
+                split.train.num_items(),
+                client.name(),
+                server.name()
+            );
+            let mut fed =
+                PtfFedRec::new(&split.train, client, server, &scaled_hyper(scale), cfg);
+            let trace = fed.run();
+            for r in &trace.rounds {
+                eprintln!(
+                    "  round {:>3}: client loss {:.4}, server loss {:.4}",
+                    r.round, r.mean_client_loss, r.server_loss
+                );
+            }
+            let report = fed.evaluate(&split.train, &split.test, k);
+            let summary = fed.ledger().summary();
+            println!("{report}");
+            println!(
+                "communication: {} per client-round (total {})",
+                format_bytes(summary.avg_client_bytes_per_round),
+                format_bytes(summary.total_bytes as f64)
+            );
+            if let Some(path) = save {
+                let state = fed
+                    .server()
+                    .model()
+                    .export_state()
+                    .ok_or("this server model does not support checkpointing")?;
+                std::fs::write(&path, state)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("hidden server model checkpointed to {path}");
+            }
+            Ok(())
+        }
+        Command::Privacy { dataset, defense, epsilon, scale, seed } => {
+            let split = load_split(dataset, scale, seed);
+            let mut cfg = scaled_config(scale, seed);
+            cfg.defense = match defense {
+                DefenseChoice::None => DefenseKind::NoDefense,
+                DefenseChoice::Ldp => DefenseKind::Ldp { epsilon },
+                DefenseChoice::Sampling => DefenseKind::Sampling,
+                DefenseChoice::Full => DefenseKind::SamplingSwapping,
+            };
+            let defense_name = cfg.defense.name();
+            let mut fed = PtfFedRec::new(
+                &split.train,
+                ModelKind::NeuMf,
+                ModelKind::Ngcf,
+                &scaled_hyper(scale),
+                cfg,
+            );
+            fed.run();
+            let f1 = TopGuessAttack::default().mean_f1(
+                fed.last_uploads()
+                    .iter()
+                    .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
+            );
+            let report = fed.evaluate(&split.train, &split.test, 20);
+            println!("defense: {defense_name}");
+            println!("top-guess attack F1: {f1:.4} (lower = better privacy)");
+            println!("{report}");
+            Ok(())
+        }
+        Command::Generate { dataset, out, scale, seed } => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let data = dataset.generate(scale, &mut rng);
+            std::fs::write(&out, data.to_json())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {} ({})", out, DatasetStats::of(&data));
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Command-line interface for the `ptf` binary.
+//!
+//! Hand-rolled argument parsing (no CLI dependency) kept separate from the
+//! binary so it is unit-testable. Supported commands:
+//!
+//! ```text
+//! ptf stats    [--scale small|paper] [--seed N]
+//! ptf train    --dataset ml100k|steam|gowalla [--client M] [--server M]
+//!              [--rounds N] [--scale S] [--seed N] [--k K]
+//! ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
+//! ptf generate --dataset D --out FILE [--scale S] [--seed N]
+//! ```
+
+use ptf_data::{DatasetPreset, Scale};
+use ptf_models::ModelKind;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Print Table II style statistics of the three synthetic presets.
+    Stats { scale: Scale, seed: u64 },
+    /// Run a full PTF-FedRec federation and report metrics + traffic.
+    Train {
+        dataset: DatasetPreset,
+        client: ModelKind,
+        server: ModelKind,
+        rounds: Option<u32>,
+        scale: Scale,
+        seed: u64,
+        k: usize,
+        /// Write the hidden server model's checkpoint here after training.
+        save: Option<String>,
+    },
+    /// Run the Top-Guess privacy audit under one defense.
+    Privacy { dataset: DatasetPreset, defense: DefenseChoice, epsilon: f64, scale: Scale, seed: u64 },
+    /// Export a synthetic dataset as JSON.
+    Generate { dataset: DatasetPreset, out: String, scale: Scale, seed: u64 },
+    /// Print usage.
+    Help,
+}
+
+/// CLI-level defense selector (maps onto `ptf_core::DefenseKind`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefenseChoice {
+    None,
+    Ldp,
+    Sampling,
+    Full,
+}
+
+pub const USAGE: &str = "\
+ptf — PTF-FedRec: parameter transmission-free federated recommendation
+
+USAGE:
+    ptf stats    [--scale small|paper] [--seed N]
+    ptf train    --dataset ml100k|steam|gowalla [--client neumf|ngcf|lightgcn]
+                 [--server neumf|ngcf|lightgcn] [--rounds N] [--scale S] [--seed N] [--k K]
+                 [--save checkpoint.json]
+    ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E] [--scale S] [--seed N]
+    ptf generate --dataset D --out FILE [--scale S] [--seed N]
+";
+
+fn parse_dataset(s: &str) -> Result<DatasetPreset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ml100k" | "ml-100k" | "movielens" => Ok(DatasetPreset::MovieLens100K),
+        "steam" | "steam200k" | "steam-200k" => Ok(DatasetPreset::Steam200K),
+        "gowalla" => Ok(DatasetPreset::Gowalla),
+        other => Err(format!("unknown dataset {other:?} (ml100k|steam|gowalla)")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "small" => Ok(Scale::Small),
+        "paper" => Ok(Scale::Paper),
+        other => Err(format!("unknown scale {other:?} (small|paper)")),
+    }
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    ModelKind::parse(s).ok_or_else(|| format!("unknown model {s:?} (neumf|ngcf|lightgcn)"))
+}
+
+fn parse_defense(s: &str) -> Result<DefenseChoice, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" => Ok(DefenseChoice::None),
+        "ldp" => Ok(DefenseChoice::Ldp),
+        "sampling" => Ok(DefenseChoice::Sampling),
+        "full" | "sampling+swapping" => Ok(DefenseChoice::Full),
+        other => Err(format!("unknown defense {other:?} (none|ldp|sampling|full)")),
+    }
+}
+
+/// Consumes `--key value` style options into a lookup, rejecting unknowns.
+fn parse_options(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut out = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument {key:?}"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown option --{name}"));
+        }
+        let value =
+            args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?.clone();
+        if out.insert(name.to_string(), value).is_some() {
+            return Err(format!("--{name} given twice"));
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+/// Parses a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => {
+            let opts = parse_options(rest, &["scale", "seed"])?;
+            Ok(Command::Stats {
+                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                seed: parse_seed(&opts)?,
+            })
+        }
+        "train" => {
+            let opts = parse_options(
+                rest,
+                &["dataset", "client", "server", "rounds", "scale", "seed", "k", "save"],
+            )?;
+            Ok(Command::Train {
+                dataset: parse_dataset(
+                    opts.get("dataset").ok_or("train requires --dataset")?,
+                )?,
+                client: opts
+                    .get("client")
+                    .map(|s| parse_model(s))
+                    .transpose()?
+                    .unwrap_or(ModelKind::NeuMf),
+                server: opts
+                    .get("server")
+                    .map(|s| parse_model(s))
+                    .transpose()?
+                    .unwrap_or(ModelKind::Ngcf),
+                rounds: opts
+                    .get("rounds")
+                    .map(|s| s.parse().map_err(|_| format!("bad --rounds {s:?}")))
+                    .transpose()?,
+                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                seed: parse_seed(&opts)?,
+                k: opts
+                    .get("k")
+                    .map(|s| s.parse().map_err(|_| format!("bad --k {s:?}")))
+                    .transpose()?
+                    .unwrap_or(20),
+                save: opts.get("save").cloned(),
+            })
+        }
+        "privacy" => {
+            let opts = parse_options(rest, &["dataset", "defense", "epsilon", "scale", "seed"])?;
+            Ok(Command::Privacy {
+                dataset: parse_dataset(
+                    opts.get("dataset").ok_or("privacy requires --dataset")?,
+                )?,
+                defense: opts
+                    .get("defense")
+                    .map(|s| parse_defense(s))
+                    .transpose()?
+                    .unwrap_or(DefenseChoice::Full),
+                epsilon: opts
+                    .get("epsilon")
+                    .map(|s| s.parse().map_err(|_| format!("bad --epsilon {s:?}")))
+                    .transpose()?
+                    .unwrap_or(5.0),
+                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                seed: parse_seed(&opts)?,
+            })
+        }
+        "generate" => {
+            let opts = parse_options(rest, &["dataset", "out", "scale", "seed"])?;
+            Ok(Command::Generate {
+                dataset: parse_dataset(
+                    opts.get("dataset").ok_or("generate requires --dataset")?,
+                )?,
+                out: opts.get("out").ok_or("generate requires --out")?.clone(),
+                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                seed: parse_seed(&opts)?,
+            })
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn parse_seed(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<u64, String> {
+    opts.get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()
+        .map(|o| o.unwrap_or(2024))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn train_with_defaults() {
+        let cmd = parse(&argv("train --dataset ml100k")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Train {
+                dataset: DatasetPreset::MovieLens100K,
+                client: ModelKind::NeuMf,
+                server: ModelKind::Ngcf,
+                rounds: None,
+                scale: Scale::Small,
+                seed: 2024,
+                k: 20,
+                save: None,
+            }
+        );
+    }
+
+    #[test]
+    fn train_full_options() {
+        let cmd = parse(&argv(
+            "train --dataset gowalla --client lightgcn --server neumf --rounds 7 --scale paper --seed 9 --k 10",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Train { dataset, client, server, rounds, scale, seed, k, save } => {
+                assert_eq!(dataset, DatasetPreset::Gowalla);
+                assert_eq!(save, None);
+                assert_eq!(client, ModelKind::LightGcn);
+                assert_eq!(server, ModelKind::NeuMf);
+                assert_eq!(rounds, Some(7));
+                assert_eq!(scale, Scale::Paper);
+                assert_eq!(seed, 9);
+                assert_eq!(k, 10);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_requires_dataset() {
+        let err = parse(&argv("train")).unwrap_err();
+        assert!(err.contains("--dataset"), "{err}");
+    }
+
+    #[test]
+    fn privacy_defense_parsing() {
+        for (s, want) in [
+            ("none", DefenseChoice::None),
+            ("ldp", DefenseChoice::Ldp),
+            ("sampling", DefenseChoice::Sampling),
+            ("full", DefenseChoice::Full),
+        ] {
+            let cmd =
+                parse(&argv(&format!("privacy --dataset steam --defense {s}"))).unwrap();
+            match cmd {
+                Command::Privacy { defense, .. } => assert_eq!(defense, want),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_option_and_command() {
+        assert!(parse(&argv("stats --bogus 1")).unwrap_err().contains("--bogus"));
+        assert!(parse(&argv("frobnicate")).unwrap_err().contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&argv("stats --seed")).unwrap_err().contains("needs a value"));
+        assert!(parse(&argv("stats --seed 1 --seed 2")).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn dataset_aliases() {
+        for alias in ["ml100k", "ML-100K", "movielens"] {
+            assert_eq!(parse_dataset(alias).unwrap(), DatasetPreset::MovieLens100K);
+        }
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        let err = parse(&argv("generate --dataset ml100k")).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+    }
+}
+
+
+#[cfg(test)]
+mod save_option_tests {
+    use super::*;
+
+    #[test]
+    fn train_accepts_save_path() {
+        let args: Vec<String> = "train --dataset ml100k --save out.json"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        match parse(&args).unwrap() {
+            Command::Train { save, .. } => assert_eq!(save.as_deref(), Some("out.json")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+}

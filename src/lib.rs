@@ -1,0 +1,32 @@
+//! # ptf-fedrec
+//!
+//! Facade crate for the PTF-FedRec reproduction ("Hide Your Model: A
+//! Parameter Transmission-free Federated Recommender System", ICDE 2024).
+//!
+//! Everything lives in focused sub-crates; this crate re-exports them under
+//! one roof so applications can depend on a single name:
+//!
+//! * [`tensor`] — dense/CSR matrices, reverse-mode autograd, Adam/SGD.
+//! * [`data`] — implicit-feedback datasets, synthetic generators, splits.
+//! * [`models`] — NeuMF, NGCF, LightGCN, MF recommenders.
+//! * [`metrics`] — Recall@K, NDCG@K, F1 and friends.
+//! * [`privacy`] — sampling/swapping defenses, LDP, the Top-Guess attack.
+//! * [`comm`] — typed messages, wire sizes, communication ledger.
+//! * [`federated`] — client registry, participation sampling, rounds.
+//! * [`core`] — the PTF-FedRec protocol itself.
+//! * [`baselines`] — centralized trainers, FCF, FedMF, MetaMF.
+//!
+//! See `examples/quickstart.rs` for an end-to-end federated run, and the
+//! `ptf` binary ([`cli`]) for a command-line front door.
+
+pub mod cli;
+
+pub use ptf_baselines as baselines;
+pub use ptf_comm as comm;
+pub use ptf_core as core;
+pub use ptf_data as data;
+pub use ptf_federated as federated;
+pub use ptf_metrics as metrics;
+pub use ptf_models as models;
+pub use ptf_privacy as privacy;
+pub use ptf_tensor as tensor;
