@@ -83,8 +83,7 @@ mod tests {
     use ptf_models::evaluate_model;
 
     fn split() -> TrainTestSplit {
-        let data =
-            SyntheticConfig::new("c", 30, 60, 12.0).generate(&mut ptf_data::test_rng(2));
+        let data = SyntheticConfig::new("c", 30, 60, 12.0).generate(&mut ptf_data::test_rng(2));
         TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(3))
     }
 
@@ -92,8 +91,7 @@ mod tests {
     fn loss_decreases_over_epochs() {
         let s = split();
         let cfg = CentralizedConfig { epochs: 8, batch: 128, neg_ratio: 4, seed: 5 };
-        let (_, losses) =
-            train_centralized(ModelKind::NeuMf, &s.train, &ModelHyper::small(), &cfg);
+        let (_, losses) = train_centralized(ModelKind::NeuMf, &s.train, &ModelHyper::small(), &cfg);
         assert_eq!(losses.len(), 8);
         assert!(
             losses.last().unwrap() < losses.first().unwrap(),

@@ -78,8 +78,7 @@ pub struct Fcf {
 impl Fcf {
     pub fn new(train: &Dataset, cfg: FcfConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let model =
-            MfModel::new(train.num_users(), train.num_items(), cfg.dim, cfg.lr, &mut rng);
+        let model = MfModel::new(train.num_users(), train.num_items(), cfg.dim, cfg.lr, &mut rng);
         let clients = partition_clients(train);
         let trainable = clients.iter().filter(|c| c.is_trainable()).map(|c| c.id).collect();
         Self { cfg, model, clients, trainable, ledger: CommLedger::new(), rng, round: 0 }
@@ -121,8 +120,7 @@ impl Fcf {
             }
             for (item, label) in samples {
                 let (row, bias) = local_rows.entry(item).or_insert_with(|| {
-                    (model.item_emb.row(item as usize).to_vec(),
-                     model.item_bias[item as usize])
+                    (model.item_emb.row(item as usize).to_vec(), model.item_bias[item as usize])
                 });
                 let user_row = model.user_emb.row_mut(client.id as usize);
                 loss_sum += mf_sgd_step(user_row, row, bias, label, cfg.lr, cfg.reg);
@@ -181,8 +179,7 @@ impl Fcf {
             }
             observer(cid, &client_delta, dim, num_items);
             for (item, (drow, dbias)) in client_delta {
-                let entry =
-                    delta_sum.entry(item).or_insert_with(|| (vec![0.0; dim], 0.0));
+                let entry = delta_sum.entry(item).or_insert_with(|| (vec![0.0; dim], 0.0));
                 for (d, new) in entry.0.iter_mut().zip(&drow) {
                     *d += new;
                 }
@@ -241,8 +238,7 @@ mod tests {
     use ptf_models::evaluate_model;
 
     fn split() -> TrainTestSplit {
-        let data =
-            SyntheticConfig::new("f", 30, 60, 12.0).generate(&mut ptf_data::test_rng(4));
+        let data = SyntheticConfig::new("f", 30, 60, 12.0).generate(&mut ptf_data::test_rng(4));
         TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(5))
     }
 

@@ -171,8 +171,7 @@ mod tests {
     use ptf_models::evaluate_model;
 
     fn split() -> TrainTestSplit {
-        let data =
-            SyntheticConfig::new("fm", 30, 60, 12.0).generate(&mut ptf_data::test_rng(6));
+        let data = SyntheticConfig::new("fm", 30, 60, 12.0).generate(&mut ptf_data::test_rng(6));
         TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(7))
     }
 
@@ -225,8 +224,7 @@ mod he_integration_tests {
 
     #[test]
     fn real_gradients_survive_the_homomorphic_path() {
-        let data =
-            SyntheticConfig::new("he", 20, 40, 10.0).generate(&mut ptf_data::test_rng(51));
+        let data = SyntheticConfig::new("he", 20, 40, 10.0).generate(&mut ptf_data::test_rng(51));
         let split = TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(52));
         let mut cfg = FedMfConfig::small();
         cfg.base.rounds = 3;

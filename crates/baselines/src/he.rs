@@ -87,20 +87,13 @@ impl HeContext {
     }
 
     /// Decrypts per-index aggregates contributed by `clients` in `round`.
-    pub fn decrypt_aggregate(
-        &self,
-        sums: &[i128],
-        round: u32,
-        clients: &[u32],
-    ) -> Vec<f32> {
+    pub fn decrypt_aggregate(&self, sums: &[i128], round: u32, clients: &[u32]) -> Vec<f32> {
         sums.iter()
             .enumerate()
             .map(|(i, &ct)| {
                 self.decrypt_sum(
                     ct,
-                    clients
-                        .iter()
-                        .map(|&c| MaskTag { round, client: c, index: i as u32 }),
+                    clients.iter().map(|&c| MaskTag { round, client: c, index: i as u32 }),
                 )
             })
             .collect()
@@ -137,11 +130,9 @@ mod tests {
     fn homomorphic_sum_matches_plain_sum() {
         let he = HeContext::new(9);
         let values = [0.25f32, -0.75, 0.125, 2.5];
-        let tags: Vec<MaskTag> = (0..4)
-            .map(|c| MaskTag { round: 1, client: c, index: 0 })
-            .collect();
-        let cts: Vec<i128> =
-            values.iter().zip(&tags).map(|(&v, &t)| he.encrypt(v, t)).collect();
+        let tags: Vec<MaskTag> =
+            (0..4).map(|c| MaskTag { round: 1, client: c, index: 0 }).collect();
+        let cts: Vec<i128> = values.iter().zip(&tags).map(|(&v, &t)| he.encrypt(v, t)).collect();
         let agg = HeContext::aggregate(cts);
         let sum = he.decrypt_sum(agg, tags);
         let expected: f32 = values.iter().sum();
@@ -155,8 +146,7 @@ mod tests {
         let b = [1.0f32, 0.5, -0.25];
         let ct_a = he.encrypt_slice(&a, 5, 0);
         let ct_b = he.encrypt_slice(&b, 5, 1);
-        let sums: Vec<i128> =
-            ct_a.iter().zip(&ct_b).map(|(&x, &y)| x.wrapping_add(y)).collect();
+        let sums: Vec<i128> = ct_a.iter().zip(&ct_b).map(|(&x, &y)| x.wrapping_add(y)).collect();
         let dec = he.decrypt_aggregate(&sums, 5, &[0, 1]);
         for (d, (x, y)) in dec.iter().zip(a.iter().zip(&b)) {
             assert!((d - (x + y)).abs() < 1e-5);

@@ -225,11 +225,8 @@ impl FederatedBaseline for MetaMf {
                 }
             }
             // through tanh
-            let d_pre: Vec<f32> = d_gate
-                .iter()
-                .zip(&pre)
-                .map(|(&dg, &x)| dg * (1.0 - x.tanh() * x.tanh()))
-                .collect();
+            let d_pre: Vec<f32> =
+                d_gate.iter().zip(&pre).map(|(&dg, &x)| dg * (1.0 - x.tanh() * x.tanh())).collect();
             let z = self.codes.row(cid as usize).to_vec();
             for (k, &zk) in z.iter().enumerate() {
                 let wgrad = g_w.row_mut(k);
@@ -241,9 +238,7 @@ impl FederatedBaseline for MetaMf {
                 *gb += dp;
             }
             let wz: Vec<f32> = (0..d)
-                .map(|k| {
-                    self.w_gate.row(k).iter().zip(&d_pre).map(|(&w, &dp)| w * dp).sum()
-                })
+                .map(|k| self.w_gate.row(k).iter().zip(&d_pre).map(|(&w, &dp)| w * dp).sum())
                 .collect();
             g_codes.push((cid, wz));
         }
@@ -303,12 +298,7 @@ impl Recommender for MetaMf {
         items
             .iter()
             .map(|&i| {
-                let logit: f32 = self
-                    .gen_item(&gate, i)
-                    .iter()
-                    .zip(p)
-                    .map(|(&a, &b)| a * b)
-                    .sum();
+                let logit: f32 = self.gen_item(&gate, i).iter().zip(p).map(|(&a, &b)| a * b).sum();
                 sigmoid(logit)
             })
             .collect()
@@ -336,8 +326,7 @@ mod tests {
     use ptf_models::evaluate_model;
 
     fn split() -> TrainTestSplit {
-        let data =
-            SyntheticConfig::new("mm", 30, 60, 12.0).generate(&mut ptf_data::test_rng(8));
+        let data = SyntheticConfig::new("mm", 30, 60, 12.0).generate(&mut ptf_data::test_rng(8));
         TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(9))
     }
 

@@ -32,8 +32,8 @@ fn main() {
     for &v in &item_counts {
         for &d in &dims {
             let fcf = 2.0 * Payload::DenseMatrix { rows: v, cols: d + 1 }.bytes() as f64;
-            let fedmf = 2.0
-                * Payload::Ciphertexts { count: v * (d + 1), bytes_each: 64 }.bytes() as f64;
+            let fedmf =
+                2.0 * Payload::Ciphertexts { count: v * (d + 1), bytes_each: 64 }.bytes() as f64;
             let metamf = 2.0
                 * (Payload::DenseMatrix { rows: v, cols: d }.bytes()
                     + Payload::Vector { len: d }.bytes()) as f64;

@@ -23,8 +23,7 @@ fn main() {
         eprintln!("[convergence] server={}", server.name());
         let mut cfg = ptf_config(scale);
         cfg.rounds = rounds;
-        let mut fed =
-            PtfFedRec::new(&split.train, ModelKind::NeuMf, server, &h, cfg);
+        let mut fed = PtfFedRec::new(&split.train, ModelKind::NeuMf, server, &h, cfg);
         let mut curve = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
             fed.run_round();
@@ -32,12 +31,7 @@ fn main() {
         }
         columns.push(curve);
     }
-    for (r, ((a, b), c)) in columns[0]
-        .iter()
-        .zip(&columns[1])
-        .zip(&columns[2])
-        .enumerate()
-    {
+    for (r, ((a, b), c)) in columns[0].iter().zip(&columns[1]).zip(&columns[2]).enumerate() {
         table.row(vec![(r + 1).to_string(), fmt4(*a), fmt4(*b), fmt4(*c)]);
     }
     table.print();

@@ -30,8 +30,7 @@ fn bench_upload_construction(c: &mut Criterion) {
 }
 
 fn bench_top_guess_attack(c: &mut Criterion) {
-    let upload: Vec<ScoredItem> =
-        (0..1000).map(|i| (i, ((i * 37) % 100) as f32 / 100.0)).collect();
+    let upload: Vec<ScoredItem> = (0..1000).map(|i| (i, ((i * 37) % 100) as f32 / 100.0)).collect();
     let truth: Vec<u32> = (0..200).collect();
     let attack = TopGuessAttack::default();
     c.bench_function("top_guess_attack_1000items", |bench| {

@@ -16,9 +16,8 @@ fn bench_matmul(c: &mut Criterion) {
 fn bench_spmm(c: &mut Criterion) {
     let mut rng = test_rng(2);
     // ~1% dense 1000×1000 adjacency × 1000×32 embeddings
-    let triplets: Vec<(u32, u32, f32)> = (0..10_000)
-        .map(|k| (((k * 37) % 1000) as u32, ((k * 91) % 1000) as u32, 0.5))
-        .collect();
+    let triplets: Vec<(u32, u32, f32)> =
+        (0..10_000).map(|k| (((k * 37) % 1000) as u32, ((k * 91) % 1000) as u32, 0.5)).collect();
     let m = Csr::from_triplets(1000, 1000, &triplets);
     let x = Matrix::randn(1000, 32, 1.0, &mut rng);
     c.bench_function("spmm_1000x1000_nnz10k_d32", |bench| {

@@ -24,8 +24,7 @@ fn main() {
         let split = split_for(preset, scale);
         eprintln!("[table3] {} — centralized baselines", preset.name());
         for kind in ModelKind::ALL {
-            let (model, _) =
-                train_centralized(kind, &split.train, &h, &centralized_config(scale));
+            let (model, _) = train_centralized(kind, &split.train, &h, &centralized_config(scale));
             let r = evaluate_model(&*model, &split.train, &split.test, EVAL_K);
             push(
                 &mut rows,

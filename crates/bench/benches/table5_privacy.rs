@@ -15,8 +15,7 @@ fn main() {
     );
 
     let defenses = defense_rows();
-    let mut cells: Vec<Vec<String>> =
-        defenses.iter().map(|d| vec![d.name().to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = defenses.iter().map(|d| vec![d.name().to_string()]).collect();
 
     for preset in DatasetPreset::ALL {
         let split = split_for(preset, scale);

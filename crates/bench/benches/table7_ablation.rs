@@ -13,13 +13,13 @@ fn main() {
     let scale = scale();
     let h = hyper(scale);
     let mut table = Table::new(
-        format!("Table VII — D̃ construction ablation, Recall@{EVAL_K}/NDCG@{EVAL_K} ({scale:?} scale)"),
+        format!(
+            "Table VII — D̃ construction ablation, Recall@{EVAL_K}/NDCG@{EVAL_K} ({scale:?} scale)"
+        ),
         &["Method", "ML R", "ML N", "Steam R", "Steam N", "Gowalla R", "Gowalla N"],
     );
-    let mut cells: Vec<Vec<String>> = DisperseStrategy::ALL
-        .iter()
-        .map(|s| vec![s.name().to_string()])
-        .collect();
+    let mut cells: Vec<Vec<String>> =
+        DisperseStrategy::ALL.iter().map(|s| vec![s.name().to_string()]).collect();
 
     for preset in DatasetPreset::ALL {
         let split = split_for(preset, scale);

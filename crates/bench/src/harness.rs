@@ -1,8 +1,6 @@
 //! Shared plumbing for the experiment binaries.
 
-use ptf_baselines::{
-    CentralizedConfig, FcfConfig, FedMfConfig, MetaMfConfig,
-};
+use ptf_baselines::{CentralizedConfig, FcfConfig, FedMfConfig, MetaMfConfig};
 use ptf_core::{PtfConfig, PtfFedRec};
 use ptf_data::{DatasetPreset, Scale, TrainTestSplit};
 use ptf_models::{ModelHyper, ModelKind};
@@ -124,9 +122,7 @@ pub fn run_ptf(
 pub fn attack_f1(fed: &PtfFedRec) -> f64 {
     let attack = TopGuessAttack::default();
     attack.mean_f1(
-        fed.last_uploads()
-            .iter()
-            .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
+        fed.last_uploads().iter().map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
     )
 }
 
@@ -196,12 +192,8 @@ impl Table {
             }
         }
         let _ = writeln!(out, "\n=== {} ===", self.title);
-        let header: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:<w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
@@ -213,8 +205,7 @@ impl Table {
 
     /// Writes the table as JSON under `<workspace>/experiments/<name>.json`.
     pub fn save(&self, name: &str) {
-        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../experiments");
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../experiments");
         if std::fs::create_dir_all(&dir).is_err() {
             return;
         }

@@ -27,7 +27,13 @@ pub struct PtfClient {
 }
 
 impl PtfClient {
-    pub fn new(data: &ClientData, kind: ModelKind, hyper: &ModelHyper, num_items: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        data: &ClientData,
+        kind: ModelKind,
+        hyper: &ModelHyper,
+        num_items: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self {
             id: data.id,
             positives: data.positives.clone(),
@@ -66,17 +72,12 @@ impl PtfClient {
         let num_items = self.model.num_items();
 
         // 1. this round's trained pool V^t_i: positives + fresh 1:ratio negatives
-        let negatives = sample_negatives(
-            &self.positives,
-            num_items,
-            self.positives.len() * cfg.neg_ratio,
-            rng,
-        );
+        let negatives =
+            sample_negatives(&self.positives, num_items, self.positives.len() * cfg.neg_ratio, rng);
 
         // 2. training samples (user id 0 inside the local model)
-        let mut samples: Vec<(u32, u32, f32)> = Vec::with_capacity(
-            self.positives.len() + negatives.len() + self.server_data.len(),
-        );
+        let mut samples: Vec<(u32, u32, f32)> =
+            Vec::with_capacity(self.positives.len() + negatives.len() + self.server_data.len());
         samples.extend(self.positives.iter().map(|&i| (0u32, i, 1.0f32)));
         samples.extend(negatives.iter().map(|&i| (0u32, i, 0.0f32)));
         samples.extend(self.server_data.iter().map(|&(i, s)| (0u32, i, s)));
@@ -107,11 +108,9 @@ impl PtfClient {
         // 4. §III-B2: score the trained pool and build D̂ᵗᵢ
         let pos_scores = self.model.score(0, &self.positives);
         let neg_scores = self.model.score(0, &negatives);
-        let pos: Vec<ScoredItem> =
-            self.positives.iter().copied().zip(pos_scores).collect();
+        let pos: Vec<ScoredItem> = self.positives.iter().copied().zip(pos_scores).collect();
         let neg: Vec<ScoredItem> = negatives.iter().copied().zip(neg_scores).collect();
-        let upload =
-            build_upload(self.id, pos, neg, cfg.defense, &cfg.sampling, cfg.lambda, rng);
+        let upload = build_upload(self.id, pos, neg, cfg.defense, &cfg.sampling, cfg.lambda, rng);
         (upload, mean_loss)
     }
 }

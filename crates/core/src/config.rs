@@ -138,10 +138,7 @@ impl PtfConfig {
         assert!(self.client_batch > 0 && self.server_batch > 0, "batch sizes must be positive");
         assert!((0.0..=1.0).contains(&self.mu), "mu must be in [0,1]");
         assert!((0.0..=1.0).contains(&self.lambda), "lambda must be in [0,1]");
-        assert!(
-            (0.0..=1.0).contains(&self.graph_threshold),
-            "graph_threshold must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&self.graph_threshold), "graph_threshold must be in [0,1]");
     }
 }
 

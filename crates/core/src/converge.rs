@@ -70,8 +70,7 @@ mod tests {
     use ptf_models::{ModelHyper, ModelKind};
 
     fn setup(rounds: u32) -> (ThreeWaySplit, PtfFedRec) {
-        let data =
-            SyntheticConfig::new("es", 30, 60, 12.0).generate(&mut ptf_data::test_rng(41));
+        let data = SyntheticConfig::new("es", 30, 60, 12.0).generate(&mut ptf_data::test_rng(41));
         let split = ThreeWaySplit::split(&data, 0.2, 0.1, &mut ptf_data::test_rng(42));
         let mut cfg = PtfConfig::small();
         cfg.rounds = rounds;

@@ -44,14 +44,10 @@ pub fn select_disperse_items(
         }
     }
 
-    let use_confidence = matches!(
-        strategy,
-        DisperseStrategy::ConfidenceHard | DisperseStrategy::ConfidenceRandom
-    );
-    let use_hard = matches!(
-        strategy,
-        DisperseStrategy::ConfidenceHard | DisperseStrategy::RandomHard
-    );
+    let use_confidence =
+        matches!(strategy, DisperseStrategy::ConfidenceHard | DisperseStrategy::ConfidenceRandom);
+    let use_hard =
+        matches!(strategy, DisperseStrategy::ConfidenceHard | DisperseStrategy::RandomHard);
 
     // first share: confidence (or its random replacement)
     if use_confidence {
@@ -255,7 +251,14 @@ mod tests {
             DisperseStrategy::ConfidenceHard,
             &mut test_rng(5),
         );
-        assert_eq!({ let mut s = sel; s.sort_unstable(); s }, vec![16, 17, 18, 19]);
+        assert_eq!(
+            {
+                let mut s = sel;
+                s.sort_unstable();
+                s
+            },
+            vec![16, 17, 18, 19]
+        );
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod server;
 pub mod upload;
 
 pub use client::PtfClient;
-pub use converge::ConvergedRun;
 pub use config::{DefenseKind, DisperseStrategy, PtfConfig};
+pub use converge::ConvergedRun;
 pub use protocol::PtfFedRec;
 pub use server::PtfServer;
 pub use upload::{build_upload, ClientUpload};

@@ -88,15 +88,13 @@ impl PtfFedRec {
     /// Executes one global round of Algorithm 1.
     pub fn run_round(&mut self) -> RoundTrace {
         let bytes_before = self.ledger.total_bytes();
-        let participants =
-            self.cfg.participation.sample(&self.trainable, &mut self.rng);
+        let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
 
         // lines 5–8: local training + prediction upload
         let mut uploads: Vec<ClientUpload> = Vec::with_capacity(participants.len());
         let mut loss_sum = 0.0f64;
         for &cid in &participants {
-            let (upload, loss) =
-                self.clients[cid as usize].local_round(&self.cfg, &mut self.rng);
+            let (upload, loss) = self.clients[cid as usize].local_round(&self.cfg, &mut self.rng);
             loss_sum += loss as f64;
             self.ledger.upload(
                 cid,
@@ -114,8 +112,7 @@ impl PtfFedRec {
         for up in &uploads {
             let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
             uploaded.sort_unstable();
-            let disperse =
-                self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut self.rng);
+            let disperse = self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut self.rng);
             self.ledger.download(
                 up.client,
                 self.round,
@@ -273,10 +270,7 @@ mod tests {
         fed_b.run();
         let full: usize = fed_a.last_uploads().iter().map(|u| u.len()).sum();
         let sampled: usize = fed_b.last_uploads().iter().map(|u| u.len()).sum();
-        assert!(
-            sampled < full,
-            "sampling defense should shrink uploads: {sampled} vs {full}"
-        );
+        assert!(sampled < full, "sampling defense should shrink uploads: {sampled} vs {full}");
     }
 
     #[test]

@@ -84,8 +84,7 @@ impl PtfServer {
         let mut loss_sum = 0.0f32;
         for _ in 0..cfg.server_epochs {
             shuffle(&mut samples, rng);
-            loss_sum +=
-                ptf_models::train_on_samples(&mut *self.model, &samples, cfg.server_batch);
+            loss_sum += ptf_models::train_on_samples(&mut *self.model, &samples, cfg.server_batch);
         }
         loss_sum / cfg.server_epochs as f32
     }
@@ -145,10 +144,7 @@ mod tests {
     #[test]
     fn update_counts_track_uploads() {
         let mut s = server(ModelKind::NeuMf);
-        let ups = vec![
-            upload(0, &[(3, 0.9), (7, 0.1)]),
-            upload(1, &[(3, 0.8), (9, 0.2)]),
-        ];
+        let ups = vec![upload(0, &[(3, 0.9), (7, 0.1)]), upload(1, &[(3, 0.8), (9, 0.2)])];
         let loss = s.train_on_uploads(&ups, &cfg(), &mut test_rng(2));
         assert!(loss > 0.0 && loss.is_finite());
         assert_eq!(s.item_update_counts()[3], 2);
@@ -166,10 +162,7 @@ mod tests {
             s.train_on_uploads(&ups, &config, &mut test_rng(3));
         }
         let scores = s.model().score(0, &[3, 7]);
-        assert!(
-            scores[0] > scores[1],
-            "server did not learn the uploaded ordering: {scores:?}"
-        );
+        assert!(scores[0] > scores[1], "server did not learn the uploaded ordering: {scores:?}");
     }
 
     #[test]
@@ -180,8 +173,7 @@ mod tests {
         s.train_on_uploads(&[upload(0, &[(3, 0.9), (7, 0.2)])], &config, &mut rng);
         s.train_on_uploads(&[upload(1, &[(3, 0.85)])], &config, &mut rng);
         // edges (0,3) and (1,3) survive the 0.5 threshold; (0,7) does not
-        let high: Vec<_> =
-            s.edges.iter().filter(|&(_, &v)| v >= 0.5).map(|(&k, _)| k).collect();
+        let high: Vec<_> = s.edges.iter().filter(|&(_, &v)| v >= 0.5).map(|(&k, _)| k).collect();
         assert!(high.contains(&(0, 3)));
         assert!(high.contains(&(1, 3)));
         assert!(!high.contains(&(0, 7)));

@@ -184,9 +184,7 @@ mod tests {
         let unchanged = up
             .predictions
             .iter()
-            .filter(|&&(i, s)| {
-                pos.iter().chain(neg.iter()).any(|&(j, v)| j == i && v == s)
-            })
+            .filter(|&&(i, s)| pos.iter().chain(neg.iter()).any(|&(j, v)| j == i && v == s))
             .count();
         assert!(unchanged < 5, "{unchanged} scores survived Laplace noise untouched");
         assert!(up.predictions.iter().all(|&(_, s)| (0.0..=1.0).contains(&s)));

@@ -57,19 +57,14 @@ impl Reindexer {
     }
 }
 
-fn build(
-    name: &str,
-    rows: Vec<(String, String)>,
-) -> Result<Dataset, ParseError> {
+fn build(name: &str, rows: Vec<(String, String)>) -> Result<Dataset, ParseError> {
     if rows.is_empty() {
         return Err(ParseError::Empty);
     }
     let mut users = Reindexer::default();
     let mut items = Reindexer::default();
-    let pairs: Vec<(u32, u32)> = rows
-        .iter()
-        .map(|(u, i)| (users.resolve(u), items.resolve(i)))
-        .collect();
+    let pairs: Vec<(u32, u32)> =
+        rows.iter().map(|(u, i)| (users.resolve(u), items.resolve(i))).collect();
     Ok(Dataset::from_pairs(name, users.len(), items.len(), pairs))
 }
 

@@ -29,9 +29,8 @@ pub fn sample_negatives(
     // dense candidate pool when the request covers most of the complement,
     // rejection sampling otherwise
     if count * 3 >= available {
-        let mut pool: Vec<u32> = (0..num_items as u32)
-            .filter(|c| sorted_positives.binary_search(c).is_err())
-            .collect();
+        let mut pool: Vec<u32> =
+            (0..num_items as u32).filter(|c| sorted_positives.binary_search(c).is_err()).collect();
         for i in 0..count {
             let j = rng.gen_range(i..pool.len());
             pool.swap(i, j);
@@ -120,8 +119,7 @@ mod tests {
         let pos = vec![2, 4, 9];
         let pool = build_training_pool(&pos, 30, 4, &mut crate::test_rng(4));
         assert_eq!(pool.len(), 3 + 12);
-        let positives: Vec<u32> =
-            pool.iter().filter(|(_, l)| *l == 1.0).map(|&(i, _)| i).collect();
+        let positives: Vec<u32> = pool.iter().filter(|(_, l)| *l == 1.0).map(|&(i, _)| i).collect();
         let mut sorted = positives.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, pos, "every positive appears exactly once");
@@ -137,9 +135,6 @@ mod tests {
         let pos: Vec<u32> = (0..20).map(|i| i * 2).collect();
         let pool = build_training_pool(&pos, 100, 1, &mut crate::test_rng(5));
         let first_labels: Vec<f32> = pool.iter().take(20).map(|&(_, l)| l).collect();
-        assert!(
-            first_labels.contains(&0.0),
-            "positives still at the front — pool not shuffled"
-        );
+        assert!(first_labels.contains(&0.0), "positives still at the front — pool not shuffled");
     }
 }

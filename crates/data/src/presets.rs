@@ -22,8 +22,7 @@ pub enum DatasetPreset {
 }
 
 impl DatasetPreset {
-    pub const ALL: [DatasetPreset; 3] =
-        [Self::MovieLens100K, Self::Steam200K, Self::Gowalla];
+    pub const ALL: [DatasetPreset; 3] = [Self::MovieLens100K, Self::Steam200K, Self::Gowalla];
 
     pub fn name(self) -> &'static str {
         match self {

@@ -32,16 +32,24 @@ impl TrainTestSplit {
                 let j = rng.gen_range(0..=i);
                 items.swap(i, j);
             }
-            let n_test = ((items.len() as f64 * test_fraction) as usize)
-                .min(items.len().saturating_sub(1));
+            let n_test =
+                ((items.len() as f64 * test_fraction) as usize).min(items.len().saturating_sub(1));
             let test_items = items.split_off(items.len() - n_test);
             train_by_user.push(items);
             test_by_user.push(test_items);
         }
         let name = dataset.name().to_string();
         Self {
-            train: Dataset::from_user_items(format!("{name}/train"), dataset.num_items(), train_by_user),
-            test: Dataset::from_user_items(format!("{name}/test"), dataset.num_items(), test_by_user),
+            train: Dataset::from_user_items(
+                format!("{name}/train"),
+                dataset.num_items(),
+                train_by_user,
+            ),
+            test: Dataset::from_user_items(
+                format!("{name}/test"),
+                dataset.num_items(),
+                test_by_user,
+            ),
         }
     }
 
@@ -87,12 +95,7 @@ mod tests {
     use super::*;
 
     fn dataset() -> Dataset {
-        let by_user = vec![
-            (0..20).collect::<Vec<u32>>(),
-            vec![3],
-            vec![],
-            (5..15).collect(),
-        ];
+        let by_user = vec![(0..20).collect::<Vec<u32>>(), vec![3], vec![], (5..15).collect()];
         Dataset::from_user_items("d", 30, by_user)
     }
 
@@ -100,10 +103,7 @@ mod tests {
     fn partition_is_disjoint_and_complete() {
         let d = dataset();
         let s = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(1));
-        assert_eq!(
-            s.train.num_interactions() + s.test.num_interactions(),
-            d.num_interactions()
-        );
+        assert_eq!(s.train.num_interactions() + s.test.num_interactions(), d.num_interactions());
         for u in 0..d.num_users() as u32 {
             for &i in s.test.user_items(u) {
                 assert!(!s.train.contains(u, i), "({u},{i}) in both train and test");

@@ -35,8 +35,7 @@ impl std::fmt::Display for DatasetStats {
         write!(
             f,
             "{:<24} users={:<6} items={:<6} interactions={:<8} avg_len={:<6.1} density={:.2}%",
-            self.name, self.users, self.items, self.interactions, self.avg_length,
-            self.density_pct
+            self.name, self.users, self.items, self.interactions, self.avg_length, self.density_pct
         )
     }
 }

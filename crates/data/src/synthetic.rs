@@ -74,9 +74,8 @@ impl SyntheticConfig {
 
         // Item latents and popularity. Popularity ranks are shuffled so
         // item id order carries no signal.
-        let item_latent: Vec<Vec<f64>> = (0..self.num_items)
-            .map(|_| (0..d).map(|_| normal.sample(rng)).collect())
-            .collect();
+        let item_latent: Vec<Vec<f64>> =
+            (0..self.num_items).map(|_| (0..d).map(|_| normal.sample(rng)).collect()).collect();
         let mut pop_rank: Vec<usize> = (0..self.num_items).collect();
         shuffle(&mut pop_rank, rng);
         let log_pop: Vec<f64> = (0..self.num_items)
@@ -93,12 +92,9 @@ impl SyntheticConfig {
             let user_latent: Vec<f64> = (0..d).map(|_| normal.sample(rng)).collect();
             keyed.clear();
             for j in 0..self.num_items {
-                let affinity: f64 = user_latent
-                    .iter()
-                    .zip(&item_latent[j])
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-                    * inv_sqrt_d;
+                let affinity: f64 =
+                    user_latent.iter().zip(&item_latent[j]).map(|(a, b)| a * b).sum::<f64>()
+                        * inv_sqrt_d;
                 let log_w = log_pop[j] + self.affinity_sharpness * affinity;
                 // Efraimidis–Spirakis: key = ln(U)/w  (take the largest
                 // keys). In log space: key = ln(-ln U) - ln w; we take the
@@ -125,11 +121,7 @@ impl SyntheticConfig {
         let raw_sum: f64 = raw.iter().sum();
         let scale = self.target_interactions as f64 / raw_sum;
         raw.iter()
-            .map(|&w| {
-                ((w * scale).round() as usize)
-                    .max(self.min_profile_len)
-                    .min(self.num_items)
-            })
+            .map(|&w| ((w * scale).round() as usize).max(self.min_profile_len).min(self.num_items))
             .collect()
     }
 }

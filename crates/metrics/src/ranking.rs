@@ -21,9 +21,8 @@ pub struct RankingMetrics {
 /// ties broken toward lower index for determinism.
 pub fn top_k_indices(scores: &[f32], excluded: &[u32], k: usize) -> Vec<u32> {
     debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded must be sorted");
-    let mut candidates: Vec<u32> = (0..scores.len() as u32)
-        .filter(|i| excluded.binary_search(i).is_err())
-        .collect();
+    let mut candidates: Vec<u32> =
+        (0..scores.len() as u32).filter(|i| excluded.binary_search(i).is_err()).collect();
     let k = k.min(candidates.len());
     if k == 0 {
         return Vec::new();
@@ -169,7 +168,6 @@ mod tests {
         assert_eq!(m.recall, 0.0);
     }
 }
-
 
 #[cfg(test)]
 mod mrr_map_tests {

@@ -37,16 +37,10 @@ mod tests {
         // generalize across items without shared structure, so instead use
         // a popularity-style signal: items 0/1 liked by everyone.
         let num_users = 12;
-        let train = Dataset::from_user_items(
-            "train",
-            8,
-            (0..num_users).map(|_| vec![0u32]).collect(),
-        );
-        let test = Dataset::from_user_items(
-            "test",
-            8,
-            (0..num_users).map(|_| vec![1u32]).collect(),
-        );
+        let train =
+            Dataset::from_user_items("train", 8, (0..num_users).map(|_| vec![0u32]).collect());
+        let test =
+            Dataset::from_user_items("test", 8, (0..num_users).map(|_| vec![1u32]).collect());
         let mut model = MfModel::new(num_users, 8, 8, 0.1, &mut test_rng(1));
         let before = evaluate_model(&model, &train, &test, 3);
 

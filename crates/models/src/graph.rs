@@ -92,11 +92,8 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric() {
-        let prop = normalized_bipartite(
-            3,
-            4,
-            &[(0, 0, 1.0), (0, 3, 1.0), (1, 0, 1.0), (2, 2, 1.0)],
-        );
+        let prop =
+            normalized_bipartite(3, 4, &[(0, 0, 1.0), (0, 3, 1.0), (1, 0, 1.0), (2, 2, 1.0)]);
         let d = prop.forward().to_dense();
         for r in 0..7 {
             for c in 0..7 {

@@ -99,10 +99,8 @@ impl LightGcn {
         }
         self.invalidate();
         let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let pos: Vec<u32> =
-            batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
-        let neg: Vec<u32> =
-            batch.iter().map(|&(_, _, j)| item_node(self.num_users, j)).collect();
+        let pos: Vec<u32> = batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let neg: Vec<u32> = batch.iter().map(|&(_, _, j)| item_node(self.num_users, j)).collect();
         let (grads, loss) = {
             let mut g = Graph::new(&self.params);
             let f = self.build_final(&mut g);
@@ -159,8 +157,7 @@ impl Recommender for LightGcn {
         }
         self.invalidate();
         let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> =
-            batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let items: Vec<u32> = batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
         let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
         let (grads, loss) = {
             let mut g = Graph::new(&self.params);
@@ -248,8 +245,7 @@ mod tests {
     fn training_reduces_loss_and_separates() {
         let mut m = tiny();
         m.set_graph(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
-        let batch: Vec<(u32, u32, f32)> =
-            vec![(0, 0, 1.0), (0, 3, 0.0), (1, 1, 1.0), (1, 4, 0.0)];
+        let batch: Vec<(u32, u32, f32)> = vec![(0, 0, 1.0), (0, 3, 0.0), (1, 1, 1.0), (1, 4, 0.0)];
         let first = m.train_batch(&batch);
         let mut last = first;
         for _ in 0..250 {
@@ -310,8 +306,7 @@ mod bpr_tests {
         let cfg = LightGcnConfig { dim: 8, layers: 2, lr: 0.05 };
         let mut m = LightGcn::new(3, 6, &cfg, &mut test_rng(11));
         m.set_graph(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
-        let batch: Vec<(u32, u32, u32)> =
-            vec![(0, 0, 3), (0, 0, 4), (1, 1, 5), (2, 2, 3)];
+        let batch: Vec<(u32, u32, u32)> = vec![(0, 0, 3), (0, 0, 4), (1, 1, 5), (2, 2, 3)];
         let first = m.train_bpr_batch(&batch);
         let mut last = first;
         for _ in 0..150 {

@@ -28,19 +28,10 @@ pub fn mf_gradients(
     reg: f32,
 ) -> (Vec<f32>, Vec<f32>, f32, f32) {
     debug_assert_eq!(user_vec.len(), item_vec.len());
-    let logit: f32 =
-        user_vec.iter().zip(item_vec).map(|(&a, &b)| a * b).sum::<f32>() + item_bias;
+    let logit: f32 = user_vec.iter().zip(item_vec).map(|(&a, &b)| a * b).sum::<f32>() + item_bias;
     let err = stable_sigmoid(logit) - label;
-    let du: Vec<f32> = user_vec
-        .iter()
-        .zip(item_vec)
-        .map(|(&u, &v)| err * v + reg * u)
-        .collect();
-    let dv: Vec<f32> = user_vec
-        .iter()
-        .zip(item_vec)
-        .map(|(&u, &v)| err * u + reg * v)
-        .collect();
+    let du: Vec<f32> = user_vec.iter().zip(item_vec).map(|(&u, &v)| err * v + reg * u).collect();
+    let dv: Vec<f32> = user_vec.iter().zip(item_vec).map(|(&u, &v)| err * u + reg * v).collect();
     (du, dv, err, bce_loss(logit, label))
 }
 
@@ -76,7 +67,13 @@ pub struct MfModel {
 }
 
 impl MfModel {
-    pub fn new(num_users: usize, num_items: usize, dim: usize, lr: f32, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        num_users: usize,
+        num_items: usize,
+        dim: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self {
             user_emb: Matrix::randn(num_users, dim, 0.1, rng),
             item_emb: Matrix::randn(num_items, dim, 0.1, rng),
@@ -164,20 +161,19 @@ mod tests {
             up[k] += eps;
             let mut un = u.clone();
             un[k] -= eps;
-            let logit = |uu: &[f32]| -> f32 {
-                uu.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias
-            };
+            let logit =
+                |uu: &[f32]| -> f32 { uu.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias };
             let num = (bce_loss(logit(&up), label) - bce_loss(logit(&un), label)) / (2.0 * eps);
             assert!((du[k] - num).abs() < 1e-3, "du[{k}]: {} vs {num}", du[k]);
         }
         // dv symmetric by construction; spot-check bias
-        let num_db = (bce_loss(
-            u.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias + eps,
-            label,
-        ) - bce_loss(
-            u.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias - eps,
-            label,
-        )) / (2.0 * eps);
+        let num_db =
+            (bce_loss(u.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias + eps, label)
+                - bce_loss(
+                    u.iter().zip(&v).map(|(&a, &b)| a * b).sum::<f32>() + bias - eps,
+                    label,
+                ))
+                / (2.0 * eps);
         assert!((db - num_db).abs() < 1e-3);
         let _ = dv;
     }
@@ -195,8 +191,7 @@ mod tests {
     #[test]
     fn sgd_overfits_tiny_data() {
         let mut m = MfModel::new(2, 4, 8, 0.1, &mut test_rng(2));
-        let data: Vec<(u32, u32, f32)> =
-            vec![(0, 0, 1.0), (0, 1, 0.0), (1, 2, 1.0), (1, 3, 0.0)];
+        let data: Vec<(u32, u32, f32)> = vec![(0, 0, 1.0), (0, 1, 0.0), (1, 2, 1.0), (1, 3, 0.0)];
         for _ in 0..300 {
             m.train_batch(&data);
         }

@@ -58,7 +58,16 @@ impl NeuMf {
         let head_w = params.push("head_w", init::xavier_uniform(fan_in, 1, rng));
         let head_b = params.push("head_b", Matrix::zeros(1, 1));
         let adam = Adam::with_defaults(&params, cfg.lr);
-        Self { num_users, num_items, params, user_emb, item_emb, layers, head: (head_w, head_b), adam }
+        Self {
+            num_users,
+            num_items,
+            params,
+            user_emb,
+            item_emb,
+            layers,
+            head: (head_w, head_b),
+            adam,
+        }
     }
 
     /// Builds the logit column for `(users[k], items[k])` pairs.
@@ -179,14 +188,8 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let mut m = tiny();
-        let batch: Vec<(u32, u32, f32)> = vec![
-            (0, 0, 1.0),
-            (0, 1, 0.0),
-            (1, 2, 1.0),
-            (1, 3, 0.0),
-            (2, 4, 1.0),
-            (2, 5, 0.0),
-        ];
+        let batch: Vec<(u32, u32, f32)> =
+            vec![(0, 0, 1.0), (0, 1, 0.0), (1, 2, 1.0), (1, 3, 0.0), (2, 4, 1.0), (2, 5, 0.0)];
         let first = m.train_batch(&batch);
         let mut last = first;
         for _ in 0..120 {
@@ -198,8 +201,7 @@ mod tests {
     #[test]
     fn overfits_to_separate_positives_from_negatives() {
         let mut m = tiny();
-        let batch: Vec<(u32, u32, f32)> =
-            vec![(0, 0, 1.0), (0, 1, 0.0), (0, 2, 1.0), (0, 3, 0.0)];
+        let batch: Vec<(u32, u32, f32)> = vec![(0, 0, 1.0), (0, 1, 0.0), (0, 2, 1.0), (0, 3, 0.0)];
         for _ in 0..200 {
             m.train_batch(&batch);
         }

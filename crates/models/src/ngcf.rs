@@ -177,8 +177,7 @@ impl Recommender for Ngcf {
         }
         self.invalidate();
         let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> =
-            batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let items: Vec<u32> = batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
         let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
         let mut dropout_rng = self.dropout_rng.clone();
         let (grads, loss) = {
@@ -231,7 +230,14 @@ mod tests {
     use ptf_tensor::test_rng;
 
     fn tiny() -> Ngcf {
-        let cfg = NgcfConfig { dim: 8, layers: 2, lr: 0.02, leaky_slope: 0.2, reg: 1e-3, message_dropout: 0.1 };
+        let cfg = NgcfConfig {
+            dim: 8,
+            layers: 2,
+            lr: 0.02,
+            leaky_slope: 0.2,
+            reg: 1e-3,
+            message_dropout: 0.1,
+        };
         Ngcf::new(4, 6, &cfg, &mut test_rng(7))
     }
 
@@ -263,8 +269,7 @@ mod tests {
     fn training_reduces_loss_and_separates() {
         let mut m = tiny();
         m.set_graph(&[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
-        let batch: Vec<(u32, u32, f32)> =
-            vec![(0, 0, 1.0), (0, 3, 0.0), (1, 1, 1.0), (1, 4, 0.0)];
+        let batch: Vec<(u32, u32, f32)> = vec![(0, 0, 1.0), (0, 3, 0.0), (1, 1, 1.0), (1, 4, 0.0)];
         let first = m.train_batch(&batch);
         let mut last = first;
         for _ in 0..250 {

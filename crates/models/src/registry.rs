@@ -65,14 +65,28 @@ pub struct ModelHyper {
 
 impl Default for ModelHyper {
     fn default() -> Self {
-        Self { dim: 32, lr: 1e-3, gcn_layers: 3, mlp_layers: vec![64, 32, 16], ngcf_reg: 2e-2, ngcf_dropout: 0.1 }
+        Self {
+            dim: 32,
+            lr: 1e-3,
+            gcn_layers: 3,
+            mlp_layers: vec![64, 32, 16],
+            ngcf_reg: 2e-2,
+            ngcf_dropout: 0.1,
+        }
     }
 }
 
 impl ModelHyper {
     /// A reduced configuration for quick experiments and tests.
     pub fn small() -> Self {
-        Self { dim: 16, lr: 5e-3, gcn_layers: 2, mlp_layers: vec![32, 16], ngcf_reg: 5e-2, ngcf_dropout: 0.1 }
+        Self {
+            dim: 16,
+            lr: 5e-3,
+            gcn_layers: 2,
+            mlp_layers: vec![32, 16],
+            ngcf_reg: 5e-2,
+            ngcf_dropout: 0.1,
+        }
     }
 }
 

@@ -29,8 +29,7 @@ impl TopGuessAttack {
         if upload.is_empty() {
             return Vec::new();
         }
-        let k = ((upload.len() as f64 * self.gamma).round() as usize)
-            .clamp(1, upload.len());
+        let k = ((upload.len() as f64 * self.gamma).round() as usize).clamp(1, upload.len());
         let mut order: Vec<usize> = (0..upload.len()).collect();
         order.sort_unstable_by(|&a, &b| {
             upload[b].1.partial_cmp(&upload[a].1).expect("scores must not be NaN")
@@ -128,8 +127,7 @@ mod tests {
     #[test]
     fn mean_f1_averages_and_skips_empty() {
         let attack = TopGuessAttack::default();
-        let perfect: Vec<ScoredItem> =
-            vec![(0, 0.9), (1, 0.1), (2, 0.1), (3, 0.1), (4, 0.1)];
+        let perfect: Vec<ScoredItem> = vec![(0, 0.9), (1, 0.1), (2, 0.1), (3, 0.1), (4, 0.1)];
         let miss: Vec<ScoredItem> = vec![(0, 0.1), (1, 0.9), (2, 0.1), (3, 0.2), (4, 0.3)];
         let empty: Vec<ScoredItem> = vec![];
         let truth0 = vec![0u32];
@@ -181,15 +179,8 @@ mod oracle_tests {
     fn oracle_defeats_sampling_alone() {
         // sampling hides the ratio, but with perfect score separation an
         // oracle that knows the count recovers everything
-        let upload: Vec<ScoredItem> = vec![
-            (0, 0.95),
-            (1, 0.90),
-            (2, 0.91),
-            (10, 0.1),
-            (11, 0.2),
-            (12, 0.15),
-            (13, 0.12),
-        ];
+        let upload: Vec<ScoredItem> =
+            vec![(0, 0.95), (1, 0.90), (2, 0.91), (10, 0.1), (11, 0.2), (12, 0.15), (13, 0.12)];
         let m = OracleCountAttack.evaluate(&upload, &[0, 1, 2]);
         assert_eq!(m.f1, 1.0, "oracle should recover perfectly separated positives");
     }

@@ -56,8 +56,8 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         // Var of Laplace(b) is 2b²; b = 0.5 → var 0.5
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((var - 0.5).abs() < 0.05, "var {var}");
     }
 

@@ -78,11 +78,9 @@ mod tests {
     fn scores_are_conserved() {
         // swapping permutes the multiset of scores, never invents values
         let (mut pos, mut neg) = pools();
-        let mut all_before: Vec<f32> =
-            pos.iter().chain(neg.iter()).map(|&(_, s)| s).collect();
+        let mut all_before: Vec<f32> = pos.iter().chain(neg.iter()).map(|&(_, s)| s).collect();
         swap_scores(&mut pos, &mut neg, 0.6, &mut crate::test_rng(3));
-        let mut all_after: Vec<f32> =
-            pos.iter().chain(neg.iter()).map(|&(_, s)| s).collect();
+        let mut all_after: Vec<f32> = pos.iter().chain(neg.iter()).map(|&(_, s)| s).collect();
         all_before.sort_by(f32::total_cmp);
         all_after.sort_by(f32::total_cmp);
         assert_eq!(all_before, all_after);

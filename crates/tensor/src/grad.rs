@@ -155,10 +155,7 @@ impl Grads {
 
     /// Iterates `(id, buf)` over parameters that received gradient.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &GradBuf)> {
-        self.bufs
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| b.as_ref().map(|b| (ParamId(i), b)))
+        self.bufs.iter().enumerate().filter_map(|(i, b)| b.as_ref().map(|b| (ParamId(i), b)))
     }
 
     /// Number of parameters that received any gradient.

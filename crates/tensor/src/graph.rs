@@ -38,28 +38,71 @@ enum Source {
     Leaf,
     /// Trainable parameter; gradient goes to the [`Grads`] store.
     Param(ParamId),
-    Unary { p: Var, op: UnaryOp },
-    Binary { a: Var, b: Var, op: BinOp },
-    MatMul { a: Var, b: Var },
+    Unary {
+        p: Var,
+        op: UnaryOp,
+    },
+    Binary {
+        a: Var,
+        b: Var,
+        op: BinOp,
+    },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
     /// `prop.forward() × b`; backward is `prop.backward() × dY`.
-    Spmm { prop: PropagationMatrix, b: Var },
-    Gather { src: Var, idx: Rc<[u32]> },
-    ConcatCols { a: Var, b: Var },
+    Spmm {
+        prop: PropagationMatrix,
+        b: Var,
+    },
+    Gather {
+        src: Var,
+        idx: Rc<[u32]>,
+    },
+    ConcatCols {
+        a: Var,
+        b: Var,
+    },
     /// Row-wise dot product of two n×d matrices → n×1.
-    RowDot { a: Var, b: Var },
-    SumAll { p: Var },
-    MeanAll { p: Var },
+    RowDot {
+        a: Var,
+        b: Var,
+    },
+    SumAll {
+        p: Var,
+    },
+    MeanAll {
+        p: Var,
+    },
     /// n×d matrix plus a 1×d row vector broadcast over rows.
-    AddRow { m: Var, row: Var },
-    Scale { p: Var, c: f32 },
+    AddRow {
+        m: Var,
+        row: Var,
+    },
+    Scale {
+        p: Var,
+        c: f32,
+    },
     /// Mean binary cross-entropy over an n×1 logit column.
-    BceWithLogits { logits: Var, targets: Rc<[f32]> },
+    BceWithLogits {
+        logits: Var,
+        targets: Rc<[f32]>,
+    },
     /// Mean BPR (pairwise) loss over two n×1 logit columns.
-    BprLoss { pos: Var, neg: Var },
+    BprLoss {
+        pos: Var,
+        neg: Var,
+    },
     /// Squared Frobenius norm → 1×1 (for L2 regularization).
-    FrobSq { p: Var },
+    FrobSq {
+        p: Var,
+    },
     /// Inverted dropout: forward multiplies by a frozen 0/(1−rate)⁻¹ mask.
-    Dropout { p: Var, mask: Rc<[f32]> },
+    Dropout {
+        p: Var,
+        mask: Rc<[f32]>,
+    },
 }
 
 enum NodeValue {
@@ -207,13 +250,8 @@ impl<'p> Graph<'p> {
         assert_eq!((ar, ac), self.shape(b), "row_dot shape mismatch");
         let mut out = Matrix::zeros(ar, 1);
         for r in 0..ar {
-            let dot: f32 = self
-                .value(a)
-                .row(r)
-                .iter()
-                .zip(self.value(b).row(r))
-                .map(|(&x, &y)| x * y)
-                .sum();
+            let dot: f32 =
+                self.value(a).row(r).iter().zip(self.value(b).row(r)).map(|(&x, &y)| x * y).sum();
             out.set(r, 0, dot);
         }
         self.push(out, Source::RowDot { a, b })
@@ -332,7 +370,9 @@ impl<'p> Graph<'p> {
                 Source::Param(id) => {
                     grads
                         .slot_mut(*id)
-                        .get_or_insert_with(|| GradBuf::Dense(Matrix::zeros_like(self.params.get(*id))))
+                        .get_or_insert_with(|| {
+                            GradBuf::Dense(Matrix::zeros_like(self.params.get(*id)))
+                        })
                         .add_dense(&g);
                 }
                 Source::Unary { p, op } => {
@@ -342,7 +382,9 @@ impl<'p> Graph<'p> {
                             let y = self.value(Var(i));
                             y.zip_map(&g, |y, g| y * (1.0 - y) * g)
                         }
-                        UnaryOp::Relu => self.value(*p).zip_map(&g, |x, g| if x > 0.0 { g } else { 0.0 }),
+                        UnaryOp::Relu => {
+                            self.value(*p).zip_map(&g, |x, g| if x > 0.0 { g } else { 0.0 })
+                        }
                         UnaryOp::LeakyRelu(a) => {
                             let a = *a;
                             self.value(*p).zip_map(&g, move |x, g| if x > 0.0 { g } else { a * g })
@@ -531,11 +573,7 @@ mod tests {
     use crate::sparse::Csr;
 
     /// Central finite differences of `loss(params)` w.r.t. parameter `id`.
-    fn numeric_grad(
-        params: &mut Params,
-        id: ParamId,
-        loss: &dyn Fn(&Params) -> f32,
-    ) -> Matrix {
+    fn numeric_grad(params: &mut Params, id: ParamId, loss: &dyn Fn(&Params) -> f32) -> Matrix {
         let eps = 1e-2f32;
         let (rows, cols) = params.get(id).shape();
         let mut out = Matrix::zeros(rows, cols);

@@ -130,8 +130,8 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Graph;
     use crate::grad::RowSparse;
+    use crate::graph::Graph;
 
     #[test]
     fn sgd_moves_against_gradient() {

@@ -59,11 +59,7 @@ impl Params {
 
     /// Iterates `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.mats
-            .iter()
-            .zip(&self.names)
-            .enumerate()
-            .map(|(i, (m, n))| (ParamId(i), n.as_str(), m))
+        self.mats.iter().zip(&self.names).enumerate().map(|(i, (m, n))| (ParamId(i), n.as_str(), m))
     }
 
     /// Total number of scalar parameters, i.e. the "model size" used in
@@ -135,11 +131,7 @@ impl Params {
     /// restore, not a migration tool.
     pub fn load_state_from(&mut self, other: &Params) -> Result<(), String> {
         if self.len() != other.len() {
-            return Err(format!(
-                "parameter count mismatch: {} vs {}",
-                self.len(),
-                other.len()
-            ));
+            return Err(format!("parameter count mismatch: {} vs {}", self.len(), other.len()));
         }
         for ((_, name_a, mat_a), (_, name_b, mat_b)) in self.iter().zip(other.iter()) {
             if name_a != name_b {

@@ -105,8 +105,9 @@ impl Csr {
     /// Iterates `(row, col, value)` over stored entries.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
         (0..self.rows).flat_map(move |r| {
-            self.indptr[r]..self.indptr[r + 1]
-        }.map(move |k| (r as u32, self.indices[k], self.values[k])))
+            { self.indptr[r]..self.indptr[r + 1] }
+                .map(move |k| (r as u32, self.indices[k], self.values[k]))
+        })
     }
 
     /// Sparse × dense product `self × rhs`.
@@ -232,10 +233,7 @@ mod tests {
         let m = sample();
         assert_eq!(m.nnz(), 4);
         let entries: Vec<_> = m.iter().collect();
-        assert_eq!(
-            entries,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
-        );
+        assert_eq!(entries, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! cargo run --release --example communication_report
 //! ```
 
-use ptf_fedrec::baselines::{Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig};
+use ptf_fedrec::baselines::{
+    Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig,
+};
 use ptf_fedrec::comm::format_bytes;
 use ptf_fedrec::core::{PtfConfig, PtfFedRec};
 use ptf_fedrec::data::{DatasetPreset, Scale, TrainTestSplit};
@@ -44,13 +46,8 @@ fn main() {
 
     let mut cfg = PtfConfig::small();
     cfg.rounds = 3;
-    let mut ptf = PtfFedRec::new(
-        &split.train,
-        ModelKind::NeuMf,
-        ModelKind::Ngcf,
-        &ModelHyper::small(),
-        cfg,
-    );
+    let mut ptf =
+        PtfFedRec::new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &ModelHyper::small(), cfg);
     ptf.run();
     report("PTF-FedRec", ptf.ledger());
 
@@ -59,12 +56,7 @@ fn main() {
     for items in [10_000usize, 100_000, 1_000_000] {
         let fcf_bytes = 2.0 * (items * 33 * 4) as f64;
         let ptf_bytes = ((0.55 * 46.0 * 3.5) as usize + 30) as f64 * 12.0;
-        println!(
-            "{:>12} {:>12} {:>12}",
-            items,
-            format_bytes(fcf_bytes),
-            format_bytes(ptf_bytes)
-        );
+        println!("{:>12} {:>12} {:>12}", items, format_bytes(fcf_bytes), format_bytes(ptf_bytes));
     }
 }
 

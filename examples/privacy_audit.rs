@@ -46,13 +46,7 @@ fn main() {
         let ndcg = fed.evaluate(&split.train, &split.test, 20).metrics.ndcg;
         let avg_upload: f64 = fed.last_uploads().iter().map(|u| u.len() as f64).sum::<f64>()
             / fed.last_uploads().len().max(1) as f64;
-        println!(
-            "{:<22} {:>10.4} {:>10.4} {:>9.1} items",
-            defense.name(),
-            f1,
-            ndcg,
-            avg_upload
-        );
+        println!("{:<22} {:>10.4} {:>10.4} {:>9.1} items", defense.name(), f1, ndcg, avg_upload);
     }
     println!("\nlower F1 = better privacy; the paper's full defense trades a little");
     println!("NDCG for a large drop in attack accuracy (Table V).");

@@ -38,8 +38,7 @@ fn main() {
     for round in &trace.rounds {
         println!(
             "round {:>2}: client loss {:.4}, server loss {:.4}, {} participants, {} bytes",
-            round.round, round.mean_client_loss, round.server_loss, round.participants,
-            round.bytes
+            round.round, round.mean_client_loss, round.server_loss, round.participants, round.bytes
         );
     }
 

@@ -76,8 +76,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 client.name(),
                 server.name()
             );
-            let mut fed =
-                PtfFedRec::new(&split.train, client, server, &scaled_hyper(scale), cfg);
+            let mut fed = PtfFedRec::new(&split.train, client, server, &scaled_hyper(scale), cfg);
             let trace = fed.run();
             for r in &trace.rounds {
                 eprintln!(
@@ -99,8 +98,7 @@ fn run(cmd: Command) -> Result<(), String> {
                     .model()
                     .export_state()
                     .ok_or("this server model does not support checkpointing")?;
-                std::fs::write(&path, state)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                std::fs::write(&path, state).map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("hidden server model checkpointed to {path}");
             }
             Ok(())
@@ -137,8 +135,7 @@ fn run(cmd: Command) -> Result<(), String> {
         Command::Generate { dataset, out, scale, seed } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let data = dataset.generate(scale, &mut rng);
-            std::fs::write(&out, data.to_json())
-                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            std::fs::write(&out, data.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
             println!("wrote {} ({})", out, DatasetStats::of(&data));
             Ok(())
         }

@@ -32,7 +32,13 @@ pub enum Command {
         save: Option<String>,
     },
     /// Run the Top-Guess privacy audit under one defense.
-    Privacy { dataset: DatasetPreset, defense: DefenseChoice, epsilon: f64, scale: Scale, seed: u64 },
+    Privacy {
+        dataset: DatasetPreset,
+        defense: DefenseChoice,
+        epsilon: f64,
+        scale: Scale,
+        seed: u64,
+    },
     /// Export a synthetic dataset as JSON.
     Generate { dataset: DatasetPreset, out: String, scale: Scale, seed: u64 },
     /// Print usage.
@@ -106,8 +112,7 @@ fn parse_options(
         if !allowed.contains(&name) {
             return Err(format!("unknown option --{name}"));
         }
-        let value =
-            args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?.clone();
+        let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?.clone();
         if out.insert(name.to_string(), value).is_some() {
             return Err(format!("--{name} given twice"));
         }
@@ -127,7 +132,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "stats" => {
             let opts = parse_options(rest, &["scale", "seed"])?;
             Ok(Command::Stats {
-                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                scale: opts
+                    .get("scale")
+                    .map(|s| parse_scale(s))
+                    .transpose()?
+                    .unwrap_or(Scale::Small),
                 seed: parse_seed(&opts)?,
             })
         }
@@ -137,9 +146,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 &["dataset", "client", "server", "rounds", "scale", "seed", "k", "save"],
             )?;
             Ok(Command::Train {
-                dataset: parse_dataset(
-                    opts.get("dataset").ok_or("train requires --dataset")?,
-                )?,
+                dataset: parse_dataset(opts.get("dataset").ok_or("train requires --dataset")?)?,
                 client: opts
                     .get("client")
                     .map(|s| parse_model(s))
@@ -154,7 +161,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .get("rounds")
                     .map(|s| s.parse().map_err(|_| format!("bad --rounds {s:?}")))
                     .transpose()?,
-                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                scale: opts
+                    .get("scale")
+                    .map(|s| parse_scale(s))
+                    .transpose()?
+                    .unwrap_or(Scale::Small),
                 seed: parse_seed(&opts)?,
                 k: opts
                     .get("k")
@@ -167,9 +178,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "privacy" => {
             let opts = parse_options(rest, &["dataset", "defense", "epsilon", "scale", "seed"])?;
             Ok(Command::Privacy {
-                dataset: parse_dataset(
-                    opts.get("dataset").ok_or("privacy requires --dataset")?,
-                )?,
+                dataset: parse_dataset(opts.get("dataset").ok_or("privacy requires --dataset")?)?,
                 defense: opts
                     .get("defense")
                     .map(|s| parse_defense(s))
@@ -180,18 +189,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|s| s.parse().map_err(|_| format!("bad --epsilon {s:?}")))
                     .transpose()?
                     .unwrap_or(5.0),
-                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                scale: opts
+                    .get("scale")
+                    .map(|s| parse_scale(s))
+                    .transpose()?
+                    .unwrap_or(Scale::Small),
                 seed: parse_seed(&opts)?,
             })
         }
         "generate" => {
             let opts = parse_options(rest, &["dataset", "out", "scale", "seed"])?;
             Ok(Command::Generate {
-                dataset: parse_dataset(
-                    opts.get("dataset").ok_or("generate requires --dataset")?,
-                )?,
+                dataset: parse_dataset(opts.get("dataset").ok_or("generate requires --dataset")?)?,
                 out: opts.get("out").ok_or("generate requires --out")?.clone(),
-                scale: opts.get("scale").map(|s| parse_scale(s)).transpose()?.unwrap_or(Scale::Small),
+                scale: opts
+                    .get("scale")
+                    .map(|s| parse_scale(s))
+                    .transpose()?
+                    .unwrap_or(Scale::Small),
                 seed: parse_seed(&opts)?,
             })
         }
@@ -199,9 +214,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
-fn parse_seed(
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<u64, String> {
+fn parse_seed(opts: &std::collections::HashMap<String, String>) -> Result<u64, String> {
     opts.get("seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
         .transpose()
@@ -276,8 +289,7 @@ mod tests {
             ("sampling", DefenseChoice::Sampling),
             ("full", DefenseChoice::Full),
         ] {
-            let cmd =
-                parse(&argv(&format!("privacy --dataset steam --defense {s}"))).unwrap();
+            let cmd = parse(&argv(&format!("privacy --dataset steam --defense {s}"))).unwrap();
             match cmd {
                 Command::Privacy { defense, .. } => assert_eq!(defense, want),
                 other => panic!("wrong parse: {other:?}"),
@@ -311,17 +323,14 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod save_option_tests {
     use super::*;
 
     #[test]
     fn train_accepts_save_path() {
-        let args: Vec<String> = "train --dataset ml100k --save out.json"
-            .split_whitespace()
-            .map(String::from)
-            .collect();
+        let args: Vec<String> =
+            "train --dataset ml100k --save out.json".split_whitespace().map(String::from).collect();
         match parse(&args).unwrap() {
             Command::Train { save, .. } => assert_eq!(save.as_deref(), Some("out.json")),
             other => panic!("wrong parse: {other:?}"),

@@ -1,6 +1,8 @@
 //! Cross-crate consistency between the federated baselines.
 
-use ptf_fedrec::baselines::{Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig};
+use ptf_fedrec::baselines::{
+    Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig,
+};
 use ptf_fedrec::data::{SyntheticConfig, TrainTestSplit};
 use ptf_fedrec::models::evaluate_model;
 
@@ -36,8 +38,8 @@ fn fedmf_pays_exactly_the_ciphertext_expansion() {
     let mut fedmf = FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 7 });
     fcf.run_round();
     fedmf.run_round();
-    let ratio = fedmf.ledger().avg_client_bytes_per_round()
-        / fcf.ledger().avg_client_bytes_per_round();
+    let ratio =
+        fedmf.ledger().avg_client_bytes_per_round() / fcf.ledger().avg_client_bytes_per_round();
     assert!((ratio - 16.0).abs() < 1e-6, "expansion ratio {ratio} ≠ 16");
 }
 
@@ -64,9 +66,6 @@ fn all_baselines_improve_over_their_initialization() {
 fn baselines_report_paper_names() {
     let s = split();
     assert_eq!(Fcf::new(&s.train, quick_base()).name(), "FCF");
-    assert_eq!(
-        FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 1 }).name(),
-        "FedMF"
-    );
+    assert_eq!(FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 1 }).name(), "FedMF");
     assert_eq!(MetaMf::new(&s.train, MetaMfConfig::small()).name(), "MetaMF");
 }

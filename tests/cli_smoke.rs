@@ -1,0 +1,85 @@
+//! Smoke tests of the `ptf` binary: every code path here shells out to the
+//! actual compiled executable, so arg parsing, output plumbing, and exit
+//! codes are exercised exactly as a user would hit them.
+
+use std::process::Command;
+
+fn ptf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ptf"))
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    for flag in ["--help", "-h", "help"] {
+        let out = ptf().arg(flag).output().expect("failed to spawn ptf");
+        assert!(out.status.success(), "`ptf {flag}` exited {:?}", out.status.code());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("USAGE"), "no usage text for `ptf {flag}`:\n{stdout}");
+        assert!(stdout.contains("ptf train"), "usage should list the train command");
+    }
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = ptf().output().expect("failed to spawn ptf");
+    assert!(out.status.success(), "bare `ptf` should print usage and exit 0");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_flag_is_a_parse_error() {
+    let out = ptf().args(["train", "--bogus"]).output().expect("failed to spawn ptf");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stats_runs_all_presets() {
+    let out =
+        ptf().args(["stats", "--scale", "small", "--seed", "7"]).output().expect("spawn failed");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["MovieLens-100K", "Steam-200K", "Gowalla"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn tiny_train_run_reports_metrics_and_traffic() {
+    let out = ptf()
+        .args([
+            "train",
+            "--dataset",
+            "ml100k",
+            "--rounds",
+            "1",
+            "--scale",
+            "small",
+            "--seed",
+            "7",
+            "--k",
+            "5",
+        ])
+        .output()
+        .expect("spawn failed");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("communication:"), "no traffic summary in:\n{stdout}");
+}
+
+#[test]
+fn generate_writes_loadable_json() {
+    let dir = std::env::temp_dir().join(format!("ptf-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ml100k.json");
+    let out = ptf()
+        .args(["generate", "--dataset", "ml100k", "--out"])
+        .arg(&path)
+        .args(["--scale", "small", "--seed", "7"])
+        .output()
+        .expect("spawn failed");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).expect("generate should write the file");
+    let data = ptf_fedrec::data::Dataset::from_json(&json).expect("exported JSON should load");
+    assert!(data.num_interactions() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -15,7 +15,8 @@ fn quick_cfg() -> PtfConfig {
 }
 
 fn tiny_split() -> TrainTestSplit {
-    let data = SyntheticConfig::new("e2e", 40, 80, 14.0).generate(&mut ptf_fedrec::data::test_rng(17));
+    let data =
+        SyntheticConfig::new("e2e", 40, 80, 14.0).generate(&mut ptf_fedrec::data::test_rng(17));
     TrainTestSplit::split_80_20(&data, &mut ptf_fedrec::data::test_rng(18))
 }
 
@@ -25,14 +26,12 @@ fn federated_training_beats_random_ranking() {
     let hyper = ModelHyper::small();
     let mut cfg = PtfConfig::small();
     cfg.alpha = 12;
-    let mut fed =
-        PtfFedRec::new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &hyper, cfg);
+    let mut fed = PtfFedRec::new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &hyper, cfg);
     let trace = fed.run();
     let trained = fed.evaluate(&split.train, &split.test, 10);
     assert!(trace.client_loss_improved(), "{:?}", trace.rounds);
     // expected recall@10 of a random ranker ≈ 10 / (#items − #train-items)
-    let avg_train_len = split.train.num_interactions() as f64
-        / split.train.num_users() as f64;
+    let avg_train_len = split.train.num_interactions() as f64 / split.train.num_users() as f64;
     let random_recall = 10.0 / (split.train.num_items() as f64 - avg_train_len);
     assert!(
         trained.metrics.recall > 1.5 * random_recall,

@@ -36,9 +36,7 @@ fn run(defense: DefenseKind) -> PtfFedRec {
 
 fn mean_attack_f1(fed: &PtfFedRec) -> f64 {
     TopGuessAttack::default().mean_f1(
-        fed.last_uploads()
-            .iter()
-            .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
+        fed.last_uploads().iter().map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
     )
 }
 
@@ -134,10 +132,7 @@ fn upload_sizes_vary_round_to_round_under_sampling() {
         fed.run_round();
         sizes.push(fed.last_uploads().iter().map(|u| u.len()).sum::<usize>());
     }
-    assert!(
-        sizes.windows(2).any(|w| w[0] != w[1]),
-        "upload sizes frozen across rounds: {sizes:?}"
-    );
+    assert!(sizes.windows(2).any(|w| w[0] != w[1]), "upload sizes frozen across rounds: {sizes:?}");
 }
 
 #[test]
@@ -167,8 +162,7 @@ fn poisoned_uploads_do_not_break_server_training() {
         audit_positives: vec![],
     };
     for _ in 0..4 {
-        let loss =
-            server.train_on_uploads(&[honest.clone(), poisoned.clone()], &cfg, &mut rng);
+        let loss = server.train_on_uploads(&[honest.clone(), poisoned.clone()], &cfg, &mut rng);
         assert!(loss.is_finite(), "server loss diverged under poisoning");
     }
     // the honest client's ordering survives for its own row

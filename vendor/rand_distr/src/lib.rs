@@ -1,0 +1,193 @@
+//! Vendored, API-compatible subset of `rand_distr` 0.4.
+//!
+//! Provides the distributions this workspace samples — [`Normal`],
+//! [`LogNormal`], [`Uniform`] — over `f32`/`f64`, plus the re-exported
+//! [`Distribution`] trait. Normal variates come from Box–Muller rather
+//! than upstream's ziggurat, which changes the exact stream but not the
+//! distribution; consumers only assert on moments and determinism.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error returned by distribution constructors for invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation (or shape parameter) was negative or non-finite.
+    BadVariance,
+    /// Mean (or location parameter) was non-finite.
+    BadMean,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Error::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            Error::BadMean => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Floating-point scalars the distributions are generic over.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn is_finite(self) -> bool;
+}
+
+impl Float for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Draws one standard-normal variate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal distribution N(mean, std_dev²).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, Error> {
+        if !mean.is_finite() {
+            return Err(Error::BadMean);
+        }
+        if !std_dev.is_finite() || std_dev.to_f64() < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// Log-normal distribution: exp(N(mu, sigma²)).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal<F: Float> {
+    mu: F,
+    sigma: F,
+}
+
+impl<F: Float> LogNormal<F> {
+    pub fn new(mu: F, sigma: F) -> Result<Self, Error> {
+        if !mu.is_finite() {
+            return Err(Error::BadMean);
+        }
+        if !sigma.is_finite() || sigma.to_f64() < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64((self.mu.to_f64() + self.sigma.to_f64() * standard_normal(rng)).exp())
+    }
+}
+
+/// Uniform distribution over an interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<F: Float> {
+    low: F,
+    high: F,
+    inclusive: bool,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over `[low, high)`. Panics if `low >= high` (as upstream).
+    pub fn new(low: F, high: F) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`. Panics if `low > high` (as upstream).
+    pub fn new_inclusive(low: F, high: F) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive called with low > high");
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u: f64 = rng.gen();
+        let (lo, hi) = (self.low.to_f64(), self.high.to_f64());
+        // With inclusive bounds, stretch so `hi` is reachable at u ~ 1.
+        let u = if self.inclusive { u * (1.0 + f64::EPSILON) } else { u };
+        F::from_f64((lo + u * (hi - lo)).min(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(2.0f64, 0.5).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(0.0f64, 1.0).unwrap();
+        assert!((0..1000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new_inclusive(-0.25f32, 0.25);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((-0.25..=0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Vendored, API-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of serde's surface the workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits (with the same method signatures, so hand-written
+//! impls compile unchanged), `serde::ser::Error` / `serde::de::Error` with
+//! `custom`, and the `#[derive(Serialize, Deserialize)]` macros re-exported
+//! from the sibling `serde_derive` shim.
+//!
+//! Unlike upstream serde's visitor-based data model, this shim routes
+//! everything through a JSON-shaped [`Value`] tree — sufficient for the
+//! checkpoint/export formats this repo (de)serializes, and what the
+//! vendored `serde_json` consumes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped intermediate data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers travel as `f64`; integers up to 2^53 round-trip exactly.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Field order is preserved (serialization is deterministic).
+    Obj(Vec<(String, Value)>),
+}
+
+pub mod ser {
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data format that can serialize a [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// String-backed error used by the in-memory [`Value`] (de)serializers.
+#[derive(Clone, Debug)]
+pub struct SimpleError(pub String);
+
+impl std::fmt::Display for SimpleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SimpleError {}
+
+impl ser::Error for SimpleError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+impl de::Error for SimpleError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        SimpleError(msg.to_string())
+    }
+}
+
+/// Support machinery used by the derive macros (not a public API in
+/// upstream serde; kept in one module so generated code has stable paths).
+pub mod export {
+    use super::*;
+
+    /// Serializer whose output *is* the [`Value`] tree.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = SimpleError;
+        fn serialize_value(self, value: Value) -> Result<Value, SimpleError> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer reading back from a [`Value`] tree.
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = SimpleError;
+        fn deserialize_value(self) -> Result<Value, SimpleError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Serializes any `Serialize` into a [`Value`].
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SimpleError> {
+        value.serialize(ValueSerializer)
+    }
+
+    /// Deserializes any `Deserialize` out of a [`Value`].
+    pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, SimpleError> {
+        T::deserialize(ValueDeserializer(value))
+    }
+
+    /// Removes and decodes the named field of an object (derive support).
+    pub fn take_field<'de, T: Deserialize<'de>>(
+        obj: &mut Vec<(String, Value)>,
+        name: &str,
+    ) -> Result<T, SimpleError> {
+        match obj.iter().position(|(k, _)| k == name) {
+            Some(i) => from_value(obj.swap_remove(i).1),
+            None => Err(SimpleError(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Num(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    // Range-check in i128, where every in-range f64 integer
+                    // is exact: `MAX as f64` rounds *up* for 64-bit types
+                    // (2^63/2^64), so comparing in f64 would admit
+                    // one-past-MAX values and `as` would saturate them.
+                    Value::Num(n)
+                        if n.fract() == 0.0
+                            && n.is_finite()
+                            && (n as i128) >= <$t>::MIN as i128
+                            && (n as i128) <= <$t>::MAX as i128 =>
+                    {
+                        Ok(n as $t)
+                    }
+                    other => Err(de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Num(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Num(n) => Ok(n as $t),
+                    other => Err(de::Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(export::to_value(item).map_err(ser::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Arr(out))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Arr(items) => items
+                .into_iter()
+                .map(|v| export::from_value(v).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => export::from_value(other).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(export::to_value(item).map_err(ser::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Arr(out))
+    }
+}

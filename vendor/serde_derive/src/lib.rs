@@ -1,0 +1,286 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually derives:
+//!
+//! * structs with named fields — `Serialize` and `Deserialize`;
+//! * enums with unit / tuple / struct variants — `Serialize` only,
+//!   using serde's externally-tagged JSON convention
+//!   (`"Variant"`, `{"Variant": value}`, `{"Variant": {..fields}}`).
+//!
+//! Generics on the derived type are not supported (none are needed here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named struct fields, in declaration order.
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Skips `#[...]` attributes and visibility modifiers at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // 'pub'
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field body, tolerating commas
+/// nested inside `<...>`, `(...)`, and `[...]` in field types.
+fn named_fields(body: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        // skip to the top-level comma ending this field's type
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-variant body `( ... )`.
+fn tuple_arity(body: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    arity
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (derive on `{name}`)");
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(_) => i += 1,
+            None => panic!(
+                "serde_derive shim: `{name}` has no braced body (tuple/unit structs unsupported)"
+            ),
+        }
+    };
+
+    if kind == "struct" {
+        Shape::Struct { name, fields: named_fields(&body) }
+    } else {
+        let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            skip_attrs_and_vis(&tokens, &mut i);
+            let Some(TokenTree::Ident(vname)) = tokens.get(i) else { break };
+            let vname = vname.to_string();
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    variants.push(Variant::Tuple(vname, tuple_arity(g)));
+                    i += 1;
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    variants.push(Variant::Struct(vname, named_fields(g)));
+                    i += 1;
+                }
+                _ => variants.push(Variant::Unit(vname)),
+            }
+            // skip discriminants / trailing comma
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        Shape::Enum { name, variants }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "__fields.push(({f:?}.to_string(), \
+                     ::serde::export::to_value(&self.{f})\
+                     .map_err(<S::Error as ::serde::ser::Error>::custom)?));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_value(::serde::Value::Obj(__fields))\n\
+                 }}\n}}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let pat = binders.join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::export::to_value(__f0)\
+                             .map_err(<S::Error as ::serde::ser::Error>::custom)?"
+                                .to_string()
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| {
+                                    format!(
+                                        "::serde::export::to_value({b})\
+                                         .map_err(<S::Error as ::serde::ser::Error>::custom)?"
+                                    )
+                                })
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({pat}) => ::serde::Value::Obj(\
+                             vec![({vn:?}.to_string(), {inner})]),\n"
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let pat = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({f:?}.to_string(), ::serde::export::to_value({f})\
+                                     .map_err(<S::Error as ::serde::ser::Error>::custom)?)"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => ::serde::Value::Obj(vec![(\
+                             {vn:?}.to_string(), \
+                             ::serde::Value::Obj(vec![{}]))]),\n",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let __value = match self {{\n{arms}}};\n\
+                 serializer.serialize_value(__value)\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Shape::Struct { name, fields } = parse_shape(input) else {
+        panic!("serde_derive shim: #[derive(Deserialize)] supports only structs with named fields");
+    };
+    let mut takes = String::new();
+    for f in &fields {
+        takes.push_str(&format!(
+            "let {f} = ::serde::export::take_field(&mut __obj, {f:?})\
+             .map_err(<D::Error as ::serde::de::Error>::custom)?;\n"
+        ));
+    }
+    let ctor = fields.join(", ");
+    let code = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n\
+         let mut __obj = match ::serde::Deserializer::deserialize_value(deserializer)? {{\n\
+         ::serde::Value::Obj(o) => o,\n\
+         other => return ::core::result::Result::Err(\
+         <D::Error as ::serde::de::Error>::custom(\
+         format!(\"expected object for {name}, got {{other:?}}\"))),\n\
+         }};\n\
+         {takes}\
+         ::core::result::Result::Ok({name} {{ {ctor} }})\n\
+         }}\n}}"
+    );
+    code.parse().expect("serde_derive shim generated invalid Rust")
+}
