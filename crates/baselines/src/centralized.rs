@@ -1,10 +1,14 @@
 //! Centralized training — the paper's upper-bound baselines.
 //!
 //! The service provider sees all raw interactions and trains NeuMF / NGCF /
-//! LightGCN directly (Table III, "Centralized Recs" block).
+//! LightGCN directly (Table III, "Centralized Recs" block). One *round*
+//! of the [`Centralized`] protocol is one full epoch over the training
+//! data — no clients, no traffic — so the upper bound rides the same
+//! [`FederatedProtocol`] engine path as every federated method.
 
 use ptf_data::negative::sample_negatives;
 use ptf_data::Dataset;
+use ptf_federated::{FederatedProtocol, RoundCtx, RoundTrace};
 use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,39 +38,95 @@ impl CentralizedConfig {
     }
 }
 
+/// Centralized training as a (degenerate) federated protocol: one round =
+/// one epoch, zero participants, zero bytes on the wire, and the epoch's
+/// mean loss reported as the server loss.
+pub struct Centralized {
+    cfg: CentralizedConfig,
+    model: Box<dyn Recommender>,
+    train: Dataset,
+    rng: StdRng,
+    round: u32,
+    losses: Vec<f32>,
+}
+
+impl Centralized {
+    pub fn new(
+        kind: ModelKind,
+        train: &Dataset,
+        hyper: &ModelHyper,
+        cfg: CentralizedConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut model = build_model(kind, train.num_users(), train.num_items(), hyper, &mut rng);
+        // graph models see the full interaction graph
+        let edges: Vec<(u32, u32, f32)> = train.pairs().map(|(u, i)| (u, i, 1.0)).collect();
+        model.set_graph(&edges);
+        Self { cfg, model, train: train.clone(), rng, round: 0, losses: Vec::new() }
+    }
+
+    /// Per-epoch mean losses of the rounds run so far.
+    pub fn epoch_losses(&self) -> &[f32] {
+        &self.losses
+    }
+
+    /// Consumes the protocol, returning the trained model.
+    pub fn into_model(self) -> Box<dyn Recommender> {
+        self.model
+    }
+}
+
+impl FederatedProtocol for Centralized {
+    fn name(&self) -> &'static str {
+        "Centralized"
+    }
+
+    fn configured_rounds(&self) -> u32 {
+        self.cfg.epochs
+    }
+
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+        ctx.begin(&[]);
+        let mut samples: Vec<(u32, u32, f32)> = Vec::new();
+        for u in self.train.active_users() {
+            let positives = self.train.user_items(u);
+            samples.extend(positives.iter().map(|&i| (u, i, 1.0f32)));
+            let negs = sample_negatives(
+                positives,
+                self.train.num_items(),
+                positives.len() * self.cfg.neg_ratio,
+                &mut self.rng,
+            );
+            samples.extend(negs.into_iter().map(|i| (u, i, 0.0f32)));
+        }
+        shuffle(&mut samples, &mut self.rng);
+        let loss = ptf_models::train_on_samples(&mut *self.model, &samples, self.cfg.batch);
+        self.losses.push(loss);
+        let trace = RoundTrace::new(self.round, &[], loss, ctx.bytes());
+        self.round += 1;
+        trace
+    }
+
+    fn recommender(&self) -> &dyn Recommender {
+        &*self.model
+    }
+}
+
 /// Trains `kind` centrally on `train`; returns the fitted model and the
-/// per-epoch mean losses.
+/// per-epoch mean losses. Convenience wrapper over [`Centralized`].
 pub fn train_centralized(
     kind: ModelKind,
     train: &Dataset,
     hyper: &ModelHyper,
     cfg: &CentralizedConfig,
 ) -> (Box<dyn Recommender>, Vec<f32>) {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut model = build_model(kind, train.num_users(), train.num_items(), hyper, &mut rng);
-    // graph models see the full interaction graph
-    let edges: Vec<(u32, u32, f32)> = train.pairs().map(|(u, i)| (u, i, 1.0)).collect();
-    model.set_graph(&edges);
-
-    let mut losses = Vec::with_capacity(cfg.epochs as usize);
-    let mut samples: Vec<(u32, u32, f32)> = Vec::new();
-    for _ in 0..cfg.epochs {
-        samples.clear();
-        for u in train.active_users() {
-            let positives = train.user_items(u);
-            samples.extend(positives.iter().map(|&i| (u, i, 1.0f32)));
-            let negs = sample_negatives(
-                positives,
-                train.num_items(),
-                positives.len() * cfg.neg_ratio,
-                &mut rng,
-            );
-            samples.extend(negs.into_iter().map(|i| (u, i, 0.0f32)));
-        }
-        shuffle(&mut samples, &mut rng);
-        losses.push(ptf_models::train_on_samples(&mut *model, &samples, cfg.batch));
+    let mut central = Centralized::new(kind, train, hyper, cfg.clone());
+    for round in 0..cfg.epochs {
+        let mut ctx = RoundCtx::detached(round);
+        central.run_round(&mut ctx);
     }
-    (model, losses)
+    let losses = central.epoch_losses().to_vec();
+    (central.into_model(), losses)
 }
 
 fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
@@ -80,6 +140,7 @@ fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
 mod tests {
     use super::*;
     use ptf_data::{SyntheticConfig, TrainTestSplit};
+    use ptf_federated::Engine;
     use ptf_models::evaluate_model;
 
     fn split() -> TrainTestSplit {
@@ -132,5 +193,39 @@ mod tests {
         let (b, lb) = train_centralized(ModelKind::NeuMf, &s.train, &hyper, &cfg);
         assert_eq!(la, lb);
         assert_eq!(a.score(0, &[0, 1, 2]), b.score(0, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn runs_through_the_engine_like_any_protocol() {
+        let s = split();
+        let cfg = CentralizedConfig { epochs: 3, batch: 128, neg_ratio: 4, seed: 13 };
+        let mut engine =
+            Engine::new(Centralized::new(ModelKind::NeuMf, &s.train, &ModelHyper::small(), cfg));
+        let trace = engine.run();
+        assert_eq!(trace.num_rounds(), 3);
+        for r in &trace.rounds {
+            assert_eq!(r.participants, 0, "centralized training has no federated participants");
+            assert_eq!(r.bytes, 0, "centralized training moves nothing on the wire");
+            assert!(r.server_loss.is_finite());
+        }
+        assert_eq!(engine.ledger().summary().total_bytes, 0);
+        assert!(engine.evaluate(&s.train, &s.test, 10).users_evaluated > 0);
+    }
+
+    #[test]
+    fn engine_run_matches_train_centralized_wrapper() {
+        let s = split();
+        let cfg = CentralizedConfig { epochs: 2, batch: 128, neg_ratio: 4, seed: 17 };
+        let hyper = ModelHyper::small();
+        let (model, losses) = train_centralized(ModelKind::NeuMf, &s.train, &hyper, &cfg);
+        let mut engine =
+            Engine::new(Centralized::new(ModelKind::NeuMf, &s.train, &hyper, cfg.clone()));
+        let trace = engine.run();
+        let engine_losses: Vec<f32> = trace.rounds.iter().map(|r| r.server_loss).collect();
+        assert_eq!(losses, engine_losses);
+        assert_eq!(
+            model.score(0, &[0, 1, 2]),
+            engine.protocol().recommender().score(0, &[0, 1, 2])
+        );
     }
 }

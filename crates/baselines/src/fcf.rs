@@ -12,11 +12,12 @@
 //! deliberate and faithful: a sparse upload would reveal exactly which
 //! items the client interacted with.)
 
-use crate::traits::FederatedBaseline;
-use ptf_comm::{CommLedger, Payload};
+use ptf_comm::Payload;
 use ptf_data::negative::sample_negatives;
 use ptf_data::Dataset;
-use ptf_federated::{partition_clients, ClientData, Participation, RoundTrace};
+use ptf_federated::{
+    partition_clients, ClientData, FederatedProtocol, Participation, RoundCtx, RoundTrace,
+};
 use ptf_models::mf::{mf_sgd_step, MfModel};
 use ptf_models::Recommender;
 use rand::rngs::StdRng;
@@ -66,11 +67,11 @@ pub struct Fcf {
     cfg: FcfConfig,
     /// `user_emb` rows are the clients' *private* vectors (held here only
     /// because this is a single-process simulation — they never enter the
-    /// ledger); `item_emb`/`item_bias` are the global shared state.
+    /// wire accounting); `item_emb`/`item_bias` are the global shared
+    /// state.
     model: MfModel,
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
-    ledger: CommLedger,
     rng: StdRng,
     round: u32,
 }
@@ -81,7 +82,7 @@ impl Fcf {
         let model = MfModel::new(train.num_users(), train.num_items(), cfg.dim, cfg.lr, &mut rng);
         let clients = partition_clients(train);
         let trainable = clients.iter().filter(|c| c.is_trainable()).map(|c| c.id).collect();
-        Self { cfg, model, clients, trainable, ledger: CommLedger::new(), rng, round: 0 }
+        Self { cfg, model, clients, trainable, rng, round: 0 }
     }
 
     /// The wire size of one direction of the exchange (item matrix+bias).
@@ -133,16 +134,17 @@ impl Fcf {
 }
 
 impl Fcf {
-    /// Like [`FederatedBaseline::run_round`], but hands every client's
+    /// Like [`FederatedProtocol::run_round`], but hands every client's
     /// full item-matrix delta (V×(dim+1), bias in the last column — the
     /// exact message FCF puts on the wire) to `on_delta` before
     /// aggregation. FedMF uses this to run its encrypt → aggregate →
     /// decrypt cycle over the *real* gradients.
     pub fn run_round_observed(
         &mut self,
+        ctx: &mut RoundCtx<'_>,
         mut on_delta: impl FnMut(u32, &ptf_tensor::Matrix),
     ) -> RoundTrace {
-        self.run_round_inner(&mut |cid, rows, dim, num_items| {
+        self.run_round_inner(ctx, &mut |cid, rows, dim, num_items| {
             let mut dense = ptf_tensor::Matrix::zeros(num_items, dim + 1);
             for (&item, (drow, dbias)) in rows {
                 let out = dense.row_mut(item as usize);
@@ -154,21 +156,25 @@ impl Fcf {
     }
 
     /// Shared round body; `observer` sees `(client, delta rows, dim, V)`.
-    fn run_round_inner(&mut self, observer: &mut DeltaObserver<'_>) -> RoundTrace {
-        let bytes_before = self.ledger.total_bytes();
+    fn run_round_inner(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        observer: &mut DeltaObserver<'_>,
+    ) -> RoundTrace {
         let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
-        let n = participants.len().max(1) as f32;
+        ctx.begin(&participants);
 
         let dim = self.cfg.dim;
         let num_items = self.model.num_items();
+        let n = participants.len().max(1) as f32;
         let mut delta_sum: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
-        let mut loss_sum = 0.0f64;
+        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
         for &cid in &participants {
-            self.ledger.download(cid, self.round, "item-embeddings", self.transfer_payload());
+            ctx.disperse(cid, "item-embeddings", self.transfer_payload());
             let client = self.clients[cid as usize].clone();
             let (rows, loss) =
                 Self::client_update(&mut self.model, &client, &self.cfg, &mut self.rng);
-            loss_sum += loss as f64;
+            losses.push(loss);
             // per-client delta rows (the gradient message of this client)
             let mut client_delta: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
             for (item, (row, bias)) in rows {
@@ -185,7 +191,7 @@ impl Fcf {
                 }
                 entry.1 += dbias;
             }
-            self.ledger.upload(cid, self.round, "item-gradients", self.transfer_payload());
+            ctx.upload(cid, "item-gradients", self.transfer_payload());
         }
 
         // FedAvg over the participant set
@@ -197,19 +203,13 @@ impl Fcf {
             self.model.item_bias[item as usize] += dbias / n;
         }
 
-        let trace = RoundTrace {
-            round: self.round,
-            mean_client_loss: (loss_sum / n as f64) as f32,
-            server_loss: 0.0,
-            participants: participants.len(),
-            bytes: self.ledger.total_bytes() - bytes_before,
-        };
+        let trace = RoundTrace::new(self.round, &losses, 0.0, ctx.bytes());
         self.round += 1;
         trace
     }
 }
 
-impl FederatedBaseline for Fcf {
+impl FederatedProtocol for Fcf {
     fn name(&self) -> &'static str {
         "FCF"
     }
@@ -218,12 +218,8 @@ impl FederatedBaseline for Fcf {
         self.cfg.rounds
     }
 
-    fn run_round(&mut self) -> RoundTrace {
-        self.run_round_inner(&mut |_, _, _, _| {})
-    }
-
-    fn ledger(&self) -> &CommLedger {
-        &self.ledger
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+        self.run_round_inner(ctx, &mut |_, _, _, _| {})
     }
 
     fn recommender(&self) -> &dyn Recommender {
@@ -235,6 +231,7 @@ impl FederatedBaseline for Fcf {
 mod tests {
     use super::*;
     use ptf_data::{SyntheticConfig, TrainTestSplit};
+    use ptf_federated::Engine;
     use ptf_models::evaluate_model;
 
     fn split() -> TrainTestSplit {
@@ -249,12 +246,12 @@ mod tests {
     #[test]
     fn federated_training_improves_ranking() {
         let s = split();
-        let mut fcf = Fcf::new(&s.train, quick_cfg());
-        let before = evaluate_model(fcf.recommender(), &s.train, &s.test, 10);
+        let mut fcf = Engine::new(Fcf::new(&s.train, quick_cfg()));
+        let before = evaluate_model(fcf.protocol().recommender(), &s.train, &s.test, 10);
         let trace = fcf.run();
         assert_eq!(trace.num_rounds(), 5);
         assert!(trace.client_loss_improved(), "{:?}", trace.rounds);
-        let after = evaluate_model(fcf.recommender(), &s.train, &s.test, 10);
+        let after = fcf.evaluate(&s.train, &s.test, 10);
         assert!(
             after.metrics.recall >= before.metrics.recall,
             "FCF made ranking worse: {:?} → {:?}",
@@ -266,7 +263,7 @@ mod tests {
     #[test]
     fn communication_is_model_sized() {
         let s = split();
-        let mut fcf = Fcf::new(&s.train, quick_cfg());
+        let mut fcf = Engine::new(Fcf::new(&s.train, quick_cfg()));
         fcf.run_round();
         let expected_one_way = (s.train.num_items() * (8 + 1) * 4) as f64;
         let avg = fcf.ledger().avg_client_bytes_per_round();
@@ -281,12 +278,12 @@ mod tests {
         let s = split();
         let mut cfg = quick_cfg();
         cfg.participation = Participation { fraction: 0.3, min_clients: 1 };
-        let mut fcf = Fcf::new(&s.train, cfg);
-        let before = fcf.model.user_emb.clone();
+        let mut fcf = Engine::new(Fcf::new(&s.train, cfg));
+        let before = fcf.protocol().model.user_emb.clone();
         fcf.run_round();
         let mut changed = 0;
         for u in 0..s.train.num_users() {
-            if fcf.model.user_emb.row(u) != before.row(u) {
+            if fcf.protocol().model.user_emb.row(u) != before.row(u) {
                 changed += 1;
             }
         }
@@ -298,9 +295,9 @@ mod tests {
     fn deterministic_under_seed() {
         let s = split();
         let run = || {
-            let mut f = Fcf::new(&s.train, quick_cfg());
+            let mut f = Engine::new(Fcf::new(&s.train, quick_cfg()));
             f.run();
-            evaluate_model(f.recommender(), &s.train, &s.test, 10).metrics.ndcg
+            f.evaluate(&s.train, &s.test, 10).metrics.ndcg
         };
         assert_eq!(run(), run());
     }

@@ -15,14 +15,15 @@
 //! aggregate matches the plaintext gradient sum
 //! ([`FedMf::last_round_he_verified`]); the learning outcome is identical
 //! up to fixed-point quantization, and the wire costs are modelled
-//! exactly.
+//! exactly. The inner FCF exchange runs against a *detached*
+//! [`RoundCtx`], so only the ciphertext messages — the ones that really
+//! cross the wire — reach the engine's observers.
 
 use crate::fcf::{Fcf, FcfConfig};
 use crate::he::HeContext;
-use crate::traits::FederatedBaseline;
-use ptf_comm::{CommLedger, Payload};
+use ptf_comm::Payload;
 use ptf_data::Dataset;
-use ptf_federated::RoundTrace;
+use ptf_federated::{FederatedProtocol, RoundCtx, RoundTrace};
 use ptf_models::Recommender;
 
 /// FedMF configuration: FCF dynamics + an HE context.
@@ -49,7 +50,6 @@ impl FedMfConfig {
 pub struct FedMf {
     inner: Fcf,
     he: HeContext,
-    ledger: CommLedger,
     round: u32,
     rounds: u32,
     dim: usize,
@@ -63,7 +63,6 @@ impl FedMf {
         Self {
             inner: Fcf::new(train, cfg.base),
             he: HeContext::new(cfg.he_key),
-            ledger: CommLedger::new(),
             round: 0,
             rounds,
             dim,
@@ -78,7 +77,7 @@ impl FedMf {
     }
 }
 
-impl FederatedBaseline for FedMf {
+impl FederatedProtocol for FedMf {
     fn name(&self) -> &'static str {
         "FedMF"
     }
@@ -87,7 +86,7 @@ impl FederatedBaseline for FedMf {
         self.rounds
     }
 
-    fn run_round(&mut self) -> RoundTrace {
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
         let num_items = self.inner.recommender().num_items();
         let values_per_transfer = num_items * (self.dim + 1);
 
@@ -95,12 +94,15 @@ impl FederatedBaseline for FedMf {
         // gradient matrix through the homomorphic path: encrypt per
         // client, aggregate ciphertexts entry-wise, and remember the
         // plaintext sum so the aggregate can be verified after decryption.
+        // The plaintext exchange goes to a detached context — the real
+        // wire carries ciphertexts, reported below.
         let he = self.he;
         let round = self.round;
         let mut ct_sum: Vec<i128> = vec![0; values_per_transfer];
         let mut plain_sum: Vec<f32> = vec![0.0; values_per_transfer];
         let mut contributors: Vec<u32> = Vec::new();
-        let inner_trace = self.inner.run_round_observed(|client, delta| {
+        let mut inner_ctx = RoundCtx::detached(round);
+        let inner_trace = self.inner.run_round_observed(&mut inner_ctx, |client, delta| {
             let flat = delta.as_slice();
             let ct = he.encrypt_slice(flat, round, client);
             for (acc, c) in ct_sum.iter_mut().zip(&ct) {
@@ -125,20 +127,18 @@ impl FederatedBaseline for FedMf {
             debug_assert!(self.he_verified, "HE aggregate mismatch");
         }
 
-        let bytes_before = self.ledger.total_bytes();
+        ctx.begin(&contributors);
         for &c in &contributors {
-            self.ledger.download(
+            ctx.disperse(
                 c,
-                self.round,
                 "enc-item-embeddings",
                 Payload::Ciphertexts {
                     count: values_per_transfer,
                     bytes_each: self.he.ciphertext_bytes,
                 },
             );
-            self.ledger.upload(
+            ctx.upload(
                 c,
-                self.round,
                 "enc-item-gradients",
                 Payload::Ciphertexts {
                     count: values_per_transfer,
@@ -146,17 +146,9 @@ impl FederatedBaseline for FedMf {
                 },
             );
         }
-        let trace = RoundTrace {
-            round: self.round,
-            bytes: self.ledger.total_bytes() - bytes_before,
-            ..inner_trace
-        };
+        let trace = RoundTrace { round: self.round, bytes: ctx.bytes(), ..inner_trace };
         self.round += 1;
         trace
-    }
-
-    fn ledger(&self) -> &CommLedger {
-        &self.ledger
     }
 
     fn recommender(&self) -> &dyn Recommender {
@@ -168,7 +160,7 @@ impl FederatedBaseline for FedMf {
 mod tests {
     use super::*;
     use ptf_data::{SyntheticConfig, TrainTestSplit};
-    use ptf_models::evaluate_model;
+    use ptf_federated::Engine;
 
     fn split() -> TrainTestSplit {
         let data = SyntheticConfig::new("fm", 30, 60, 12.0).generate(&mut ptf_data::test_rng(6));
@@ -186,18 +178,18 @@ mod tests {
     #[test]
     fn training_works_like_fcf() {
         let s = split();
-        let mut fedmf = FedMf::new(&s.train, quick_cfg());
+        let mut fedmf = Engine::new(FedMf::new(&s.train, quick_cfg()));
         let trace = fedmf.run();
         assert_eq!(trace.num_rounds(), 5);
         assert!(trace.client_loss_improved(), "{:?}", trace.rounds);
-        let report = evaluate_model(fedmf.recommender(), &s.train, &s.test, 10);
+        let report = fedmf.evaluate(&s.train, &s.test, 10);
         assert!(report.users_evaluated > 0);
     }
 
     #[test]
     fn traffic_is_ciphertext_expanded() {
         let s = split();
-        let mut fedmf = FedMf::new(&s.train, quick_cfg());
+        let mut fedmf = Engine::new(FedMf::new(&s.train, quick_cfg()));
         fedmf.run_round();
         let plain_one_way = (s.train.num_items() * (8 + 1) * 4) as f64;
         let avg = fedmf.ledger().avg_client_bytes_per_round();
@@ -221,6 +213,7 @@ mod tests {
 mod he_integration_tests {
     use super::*;
     use ptf_data::{SyntheticConfig, TrainTestSplit};
+    use ptf_federated::Engine;
 
     #[test]
     fn real_gradients_survive_the_homomorphic_path() {
@@ -230,11 +223,11 @@ mod he_integration_tests {
         cfg.base.rounds = 3;
         cfg.base.local_epochs = 2;
         cfg.base.dim = 8;
-        let mut fedmf = FedMf::new(&split.train, cfg);
+        let mut fedmf = Engine::new(FedMf::new(&split.train, cfg));
         for _ in 0..3 {
             fedmf.run_round();
             assert!(
-                fedmf.last_round_he_verified(),
+                fedmf.protocol().last_round_he_verified(),
                 "homomorphic aggregate diverged from plaintext gradients"
             );
         }

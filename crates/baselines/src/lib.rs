@@ -3,7 +3,7 @@
 //! The comparison points of the paper's evaluation:
 //!
 //! * [`centralized`] — NeuMF/NGCF/LightGCN trained with full data access
-//!   (Table III upper bounds);
+//!   (Table III upper bounds), driveable round-by-round as a protocol;
 //! * [`fcf`] — Federated Collaborative Filtering, the canonical
 //!   parameter-transmission FedRec;
 //! * [`fedmf`] — FCF dynamics with homomorphically encrypted gradient
@@ -12,8 +12,9 @@
 //! * [`metamf`] — a hypernetwork server generating personalized item
 //!   embeddings.
 //!
-//! All federated baselines implement [`traits::FederatedBaseline`], so the
-//! bench harness can run them uniformly against PTF-FedRec.
+//! Every baseline implements [`ptf_federated::FederatedProtocol`] — the
+//! same trait as `ptf_core::PtfFedRec` — so the CLI, examples, and bench
+//! harness run all of them through one `ptf_federated::Engine` code path.
 
 pub mod centralized;
 pub mod fcf;
@@ -22,9 +23,10 @@ pub mod he;
 pub mod metamf;
 pub mod traits;
 
-pub use centralized::{train_centralized, CentralizedConfig};
+pub use centralized::{train_centralized, Centralized, CentralizedConfig};
 pub use fcf::{Fcf, FcfConfig};
 pub use fedmf::{FedMf, FedMfConfig};
 pub use he::HeContext;
 pub use metamf::{MetaMf, MetaMfConfig};
-pub use traits::FederatedBaseline;
+// Re-exported so baseline users need only this crate in scope.
+pub use ptf_federated::{Engine, FederatedProtocol};

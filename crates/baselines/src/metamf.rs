@@ -19,11 +19,12 @@
 //! same band as the other MF-family baselines — which is exactly the role
 //! MetaMF plays in Tables III/IV.
 
-use crate::traits::FederatedBaseline;
-use ptf_comm::{CommLedger, Payload};
+use ptf_comm::Payload;
 use ptf_data::negative::sample_negatives;
 use ptf_data::Dataset;
-use ptf_federated::{partition_clients, ClientData, Participation, RoundTrace};
+use ptf_federated::{
+    partition_clients, ClientData, FederatedProtocol, Participation, RoundCtx, RoundTrace,
+};
 use ptf_models::mf::bce_loss;
 use ptf_models::Recommender;
 use ptf_tensor::Matrix;
@@ -80,7 +81,6 @@ pub struct MetaMf {
     user_emb: Matrix,
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
-    ledger: CommLedger,
     rng: StdRng,
     round: u32,
 }
@@ -99,7 +99,6 @@ impl MetaMf {
             user_emb: Matrix::randn(train.num_users(), d, 0.1, &mut rng),
             clients,
             trainable,
-            ledger: CommLedger::new(),
             rng,
             round: 0,
             cfg,
@@ -128,7 +127,7 @@ impl MetaMf {
     }
 }
 
-impl FederatedBaseline for MetaMf {
+impl FederatedProtocol for MetaMf {
     fn name(&self) -> &'static str {
         "MetaMF"
     }
@@ -137,9 +136,9 @@ impl FederatedBaseline for MetaMf {
         self.cfg.rounds
     }
 
-    fn run_round(&mut self) -> RoundTrace {
-        let bytes_before = self.ledger.total_bytes();
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
         let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
+        ctx.begin(&participants);
         let n = participants.len().max(1) as f32;
         let d = self.cfg.dim;
         let num_items = self.basis.rows();
@@ -150,16 +149,15 @@ impl FederatedBaseline for MetaMf {
         let mut g_b = Matrix::zeros(1, d);
         let mut g_codes: Vec<(u32, Vec<f32>)> = Vec::with_capacity(participants.len());
 
-        let mut loss_sum = 0.0f64;
+        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
         for &cid in &participants {
             // server → client: generated embeddings E_u (V×d) + gate codes
-            self.ledger.download(
+            ctx.disperse(
                 cid,
-                self.round,
                 "generated-embeddings",
                 Payload::DenseMatrix { rows: num_items, cols: d },
             );
-            self.ledger.download(cid, self.round, "meta-codes", Payload::Vector { len: d });
+            ctx.disperse(cid, "meta-codes", Payload::Vector { len: d });
 
             let (gate, pre) = self.gate_of(cid);
             let positives = self.clients[cid as usize].positives.clone();
@@ -199,17 +197,16 @@ impl FederatedBaseline for MetaMf {
                     }
                 }
             }
-            loss_sum += (client_loss / steps.max(1) as f32) as f64;
+            losses.push(client_loss / steps.max(1) as f32);
 
             // client → server: dE_u (full matrix on the wire, same privacy
             // rationale as FCF) + code gradient
-            self.ledger.upload(
+            ctx.upload(
                 cid,
-                self.round,
                 "embedding-gradients",
                 Payload::DenseMatrix { rows: num_items, cols: d },
             );
-            self.ledger.upload(cid, self.round, "code-gradients", Payload::Vector { len: d });
+            ctx.upload(cid, "code-gradients", Payload::Vector { len: d });
 
             // server-side backprop through the generator:
             // E_u = B ⊙ g, g = tanh(pre), pre = z W + b
@@ -255,19 +252,9 @@ impl FederatedBaseline for MetaMf {
             }
         }
 
-        let trace = RoundTrace {
-            round: self.round,
-            mean_client_loss: (loss_sum / n as f64) as f32,
-            server_loss: 0.0,
-            participants: participants.len(),
-            bytes: self.ledger.total_bytes() - bytes_before,
-        };
+        let trace = RoundTrace::new(self.round, &losses, 0.0, ctx.bytes());
         self.round += 1;
         trace
-    }
-
-    fn ledger(&self) -> &CommLedger {
-        &self.ledger
     }
 
     fn recommender(&self) -> &dyn Recommender {
@@ -323,7 +310,7 @@ fn sigmoid(x: f32) -> f32 {
 mod tests {
     use super::*;
     use ptf_data::{SyntheticConfig, TrainTestSplit};
-    use ptf_models::evaluate_model;
+    use ptf_federated::Engine;
 
     fn split() -> TrainTestSplit {
         let data = SyntheticConfig::new("mm", 30, 60, 12.0).generate(&mut ptf_data::test_rng(8));
@@ -337,7 +324,7 @@ mod tests {
     #[test]
     fn training_improves_loss() {
         let s = split();
-        let mut mm = MetaMf::new(&s.train, quick_cfg());
+        let mut mm = Engine::new(MetaMf::new(&s.train, quick_cfg()));
         let trace = mm.run();
         assert_eq!(trace.num_rounds(), 5);
         assert!(trace.client_loss_improved(), "{:?}", trace.rounds);
@@ -346,10 +333,10 @@ mod tests {
     #[test]
     fn scores_are_probabilities_and_personalized() {
         let s = split();
-        let mut mm = MetaMf::new(&s.train, quick_cfg());
+        let mut mm = Engine::new(MetaMf::new(&s.train, quick_cfg()));
         mm.run();
-        let a = mm.score(0, &[0, 1, 2]);
-        let b = mm.score(1, &[0, 1, 2]);
+        let a = mm.protocol().score(0, &[0, 1, 2]);
+        let b = mm.protocol().score(1, &[0, 1, 2]);
         assert!(a.iter().all(|&p| (0.0..=1.0).contains(&p)));
         assert_ne!(a, b, "personalized embeddings should differ across users");
     }
@@ -357,7 +344,7 @@ mod tests {
     #[test]
     fn traffic_slightly_exceeds_fcf() {
         let s = split();
-        let mut mm = MetaMf::new(&s.train, quick_cfg());
+        let mut mm = Engine::new(MetaMf::new(&s.train, quick_cfg()));
         mm.run_round();
         let avg = mm.ledger().avg_client_bytes_per_round();
         let matrix_only = (s.train.num_items() * 8 * 4 * 2) as f64;
@@ -368,9 +355,9 @@ mod tests {
     #[test]
     fn evaluation_runs() {
         let s = split();
-        let mut mm = MetaMf::new(&s.train, quick_cfg());
+        let mut mm = Engine::new(MetaMf::new(&s.train, quick_cfg()));
         mm.run();
-        let report = evaluate_model(mm.recommender(), &s.train, &s.test, 10);
+        let report = mm.evaluate(&s.train, &s.test, 10);
         assert!(report.users_evaluated > 0);
     }
 }

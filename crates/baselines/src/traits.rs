@@ -1,32 +1,16 @@
-//! Common interface over the parameter-transmission federated baselines.
+//! Legacy location of the common protocol interface.
+//!
+//! The `FederatedBaseline` trait that used to live here has been
+//! superseded by [`ptf_federated::FederatedProtocol`], which PTF-FedRec
+//! itself also implements: `run_round` now takes a
+//! [`ptf_federated::RoundCtx`] and wire accounting/observers live on the
+//! [`ptf_federated::Engine`] instead of a per-protocol ledger. This alias
+//! remains for one release so downstream `use` statements keep compiling.
 
-use ptf_comm::CommLedger;
-use ptf_federated::{RoundTrace, RunTrace};
-use ptf_models::Recommender;
-
-/// A runnable federated baseline (FCF, FedMF, MetaMF).
-pub trait FederatedBaseline {
-    /// Name as printed in the paper's tables.
-    fn name(&self) -> &'static str;
-
-    /// Configured number of global rounds.
-    fn configured_rounds(&self) -> u32;
-
-    /// Executes one global round.
-    fn run_round(&mut self) -> RoundTrace;
-
-    /// The communication record of the run so far.
-    fn ledger(&self) -> &CommLedger;
-
-    /// A scoring view of the trained global model, for evaluation.
-    fn recommender(&self) -> &dyn Recommender;
-
-    /// Runs all configured rounds.
-    fn run(&mut self) -> RunTrace {
-        let mut trace = RunTrace::default();
-        for _ in 0..self.configured_rounds() {
-            trace.push(self.run_round());
-        }
-        trace
-    }
-}
+/// Deprecated alias of [`ptf_federated::FederatedProtocol`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ptf_federated::FederatedProtocol` (re-exported from this \
+            crate) and drive protocols through `ptf_federated::Engine`"
+)]
+pub use ptf_federated::FederatedProtocol as FederatedBaseline;

@@ -4,7 +4,6 @@
 //! justifying the paper's 20-round budget.
 
 use ptf_bench::*;
-use ptf_core::PtfFedRec;
 use ptf_data::DatasetPreset;
 use ptf_models::ModelKind;
 
@@ -23,7 +22,7 @@ fn main() {
         eprintln!("[convergence] server={}", server.name());
         let mut cfg = ptf_config(scale);
         cfg.rounds = rounds;
-        let mut fed = PtfFedRec::new(&split.train, ModelKind::NeuMf, server, &h, cfg);
+        let mut fed = build_ptf(&split, ModelKind::NeuMf, server, cfg, &h);
         let mut curve = Vec::with_capacity(rounds as usize);
         for _ in 0..rounds {
             fed.run_round();

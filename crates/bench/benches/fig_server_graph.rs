@@ -23,8 +23,7 @@ fn main() {
         eprintln!("[server_graph] threshold={t}");
         let mut cfg = ptf_config(scale);
         cfg.graph_threshold = t;
-        let mut fed =
-            ptf_core::PtfFedRec::new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &h, cfg);
+        let mut fed = build_ptf(&split, ModelKind::NeuMf, ModelKind::Ngcf, cfg, &h);
         let trace = fed.run();
         let r = fed.evaluate(&split.train, &split.test, EVAL_K);
         table.row(vec![

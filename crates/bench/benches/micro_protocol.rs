@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of protocol building blocks.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use ptf_core::{build_upload, DefenseKind, PtfConfig, PtfFedRec};
+use ptf_core::{build_upload, DefenseKind, Federation, PtfConfig};
 use ptf_data::SyntheticConfig;
 use ptf_models::{ModelHyper, ModelKind};
 use ptf_privacy::{SamplingConfig, ScoredItem, TopGuessAttack};
@@ -47,13 +47,13 @@ fn bench_protocol_round(c: &mut Criterion) {
     c.bench_function("ptf_round_24clients_neumf_ngcf", |bench| {
         bench.iter_batched(
             || {
-                PtfFedRec::new(
-                    &data,
-                    ModelKind::NeuMf,
-                    ModelKind::Ngcf,
-                    &ModelHyper::small(),
-                    cfg.clone(),
-                )
+                Federation::builder(&data)
+                    .client_model(ModelKind::NeuMf)
+                    .server_model(ModelKind::Ngcf)
+                    .hyper(ModelHyper::small())
+                    .config(cfg.clone())
+                    .build()
+                    .expect("bench config is valid")
             },
             |mut fed| std::hint::black_box(fed.run_round()),
             BatchSize::SmallInput,

@@ -1,7 +1,7 @@
 //! Table III — recommendation performance of PTF-FedRec against
 //! centralized and federated baselines on all three datasets.
 
-use ptf_baselines::{train_centralized, Fcf, FedMf, FederatedBaseline, MetaMf};
+use ptf_baselines::{train_centralized, Fcf, FedMf, FederatedProtocol, MetaMf};
 use ptf_bench::*;
 use ptf_data::DatasetPreset;
 use ptf_models::{evaluate_model, ModelKind};
@@ -33,23 +33,19 @@ fn main() {
             );
         }
 
-        eprintln!("[table3] {} — FCF", preset.name());
-        let mut fcf = Fcf::new(&split.train, fcf_config(scale));
-        fcf.run();
-        let r = evaluate_model(fcf.recommender(), &split.train, &split.test, EVAL_K);
-        push(&mut rows, "FCF".into(), (r.metrics.recall, r.metrics.ndcg));
-
-        eprintln!("[table3] {} — FedMF", preset.name());
-        let mut fedmf = FedMf::new(&split.train, fedmf_config(scale));
-        fedmf.run();
-        let r = evaluate_model(fedmf.recommender(), &split.train, &split.test, EVAL_K);
-        push(&mut rows, "FedMF".into(), (r.metrics.recall, r.metrics.ndcg));
-
-        eprintln!("[table3] {} — MetaMF", preset.name());
-        let mut metamf = MetaMf::new(&split.train, metamf_config(scale));
-        metamf.run();
-        let r = evaluate_model(metamf.recommender(), &split.train, &split.test, EVAL_K);
-        push(&mut rows, "MetaMF".into(), (r.metrics.recall, r.metrics.ndcg));
+        // every federated baseline rides the same engine code path
+        let baselines: Vec<Box<dyn FederatedProtocol>> = vec![
+            Box::new(Fcf::new(&split.train, fcf_config(scale))),
+            Box::new(FedMf::new(&split.train, fedmf_config(scale))),
+            Box::new(MetaMf::new(&split.train, metamf_config(scale))),
+        ];
+        for protocol in baselines {
+            eprintln!("[table3] {} — {}", preset.name(), protocol.name());
+            let name = protocol.name().to_string();
+            let engine = run_protocol(protocol);
+            let r = engine.evaluate(&split.train, &split.test, EVAL_K);
+            push(&mut rows, name, (r.metrics.recall, r.metrics.ndcg));
+        }
 
         for server in ModelKind::ALL {
             eprintln!("[table3] {} — PTF-FedRec({})", preset.name(), server.name());

@@ -2,12 +2,13 @@
 //!
 //! Parameter-transmission baselines move embedding-matrix-sized (or
 //! ciphertext-expanded) payloads; PTF-FedRec moves a few dozen prediction
-//! triples. Costs are *measured* from the protocols' ledgers, not
-//! computed analytically.
+//! triples. Costs are *measured* from the engine's ledger — all four
+//! protocols run through the same `FederatedProtocol` code path.
 
-use ptf_baselines::{Fcf, FedMf, FederatedBaseline, MetaMf};
+use ptf_baselines::{Engine, Fcf, FedMf, FederatedProtocol, MetaMf};
 use ptf_bench::*;
 use ptf_comm::format_bytes;
+use ptf_core::PtfFedRec;
 use ptf_data::DatasetPreset;
 use ptf_models::ModelKind;
 
@@ -21,39 +22,33 @@ fn main() {
         format!("Table IV — avg communication per client per round ({scale:?} scale)"),
         &["Method", "MovieLens-100K", "Steam-200K", "Gowalla"],
     );
-    let mut rows: Vec<Vec<String>> = vec![
-        vec!["FCF".into()],
-        vec!["FedMF".into()],
-        vec!["MetaMF".into()],
-        vec!["PTF-FedRec".into()],
-    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
 
-    for preset in DatasetPreset::ALL {
+    for (col, preset) in DatasetPreset::ALL.into_iter().enumerate() {
         eprintln!("[table4] measuring {}", preset.name());
         let split = split_for(preset, scale);
 
-        let mut fcf = Fcf::new(&split.train, fcf_config(scale));
-        for _ in 0..MEASURE_ROUNDS {
-            fcf.run_round();
+        let mut ptf_cfg = ptf_config(scale);
+        ptf_cfg.rounds = MEASURE_ROUNDS;
+        let protocols: Vec<Box<dyn FederatedProtocol>> = vec![
+            Box::new(Fcf::new(&split.train, fcf_config(scale))),
+            Box::new(FedMf::new(&split.train, fedmf_config(scale))),
+            Box::new(MetaMf::new(&split.train, metamf_config(scale))),
+            Box::new(
+                PtfFedRec::try_new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &h, ptf_cfg)
+                    .expect("harness config is valid"),
+            ),
+        ];
+        for (row, protocol) in protocols.into_iter().enumerate() {
+            if col == 0 {
+                rows.push(vec![protocol.name().to_string()]);
+            }
+            let mut engine = Engine::new(protocol);
+            for _ in 0..MEASURE_ROUNDS {
+                engine.run_round();
+            }
+            rows[row].push(format_bytes(engine.ledger().avg_client_bytes_per_round()));
         }
-        rows[0].push(format_bytes(fcf.ledger().avg_client_bytes_per_round()));
-
-        let mut fedmf = FedMf::new(&split.train, fedmf_config(scale));
-        for _ in 0..MEASURE_ROUNDS {
-            fedmf.run_round();
-        }
-        rows[1].push(format_bytes(fedmf.ledger().avg_client_bytes_per_round()));
-
-        let mut metamf = MetaMf::new(&split.train, metamf_config(scale));
-        for _ in 0..MEASURE_ROUNDS {
-            metamf.run_round();
-        }
-        rows[2].push(format_bytes(metamf.ledger().avg_client_bytes_per_round()));
-
-        let mut cfg = ptf_config(scale);
-        cfg.rounds = MEASURE_ROUNDS;
-        let fed = run_ptf(&split, ModelKind::NeuMf, ModelKind::Ngcf, cfg, &h);
-        rows[3].push(format_bytes(fed.ledger().avg_client_bytes_per_round()));
     }
 
     for row in rows {

@@ -1,8 +1,9 @@
 //! Shared plumbing for the experiment binaries.
 
 use ptf_baselines::{CentralizedConfig, FcfConfig, FedMfConfig, MetaMfConfig};
-use ptf_core::{PtfConfig, PtfFedRec};
+use ptf_core::{Federation, PtfConfig, PtfFedRec};
 use ptf_data::{DatasetPreset, Scale, TrainTestSplit};
+use ptf_federated::{Engine, FederatedProtocol};
 use ptf_models::{ModelHyper, ModelKind};
 use ptf_privacy::TopGuessAttack;
 use rand::SeedableRng;
@@ -105,6 +106,23 @@ pub fn centralized_config(scale: Scale) -> CentralizedConfig {
     cfg
 }
 
+/// Builds a PTF-FedRec federation engine without running it.
+pub fn build_ptf(
+    split: &TrainTestSplit,
+    client_kind: ModelKind,
+    server_kind: ModelKind,
+    cfg: PtfConfig,
+    hyper: &ModelHyper,
+) -> Engine<PtfFedRec> {
+    Federation::builder(&split.train)
+        .client_model(client_kind)
+        .server_model(server_kind)
+        .hyper(hyper.clone())
+        .config(cfg)
+        .build()
+        .expect("harness config is valid")
+}
+
 /// Builds and runs a PTF-FedRec federation to completion.
 pub fn run_ptf(
     split: &TrainTestSplit,
@@ -112,17 +130,27 @@ pub fn run_ptf(
     server_kind: ModelKind,
     cfg: PtfConfig,
     hyper: &ModelHyper,
-) -> PtfFedRec {
-    let mut fed = PtfFedRec::new(&split.train, client_kind, server_kind, hyper, cfg);
+) -> Engine<PtfFedRec> {
+    let mut fed = build_ptf(split, client_kind, server_kind, cfg, hyper);
     fed.run();
     fed
 }
 
+/// Runs any protocol to completion through the shared engine path.
+pub fn run_protocol(protocol: Box<dyn FederatedProtocol>) -> Engine<Box<dyn FederatedProtocol>> {
+    let mut engine = Engine::new(protocol);
+    engine.run();
+    engine
+}
+
 /// Mean Top-Guess-Attack F1 over the final round's uploads (Table V).
-pub fn attack_f1(fed: &PtfFedRec) -> f64 {
+pub fn attack_f1(fed: &Engine<PtfFedRec>) -> f64 {
     let attack = TopGuessAttack::default();
     attack.mean_f1(
-        fed.last_uploads().iter().map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
+        fed.protocol()
+            .last_uploads()
+            .iter()
+            .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
     )
 }
 

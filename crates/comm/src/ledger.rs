@@ -6,6 +6,12 @@ use std::collections::HashMap;
 
 /// Append-only record of every message a protocol run produced, with the
 /// aggregations the paper's Table IV reports.
+///
+/// Protocols no longer own a ledger: `ptf_federated::Engine` carries one
+/// as its first `RoundObserver` (the impl lives in `ptf_federated`, which
+/// owns the observer trait) and feeds it every message the protocol
+/// reports through its `RoundCtx`. [`CommLedger::upload`]/
+/// [`CommLedger::download`] remain for direct, engine-less recording.
 #[derive(Clone, Debug, Default)]
 pub struct CommLedger {
     total_bytes: u64,

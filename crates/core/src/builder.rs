@@ -1,0 +1,184 @@
+//! The typed federation builder — the front door of the crate.
+//!
+//! ```no_run
+//! use ptf_core::{Federation, PtfConfig};
+//! use ptf_data::{DatasetPreset, Scale, TrainTestSplit};
+//! use ptf_models::{ModelHyper, ModelKind};
+//!
+//! let mut rng = ptf_data::test_rng(7);
+//! let data = DatasetPreset::MovieLens100K.generate(Scale::Small, &mut rng);
+//! let split = TrainTestSplit::split_80_20(&data, &mut rng);
+//! let mut fed = Federation::builder(&split.train)
+//!     .client_model(ModelKind::NeuMf)
+//!     .server_model(ModelKind::Ngcf)
+//!     .hyper(ModelHyper::default())
+//!     .config(PtfConfig::paper())
+//!     .build()?;
+//! fed.run();
+//! println!("{}", fed.evaluate(&split.train, &split.test, 20));
+//! # Ok::<(), ptf_core::ConfigError>(())
+//! ```
+
+use crate::config::{ConfigError, PtfConfig};
+use crate::protocol::PtfFedRec;
+use ptf_data::Dataset;
+use ptf_federated::{Engine, RoundObserver};
+use ptf_models::{ModelHyper, ModelKind};
+
+/// Namespace for [`Federation::builder`].
+pub struct Federation;
+
+impl Federation {
+    /// Starts configuring a PTF-FedRec federation over `train`.
+    pub fn builder(train: &Dataset) -> FederationBuilder<'_> {
+        FederationBuilder {
+            train,
+            client: None,
+            server: None,
+            hyper: None,
+            cfg: None,
+            observers: Vec::new(),
+        }
+    }
+}
+
+/// Typed builder for an [`Engine`]`<`[`PtfFedRec`]`>`.
+///
+/// `client_model` and `server_model` are required; `hyper` defaults to
+/// [`ModelHyper::small`] and `config` to [`PtfConfig::small`]. [`build`]
+/// validates everything and returns [`ConfigError`] instead of panicking.
+///
+/// [`build`]: FederationBuilder::build
+pub struct FederationBuilder<'a> {
+    train: &'a Dataset,
+    client: Option<ModelKind>,
+    server: Option<ModelKind>,
+    hyper: Option<ModelHyper>,
+    cfg: Option<PtfConfig>,
+    observers: Vec<Box<dyn RoundObserver>>,
+}
+
+impl FederationBuilder<'_> {
+    /// The public architecture every client trains locally.
+    pub fn client_model(mut self, kind: ModelKind) -> Self {
+        self.client = Some(kind);
+        self
+    }
+
+    /// The hidden architecture the server trains (never transmitted).
+    pub fn server_model(mut self, kind: ModelKind) -> Self {
+        self.server = Some(kind);
+        self
+    }
+
+    /// Model hyperparameters for both sides (default: [`ModelHyper::small`]).
+    pub fn hyper(mut self, hyper: ModelHyper) -> Self {
+        self.hyper = Some(hyper);
+        self
+    }
+
+    /// Protocol configuration (default: [`PtfConfig::small`]).
+    pub fn config(mut self, cfg: PtfConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+
+    /// Attaches a [`RoundObserver`] to the engine (repeatable).
+    pub fn observer(mut self, observer: impl RoundObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validates the configuration and builds the federation engine.
+    pub fn build(self) -> Result<Engine<PtfFedRec>, ConfigError> {
+        let client = self.client.ok_or(ConfigError::MissingField("client_model"))?;
+        let server = self.server.ok_or(ConfigError::MissingField("server_model"))?;
+        let hyper = self.hyper.unwrap_or_else(ModelHyper::small);
+        let cfg = self.cfg.unwrap_or_else(PtfConfig::small);
+        let protocol = PtfFedRec::try_new(self.train, client, server, &hyper, cfg)?;
+        let mut engine = Engine::new(protocol);
+        for observer in self.observers {
+            engine.add_observer(observer);
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptf_data::SyntheticConfig;
+    use ptf_federated::TraceRecorder;
+
+    fn tiny_train() -> Dataset {
+        SyntheticConfig::new("b", 12, 30, 6.0).generate(&mut ptf_data::test_rng(9))
+    }
+
+    fn quick_cfg() -> PtfConfig {
+        let mut c = PtfConfig::small();
+        c.rounds = 2;
+        c.client_epochs = 1;
+        c.server_epochs = 1;
+        c.alpha = 5;
+        c
+    }
+
+    #[test]
+    fn missing_client_model_is_reported() {
+        let train = tiny_train();
+        let err = Federation::builder(&train)
+            .server_model(ModelKind::Ngcf)
+            .config(quick_cfg())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::MissingField("client_model"));
+    }
+
+    #[test]
+    fn missing_server_model_is_reported() {
+        let train = tiny_train();
+        let err = Federation::builder(&train).client_model(ModelKind::NeuMf).build().unwrap_err();
+        assert_eq!(err, ConfigError::MissingField("server_model"));
+    }
+
+    #[test]
+    fn invalid_config_is_reported_not_panicked() {
+        let train = tiny_train();
+        let mut cfg = quick_cfg();
+        cfg.lambda = 7.0;
+        let err = Federation::builder(&train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::NeuMf)
+            .config(cfg)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::OutOfUnitRange { field: "lambda", got: 7.0 });
+    }
+
+    #[test]
+    fn defaults_fill_hyper_and_config() {
+        let train = tiny_train();
+        let engine = Federation::builder(&train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::NeuMf)
+            .build()
+            .expect("defaults are valid");
+        assert_eq!(engine.protocol().cfg.rounds, PtfConfig::small().rounds);
+    }
+
+    #[test]
+    fn observers_attach_through_the_builder() {
+        let train = tiny_train();
+        let recorder = TraceRecorder::new();
+        let mut engine = Federation::builder(&train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::NeuMf)
+            .config(quick_cfg())
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let trace = engine.run();
+        assert_eq!(recorder.trace(), trace);
+        assert_eq!(engine.ledger().summary().total_bytes, trace.total_bytes());
+    }
+}

@@ -1,7 +1,39 @@
-//! PTF-FedRec hyperparameters (§IV-D of the paper).
+//! PTF-FedRec hyperparameters (§IV-D of the paper) and their validation.
 
 use ptf_federated::Participation;
 use ptf_privacy::SamplingConfig;
+
+/// Why a federation could not be configured.
+///
+/// Returned by [`PtfConfig::validate`] and
+/// [`crate::FederationBuilder::build`] instead of panicking, so the CLI
+/// and library callers can surface a message (and a non-zero exit) rather
+/// than a backtrace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A required builder field was never set.
+    MissingField(&'static str),
+    /// A count/size field that must be strictly positive was zero.
+    NotPositive(&'static str),
+    /// A fraction field left `[0, 1]`.
+    OutOfUnitRange { field: &'static str, got: f64 },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingField(field) => {
+                write!(f, "missing required field `{field}` (set it on the builder)")
+            }
+            Self::NotPositive(field) => write!(f, "{field} must be positive"),
+            Self::OutOfUnitRange { field, got } => {
+                write!(f, "{field} must be in [0,1], got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which client-side defense shapes the uploaded prediction set D̂ᵗᵢ
 /// (the rows of Table V).
@@ -130,15 +162,31 @@ impl PtfConfig {
         }
     }
 
-    /// Validates internal consistency (panics with a clear message).
-    pub fn validate(&self) {
-        assert!(self.rounds > 0, "rounds must be positive");
-        assert!(self.client_epochs > 0, "client_epochs must be positive");
-        assert!(self.server_epochs > 0, "server_epochs must be positive");
-        assert!(self.client_batch > 0 && self.server_batch > 0, "batch sizes must be positive");
-        assert!((0.0..=1.0).contains(&self.mu), "mu must be in [0,1]");
-        assert!((0.0..=1.0).contains(&self.lambda), "lambda must be in [0,1]");
-        assert!((0.0..=1.0).contains(&self.graph_threshold), "graph_threshold must be in [0,1]");
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn positive(ok: bool, field: &'static str) -> Result<(), ConfigError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError::NotPositive(field))
+            }
+        }
+        fn unit(value: f64, field: &'static str) -> Result<(), ConfigError> {
+            if (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(ConfigError::OutOfUnitRange { field, got: value })
+            }
+        }
+        positive(self.rounds > 0, "rounds")?;
+        positive(self.client_epochs > 0, "client_epochs")?;
+        positive(self.server_epochs > 0, "server_epochs")?;
+        positive(self.client_batch > 0, "client_batch")?;
+        positive(self.server_batch > 0, "server_batch")?;
+        unit(self.mu, "mu")?;
+        unit(self.lambda, "lambda")?;
+        unit(self.graph_threshold as f64, "graph_threshold")?;
+        Ok(())
     }
 }
 
@@ -160,7 +208,7 @@ mod tests {
         assert_eq!(c.lambda, 0.1);
         assert_eq!(c.sampling.beta_range, (0.1, 1.0));
         assert_eq!(c.sampling.gamma_range, (1.0, 4.0));
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
@@ -168,15 +216,44 @@ mod tests {
         let c = PtfConfig::small();
         assert_eq!(c.defense, DefenseKind::SamplingSwapping);
         assert_eq!(c.disperse, DisperseStrategy::ConfidenceHard);
-        c.validate();
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "mu must be in")]
     fn validate_catches_bad_mu() {
         let mut c = PtfConfig::paper();
         c.mu = 1.5;
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::OutOfUnitRange { field: "mu", got: 1.5 }));
+    }
+
+    #[test]
+    fn validate_catches_zero_counts() {
+        type Mutator = fn(&mut PtfConfig);
+        let cases: [(&str, Mutator); 5] = [
+            ("rounds", |c| c.rounds = 0),
+            ("client_epochs", |c| c.client_epochs = 0),
+            ("server_epochs", |c| c.server_epochs = 0),
+            ("client_batch", |c| c.client_batch = 0),
+            ("server_batch", |c| c.server_batch = 0),
+        ];
+        for (field, set) in cases {
+            let mut c = PtfConfig::paper();
+            set(&mut c);
+            assert_eq!(c.validate(), Err(ConfigError::NotPositive(field)));
+        }
+    }
+
+    #[test]
+    fn config_error_displays_actionable_messages() {
+        assert_eq!(ConfigError::NotPositive("rounds").to_string(), "rounds must be positive");
+        assert_eq!(
+            ConfigError::OutOfUnitRange { field: "lambda", got: -0.5 }.to_string(),
+            "lambda must be in [0,1], got -0.5"
+        );
+        let e = ConfigError::MissingField("client_model");
+        assert!(e.to_string().contains("client_model"), "{e}");
+        // it is a real std error
+        let _: &dyn std::error::Error = &e;
     }
 
     #[test]

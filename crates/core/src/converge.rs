@@ -1,87 +1,40 @@
 //! Validation-driven early stopping.
 //!
-//! The paper trains for a fixed 20 rounds and samples validation data
-//! "from the client's local training set". This module adds the natural
-//! production variant: monitor the hidden server model's validation
-//! NDCG@K after every round and stop once it stops improving.
+//! The paper trains for a fixed 20 rounds. The production variant —
+//! monitor the hidden server model's validation NDCG@K after every round
+//! and stop once it plateaus — used to be a `PtfFedRec` inherent method;
+//! it now lives on the protocol-agnostic engine as
+//! [`Engine::run_with_early_stopping`], so every [`FederatedProtocol`]
+//! gets it for free. This module re-exports the result type and keeps the
+//! PTF-FedRec integration tests.
+//!
+//! [`Engine::run_with_early_stopping`]: ptf_federated::Engine::run_with_early_stopping
+//! [`FederatedProtocol`]: ptf_federated::FederatedProtocol
 
-use crate::protocol::PtfFedRec;
-use ptf_data::Dataset;
-use ptf_federated::RunTrace;
-
-/// Outcome of [`PtfFedRec::run_with_early_stopping`].
-#[derive(Clone, Debug)]
-pub struct ConvergedRun {
-    pub trace: RunTrace,
-    /// Round index (0-based) with the best validation NDCG.
-    pub best_round: u32,
-    pub best_ndcg: f64,
-    /// True if training stopped before the configured round budget.
-    pub stopped_early: bool,
-}
-
-impl PtfFedRec {
-    /// Runs up to `cfg.rounds` rounds, evaluating the server model on
-    /// `validation` after each; stops when NDCG@`k` has not improved for
-    /// `patience` consecutive rounds.
-    ///
-    /// The server model is left in its *final* state (no best-round
-    /// rollback): PTF-FedRec's server model keeps improving from
-    /// accumulated uploads, so the final state is almost always the best,
-    /// and restoring would require snapshotting the hidden model.
-    pub fn run_with_early_stopping(
-        &mut self,
-        train: &Dataset,
-        validation: &Dataset,
-        k: usize,
-        patience: u32,
-    ) -> ConvergedRun {
-        assert!(patience > 0, "patience must be at least 1 round");
-        let mut trace = RunTrace::default();
-        let mut best_ndcg = f64::NEG_INFINITY;
-        let mut best_round = 0u32;
-        let mut since_best = 0u32;
-        let budget = self.cfg.rounds;
-        let mut stopped_early = false;
-        for round in 0..budget {
-            trace.push(self.run_round());
-            let ndcg = self.evaluate(train, validation, k).metrics.ndcg;
-            if ndcg > best_ndcg {
-                best_ndcg = ndcg;
-                best_round = round;
-                since_best = 0;
-            } else {
-                since_best += 1;
-                if since_best >= patience {
-                    stopped_early = round + 1 < budget;
-                    break;
-                }
-            }
-        }
-        ConvergedRun { trace, best_round, best_ndcg, stopped_early }
-    }
-}
+pub use ptf_federated::ConvergedRun;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::builder::Federation;
     use crate::config::PtfConfig;
+    use crate::protocol::PtfFedRec;
     use ptf_data::{SyntheticConfig, ThreeWaySplit};
+    use ptf_federated::Engine;
     use ptf_models::{ModelHyper, ModelKind};
 
-    fn setup(rounds: u32) -> (ThreeWaySplit, PtfFedRec) {
+    fn setup(rounds: u32) -> (ThreeWaySplit, Engine<PtfFedRec>) {
         let data = SyntheticConfig::new("es", 30, 60, 12.0).generate(&mut ptf_data::test_rng(41));
         let split = ThreeWaySplit::split(&data, 0.2, 0.1, &mut ptf_data::test_rng(42));
         let mut cfg = PtfConfig::small();
         cfg.rounds = rounds;
         cfg.client_epochs = 2;
-        let fed = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::NeuMf,
-            &ModelHyper::small(),
-            cfg,
-        );
+        let fed = Federation::builder(&split.train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::NeuMf)
+            .hyper(ModelHyper::small())
+            .config(cfg)
+            .build()
+            .expect("valid test config");
         (split, fed)
     }
 

@@ -15,29 +15,38 @@
 //! 3. [`server::PtfServer::disperse_for`] — the server returns α
 //!    confidence/hard scored items per client ([`disperse`], §III-B3).
 //!
-//! [`protocol::PtfFedRec`] wires the loop together (Algorithm 1), records
-//! every message in a `CommLedger`, and evaluates the hidden server model
-//! with the paper's ranking protocol.
+//! [`protocol::PtfFedRec`] implements Algorithm 1 as a
+//! [`ptf_federated::FederatedProtocol`]; build it with the typed
+//! [`Federation::builder`], which wires the protocol into an
+//! [`ptf_federated::Engine`] whose observer stack carries the
+//! communication ledger, JSON trace recording, and any custom
+//! [`ptf_federated::RoundObserver`]:
 //!
 //! ```no_run
-//! use ptf_core::{PtfConfig, PtfFedRec};
+//! use ptf_core::{Federation, PtfConfig};
 //! use ptf_data::{DatasetPreset, Scale, TrainTestSplit};
+//! use ptf_federated::TraceRecorder;
 //! use ptf_models::{ModelHyper, ModelKind};
 //!
 //! let mut rng = ptf_data::test_rng(7);
 //! let data = DatasetPreset::MovieLens100K.generate(Scale::Small, &mut rng);
 //! let split = TrainTestSplit::split_80_20(&data, &mut rng);
-//! let mut fed = PtfFedRec::new(
-//!     &split.train,
-//!     ModelKind::NeuMf,          // public client model
-//!     ModelKind::Ngcf,           // hidden server model
-//!     &ModelHyper::default(),
-//!     PtfConfig::paper(),
-//! );
+//!
+//! let recorder = TraceRecorder::new();
+//! let mut fed = Federation::builder(&split.train)
+//!     .client_model(ModelKind::NeuMf)   // public client model
+//!     .server_model(ModelKind::Ngcf)    // hidden server model — never transmitted
+//!     .hyper(ModelHyper::default())
+//!     .config(PtfConfig::paper())
+//!     .observer(recorder.clone())       // JSON round traces, for free
+//!     .build()?;                        // ConfigError instead of a panic
 //! fed.run();
 //! println!("{}", fed.evaluate(&split.train, &split.test, 20));
+//! println!("{}", recorder.to_json());
+//! # Ok::<(), ptf_core::ConfigError>(())
 //! ```
 
+pub mod builder;
 pub mod client;
 pub mod config;
 pub mod converge;
@@ -46,8 +55,9 @@ pub mod protocol;
 pub mod server;
 pub mod upload;
 
+pub use builder::{Federation, FederationBuilder};
 pub use client::PtfClient;
-pub use config::{DefenseKind, DisperseStrategy, PtfConfig};
+pub use config::{ConfigError, DefenseKind, DisperseStrategy, PtfConfig};
 pub use converge::ConvergedRun;
 pub use protocol::PtfFedRec;
 pub use server::PtfServer;

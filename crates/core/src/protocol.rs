@@ -1,20 +1,22 @@
 //! The full PTF-FedRec learning protocol (Algorithm 1).
 //!
-//! One [`PtfFedRec`] owns everything a run needs: the client fleet (each
-//! with its private data and local model), the server with its hidden
-//! model, a [`CommLedger`] recording every message, and the master RNG.
-//! `run()` iterates Algorithm 1 until `cfg.rounds` and reports a
-//! [`RunTrace`].
+//! One [`PtfFedRec`] owns the protocol state a run needs: the client
+//! fleet (each with its private data and local model), the server with
+//! its hidden model, and the master RNG. It implements
+//! [`FederatedProtocol`], so an [`ptf_federated::Engine`] drives its
+//! rounds and wires in the communication ledger, trace recording, and any
+//! other [`ptf_federated::RoundObserver`] from the outside — construct it
+//! through [`crate::Federation::builder`].
 
 use crate::client::PtfClient;
-use crate::config::PtfConfig;
+use crate::config::{ConfigError, PtfConfig};
 use crate::server::PtfServer;
 use crate::upload::ClientUpload;
-use ptf_comm::{CommLedger, Payload};
+use ptf_comm::Payload;
 use ptf_data::Dataset;
-use ptf_federated::{partition_clients, RoundTrace, RunTrace};
+use ptf_federated::{partition_clients, FederatedProtocol, RoundCtx, RoundTrace, RunTrace};
 use ptf_metrics::RankingReport;
-use ptf_models::{evaluate_model, ModelHyper, ModelKind};
+use ptf_models::{evaluate_model, ModelHyper, ModelKind, Recommender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,7 +26,6 @@ pub struct PtfFedRec {
     clients: Vec<PtfClient>,
     trainable: Vec<u32>,
     server: PtfServer,
-    ledger: CommLedger,
     rng: StdRng,
     round: u32,
     /// Uploads of the most recent round (kept for privacy auditing).
@@ -33,15 +34,19 @@ pub struct PtfFedRec {
 
 impl PtfFedRec {
     /// Builds the federation: one client per user of `train`, a hidden
-    /// server model, and fresh per-participant state.
-    pub fn new(
+    /// server model, and fresh per-participant state. Fails (instead of
+    /// panicking) if `cfg` is inconsistent.
+    ///
+    /// Most callers want [`crate::Federation::builder`], which wraps this
+    /// in an engine with an observer stack.
+    pub fn try_new(
         train: &Dataset,
         client_kind: ModelKind,
         server_kind: ModelKind,
         hyper: &ModelHyper,
         cfg: PtfConfig,
-    ) -> Self {
-        cfg.validate();
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let partitions = partition_clients(train);
         let clients: Vec<PtfClient> = partitions
@@ -52,15 +57,25 @@ impl PtfFedRec {
             partitions.iter().filter(|p| p.is_trainable()).map(|p| p.id).collect();
         let server =
             PtfServer::new(train.num_users(), train.num_items(), server_kind, hyper, &mut rng);
-        Self {
-            cfg,
-            clients,
-            trainable,
-            server,
-            ledger: CommLedger::new(),
-            rng,
-            round: 0,
-            last_uploads: Vec::new(),
+        Ok(Self { cfg, clients, trainable, server, rng, round: 0, last_uploads: Vec::new() })
+    }
+
+    /// Legacy positional constructor; panics on an invalid `cfg`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Federation::builder(..)` (or `PtfFedRec::try_new`) \
+                which returns `Result<_, ConfigError>`"
+    )]
+    pub fn new(
+        train: &Dataset,
+        client_kind: ModelKind,
+        server_kind: ModelKind,
+        hyper: &ModelHyper,
+        cfg: PtfConfig,
+    ) -> Self {
+        match Self::try_new(train, client_kind, server_kind, hyper, cfg) {
+            Ok(fed) => fed,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -72,10 +87,6 @@ impl PtfFedRec {
         &self.clients[id as usize]
     }
 
-    pub fn ledger(&self) -> &CommLedger {
-        &self.ledger
-    }
-
     /// The uploads of the most recent round (for privacy audits).
     pub fn last_uploads(&self) -> &[ClientUpload] {
         &self.last_uploads
@@ -85,64 +96,18 @@ impl PtfFedRec {
         self.round
     }
 
-    /// Executes one global round of Algorithm 1.
-    pub fn run_round(&mut self) -> RoundTrace {
-        let bytes_before = self.ledger.total_bytes();
-        let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
-
-        // lines 5–8: local training + prediction upload
-        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(participants.len());
-        let mut loss_sum = 0.0f64;
-        for &cid in &participants {
-            let (upload, loss) = self.clients[cid as usize].local_round(&self.cfg, &mut self.rng);
-            loss_sum += loss as f64;
-            self.ledger.upload(
-                cid,
-                self.round,
-                "client-predictions",
-                Payload::Triples { count: upload.len() },
-            );
-            uploads.push(upload);
-        }
-
-        // lines 10–11: server model training on the collected predictions
-        let server_loss = self.server.train_on_uploads(&uploads, &self.cfg, &mut self.rng);
-
-        // line 12: confidence-based hard knowledge dispersal
-        for up in &uploads {
-            let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
-            uploaded.sort_unstable();
-            let disperse = self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut self.rng);
-            self.ledger.download(
-                up.client,
-                self.round,
-                "server-predictions",
-                Payload::Triples { count: disperse.len() },
-            );
-            self.clients[up.client as usize].receive_disperse(disperse);
-        }
-
-        let trace = RoundTrace {
-            round: self.round,
-            mean_client_loss: if participants.is_empty() {
-                0.0
-            } else {
-                (loss_sum / participants.len() as f64) as f32
-            },
-            server_loss,
-            participants: participants.len(),
-            bytes: self.ledger.total_bytes() - bytes_before,
-        };
-        self.last_uploads = uploads;
-        self.round += 1;
-        trace
-    }
-
-    /// Runs all configured rounds.
+    /// Legacy engine-less full run: all configured rounds, no observers
+    /// (byte accounting in the trace still works).
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive the protocol through `ptf_federated::Engine` \
+                (see `Federation::builder`) to get ledger/observer wiring"
+    )]
     pub fn run(&mut self) -> RunTrace {
         let mut trace = RunTrace::default();
         for _ in 0..self.cfg.rounds {
-            trace.push(self.run_round());
+            let mut ctx = RoundCtx::detached(self.round);
+            trace.push(FederatedProtocol::run_round(self, &mut ctx));
         }
         trace
     }
@@ -154,11 +119,65 @@ impl PtfFedRec {
     }
 }
 
+impl FederatedProtocol for PtfFedRec {
+    fn name(&self) -> &'static str {
+        "PTF-FedRec"
+    }
+
+    fn configured_rounds(&self) -> u32 {
+        self.cfg.rounds
+    }
+
+    /// Executes one global round of Algorithm 1.
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+        let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
+        ctx.begin(&participants);
+
+        // lines 5–8: local training + prediction upload
+        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(participants.len());
+        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
+        for &cid in &participants {
+            let (upload, loss) = self.clients[cid as usize].local_round(&self.cfg, &mut self.rng);
+            losses.push(loss);
+            ctx.upload(cid, "client-predictions", Payload::Triples { count: upload.len() });
+            uploads.push(upload);
+        }
+
+        // lines 10–11: server model training on the collected predictions
+        let server_loss = self.server.train_on_uploads(&uploads, &self.cfg, &mut self.rng);
+
+        // line 12: confidence-based hard knowledge dispersal
+        for up in &uploads {
+            let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
+            uploaded.sort_unstable();
+            let disperse = self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut self.rng);
+            ctx.disperse(
+                up.client,
+                "server-predictions",
+                Payload::Triples { count: disperse.len() },
+            );
+            self.clients[up.client as usize].receive_disperse(disperse);
+        }
+
+        let trace = RoundTrace::new(self.round, &losses, server_loss, ctx.bytes());
+        self.last_uploads = uploads;
+        self.round += 1;
+        trace
+    }
+
+    fn recommender(&self) -> &dyn Recommender {
+        self.server.model()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::Federation;
     use crate::config::{DefenseKind, DisperseStrategy};
     use ptf_data::{SyntheticConfig, TrainTestSplit};
+    use ptf_federated::Engine;
+    use ptf_models::ModelHyper;
 
     fn tiny_split() -> TrainTestSplit {
         let cfg = SyntheticConfig::new("tiny", 24, 48, 10.0);
@@ -175,19 +194,29 @@ mod tests {
         c
     }
 
+    fn quick_engine(
+        train: &Dataset,
+        client: ModelKind,
+        server: ModelKind,
+        cfg: PtfConfig,
+    ) -> Engine<PtfFedRec> {
+        Federation::builder(train)
+            .client_model(client)
+            .server_model(server)
+            .hyper(ModelHyper::small())
+            .config(cfg)
+            .build()
+            .expect("valid test config")
+    }
+
     #[test]
     fn full_protocol_round_trip() {
         let split = tiny_split();
-        let mut fed = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::NeuMf,
-            &ModelHyper::small(),
-            quick_cfg(),
-        );
+        let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, quick_cfg());
         let trace = fed.run();
         assert_eq!(trace.num_rounds(), 3);
         assert_eq!(fed.rounds_completed(), 3);
+        assert_eq!(fed.protocol().rounds_completed(), 3);
         // every round has participants and non-zero traffic
         for r in &trace.rounds {
             assert!(r.participants > 0);
@@ -196,7 +225,7 @@ mod tests {
             assert!(r.server_loss.is_finite());
         }
         // uploads retained for auditing
-        assert!(!fed.last_uploads().is_empty());
+        assert!(!fed.protocol().last_uploads().is_empty());
         // evaluation runs end to end
         let report = fed.evaluate(&split.train, &split.test, 5);
         assert!(report.users_evaluated > 0);
@@ -205,37 +234,26 @@ mod tests {
     #[test]
     fn clients_receive_dispersed_knowledge() {
         let split = tiny_split();
-        let mut fed = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::NeuMf,
-            &ModelHyper::small(),
-            quick_cfg(),
-        );
+        let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, quick_cfg());
         fed.run_round();
         let with_data = (0..split.train.num_users() as u32)
-            .filter(|&u| !fed.client(u).server_data().is_empty())
+            .filter(|&u| !fed.protocol().client(u).server_data().is_empty())
             .count();
         assert!(with_data > 0, "no client received D̃ after a round");
-        let d = fed.client(fed.last_uploads()[0].client).server_data();
+        let ptf = fed.protocol();
+        let d = ptf.client(ptf.last_uploads()[0].client).server_data();
         assert_eq!(d.len(), quick_cfg().alpha);
     }
 
     #[test]
     fn communication_is_kilobyte_scale() {
         let split = tiny_split();
-        let mut fed = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::Ngcf,
-            &ModelHyper::small(),
-            quick_cfg(),
-        );
+        let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, quick_cfg());
         fed.run();
         let avg = fed.ledger().avg_client_bytes_per_round();
         assert!(avg > 0.0);
         // the headline claim: KB-level, not MB-level (model has ~40k params)
-        let model_bytes = (fed.server().model().num_params() * 4) as f64;
+        let model_bytes = (fed.protocol().server().model().num_params() * 4) as f64;
         assert!(
             avg < model_bytes / 10.0,
             "prediction traffic {avg}B should be far below parameter traffic {model_bytes}B"
@@ -252,24 +270,12 @@ mod tests {
         with_def.defense = DefenseKind::SamplingSwapping;
         with_def.rounds = 1;
 
-        let mut fed_a = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::NeuMf,
-            &ModelHyper::small(),
-            no_def,
-        );
-        let mut fed_b = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::NeuMf,
-            &ModelHyper::small(),
-            with_def,
-        );
+        let mut fed_a = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, no_def);
+        let mut fed_b = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, with_def);
         fed_a.run();
         fed_b.run();
-        let full: usize = fed_a.last_uploads().iter().map(|u| u.len()).sum();
-        let sampled: usize = fed_b.last_uploads().iter().map(|u| u.len()).sum();
+        let full: usize = fed_a.protocol().last_uploads().iter().map(|u| u.len()).sum();
+        let sampled: usize = fed_b.protocol().last_uploads().iter().map(|u| u.len()).sum();
         assert!(sampled < full, "sampling defense should shrink uploads: {sampled} vs {full}");
     }
 
@@ -277,13 +283,8 @@ mod tests {
     fn deterministic_under_seed() {
         let split = tiny_split();
         let run = || {
-            let mut fed = PtfFedRec::new(
-                &split.train,
-                ModelKind::NeuMf,
-                ModelKind::NeuMf,
-                &ModelHyper::small(),
-                quick_cfg(),
-            );
+            let mut fed =
+                quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, quick_cfg());
             fed.run();
             fed.evaluate(&split.train, &split.test, 5).metrics.ndcg
         };
@@ -297,13 +298,7 @@ mod tests {
             let mut cfg = quick_cfg();
             cfg.rounds = 1;
             cfg.disperse = strategy;
-            let mut fed = PtfFedRec::new(
-                &split.train,
-                ModelKind::NeuMf,
-                ModelKind::NeuMf,
-                &ModelHyper::small(),
-                cfg,
-            );
+            let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, cfg);
             let trace = fed.run();
             assert_eq!(trace.num_rounds(), 1, "strategy {strategy:?} failed");
         }
@@ -318,16 +313,58 @@ mod tests {
                 let mut cfg = quick_cfg();
                 cfg.rounds = 1;
                 cfg.client_epochs = 1;
-                let mut fed = PtfFedRec::new(
-                    &split.train,
-                    client_kind,
-                    server_kind,
-                    &ModelHyper::small(),
-                    cfg,
-                );
+                let mut fed = quick_engine(&split.train, client_kind, server_kind, cfg);
                 let trace = fed.run();
                 assert!(trace.rounds[0].participants > 0);
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_and_builder_produce_identical_traces() {
+        // the deprecated positional path must stay byte-for-byte equivalent
+        // while it exists, so downstreams can migrate without re-tuning
+        let split = tiny_split();
+        let mut legacy = PtfFedRec::new(
+            &split.train,
+            ModelKind::NeuMf,
+            ModelKind::NeuMf,
+            &ModelHyper::small(),
+            quick_cfg(),
+        );
+        let legacy_trace = legacy.run();
+
+        let mut engine =
+            quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, quick_cfg());
+        let engine_trace = engine.run();
+
+        assert_eq!(legacy_trace, engine_trace);
+        assert_eq!(
+            legacy.evaluate(&split.train, &split.test, 5),
+            engine.evaluate(&split.train, &split.test, 5)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_still_panics_on_invalid_config() {
+        let split = tiny_split();
+        let mut cfg = quick_cfg();
+        cfg.mu = 2.0;
+        let err = match std::panic::catch_unwind(|| {
+            PtfFedRec::new(
+                &split.train,
+                ModelKind::NeuMf,
+                ModelKind::NeuMf,
+                &ModelHyper::small(),
+                cfg,
+            )
+        }) {
+            Err(payload) => payload,
+            Ok(_) => panic!("invalid config must still panic through the legacy path"),
+        };
+        let msg = err.downcast_ref::<String>().expect("panic carries the display message");
+        assert!(msg.contains("mu must be in [0,1]"), "{msg}");
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! * [`parse_movielens_100k`] — tab-separated `user \t item \t rating \t ts`
 //!   (the `u.data` file). Ratings are binarized (any rating counts as an
-//!   interaction, as the paper "transform[s] all positive ratings to 1").
+//!   interaction, as the paper "transform\[s\] all positive ratings to 1").
 //! * [`parse_pairs_csv`] — generic `user,item` CSV with optional header,
 //!   covering the common Steam-200K / Gowalla exports.
 //!

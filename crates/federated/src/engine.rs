@@ -1,0 +1,507 @@
+//! The protocol-agnostic federation engine.
+//!
+//! One [`FederatedProtocol`] trait covers PTF-FedRec *and* every
+//! parameter-transmission baseline; an [`Engine`] owns a protocol plus an
+//! observer stack ([`RoundObserver`]) and drives rounds through it. The
+//! protocol reports its wire traffic through the per-round [`RoundCtx`]
+//! instead of owning a ledger, so run/evaluate/report plumbing is written
+//! once — the CLI, examples, and bench harness all drive a
+//! `Box<dyn FederatedProtocol>` through the same code path.
+
+use crate::observer::RoundObserver;
+use crate::sim::{RoundTrace, RunTrace};
+use ptf_comm::{CommLedger, Endpoint, Message, Payload};
+use ptf_data::Dataset;
+use ptf_metrics::RankingReport;
+use ptf_models::{evaluate_model, Recommender};
+
+/// A runnable federated recommendation protocol.
+///
+/// Implementations own their model state, client fleet, and RNG; they do
+/// *not* own a ledger or observers — all wire traffic is reported through
+/// the [`RoundCtx`] so any sink can be plugged in from outside.
+pub trait FederatedProtocol {
+    /// Name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Configured number of global rounds.
+    fn configured_rounds(&self) -> u32;
+
+    /// Executes one global round, reporting traffic and hooks via `ctx`.
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace;
+
+    /// A scoring view of the trained global model, for evaluation.
+    fn recommender(&self) -> &dyn Recommender;
+}
+
+impl<P: FederatedProtocol + ?Sized> FederatedProtocol for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn configured_rounds(&self) -> u32 {
+        (**self).configured_rounds()
+    }
+
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+        (**self).run_round(ctx)
+    }
+
+    fn recommender(&self) -> &dyn Recommender {
+        (**self).recommender()
+    }
+}
+
+/// The per-round channel between a protocol and its observers.
+///
+/// Protocols call [`RoundCtx::begin`] once after sampling participants,
+/// then [`RoundCtx::upload`]/[`RoundCtx::disperse`] for every message they
+/// put on the wire; [`RoundCtx::bytes`] is the running byte total of the
+/// round (both directions), which is what a [`RoundTrace`] should report.
+pub struct RoundCtx<'a> {
+    round: u32,
+    observers: Vec<&'a mut dyn RoundObserver>,
+    bytes: u64,
+}
+
+impl<'a> RoundCtx<'a> {
+    pub fn new(round: u32, observers: Vec<&'a mut dyn RoundObserver>) -> Self {
+        Self { round, observers, bytes: 0 }
+    }
+
+    /// A context with no observers — for protocols that run an inner
+    /// protocol whose plaintext traffic must *not* be observed (FedMF
+    /// re-reports FCF's exchange as ciphertext messages), and for the
+    /// deprecated engine-less shims.
+    pub fn detached(round: u32) -> Self {
+        Self::new(round, Vec::new())
+    }
+
+    /// The global round index messages of this context are tagged with.
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Announces the sampled participant set to all observers.
+    pub fn begin(&mut self, participants: &[u32]) {
+        let round = self.round;
+        for o in &mut self.observers {
+            o.on_round_start(round, participants);
+        }
+    }
+
+    /// Reports a client → server message.
+    pub fn upload(&mut self, client: u32, label: &'static str, payload: Payload) {
+        self.send(Message {
+            from: Endpoint::Client(client),
+            to: Endpoint::Server,
+            round: self.round,
+            label,
+            payload,
+        });
+    }
+
+    /// Reports a server → client message.
+    pub fn disperse(&mut self, client: u32, label: &'static str, payload: Payload) {
+        self.send(Message {
+            from: Endpoint::Server,
+            to: Endpoint::Client(client),
+            round: self.round,
+            label,
+            payload,
+        });
+    }
+
+    /// Total bytes reported so far this round (both directions).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn send(&mut self, msg: Message) {
+        self.bytes += msg.bytes() as u64;
+        let up = matches!(msg.from, Endpoint::Client(_));
+        for o in &mut self.observers {
+            if up {
+                o.on_upload(&msg);
+            } else {
+                o.on_disperse(&msg);
+            }
+        }
+    }
+
+    fn finish(&mut self, trace: &RoundTrace) {
+        for o in &mut self.observers {
+            o.on_round_end(trace);
+        }
+    }
+}
+
+/// Outcome of [`Engine::run_with_early_stopping`].
+#[derive(Clone, Debug)]
+pub struct ConvergedRun {
+    pub trace: RunTrace,
+    /// Round index (0-based) with the best validation NDCG.
+    pub best_round: u32,
+    pub best_ndcg: f64,
+    /// True if training stopped before the configured round budget.
+    pub stopped_early: bool,
+}
+
+/// Drives a [`FederatedProtocol`] with a pluggable observer stack.
+///
+/// The engine always carries a [`CommLedger`] (as its first observer) so
+/// every run has Table IV style accounting for free; further observers —
+/// a [`crate::TraceRecorder`], convergence probes, transport shims — are
+/// attached with [`Engine::with_observer`].
+pub struct Engine<P> {
+    protocol: P,
+    ledger: CommLedger,
+    observers: Vec<Box<dyn RoundObserver>>,
+    next_round: u32,
+}
+
+impl<P: FederatedProtocol> Engine<P> {
+    /// Wraps a *fresh* protocol (round counter at 0). Protocols pre-run
+    /// outside an engine — only possible through the deprecated
+    /// engine-less shims — would desync the engine's round numbering
+    /// from the protocol's internal counter.
+    pub fn new(protocol: P) -> Self {
+        Self { protocol, ledger: CommLedger::new(), observers: Vec::new(), next_round: 0 }
+    }
+
+    /// Attaches an observer (builder style).
+    pub fn with_observer(mut self, observer: impl RoundObserver + 'static) -> Self {
+        self.add_observer(Box::new(observer));
+        self
+    }
+
+    /// Attaches an observer.
+    pub fn add_observer(&mut self, observer: Box<dyn RoundObserver>) {
+        self.observers.push(observer);
+    }
+
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    pub fn protocol_mut(&mut self) -> &mut P {
+        &mut self.protocol
+    }
+
+    /// The engine's communication ledger (recording since round 0).
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    pub fn rounds_completed(&self) -> u32 {
+        self.next_round
+    }
+
+    /// Executes one global round through the observer stack.
+    pub fn run_round(&mut self) -> RoundTrace {
+        let mut observers: Vec<&mut dyn RoundObserver> =
+            Vec::with_capacity(1 + self.observers.len());
+        observers.push(&mut self.ledger);
+        for o in &mut self.observers {
+            observers.push(o.as_mut());
+        }
+        let mut ctx = RoundCtx::new(self.next_round, observers);
+        let trace = self.protocol.run_round(&mut ctx);
+        ctx.finish(&trace);
+        self.next_round += 1;
+        trace
+    }
+
+    /// Runs the remaining configured rounds and returns their trace.
+    pub fn run(&mut self) -> RunTrace {
+        let mut trace = RunTrace::default();
+        while self.next_round < self.protocol.configured_rounds() {
+            trace.push(self.run_round());
+        }
+        trace
+    }
+
+    /// Evaluates the protocol's trained model with the paper's ranking
+    /// protocol (rank all non-train items per test user).
+    pub fn evaluate(&self, train: &Dataset, test: &Dataset, k: usize) -> RankingReport {
+        evaluate_model(self.protocol.recommender(), train, test, k)
+    }
+
+    /// Runs up to the configured round budget, evaluating on `validation`
+    /// after each round; stops when NDCG@`k` has not improved for
+    /// `patience` consecutive rounds.
+    ///
+    /// The model is left in its *final* state (no best-round rollback):
+    /// federated recommenders keep improving from accumulated knowledge,
+    /// so the final state is almost always the best, and restoring would
+    /// require snapshotting the (possibly hidden) model.
+    pub fn run_with_early_stopping(
+        &mut self,
+        train: &Dataset,
+        validation: &Dataset,
+        k: usize,
+        patience: u32,
+    ) -> ConvergedRun {
+        assert!(patience > 0, "patience must be at least 1 round");
+        let mut trace = RunTrace::default();
+        let mut best_ndcg = f64::NEG_INFINITY;
+        let mut best_round = 0u32;
+        let mut since_best = 0u32;
+        let budget = self.protocol.configured_rounds();
+        let mut stopped_early = false;
+        // like `run`, only the *remaining* budget is spent, and `round`
+        // is the engine's absolute index so `best_round` matches the
+        // round numbers in the trace
+        while self.next_round < budget {
+            let round = self.next_round;
+            trace.push(self.run_round());
+            let ndcg = self.evaluate(train, validation, k).metrics.ndcg;
+            if ndcg > best_ndcg {
+                best_ndcg = ndcg;
+                best_round = round;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= patience {
+                    stopped_early = self.next_round < budget;
+                    break;
+                }
+            }
+        }
+        ConvergedRun { trace, best_round, best_ndcg, stopped_early }
+    }
+}
+
+impl<P: FederatedProtocol> std::fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("protocol", &self.protocol.name())
+            .field("rounds_completed", &self.next_round)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: FederatedProtocol + 'static> Engine<P> {
+    /// Type-erases the protocol so engines over different protocols can
+    /// share one code path (`Engine<Box<dyn FederatedProtocol>>`). The
+    /// ledger, observers, and round counter carry over unchanged.
+    pub fn boxed(self) -> Engine<Box<dyn FederatedProtocol>> {
+        Engine {
+            protocol: Box::new(self.protocol),
+            ledger: self.ledger,
+            observers: self.observers,
+            next_round: self.next_round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::TraceRecorder;
+
+    /// A deterministic toy protocol: every round, each of three clients
+    /// uploads one triple and gets two scored items back; "validation
+    /// NDCG" rises for `improving_rounds` rounds and then plateaus.
+    struct MockProtocol {
+        rounds: u32,
+        done: u32,
+        improving_rounds: u32,
+        model: ConstModel,
+    }
+
+    struct ConstModel {
+        score: f32,
+    }
+
+    impl Recommender for ConstModel {
+        fn name(&self) -> &'static str {
+            "Const"
+        }
+        fn num_users(&self) -> usize {
+            3
+        }
+        fn num_items(&self) -> usize {
+            4
+        }
+        fn num_params(&self) -> usize {
+            1
+        }
+        fn score(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+            items.iter().map(|&i| self.score - i as f32 * 0.01).collect()
+        }
+        fn train_batch(&mut self, _batch: &[(u32, u32, f32)]) -> f32 {
+            0.0
+        }
+    }
+
+    impl FederatedProtocol for MockProtocol {
+        fn name(&self) -> &'static str {
+            "Mock"
+        }
+
+        fn configured_rounds(&self) -> u32 {
+            self.rounds
+        }
+
+        fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+            let participants = [0u32, 1, 2];
+            ctx.begin(&participants);
+            for &c in &participants {
+                ctx.upload(c, "mock-up", Payload::Triples { count: 1 });
+                ctx.disperse(c, "mock-down", Payload::ScoredItems { count: 2 });
+            }
+            // the "model improves" for the first `improving_rounds` rounds
+            if self.done < self.improving_rounds {
+                self.model.score += 0.1;
+            }
+            let losses = [0.5, 0.5, 0.5];
+            let trace = RoundTrace::new(self.done, &losses, 0.0, ctx.bytes());
+            self.done += 1;
+            trace
+        }
+
+        fn recommender(&self) -> &dyn Recommender {
+            &self.model
+        }
+    }
+
+    fn mock(rounds: u32, improving: u32) -> MockProtocol {
+        MockProtocol {
+            rounds,
+            done: 0,
+            improving_rounds: improving,
+            model: ConstModel { score: 0.2 },
+        }
+    }
+
+    #[test]
+    fn engine_runs_configured_rounds_and_ledgers_traffic() {
+        let mut engine = Engine::new(mock(4, 4));
+        let trace = engine.run();
+        assert_eq!(trace.num_rounds(), 4);
+        assert_eq!(engine.rounds_completed(), 4);
+        // 3 clients × (12B triple + 16B scored items) per round
+        assert_eq!(trace.rounds[0].bytes, 3 * (12 + 16));
+        assert_eq!(engine.ledger().summary().total_bytes, trace.total_bytes());
+        assert_eq!(engine.ledger().summary().rounds, 4);
+        // run() again is a no-op once the budget is spent
+        assert_eq!(engine.run().num_rounds(), 0);
+    }
+
+    #[test]
+    fn manual_rounds_then_run_completes_the_budget() {
+        let mut engine = Engine::new(mock(5, 5));
+        engine.run_round();
+        engine.run_round();
+        let rest = engine.run();
+        assert_eq!(rest.num_rounds(), 3);
+        assert_eq!(engine.rounds_completed(), 5);
+    }
+
+    #[test]
+    fn observers_see_every_hook() {
+        #[derive(Default)]
+        struct Counter {
+            starts: std::rc::Rc<std::cell::RefCell<(u32, u32, u32, u32)>>,
+        }
+        impl RoundObserver for Counter {
+            fn on_round_start(&mut self, _r: u32, _p: &[u32]) {
+                self.starts.borrow_mut().0 += 1;
+            }
+            fn on_upload(&mut self, _m: &Message) {
+                self.starts.borrow_mut().1 += 1;
+            }
+            fn on_disperse(&mut self, _m: &Message) {
+                self.starts.borrow_mut().2 += 1;
+            }
+            fn on_round_end(&mut self, _t: &RoundTrace) {
+                self.starts.borrow_mut().3 += 1;
+            }
+        }
+        let counter = Counter::default();
+        let counts = counter.starts.clone();
+        let mut engine = Engine::new(mock(2, 2)).with_observer(counter);
+        engine.run();
+        assert_eq!(*counts.borrow(), (2, 6, 6, 2));
+    }
+
+    #[test]
+    fn trace_recorder_matches_returned_trace() {
+        let recorder = TraceRecorder::new();
+        let mut engine = Engine::new(mock(3, 3)).with_observer(recorder.clone());
+        let trace = engine.run();
+        assert_eq!(recorder.trace(), trace);
+    }
+
+    #[test]
+    fn boxed_engine_keeps_ledger_and_round_counter() {
+        let mut engine = Engine::new(mock(3, 3));
+        engine.run_round();
+        let mut boxed: Engine<Box<dyn FederatedProtocol>> = engine.boxed();
+        assert_eq!(boxed.rounds_completed(), 1);
+        assert_eq!(boxed.protocol().name(), "Mock");
+        let rest = boxed.run();
+        assert_eq!(rest.num_rounds(), 2);
+        assert_eq!(boxed.ledger().summary().rounds, 3);
+    }
+
+    #[test]
+    fn early_stopping_stops_on_plateau() {
+        let train = Dataset::from_user_items("t", 4, vec![vec![0], vec![0], vec![0]]);
+        let validation = Dataset::from_user_items("v", 4, vec![vec![1], vec![1], vec![1]]);
+        // improves for 3 rounds, then plateaus; patience 2 ⇒ stop at round 5
+        let mut engine = Engine::new(mock(20, 3));
+        let run = engine.run_with_early_stopping(&train, &validation, 2, 2);
+        assert!(run.stopped_early, "plateau not detected");
+        assert!(run.trace.num_rounds() < 20);
+        assert!(run.best_ndcg.is_finite());
+        assert!((run.best_round as usize) < run.trace.num_rounds());
+    }
+
+    #[test]
+    fn early_stopping_respects_budget() {
+        let train = Dataset::from_user_items("t", 4, vec![vec![0], vec![0], vec![0]]);
+        let validation = Dataset::from_user_items("v", 4, vec![vec![1], vec![1], vec![1]]);
+        let mut engine = Engine::new(mock(4, 99));
+        let run = engine.run_with_early_stopping(&train, &validation, 2, 10);
+        assert_eq!(run.trace.num_rounds(), 4);
+        assert!(!run.stopped_early);
+    }
+
+    #[test]
+    fn early_stopping_spends_only_the_remaining_budget() {
+        // regression: manual rounds before early stopping must count
+        // against the budget, and best_round must match trace numbering
+        let train = Dataset::from_user_items("t", 4, vec![vec![0], vec![0], vec![0]]);
+        let validation = Dataset::from_user_items("v", 4, vec![vec![1], vec![1], vec![1]]);
+        let mut engine = Engine::new(mock(5, 99));
+        engine.run_round();
+        engine.run_round();
+        let run = engine.run_with_early_stopping(&train, &validation, 2, 10);
+        assert_eq!(run.trace.num_rounds(), 3, "only the remaining 3 rounds may run");
+        assert_eq!(engine.rounds_completed(), 5);
+        // best_round is an absolute engine round (2..=4), present in trace
+        assert!(run.best_round >= 2);
+        assert!(run.trace.rounds.iter().any(|r| r.round == run.best_round));
+    }
+
+    #[test]
+    #[should_panic(expected = "patience")]
+    fn early_stopping_rejects_zero_patience() {
+        let train = Dataset::from_user_items("t", 4, vec![vec![0]]);
+        let mut engine = Engine::new(mock(2, 2));
+        let _ = engine.run_with_early_stopping(&train, &train, 2, 0);
+    }
+
+    #[test]
+    fn detached_ctx_observes_nothing_but_counts_bytes() {
+        let mut ctx = RoundCtx::detached(7);
+        assert_eq!(ctx.round(), 7);
+        ctx.begin(&[0]);
+        ctx.upload(0, "up", Payload::Triples { count: 2 });
+        ctx.disperse(0, "down", Payload::Vector { len: 4 });
+        assert_eq!(ctx.bytes(), 24 + 16);
+    }
+}

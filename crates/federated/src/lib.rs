@@ -6,12 +6,20 @@
 //! * [`client`] — per-client data partitions of a dataset (each user *is*
 //!   a client in federated recommendation);
 //! * [`sampler`] — per-round participant selection (`U^t ⊆ U`);
-//! * [`sim`] — round-by-round run traces every protocol reports.
+//! * [`sim`] — round-by-round run traces every protocol reports;
+//! * [`engine`] — the [`FederatedProtocol`] trait and the [`Engine`] that
+//!   drives any protocol through a pluggable observer stack;
+//! * [`observer`] — the [`RoundObserver`] hook API (communication ledger,
+//!   JSON [`TraceRecorder`], custom sinks).
 
 pub mod client;
+pub mod engine;
+pub mod observer;
 pub mod sampler;
 pub mod sim;
 
 pub use client::{partition_clients, ClientData};
+pub use engine::{ConvergedRun, Engine, FederatedProtocol, RoundCtx};
+pub use observer::{RoundObserver, TraceRecorder};
 pub use sampler::Participation;
 pub use sim::{RoundTrace, RunTrace};

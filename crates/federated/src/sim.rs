@@ -1,7 +1,9 @@
 //! Run traces: what every federated protocol reports per round.
 
+use serde::Serialize;
+
 /// Statistics of one global round.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct RoundTrace {
     pub round: u32,
     /// Mean client-side training loss over this round's participants.
@@ -14,8 +16,35 @@ pub struct RoundTrace {
     pub bytes: u64,
 }
 
+impl RoundTrace {
+    /// Builds a round trace from per-participant client losses.
+    ///
+    /// Non-finite losses (NaN/±∞ from a diverged participant) are excluded
+    /// from the average so one broken client cannot poison the whole
+    /// trace; `participants` still counts every sampled client. A round
+    /// where *every* loss is non-finite (or no client participated)
+    /// reports a mean loss of 0.
+    pub fn new(round: u32, client_losses: &[f32], server_loss: f32, bytes: u64) -> Self {
+        let mut sum = 0.0f64;
+        let mut finite = 0usize;
+        for &l in client_losses {
+            if l.is_finite() {
+                sum += l as f64;
+                finite += 1;
+            }
+        }
+        Self {
+            round,
+            mean_client_loss: if finite == 0 { 0.0 } else { (sum / finite as f64) as f32 },
+            server_loss,
+            participants: client_losses.len(),
+            bytes,
+        }
+    }
+}
+
 /// The full trace of a federated run.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct RunTrace {
     pub rounds: Vec<RoundTrace>,
 }
@@ -33,7 +62,11 @@ impl RunTrace {
         self.rounds.iter().map(|r| r.bytes).sum()
     }
 
-    /// Final-round mean client loss (NaN-free convenience for tests).
+    /// Final-round mean client loss (0 for an empty trace).
+    ///
+    /// NaN-free *provided* the rounds were built with [`RoundTrace::new`],
+    /// which excludes non-finite participant losses from the average —
+    /// hand-constructed `RoundTrace` literals can still carry anything.
     pub fn final_client_loss(&self) -> f32 {
         self.rounds.last().map_or(0.0, |r| r.mean_client_loss)
     }
@@ -75,5 +108,42 @@ mod tests {
         let t = RunTrace::default();
         assert_eq!(t.final_client_loss(), 0.0);
         assert!(!t.client_loss_improved());
+    }
+
+    #[test]
+    fn constructor_averages_client_losses() {
+        let t = RoundTrace::new(3, &[0.2, 0.4], 0.7, 64);
+        assert_eq!(t.round, 3);
+        assert_eq!(t.participants, 2);
+        assert!((t.mean_client_loss - 0.3).abs() < 1e-6);
+        assert_eq!(t.server_loss, 0.7);
+        assert_eq!(t.bytes, 64);
+    }
+
+    #[test]
+    fn constructor_filters_nan_participants() {
+        // regression: one diverged client must not poison the round mean
+        let t = RoundTrace::new(0, &[1.0, f32::NAN, 3.0, f32::INFINITY], 0.0, 0);
+        assert_eq!(t.participants, 4, "NaN clients still participated");
+        assert!((t.mean_client_loss - 2.0).abs() < 1e-6, "{}", t.mean_client_loss);
+
+        let mut run = RunTrace::default();
+        run.push(t);
+        assert!(run.final_client_loss().is_finite(), "final_client_loss must stay NaN-free");
+    }
+
+    #[test]
+    fn constructor_all_nan_or_empty_is_zero() {
+        assert_eq!(RoundTrace::new(0, &[], 0.0, 0).mean_client_loss, 0.0);
+        assert_eq!(RoundTrace::new(0, &[f32::NAN, f32::NAN], 0.0, 0).mean_client_loss, 0.0);
+    }
+
+    #[test]
+    fn traces_serialize_to_json() {
+        let mut t = RunTrace::default();
+        t.push(trace(0, 0.5));
+        let json = serde_json::to_string(&t).expect("RunTrace serializes");
+        assert!(json.contains("\"rounds\""), "{json}");
+        assert!(json.contains("\"mean_client_loss\""), "{json}");
     }
 }

@@ -1,9 +1,10 @@
 //! Dataset-level ranking evaluation.
 
 use crate::ranking::{rank_metrics, RankingMetrics};
+use serde::Serialize;
 
 /// Averaged ranking metrics over the evaluated users.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct RankingReport {
     pub metrics: RankingMetrics,
     /// Users that had at least one held-out item and were averaged.

@@ -3,7 +3,7 @@
 //! Evaluation metrics for the PTF-FedRec reproduction:
 //!
 //! * [`ranking`] — Recall@K, NDCG@K, HitRate@K, Precision@K over full-item
-//!   ranking with training-item exclusion (the paper "calculate[s] the
+//!   ranking with training-item exclusion (the paper "calculate\[s\] the
 //!   metrics scores for all items that have not interacted with users").
 //! * [`classification`] — set precision/recall/F1, used to score the
 //!   Top-Guess membership-inference attack (Table V).

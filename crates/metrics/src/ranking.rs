@@ -1,7 +1,9 @@
 //! Per-user ranking metrics.
 
+use serde::Serialize;
+
 /// Metrics of one ranked list against a relevant set, all in `[0, 1]`.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
 pub struct RankingMetrics {
     /// |top-K ∩ relevant| / |relevant|.
     pub recall: f64,

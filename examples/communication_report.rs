@@ -2,16 +2,18 @@
 //! puts on the wire for the same training task (the Table IV experiment
 //! as a runnable program), plus the scaling argument of §III-C2.
 //!
+//! All four protocols go through the *same* `FederatedProtocol` engine
+//! loop — the measurement code never branches on the protocol.
+//!
 //! ```sh
 //! cargo run --release --example communication_report
 //! ```
 
-use ptf_fedrec::baselines::{
-    Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig,
-};
+use ptf_fedrec::baselines::{Fcf, FcfConfig, FedMf, FedMfConfig, MetaMf, MetaMfConfig};
 use ptf_fedrec::comm::format_bytes;
 use ptf_fedrec::core::{PtfConfig, PtfFedRec};
 use ptf_fedrec::data::{DatasetPreset, Scale, TrainTestSplit};
+use ptf_fedrec::federated::{Engine, FederatedProtocol};
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 
 fn main() {
@@ -26,30 +28,38 @@ fn main() {
 
     println!("{:<12} {:>16} {:>16} {:>14}", "protocol", "per client-round", "total", "messages");
 
-    let mut fcf = Fcf::new(&split.train, FcfConfig::small());
-    for _ in 0..3 {
-        fcf.run_round();
-    }
-    report(fcf.name(), fcf.ledger());
+    let mut ptf_cfg = PtfConfig::small();
+    ptf_cfg.rounds = 3;
+    let protocols: Vec<Box<dyn FederatedProtocol>> = vec![
+        Box::new(Fcf::new(&split.train, FcfConfig::small())),
+        Box::new(FedMf::new(&split.train, FedMfConfig::small())),
+        Box::new(MetaMf::new(&split.train, MetaMfConfig::small())),
+        Box::new(
+            PtfFedRec::try_new(
+                &split.train,
+                ModelKind::NeuMf,
+                ModelKind::Ngcf,
+                &ModelHyper::small(),
+                ptf_cfg,
+            )
+            .expect("example config is valid"),
+        ),
+    ];
 
-    let mut fedmf = FedMf::new(&split.train, FedMfConfig::small());
-    for _ in 0..3 {
-        fedmf.run_round();
+    for protocol in protocols {
+        let mut engine = Engine::new(protocol);
+        for _ in 0..3 {
+            engine.run_round();
+        }
+        let s = engine.ledger().summary();
+        println!(
+            "{:<12} {:>16} {:>16} {:>14}",
+            engine.protocol().name(),
+            format_bytes(s.avg_client_bytes_per_round),
+            format_bytes(s.total_bytes as f64),
+            s.messages
+        );
     }
-    report(fedmf.name(), fedmf.ledger());
-
-    let mut metamf = MetaMf::new(&split.train, MetaMfConfig::small());
-    for _ in 0..3 {
-        metamf.run_round();
-    }
-    report(metamf.name(), metamf.ledger());
-
-    let mut cfg = PtfConfig::small();
-    cfg.rounds = 3;
-    let mut ptf =
-        PtfFedRec::new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &ModelHyper::small(), cfg);
-    ptf.run();
-    report("PTF-FedRec", ptf.ledger());
 
     println!("\nwhy it matters as models grow (per client-round, analytic):");
     println!("{:>12} {:>12} {:>12}", "items", "FCF", "PTF-FedRec");
@@ -58,15 +68,4 @@ fn main() {
         let ptf_bytes = ((0.55 * 46.0 * 3.5) as usize + 30) as f64 * 12.0;
         println!("{:>12} {:>12} {:>12}", items, format_bytes(fcf_bytes), format_bytes(ptf_bytes));
     }
-}
-
-fn report(name: &str, ledger: &ptf_fedrec::comm::CommLedger) {
-    let s = ledger.summary();
-    println!(
-        "{:<12} {:>16} {:>16} {:>14}",
-        name,
-        format_bytes(s.avg_client_bytes_per_round),
-        format_bytes(s.total_bytes as f64),
-        s.messages
-    );
 }

@@ -10,7 +10,7 @@
 //! cargo run --release --example model_marketplace
 //! ```
 
-use ptf_fedrec::core::{PtfConfig, PtfFedRec};
+use ptf_fedrec::core::{Federation, PtfConfig};
 use ptf_fedrec::data::{DatasetPreset, Scale, TrainTestSplit};
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 
@@ -29,13 +29,13 @@ fn main() {
     for server_kind in ModelKind::ALL {
         let mut cfg = PtfConfig::small();
         cfg.rounds = 10;
-        let mut fed = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf, // the public client model never changes
-            server_kind,
-            &ModelHyper::small(),
-            cfg,
-        );
+        let mut fed = Federation::builder(&split.train)
+            .client_model(ModelKind::NeuMf) // the public client model never changes
+            .server_model(server_kind)
+            .hyper(ModelHyper::small())
+            .config(cfg)
+            .build()
+            .expect("example config is valid");
         fed.run();
         let report = fed.evaluate(&split.train, &split.test, 20);
         let bytes = fed.ledger().avg_client_bytes_per_round();
@@ -44,7 +44,7 @@ fn main() {
             server_kind.name(),
             report.metrics.recall,
             report.metrics.ndcg,
-            fed.server().model().num_params(),
+            fed.protocol().server().model().num_params(),
             bytes
         );
         if best.is_none_or(|(_, n)| report.metrics.ndcg > n) {

@@ -5,7 +5,7 @@
 //! cargo run --release --example privacy_audit
 //! ```
 
-use ptf_fedrec::core::{DefenseKind, PtfConfig, PtfFedRec};
+use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig};
 use ptf_fedrec::data::{DatasetPreset, Scale, TrainTestSplit};
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 use ptf_fedrec::privacy::TopGuessAttack;
@@ -27,25 +27,24 @@ fn main() {
         let mut cfg = PtfConfig::small();
         cfg.rounds = 6;
         cfg.defense = defense;
-        let mut fed = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::Ngcf,
-            &ModelHyper::small(),
-            cfg,
-        );
+        let mut fed = Federation::builder(&split.train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::Ngcf)
+            .hyper(ModelHyper::small())
+            .config(cfg)
+            .build()
+            .expect("example config is valid");
         fed.run();
 
         // the curious server's view: the final round of uploads
+        let uploads = fed.protocol().last_uploads();
         let attack = TopGuessAttack::default();
         let f1 = attack.mean_f1(
-            fed.last_uploads()
-                .iter()
-                .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
+            uploads.iter().map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
         );
         let ndcg = fed.evaluate(&split.train, &split.test, 20).metrics.ndcg;
-        let avg_upload: f64 = fed.last_uploads().iter().map(|u| u.len() as f64).sum::<f64>()
-            / fed.last_uploads().len().max(1) as f64;
+        let avg_upload: f64 =
+            uploads.iter().map(|u| u.len() as f64).sum::<f64>() / uploads.len().max(1) as f64;
         println!("{:<22} {:>10.4} {:>10.4} {:>9.1} items", defense.name(), f1, ndcg, avg_upload);
     }
     println!("\nlower F1 = better privacy; the paper's full defense trades a little");

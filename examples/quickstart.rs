@@ -1,15 +1,15 @@
-//! Quickstart: train a hidden server model with PTF-FedRec and compare it
-//! against the naive client models.
+//! Quickstart: train a hidden server model with PTF-FedRec through the
+//! typed federation builder.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use ptf_fedrec::core::{PtfConfig, PtfFedRec};
+use ptf_fedrec::core::{ConfigError, Federation, PtfConfig};
 use ptf_fedrec::data::{DatasetPreset, Scale, TrainTestSplit};
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 
-fn main() {
+fn main() -> Result<(), ConfigError> {
     // 1. Data: a MovieLens-100K-shaped synthetic dataset, split 8:2.
     let mut rng = ptf_fedrec::data::test_rng(7);
     let data = DatasetPreset::MovieLens100K.generate(Scale::Small, &mut rng);
@@ -22,16 +22,17 @@ fn main() {
     );
 
     // 2. The federation: every user is a client running the public NeuMF;
-    //    the platform's NGCF stays hidden on the server.
+    //    the platform's NGCF stays hidden on the server. The builder
+    //    validates the configuration instead of panicking, and wires the
+    //    engine's communication ledger automatically.
     let mut cfg = PtfConfig::small();
     cfg.rounds = 8;
-    let mut fed = PtfFedRec::new(
-        &split.train,
-        ModelKind::NeuMf, // public client model
-        ModelKind::Ngcf,  // hidden server model — never transmitted
-        &ModelHyper::small(),
-        cfg,
-    );
+    let mut fed = Federation::builder(&split.train)
+        .client_model(ModelKind::NeuMf) // public client model
+        .server_model(ModelKind::Ngcf) // hidden server model — never transmitted
+        .hyper(ModelHyper::small())
+        .config(cfg)
+        .build()?;
 
     // 3. Train: only prediction triples cross the wire.
     let trace = fed.run();
@@ -44,7 +45,8 @@ fn main() {
 
     // 4. Evaluate the hidden model and inspect the communication bill.
     let report = fed.evaluate(&split.train, &split.test, 20);
-    println!("\nserver model ({}): {report}", fed.server().model().name());
+    let server_model = fed.protocol().server().model();
+    println!("\nserver model ({}): {report}", server_model.name());
     let summary = fed.ledger().summary();
     println!(
         "communication: {} total over {} rounds, avg {} per client-round",
@@ -54,6 +56,7 @@ fn main() {
     );
     println!(
         "a parameter-transmission protocol would move ≥ {} per client-round",
-        ptf_fedrec::comm::format_bytes((fed.server().model().num_params() * 4) as f64),
+        ptf_fedrec::comm::format_bytes((server_model.num_params() * 4) as f64),
     );
+    Ok(())
 }

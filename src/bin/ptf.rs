@@ -1,14 +1,24 @@
 //! `ptf` — the command-line entry point of the PTF-FedRec reproduction.
 //!
-//! See `ptf help` (or [`ptf_fedrec::cli::USAGE`]) for the commands.
+//! See `ptf help` (or [`ptf_fedrec::cli::USAGE`]) for the commands. Every
+//! protocol — PTF-FedRec and all baselines — runs through the same
+//! `FederatedProtocol`-typed engine path: one `match` builds a
+//! `Box<dyn FederatedProtocol>`, and run/evaluate/report plumbing below it
+//! is written exactly once.
 
-use ptf_fedrec::cli::{parse, Command, DefenseChoice, USAGE};
-use ptf_fedrec::comm::format_bytes;
-use ptf_fedrec::core::{DefenseKind, PtfConfig, PtfFedRec};
+use ptf_fedrec::baselines::{
+    Centralized, CentralizedConfig, Fcf, FcfConfig, FedMf, FedMfConfig, MetaMf, MetaMfConfig,
+};
+use ptf_fedrec::cli::{parse, Command, DefenseChoice, ProtocolChoice, USAGE};
+use ptf_fedrec::comm::{format_bytes, LedgerSummary};
+use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig, PtfFedRec};
 use ptf_fedrec::data::{DatasetPreset, DatasetStats, Scale, TrainTestSplit};
+use ptf_fedrec::federated::{Engine, FederatedProtocol, RunTrace, TraceRecorder};
+use ptf_fedrec::metrics::RankingReport;
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 use ptf_fedrec::privacy::TopGuessAttack;
 use rand::SeedableRng;
+use serde::Serialize;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +58,89 @@ fn load_split(dataset: DatasetPreset, scale: Scale, seed: u64) -> TrainTestSplit
     TrainTestSplit::split_80_20(&data, &mut rng)
 }
 
+/// One `match`, one `Box<dyn FederatedProtocol>`: everything downstream
+/// (run, evaluate, report, JSON) is protocol-agnostic.
+#[allow(clippy::too_many_arguments)]
+fn build_protocol(
+    choice: ProtocolChoice,
+    train: &ptf_fedrec::data::Dataset,
+    client: ModelKind,
+    server: ModelKind,
+    rounds: Option<u32>,
+    scale: Scale,
+    seed: u64,
+) -> Result<Box<dyn FederatedProtocol>, String> {
+    let small = matches!(scale, Scale::Small);
+    Ok(match choice {
+        ProtocolChoice::Ptf => {
+            let mut cfg = scaled_config(scale, seed);
+            if let Some(r) = rounds {
+                cfg.rounds = r;
+            }
+            Box::new(
+                PtfFedRec::try_new(train, client, server, &scaled_hyper(scale), cfg)
+                    .map_err(|e| e.to_string())?,
+            )
+        }
+        ProtocolChoice::Fcf => {
+            let mut cfg = if small { FcfConfig::small() } else { FcfConfig::default() };
+            cfg.seed = seed;
+            if let Some(r) = rounds {
+                cfg.rounds = r;
+            }
+            Box::new(Fcf::new(train, cfg))
+        }
+        ProtocolChoice::FedMf => {
+            let mut cfg = if small { FedMfConfig::small() } else { FedMfConfig::default() };
+            cfg.base.seed = seed;
+            if let Some(r) = rounds {
+                cfg.base.rounds = r;
+            }
+            Box::new(FedMf::new(train, cfg))
+        }
+        ProtocolChoice::MetaMf => {
+            let mut cfg = if small { MetaMfConfig::small() } else { MetaMfConfig::default() };
+            cfg.seed = seed;
+            if let Some(r) = rounds {
+                cfg.rounds = r;
+            }
+            Box::new(MetaMf::new(train, cfg))
+        }
+        ProtocolChoice::Centralized => {
+            let mut cfg =
+                if small { CentralizedConfig::small() } else { CentralizedConfig::default() };
+            cfg.seed = seed;
+            if let Some(r) = rounds {
+                cfg.epochs = r;
+            }
+            Box::new(Centralized::new(server, train, &scaled_hyper(scale), cfg))
+        }
+    })
+}
+
+/// The machine-readable shape of `ptf train --json`.
+#[derive(Serialize)]
+struct TrainJson {
+    protocol: String,
+    dataset: String,
+    seed: u64,
+    trace: RunTrace,
+    report: RankingReport,
+    communication: LedgerSummary,
+}
+
+/// The machine-readable shape of `ptf privacy --json`.
+#[derive(Serialize)]
+struct PrivacyJson {
+    defense: String,
+    attack_f1: f64,
+    dataset: String,
+    seed: u64,
+    trace: RunTrace,
+    report: RankingReport,
+    communication: LedgerSummary,
+}
+
 fn run(cmd: Command) -> Result<(), String> {
     match cmd {
         Command::Help => {
@@ -62,48 +155,69 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Train { dataset, client, server, rounds, scale, seed, k, save } => {
+        Command::Train {
+            dataset,
+            protocol,
+            client,
+            server,
+            rounds,
+            scale,
+            seed,
+            k,
+            save,
+            json,
+        } => {
             let split = load_split(dataset, scale, seed);
-            let mut cfg = scaled_config(scale, seed);
-            if let Some(r) = rounds {
-                cfg.rounds = r;
-            }
+            let boxed =
+                build_protocol(protocol, &split.train, client, server, rounds, scale, seed)?;
             eprintln!(
-                "training PTF-FedRec on {} ({} clients, {} items): client={}, hidden server={}",
+                "training {} on {} ({} clients, {} items)",
+                boxed.name(),
                 dataset.name(),
                 split.train.num_users(),
                 split.train.num_items(),
-                client.name(),
-                server.name()
             );
-            let mut fed = PtfFedRec::new(&split.train, client, server, &scaled_hyper(scale), cfg);
-            let trace = fed.run();
+            let recorder = TraceRecorder::new();
+            let mut engine = Engine::new(boxed).with_observer(recorder.clone());
+            let trace = engine.run();
             for r in &trace.rounds {
                 eprintln!(
                     "  round {:>3}: client loss {:.4}, server loss {:.4}",
                     r.round, r.mean_client_loss, r.server_loss
                 );
             }
-            let report = fed.evaluate(&split.train, &split.test, k);
-            let summary = fed.ledger().summary();
-            println!("{report}");
-            println!(
-                "communication: {} per client-round (total {})",
-                format_bytes(summary.avg_client_bytes_per_round),
-                format_bytes(summary.total_bytes as f64)
-            );
+            let report = engine.evaluate(&split.train, &split.test, k);
+            let summary = engine.ledger().summary();
+            if json {
+                let out = TrainJson {
+                    protocol: engine.protocol().name().to_string(),
+                    dataset: dataset.name().to_string(),
+                    seed,
+                    trace: recorder.trace(),
+                    report,
+                    communication: summary,
+                };
+                println!("{}", serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?);
+            } else {
+                println!("{report}");
+                println!(
+                    "communication: {} per client-round (total {})",
+                    format_bytes(summary.avg_client_bytes_per_round),
+                    format_bytes(summary.total_bytes as f64)
+                );
+            }
             if let Some(path) = save {
-                let state = fed
-                    .server()
-                    .model()
+                let state = engine
+                    .protocol()
+                    .recommender()
                     .export_state()
-                    .ok_or("this server model does not support checkpointing")?;
+                    .ok_or("this model does not support checkpointing")?;
                 std::fs::write(&path, state).map_err(|e| format!("cannot write {path}: {e}"))?;
-                println!("hidden server model checkpointed to {path}");
+                eprintln!("trained model checkpointed to {path}");
             }
             Ok(())
         }
-        Command::Privacy { dataset, defense, epsilon, scale, seed } => {
+        Command::Privacy { dataset, defense, epsilon, scale, seed, json } => {
             let split = load_split(dataset, scale, seed);
             let mut cfg = scaled_config(scale, seed);
             cfg.defense = match defense {
@@ -113,23 +227,39 @@ fn run(cmd: Command) -> Result<(), String> {
                 DefenseChoice::Full => DefenseKind::SamplingSwapping,
             };
             let defense_name = cfg.defense.name();
-            let mut fed = PtfFedRec::new(
-                &split.train,
-                ModelKind::NeuMf,
-                ModelKind::Ngcf,
-                &scaled_hyper(scale),
-                cfg,
-            );
+            let recorder = TraceRecorder::new();
+            let mut fed = Federation::builder(&split.train)
+                .client_model(ModelKind::NeuMf)
+                .server_model(ModelKind::Ngcf)
+                .hyper(scaled_hyper(scale))
+                .config(cfg)
+                .observer(recorder.clone())
+                .build()
+                .map_err(|e| e.to_string())?;
             fed.run();
             let f1 = TopGuessAttack::default().mean_f1(
-                fed.last_uploads()
+                fed.protocol()
+                    .last_uploads()
                     .iter()
                     .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
             );
             let report = fed.evaluate(&split.train, &split.test, 20);
-            println!("defense: {defense_name}");
-            println!("top-guess attack F1: {f1:.4} (lower = better privacy)");
-            println!("{report}");
+            if json {
+                let out = PrivacyJson {
+                    defense: defense_name.to_string(),
+                    attack_f1: f1,
+                    dataset: dataset.name().to_string(),
+                    seed,
+                    trace: recorder.trace(),
+                    report,
+                    communication: fed.ledger().summary(),
+                };
+                println!("{}", serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?);
+            } else {
+                println!("defense: {defense_name}");
+                println!("top-guess attack F1: {f1:.4} (lower = better privacy)");
+                println!("{report}");
+            }
             Ok(())
         }
         Command::Generate { dataset, out, scale, seed } => {

@@ -5,9 +5,9 @@
 //!
 //! ```text
 //! ptf stats    [--scale small|paper] [--seed N]
-//! ptf train    --dataset ml100k|steam|gowalla [--client M] [--server M]
-//!              [--rounds N] [--scale S] [--seed N] [--k K]
-//! ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
+//! ptf train    --dataset ml100k|steam|gowalla [--protocol ptf|fcf|fedmf|metamf|centralized]
+//!              [--client M] [--server M] [--rounds N] [--scale S] [--seed N] [--k K] [--json]
+//! ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E] [--json]
 //! ptf generate --dataset D --out FILE [--scale S] [--seed N]
 //! ```
 
@@ -19,17 +19,21 @@ use ptf_models::ModelKind;
 pub enum Command {
     /// Print Table II style statistics of the three synthetic presets.
     Stats { scale: Scale, seed: u64 },
-    /// Run a full PTF-FedRec federation and report metrics + traffic.
+    /// Run a federated protocol and report metrics + traffic.
     Train {
         dataset: DatasetPreset,
+        /// Which protocol drives the run (all share one engine code path).
+        protocol: ProtocolChoice,
         client: ModelKind,
         server: ModelKind,
         rounds: Option<u32>,
         scale: Scale,
         seed: u64,
         k: usize,
-        /// Write the hidden server model's checkpoint here after training.
+        /// Write the trained model's checkpoint here after training.
         save: Option<String>,
+        /// Emit the run as machine-readable JSON on stdout.
+        json: bool,
     },
     /// Run the Top-Guess privacy audit under one defense.
     Privacy {
@@ -38,6 +42,8 @@ pub enum Command {
         epsilon: f64,
         scale: Scale,
         seed: u64,
+        /// Emit the audit as machine-readable JSON on stdout.
+        json: bool,
     },
     /// Export a synthetic dataset as JSON.
     Generate { dataset: DatasetPreset, out: String, scale: Scale, seed: u64 },
@@ -54,16 +60,36 @@ pub enum DefenseChoice {
     Full,
 }
 
+/// CLI-level protocol selector — every variant runs through the same
+/// `ptf_federated::FederatedProtocol` engine path in the binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// PTF-FedRec itself (default).
+    Ptf,
+    Fcf,
+    FedMf,
+    MetaMf,
+    Centralized,
+}
+
 pub const USAGE: &str = "\
 ptf — PTF-FedRec: parameter transmission-free federated recommendation
 
 USAGE:
     ptf stats    [--scale small|paper] [--seed N]
-    ptf train    --dataset ml100k|steam|gowalla [--client neumf|ngcf|lightgcn]
-                 [--server neumf|ngcf|lightgcn] [--rounds N] [--scale S] [--seed N] [--k K]
-                 [--save checkpoint.json]
-    ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E] [--scale S] [--seed N]
+    ptf train    --dataset ml100k|steam|gowalla
+                 [--protocol ptf|fcf|fedmf|metamf|centralized]
+                 [--client neumf|ngcf|lightgcn] [--server neumf|ngcf|lightgcn]
+                 [--rounds N] [--scale S] [--seed N] [--k K]
+                 [--save checkpoint.json] [--json]
+    ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
+                 [--scale S] [--seed N] [--json]
     ptf generate --dataset D --out FILE [--scale S] [--seed N]
+
+`--client`/`--server` select the model architectures for the ptf protocol;
+centralized trains the --server architecture (ignoring --client), and the
+MF-family baselines (fcf, fedmf, metamf) use their paper dimensions and
+ignore both. `--json` prints {trace, report, communication} for tooling.
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetPreset, String> {
@@ -97,23 +123,58 @@ fn parse_defense(s: &str) -> Result<DefenseChoice, String> {
     }
 }
 
-/// Consumes `--key value` style options into a lookup, rejecting unknowns.
-fn parse_options(
-    args: &[String],
-    allowed: &[&str],
-) -> Result<std::collections::HashMap<String, String>, String> {
-    let mut out = std::collections::HashMap::new();
+fn parse_protocol(s: &str) -> Result<ProtocolChoice, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ptf" | "ptf-fedrec" | "ptffedrec" => Ok(ProtocolChoice::Ptf),
+        "fcf" => Ok(ProtocolChoice::Fcf),
+        "fedmf" => Ok(ProtocolChoice::FedMf),
+        "metamf" => Ok(ProtocolChoice::MetaMf),
+        "centralized" | "central" => Ok(ProtocolChoice::Centralized),
+        other => Err(format!("unknown protocol {other:?} (ptf|fcf|fedmf|metamf|centralized)")),
+    }
+}
+
+/// Parsed `--key value` options plus valueless `--flag` switches.
+struct Options {
+    values: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Options {
+    fn get(&self, key: &str) -> Option<&String> {
+        self.values.get(key)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+}
+
+/// Consumes `--key value` options and valueless `--flag` switches into a
+/// lookup, rejecting unknowns and duplicates.
+fn parse_options(args: &[String], allowed: &[&str], flags: &[&str]) -> Result<Options, String> {
+    let mut out = Options {
+        values: std::collections::HashMap::new(),
+        flags: std::collections::HashSet::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         let key = &args[i];
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("unexpected argument {key:?}"));
         };
+        if flags.contains(&name) {
+            if !out.flags.insert(name.to_string()) {
+                return Err(format!("--{name} given twice"));
+            }
+            i += 1;
+            continue;
+        }
         if !allowed.contains(&name) {
             return Err(format!("unknown option --{name}"));
         }
         let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?.clone();
-        if out.insert(name.to_string(), value).is_some() {
+        if out.values.insert(name.to_string(), value).is_some() {
             return Err(format!("--{name} given twice"));
         }
         i += 2;
@@ -130,7 +191,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "stats" => {
-            let opts = parse_options(rest, &["scale", "seed"])?;
+            let opts = parse_options(rest, &["scale", "seed"], &[])?;
             Ok(Command::Stats {
                 scale: opts
                     .get("scale")
@@ -143,10 +204,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "train" => {
             let opts = parse_options(
                 rest,
-                &["dataset", "client", "server", "rounds", "scale", "seed", "k", "save"],
+                &[
+                    "dataset", "protocol", "client", "server", "rounds", "scale", "seed", "k",
+                    "save",
+                ],
+                &["json"],
             )?;
             Ok(Command::Train {
                 dataset: parse_dataset(opts.get("dataset").ok_or("train requires --dataset")?)?,
+                protocol: opts
+                    .get("protocol")
+                    .map(|s| parse_protocol(s))
+                    .transpose()?
+                    .unwrap_or(ProtocolChoice::Ptf),
                 client: opts
                     .get("client")
                     .map(|s| parse_model(s))
@@ -173,10 +243,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .transpose()?
                     .unwrap_or(20),
                 save: opts.get("save").cloned(),
+                json: opts.flag("json"),
             })
         }
         "privacy" => {
-            let opts = parse_options(rest, &["dataset", "defense", "epsilon", "scale", "seed"])?;
+            let opts = parse_options(
+                rest,
+                &["dataset", "defense", "epsilon", "scale", "seed"],
+                &["json"],
+            )?;
             Ok(Command::Privacy {
                 dataset: parse_dataset(opts.get("dataset").ok_or("privacy requires --dataset")?)?,
                 defense: opts
@@ -195,10 +270,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .transpose()?
                     .unwrap_or(Scale::Small),
                 seed: parse_seed(&opts)?,
+                json: opts.flag("json"),
             })
         }
         "generate" => {
-            let opts = parse_options(rest, &["dataset", "out", "scale", "seed"])?;
+            let opts = parse_options(rest, &["dataset", "out", "scale", "seed"], &[])?;
             Ok(Command::Generate {
                 dataset: parse_dataset(opts.get("dataset").ok_or("generate requires --dataset")?)?,
                 out: opts.get("out").ok_or("generate requires --out")?.clone(),
@@ -214,7 +290,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
-fn parse_seed(opts: &std::collections::HashMap<String, String>) -> Result<u64, String> {
+fn parse_seed(opts: &Options) -> Result<u64, String> {
     opts.get("seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
         .transpose()
@@ -243,6 +319,7 @@ mod tests {
             cmd,
             Command::Train {
                 dataset: DatasetPreset::MovieLens100K,
+                protocol: ProtocolChoice::Ptf,
                 client: ModelKind::NeuMf,
                 server: ModelKind::Ngcf,
                 rounds: None,
@@ -250,6 +327,7 @@ mod tests {
                 seed: 2024,
                 k: 20,
                 save: None,
+                json: false,
             }
         );
     }
@@ -261,7 +339,7 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Train { dataset, client, server, rounds, scale, seed, k, save } => {
+            Command::Train { dataset, client, server, rounds, scale, seed, k, save, .. } => {
                 assert_eq!(dataset, DatasetPreset::Gowalla);
                 assert_eq!(save, None);
                 assert_eq!(client, ModelKind::LightGcn);
@@ -279,6 +357,44 @@ mod tests {
     fn train_requires_dataset() {
         let err = parse(&argv("train")).unwrap_err();
         assert!(err.contains("--dataset"), "{err}");
+    }
+
+    #[test]
+    fn every_protocol_parses() {
+        for (s, want) in [
+            ("ptf", ProtocolChoice::Ptf),
+            ("PTF-FedRec", ProtocolChoice::Ptf),
+            ("fcf", ProtocolChoice::Fcf),
+            ("fedmf", ProtocolChoice::FedMf),
+            ("metamf", ProtocolChoice::MetaMf),
+            ("centralized", ProtocolChoice::Centralized),
+        ] {
+            let cmd = parse(&argv(&format!("train --dataset ml100k --protocol {s}"))).unwrap();
+            match cmd {
+                Command::Train { protocol, .. } => assert_eq!(protocol, want, "{s}"),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        let err = parse(&argv("train --dataset ml100k --protocol hogwarts")).unwrap_err();
+        assert!(err.contains("unknown protocol"), "{err}");
+    }
+
+    #[test]
+    fn json_is_a_valueless_flag() {
+        match parse(&argv("train --dataset ml100k --json --rounds 2")).unwrap() {
+            Command::Train { json, rounds, .. } => {
+                assert!(json);
+                assert_eq!(rounds, Some(2), "--json must not swallow the next option");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("privacy --dataset steam --json")).unwrap() {
+            Command::Privacy { json, .. } => assert!(json),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("train --dataset ml100k --json --json"))
+            .unwrap_err()
+            .contains("twice"));
     }
 
     #[test]

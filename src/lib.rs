@@ -12,12 +12,18 @@
 //! * [`metrics`] — Recall@K, NDCG@K, F1 and friends.
 //! * [`privacy`] — sampling/swapping defenses, LDP, the Top-Guess attack.
 //! * [`comm`] — typed messages, wire sizes, communication ledger.
-//! * [`federated`] — client registry, participation sampling, rounds.
-//! * [`core`] — the PTF-FedRec protocol itself.
-//! * [`baselines`] — centralized trainers, FCF, FedMF, MetaMF.
+//! * [`federated`] — client registry, participation sampling, and the
+//!   protocol-agnostic `FederatedProtocol` engine with `RoundObserver`
+//!   hooks.
+//! * [`core`] — the PTF-FedRec protocol itself plus the typed
+//!   `Federation::builder` front door.
+//! * [`baselines`] — centralized trainers, FCF, FedMF, MetaMF — all
+//!   implementing the same `FederatedProtocol` as PTF-FedRec.
 //!
-//! See `examples/quickstart.rs` for an end-to-end federated run, and the
-//! `ptf` binary ([`cli`]) for a command-line front door.
+//! See `examples/quickstart.rs` for an end-to-end federated run through
+//! the builder, `examples/communication_report.rs` for heterogeneous
+//! protocols driven by one engine loop, and the `ptf` binary ([`cli`])
+//! for a command-line front door.
 
 pub mod cli;
 

@@ -1,10 +1,9 @@
-//! Cross-crate consistency between the federated baselines.
+//! Cross-crate consistency between the federated baselines, all driven
+//! through the shared `FederatedProtocol` engine.
 
-use ptf_fedrec::baselines::{
-    Fcf, FcfConfig, FedMf, FedMfConfig, FederatedBaseline, MetaMf, MetaMfConfig,
-};
+use ptf_fedrec::baselines::{Fcf, FcfConfig, FedMf, FedMfConfig, MetaMf, MetaMfConfig};
 use ptf_fedrec::data::{SyntheticConfig, TrainTestSplit};
-use ptf_fedrec::models::evaluate_model;
+use ptf_fedrec::federated::{Engine, FederatedProtocol};
 
 fn split() -> TrainTestSplit {
     let data =
@@ -20,22 +19,24 @@ fn quick_base() -> FcfConfig {
 fn fedmf_learns_exactly_like_fcf() {
     // FedMF = FCF dynamics + encryption; same seed ⇒ identical model
     let s = split();
-    let mut fcf = Fcf::new(&s.train, quick_base());
-    let mut fedmf = FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 7 });
+    let mut fcf = Engine::new(Fcf::new(&s.train, quick_base()));
+    let mut fedmf =
+        Engine::new(FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 7 }));
     fcf.run();
     fedmf.run();
     let user = 0u32;
     let items: Vec<u32> = (0..s.train.num_items() as u32).collect();
-    let a = fcf.recommender().score(user, &items);
-    let b = fedmf.recommender().score(user, &items);
+    let a = fcf.protocol().recommender().score(user, &items);
+    let b = fedmf.protocol().recommender().score(user, &items);
     assert_eq!(a, b, "encryption must not change the learning outcome");
 }
 
 #[test]
 fn fedmf_pays_exactly_the_ciphertext_expansion() {
     let s = split();
-    let mut fcf = Fcf::new(&s.train, quick_base());
-    let mut fedmf = FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 7 });
+    let mut fcf = Engine::new(Fcf::new(&s.train, quick_base()));
+    let mut fedmf =
+        Engine::new(FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 7 }));
     fcf.run_round();
     fedmf.run_round();
     let ratio =
@@ -47,17 +48,17 @@ fn fedmf_pays_exactly_the_ciphertext_expansion() {
 fn all_baselines_improve_over_their_initialization() {
     let s = split();
 
-    let mut fcf = Fcf::new(&s.train, quick_base());
-    let before = evaluate_model(fcf.recommender(), &s.train, &s.test, 10).metrics.ndcg;
+    let mut fcf = Engine::new(Fcf::new(&s.train, quick_base()));
+    let before = fcf.evaluate(&s.train, &s.test, 10).metrics.ndcg;
     let trace = fcf.run();
     assert!(trace.client_loss_improved(), "FCF loss: {:?}", trace.rounds);
-    let after = evaluate_model(fcf.recommender(), &s.train, &s.test, 10).metrics.ndcg;
+    let after = fcf.evaluate(&s.train, &s.test, 10).metrics.ndcg;
     assert!(after >= before, "FCF: {before} → {after}");
 
-    let mut mm = MetaMf::new(
+    let mut mm = Engine::new(MetaMf::new(
         &s.train,
         MetaMfConfig { rounds: 4, local_epochs: 2, dim: 8, ..MetaMfConfig::default() },
-    );
+    ));
     let trace = mm.run();
     assert!(trace.client_loss_improved(), "MetaMF loss: {:?}", trace.rounds);
 }
@@ -68,4 +69,29 @@ fn baselines_report_paper_names() {
     assert_eq!(Fcf::new(&s.train, quick_base()).name(), "FCF");
     assert_eq!(FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 1 }).name(), "FedMF");
     assert_eq!(MetaMf::new(&s.train, MetaMfConfig::small()).name(), "MetaMF");
+}
+
+#[test]
+fn every_protocol_drives_through_one_engine_loop() {
+    // the acceptance shape of the engine API: heterogeneous protocols in
+    // one Vec<Box<dyn FederatedProtocol>>, one generic loop, no
+    // per-protocol plumbing
+    let s = split();
+    let protocols: Vec<Box<dyn FederatedProtocol>> = vec![
+        Box::new(Fcf::new(&s.train, quick_base())),
+        Box::new(FedMf::new(&s.train, FedMfConfig { base: quick_base(), he_key: 7 })),
+        Box::new(MetaMf::new(
+            &s.train,
+            MetaMfConfig { rounds: 4, local_epochs: 2, dim: 8, ..MetaMfConfig::default() },
+        )),
+    ];
+    for protocol in protocols {
+        let name = protocol.name();
+        let mut engine = Engine::new(protocol);
+        let trace = engine.run();
+        assert_eq!(trace.num_rounds(), 4, "{name}");
+        assert!(trace.total_bytes() > 0, "{name} reported no traffic");
+        assert_eq!(engine.ledger().summary().total_bytes, trace.total_bytes(), "{name}");
+        assert!(engine.evaluate(&s.train, &s.test, 10).users_evaluated > 0, "{name}");
+    }
 }

@@ -67,6 +67,101 @@ fn tiny_train_run_reports_metrics_and_traffic() {
 }
 
 #[test]
+fn train_json_emits_machine_readable_run() {
+    let out = ptf()
+        .args([
+            "train",
+            "--dataset",
+            "ml100k",
+            "--rounds",
+            "2",
+            "--seed",
+            "7",
+            "--k",
+            "5",
+            "--json",
+        ])
+        .output()
+        .expect("spawn failed");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "stdout must be pure JSON:\n{stdout}");
+    // the vendored serde_json shim has no dynamic Value reader, so assert
+    // on the serialized structure directly
+    for field in
+        ["\"protocol\"", "PTF-FedRec", "\"trace\"", "\"rounds\"", "\"ndcg\"", "\"total_bytes\""]
+    {
+        assert!(stdout.contains(field), "missing {field} in:\n{stdout}");
+    }
+    let rounds = stdout.matches("\"mean_client_loss\"").count();
+    assert_eq!(rounds, 2, "expected 2 serialized rounds in:\n{stdout}");
+}
+
+#[test]
+fn every_protocol_trains_through_the_cli() {
+    for protocol in ["ptf", "fcf", "fedmf", "metamf", "centralized"] {
+        let out = ptf()
+            .args([
+                "train",
+                "--dataset",
+                "ml100k",
+                "--protocol",
+                protocol,
+                "--rounds",
+                "1",
+                "--seed",
+                "7",
+                "--k",
+                "5",
+                "--json",
+            ])
+            .output()
+            .expect("spawn failed");
+        assert!(
+            out.status.success(),
+            "--protocol {protocol} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.trim_start().starts_with('{'), "{protocol} stdout not JSON:\n{stdout}");
+        let rounds = stdout.matches("\"mean_client_loss\"").count();
+        assert_eq!(rounds, 1, "{protocol}: expected 1 serialized round in:\n{stdout}");
+    }
+}
+
+#[test]
+fn privacy_json_reports_attack_f1() {
+    let out =
+        ptf().args(["privacy", "--dataset", "ml100k", "--rounds"]).output().expect("spawn failed");
+    // --rounds is not a privacy option: parse error, exit 2
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = ptf()
+        .args(["privacy", "--dataset", "ml100k", "--defense", "none", "--seed", "7", "--json"])
+        .output()
+        .expect("spawn failed");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "stdout must be pure JSON:\n{stdout}");
+    assert!(stdout.contains("No Defense"), "{stdout}");
+    assert!(stdout.contains("\"attack_f1\""), "{stdout}");
+}
+
+#[test]
+fn invalid_config_is_an_error_message_not_a_panic() {
+    // --rounds 0 fails PtfConfig validation: the binary must exit 1 with
+    // the ConfigError message on stderr and no panic backtrace
+    let out = ptf()
+        .args(["train", "--dataset", "ml100k", "--rounds", "0", "--seed", "7"])
+        .output()
+        .expect("spawn failed");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rounds must be positive"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "panic leaked to the user: {stderr}");
+}
+
+#[test]
 fn generate_writes_loadable_json() {
     let dir = std::env::temp_dir().join(format!("ptf-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -2,9 +2,25 @@
 //! data generation to evaluation, through the facade crate.
 
 use ptf_fedrec::baselines::{train_centralized, CentralizedConfig};
-use ptf_fedrec::core::{PtfConfig, PtfFedRec};
-use ptf_fedrec::data::{DatasetPreset, Scale, SyntheticConfig, TrainTestSplit};
+use ptf_fedrec::core::{Federation, PtfConfig, PtfFedRec};
+use ptf_fedrec::data::{Dataset, DatasetPreset, Scale, SyntheticConfig, TrainTestSplit};
+use ptf_fedrec::federated::Engine;
 use ptf_fedrec::models::{evaluate_model, ModelHyper, ModelKind};
+
+fn engine(
+    train: &Dataset,
+    client: ModelKind,
+    server: ModelKind,
+    cfg: PtfConfig,
+) -> Engine<PtfFedRec> {
+    Federation::builder(train)
+        .client_model(client)
+        .server_model(server)
+        .hyper(ModelHyper::small())
+        .config(cfg)
+        .build()
+        .expect("valid test config")
+}
 
 fn quick_cfg() -> PtfConfig {
     let mut cfg = PtfConfig::small();
@@ -23,10 +39,9 @@ fn tiny_split() -> TrainTestSplit {
 #[test]
 fn federated_training_beats_random_ranking() {
     let split = tiny_split();
-    let hyper = ModelHyper::small();
     let mut cfg = PtfConfig::small();
     cfg.alpha = 12;
-    let mut fed = PtfFedRec::new(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, &hyper, cfg);
+    let mut fed = engine(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, cfg);
     let trace = fed.run();
     let trained = fed.evaluate(&split.train, &split.test, 10);
     assert!(trace.client_loss_improved(), "{:?}", trace.rounds);
@@ -43,13 +58,7 @@ fn federated_training_beats_random_ranking() {
 #[test]
 fn trace_bytes_match_ledger() {
     let split = tiny_split();
-    let mut fed = PtfFedRec::new(
-        &split.train,
-        ModelKind::NeuMf,
-        ModelKind::NeuMf,
-        &ModelHyper::small(),
-        quick_cfg(),
-    );
+    let mut fed = engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, quick_cfg());
     let trace = fed.run();
     assert_eq!(trace.total_bytes(), fed.ledger().summary().total_bytes);
     assert_eq!(fed.ledger().summary().rounds, quick_cfg().rounds);
@@ -87,16 +96,11 @@ fn server_model_stays_hidden_from_clients() {
     // structural check of the headline property: client state contains no
     // reference to the server model; the only channel is scored triples.
     let split = tiny_split();
-    let mut fed = PtfFedRec::new(
-        &split.train,
-        ModelKind::NeuMf,
-        ModelKind::Ngcf,
-        &ModelHyper::small(),
-        quick_cfg(),
-    );
+    let mut fed = engine(&split.train, ModelKind::NeuMf, ModelKind::Ngcf, quick_cfg());
     fed.run_round();
     // what a client received is α scored items — nothing model-shaped
-    let client = fed.client(fed.last_uploads()[0].client);
+    let ptf = fed.protocol();
+    let client = ptf.client(ptf.last_uploads()[0].client);
     let received = client.server_data();
     assert!(received.len() <= quick_cfg().alpha);
     for &(item, score) in received {
@@ -105,7 +109,7 @@ fn server_model_stays_hidden_from_clients() {
     }
     // and what crossed the wire in total is KB-scale, far below one
     // serialization of the hidden NGCF
-    let hidden_model_bytes = fed.server().model().num_params() * 4;
+    let hidden_model_bytes = ptf.server().model().num_params() * 4;
     let avg = fed.ledger().avg_client_bytes_per_round();
     assert!(avg < (hidden_model_bytes / 4) as f64);
 }

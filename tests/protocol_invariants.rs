@@ -1,9 +1,10 @@
 //! Cross-crate protocol invariants: the privacy and communication
 //! properties the paper claims, checked on live federations.
 
-use ptf_fedrec::baselines::{Fcf, FcfConfig, FederatedBaseline};
-use ptf_fedrec::core::{DefenseKind, PtfConfig, PtfFedRec};
-use ptf_fedrec::data::{SyntheticConfig, TrainTestSplit};
+use ptf_fedrec::baselines::{Fcf, FcfConfig};
+use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig, PtfFedRec};
+use ptf_fedrec::data::{Dataset, SyntheticConfig, TrainTestSplit};
+use ptf_fedrec::federated::Engine;
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 use ptf_fedrec::privacy::TopGuessAttack;
 
@@ -21,22 +22,29 @@ fn cfg(defense: DefenseKind) -> PtfConfig {
     cfg
 }
 
-fn run(defense: DefenseKind) -> PtfFedRec {
+fn build(train: &Dataset, cfg: PtfConfig) -> Engine<PtfFedRec> {
+    Federation::builder(train)
+        .client_model(ModelKind::NeuMf)
+        .server_model(ModelKind::NeuMf)
+        .hyper(ModelHyper::small())
+        .config(cfg)
+        .build()
+        .expect("valid test config")
+}
+
+fn run(defense: DefenseKind) -> Engine<PtfFedRec> {
     let split = split();
-    let mut fed = PtfFedRec::new(
-        &split.train,
-        ModelKind::NeuMf,
-        ModelKind::NeuMf,
-        &ModelHyper::small(),
-        cfg(defense),
-    );
+    let mut fed = build(&split.train, cfg(defense));
     fed.run();
     fed
 }
 
-fn mean_attack_f1(fed: &PtfFedRec) -> f64 {
+fn mean_attack_f1(fed: &Engine<PtfFedRec>) -> f64 {
     TopGuessAttack::default().mean_f1(
-        fed.last_uploads().iter().map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
+        fed.protocol()
+            .last_uploads()
+            .iter()
+            .map(|u| (u.predictions.as_slice(), u.audit_positives.as_slice())),
     )
 }
 
@@ -44,7 +52,7 @@ fn mean_attack_f1(fed: &PtfFedRec) -> f64 {
 fn uploads_only_contain_trained_items() {
     let s = split();
     let fed = run(DefenseKind::SamplingSwapping);
-    for up in fed.last_uploads() {
+    for up in fed.protocol().last_uploads() {
         let positives = s.train.user_items(up.client);
         for &(item, score) in &up.predictions {
             assert!((item as usize) < s.train.num_items());
@@ -91,7 +99,8 @@ fn swapping_adds_protection_over_sampling_alone() {
 fn ptf_traffic_is_orders_of_magnitude_below_fcf() {
     let s = split();
     let fed = run(DefenseKind::SamplingSwapping);
-    let mut fcf = Fcf::new(&s.train, FcfConfig { rounds: 2, dim: 16, ..FcfConfig::small() });
+    let mut fcf =
+        Engine::new(Fcf::new(&s.train, FcfConfig { rounds: 2, dim: 16, ..FcfConfig::small() }));
     fcf.run();
     let ptf_bytes = fed.ledger().avg_client_bytes_per_round();
     let fcf_bytes = fcf.ledger().avg_client_bytes_per_round();
@@ -104,8 +113,9 @@ fn ptf_traffic_is_orders_of_magnitude_below_fcf() {
 #[test]
 fn dispersed_items_disjoint_from_upload() {
     let fed = run(DefenseKind::SamplingSwapping);
-    for up in fed.last_uploads() {
-        let received = fed.client(up.client).server_data();
+    let ptf = fed.protocol();
+    for up in ptf.last_uploads() {
+        let received = ptf.client(up.client).server_data();
         for &(item, _) in received {
             assert!(
                 !up.predictions.iter().any(|&(i, _)| i == item),
@@ -120,17 +130,11 @@ fn dispersed_items_disjoint_from_upload() {
 fn upload_sizes_vary_round_to_round_under_sampling() {
     // β/γ are redrawn every round, so upload sizes must not be constant
     let s = split();
-    let mut fed = PtfFedRec::new(
-        &s.train,
-        ModelKind::NeuMf,
-        ModelKind::NeuMf,
-        &ModelHyper::small(),
-        cfg(DefenseKind::SamplingSwapping),
-    );
+    let mut fed = build(&s.train, cfg(DefenseKind::SamplingSwapping));
     let mut sizes = Vec::new();
     for _ in 0..4 {
         fed.run_round();
-        sizes.push(fed.last_uploads().iter().map(|u| u.len()).sum::<usize>());
+        sizes.push(fed.protocol().last_uploads().iter().map(|u| u.len()).sum::<usize>());
     }
     assert!(sizes.windows(2).any(|w| w[0] != w[1]), "upload sizes frozen across rounds: {sizes:?}");
 }
@@ -173,14 +177,8 @@ fn poisoned_uploads_do_not_break_server_training() {
 #[test]
 fn all_empty_clients_yield_empty_rounds() {
     // degenerate federation: nobody has data — the protocol must not panic
-    let empty = ptf_fedrec::data::Dataset::from_user_items("empty", 10, vec![vec![]; 5]);
-    let mut fed = PtfFedRec::new(
-        &empty,
-        ModelKind::NeuMf,
-        ModelKind::NeuMf,
-        &ModelHyper::small(),
-        cfg(DefenseKind::SamplingSwapping),
-    );
+    let empty = Dataset::from_user_items("empty", 10, vec![vec![]; 5]);
+    let mut fed = build(&empty, cfg(DefenseKind::SamplingSwapping));
     let trace = fed.run();
     for r in &trace.rounds {
         assert_eq!(r.participants, 0);
@@ -197,13 +195,13 @@ fn paper_scale_movielens_smoke() {
     let split = TrainTestSplit::split_80_20(&data, &mut rng);
     let mut cfg = ptf_fedrec::core::PtfConfig::paper();
     cfg.rounds = 2;
-    let mut fed = PtfFedRec::new(
-        &split.train,
-        ModelKind::NeuMf,
-        ModelKind::Ngcf,
-        &ptf_fedrec::models::ModelHyper::default(),
-        cfg,
-    );
+    let mut fed = Federation::builder(&split.train)
+        .client_model(ModelKind::NeuMf)
+        .server_model(ModelKind::Ngcf)
+        .hyper(ptf_fedrec::models::ModelHyper::default())
+        .config(cfg)
+        .build()
+        .expect("paper config is valid");
     let trace = fed.run();
     assert_eq!(trace.num_rounds(), 2);
     assert!(trace.rounds[0].participants == 943);
