@@ -8,7 +8,7 @@
 
 use ptf_data::negative::sample_negatives;
 use ptf_data::Dataset;
-use ptf_federated::{FederatedProtocol, RoundCtx, RoundTrace};
+use ptf_federated::{round_rng, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler};
 use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,11 +24,15 @@ pub struct CentralizedConfig {
     /// Negative sampling ratio (paper: 1:4), resampled every epoch.
     pub neg_ratio: usize,
     pub seed: u64,
+    /// Worker threads for per-user sample assembly (`0` = every hardware
+    /// thread); the SGD pass itself is inherently serial. Bit-identical
+    /// results at any value.
+    pub threads: usize,
 }
 
 impl Default for CentralizedConfig {
     fn default() -> Self {
-        Self { epochs: 30, batch: 1024, neg_ratio: 4, seed: 23 }
+        Self { epochs: 30, batch: 1024, neg_ratio: 4, seed: 23, threads: 0 }
     }
 }
 
@@ -45,7 +49,7 @@ pub struct Centralized {
     cfg: CentralizedConfig,
     model: Box<dyn Recommender>,
     train: Dataset,
-    rng: StdRng,
+    scheduler: Scheduler,
     round: u32,
     losses: Vec<f32>,
 }
@@ -62,7 +66,8 @@ impl Centralized {
         // graph models see the full interaction graph
         let edges: Vec<(u32, u32, f32)> = train.pairs().map(|(u, i)| (u, i, 1.0)).collect();
         model.set_graph(&edges);
-        Self { cfg, model, train: train.clone(), rng, round: 0, losses: Vec::new() }
+        let scheduler = Scheduler::new(cfg.threads);
+        Self { cfg, model, train: train.clone(), scheduler, round: 0, losses: Vec::new() }
     }
 
     /// Per-epoch mean losses of the rounds run so far.
@@ -85,21 +90,34 @@ impl FederatedProtocol for Centralized {
         self.cfg.epochs
     }
 
+    /// One epoch as a two-phase map/reduce: per-user sample assembly
+    /// (negative sampling on a derived per-user RNG stream) runs in
+    /// parallel; the epoch shuffle and the SGD pass — serial by nature —
+    /// replay in user order on the caller's thread.
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
         ctx.begin(&[]);
-        let mut samples: Vec<(u32, u32, f32)> = Vec::new();
-        for u in self.train.active_users() {
-            let positives = self.train.user_items(u);
-            samples.extend(positives.iter().map(|&i| (u, i, 1.0f32)));
+        let (seed, round) = (self.cfg.seed, self.round);
+        let users: Vec<u32> = self.train.active_users().collect();
+        let (train, neg_ratio) = (&self.train, self.cfg.neg_ratio);
+        let per_user: Vec<Vec<(u32, u32, f32)>> = self.scheduler.map_indices(users.len(), |idx| {
+            let u = users[idx];
+            let positives = train.user_items(u);
+            let mut rng = round_rng(seed, round, RngStream::Client(u));
             let negs = sample_negatives(
                 positives,
-                self.train.num_items(),
-                positives.len() * self.cfg.neg_ratio,
-                &mut self.rng,
+                train.num_items(),
+                positives.len() * neg_ratio,
+                &mut rng,
             );
-            samples.extend(negs.into_iter().map(|i| (u, i, 0.0f32)));
-        }
-        shuffle(&mut samples, &mut self.rng);
+            positives
+                .iter()
+                .map(|&i| (u, i, 1.0f32))
+                .chain(negs.into_iter().map(|i| (u, i, 0.0f32)))
+                .collect()
+        });
+        let mut samples: Vec<(u32, u32, f32)> = per_user.into_iter().flatten().collect();
+        let mut shuffle_rng = round_rng(seed, round, RngStream::Shuffle);
+        shuffle(&mut samples, &mut shuffle_rng);
         let loss = ptf_models::train_on_samples(&mut *self.model, &samples, self.cfg.batch);
         self.losses.push(loss);
         let trace = RoundTrace::new(self.round, &[], loss, ctx.bytes());
@@ -109,6 +127,10 @@ impl FederatedProtocol for Centralized {
 
     fn recommender(&self) -> &dyn Recommender {
         &*self.model
+    }
+
+    fn threads(&self) -> usize {
+        self.scheduler.threads()
     }
 }
 
@@ -151,7 +173,7 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let s = split();
-        let cfg = CentralizedConfig { epochs: 8, batch: 128, neg_ratio: 4, seed: 5 };
+        let cfg = CentralizedConfig { epochs: 8, batch: 128, neg_ratio: 4, seed: 5, threads: 0 };
         let (_, losses) = train_centralized(ModelKind::NeuMf, &s.train, &ModelHyper::small(), &cfg);
         assert_eq!(losses.len(), 8);
         assert!(
@@ -163,7 +185,7 @@ mod tests {
     #[test]
     fn trained_model_beats_untrained() {
         let s = split();
-        let cfg = CentralizedConfig { epochs: 10, batch: 128, neg_ratio: 4, seed: 7 };
+        let cfg = CentralizedConfig { epochs: 10, batch: 128, neg_ratio: 4, seed: 7, threads: 0 };
         let hyper = ModelHyper::small();
         let (trained, _) = train_centralized(ModelKind::LightGcn, &s.train, &hyper, &cfg);
         let untrained = build_model(
@@ -187,7 +209,7 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let s = split();
-        let cfg = CentralizedConfig { epochs: 2, batch: 128, neg_ratio: 4, seed: 11 };
+        let cfg = CentralizedConfig { epochs: 2, batch: 128, neg_ratio: 4, seed: 11, threads: 0 };
         let hyper = ModelHyper::small();
         let (a, la) = train_centralized(ModelKind::NeuMf, &s.train, &hyper, &cfg);
         let (b, lb) = train_centralized(ModelKind::NeuMf, &s.train, &hyper, &cfg);
@@ -198,7 +220,7 @@ mod tests {
     #[test]
     fn runs_through_the_engine_like_any_protocol() {
         let s = split();
-        let cfg = CentralizedConfig { epochs: 3, batch: 128, neg_ratio: 4, seed: 13 };
+        let cfg = CentralizedConfig { epochs: 3, batch: 128, neg_ratio: 4, seed: 13, threads: 0 };
         let mut engine =
             Engine::new(Centralized::new(ModelKind::NeuMf, &s.train, &ModelHyper::small(), cfg));
         let trace = engine.run();
@@ -215,7 +237,7 @@ mod tests {
     #[test]
     fn engine_run_matches_train_centralized_wrapper() {
         let s = split();
-        let cfg = CentralizedConfig { epochs: 2, batch: 128, neg_ratio: 4, seed: 17 };
+        let cfg = CentralizedConfig { epochs: 2, batch: 128, neg_ratio: 4, seed: 17, threads: 0 };
         let hyper = ModelHyper::small();
         let (model, losses) = train_centralized(ModelKind::NeuMf, &s.train, &hyper, &cfg);
         let mut engine =

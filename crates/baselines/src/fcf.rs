@@ -16,7 +16,8 @@ use ptf_comm::Payload;
 use ptf_data::negative::sample_negatives;
 use ptf_data::Dataset;
 use ptf_federated::{
-    partition_clients, ClientData, FederatedProtocol, Participation, RoundCtx, RoundTrace,
+    partition_clients, round_rng, ClientData, FederatedProtocol, Participation, RngStream,
+    RoundCtx, RoundTrace, Scheduler,
 };
 use ptf_models::mf::{mf_sgd_step, MfModel};
 use ptf_models::Recommender;
@@ -26,6 +27,16 @@ use std::collections::HashMap;
 
 /// Observer over one client's item-delta rows: `(client, rows, dim, V)`.
 type DeltaObserver<'a> = dyn FnMut(u32, &HashMap<u32, (Vec<f32>, f32)>, usize, usize) + 'a;
+
+/// One client's buffered contribution from the parallel phase.
+struct ClientResult {
+    client: u32,
+    /// Trained private user vector (written back serially).
+    user_row: Vec<f32>,
+    /// Item-row deltas: `item → (Δrow, Δbias)`.
+    delta: HashMap<u32, (Vec<f32>, f32)>,
+    loss: f32,
+}
 
 /// FCF configuration (paper-aligned defaults).
 #[derive(Clone, Debug)]
@@ -39,6 +50,9 @@ pub struct FcfConfig {
     pub reg: f32,
     pub participation: Participation,
     pub seed: u64,
+    /// Worker threads for the parallel client phase (`0` = every
+    /// hardware thread); bit-identical results at any value.
+    pub threads: usize,
 }
 
 impl Default for FcfConfig {
@@ -52,6 +66,7 @@ impl Default for FcfConfig {
             reg: 1e-4,
             participation: Participation::full(),
             seed: 31,
+            threads: 0,
         }
     }
 }
@@ -72,7 +87,7 @@ pub struct Fcf {
     model: MfModel,
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
-    rng: StdRng,
+    scheduler: Scheduler,
     round: u32,
 }
 
@@ -82,7 +97,8 @@ impl Fcf {
         let model = MfModel::new(train.num_users(), train.num_items(), cfg.dim, cfg.lr, &mut rng);
         let clients = partition_clients(train);
         let trainable = clients.iter().filter(|c| c.is_trainable()).map(|c| c.id).collect();
-        Self { cfg, model, clients, trainable, rng, round: 0 }
+        let scheduler = Scheduler::new(cfg.threads);
+        Self { cfg, model, clients, trainable, scheduler, round: 0 }
     }
 
     /// The wire size of one direction of the exchange (item matrix+bias).
@@ -90,14 +106,19 @@ impl Fcf {
         Payload::DenseMatrix { rows: self.model.num_items(), cols: self.cfg.dim + 1 }
     }
 
-    /// One client's local contribution: trains its private user vector and
-    /// returns `(item-row deltas, mean loss)`.
+    /// One client's local phase, against a *read-only* model snapshot:
+    /// trains a private copy of the user vector plus local copies of the
+    /// item rows it touches, and returns the finished [`ClientResult`]
+    /// (user row, item-row deltas, mean loss). Runs on scheduler workers —
+    /// the only shared state it sees is the pre-round model, so the result
+    /// depends solely on `(client, rng)`.
     fn client_update(
-        model: &mut MfModel,
+        model: &MfModel,
         client: &ClientData,
         cfg: &FcfConfig,
         rng: &mut StdRng,
-    ) -> (HashMap<u32, (Vec<f32>, f32)>, f32) {
+    ) -> ClientResult {
+        let mut user_row = model.user_emb.row(client.id as usize).to_vec();
         // local working copies of the item rows this client will touch
         let mut local_rows: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
         let mut loss_sum = 0.0f32;
@@ -123,13 +144,22 @@ impl Fcf {
                 let (row, bias) = local_rows.entry(item).or_insert_with(|| {
                     (model.item_emb.row(item as usize).to_vec(), model.item_bias[item as usize])
                 });
-                let user_row = model.user_emb.row_mut(client.id as usize);
-                loss_sum += mf_sgd_step(user_row, row, bias, label, cfg.lr, cfg.reg);
+                loss_sum += mf_sgd_step(&mut user_row, row, bias, label, cfg.lr, cfg.reg);
                 steps += 1;
             }
         }
-        let mean_loss = if steps == 0 { 0.0 } else { loss_sum / steps as f32 };
-        (local_rows, mean_loss)
+        let loss = if steps == 0 { 0.0 } else { loss_sum / steps as f32 };
+        // the gradient message: trained local rows minus the pre-round base
+        let delta: HashMap<u32, (Vec<f32>, f32)> = local_rows
+            .into_iter()
+            .map(|(item, (row, bias))| {
+                let base_row = model.item_emb.row(item as usize);
+                let base_bias = model.item_bias[item as usize];
+                let drow: Vec<f32> = row.iter().zip(base_row).map(|(new, old)| new - old).collect();
+                (item, (drow, bias - base_bias))
+            })
+            .collect();
+        ClientResult { client: client.id, user_row, delta, loss }
     }
 }
 
@@ -156,35 +186,47 @@ impl Fcf {
     }
 
     /// Shared round body; `observer` sees `(client, delta rows, dim, V)`.
+    ///
+    /// Two-phase map/reduce: every participant's [`Fcf::client_update`]
+    /// runs in parallel against the pre-round model (clients are mutually
+    /// independent — in the real FCF they *are* separate devices), then
+    /// the buffered results are replayed serially in participant order so
+    /// wire events, the observer, and the floating-point delta
+    /// aggregation see exactly the stream a serial loop would produce.
     fn run_round_inner(
         &mut self,
         ctx: &mut RoundCtx<'_>,
         observer: &mut DeltaObserver<'_>,
     ) -> RoundTrace {
-        let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
+        let (seed, round) = (self.cfg.seed, self.round);
+        let mut part_rng = round_rng(seed, round, RngStream::Participation);
+        let participants = self.cfg.participation.sample(&self.trainable, &mut part_rng);
         ctx.begin(&participants);
 
         let dim = self.cfg.dim;
         let num_items = self.model.num_items();
         let n = participants.len().max(1) as f32;
+
+        // parallel phase: one derived RNG stream per client, read-only
+        // model snapshot
+        let (model, cfg, clients) = (&self.model, &self.cfg, &self.clients);
+        let mut ids: Vec<u32> = participants.clone();
+        let results: Vec<ClientResult> = self.scheduler.map_clients(&mut ids, |_, &mut cid| {
+            let mut rng = round_rng(seed, round, RngStream::Client(cid));
+            Self::client_update(model, &clients[cid as usize], cfg, &mut rng)
+        });
+
+        // serial phase: replay in participant order
         let mut delta_sum: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
-        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
-        for &cid in &participants {
+        let mut losses: Vec<f32> = Vec::with_capacity(results.len());
+        for result in results {
+            let cid = result.client;
             ctx.disperse(cid, "item-embeddings", self.transfer_payload());
-            let client = self.clients[cid as usize].clone();
-            let (rows, loss) =
-                Self::client_update(&mut self.model, &client, &self.cfg, &mut self.rng);
-            losses.push(loss);
-            // per-client delta rows (the gradient message of this client)
-            let mut client_delta: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
-            for (item, (row, bias)) in rows {
-                let base_row = self.model.item_emb.row(item as usize);
-                let base_bias = self.model.item_bias[item as usize];
-                let drow: Vec<f32> = row.iter().zip(base_row).map(|(new, old)| new - old).collect();
-                client_delta.insert(item, (drow, bias - base_bias));
-            }
-            observer(cid, &client_delta, dim, num_items);
-            for (item, (drow, dbias)) in client_delta {
+            losses.push(result.loss);
+            observer(cid, &result.delta, dim, num_items);
+            // per-item accumulation commutes across items (disjoint
+            // entries); within an item the order is participant order
+            for (item, (drow, dbias)) in result.delta {
                 let entry = delta_sum.entry(item).or_insert_with(|| (vec![0.0; dim], 0.0));
                 for (d, new) in entry.0.iter_mut().zip(&drow) {
                     *d += new;
@@ -192,6 +234,7 @@ impl Fcf {
                 entry.1 += dbias;
             }
             ctx.upload(cid, "item-gradients", self.transfer_payload());
+            self.model.user_emb.row_mut(cid as usize).copy_from_slice(&result.user_row);
         }
 
         // FedAvg over the participant set
@@ -224,6 +267,10 @@ impl FederatedProtocol for Fcf {
 
     fn recommender(&self) -> &dyn Recommender {
         &self.model
+    }
+
+    fn threads(&self) -> usize {
+        self.scheduler.threads()
     }
 }
 

@@ -18,6 +18,12 @@
 //! exactly. The inner FCF exchange runs against a *detached*
 //! [`RoundCtx`], so only the ciphertext messages — the ones that really
 //! cross the wire — reach the engine's observers.
+//!
+//! Parallelism: FedMF inherits FCF's two-phase round loop (parallel
+//! client phase on `cfg.base.threads` workers, serial aggregation), and
+//! the encrypt → aggregate → verify cycle runs inside the serial phase
+//! in participant order — so FedMF is bit-identical at any thread count
+//! and stays model-identical to FCF under the same base seed.
 
 use crate::fcf::{Fcf, FcfConfig};
 use crate::he::HeContext;
@@ -153,6 +159,10 @@ impl FederatedProtocol for FedMf {
 
     fn recommender(&self) -> &dyn Recommender {
         self.inner.recommender()
+    }
+
+    fn threads(&self) -> usize {
+        self.inner.threads()
     }
 }
 

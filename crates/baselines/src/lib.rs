@@ -21,7 +21,6 @@ pub mod fcf;
 pub mod fedmf;
 pub mod he;
 pub mod metamf;
-pub mod traits;
 
 pub use centralized::{train_centralized, Centralized, CentralizedConfig};
 pub use fcf::{Fcf, FcfConfig};

@@ -23,7 +23,8 @@ use ptf_comm::Payload;
 use ptf_data::negative::sample_negatives;
 use ptf_data::Dataset;
 use ptf_federated::{
-    partition_clients, ClientData, FederatedProtocol, Participation, RoundCtx, RoundTrace,
+    partition_clients, round_rng, ClientData, FederatedProtocol, Participation, RngStream,
+    RoundCtx, RoundTrace, Scheduler,
 };
 use ptf_models::mf::bce_loss;
 use ptf_models::Recommender;
@@ -44,6 +45,9 @@ pub struct MetaMfConfig {
     pub neg_ratio: usize,
     pub participation: Participation,
     pub seed: u64,
+    /// Worker threads for the parallel client phase (`0` = every
+    /// hardware thread); bit-identical results at any value.
+    pub threads: usize,
 }
 
 impl Default for MetaMfConfig {
@@ -57,6 +61,7 @@ impl Default for MetaMfConfig {
             neg_ratio: 4,
             participation: Participation::full(),
             seed: 41,
+            threads: 0,
         }
     }
 }
@@ -81,7 +86,7 @@ pub struct MetaMf {
     user_emb: Matrix,
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
-    rng: StdRng,
+    scheduler: Scheduler,
     round: u32,
 }
 
@@ -91,6 +96,7 @@ impl MetaMf {
         let d = cfg.dim;
         let clients = partition_clients(train);
         let trainable = clients.iter().filter(|c| c.is_trainable()).map(|c| c.id).collect();
+        let scheduler = Scheduler::new(cfg.threads);
         Self {
             basis: Matrix::randn(train.num_items(), d, 0.1, &mut rng),
             w_gate: Matrix::randn(d, d, 0.1, &mut rng),
@@ -99,7 +105,7 @@ impl MetaMf {
             user_emb: Matrix::randn(train.num_users(), d, 0.1, &mut rng),
             clients,
             trainable,
-            rng,
+            scheduler,
             round: 0,
             cfg,
         }
@@ -125,6 +131,79 @@ impl MetaMf {
     fn gen_item(&self, gate: &[f32], item: u32) -> Vec<f32> {
         self.basis.row(item as usize).iter().zip(gate).map(|(&b, &g)| b * g).collect()
     }
+
+    /// One client's local phase against the read-only pre-round server
+    /// state: trains a private copy of the user vector and *pre-reduces*
+    /// its generated-embedding gradients `dE_u` (per-step vectors are
+    /// folded into `d_gate` and per-item basis-gradient rows in step
+    /// order, so the buffered result is O(touched items × d), not
+    /// O(steps × d) — the whole participant fleet's results are resident
+    /// at once between the phases). Runs on scheduler workers; the basis
+    /// it reads is the pre-round snapshot, matching the serial semantics.
+    fn client_phase(&self, cid: u32, rng: &mut StdRng) -> MetaClientResult {
+        let d = self.cfg.dim;
+        let num_items = self.basis.rows();
+        let (gate, pre) = self.gate_of(cid);
+        let positives = &self.clients[cid as usize].positives;
+        let mut user_row = self.user_emb.row(cid as usize).to_vec();
+
+        // per-client reduction targets: dL/d(gate) and the per-item rows
+        // of dL/dB (gradient through E_u = B ⊙ gate)
+        let mut d_gate = vec![0.0f32; d];
+        let mut g_basis_rows: std::collections::HashMap<u32, Vec<f32>> =
+            std::collections::HashMap::new();
+        let mut client_loss = 0.0f32;
+        let mut steps = 0usize;
+        for _ in 0..self.cfg.local_epochs {
+            let negs =
+                sample_negatives(positives, num_items, positives.len() * self.cfg.neg_ratio, rng);
+            let mut samples: Vec<(u32, f32)> = positives
+                .iter()
+                .map(|&i| (i, 1.0f32))
+                .chain(negs.into_iter().map(|i| (i, 0.0f32)))
+                .collect();
+            for i in (1..samples.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                samples.swap(i, j);
+            }
+            for (item, label) in samples {
+                let e_i = self.gen_item(&gate, item);
+                let logit: f32 = e_i.iter().zip(user_row.iter()).map(|(&a, &b)| a * b).sum();
+                let err = sigmoid(logit) - label;
+                client_loss += bce_loss(logit, label);
+                steps += 1;
+                // dE_i = err · p, folded straight into the reductions
+                let brow = self.basis.row(item as usize);
+                let grow = g_basis_rows.entry(item).or_insert_with(|| vec![0.0; d]);
+                for k in 0..d {
+                    let de = err * user_row[k];
+                    d_gate[k] += de * brow[k];
+                    grow[k] += de * gate[k];
+                }
+                // dp = err · E_i (applied locally, stays private)
+                for (pk, &ek) in user_row.iter_mut().zip(&e_i) {
+                    *pk -= self.cfg.lr_client * err * ek;
+                }
+            }
+        }
+        let loss = client_loss / steps.max(1) as f32;
+        MetaClientResult { client: cid, user_row, d_gate, g_basis_rows, pre, loss }
+    }
+}
+
+/// One client's buffered contribution from the parallel phase.
+struct MetaClientResult {
+    client: u32,
+    /// Trained private user vector (written back serially).
+    user_row: Vec<f32>,
+    /// Pre-reduced dL/d(gate) over the client's steps (in step order).
+    d_gate: Vec<f32>,
+    /// Pre-reduced per-item rows of dL/dB.
+    g_basis_rows: std::collections::HashMap<u32, Vec<f32>>,
+    /// Gate pre-activation (reused by the server-side backprop so it
+    /// matches what the client trained against).
+    pre: Vec<f32>,
+    loss: f32,
 }
 
 impl FederatedProtocol for MetaMf {
@@ -136,21 +215,40 @@ impl FederatedProtocol for MetaMf {
         self.cfg.rounds
     }
 
+    /// One round as a two-phase map/reduce: the client-side SGD (the
+    /// dominant cost) and the per-client gradient pre-reduction run in
+    /// parallel on per-client derived RNG streams against the read-only
+    /// pre-round meta parameters; wire events and the cross-client
+    /// accumulation into the meta gradients replay serially in
+    /// participant order, so the result is identical at any thread count.
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
-        let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
+        let (seed, round) = (self.cfg.seed, self.round);
+        let mut part_rng = round_rng(seed, round, RngStream::Participation);
+        let participants = self.cfg.participation.sample(&self.trainable, &mut part_rng);
         ctx.begin(&participants);
         let n = participants.len().max(1) as f32;
         let d = self.cfg.dim;
         let num_items = self.basis.rows();
 
-        // accumulated meta-parameter gradients over the round
+        // parallel client phase
+        let this = &*self;
+        let mut ids: Vec<u32> = participants.clone();
+        let results: Vec<MetaClientResult> = this.scheduler.map_clients(&mut ids, |_, &mut cid| {
+            let mut rng = round_rng(seed, round, RngStream::Client(cid));
+            this.client_phase(cid, &mut rng)
+        });
+
+        // serial phase: wire events + server-side backprop through the
+        // generator (E_u = B ⊙ g, g = 1 + tanh(pre), pre = z W + b), in
+        // participant order
         let mut g_basis = Matrix::zeros(num_items, d);
         let mut g_w = Matrix::zeros(d, d);
         let mut g_b = Matrix::zeros(1, d);
-        let mut g_codes: Vec<(u32, Vec<f32>)> = Vec::with_capacity(participants.len());
+        let mut g_codes: Vec<(u32, Vec<f32>)> = Vec::with_capacity(results.len());
+        let mut losses: Vec<f32> = Vec::with_capacity(results.len());
 
-        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
-        for &cid in &participants {
+        for result in results {
+            let cid = result.client;
             // server → client: generated embeddings E_u (V×d) + gate codes
             ctx.disperse(
                 cid,
@@ -158,47 +256,7 @@ impl FederatedProtocol for MetaMf {
                 Payload::DenseMatrix { rows: num_items, cols: d },
             );
             ctx.disperse(cid, "meta-codes", Payload::Vector { len: d });
-
-            let (gate, pre) = self.gate_of(cid);
-            let positives = self.clients[cid as usize].positives.clone();
-
-            // client-side: train the private user vector, accumulate dE_u
-            let mut d_gen: Vec<(u32, Vec<f32>)> = Vec::new();
-            let mut client_loss = 0.0f32;
-            let mut steps = 0usize;
-            for _ in 0..self.cfg.local_epochs {
-                let negs = sample_negatives(
-                    &positives,
-                    num_items,
-                    positives.len() * self.cfg.neg_ratio,
-                    &mut self.rng,
-                );
-                let mut samples: Vec<(u32, f32)> = positives
-                    .iter()
-                    .map(|&i| (i, 1.0f32))
-                    .chain(negs.into_iter().map(|i| (i, 0.0f32)))
-                    .collect();
-                for i in (1..samples.len()).rev() {
-                    let j = self.rng.gen_range(0..=i);
-                    samples.swap(i, j);
-                }
-                for (item, label) in samples {
-                    let e_i = self.gen_item(&gate, item);
-                    let p = self.user_emb.row_mut(cid as usize);
-                    let logit: f32 = e_i.iter().zip(p.iter()).map(|(&a, &b)| a * b).sum();
-                    let err = sigmoid(logit) - label;
-                    client_loss += bce_loss(logit, label);
-                    steps += 1;
-                    // dE_i = err · p (collected for the server)
-                    d_gen.push((item, p.iter().map(|&x| err * x).collect()));
-                    // dp = err · E_i (applied locally, stays private)
-                    for (pk, &ek) in p.iter_mut().zip(&e_i) {
-                        *pk -= self.cfg.lr_client * err * ek;
-                    }
-                }
-            }
-            losses.push(client_loss / steps.max(1) as f32);
-
+            losses.push(result.loss);
             // client → server: dE_u (full matrix on the wire, same privacy
             // rationale as FCF) + code gradient
             ctx.upload(
@@ -207,23 +265,24 @@ impl FederatedProtocol for MetaMf {
                 Payload::DenseMatrix { rows: num_items, cols: d },
             );
             ctx.upload(cid, "code-gradients", Payload::Vector { len: d });
+            self.user_emb.row_mut(cid as usize).copy_from_slice(&result.user_row);
 
-            // server-side backprop through the generator:
-            // E_u = B ⊙ g, g = tanh(pre), pre = z W + b
-            let mut d_gate = vec![0.0f32; d];
-            for (item, de) in d_gen {
-                let brow = self.basis.row(item as usize);
-                for k in 0..d {
-                    d_gate[k] += de[k] * brow[k];
-                }
+            // fold the client's pre-reduced basis gradient into the round
+            // aggregate; rows are disjoint per item, so the HashMap's
+            // iteration order cannot affect the result
+            for (item, row) in result.g_basis_rows {
                 let grow = g_basis.row_mut(item as usize);
-                for k in 0..d {
-                    grow[k] += de[k] * gate[k];
+                for (g, &v) in grow.iter_mut().zip(&row) {
+                    *g += v;
                 }
             }
             // through tanh
-            let d_pre: Vec<f32> =
-                d_gate.iter().zip(&pre).map(|(&dg, &x)| dg * (1.0 - x.tanh() * x.tanh())).collect();
+            let d_pre: Vec<f32> = result
+                .d_gate
+                .iter()
+                .zip(&result.pre)
+                .map(|(&dg, &x)| dg * (1.0 - x.tanh() * x.tanh()))
+                .collect();
             let z = self.codes.row(cid as usize).to_vec();
             for (k, &zk) in z.iter().enumerate() {
                 let wgrad = g_w.row_mut(k);
@@ -259,6 +318,10 @@ impl FederatedProtocol for MetaMf {
 
     fn recommender(&self) -> &dyn Recommender {
         self
+    }
+
+    fn threads(&self) -> usize {
+        self.scheduler.threads()
     }
 }
 

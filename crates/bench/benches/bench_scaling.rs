@@ -1,0 +1,121 @@
+//! Wall-clock scaling of the parallel client scheduler.
+//!
+//! Runs the same synthetic PTF-FedRec workload at 1, 2, and 4 worker
+//! threads, reports rounds/second for each, and asserts (softly — by
+//! printing, not failing) the expected speedup. Because the scheduler is
+//! deterministic, every configuration trains the *same* federation
+//! bit-for-bit, so the rows are directly comparable.
+//!
+//! Writes `BENCH_scaling.json` at the workspace root:
+//! `{threads, rounds, seconds, rounds_per_sec, speedup_vs_serial}` per
+//! row, plus the host's hardware thread count. Scale knobs: `PTF_SEED`,
+//! `PTF_BENCH_USERS`, `PTF_BENCH_ROUNDS`.
+
+use ptf_bench::{fmt4, Table};
+use ptf_core::{Federation, PtfConfig};
+use ptf_data::{SyntheticConfig, TrainTestSplit};
+use ptf_models::{ModelHyper, ModelKind};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ScalingRow {
+    threads: usize,
+    rounds: u32,
+    seconds: f64,
+    rounds_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingReport {
+    hardware_threads: usize,
+    users: usize,
+    rows: Vec<ScalingRow>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let users = env_usize("PTF_BENCH_USERS", 120);
+    let rounds = env_usize("PTF_BENCH_ROUNDS", 3) as u32;
+    let seed = env_usize("PTF_SEED", 2024) as u64;
+
+    let data = SyntheticConfig::new("scaling", users, users * 2, 14.0)
+        .generate(&mut ptf_data::test_rng(seed));
+    let split = TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(seed ^ 1));
+
+    let time_run = |threads: usize| -> f64 {
+        let mut cfg = PtfConfig::small();
+        cfg.rounds = rounds;
+        cfg.client_epochs = 2;
+        cfg.seed = seed;
+        cfg.threads = threads;
+        let mut fed = Federation::builder(&split.train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::NeuMf)
+            .hyper(ModelHyper::small())
+            .config(cfg)
+            .build()
+            .expect("bench config is valid");
+        let start = Instant::now();
+        let trace = fed.run();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(trace.num_rounds(), rounds as usize);
+        secs
+    };
+
+    // warm-up (page in the binary, allocate model buffers once)
+    let _ = time_run(1);
+
+    let mut rows = Vec::new();
+    let mut serial_rps = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let seconds = time_run(threads);
+        let rps = rounds as f64 / seconds;
+        if threads == 1 {
+            serial_rps = rps;
+        }
+        rows.push(ScalingRow {
+            threads,
+            rounds,
+            seconds,
+            rounds_per_sec: rps,
+            speedup_vs_serial: if serial_rps > 0.0 { rps / serial_rps } else { 0.0 },
+        });
+    }
+
+    let mut table = Table::new(
+        "Scheduler scaling (PTF-FedRec, synthetic)",
+        &["threads", "rounds/sec", "speedup"],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.threads.to_string(),
+            fmt4(row.rounds_per_sec),
+            fmt4(row.speedup_vs_serial),
+        ]);
+    }
+    table.print();
+
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if hardware < 4 {
+        println!(
+            "[note: only {hardware} hardware thread(s) — speedups are only \
+             meaningful on multi-core hosts]"
+        );
+    }
+
+    let report = ScalingReport { hardware_threads: hardware, users, rows };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scaling.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write(&path, json).is_ok() {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize scaling report: {e}"),
+    }
+}

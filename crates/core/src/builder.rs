@@ -37,6 +37,7 @@ impl Federation {
             server: None,
             hyper: None,
             cfg: None,
+            threads: None,
             observers: Vec::new(),
         }
     }
@@ -55,6 +56,7 @@ pub struct FederationBuilder<'a> {
     server: Option<ModelKind>,
     hyper: Option<ModelHyper>,
     cfg: Option<PtfConfig>,
+    threads: Option<usize>,
     observers: Vec<Box<dyn RoundObserver>>,
 }
 
@@ -83,6 +85,14 @@ impl FederationBuilder<'_> {
         self
     }
 
+    /// Worker threads for the parallel client phase (`0` = every hardware
+    /// thread). Overrides `PtfConfig::threads`; runs are bit-identical at
+    /// any value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Attaches a [`RoundObserver`] to the engine (repeatable).
     pub fn observer(mut self, observer: impl RoundObserver + 'static) -> Self {
         self.observers.push(Box::new(observer));
@@ -94,7 +104,10 @@ impl FederationBuilder<'_> {
         let client = self.client.ok_or(ConfigError::MissingField("client_model"))?;
         let server = self.server.ok_or(ConfigError::MissingField("server_model"))?;
         let hyper = self.hyper.unwrap_or_else(ModelHyper::small);
-        let cfg = self.cfg.unwrap_or_else(PtfConfig::small);
+        let mut cfg = self.cfg.unwrap_or_else(PtfConfig::small);
+        if let Some(threads) = self.threads {
+            cfg.threads = threads;
+        }
         let protocol = PtfFedRec::try_new(self.train, client, server, &hyper, cfg)?;
         let mut engine = Engine::new(protocol);
         for observer in self.observers {

@@ -124,6 +124,10 @@ pub struct PtfConfig {
     pub graph_threshold: f32,
     /// Master seed for all protocol randomness.
     pub seed: u64,
+    /// Worker threads for the parallel client phase (`0` = every hardware
+    /// thread). Runs are bit-identical at any value — see
+    /// `ptf_federated::scheduler`.
+    pub threads: usize,
 }
 
 impl PtfConfig {
@@ -145,6 +149,7 @@ impl PtfConfig {
             participation: Participation::full(),
             graph_threshold: 0.5,
             seed: 17,
+            threads: 0,
         }
     }
 

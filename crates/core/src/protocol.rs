@@ -1,12 +1,18 @@
 //! The full PTF-FedRec learning protocol (Algorithm 1).
 //!
 //! One [`PtfFedRec`] owns the protocol state a run needs: the client
-//! fleet (each with its private data and local model), the server with
-//! its hidden model, and the master RNG. It implements
-//! [`FederatedProtocol`], so an [`ptf_federated::Engine`] drives its
-//! rounds and wires in the communication ledger, trace recording, and any
-//! other [`ptf_federated::RoundObserver`] from the outside — construct it
+//! fleet (each with its private data and local model) and the server with
+//! its hidden model. It implements [`FederatedProtocol`], so an
+//! [`ptf_federated::Engine`] drives its rounds and wires in the
+//! communication ledger, trace recording, and any other
+//! [`ptf_federated::RoundObserver`] from the outside — construct it
 //! through [`crate::Federation::builder`].
+//!
+//! Each round is the two-phase map/reduce of
+//! [`ptf_federated::scheduler`]: client local training runs in parallel
+//! on per-`(seed, round, client)` derived RNG streams, then uploads,
+//! server training, and dispersal replay serially in participant order —
+//! so a run is bit-identical at any thread count.
 
 use crate::client::PtfClient;
 use crate::config::{ConfigError, PtfConfig};
@@ -14,9 +20,11 @@ use crate::server::PtfServer;
 use crate::upload::ClientUpload;
 use ptf_comm::Payload;
 use ptf_data::Dataset;
-use ptf_federated::{partition_clients, FederatedProtocol, RoundCtx, RoundTrace, RunTrace};
+use ptf_federated::{
+    partition_clients, round_rng, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler,
+};
 use ptf_metrics::RankingReport;
-use ptf_models::{evaluate_model, ModelHyper, ModelKind, Recommender};
+use ptf_models::{evaluate_model_with_threads, ModelHyper, ModelKind, Recommender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,7 +34,7 @@ pub struct PtfFedRec {
     clients: Vec<PtfClient>,
     trainable: Vec<u32>,
     server: PtfServer,
-    rng: StdRng,
+    scheduler: Scheduler,
     round: u32,
     /// Uploads of the most recent round (kept for privacy auditing).
     last_uploads: Vec<ClientUpload>,
@@ -57,26 +65,8 @@ impl PtfFedRec {
             partitions.iter().filter(|p| p.is_trainable()).map(|p| p.id).collect();
         let server =
             PtfServer::new(train.num_users(), train.num_items(), server_kind, hyper, &mut rng);
-        Ok(Self { cfg, clients, trainable, server, rng, round: 0, last_uploads: Vec::new() })
-    }
-
-    /// Legacy positional constructor; panics on an invalid `cfg`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Federation::builder(..)` (or `PtfFedRec::try_new`) \
-                which returns `Result<_, ConfigError>`"
-    )]
-    pub fn new(
-        train: &Dataset,
-        client_kind: ModelKind,
-        server_kind: ModelKind,
-        hyper: &ModelHyper,
-        cfg: PtfConfig,
-    ) -> Self {
-        match Self::try_new(train, client_kind, server_kind, hyper, cfg) {
-            Ok(fed) => fed,
-            Err(e) => panic!("{e}"),
-        }
+        let scheduler = Scheduler::new(cfg.threads);
+        Ok(Self { cfg, clients, trainable, server, scheduler, round: 0, last_uploads: Vec::new() })
     }
 
     pub fn server(&self) -> &PtfServer {
@@ -96,27 +86,30 @@ impl PtfFedRec {
         self.round
     }
 
-    /// Legacy engine-less full run: all configured rounds, no observers
-    /// (byte accounting in the trace still works).
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive the protocol through `ptf_federated::Engine` \
-                (see `Federation::builder`) to get ledger/observer wiring"
-    )]
-    pub fn run(&mut self) -> RunTrace {
-        let mut trace = RunTrace::default();
-        for _ in 0..self.cfg.rounds {
-            let mut ctx = RoundCtx::detached(self.round);
-            trace.push(FederatedProtocol::run_round(self, &mut ctx));
-        }
-        trace
-    }
-
     /// Evaluates the *server* model — the artifact PTF-FedRec trains —
-    /// with the paper's ranking protocol.
+    /// with the paper's ranking protocol, on the configured worker count.
     pub fn evaluate(&self, train: &Dataset, test: &Dataset, k: usize) -> RankingReport {
-        evaluate_model(self.server.model(), train, test, k)
+        evaluate_model_with_threads(self.server.model(), train, test, k, self.scheduler.threads())
     }
+}
+
+/// Mutable references to the participating clients, in participant order
+/// (`participants` must be sorted ascending, as produced by
+/// `Participation::sample`).
+fn participant_refs<'a>(
+    clients: &'a mut [PtfClient],
+    participants: &[u32],
+) -> Vec<&'a mut PtfClient> {
+    debug_assert!(participants.windows(2).all(|w| w[0] < w[1]));
+    let mut want = participants.iter().copied().peekable();
+    let mut refs = Vec::with_capacity(participants.len());
+    for (i, c) in clients.iter_mut().enumerate() {
+        if want.peek() == Some(&(i as u32)) {
+            want.next();
+            refs.push(c);
+        }
+    }
+    refs
 }
 
 impl FederatedProtocol for PtfFedRec {
@@ -128,29 +121,50 @@ impl FederatedProtocol for PtfFedRec {
         self.cfg.rounds
     }
 
-    /// Executes one global round of Algorithm 1.
+    /// Executes one global round of Algorithm 1 as a two-phase
+    /// map/reduce (see the module docs).
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
-        let participants = self.cfg.participation.sample(&self.trainable, &mut self.rng);
+        let (seed, round) = (self.cfg.seed, self.round);
+        let mut part_rng = round_rng(seed, round, RngStream::Participation);
+        let participants = self.cfg.participation.sample(&self.trainable, &mut part_rng);
         ctx.begin(&participants);
 
-        // lines 5–8: local training + prediction upload
-        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(participants.len());
-        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
-        for &cid in &participants {
-            let (upload, loss) = self.clients[cid as usize].local_round(&self.cfg, &mut self.rng);
+        // lines 5–8, parallel phase: local training + upload construction
+        // on one derived RNG stream per client
+        let cfg = &self.cfg;
+        let mut refs = participant_refs(&mut self.clients, &participants);
+        let results: Vec<(ClientUpload, f32)> =
+            self.scheduler.map_clients(&mut refs, |_, client| {
+                let mut rng = round_rng(seed, round, RngStream::Client(client.id));
+                client.local_round(cfg, &mut rng)
+            });
+        drop(refs);
+
+        // serial phase: replay uploads into the observer stack in
+        // participant order
+        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(results.len());
+        let mut losses: Vec<f32> = Vec::with_capacity(results.len());
+        for (upload, loss) in results {
             losses.push(loss);
-            ctx.upload(cid, "client-predictions", Payload::Triples { count: upload.len() });
+            ctx.upload(
+                upload.client,
+                "client-predictions",
+                Payload::Triples { count: upload.len() },
+            );
             uploads.push(upload);
         }
 
         // lines 10–11: server model training on the collected predictions
-        let server_loss = self.server.train_on_uploads(&uploads, &self.cfg, &mut self.rng);
+        let mut server_rng = round_rng(seed, round, RngStream::Server);
+        let server_loss = self.server.train_on_uploads(&uploads, &self.cfg, &mut server_rng);
 
         // line 12: confidence-based hard knowledge dispersal
         for up in &uploads {
             let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
             uploaded.sort_unstable();
-            let disperse = self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut self.rng);
+            let mut disperse_rng = round_rng(seed, round, RngStream::Disperse(up.client));
+            let disperse =
+                self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut disperse_rng);
             ctx.disperse(
                 up.client,
                 "server-predictions",
@@ -167,6 +181,10 @@ impl FederatedProtocol for PtfFedRec {
 
     fn recommender(&self) -> &dyn Recommender {
         self.server.model()
+    }
+
+    fn threads(&self) -> usize {
+        self.scheduler.threads()
     }
 }
 
@@ -321,50 +339,34 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_constructor_and_builder_produce_identical_traces() {
-        // the deprecated positional path must stay byte-for-byte equivalent
-        // while it exists, so downstreams can migrate without re-tuning
+    fn thread_count_does_not_change_the_run() {
+        // the scheduler's headline guarantee at protocol level: identical
+        // traces and identical trained models at 1 vs 4 threads
         let split = tiny_split();
-        let mut legacy = PtfFedRec::new(
-            &split.train,
-            ModelKind::NeuMf,
-            ModelKind::NeuMf,
-            &ModelHyper::small(),
-            quick_cfg(),
-        );
-        let legacy_trace = legacy.run();
-
-        let mut engine =
-            quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, quick_cfg());
-        let engine_trace = engine.run();
-
-        assert_eq!(legacy_trace, engine_trace);
-        assert_eq!(
-            legacy.evaluate(&split.train, &split.test, 5),
-            engine.evaluate(&split.train, &split.test, 5)
-        );
+        let run = |threads: usize| {
+            let mut cfg = quick_cfg();
+            cfg.threads = threads;
+            let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, cfg);
+            let trace = fed.run();
+            let report = fed.evaluate(&split.train, &split.test, 5);
+            (trace, report)
+        };
+        let (trace_serial, report_serial) = run(1);
+        let (trace_par, report_par) = run(4);
+        assert_eq!(trace_serial, trace_par);
+        assert_eq!(report_serial, report_par);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_constructor_still_panics_on_invalid_config() {
+    fn partial_participation_is_thread_invariant() {
         let split = tiny_split();
-        let mut cfg = quick_cfg();
-        cfg.mu = 2.0;
-        let err = match std::panic::catch_unwind(|| {
-            PtfFedRec::new(
-                &split.train,
-                ModelKind::NeuMf,
-                ModelKind::NeuMf,
-                &ModelHyper::small(),
-                cfg,
-            )
-        }) {
-            Err(payload) => payload,
-            Ok(_) => panic!("invalid config must still panic through the legacy path"),
+        let run = |threads: usize| {
+            let mut cfg = quick_cfg();
+            cfg.threads = threads;
+            cfg.participation = ptf_federated::Participation { fraction: 0.4, min_clients: 1 };
+            let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, cfg);
+            fed.run()
         };
-        let msg = err.downcast_ref::<String>().expect("panic carries the display message");
-        assert!(msg.contains("mu must be in [0,1]"), "{msg}");
+        assert_eq!(run(1), run(8));
     }
 }

@@ -13,7 +13,7 @@ use crate::sim::{RoundTrace, RunTrace};
 use ptf_comm::{CommLedger, Endpoint, Message, Payload};
 use ptf_data::Dataset;
 use ptf_metrics::RankingReport;
-use ptf_models::{evaluate_model, Recommender};
+use ptf_models::{evaluate_model_with_threads, Recommender};
 
 /// A runnable federated recommendation protocol.
 ///
@@ -32,6 +32,14 @@ pub trait FederatedProtocol {
 
     /// A scoring view of the trained global model, for evaluation.
     fn recommender(&self) -> &dyn Recommender;
+
+    /// Worker threads the protocol's scheduler resolved from its config
+    /// (`0` = every hardware thread). [`Engine::evaluate`] reuses this so
+    /// one `threads` knob caps *all* CPU use of a run, evaluation
+    /// included.
+    fn threads(&self) -> usize {
+        0
+    }
 }
 
 impl<P: FederatedProtocol + ?Sized> FederatedProtocol for Box<P> {
@@ -49,6 +57,10 @@ impl<P: FederatedProtocol + ?Sized> FederatedProtocol for Box<P> {
 
     fn recommender(&self) -> &dyn Recommender {
         (**self).recommender()
+    }
+
+    fn threads(&self) -> usize {
+        (**self).threads()
     }
 }
 
@@ -71,8 +83,8 @@ impl<'a> RoundCtx<'a> {
 
     /// A context with no observers — for protocols that run an inner
     /// protocol whose plaintext traffic must *not* be observed (FedMF
-    /// re-reports FCF's exchange as ciphertext messages), and for the
-    /// deprecated engine-less shims.
+    /// re-reports FCF's exchange as ciphertext messages) and for
+    /// engine-less convenience wrappers like `train_centralized`.
     pub fn detached(round: u32) -> Self {
         Self::new(round, Vec::new())
     }
@@ -162,9 +174,8 @@ pub struct Engine<P> {
 
 impl<P: FederatedProtocol> Engine<P> {
     /// Wraps a *fresh* protocol (round counter at 0). Protocols pre-run
-    /// outside an engine — only possible through the deprecated
-    /// engine-less shims — would desync the engine's round numbering
-    /// from the protocol's internal counter.
+    /// outside an engine (e.g. via detached contexts) would desync the
+    /// engine's round numbering from the protocol's internal counter.
     pub fn new(protocol: P) -> Self {
         Self { protocol, ledger: CommLedger::new(), observers: Vec::new(), next_round: 0 }
     }
@@ -222,9 +233,16 @@ impl<P: FederatedProtocol> Engine<P> {
     }
 
     /// Evaluates the protocol's trained model with the paper's ranking
-    /// protocol (rank all non-train items per test user).
+    /// protocol (rank all non-train items per test user), on the
+    /// protocol's configured worker count.
     pub fn evaluate(&self, train: &Dataset, test: &Dataset, k: usize) -> RankingReport {
-        evaluate_model(self.protocol.recommender(), train, test, k)
+        evaluate_model_with_threads(
+            self.protocol.recommender(),
+            train,
+            test,
+            k,
+            self.protocol.threads(),
+        )
     }
 
     /// Runs up to the configured round budget, evaluating on `validation`

@@ -10,16 +10,21 @@
 //! * [`engine`] — the [`FederatedProtocol`] trait and the [`Engine`] that
 //!   drives any protocol through a pluggable observer stack;
 //! * [`observer`] — the [`RoundObserver`] hook API (communication ledger,
-//!   JSON [`TraceRecorder`], custom sinks).
+//!   JSON [`TraceRecorder`], custom sinks);
+//! * [`scheduler`] — the deterministic parallel client [`Scheduler`] and
+//!   the per-`(seed, round, stream)` RNG derivation every protocol's
+//!   two-phase round loop is built on.
 
 pub mod client;
 pub mod engine;
 pub mod observer;
 pub mod sampler;
+pub mod scheduler;
 pub mod sim;
 
 pub use client::{partition_clients, ClientData};
 pub use engine::{ConvergedRun, Engine, FederatedProtocol, RoundCtx};
 pub use observer::{RoundObserver, TraceRecorder};
 pub use sampler::Participation;
+pub use scheduler::{derive_seed, round_rng, RngStream, Scheduler};
 pub use sim::{RoundTrace, RunTrace};

@@ -1,0 +1,206 @@
+//! Deterministic parallel client execution.
+//!
+//! Every protocol round in this workspace is a two-phase map/reduce:
+//!
+//! 1. **Parallel client phase** — each sampled participant's local work
+//!    (training, negative sampling, upload construction) runs on a
+//!    [`Scheduler`] worker, touching only client-local state plus
+//!    read-only server state.
+//! 2. **Serial aggregation phase** — the buffered per-client results are
+//!    replayed on the caller's thread **in participant order**: wire
+//!    events go into the [`crate::RoundCtx`] exactly as a serial loop
+//!    would have emitted them, and server state is updated.
+//!
+//! # Why runs are bit-identical at any thread count
+//!
+//! Two things traditionally make parallel simulations drift:
+//!
+//! * **Shared RNG streams.** A single `StdRng` threaded through the
+//!   client loop makes every draw depend on every previous client's draw
+//!   count. This module replaces it with *derived streams*: each logical
+//!   consumer gets its own generator seeded by [`round_rng`] from the
+//!   triple `(master seed, round, stream)` via two rounds of
+//!   SplitMix64-style finalization (see [`derive_seed`]). A client's
+//!   stream depends only on *who it is and which round it is* — never on
+//!   scheduling, thread count, or sibling clients.
+//! * **Reduction order.** Floating-point accumulation does not commute
+//!   bit-for-bit, so all cross-client reductions (loss averaging, delta
+//!   aggregation, observer callbacks) happen in the serial phase in
+//!   participant order. The parallel phase only produces per-client
+//!   values; [`ptf_tensor::par`] returns them in input order regardless
+//!   of which worker computed what.
+//!
+//! Together these give the headline guarantee: for a fixed seed, a run is
+//! **byte-identical at 1, 2, or 64 threads** — serial execution is just
+//! the `threads = 1` special case of the same code path.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A logical random stream within one `(seed, round)` scope.
+///
+/// Streams are spaced so that no two variants can collide for any client
+/// id: the discriminant occupies the high bits of the mixed word while
+/// the client id occupies the low 32.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RngStream {
+    /// Participant sampling (one draw sequence per round).
+    Participation,
+    /// One client's local phase (training, negative sampling, defenses).
+    Client(u32),
+    /// Server-side training for the round.
+    Server,
+    /// Server-side dispersal targeted at one client.
+    Disperse(u32),
+    /// Sample shuffling in protocols that shuffle a global pool.
+    Shuffle,
+}
+
+impl RngStream {
+    fn id(self) -> u64 {
+        match self {
+            Self::Participation => 0x0100_0000_0000,
+            Self::Client(c) => 0x0200_0000_0000 | c as u64,
+            Self::Server => 0x0300_0000_0000,
+            Self::Disperse(c) => 0x0400_0000_0000 | c as u64,
+            Self::Shuffle => 0x0500_0000_0000,
+        }
+    }
+}
+
+/// Mixes `(master, round, stream)` into one well-distributed 64-bit seed.
+///
+/// SplitMix64-style: each input word is folded in with an odd constant,
+/// then the combined state goes through two xor-shift-multiply
+/// finalization rounds. Consecutive `(round, stream)` pairs land far
+/// apart, so per-client `StdRng`s (xoshiro256++ seeded through its own
+/// SplitMix expansion) are statistically independent in practice.
+pub fn derive_seed(master: u64, round: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-round generator of one [`RngStream`] under `master`.
+pub fn round_rng(master: u64, round: u32, stream: RngStream) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, round as u64, stream.id()))
+}
+
+/// A worker pool handle for the parallel client phase.
+///
+/// Thin wrapper over [`ptf_tensor::par`] carrying the resolved thread
+/// count; protocols build one from their config's `threads` knob
+/// (`0` = every hardware thread) and reuse it each round.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    threads: usize,
+}
+
+impl Scheduler {
+    /// `requested == 0` resolves to the number of hardware threads.
+    pub fn new(requested: usize) -> Self {
+        Self { threads: ptf_tensor::par::resolve_threads(requested) }
+    }
+
+    /// The resolved worker count (≥ 1).
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Ordered parallel map over mutably borrowed per-client state.
+    pub fn map_clients<T, R, F>(self, clients: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        ptf_tensor::par::map_slice_mut(self.threads, clients, f)
+    }
+
+    /// Ordered parallel map over `0..n` (e.g. one task per user).
+    pub fn map_indices<R, F>(self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ptf_tensor::par::map_indices(self.threads, n, f)
+    }
+}
+
+impl Default for Scheduler {
+    /// All hardware threads.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_disjoint_within_a_round() {
+        let mut seeds = vec![
+            derive_seed(7, 0, RngStream::Participation.id()),
+            derive_seed(7, 0, RngStream::Server.id()),
+            derive_seed(7, 0, RngStream::Shuffle.id()),
+        ];
+        for c in 0..100u32 {
+            seeds.push(derive_seed(7, 0, RngStream::Client(c).id()));
+            seeds.push(derive_seed(7, 0, RngStream::Disperse(c).id()));
+        }
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "derived seeds collided");
+    }
+
+    #[test]
+    fn derivation_depends_on_every_input() {
+        let base = derive_seed(1, 2, 3);
+        assert_ne!(base, derive_seed(2, 2, 3));
+        assert_ne!(base, derive_seed(1, 3, 3));
+        assert_ne!(base, derive_seed(1, 2, 4));
+        assert_eq!(base, derive_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn client_stream_is_independent_of_other_clients() {
+        // the whole point: client 5's stream is the same whether clients
+        // 0..4 ran before it or not (no shared generator state)
+        let mut a = round_rng(11, 3, RngStream::Client(5));
+        let _burn: Vec<u64> =
+            (0..40).map(|c| round_rng(11, 3, RngStream::Client(c)).gen()).collect();
+        let mut b = round_rng(11, 3, RngStream::Client(5));
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn scheduler_resolves_thread_knob() {
+        assert!(Scheduler::new(0).threads() >= 1);
+        assert_eq!(Scheduler::new(4).threads(), 4);
+        assert_eq!(Scheduler::default().threads(), Scheduler::new(0).threads());
+    }
+
+    #[test]
+    fn map_clients_is_ordered_at_any_thread_count() {
+        let run = |threads| {
+            let mut state: Vec<u64> = (0..17).collect();
+            Scheduler::new(threads).map_clients(&mut state, |i, s| {
+                let mut rng = round_rng(5, 0, RngStream::Client(i as u32));
+                *s += 1;
+                rng.gen::<u64>() ^ *s
+            })
+        };
+        let serial = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(run(t), serial, "{t} threads");
+        }
+    }
+}

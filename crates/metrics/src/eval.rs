@@ -26,29 +26,18 @@ impl std::fmt::Display for RankingReport {
     }
 }
 
-/// Evaluates a scoring function over every user.
-///
-/// For each user `u`, `score_items(u)` must return one score per item;
-/// `excluded(u)` returns the (sorted) items to remove from the candidate
-/// pool — normally the user's training items; `relevant(u)` the (sorted)
-/// held-out test items. Users with no relevant items are skipped.
-pub fn evaluate_ranking(
-    num_users: usize,
-    k: usize,
-    mut score_items: impl FnMut(u32) -> Vec<f32>,
-    mut excluded: impl FnMut(u32) -> Vec<u32>,
-    mut relevant: impl FnMut(u32) -> Vec<u32>,
-) -> RankingReport {
-    let mut sum = RankingMetrics::default();
-    let mut n = 0usize;
-    for u in 0..num_users as u32 {
-        let rel = relevant(u);
-        if rel.is_empty() {
-            continue;
-        }
-        let scores = score_items(u);
-        let exc = excluded(u);
-        if let Some(m) = rank_metrics(&scores, &exc, &rel, k) {
+impl RankingReport {
+    /// Averages per-user metrics into a report. `None` entries are users
+    /// without held-out items; they are skipped, not averaged as zeros.
+    ///
+    /// The accumulation order is the iterator order, so callers that
+    /// compute per-user metrics in parallel get a bit-deterministic
+    /// report by aggregating in user order (which is what
+    /// `ptf_models::evaluate_model` does).
+    pub fn aggregate(per_user: impl IntoIterator<Item = Option<RankingMetrics>>, k: usize) -> Self {
+        let mut sum = RankingMetrics::default();
+        let mut n = 0usize;
+        for m in per_user.into_iter().flatten() {
             sum.recall += m.recall;
             sum.ndcg += m.ndcg;
             sum.hit_rate += m.hit_rate;
@@ -57,16 +46,49 @@ pub fn evaluate_ranking(
             sum.map += m.map;
             n += 1;
         }
+        if n > 0 {
+            sum.recall /= n as f64;
+            sum.ndcg /= n as f64;
+            sum.hit_rate /= n as f64;
+            sum.precision /= n as f64;
+            sum.mrr /= n as f64;
+            sum.map /= n as f64;
+        }
+        RankingReport { metrics: sum, users_evaluated: n, k }
     }
-    if n > 0 {
-        sum.recall /= n as f64;
-        sum.ndcg /= n as f64;
-        sum.hit_rate /= n as f64;
-        sum.precision /= n as f64;
-        sum.mrr /= n as f64;
-        sum.map /= n as f64;
-    }
-    RankingReport { metrics: sum, users_evaluated: n, k }
+}
+
+/// Evaluates a scoring function over every user.
+///
+/// For each user `u`, `score_items(u)` must return one score per item;
+/// `excluded(u)` returns the (sorted) items to remove from the candidate
+/// pool — normally the user's training items; `relevant(u)` the (sorted)
+/// held-out test items. Users with no relevant items are skipped.
+///
+/// `excluded`/`relevant` may return anything slice-shaped — in
+/// particular `&[u32]` borrowed straight from a dataset, so per-user
+/// evaluation does not clone interaction histories.
+pub fn evaluate_ranking<E, R>(
+    num_users: usize,
+    k: usize,
+    mut score_items: impl FnMut(u32) -> Vec<f32>,
+    mut excluded: impl FnMut(u32) -> E,
+    mut relevant: impl FnMut(u32) -> R,
+) -> RankingReport
+where
+    E: AsRef<[u32]>,
+    R: AsRef<[u32]>,
+{
+    let per_user = (0..num_users as u32).map(|u| {
+        let rel = relevant(u);
+        if rel.as_ref().is_empty() {
+            return None;
+        }
+        let scores = score_items(u);
+        let exc = excluded(u);
+        rank_metrics(&scores, exc.as_ref(), rel.as_ref(), k)
+    });
+    RankingReport::aggregate(per_user, k)
 }
 
 #[cfg(test)]

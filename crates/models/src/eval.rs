@@ -2,26 +2,55 @@
 
 use crate::traits::Recommender;
 use ptf_data::Dataset;
-use ptf_metrics::{evaluate_ranking, RankingReport};
+use ptf_metrics::{rank_metrics, RankingMetrics, RankingReport};
+use ptf_tensor::par;
 
 /// Evaluates `model` with the paper's protocol: for every user with test
 /// items, rank *all* items the user has not interacted with in training
 /// and measure Recall@K / NDCG@K against the held-out set.
+///
+/// Scoring runs on every hardware thread (users are independent); the
+/// per-user metrics are averaged serially in user order, so the report is
+/// bit-identical at any thread count. Use [`evaluate_model_with_threads`]
+/// to pin the worker count.
 pub fn evaluate_model(
     model: &dyn Recommender,
     train: &Dataset,
     test: &Dataset,
     k: usize,
 ) -> RankingReport {
+    evaluate_model_with_threads(model, train, test, k, 0)
+}
+
+/// [`evaluate_model`] with an explicit worker count (`0` = every hardware
+/// thread). Per-user ranking is the wall-clock sink of every experiment —
+/// each user scores the full item space — and users are embarrassingly
+/// parallel.
+pub fn evaluate_model_with_threads(
+    model: &dyn Recommender,
+    train: &Dataset,
+    test: &Dataset,
+    k: usize,
+    threads: usize,
+) -> RankingReport {
     assert_eq!(model.num_items(), train.num_items(), "model/dataset item mismatch");
     assert_eq!(train.num_items(), test.num_items(), "train/test item mismatch");
-    evaluate_ranking(
-        train.num_users().min(model.num_users()),
-        k,
-        |u| model.score_all(u),
-        |u| train.user_items(u).to_vec(),
-        |u| test.user_items(u).to_vec(),
-    )
+    let num_users = train.num_users().min(model.num_users());
+    // graph models lazily rebuild their propagation cache on first score;
+    // force it once here so workers only ever take the read path
+    if num_users > 0 {
+        let _ = model.score(0, &[]);
+    }
+    let per_user: Vec<Option<RankingMetrics>> = par::map_indices(threads, num_users, |u| {
+        let u = u as u32;
+        let relevant = test.user_items(u);
+        if relevant.is_empty() {
+            return None;
+        }
+        let scores = model.score_all(u);
+        rank_metrics(&scores, train.user_items(u), relevant, k)
+    });
+    RankingReport::aggregate(per_user, k)
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ pub mod ngcf;
 pub mod registry;
 pub mod traits;
 
-pub use eval::evaluate_model;
+pub use eval::{evaluate_model, evaluate_model_with_threads};
 pub use lightgcn::{LightGcn, LightGcnConfig};
 pub use mf::MfModel;
 pub use neumf::{NeuMf, NeuMfConfig};

@@ -10,7 +10,7 @@ use crate::traits::Recommender;
 use ptf_tensor::prelude::*;
 use ptf_tensor::ParamId;
 use rand::Rng;
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 /// LightGCN hyperparameters (defaults follow §IV-D: dim 32, 3 layers).
 #[derive(Clone, Debug)]
@@ -36,7 +36,9 @@ pub struct LightGcn {
     prop: PropagationMatrix,
     adam: Adam,
     /// Final propagated embeddings, invalidated on training/graph changes.
-    cache: RefCell<Option<Matrix>>,
+    /// An `RwLock` (not `RefCell`) so concurrent evaluation threads can
+    /// score through one shared model.
+    cache: RwLock<Option<Matrix>>,
 }
 
 impl LightGcn {
@@ -59,7 +61,7 @@ impl LightGcn {
             emb,
             prop: empty_propagation(num_users, num_items),
             adam,
-            cache: RefCell::new(None),
+            cache: RwLock::new(None),
         }
     }
 
@@ -76,15 +78,18 @@ impl LightGcn {
     }
 
     fn ensure_cache(&self) {
-        if self.cache.borrow().is_none() {
-            let mut g = Graph::new(&self.params);
-            let f = self.build_final(&mut g);
-            *self.cache.borrow_mut() = Some(g.value(f).clone());
+        if self.cache.read().expect("cache lock poisoned").is_some() {
+            return;
         }
+        let mut g = Graph::new(&self.params);
+        let f = self.build_final(&mut g);
+        let fresh = g.value(f).clone();
+        // racing evaluators compute the same matrix; last write wins
+        *self.cache.write().expect("cache lock poisoned") = Some(fresh);
     }
 
     fn invalidate(&mut self) {
-        *self.cache.get_mut() = None;
+        *self.cache.get_mut().expect("cache lock poisoned") = None;
     }
 
     /// One optimizer step of the *pairwise* BPR objective the original
@@ -137,7 +142,7 @@ impl Recommender for LightGcn {
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         debug_assert!((user as usize) < self.num_users, "user id out of range");
         self.ensure_cache();
-        let cache = self.cache.borrow();
+        let cache = self.cache.read().expect("cache lock poisoned");
         let emb = cache.as_ref().expect("cache ensured above");
         let u = emb.row(user as usize);
         items
@@ -224,7 +229,7 @@ mod tests {
         m.set_graph(&[(0, 0, 1.0)]);
         let e = m.params.get(m.emb).clone();
         m.ensure_cache();
-        let cache = m.cache.borrow();
+        let cache = m.cache.read().unwrap();
         let f = cache.as_ref().unwrap();
         // final_u = (e_u + e_i)/2, final_i = (e_i + e_u)/2
         for c in 0..2 {

@@ -17,7 +17,7 @@ use crate::traits::Recommender;
 use ptf_tensor::prelude::*;
 use ptf_tensor::{init, ParamId};
 use rand::Rng;
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 /// NGCF hyperparameters (defaults follow §IV-D: dim 32, 3 GCN layers,
 /// propagation weights sized like the embeddings).
@@ -59,7 +59,9 @@ pub struct Ngcf {
     adam: Adam,
     /// Model-owned RNG for training-time dropout masks.
     dropout_rng: rand::rngs::StdRng,
-    cache: RefCell<Option<Matrix>>,
+    /// Clean inference embeddings; `RwLock` so concurrent evaluation
+    /// threads can score through one shared model.
+    cache: RwLock<Option<Matrix>>,
 }
 
 impl Ngcf {
@@ -91,7 +93,7 @@ impl Ngcf {
             prop: empty_propagation(num_users, num_items),
             adam,
             dropout_rng,
-            cache: RefCell::new(None),
+            cache: RwLock::new(None),
         }
     }
 
@@ -125,15 +127,18 @@ impl Ngcf {
     }
 
     fn ensure_cache(&self) {
-        if self.cache.borrow().is_none() {
-            let mut g = Graph::new(&self.params);
-            let f = self.build_final(&mut g, None);
-            *self.cache.borrow_mut() = Some(g.value(f).clone());
+        if self.cache.read().expect("cache lock poisoned").is_some() {
+            return;
         }
+        let mut g = Graph::new(&self.params);
+        let f = self.build_final(&mut g, None);
+        let fresh = g.value(f).clone();
+        // racing evaluators compute the same matrix; last write wins
+        *self.cache.write().expect("cache lock poisoned") = Some(fresh);
     }
 
     fn invalidate(&mut self) {
-        *self.cache.get_mut() = None;
+        *self.cache.get_mut().expect("cache lock poisoned") = None;
     }
 }
 
@@ -157,7 +162,7 @@ impl Recommender for Ngcf {
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         debug_assert!((user as usize) < self.num_users, "user id out of range");
         self.ensure_cache();
-        let cache = self.cache.borrow();
+        let cache = self.cache.read().expect("cache lock poisoned");
         let emb = cache.as_ref().expect("cache ensured above");
         let u = emb.row(user as usize);
         items
@@ -252,7 +257,7 @@ mod tests {
     fn final_embedding_concatenates_layers() {
         let m = tiny();
         m.ensure_cache();
-        let cache = m.cache.borrow();
+        let cache = m.cache.read().unwrap();
         // dim 8 × (1 original + 2 layers)
         assert_eq!(cache.as_ref().unwrap().cols(), 24);
     }

@@ -10,7 +10,13 @@
 /// Scores are probabilities in `[0, 1]` (sigmoid outputs): the protocol
 /// ships them across the network as soft labels, and the receiving side
 /// trains on them with a soft-target binary cross-entropy.
-pub trait Recommender {
+///
+/// `Send + Sync` are supertraits because the federation scheduler moves
+/// client-local models onto worker threads and the ranking evaluator
+/// scores one shared model from many threads at once. Implementations
+/// must keep any internal caching behind thread-safe primitives (see
+/// `LightGcn`/`Ngcf`, whose propagation caches are `RwLock`s).
+pub trait Recommender: Send + Sync {
     /// Architecture name as used in the paper's tables.
     fn name(&self) -> &'static str;
 

@@ -11,6 +11,11 @@ use crate::grad::{GradBuf, Grads, RowSparse};
 use crate::matrix::Matrix;
 use crate::params::{ParamId, Params};
 use crate::sparse::PropagationMatrix;
+// `Rc` (not `Arc`) is deliberate: a `Graph` is a single-batch tape that is
+// created, differentiated, and dropped on one thread — it never crosses a
+// scheduler boundary (models are `Send + Sync`; their *tapes* are not and
+// need not be). Shared state that does cross threads (the propagation
+// matrices) lives behind `Arc` in `crate::sparse`.
 use std::rc::Rc;
 
 /// Handle to a node in a [`Graph`].

@@ -3,8 +3,9 @@
 //! A small, dependency-light numeric substrate for the PTF-FedRec
 //! reproduction: dense row-major [`Matrix`] values, CSR [`sparse::Csr`]
 //! matrices for graph propagation, a tape-based reverse-mode autograd
-//! [`graph::Graph`], and the [`optim`] optimizers (Adam with lazy
-//! row-sparse embedding updates, plain SGD).
+//! [`graph::Graph`], the [`optim`] optimizers (Adam with lazy
+//! row-sparse embedding updates, plain SGD), and the [`par`] fork/join
+//! primitives behind deterministic parallel client execution.
 //!
 //! The design is deliberately "define-by-run": every training batch builds a
 //! fresh [`graph::Graph`] over a shared [`params::Params`] store, computes a
@@ -38,6 +39,7 @@ pub mod graph;
 pub mod init;
 pub mod matrix;
 pub mod optim;
+pub mod par;
 pub mod params;
 pub mod sparse;
 

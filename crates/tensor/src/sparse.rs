@@ -179,16 +179,21 @@ impl Csr {
 
 /// An adjacency matrix plus its cached transpose, shared by every
 /// autograd graph that propagates over it.
+///
+/// The buffers are behind [`std::sync::Arc`] (not `Rc`): a model holding
+/// a `PropagationMatrix` is scored from many evaluation threads at once
+/// and moved onto scheduler workers, so the shared handles must be
+/// thread-safe. The matrices themselves are immutable after construction.
 #[derive(Clone, Debug)]
 pub struct PropagationMatrix {
-    forward: std::rc::Rc<Csr>,
-    backward: std::rc::Rc<Csr>,
+    forward: std::sync::Arc<Csr>,
+    backward: std::sync::Arc<Csr>,
 }
 
 impl PropagationMatrix {
     pub fn new(m: Csr) -> Self {
-        let backward = std::rc::Rc::new(m.transpose());
-        Self { forward: std::rc::Rc::new(m), backward }
+        let backward = std::sync::Arc::new(m.transpose());
+        Self { forward: std::sync::Arc::new(m), backward }
     }
 
     /// For symmetric matrices (e.g. symmetrically normalized adjacency)
@@ -196,15 +201,15 @@ impl PropagationMatrix {
     /// transposition and shares one buffer.
     pub fn new_symmetric(m: Csr) -> Self {
         assert_eq!(m.rows(), m.cols(), "symmetric propagation matrix must be square");
-        let rc = std::rc::Rc::new(m);
+        let rc = std::sync::Arc::new(m);
         Self { forward: rc.clone(), backward: rc }
     }
 
-    pub fn forward(&self) -> &std::rc::Rc<Csr> {
+    pub fn forward(&self) -> &std::sync::Arc<Csr> {
         &self.forward
     }
 
-    pub fn backward(&self) -> &std::rc::Rc<Csr> {
+    pub fn backward(&self) -> &std::sync::Arc<Csr> {
         &self.backward
     }
 

@@ -69,11 +69,13 @@ fn build_protocol(
     rounds: Option<u32>,
     scale: Scale,
     seed: u64,
+    threads: usize,
 ) -> Result<Box<dyn FederatedProtocol>, String> {
     let small = matches!(scale, Scale::Small);
     Ok(match choice {
         ProtocolChoice::Ptf => {
             let mut cfg = scaled_config(scale, seed);
+            cfg.threads = threads;
             if let Some(r) = rounds {
                 cfg.rounds = r;
             }
@@ -85,6 +87,7 @@ fn build_protocol(
         ProtocolChoice::Fcf => {
             let mut cfg = if small { FcfConfig::small() } else { FcfConfig::default() };
             cfg.seed = seed;
+            cfg.threads = threads;
             if let Some(r) = rounds {
                 cfg.rounds = r;
             }
@@ -93,6 +96,7 @@ fn build_protocol(
         ProtocolChoice::FedMf => {
             let mut cfg = if small { FedMfConfig::small() } else { FedMfConfig::default() };
             cfg.base.seed = seed;
+            cfg.base.threads = threads;
             if let Some(r) = rounds {
                 cfg.base.rounds = r;
             }
@@ -101,6 +105,7 @@ fn build_protocol(
         ProtocolChoice::MetaMf => {
             let mut cfg = if small { MetaMfConfig::small() } else { MetaMfConfig::default() };
             cfg.seed = seed;
+            cfg.threads = threads;
             if let Some(r) = rounds {
                 cfg.rounds = r;
             }
@@ -110,6 +115,7 @@ fn build_protocol(
             let mut cfg =
                 if small { CentralizedConfig::small() } else { CentralizedConfig::default() };
             cfg.seed = seed;
+            cfg.threads = threads;
             if let Some(r) = rounds {
                 cfg.epochs = r;
             }
@@ -164,12 +170,21 @@ fn run(cmd: Command) -> Result<(), String> {
             scale,
             seed,
             k,
+            threads,
             save,
             json,
         } => {
             let split = load_split(dataset, scale, seed);
-            let boxed =
-                build_protocol(protocol, &split.train, client, server, rounds, scale, seed)?;
+            let boxed = build_protocol(
+                protocol,
+                &split.train,
+                client,
+                server,
+                rounds,
+                scale,
+                seed,
+                threads,
+            )?;
             eprintln!(
                 "training {} on {} ({} clients, {} items)",
                 boxed.name(),
@@ -217,9 +232,10 @@ fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Privacy { dataset, defense, epsilon, scale, seed, json } => {
+        Command::Privacy { dataset, defense, epsilon, scale, seed, threads, json } => {
             let split = load_split(dataset, scale, seed);
             let mut cfg = scaled_config(scale, seed);
+            cfg.threads = threads;
             cfg.defense = match defense {
                 DefenseChoice::None => DefenseKind::NoDefense,
                 DefenseChoice::Ldp => DefenseKind::Ldp { epsilon },

@@ -6,8 +6,10 @@
 //! ```text
 //! ptf stats    [--scale small|paper] [--seed N]
 //! ptf train    --dataset ml100k|steam|gowalla [--protocol ptf|fcf|fedmf|metamf|centralized]
-//!              [--client M] [--server M] [--rounds N] [--scale S] [--seed N] [--k K] [--json]
-//! ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E] [--json]
+//!              [--client M] [--server M] [--rounds N] [--scale S] [--seed N] [--k K]
+//!              [--threads N] [--json]
+//! ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
+//!              [--threads N] [--json]
 //! ptf generate --dataset D --out FILE [--scale S] [--seed N]
 //! ```
 
@@ -30,6 +32,10 @@ pub enum Command {
         scale: Scale,
         seed: u64,
         k: usize,
+        /// Worker threads for the parallel client phase (`0` = every
+        /// hardware thread, the default). Runs are bit-identical at any
+        /// value.
+        threads: usize,
         /// Write the trained model's checkpoint here after training.
         save: Option<String>,
         /// Emit the run as machine-readable JSON on stdout.
@@ -42,6 +48,8 @@ pub enum Command {
         epsilon: f64,
         scale: Scale,
         seed: u64,
+        /// Worker threads for the parallel client phase (`0` = all).
+        threads: usize,
         /// Emit the audit as machine-readable JSON on stdout.
         json: bool,
     },
@@ -80,16 +88,18 @@ USAGE:
     ptf train    --dataset ml100k|steam|gowalla
                  [--protocol ptf|fcf|fedmf|metamf|centralized]
                  [--client neumf|ngcf|lightgcn] [--server neumf|ngcf|lightgcn]
-                 [--rounds N] [--scale S] [--seed N] [--k K]
+                 [--rounds N] [--scale S] [--seed N] [--k K] [--threads N]
                  [--save checkpoint.json] [--json]
     ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
-                 [--scale S] [--seed N] [--json]
+                 [--scale S] [--seed N] [--threads N] [--json]
     ptf generate --dataset D --out FILE [--scale S] [--seed N]
 
 `--client`/`--server` select the model architectures for the ptf protocol;
 centralized trains the --server architecture (ignoring --client), and the
 MF-family baselines (fcf, fedmf, metamf) use their paper dimensions and
 ignore both. `--json` prints {trace, report, communication} for tooling.
+`--threads N` sizes the parallel client scheduler (default: every hardware
+thread); with the same seed the output is byte-identical at any N.
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetPreset, String> {
@@ -206,7 +216,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 rest,
                 &[
                     "dataset", "protocol", "client", "server", "rounds", "scale", "seed", "k",
-                    "save",
+                    "threads", "save",
                 ],
                 &["json"],
             )?;
@@ -242,6 +252,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|s| s.parse().map_err(|_| format!("bad --k {s:?}")))
                     .transpose()?
                     .unwrap_or(20),
+                threads: parse_threads(&opts)?,
                 save: opts.get("save").cloned(),
                 json: opts.flag("json"),
             })
@@ -249,7 +260,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "privacy" => {
             let opts = parse_options(
                 rest,
-                &["dataset", "defense", "epsilon", "scale", "seed"],
+                &["dataset", "defense", "epsilon", "scale", "seed", "threads"],
                 &["json"],
             )?;
             Ok(Command::Privacy {
@@ -270,6 +281,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .transpose()?
                     .unwrap_or(Scale::Small),
                 seed: parse_seed(&opts)?,
+                threads: parse_threads(&opts)?,
                 json: opts.flag("json"),
             })
         }
@@ -295,6 +307,14 @@ fn parse_seed(opts: &Options) -> Result<u64, String> {
         .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
         .transpose()
         .map(|o| o.unwrap_or(2024))
+}
+
+/// `--threads N`; the default `0` means "every hardware thread".
+fn parse_threads(opts: &Options) -> Result<usize, String> {
+    opts.get("threads")
+        .map(|s| s.parse().map_err(|_| format!("bad --threads {s:?}")))
+        .transpose()
+        .map(|o| o.unwrap_or(0))
 }
 
 #[cfg(test)]
@@ -326,6 +346,7 @@ mod tests {
                 scale: Scale::Small,
                 seed: 2024,
                 k: 20,
+                threads: 0,
                 save: None,
                 json: false,
             }
@@ -351,6 +372,26 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_option_parses_on_train_and_privacy() {
+        match parse(&argv("train --dataset ml100k --threads 4")).unwrap() {
+            Command::Train { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("privacy --dataset steam --threads 2")).unwrap() {
+            Command::Privacy { threads, .. } => assert_eq!(threads, 2),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // default: 0 = every hardware thread
+        match parse(&argv("privacy --dataset steam")).unwrap() {
+            Command::Privacy { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("train --dataset ml100k --threads many"))
+            .unwrap_err()
+            .contains("--threads"));
     }
 
     #[test]

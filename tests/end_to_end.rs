@@ -85,7 +85,7 @@ fn centralized_upper_bounds_hold_after_training() {
     // at this tiny scale we only assert both learn something nontrivial.
     let split = tiny_split();
     let hyper = ModelHyper::small();
-    let cfg = CentralizedConfig { epochs: 10, batch: 128, neg_ratio: 4, seed: 5 };
+    let cfg = CentralizedConfig { epochs: 10, batch: 128, neg_ratio: 4, seed: 5, threads: 0 };
     let (central, _) = train_centralized(ModelKind::LightGcn, &split.train, &hyper, &cfg);
     let central_report = evaluate_model(&*central, &split.train, &split.test, 10);
     assert!(central_report.metrics.recall > 0.05, "{central_report}");
