@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate peak-heap regressions in the paper-scale benchmark.
+
+Compares BENCH_paper_scale.json (fresh run) against the checked-in
+baseline ci/paper_scale_baseline.json per preset and fails if the live
+run's peak heap exceeds baseline by more than the tolerance (default
+20%). Throughput is reported but not gated: CI runner speed varies, heap
+footprint does not.
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = float(os.environ.get("PTF_RSS_TOLERANCE", "0.20"))
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load(path):
+    with open(path) as f:
+        return {row["preset"]: row for row in json.load(f)["rows"]}
+
+
+def main():
+    fresh = load(os.path.join(ROOT, "BENCH_paper_scale.json"))
+    baseline = load(os.path.join(ROOT, "ci", "paper_scale_baseline.json"))
+    failures = []
+    for preset, base in baseline.items():
+        if preset not in fresh:
+            # CI runs a preset subset (hosted runners lack the RAM for
+            # Gowalla's 8,392 per-client item tables); gate what ran
+            print(f"{preset:16} not in this run, skipping")
+            continue
+        row = fresh[preset]
+        base_peak = base["peak_heap_bytes"]
+        live_peak = row["peak_heap_bytes"]
+        ratio = live_peak / base_peak if base_peak else float("inf")
+        status = "OK" if ratio <= 1.0 + TOLERANCE else "REGRESSION"
+        print(
+            f"{preset:16} peak heap {live_peak / 2**20:8.1f} MB "
+            f"(baseline {base_peak / 2**20:8.1f} MB, x{ratio:.3f}) "
+            f"rounds/sec {row['rounds_per_sec']:.3f}  {status}"
+        )
+        if status != "OK":
+            failures.append(
+                f"{preset}: peak heap {live_peak} exceeds baseline "
+                f"{base_peak} by more than {TOLERANCE:.0%}"
+            )
+        if row.get("final_round_client_allocs", 0) != 0 and row.get("rounds", 0) >= 3:
+            failures.append(
+                f"{preset}: steady-state client path performed "
+                f"{row['final_round_client_allocs']} heap allocations (expected 0)"
+            )
+    if failures:
+        for f in failures:
+            print(f"::error::{f}")
+        sys.exit(1)
+    print("paper-scale memory gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,9 +6,11 @@
 //! data — no clients, no traffic — so the upper bound rides the same
 //! [`FederatedProtocol`] engine path as every federated method.
 
-use ptf_data::negative::sample_negatives;
+use ptf_data::negative::sample_negatives_into;
 use ptf_data::Dataset;
-use ptf_federated::{round_rng, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler};
+use ptf_federated::{
+    round_rng, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler, ScratchPool,
+};
 use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -50,6 +52,7 @@ pub struct Centralized {
     model: Box<dyn Recommender>,
     train: Dataset,
     scheduler: Scheduler,
+    scratch: ScratchPool,
     round: u32,
     losses: Vec<f32>,
 }
@@ -67,7 +70,15 @@ impl Centralized {
         let edges: Vec<(u32, u32, f32)> = train.pairs().map(|(u, i)| (u, i, 1.0)).collect();
         model.set_graph(&edges);
         let scheduler = Scheduler::new(cfg.threads);
-        Self { cfg, model, train: train.clone(), scheduler, round: 0, losses: Vec::new() }
+        Self {
+            cfg,
+            model,
+            train: train.clone(),
+            scheduler,
+            scratch: ScratchPool::new(),
+            round: 0,
+            losses: Vec::new(),
+        }
     }
 
     /// Per-epoch mean losses of the rounds run so far.
@@ -99,22 +110,25 @@ impl FederatedProtocol for Centralized {
         let (seed, round) = (self.cfg.seed, self.round);
         let users: Vec<u32> = self.train.active_users().collect();
         let (train, neg_ratio) = (&self.train, self.cfg.neg_ratio);
-        let per_user: Vec<Vec<(u32, u32, f32)>> = self.scheduler.map_indices(users.len(), |idx| {
-            let u = users[idx];
-            let positives = train.user_items(u);
-            let mut rng = round_rng(seed, round, RngStream::Client(u));
-            let negs = sample_negatives(
-                positives,
-                train.num_items(),
-                positives.len() * neg_ratio,
-                &mut rng,
-            );
-            positives
-                .iter()
-                .map(|&i| (u, i, 1.0f32))
-                .chain(negs.into_iter().map(|i| (u, i, 0.0f32)))
-                .collect()
-        });
+        let per_user: Vec<Vec<(u32, u32, f32)>> =
+            self.scheduler.map_indices_with(&self.scratch, users.len(), |scratch, idx| {
+                let u = users[idx];
+                let positives = train.user_items(u);
+                let mut rng = round_rng(seed, round, RngStream::Client(u));
+                sample_negatives_into(
+                    positives,
+                    train.num_items(),
+                    positives.len() * neg_ratio,
+                    &mut rng,
+                    &mut scratch.negatives,
+                    &mut scratch.seen,
+                );
+                positives
+                    .iter()
+                    .map(|&i| (u, i, 1.0f32))
+                    .chain(scratch.negatives.iter().map(|&i| (u, i, 0.0f32)))
+                    .collect()
+            });
         let mut samples: Vec<(u32, u32, f32)> = per_user.into_iter().flatten().collect();
         let mut shuffle_rng = round_rng(seed, round, RngStream::Shuffle);
         shuffle(&mut samples, &mut shuffle_rng);

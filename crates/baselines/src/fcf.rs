@@ -13,11 +13,11 @@
 //! items the client interacted with.)
 
 use ptf_comm::Payload;
-use ptf_data::negative::sample_negatives;
+use ptf_data::negative::sample_negatives_into;
 use ptf_data::Dataset;
 use ptf_federated::{
     partition_clients, round_rng, ClientData, FederatedProtocol, Participation, RngStream,
-    RoundCtx, RoundTrace, Scheduler,
+    RoundCtx, RoundScratch, RoundTrace, Scheduler, ScratchPool,
 };
 use ptf_models::mf::{mf_sgd_step, MfModel};
 use ptf_models::Recommender;
@@ -88,6 +88,7 @@ pub struct Fcf {
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
     scheduler: Scheduler,
+    scratch: ScratchPool,
     round: u32,
 }
 
@@ -98,7 +99,7 @@ impl Fcf {
         let clients = partition_clients(train);
         let trainable = clients.iter().filter(|c| c.is_trainable()).map(|c| c.id).collect();
         let scheduler = Scheduler::new(cfg.threads);
-        Self { cfg, model, clients, trainable, scheduler, round: 0 }
+        Self { cfg, model, clients, trainable, scheduler, scratch: ScratchPool::new(), round: 0 }
     }
 
     /// The wire size of one direction of the exchange (item matrix+bias).
@@ -116,6 +117,7 @@ impl Fcf {
         model: &MfModel,
         client: &ClientData,
         cfg: &FcfConfig,
+        scratch: &mut RoundScratch,
         rng: &mut StdRng,
     ) -> ClientResult {
         let mut user_row = model.user_emb.row(client.id as usize).to_vec();
@@ -124,23 +126,23 @@ impl Fcf {
         let mut loss_sum = 0.0f32;
         let mut steps = 0usize;
         for _ in 0..cfg.local_epochs {
-            let negatives = sample_negatives(
+            sample_negatives_into(
                 &client.positives,
                 model.num_items(),
                 client.positives.len() * cfg.neg_ratio,
                 rng,
+                &mut scratch.negatives,
+                &mut scratch.seen,
             );
-            let mut samples: Vec<(u32, f32)> = client
-                .positives
-                .iter()
-                .map(|&i| (i, 1.0f32))
-                .chain(negatives.into_iter().map(|i| (i, 0.0f32)))
-                .collect();
+            scratch.pairs.clear();
+            scratch.pairs.extend(client.positives.iter().map(|&i| (i, 1.0f32)));
+            scratch.pairs.extend(scratch.negatives.iter().map(|&i| (i, 0.0f32)));
+            let samples = &mut scratch.pairs;
             for i in (1..samples.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 samples.swap(i, j);
             }
-            for (item, label) in samples {
+            for &(item, label) in samples.iter() {
                 let (row, bias) = local_rows.entry(item).or_insert_with(|| {
                     (model.item_emb.row(item as usize).to_vec(), model.item_bias[item as usize])
                 });
@@ -208,13 +210,14 @@ impl Fcf {
         let n = participants.len().max(1) as f32;
 
         // parallel phase: one derived RNG stream per client, read-only
-        // model snapshot
+        // model snapshot, per-worker scratch buffers
         let (model, cfg, clients) = (&self.model, &self.cfg, &self.clients);
         let mut ids: Vec<u32> = participants.clone();
-        let results: Vec<ClientResult> = self.scheduler.map_clients(&mut ids, |_, &mut cid| {
-            let mut rng = round_rng(seed, round, RngStream::Client(cid));
-            Self::client_update(model, &clients[cid as usize], cfg, &mut rng)
-        });
+        let results: Vec<ClientResult> =
+            self.scheduler.map_clients_with(&self.scratch, &mut ids, |scratch, _, &mut cid| {
+                let mut rng = round_rng(seed, round, RngStream::Client(cid));
+                Self::client_update(model, &clients[cid as usize], cfg, scratch, &mut rng)
+            });
 
         // serial phase: replay in participant order
         let mut delta_sum: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();

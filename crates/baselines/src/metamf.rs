@@ -20,11 +20,11 @@
 //! MetaMF plays in Tables III/IV.
 
 use ptf_comm::Payload;
-use ptf_data::negative::sample_negatives;
+use ptf_data::negative::sample_negatives_into;
 use ptf_data::Dataset;
 use ptf_federated::{
     partition_clients, round_rng, ClientData, FederatedProtocol, Participation, RngStream,
-    RoundCtx, RoundTrace, Scheduler,
+    RoundCtx, RoundScratch, RoundTrace, Scheduler, ScratchPool,
 };
 use ptf_models::mf::bce_loss;
 use ptf_models::Recommender;
@@ -87,6 +87,7 @@ pub struct MetaMf {
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
     scheduler: Scheduler,
+    scratch: ScratchPool,
     round: u32,
 }
 
@@ -106,6 +107,7 @@ impl MetaMf {
             clients,
             trainable,
             scheduler,
+            scratch: ScratchPool::new(),
             round: 0,
             cfg,
         }
@@ -140,7 +142,12 @@ impl MetaMf {
     /// O(steps × d) — the whole participant fleet's results are resident
     /// at once between the phases). Runs on scheduler workers; the basis
     /// it reads is the pre-round snapshot, matching the serial semantics.
-    fn client_phase(&self, cid: u32, rng: &mut StdRng) -> MetaClientResult {
+    fn client_phase(
+        &self,
+        cid: u32,
+        scratch: &mut RoundScratch,
+        rng: &mut StdRng,
+    ) -> MetaClientResult {
         let d = self.cfg.dim;
         let num_items = self.basis.rows();
         let (gate, pre) = self.gate_of(cid);
@@ -155,18 +162,23 @@ impl MetaMf {
         let mut client_loss = 0.0f32;
         let mut steps = 0usize;
         for _ in 0..self.cfg.local_epochs {
-            let negs =
-                sample_negatives(positives, num_items, positives.len() * self.cfg.neg_ratio, rng);
-            let mut samples: Vec<(u32, f32)> = positives
-                .iter()
-                .map(|&i| (i, 1.0f32))
-                .chain(negs.into_iter().map(|i| (i, 0.0f32)))
-                .collect();
+            sample_negatives_into(
+                positives,
+                num_items,
+                positives.len() * self.cfg.neg_ratio,
+                rng,
+                &mut scratch.negatives,
+                &mut scratch.seen,
+            );
+            scratch.pairs.clear();
+            scratch.pairs.extend(positives.iter().map(|&i| (i, 1.0f32)));
+            scratch.pairs.extend(scratch.negatives.iter().map(|&i| (i, 0.0f32)));
+            let samples = &mut scratch.pairs;
             for i in (1..samples.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 samples.swap(i, j);
             }
-            for (item, label) in samples {
+            for &(item, label) in samples.iter() {
                 let e_i = self.gen_item(&gate, item);
                 let logit: f32 = e_i.iter().zip(user_row.iter()).map(|(&a, &b)| a * b).sum();
                 let err = sigmoid(logit) - label;
@@ -230,13 +242,14 @@ impl FederatedProtocol for MetaMf {
         let d = self.cfg.dim;
         let num_items = self.basis.rows();
 
-        // parallel client phase
+        // parallel client phase (per-worker scratch buffers)
         let this = &*self;
         let mut ids: Vec<u32> = participants.clone();
-        let results: Vec<MetaClientResult> = this.scheduler.map_clients(&mut ids, |_, &mut cid| {
-            let mut rng = round_rng(seed, round, RngStream::Client(cid));
-            this.client_phase(cid, &mut rng)
-        });
+        let results: Vec<MetaClientResult> =
+            this.scheduler.map_clients_with(&this.scratch, &mut ids, |scratch, _, &mut cid| {
+                let mut rng = round_rng(seed, round, RngStream::Client(cid));
+                this.client_phase(cid, scratch, &mut rng)
+            });
 
         // serial phase: wire events + server-side backprop through the
         // generator (E_u = B ⊙ g, g = 1 + tanh(pre), pre = z W + b), in

@@ -1,0 +1,190 @@
+//! Paper-scale throughput and memory benchmark.
+//!
+//! Runs PTF-FedRec at the **full Table II scale** of all three presets
+//! (MovieLens-100K 943×1,682, Steam-200K 3,753×5,134, Gowalla
+//! 8,392×10,086 — ~391k interactions) for a few rounds each, on MF
+//! client/server models whose round hot path is allocation-free, and
+//! records the numbers that define the repo's perf trajectory:
+//!
+//! * **rounds/sec** — federated round throughput (client phase + server
+//!   training + dispersal);
+//! * **peak heap bytes** — live-heap high-water mark via the
+//!   `ptf_tensor::alloc` counting-allocator shim (an allocator-precise
+//!   "peak RSS": it excludes binary/allocator slack, so it is the figure
+//!   a regression gate can trust);
+//! * **bytes/round** and avg client bytes/round from the communication
+//!   ledger (the Table IV quantity, now at full scale);
+//! * **client-path allocations in the final round** — asserted zero, the
+//!   scratch-pool guarantee at paper scale.
+//!
+//! Writes `BENCH_paper_scale.json` at the workspace root. Knobs:
+//! `PTF_BENCH_ROUNDS` (default 3), `PTF_BENCH_EPOCHS` (client epochs,
+//! default 2), `PTF_SEED`, `PTF_BENCH_PRESETS` (comma list of
+//! `ml100k,steam,gowalla`; default all).
+
+use ptf_bench::{fmt4, Table};
+use ptf_core::{DefenseKind, Federation, PtfConfig};
+use ptf_data::{DatasetPreset, DatasetStats, TrainTestSplit};
+use ptf_models::{ModelHyper, ModelKind};
+use ptf_tensor::alloc;
+use serde::Serialize;
+use std::time::Instant;
+
+#[global_allocator]
+static COUNTER: alloc::CountingAlloc = alloc::CountingAlloc;
+
+#[derive(Serialize)]
+struct PresetRow {
+    preset: String,
+    users: usize,
+    items: usize,
+    interactions: usize,
+    rounds: u32,
+    /// Client-fleet + server construction (dominated by per-client
+    /// embedding init at Gowalla scale).
+    build_seconds: f64,
+    /// Wall-clock of the measured rounds alone.
+    run_seconds: f64,
+    rounds_per_sec: f64,
+    /// Live-heap high-water mark over build + all rounds (bytes).
+    peak_heap_bytes: usize,
+    /// Live heap held by the dataset + split alone (bytes).
+    dataset_heap_bytes: usize,
+    /// Ledger total for the run divided by rounds.
+    bytes_per_round: f64,
+    /// The Table IV metric at paper scale.
+    avg_client_bytes_per_round: f64,
+    /// Client-path heap allocations in the final (steady-state) round.
+    final_round_client_allocs: u64,
+}
+
+#[derive(Serialize)]
+struct PaperScaleReport {
+    hardware_threads: usize,
+    seed: u64,
+    client_epochs: u32,
+    rows: Vec<PresetRow>,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn wanted_presets() -> Vec<DatasetPreset> {
+    let Ok(spec) = std::env::var("PTF_BENCH_PRESETS") else {
+        return DatasetPreset::ALL.to_vec();
+    };
+    let mut out = Vec::new();
+    for token in spec.split(',') {
+        match token.trim().to_ascii_lowercase().as_str() {
+            "ml100k" | "movielens" => out.push(DatasetPreset::MovieLens100K),
+            "steam" => out.push(DatasetPreset::Steam200K),
+            "gowalla" => out.push(DatasetPreset::Gowalla),
+            "" => {}
+            other => eprintln!("[bench_paper_scale] unknown preset {other:?}, skipping"),
+        }
+    }
+    if out.is_empty() {
+        DatasetPreset::ALL.to_vec()
+    } else {
+        out
+    }
+}
+
+fn main() {
+    let rounds = env_u64("PTF_BENCH_ROUNDS", 3) as u32;
+    let epochs = env_u64("PTF_BENCH_EPOCHS", 2) as u32;
+    let seed = env_u64("PTF_SEED", 2024);
+
+    let mut table = Table::new(
+        "Paper-scale PTF-FedRec (MF/MF, allocation-free client path)",
+        &["dataset", "users×items", "rounds/sec", "peak heap MB", "KB/client/round"],
+    );
+    let mut rows = Vec::new();
+
+    for preset in wanted_presets() {
+        let heap_before = alloc::current_bytes();
+        let data = preset.paper().generate(&mut ptf_data::test_rng(seed));
+        let split = TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(seed ^ 1));
+        let stats = DatasetStats::of(&data);
+        let dataset_heap_bytes = alloc::current_bytes().saturating_sub(heap_before);
+
+        let mut cfg = PtfConfig::paper();
+        cfg.rounds = rounds;
+        cfg.client_epochs = epochs;
+        cfg.seed = seed;
+        // NoDefense keeps upload staging on the recycled-buffer path, so
+        // the steady-state zero-allocation guarantee is measurable here
+        cfg.defense = DefenseKind::NoDefense;
+
+        alloc::reset_peak();
+        let start = Instant::now();
+        let mut fed = Federation::builder(&split.train)
+            .client_model(ModelKind::Mf)
+            .server_model(ModelKind::Mf)
+            .hyper(ModelHyper::default())
+            .config(cfg)
+            .build()
+            .expect("paper-scale config is valid");
+        let build_seconds = start.elapsed().as_secs_f64();
+        let run_start = Instant::now();
+        let trace = fed.run();
+        let run_seconds = run_start.elapsed().as_secs_f64();
+        let peak_heap_bytes = alloc::peak_bytes();
+
+        assert_eq!(trace.num_rounds(), rounds as usize);
+        let final_round_client_allocs = fed.protocol().last_round_client_allocs();
+        if rounds >= 3 {
+            assert_eq!(
+                final_round_client_allocs,
+                0,
+                "{}: steady-state client path allocated",
+                preset.name()
+            );
+        }
+
+        let summary = fed.ledger().summary();
+        let row = PresetRow {
+            preset: preset.name().to_string(),
+            users: stats.users,
+            items: stats.items,
+            interactions: stats.interactions,
+            rounds,
+            build_seconds,
+            run_seconds,
+            rounds_per_sec: rounds as f64 / run_seconds,
+            peak_heap_bytes,
+            dataset_heap_bytes,
+            bytes_per_round: summary.total_bytes as f64 / rounds.max(1) as f64,
+            avg_client_bytes_per_round: summary.avg_client_bytes_per_round,
+            final_round_client_allocs,
+        };
+        table.row(vec![
+            row.preset.clone(),
+            format!("{}×{}", row.users, row.items),
+            fmt4(row.rounds_per_sec),
+            format!("{:.1}", row.peak_heap_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", row.avg_client_bytes_per_round / 1024.0),
+        ]);
+        rows.push(row);
+    }
+
+    table.print();
+
+    let report = PaperScaleReport {
+        hardware_threads: ptf_tensor::par::available_threads(),
+        seed,
+        client_epochs: epochs,
+        rows,
+    };
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_paper_scale.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if std::fs::write(&path, json).is_ok() {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize paper-scale report: {e}"),
+    }
+}

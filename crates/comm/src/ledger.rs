@@ -41,11 +41,23 @@ impl CommLedger {
         Self::default()
     }
 
+    /// Marks `round` as started. The engine calls this from its
+    /// `on_round_start` hook, making the round count authoritative: a
+    /// round whose sampled participant set is empty (or that otherwise
+    /// puts nothing on the wire) still counts. Deriving the count from
+    /// message round tags alone under-counted such runs and inflated
+    /// every per-round average reported from [`LedgerSummary::rounds`].
+    pub fn begin_round(&mut self, round: u32) {
+        self.rounds_seen = self.rounds_seen.max(round + 1);
+    }
+
     /// Records a message.
     pub fn record(&mut self, msg: &Message) {
         let bytes = msg.bytes() as u64;
         self.total_bytes += bytes;
         self.messages += 1;
+        // fallback derivation for engine-less direct recording; the
+        // engine's `begin_round` notifications take precedence via `max`
         self.rounds_seen = self.rounds_seen.max(msg.round + 1);
         match (msg.from, msg.to) {
             (Endpoint::Client(_), Endpoint::Server) => self.uploads_bytes += bytes,
@@ -133,5 +145,19 @@ mod tests {
         let s = CommLedger::new().summary();
         assert_eq!(s.total_bytes, 0);
         assert_eq!(s.avg_client_bytes_per_round, 0.0);
+    }
+
+    #[test]
+    fn message_free_rounds_still_count() {
+        // regression: rounds were derived from max(msg.round + 1), so a
+        // run whose trailing rounds produced no messages under-counted
+        let mut ledger = CommLedger::new();
+        ledger.begin_round(0);
+        ledger.upload(0, 0, "up", Payload::Triples { count: 1 });
+        ledger.begin_round(1); // zero sampled participants
+        ledger.begin_round(2); // zero sampled participants
+        let s = ledger.summary();
+        assert_eq!(s.rounds, 3, "empty rounds must count");
+        assert_eq!(s.messages, 1);
     }
 }

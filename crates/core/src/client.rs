@@ -7,9 +7,9 @@
 //! the upload `D̂ᵗᵢ` (§III-B2).
 
 use crate::config::PtfConfig;
-use crate::upload::{build_upload, ClientUpload};
-use ptf_data::negative::sample_negatives;
-use ptf_federated::ClientData;
+use crate::upload::{build_upload_into, ClientUpload};
+use ptf_data::negative::sample_negatives_into;
+use ptf_federated::{ClientData, RoundScratch};
 use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
 use ptf_privacy::ScoredItem;
 use rand::Rng;
@@ -24,11 +24,17 @@ pub struct PtfClient {
     /// The client's local model; its internal user id is always 0.
     model: Box<dyn Recommender>,
     kind: ModelKind,
+    /// Upload backing storage recycled from this client's previous round
+    /// (see [`PtfClient::recycle_upload`]); per-client upload sizes are
+    /// stable, so steady-state rounds reuse the same capacity.
+    spare_upload: Option<(Vec<ScoredItem>, Vec<u32>)>,
 }
 
 impl PtfClient {
+    /// Builds a client, taking ownership of its data partition (the
+    /// positives move straight in — no per-client copy of the dataset).
     pub fn new(
-        data: &ClientData,
+        data: ClientData,
         kind: ModelKind,
         hyper: &ModelHyper,
         num_items: usize,
@@ -36,10 +42,11 @@ impl PtfClient {
     ) -> Self {
         Self {
             id: data.id,
-            positives: data.positives.clone(),
+            positives: data.positives,
             server_data: Vec::new(),
             model: build_model(kind, 1, num_items, hyper, rng),
             kind,
+            spare_upload: None,
         }
     }
 
@@ -61,6 +68,17 @@ impl PtfClient {
         self.server_data = data;
     }
 
+    /// Returns a spent upload's backing storage for reuse by this
+    /// client's next round. The protocol calls this with the previous
+    /// round's retained uploads before sampling the next one.
+    pub fn recycle_upload(&mut self, upload: ClientUpload) {
+        debug_assert_eq!(upload.client, self.id);
+        let ClientUpload { mut predictions, mut audit_positives, .. } = upload;
+        predictions.clear();
+        audit_positives.clear();
+        self.spare_upload = Some((predictions, audit_positives));
+    }
+
     /// Local model scores for `items` (exposed for evaluation/attacks).
     pub fn score(&self, items: &[u32]) -> Vec<f32> {
         self.model.score(0, items)
@@ -68,49 +86,82 @@ impl PtfClient {
 
     /// One local round: train on `D_i ∪ D̃_i`, then build the upload.
     /// Returns the upload and the mean training loss.
-    pub fn local_round(&mut self, cfg: &PtfConfig, rng: &mut impl Rng) -> (ClientUpload, f32) {
+    ///
+    /// All transient state lives in `scratch` (worker-owned, reused
+    /// across rounds) and in the recycled upload buffers, so with an
+    /// allocation-free model (MF) a steady-state round performs zero
+    /// heap allocations here.
+    pub fn local_round(
+        &mut self,
+        cfg: &PtfConfig,
+        scratch: &mut RoundScratch,
+        rng: &mut impl Rng,
+    ) -> (ClientUpload, f32) {
         let num_items = self.model.num_items();
 
         // 1. this round's trained pool V^t_i: positives + fresh 1:ratio negatives
-        let negatives =
-            sample_negatives(&self.positives, num_items, self.positives.len() * cfg.neg_ratio, rng);
+        sample_negatives_into(
+            &self.positives,
+            num_items,
+            self.positives.len() * cfg.neg_ratio,
+            rng,
+            &mut scratch.negatives,
+            &mut scratch.seen,
+        );
 
         // 2. training samples (user id 0 inside the local model)
-        let mut samples: Vec<(u32, u32, f32)> =
-            Vec::with_capacity(self.positives.len() + negatives.len() + self.server_data.len());
-        samples.extend(self.positives.iter().map(|&i| (0u32, i, 1.0f32)));
-        samples.extend(negatives.iter().map(|&i| (0u32, i, 0.0f32)));
-        samples.extend(self.server_data.iter().map(|&(i, s)| (0u32, i, s)));
+        scratch.triples.clear();
+        scratch.triples.extend(self.positives.iter().map(|&i| (0u32, i, 1.0f32)));
+        scratch.triples.extend(scratch.negatives.iter().map(|&i| (0u32, i, 0.0f32)));
+        scratch.triples.extend(self.server_data.iter().map(|&(i, s)| (0u32, i, s)));
 
         // graph clients rebuild their one-hop ego graph from everything
-        // they currently believe is positive
-        let edges: Vec<(u32, u32, f32)> = self
-            .positives
-            .iter()
-            .map(|&i| (0u32, i, 1.0f32))
-            .chain(
+        // they currently believe is positive; non-graph models skip the
+        // edge assembly entirely
+        if self.model.uses_graph() {
+            scratch.edges.clear();
+            scratch.edges.extend(self.positives.iter().map(|&i| (0u32, i, 1.0f32)));
+            scratch.edges.extend(
                 self.server_data
                     .iter()
                     .filter(|&&(_, s)| s >= cfg.graph_threshold)
                     .map(|&(i, s)| (0u32, i, s)),
-            )
-            .collect();
-        self.model.set_graph(&edges);
+            );
+            self.model.set_graph(&scratch.edges);
+        }
 
         // 3. Eq. 3: several epochs of soft-label BCE
         let mut loss_sum = 0.0f32;
         for _ in 0..cfg.client_epochs {
-            shuffle(&mut samples, rng);
-            loss_sum += ptf_models::train_on_samples(&mut *self.model, &samples, cfg.client_batch);
+            shuffle(&mut scratch.triples, rng);
+            loss_sum +=
+                ptf_models::train_on_samples(&mut *self.model, &scratch.triples, cfg.client_batch);
         }
         let mean_loss = loss_sum / cfg.client_epochs as f32;
 
         // 4. §III-B2: score the trained pool and build D̂ᵗᵢ
-        let pos_scores = self.model.score(0, &self.positives);
-        let neg_scores = self.model.score(0, &negatives);
-        let pos: Vec<ScoredItem> = self.positives.iter().copied().zip(pos_scores).collect();
-        let neg: Vec<ScoredItem> = negatives.iter().copied().zip(neg_scores).collect();
-        let upload = build_upload(self.id, pos, neg, cfg.defense, &cfg.sampling, cfg.lambda, rng);
+        self.model.score_into(0, &self.positives, &mut scratch.scores_pos);
+        self.model.score_into(0, &scratch.negatives, &mut scratch.scores_neg);
+        scratch.scored_pos.clear();
+        scratch
+            .scored_pos
+            .extend(self.positives.iter().copied().zip(scratch.scores_pos.iter().copied()));
+        scratch.scored_neg.clear();
+        scratch
+            .scored_neg
+            .extend(scratch.negatives.iter().copied().zip(scratch.scores_neg.iter().copied()));
+        let (predictions, audit) = self.spare_upload.take().unwrap_or_default();
+        let upload = build_upload_into(
+            self.id,
+            &mut scratch.scored_pos,
+            &mut scratch.scored_neg,
+            cfg.defense,
+            &cfg.sampling,
+            cfg.lambda,
+            rng,
+            predictions,
+            audit,
+        );
         (upload, mean_loss)
     }
 }
@@ -130,7 +181,7 @@ mod tests {
 
     fn client(kind: ModelKind) -> PtfClient {
         let data = ClientData { id: 7, positives: vec![1, 4, 9, 15, 22] };
-        PtfClient::new(&data, kind, &ModelHyper::small(), 40, &mut test_rng(1))
+        PtfClient::new(data, kind, &ModelHyper::small(), 40, &mut test_rng(1))
     }
 
     fn cfg() -> PtfConfig {
@@ -142,7 +193,7 @@ mod tests {
     #[test]
     fn local_round_produces_upload_from_trained_pool() {
         let mut c = client(ModelKind::NeuMf);
-        let (upload, loss) = c.local_round(&cfg(), &mut test_rng(2));
+        let (upload, loss) = c.local_round(&cfg(), &mut RoundScratch::default(), &mut test_rng(2));
         assert_eq!(upload.client, 7);
         assert!(!upload.is_empty());
         assert!(loss.is_finite() && loss > 0.0);
@@ -160,10 +211,11 @@ mod tests {
         config.client_epochs = 15;
         config.defense = DefenseKind::NoDefense;
         let mut rng = test_rng(3);
-        let (_, first_loss) = c.local_round(&config, &mut rng);
+        let mut scratch = RoundScratch::default();
+        let (_, first_loss) = c.local_round(&config, &mut scratch, &mut rng);
         let mut last_loss = first_loss;
         for _ in 0..4 {
-            let (_, l) = c.local_round(&config, &mut rng);
+            let (_, l) = c.local_round(&config, &mut scratch, &mut rng);
             last_loss = l;
         }
         assert!(last_loss < first_loss, "client loss did not improve: {first_loss} → {last_loss}");
@@ -183,8 +235,9 @@ mod tests {
         // teach the client that item 33 is great via D̃ only
         c.receive_disperse(vec![(33, 0.95)]);
         let mut rng = test_rng(4);
+        let mut scratch = RoundScratch::default();
         for _ in 0..4 {
-            let _ = c.local_round(&config, &mut rng);
+            let _ = c.local_round(&config, &mut scratch, &mut rng);
         }
         let taught = c.score(&[33])[0];
         // compare against an item the client never saw anywhere
@@ -196,7 +249,7 @@ mod tests {
     #[test]
     fn graph_client_builds_ego_graph() {
         let mut c = client(ModelKind::LightGcn);
-        let (upload, loss) = c.local_round(&cfg(), &mut test_rng(5));
+        let (upload, loss) = c.local_round(&cfg(), &mut RoundScratch::default(), &mut test_rng(5));
         assert!(loss.is_finite());
         assert!(!upload.is_empty());
     }

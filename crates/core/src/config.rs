@@ -128,6 +128,12 @@ pub struct PtfConfig {
     /// thread). Runs are bit-identical at any value — see
     /// `ptf_federated::scheduler`.
     pub threads: usize,
+    /// Reuse per-worker scratch buffers across rounds (the production
+    /// mode; steady-state rounds allocate nothing on the client path).
+    /// `false` checks out fresh buffers for every client task — a debug
+    /// mode that must produce bit-identical runs, which the determinism
+    /// suite asserts.
+    pub scratch_reuse: bool,
 }
 
 impl PtfConfig {
@@ -150,6 +156,7 @@ impl PtfConfig {
             graph_threshold: 0.5,
             seed: 17,
             threads: 0,
+            scratch_reuse: true,
         }
     }
 

@@ -22,6 +22,7 @@ use ptf_comm::Payload;
 use ptf_data::Dataset;
 use ptf_federated::{
     partition_clients, round_rng, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler,
+    ScratchPool,
 };
 use ptf_metrics::RankingReport;
 use ptf_models::{evaluate_model_with_threads, ModelHyper, ModelKind, Recommender};
@@ -35,9 +36,16 @@ pub struct PtfFedRec {
     trainable: Vec<u32>,
     server: PtfServer,
     scheduler: Scheduler,
+    /// Per-worker reusable client-phase buffers (see
+    /// [`ptf_federated::RoundScratch`]).
+    scratch: ScratchPool,
     round: u32,
     /// Uploads of the most recent round (kept for privacy auditing).
     last_uploads: Vec<ClientUpload>,
+    /// Heap allocations performed *inside* the most recent round's
+    /// parallel client phase (0 unless the `ptf_tensor::alloc` shim is
+    /// installed; 0 in steady state with an allocation-free client model).
+    last_client_allocs: u64,
 }
 
 impl PtfFedRec {
@@ -57,16 +65,27 @@ impl PtfFedRec {
         cfg.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let partitions = partition_clients(train);
-        let clients: Vec<PtfClient> = partitions
-            .iter()
-            .map(|p| PtfClient::new(p, client_kind, hyper, train.num_items(), &mut rng))
-            .collect();
         let trainable: Vec<u32> =
             partitions.iter().filter(|p| p.is_trainable()).map(|p| p.id).collect();
+        let clients: Vec<PtfClient> = partitions
+            .into_iter()
+            .map(|p| PtfClient::new(p, client_kind, hyper, train.num_items(), &mut rng))
+            .collect();
         let server =
             PtfServer::new(train.num_users(), train.num_items(), server_kind, hyper, &mut rng);
         let scheduler = Scheduler::new(cfg.threads);
-        Ok(Self { cfg, clients, trainable, server, scheduler, round: 0, last_uploads: Vec::new() })
+        let scratch = ScratchPool::with_reuse(cfg.scratch_reuse);
+        Ok(Self {
+            cfg,
+            clients,
+            trainable,
+            server,
+            scheduler,
+            scratch,
+            round: 0,
+            last_uploads: Vec::new(),
+            last_client_allocs: 0,
+        })
     }
 
     pub fn server(&self) -> &PtfServer {
@@ -80,6 +99,15 @@ impl PtfFedRec {
     /// The uploads of the most recent round (for privacy audits).
     pub fn last_uploads(&self) -> &[ClientUpload] {
         &self.last_uploads
+    }
+
+    /// Heap allocations inside the most recent round's parallel client
+    /// phase. Always 0 unless the binary installed the
+    /// `ptf_tensor::alloc::CountingAlloc` shim; with the shim and an
+    /// allocation-free client model (MF), steady-state rounds report 0 —
+    /// the release-mode hot-path test asserts exactly that.
+    pub fn last_round_client_allocs(&self) -> u64 {
+        self.last_client_allocs
     }
 
     pub fn rounds_completed(&self) -> u32 {
@@ -125,18 +153,30 @@ impl FederatedProtocol for PtfFedRec {
     /// map/reduce (see the module docs).
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
         let (seed, round) = (self.cfg.seed, self.round);
+        // hand the previous round's upload buffers back to their owners so
+        // steady-state upload staging reuses per-client capacity
+        for upload in self.last_uploads.drain(..) {
+            let owner = upload.client as usize;
+            self.clients[owner].recycle_upload(upload);
+        }
         let mut part_rng = round_rng(seed, round, RngStream::Participation);
         let participants = self.cfg.participation.sample(&self.trainable, &mut part_rng);
         ctx.begin(&participants);
 
         // lines 5–8, parallel phase: local training + upload construction
-        // on one derived RNG stream per client
+        // on one derived RNG stream per client, all transient state in
+        // per-worker scratch buffers; the allocation counter brackets
+        // exactly the client-path work (thread-local, so parallel workers
+        // count independently)
         let cfg = &self.cfg;
         let mut refs = participant_refs(&mut self.clients, &participants);
-        let results: Vec<(ClientUpload, f32)> =
-            self.scheduler.map_clients(&mut refs, |_, client| {
+        let results: Vec<(ClientUpload, f32, u64)> =
+            self.scheduler.map_clients_with(&self.scratch, &mut refs, |scratch, _, client| {
                 let mut rng = round_rng(seed, round, RngStream::Client(client.id));
-                client.local_round(cfg, &mut rng)
+                let allocs_before = ptf_tensor::alloc::thread_allocs();
+                let (upload, loss) = client.local_round(cfg, scratch, &mut rng);
+                let allocs = ptf_tensor::alloc::thread_allocs() - allocs_before;
+                (upload, loss, allocs)
             });
         drop(refs);
 
@@ -144,8 +184,10 @@ impl FederatedProtocol for PtfFedRec {
         // participant order
         let mut uploads: Vec<ClientUpload> = Vec::with_capacity(results.len());
         let mut losses: Vec<f32> = Vec::with_capacity(results.len());
-        for (upload, loss) in results {
+        self.last_client_allocs = 0;
+        for (upload, loss, allocs) in results {
             losses.push(loss);
+            self.last_client_allocs += allocs;
             ctx.upload(
                 upload.client,
                 "client-predictions",
@@ -307,6 +349,26 @@ mod tests {
             fed.evaluate(&split.train, &split.test, 5).metrics.ndcg
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_participation_rounds_are_counted_and_harmless() {
+        // a participation policy that samples nobody must neither crash
+        // the round loop nor vanish from the ledger's round count
+        let split = tiny_split();
+        let mut cfg = quick_cfg();
+        cfg.rounds = 3;
+        cfg.participation = ptf_federated::Participation { fraction: 0.0, min_clients: 0 };
+        let mut fed = quick_engine(&split.train, ModelKind::NeuMf, ModelKind::NeuMf, cfg);
+        let trace = fed.run();
+        assert_eq!(trace.num_rounds(), 3);
+        for r in &trace.rounds {
+            assert_eq!(r.participants, 0);
+            assert_eq!(r.bytes, 0);
+        }
+        let s = fed.ledger().summary();
+        assert_eq!(s.rounds, 3, "empty rounds must still count");
+        assert_eq!(s.total_bytes, 0);
     }
 
     #[test]

@@ -33,46 +33,82 @@ impl ClientUpload {
 /// for this round's trained positives/negatives.
 pub fn build_upload(
     client: u32,
-    pos: Vec<ScoredItem>,
-    neg: Vec<ScoredItem>,
+    mut pos: Vec<ScoredItem>,
+    mut neg: Vec<ScoredItem>,
     defense: DefenseKind,
     sampling: &SamplingConfig,
     lambda: f64,
     rng: &mut impl Rng,
 ) -> ClientUpload {
-    let (mut sel_pos, mut sel_neg) = match defense {
-        DefenseKind::NoDefense | DefenseKind::Ldp { .. } => (pos, neg),
-        DefenseKind::Sampling | DefenseKind::SamplingSwapping => {
-            let s = sample_upload(pos.len(), neg.len(), sampling, rng);
-            let sel_pos: Vec<ScoredItem> = s.positives.iter().map(|&i| pos[i]).collect();
-            let sel_neg: Vec<ScoredItem> = s.negatives.iter().map(|&i| neg[i]).collect();
-            (sel_pos, sel_neg)
-        }
-    };
+    build_upload_into(
+        client,
+        &mut pos,
+        &mut neg,
+        defense,
+        sampling,
+        lambda,
+        rng,
+        Vec::new(),
+        Vec::new(),
+    )
+}
+
+/// [`build_upload`] staging through caller-owned buffers.
+///
+/// `pos`/`neg` are mutated in place (defenses select/perturb them);
+/// `predictions`/`audit` become the returned upload's backing storage —
+/// pass the buffers recycled from this client's *previous* upload and a
+/// steady-state `NoDefense`/LDP round performs zero heap allocations here
+/// (the sampling defenses draw index vectors internally and stay
+/// allocating; they are sized by the defense, not the hot path).
+#[allow(clippy::too_many_arguments)]
+pub fn build_upload_into(
+    client: u32,
+    pos: &mut Vec<ScoredItem>,
+    neg: &mut Vec<ScoredItem>,
+    defense: DefenseKind,
+    sampling: &SamplingConfig,
+    lambda: f64,
+    rng: &mut impl Rng,
+    mut predictions: Vec<ScoredItem>,
+    mut audit: Vec<u32>,
+) -> ClientUpload {
+    predictions.clear();
+    audit.clear();
+
+    if matches!(defense, DefenseKind::Sampling | DefenseKind::SamplingSwapping) {
+        let s = sample_upload(pos.len(), neg.len(), sampling, rng);
+        let sel_pos: Vec<ScoredItem> = s.positives.iter().map(|&i| pos[i]).collect();
+        let sel_neg: Vec<ScoredItem> = s.negatives.iter().map(|&i| neg[i]).collect();
+        pos.clear();
+        pos.extend_from_slice(&sel_pos);
+        neg.clear();
+        neg.extend_from_slice(&sel_neg);
+    }
 
     match defense {
         DefenseKind::SamplingSwapping => {
-            swap_scores(&mut sel_pos, &mut sel_neg, lambda, rng);
+            swap_scores(pos, neg, lambda, rng);
         }
         DefenseKind::Ldp { epsilon } => {
             let ldp = Ldp::new(epsilon);
-            ldp.perturb(&mut sel_pos, rng);
-            ldp.perturb(&mut sel_neg, rng);
+            ldp.perturb(pos, rng);
+            ldp.perturb(neg, rng);
         }
         _ => {}
     }
 
-    let mut audit_positives: Vec<u32> = sel_pos.iter().map(|&(i, _)| i).collect();
-    audit_positives.sort_unstable();
+    audit.extend(pos.iter().map(|&(i, _)| i));
+    audit.sort_unstable();
 
-    let mut predictions = sel_pos;
-    predictions.append(&mut sel_neg);
+    predictions.extend_from_slice(pos);
+    predictions.extend_from_slice(neg);
     // shuffle so position in the message does not leak the label
     for i in (1..predictions.len()).rev() {
         let j = rng.gen_range(0..=i);
         predictions.swap(i, j);
     }
-    ClientUpload { client, predictions, audit_positives }
+    ClientUpload { client, predictions, audit_positives: audit }
 }
 
 #[cfg(test)]

@@ -1,4 +1,16 @@
 //! The core implicit-feedback dataset type.
+//!
+//! # Memory layout
+//!
+//! [`Dataset`] stores the interaction matrix in **CSR form**: one
+//! `indptr` array of `num_users + 1` offsets and one flat, per-user
+//! sorted `indices` array of item ids. Compared to the previous
+//! `Vec<Vec<u32>>` (one heap allocation and one 24-byte header per
+//! user), the CSR layout is two allocations total, keeps every profile
+//! contiguous in cache, and makes [`Dataset::user_items`] a zero-copy
+//! slice view into the shared arena — at Gowalla scale (8,392 users ×
+//! 391k interactions) that removes ~8k allocations and all pointer
+//! chasing from every consumer loop.
 
 /// User identifier. In a federated recommender each user *is* a client, so
 /// the same id addresses both the data partition and the client.
@@ -6,16 +18,76 @@ pub type UserId = u32;
 
 /// An implicit-feedback dataset: for every user, the sorted set of item ids
 /// the user interacted with (`r_{ij} = 1` in the paper's notation; absent
-/// pairs are candidate negatives).
+/// pairs are candidate negatives), stored in CSR layout.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Dataset {
     name: String,
     num_items: usize,
-    /// `by_user[u]` = sorted, deduplicated item ids of user `u`.
-    by_user: Vec<Vec<u32>>,
+    /// CSR row offsets: user `u`'s items live at
+    /// `indices[indptr[u] as usize..indptr[u + 1] as usize]`.
+    indptr: Vec<u32>,
+    /// Flat item-id arena; each per-user segment is sorted + deduplicated.
+    indices: Vec<u32>,
+}
+
+/// Incremental CSR construction: push one user's (sorted, deduplicated)
+/// profile at a time. Used by the split/synthetic pipelines so a derived
+/// dataset is assembled straight into its final arena — no intermediate
+/// `Vec<Vec<u32>>`.
+pub struct DatasetBuilder {
+    name: String,
+    num_items: usize,
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+}
+
+impl DatasetBuilder {
+    /// Appends the next user's items. `items` must be sorted ascending and
+    /// duplicate-free; out-of-range ids panic.
+    pub fn push_user(&mut self, items: &[u32]) {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must be sorted and unique");
+        if let Some(&max) = items.last() {
+            assert!(
+                (max as usize) < self.num_items,
+                "item id {max} out of range ({} items)",
+                self.num_items
+            );
+        }
+        self.indices.extend_from_slice(items);
+        assert!(self.indices.len() <= u32::MAX as usize, "interaction count overflows u32 CSR");
+        self.indptr.push(self.indices.len() as u32);
+    }
+
+    /// Finishes the CSR arena into a [`Dataset`].
+    pub fn finish(self) -> Dataset {
+        Dataset {
+            name: self.name,
+            num_items: self.num_items,
+            indptr: self.indptr,
+            indices: self.indices,
+        }
+    }
 }
 
 impl Dataset {
+    /// Starts an incremental CSR build (`interactions_hint` pre-sizes the
+    /// arena; pass 0 when unknown).
+    pub fn builder(
+        name: impl Into<String>,
+        num_items: usize,
+        num_users_hint: usize,
+        interactions_hint: usize,
+    ) -> DatasetBuilder {
+        let mut indptr = Vec::with_capacity(num_users_hint + 1);
+        indptr.push(0);
+        DatasetBuilder {
+            name: name.into(),
+            num_items,
+            indptr,
+            indices: Vec::with_capacity(interactions_hint),
+        }
+    }
+
     /// Builds a dataset from per-user item lists. Lists are sorted and
     /// deduplicated; out-of-range item ids panic.
     pub fn from_user_items(
@@ -23,32 +95,75 @@ impl Dataset {
         num_items: usize,
         mut by_user: Vec<Vec<u32>>,
     ) -> Self {
+        let total: usize = by_user.iter().map(Vec::len).sum();
+        let mut b = Self::builder(name, num_items, by_user.len(), total);
         for items in &mut by_user {
             items.sort_unstable();
             items.dedup();
-            if let Some(&max) = items.last() {
-                assert!(
-                    (max as usize) < num_items,
-                    "item id {max} out of range ({num_items} items)"
-                );
-            }
+            b.push_user(items);
         }
-        Self { name: name.into(), num_items, by_user }
+        b.finish()
     }
 
-    /// Builds a dataset from `(user, item)` pairs.
+    /// Builds a dataset from `(user, item)` pairs via a counting sort into
+    /// the CSR arena (single pass + per-segment sort, no per-user vectors).
     pub fn from_pairs(
         name: impl Into<String>,
         num_users: usize,
         num_items: usize,
         pairs: impl IntoIterator<Item = (u32, u32)>,
     ) -> Self {
-        let mut by_user = vec![Vec::new(); num_users];
-        for (u, i) in pairs {
-            assert!((u as usize) < num_users, "user id {u} out of range ({num_users} users)");
-            by_user[u as usize].push(i);
+        // counting sort: per-user counts → offsets → scatter
+        let mut counts = vec![0u32; num_users];
+        let pairs: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .inspect(|&(u, _)| {
+                assert!((u as usize) < num_users, "user id {u} out of range ({num_users} users)");
+            })
+            .collect();
+        assert!(pairs.len() <= u32::MAX as usize, "interaction count overflows u32 CSR");
+        for &(u, _) in &pairs {
+            counts[u as usize] += 1;
         }
-        Self::from_user_items(name, num_items, by_user)
+        let mut indptr = Vec::with_capacity(num_users + 1);
+        indptr.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            indptr.push(acc);
+        }
+        let mut indices = vec![0u32; pairs.len()];
+        // scatter using a moving cursor per user
+        let mut cursor: Vec<u32> = indptr[..num_users].to_vec();
+        for &(u, i) in &pairs {
+            let c = &mut cursor[u as usize];
+            indices[*c as usize] = i;
+            *c += 1;
+        }
+        drop(pairs);
+        // sort + dedup each segment, compacting the arena in place
+        let mut write = 0usize;
+        let mut new_indptr = Vec::with_capacity(num_users + 1);
+        new_indptr.push(0u32);
+        for u in 0..num_users {
+            let (start, end) = (indptr[u] as usize, indptr[u + 1] as usize);
+            indices[start..end].sort_unstable();
+            let mut prev = None;
+            for k in start..end {
+                let v = indices[k];
+                if Some(v) != prev {
+                    indices[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            new_indptr.push(write as u32);
+        }
+        indices.truncate(write);
+        if let Some(&max) = indices.iter().max() {
+            assert!((max as usize) < num_items, "item id {max} out of range ({num_items} items)");
+        }
+        Self { name: name.into(), num_items, indptr: new_indptr, indices }
     }
 
     pub fn name(&self) -> &str {
@@ -56,49 +171,54 @@ impl Dataset {
     }
 
     pub fn num_users(&self) -> usize {
-        self.by_user.len()
+        self.indptr.len() - 1
     }
 
     pub fn num_items(&self) -> usize {
         self.num_items
     }
 
-    /// Total number of stored interactions.
+    /// Total number of stored interactions (O(1) under CSR).
     pub fn num_interactions(&self) -> usize {
-        self.by_user.iter().map(Vec::len).sum()
+        self.indices.len()
     }
 
-    /// The sorted items of user `u`.
+    /// The sorted items of user `u` — a zero-copy view into the CSR arena.
     pub fn user_items(&self, u: UserId) -> &[u32] {
-        &self.by_user[u as usize]
+        let u = u as usize;
+        &self.indices[self.indptr[u] as usize..self.indptr[u + 1] as usize]
+    }
+
+    /// The raw CSR row offsets (`num_users + 1` entries).
+    pub fn indptr(&self) -> &[u32] {
+        &self.indptr
+    }
+
+    /// The raw flat item-id arena (sorted within each user segment).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
     }
 
     /// True if `(u, i)` is a stored interaction.
     pub fn contains(&self, u: UserId, i: u32) -> bool {
-        self.by_user[u as usize].binary_search(&i).is_ok()
+        self.user_items(u).binary_search(&i).is_ok()
     }
 
     /// Iterates all `(user, item)` pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.by_user
-            .iter()
-            .enumerate()
-            .flat_map(|(u, items)| items.iter().map(move |&i| (u as u32, i)))
+        (0..self.num_users())
+            .flat_map(move |u| self.user_items(u as u32).iter().map(move |&i| (u as u32, i)))
     }
 
     /// Users with at least one interaction.
     pub fn active_users(&self) -> impl Iterator<Item = UserId> + '_ {
-        self.by_user
-            .iter()
-            .enumerate()
-            .filter(|(_, items)| !items.is_empty())
-            .map(|(u, _)| u as u32)
+        self.indptr.windows(2).enumerate().filter(|(_, w)| w[0] < w[1]).map(|(u, _)| u as u32)
     }
 
     /// Per-item interaction counts (item popularity).
     pub fn item_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_items];
-        for (_, i) in self.pairs() {
+        for &i in &self.indices {
             counts[i as usize] += 1;
         }
         counts
@@ -169,10 +289,31 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_is_flat_and_indexed() {
+        let d = tiny();
+        assert_eq!(d.indptr(), &[0, 2, 3, 5]);
+        assert_eq!(d.indices(), &[1, 3, 0, 0, 4]);
+        // slice views alias the arena (zero-copy)
+        let arena = d.indices().as_ptr();
+        assert_eq!(d.user_items(1).as_ptr(), unsafe { arena.add(2) });
+    }
+
+    #[test]
     fn active_users_skips_empty() {
         let d = Dataset::from_user_items("d", 3, vec![vec![0], vec![], vec![2]]);
         let active: Vec<_> = d.active_users().collect();
         assert_eq!(active, vec![0, 2]);
+    }
+
+    #[test]
+    fn builder_matches_from_user_items() {
+        let by_user = vec![vec![1, 3], vec![], vec![0, 4]];
+        let via_lists = Dataset::from_user_items("b", 5, by_user.clone());
+        let mut b = Dataset::builder("b", 5, by_user.len(), 4);
+        for items in &by_user {
+            b.push_user(items);
+        }
+        assert_eq!(b.finish(), via_lists);
     }
 
     #[test]
@@ -189,7 +330,9 @@ mod tests {
 }
 
 /// Wire form for (de)serialization; [`Dataset`] invariants (sorted,
-/// deduplicated, in-range) are re-established on load.
+/// deduplicated, in-range) are re-established on load. The on-disk format
+/// is unchanged from the pre-CSR representation (`by_user` lists), so
+/// exports written by older builds keep loading.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct DatasetWire {
     name: String,
@@ -202,7 +345,7 @@ impl serde::Serialize for Dataset {
         DatasetWire {
             name: self.name.clone(),
             num_items: self.num_items,
-            by_user: self.by_user.clone(),
+            by_user: (0..self.num_users()).map(|u| self.user_items(u as u32).to_vec()).collect(),
         }
         .serialize(serializer)
     }

@@ -25,7 +25,7 @@ pub mod split;
 pub mod stats;
 pub mod synthetic;
 
-pub use dataset::{Dataset, UserId};
+pub use dataset::{Dataset, DatasetBuilder, UserId};
 pub use presets::{DatasetPreset, Scale};
 pub use split::{ThreeWaySplit, TrainTestSplit};
 pub use stats::DatasetStats;

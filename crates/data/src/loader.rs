@@ -47,9 +47,14 @@ struct Reindexer {
 }
 
 impl Reindexer {
+    /// Resolves a raw id, allocating only on first appearance.
     fn resolve(&mut self, raw: &str) -> u32 {
-        let next = self.map.len() as u32;
-        *self.map.entry(raw.to_string()).or_insert(next)
+        if let Some(&id) = self.map.get(raw) {
+            return id;
+        }
+        let id = self.map.len() as u32;
+        self.map.insert(raw.to_string(), id);
+        id
     }
 
     fn len(&self) -> usize {
@@ -57,20 +62,24 @@ impl Reindexer {
     }
 }
 
-fn build(name: &str, rows: Vec<(String, String)>) -> Result<Dataset, ParseError> {
-    if rows.is_empty() {
+fn build(
+    name: &str,
+    pairs: Vec<(u32, u32)>,
+    users: usize,
+    items: usize,
+) -> Result<Dataset, ParseError> {
+    if pairs.is_empty() {
         return Err(ParseError::Empty);
     }
-    let mut users = Reindexer::default();
-    let mut items = Reindexer::default();
-    let pairs: Vec<(u32, u32)> =
-        rows.iter().map(|(u, i)| (users.resolve(u), items.resolve(i))).collect();
-    Ok(Dataset::from_pairs(name, users.len(), items.len(), pairs))
+    // the counting-sort CSR constructor assembles the arena in one pass
+    Ok(Dataset::from_pairs(name, users, items, pairs))
 }
 
 /// Parses MovieLens-100K `u.data` content (`user \t item \t rating \t ts`).
 pub fn parse_movielens_100k(name: &str, content: &str) -> Result<Dataset, ParseError> {
-    let mut rows = Vec::new();
+    let mut users = Reindexer::default();
+    let mut items = Reindexer::default();
+    let mut pairs = Vec::with_capacity(content.lines().size_hint().0);
     for (lineno, line) in content.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -84,15 +93,17 @@ pub fn parse_movielens_100k(name: &str, content: &str) -> Result<Dataset, ParseE
                 return Err(ParseError::BadField { line: lineno + 1, field: field.to_string() });
             }
         }
-        rows.push((user.to_string(), item.to_string()));
+        pairs.push((users.resolve(user), items.resolve(item)));
     }
-    build(name, rows)
+    build(name, pairs, users.len(), items.len())
 }
 
 /// Parses `user,item[,...]` CSV content; a non-numeric first row is treated
 /// as a header and skipped.
 pub fn parse_pairs_csv(name: &str, content: &str) -> Result<Dataset, ParseError> {
-    let mut rows = Vec::new();
+    let mut users = Reindexer::default();
+    let mut items = Reindexer::default();
+    let mut pairs = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -107,9 +118,9 @@ pub fn parse_pairs_csv(name: &str, content: &str) -> Result<Dataset, ParseError>
         if user.is_empty() || item.is_empty() {
             return Err(ParseError::MissingColumn { line: lineno + 1 });
         }
-        rows.push((user.to_string(), item.to_string()));
+        pairs.push((users.resolve(user), items.resolve(item)));
     }
-    build(name, rows)
+    build(name, pairs, users.len(), items.len())
 }
 
 #[cfg(test)]

@@ -19,7 +19,27 @@ pub fn sample_negatives(
     count: usize,
     rng: &mut impl Rng,
 ) -> Vec<u32> {
+    let mut out = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::new();
+    sample_negatives_into(sorted_positives, num_items, count, rng, &mut out, &mut seen);
+    out
+}
+
+/// [`sample_negatives`] into caller-owned buffers: `out` receives the
+/// sampled negatives, `seen` is rejection-sampling workspace. Both are
+/// cleared on entry and keep their capacity, so a steady-state caller
+/// (one buffer pair per scheduler worker) allocates nothing. Draw-for-draw
+/// identical to [`sample_negatives`].
+pub fn sample_negatives_into(
+    sorted_positives: &[u32],
+    num_items: usize,
+    count: usize,
+    rng: &mut impl Rng,
+    out: &mut Vec<u32>,
+    seen: &mut std::collections::HashSet<u32>,
+) {
     debug_assert!(sorted_positives.windows(2).all(|w| w[0] < w[1]), "positives must be sorted");
+    out.clear();
     let available = num_items - sorted_positives.len();
     assert!(
         count == 0 || available > 0,
@@ -29,24 +49,21 @@ pub fn sample_negatives(
     // dense candidate pool when the request covers most of the complement,
     // rejection sampling otherwise
     if count * 3 >= available {
-        let mut pool: Vec<u32> =
-            (0..num_items as u32).filter(|c| sorted_positives.binary_search(c).is_err()).collect();
+        out.extend((0..num_items as u32).filter(|c| sorted_positives.binary_search(c).is_err()));
         for i in 0..count {
-            let j = rng.gen_range(i..pool.len());
-            pool.swap(i, j);
+            let j = rng.gen_range(i..out.len());
+            out.swap(i, j);
         }
-        pool.truncate(count);
-        return pool;
+        out.truncate(count);
+        return;
     }
-    let mut seen = std::collections::HashSet::with_capacity(count * 2);
-    let mut out = Vec::with_capacity(count);
+    seen.clear();
     while out.len() < count {
         let candidate = rng.gen_range(0..num_items as u32);
         if sorted_positives.binary_search(&candidate).is_err() && seen.insert(candidate) {
             out.push(candidate);
         }
     }
-    out
 }
 
 /// The labelled training pool of one client for one epoch: all positives

@@ -17,40 +17,46 @@ pub struct TrainTestSplit {
 
 impl TrainTestSplit {
     /// Splits each user's interactions, sending `test_fraction` of them
-    /// (rounded down, but at most `len − 1`) to the test set.
+    /// (rounded to nearest, but at most `len − 1`) to the test set.
+    ///
+    /// Rounding to nearest (instead of truncating) lets short profiles
+    /// contribute to the evaluation: under the paper's 8:2 ratio a user
+    /// with 3–4 interactions donates one test item rather than zero, so
+    /// the test set is no longer biased toward heavy users.
+    ///
+    /// Both sides are assembled directly into CSR arenas — one scratch
+    /// buffer for the per-user shuffle, no per-user heap lists.
     pub fn split(dataset: &Dataset, test_fraction: f64, rng: &mut impl Rng) -> Self {
         assert!(
             (0.0..1.0).contains(&test_fraction),
             "test_fraction must be in [0, 1), got {test_fraction}"
         );
-        let mut train_by_user = Vec::with_capacity(dataset.num_users());
-        let mut test_by_user = Vec::with_capacity(dataset.num_users());
-        for u in 0..dataset.num_users() {
-            let mut items: Vec<u32> = dataset.user_items(u as u32).to_vec();
+        let name = dataset.name().to_string();
+        let total = dataset.num_interactions();
+        let users = dataset.num_users();
+        let est_test = (total as f64 * test_fraction).ceil() as usize + users;
+        let mut train_b =
+            Dataset::builder(format!("{name}/train"), dataset.num_items(), users, total);
+        let mut test_b =
+            Dataset::builder(format!("{name}/test"), dataset.num_items(), users, est_test);
+        let mut items: Vec<u32> = Vec::new();
+        for u in 0..users {
+            items.clear();
+            items.extend_from_slice(dataset.user_items(u as u32));
             // Fisher–Yates
             for i in (1..items.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 items.swap(i, j);
             }
-            let n_test =
-                ((items.len() as f64 * test_fraction) as usize).min(items.len().saturating_sub(1));
-            let test_items = items.split_off(items.len() - n_test);
-            train_by_user.push(items);
-            test_by_user.push(test_items);
+            let n_test = ((items.len() as f64 * test_fraction).round() as usize)
+                .min(items.len().saturating_sub(1));
+            let cut = items.len() - n_test;
+            items[..cut].sort_unstable();
+            items[cut..].sort_unstable();
+            train_b.push_user(&items[..cut]);
+            test_b.push_user(&items[cut..]);
         }
-        let name = dataset.name().to_string();
-        Self {
-            train: Dataset::from_user_items(
-                format!("{name}/train"),
-                dataset.num_items(),
-                train_by_user,
-            ),
-            test: Dataset::from_user_items(
-                format!("{name}/test"),
-                dataset.num_items(),
-                test_by_user,
-            ),
-        }
+        Self { train: train_b.finish(), test: test_b.finish() }
     }
 
     /// The paper's 8:2 split.
@@ -118,6 +124,18 @@ mod tests {
         let s = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(2));
         assert_eq!(s.test.user_items(0).len(), 4); // 20% of 20
         assert_eq!(s.test.user_items(3).len(), 2); // 20% of 10
+    }
+
+    #[test]
+    fn short_profiles_contribute_to_test() {
+        // regression: truncation sent nothing from 3–4-item users at 8:2,
+        // biasing evaluation toward heavy users; round-to-nearest fixes it
+        let d = Dataset::from_user_items("d", 10, vec![(0..3).collect(), (0..4).collect()]);
+        let s = TrainTestSplit::split_80_20(&d, &mut crate::test_rng(9));
+        assert_eq!(s.test.user_items(0).len(), 1); // round(3 × 0.2) = 1
+        assert_eq!(s.test.user_items(1).len(), 1); // round(4 × 0.2) = 1
+        assert_eq!(s.train.user_items(0).len(), 2);
+        assert_eq!(s.train.user_items(1).len(), 3);
     }
 
     #[test]

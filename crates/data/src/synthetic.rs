@@ -86,7 +86,12 @@ impl SyntheticConfig {
         let lens = self.profile_lengths(rng);
 
         let inv_sqrt_d = 1.0 / (d as f64).sqrt();
-        let mut by_user: Vec<Vec<u32>> = Vec::with_capacity(self.num_users);
+        // assemble straight into the CSR arena: one reusable keyed buffer,
+        // one reusable sorted-profile buffer, no per-user heap lists
+        let total_hint: usize = lens.iter().sum();
+        let mut builder =
+            Dataset::builder(self.name.clone(), self.num_items, self.num_users, total_hint);
+        let mut items: Vec<u32> = Vec::with_capacity(self.num_items);
         let mut keyed: Vec<(f64, u32)> = Vec::with_capacity(self.num_items);
         for &len in &lens {
             let user_latent: Vec<f64> = (0..d).map(|_| normal.sample(rng)).collect();
@@ -107,11 +112,12 @@ impl SyntheticConfig {
             keyed.select_nth_unstable_by(take.saturating_sub(1), |a, b| {
                 a.0.partial_cmp(&b.0).expect("finite keys")
             });
-            let mut items: Vec<u32> = keyed[..take].iter().map(|&(_, j)| j).collect();
+            items.clear();
+            items.extend(keyed[..take].iter().map(|&(_, j)| j));
             items.sort_unstable();
-            by_user.push(items);
+            builder.push_user(&items);
         }
-        Dataset::from_user_items(self.name.clone(), self.num_items, by_user)
+        builder.finish()
     }
 
     /// Draws per-user profile lengths summing approximately to the target.

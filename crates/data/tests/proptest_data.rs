@@ -51,6 +51,47 @@ proptest! {
     }
 
     #[test]
+    fn csr_matches_reference_representation(
+        by_user in proptest::collection::vec(proptest::collection::vec(0u32..30, 0..20), 0..12),
+    ) {
+        // reference model: the old Vec<Vec<u32>> semantics
+        let mut reference: Vec<Vec<u32>> = by_user.clone();
+        for items in &mut reference {
+            items.sort_unstable();
+            items.dedup();
+        }
+        let total: usize = reference.iter().map(Vec::len).sum();
+
+        // from_user_items
+        let d = Dataset::from_user_items("csr", 30, by_user.clone());
+        prop_assert_eq!(d.num_users(), reference.len());
+        prop_assert_eq!(d.num_interactions(), total);
+        for (u, expected) in reference.iter().enumerate() {
+            prop_assert_eq!(d.user_items(u as u32), expected.as_slice());
+        }
+        // CSR structural invariants
+        prop_assert_eq!(d.indptr().len(), d.num_users() + 1);
+        prop_assert_eq!(*d.indptr().last().unwrap() as usize, d.indices().len());
+        prop_assert!(d.indptr().windows(2).all(|w| w[0] <= w[1]));
+
+        // from_pairs over the same interactions lands on the identical CSR
+        let pairs: Vec<(u32, u32)> = by_user
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&i| (u as u32, i)))
+            .collect();
+        let via_pairs = Dataset::from_pairs("csr", reference.len(), 30, pairs);
+        prop_assert_eq!(&via_pairs, &d);
+
+        // stats agree with the reference
+        let avg = if reference.is_empty() { 0.0 } else { total as f64 / reference.len() as f64 };
+        prop_assert!((d.avg_profile_len() - avg).abs() < 1e-12);
+
+        // serde round-trip preserves the layout exactly
+        prop_assert_eq!(Dataset::from_json(&d.to_json()).unwrap(), d);
+    }
+
+    #[test]
     fn negatives_disjoint_from_positives(
         positives in proptest::collection::btree_set(0u32..50, 0..30),
         count in 0usize..60,

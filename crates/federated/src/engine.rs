@@ -409,6 +409,45 @@ mod tests {
     }
 
     #[test]
+    fn ledger_counts_message_free_trailing_rounds() {
+        // regression: a protocol whose trailing rounds sample nobody (and
+        // so send nothing) must still advance the ledger's round count —
+        // it used to be derived from message tags alone, inflating
+        // per-round traffic averages
+        struct QuietTail {
+            done: u32,
+            model: ConstModel,
+        }
+        impl FederatedProtocol for QuietTail {
+            fn name(&self) -> &'static str {
+                "QuietTail"
+            }
+            fn configured_rounds(&self) -> u32 {
+                4
+            }
+            fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+                if self.done == 0 {
+                    ctx.begin(&[0]);
+                    ctx.upload(0, "up", Payload::Triples { count: 1 });
+                } else {
+                    ctx.begin(&[]); // zero sampled participants
+                }
+                let trace = RoundTrace::new(self.done, &[], 0.0, ctx.bytes());
+                self.done += 1;
+                trace
+            }
+            fn recommender(&self) -> &dyn Recommender {
+                &self.model
+            }
+        }
+        let mut engine = Engine::new(QuietTail { done: 0, model: ConstModel { score: 0.5 } });
+        engine.run();
+        let s = engine.ledger().summary();
+        assert_eq!(s.rounds, 4, "message-free rounds must count");
+        assert_eq!(s.messages, 1);
+    }
+
+    #[test]
     fn manual_rounds_then_run_completes_the_budget() {
         let mut engine = Engine::new(mock(5, 5));
         engine.run_round();

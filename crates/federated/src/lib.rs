@@ -26,5 +26,5 @@ pub use client::{partition_clients, ClientData};
 pub use engine::{ConvergedRun, Engine, FederatedProtocol, RoundCtx};
 pub use observer::{RoundObserver, TraceRecorder};
 pub use sampler::Participation;
-pub use scheduler::{derive_seed, round_rng, RngStream, Scheduler};
+pub use scheduler::{derive_seed, round_rng, RngStream, RoundScratch, Scheduler, ScratchPool};
 pub use sim::{RoundTrace, RunTrace};

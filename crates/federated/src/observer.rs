@@ -33,8 +33,14 @@ pub trait RoundObserver {
 
 /// The communication ledger *is* an observer: it records every message it
 /// sees, exactly as protocols used to record into a privately-owned
-/// ledger. [`crate::Engine`] wires one in by default.
+/// ledger, and counts rounds authoritatively from the engine's
+/// round-start notification — so a round with an empty participant set
+/// (no messages) still counts. [`crate::Engine`] wires one in by default.
 impl RoundObserver for CommLedger {
+    fn on_round_start(&mut self, round: u32, _participants: &[u32]) {
+        self.begin_round(round);
+    }
+
     fn on_upload(&mut self, msg: &Message) {
         self.record(msg);
     }

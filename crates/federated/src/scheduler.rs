@@ -36,6 +36,50 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Reusable per-worker buffers for the parallel client phase.
+///
+/// Every protocol's hot path used to allocate fresh vectors per client
+/// per round — negative-sample pools, training triples, score buffers,
+/// upload staging. A `RoundScratch` owns all of them; workers check one
+/// out of a [`ScratchPool`] for each client task, every consumer clears
+/// a buffer before reading it, and capacities survive across rounds, so
+/// a steady-state round allocates nothing on the client path (asserted
+/// end-to-end by the release-mode allocator-shim test; see
+/// `ptf_tensor::alloc`).
+///
+/// Reuse is observationally pure: results depend only on
+/// `(client, round, seed)`, never on which warmed buffer served the task
+/// — the determinism suite runs every protocol with pooling on and in
+/// fresh-buffers mode ([`ScratchPool::fresh`]) and asserts bit-identical
+/// traces.
+#[derive(Default)]
+pub struct RoundScratch {
+    /// Sampled negative item ids ([`ptf_data::negative::sample_negatives_into`]).
+    pub negatives: Vec<u32>,
+    /// Rejection-sampling workspace for negative sampling.
+    pub seen: HashSet<u32>,
+    /// `(user, item, label)` training triples.
+    pub triples: Vec<(u32, u32, f32)>,
+    /// `(item, label-or-score)` pairs (single-user sample lists).
+    pub pairs: Vec<(u32, f32)>,
+    /// Weighted `(user, item, weight)` edges for graph-model clients.
+    pub edges: Vec<(u32, u32, f32)>,
+    /// Model scores for the positive pool.
+    pub scores_pos: Vec<f32>,
+    /// Model scores for the negative pool.
+    pub scores_neg: Vec<f32>,
+    /// Scored positives (upload staging).
+    pub scored_pos: Vec<(u32, f32)>,
+    /// Scored negatives (upload staging).
+    pub scored_neg: Vec<(u32, f32)>,
+}
+
+/// A shared checkout/restore pool of [`RoundScratch`] values — a thin
+/// alias over the generic [`ptf_tensor::par::Pool`], constructed in
+/// production (reusing) or fresh-buffers (debug) mode.
+pub type ScratchPool = ptf_tensor::par::Pool<RoundScratch>;
 
 /// A logical random stream within one `(seed, round)` scope.
 ///
@@ -128,6 +172,37 @@ impl Scheduler {
     {
         ptf_tensor::par::map_indices(self.threads, n, f)
     }
+
+    /// [`Scheduler::map_clients`] with a per-task [`RoundScratch`] checked
+    /// out of `pool` — the allocation-free client phase every protocol's
+    /// round loop runs on.
+    pub fn map_clients_with<T, R, F>(self, pool: &ScratchPool, clients: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut RoundScratch, usize, &mut T) -> R + Sync,
+    {
+        ptf_tensor::par::map_slice_mut(self.threads, clients, |i, t| {
+            let mut scratch = pool.checkout();
+            let out = f(&mut scratch, i, t);
+            pool.restore(scratch);
+            out
+        })
+    }
+
+    /// [`Scheduler::map_indices`] with a per-task [`RoundScratch`].
+    pub fn map_indices_with<R, F>(self, pool: &ScratchPool, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut RoundScratch, usize) -> R + Sync,
+    {
+        ptf_tensor::par::map_indices(self.threads, n, |i| {
+            let mut scratch = pool.checkout();
+            let out = f(&mut scratch, i);
+            pool.restore(scratch);
+            out
+        })
+    }
 }
 
 impl Default for Scheduler {
@@ -186,6 +261,27 @@ mod tests {
         assert!(Scheduler::new(0).threads() >= 1);
         assert_eq!(Scheduler::new(4).threads(), 4);
         assert_eq!(Scheduler::default().threads(), Scheduler::new(0).threads());
+    }
+
+    #[test]
+    fn scratch_map_is_pure_across_pool_modes_and_threads() {
+        // the pooled map must be bit-identical to the fresh-buffers map at
+        // any thread count — buffers only change where bytes live
+        let run = |threads: usize, pool: &ScratchPool| {
+            let mut state: Vec<u32> = (0..23).collect();
+            Scheduler::new(threads).map_clients_with(pool, &mut state, |s, i, c| {
+                let mut rng = round_rng(9, 1, RngStream::Client(i as u32));
+                s.negatives.clear();
+                s.negatives.extend((0..*c).map(|_| rng.gen_range(0..100u32)));
+                *c += 1;
+                s.negatives.iter().map(|&x| x as u64).sum::<u64>() ^ *c as u64
+            })
+        };
+        let baseline = run(1, &ScratchPool::fresh());
+        for threads in [1, 2, 8] {
+            assert_eq!(run(threads, &ScratchPool::new()), baseline, "{threads} threads pooled");
+            assert_eq!(run(threads, &ScratchPool::fresh()), baseline, "{threads} threads fresh");
+        }
     }
 
     #[test]

@@ -15,4 +15,7 @@ pub mod ranking;
 
 pub use classification::{set_f1, PrecisionRecallF1};
 pub use eval::{evaluate_ranking, RankingReport};
-pub use ranking::{rank_metrics, top_k_indices, RankingMetrics};
+pub use ranking::{
+    cmp_scores_desc, rank_metrics, rank_metrics_into, top_k_indices, top_k_indices_into,
+    RankingMetrics,
+};

@@ -19,31 +19,62 @@ pub struct RankingMetrics {
     pub map: f64,
 }
 
+/// Descending score order that ranks **NaN last** (after every finite
+/// value and −∞), built on [`f32::total_cmp`] so it is a total order.
+///
+/// A diverged model can emit NaN scores; ranking such items last turns
+/// divergence into degraded metrics instead of a panic that kills a
+/// multi-hour federated run (the old comparator `expect`ed NaN-free
+/// input). Finite values and infinities compare as before; the one
+/// `total_cmp` refinement is that `+0.0` now orders ahead of `-0.0`
+/// (previously an index tie-break) — still fully deterministic.
+#[inline]
+pub fn cmp_scores_desc(a: f32, b: f32) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater, // NaN sorts after b
+        (false, true) => Ordering::Less,    // a sorts before NaN
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Indices of the `k` largest scores, excluding `excluded` (sorted ids),
-/// ties broken toward lower index for determinism.
+/// ties broken toward lower index for determinism. NaN scores rank last.
 pub fn top_k_indices(scores: &[f32], excluded: &[u32], k: usize) -> Vec<u32> {
+    let mut candidates = Vec::new();
+    let mut head = Vec::new();
+    top_k_indices_into(scores, excluded, k, &mut candidates, &mut head);
+    head
+}
+
+/// [`top_k_indices`] into caller-owned buffers: `head` receives the
+/// result, `candidates` is selection workspace. Both are cleared on entry
+/// and keep their capacity, so a steady-state caller (one buffer pair per
+/// evaluation worker) allocates nothing.
+pub fn top_k_indices_into(
+    scores: &[f32],
+    excluded: &[u32],
+    k: usize,
+    candidates: &mut Vec<u32>,
+    head: &mut Vec<u32>,
+) {
     debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded must be sorted");
-    let mut candidates: Vec<u32> =
-        (0..scores.len() as u32).filter(|i| excluded.binary_search(i).is_err()).collect();
+    candidates.clear();
+    head.clear();
+    candidates.extend((0..scores.len() as u32).filter(|i| excluded.binary_search(i).is_err()));
     let k = k.min(candidates.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
     // partial selection, then exact ordering of the selected head
     candidates.select_nth_unstable_by(k - 1, |&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
+        cmp_scores_desc(scores[a as usize], scores[b as usize]).then(a.cmp(&b))
     });
-    let mut head: Vec<u32> = candidates[..k].to_vec();
+    head.extend_from_slice(&candidates[..k]);
     head.sort_unstable_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
+        cmp_scores_desc(scores[a as usize], scores[b as usize]).then(a.cmp(&b))
     });
-    head
 }
 
 /// Ranks all non-excluded items by `scores` and evaluates the top-`k`
@@ -57,11 +88,28 @@ pub fn rank_metrics(
     relevant: &[u32],
     k: usize,
 ) -> Option<RankingMetrics> {
+    let mut candidates = Vec::new();
+    let mut head = Vec::new();
+    rank_metrics_into(scores, excluded, relevant, k, &mut candidates, &mut head)
+}
+
+/// [`rank_metrics`] with caller-owned ranking workspace (see
+/// [`top_k_indices_into`]); the allocation-free form the parallel
+/// evaluator feeds with per-worker scratch buffers.
+pub fn rank_metrics_into(
+    scores: &[f32],
+    excluded: &[u32],
+    relevant: &[u32],
+    k: usize,
+    candidates: &mut Vec<u32>,
+    head: &mut Vec<u32>,
+) -> Option<RankingMetrics> {
     debug_assert!(relevant.windows(2).all(|w| w[0] < w[1]), "relevant must be sorted");
     if relevant.is_empty() {
         return None;
     }
-    let top = top_k_indices(scores, excluded, k);
+    top_k_indices_into(scores, excluded, k, candidates, head);
+    let top: &[u32] = head;
     let mut hits = 0usize;
     let mut dcg = 0.0f64;
     let mut mrr = 0.0f64;
@@ -159,6 +207,43 @@ mod tests {
     #[test]
     fn empty_relevant_gives_none() {
         assert!(rank_metrics(&[0.1, 0.2], &[], &[], 2).is_none());
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        // regression: the old comparator `expect`ed NaN-free scores, so a
+        // single diverged prediction aborted the whole evaluation
+        let scores = [0.1, f32::NAN, 0.5, f32::NAN, 0.7];
+        assert_eq!(top_k_indices(&scores, &[], 3), vec![4, 2, 0]);
+        // NaN entries fill the tail, tie-broken by index
+        assert_eq!(top_k_indices(&scores, &[], 5), vec![4, 2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn nan_ranks_after_negative_infinity() {
+        let scores = [f32::NAN, f32::NEG_INFINITY, -1.0];
+        assert_eq!(top_k_indices(&scores, &[], 3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn all_nan_scores_give_finite_metrics() {
+        let scores = [f32::NAN; 6];
+        let m = rank_metrics(&scores, &[0], &[3, 5], 3).unwrap();
+        for v in [m.recall, m.ndcg, m.hit_rate, m.precision, m.mrr, m.map] {
+            assert!(v.is_finite(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let scores = [0.3f32, f32::NAN, 0.9, 0.9, 0.2];
+        let mut candidates = Vec::new();
+        let mut head = Vec::new();
+        for k in 0..=5 {
+            let fresh = rank_metrics(&scores, &[1], &[0, 3], k);
+            let pooled = rank_metrics_into(&scores, &[1], &[0, 3], k, &mut candidates, &mut head);
+            assert_eq!(fresh, pooled, "k={k}");
+        }
     }
 
     #[test]

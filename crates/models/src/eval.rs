@@ -2,8 +2,20 @@
 
 use crate::traits::Recommender;
 use ptf_data::Dataset;
-use ptf_metrics::{rank_metrics, RankingMetrics, RankingReport};
+use ptf_metrics::{rank_metrics_into, RankingMetrics, RankingReport};
 use ptf_tensor::par;
+
+/// Per-worker evaluation scratch: the full-item score buffer plus the
+/// top-k selection workspace. One of these is checked out of a
+/// [`par::Pool`] per user, so a steady-state evaluation pass performs no
+/// heap allocation per user beyond what the model's own `score_all_into`
+/// implementation needs (zero for MF).
+#[derive(Default)]
+struct EvalScratch {
+    scores: Vec<f32>,
+    candidates: Vec<u32>,
+    head: Vec<u32>,
+}
 
 /// Evaluates `model` with the paper's protocol: for every user with test
 /// items, rank *all* items the user has not interacted with in training
@@ -41,14 +53,25 @@ pub fn evaluate_model_with_threads(
     if num_users > 0 {
         let _ = model.score(0, &[]);
     }
+    let pool: par::Pool<EvalScratch> = par::Pool::new();
     let per_user: Vec<Option<RankingMetrics>> = par::map_indices(threads, num_users, |u| {
         let u = u as u32;
         let relevant = test.user_items(u);
         if relevant.is_empty() {
             return None;
         }
-        let scores = model.score_all(u);
-        rank_metrics(&scores, train.user_items(u), relevant, k)
+        let mut s = pool.checkout();
+        model.score_all_into(u, &mut s.scores);
+        let m = rank_metrics_into(
+            &s.scores,
+            train.user_items(u),
+            relevant,
+            k,
+            &mut s.candidates,
+            &mut s.head,
+        );
+        pool.restore(s);
+        m
     });
     RankingReport::aggregate(per_user, k)
 }
@@ -107,6 +130,49 @@ mod tests {
         }
         let report = evaluate_model(&model, &train, &test, 1);
         assert_eq!(report.metrics.recall, 1.0, "{report}");
+    }
+
+    /// A model that emits NaN for every item — the shape of a diverged
+    /// federation at a hot learning rate.
+    struct NanModel {
+        users: usize,
+        items: usize,
+    }
+
+    impl Recommender for NanModel {
+        fn name(&self) -> &'static str {
+            "NaN"
+        }
+        fn num_users(&self) -> usize {
+            self.users
+        }
+        fn num_items(&self) -> usize {
+            self.items
+        }
+        fn num_params(&self) -> usize {
+            0
+        }
+        fn score(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+            vec![f32::NAN; items.len()]
+        }
+        fn train_batch(&mut self, _batch: &[(u32, u32, f32)]) -> f32 {
+            f32::NAN
+        }
+    }
+
+    #[test]
+    fn nan_scoring_model_evaluates_without_panicking() {
+        // regression: evaluate_model used to abort the entire run on the
+        // first NaN score ("scores must not be NaN"); a diverged model
+        // must instead report degraded-but-finite aggregate metrics
+        let train = Dataset::from_user_items("train", 6, vec![vec![0], vec![1], vec![]]);
+        let test = Dataset::from_user_items("test", 6, vec![vec![2], vec![3], vec![4]]);
+        let report = evaluate_model(&NanModel { users: 3, items: 6 }, &train, &test, 2);
+        assert_eq!(report.users_evaluated, 3);
+        let m = report.metrics;
+        for v in [m.recall, m.ndcg, m.hit_rate, m.precision, m.mrr, m.map] {
+            assert!(v.is_finite(), "aggregate metric not finite: {m:?}");
+        }
     }
 
     #[test]

@@ -182,6 +182,10 @@ impl Recommender for LightGcn {
         self.invalidate();
     }
 
+    fn uses_graph(&self) -> bool {
+        true
+    }
+
     fn export_state(&self) -> Option<String> {
         serde_json::to_string(&self.params).ok()
     }

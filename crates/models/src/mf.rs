@@ -36,6 +36,12 @@ pub fn mf_gradients(
 }
 
 /// Applies one SGD step in place; returns the sample's loss.
+///
+/// Allocation-free: the gradients are computed and applied elementwise
+/// from the pre-step values (bit-identical to materializing `du`/`dv`
+/// via [`mf_gradients`] and then applying them) — this runs inside every
+/// client's local round, where a heap allocation per sample is exactly
+/// the memory-bandwidth waste the scratch-buffer hot path eliminates.
 pub fn mf_sgd_step(
     user_vec: &mut [f32],
     item_vec: &mut [f32],
@@ -44,15 +50,17 @@ pub fn mf_sgd_step(
     lr: f32,
     reg: f32,
 ) -> f32 {
-    let (du, dv, db, loss) = mf_gradients(user_vec, item_vec, *item_bias, label, reg);
-    for (u, d) in user_vec.iter_mut().zip(&du) {
-        *u -= lr * d;
+    debug_assert_eq!(user_vec.len(), item_vec.len());
+    let logit: f32 =
+        user_vec.iter().zip(item_vec.iter()).map(|(&a, &b)| a * b).sum::<f32>() + *item_bias;
+    let err = stable_sigmoid(logit) - label;
+    for (u, v) in user_vec.iter_mut().zip(item_vec.iter_mut()) {
+        let (uk, vk) = (*u, *v);
+        *u = uk - lr * (err * vk + reg * uk);
+        *v = vk - lr * (err * uk + reg * vk);
     }
-    for (v, d) in item_vec.iter_mut().zip(&dv) {
-        *v -= lr * d;
-    }
-    *item_bias -= lr * db;
-    loss
+    *item_bias -= lr * err;
+    bce_loss(logit, label)
 }
 
 /// A plain MF model (user table, item table, item bias) implementing
@@ -115,20 +123,33 @@ impl Recommender for MfModel {
         items.iter().map(|&i| stable_sigmoid(self.logit(user, i))).collect()
     }
 
+    fn score_into(&self, user: u32, items: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(items.iter().map(|&i| stable_sigmoid(self.logit(user, i))));
+    }
+
+    fn score_all_into(&self, user: u32, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend((0..self.num_items() as u32).map(|i| stable_sigmoid(self.logit(user, i))));
+    }
+
     fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32 {
         if batch.is_empty() {
             return 0.0;
         }
+        // disjoint field borrows: the user row, item row, and bias live in
+        // different containers, so the whole step runs in place
+        let Self { user_emb, item_emb, item_bias, lr, reg } = self;
         let mut total = 0.0;
         for &(u, i, label) in batch {
-            // split borrows: user row and item row live in different matrices
-            let urow = self.user_emb.row(u as usize).to_vec();
-            let mut urow_mut = urow;
-            let vrow = self.item_emb.row_mut(i as usize);
-            let mut bias = self.item_bias[i as usize];
-            total += mf_sgd_step(&mut urow_mut, vrow, &mut bias, label, self.lr, self.reg);
-            self.item_bias[i as usize] = bias;
-            self.user_emb.row_mut(u as usize).copy_from_slice(&urow_mut);
+            total += mf_sgd_step(
+                user_emb.row_mut(u as usize),
+                item_emb.row_mut(i as usize),
+                &mut item_bias[i as usize],
+                label,
+                *lr,
+                *reg,
+            );
         }
         total / batch.len() as f32
     }

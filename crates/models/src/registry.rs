@@ -10,15 +10,23 @@ use crate::ngcf::{Ngcf, NgcfConfig};
 use crate::traits::Recommender;
 use rand::Rng;
 
-/// The three architectures the paper evaluates.
+/// The architectures the registry can build: the paper's three
+/// ([`ModelKind::ALL`]) plus plain matrix factorization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     NeuMf,
     Ngcf,
     LightGcn,
+    /// Plain MF with per-sample SGD — not in the paper's tables, but the
+    /// throughput workhorse for paper-scale runs: its score/train paths
+    /// are fully allocation-free, so an MF client round stays inside the
+    /// scheduler's scratch buffers.
+    Mf,
 }
 
 impl ModelKind {
+    /// The three architectures the paper's tables evaluate (excludes the
+    /// extra [`ModelKind::Mf`] perf baseline).
     pub const ALL: [ModelKind; 3] = [Self::NeuMf, Self::Ngcf, Self::LightGcn];
 
     pub fn name(self) -> &'static str {
@@ -26,6 +34,7 @@ impl ModelKind {
             Self::NeuMf => "NeuMF",
             Self::Ngcf => "NGCF",
             Self::LightGcn => "LightGCN",
+            Self::Mf => "MF",
         }
     }
 
@@ -35,6 +44,7 @@ impl ModelKind {
             "neumf" => Some(Self::NeuMf),
             "ngcf" => Some(Self::Ngcf),
             "lightgcn" => Some(Self::LightGcn),
+            "mf" => Some(Self::Mf),
             _ => None,
         }
     }
@@ -124,6 +134,9 @@ pub fn build_model(
             &LightGcnConfig { dim: hyper.dim, layers: hyper.gcn_layers, lr: hyper.lr },
             rng,
         )),
+        ModelKind::Mf => {
+            Box::new(crate::mf::MfModel::new(num_users, num_items, hyper.dim, hyper.lr, rng))
+        }
     }
 }
 
@@ -134,11 +147,24 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for kind in ModelKind::ALL {
+        for kind in [ModelKind::NeuMf, ModelKind::Ngcf, ModelKind::LightGcn, ModelKind::Mf] {
             assert_eq!(ModelKind::parse(kind.name()), Some(kind));
             assert_eq!(ModelKind::parse(&kind.name().to_lowercase()), Some(kind));
         }
         assert_eq!(ModelKind::parse("bert4rec"), None);
+    }
+
+    #[test]
+    fn builds_mf_through_the_registry() {
+        let m = build_model(ModelKind::Mf, 4, 6, &ModelHyper::small(), &mut test_rng(9));
+        assert_eq!(m.name(), "MF");
+        assert!(!m.uses_graph(), "MF must let clients skip edge assembly");
+        // scratch scoring agrees with the allocating path
+        let mut buf = Vec::new();
+        m.score_into(1, &[0, 3, 5], &mut buf);
+        assert_eq!(buf, m.score(1, &[0, 3, 5]));
+        m.score_all_into(2, &mut buf);
+        assert_eq!(buf, m.score_all(2));
     }
 
     #[test]

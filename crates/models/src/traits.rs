@@ -36,6 +36,30 @@ pub trait Recommender: Send + Sync {
         self.score(user, &items)
     }
 
+    /// [`Recommender::score`] into a caller-owned buffer (cleared on
+    /// entry). The default delegates to `score` and still allocates;
+    /// models on the federated hot path (MF) override it to write
+    /// straight into the scratch buffer, making a steady-state client
+    /// round allocation-free.
+    fn score_into(&self, user: u32, items: &[u32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.score(user, items));
+    }
+
+    /// [`Recommender::score_all`] into a caller-owned buffer (cleared on
+    /// entry); same contract as [`Recommender::score_into`].
+    fn score_all_into(&self, user: u32, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.score_all(user));
+    }
+
+    /// True if [`Recommender::set_graph`] actually consumes edges. Lets
+    /// callers skip assembling an edge list for models that would ignore
+    /// it (the client hot path builds edges only for GCN architectures).
+    fn uses_graph(&self) -> bool {
+        false
+    }
+
     /// One optimizer step on `(user, item, soft_label)` triples; returns
     /// the batch's mean BCE loss.
     fn train_batch(&mut self, batch: &[(u32, u32, f32)]) -> f32;

@@ -25,10 +25,16 @@ pub fn swap_scores(
         .min(positives.len())
         .min(negatives.len());
 
-    // top-k positive slots by score
+    // top-k positive slots by score, descending. Two fixes over the naive
+    // comparator: (1) NaN ranks last (shared `cmp_scores_desc` contract),
+    // so a diverged local model degrades the defense instead of panicking
+    // mid-run; (2) equal scores tie-break by slot index —
+    // `sort_unstable_by` gives equal keys an *unspecified* order, which
+    // would let a compiler/std upgrade silently break the bit-identical
+    // determinism guarantee.
     let mut pos_order: Vec<usize> = (0..positives.len()).collect();
     pos_order.sort_unstable_by(|&a, &b| {
-        positives[b].1.partial_cmp(&positives[a].1).expect("scores must not be NaN")
+        ptf_metrics::cmp_scores_desc(positives[a].1, positives[b].1).then(a.cmp(&b))
     });
 
     // k distinct negative partners (partial Fisher–Yates)
@@ -111,6 +117,31 @@ mod tests {
         assert_eq!(neg[0].1, 0.9);
         let changed = pos.iter().filter(|&&(_, s)| s == 0.1).count();
         assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn equal_scores_tie_break_by_slot_index() {
+        // with all-equal scores the selected "top" positives must be the
+        // first k slots, on every std/compiler version
+        let mut pos = vec![(0, 0.5), (1, 0.5), (2, 0.5), (3, 0.5)];
+        let mut neg = vec![(10, 0.1), (11, 0.2)];
+        swap_scores(&mut pos, &mut neg, 0.5, &mut crate::test_rng(8));
+        assert_ne!(pos[0].1, 0.5, "slot 0 must be selected first");
+        assert_ne!(pos[1].1, 0.5, "slot 1 must be selected second");
+        assert_eq!(pos[2].1, 0.5);
+        assert_eq!(pos[3].1, 0.5);
+    }
+
+    #[test]
+    fn nan_scores_swap_without_panicking() {
+        // regression: a diverged local model produces NaN prediction
+        // scores; the defense must still run (NaN positives rank last,
+        // so real high-scorers are swapped first)
+        let mut pos = vec![(0, f32::NAN), (1, 0.9), (2, f32::NAN)];
+        let mut neg = vec![(10, 0.1)];
+        swap_scores(&mut pos, &mut neg, 0.4, &mut crate::test_rng(9));
+        assert_eq!(pos[1].1, 0.1, "the only finite top-scorer must be swapped");
+        assert_eq!(neg[0].1, 0.9);
     }
 
     #[test]

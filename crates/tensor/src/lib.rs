@@ -4,8 +4,10 @@
 //! reproduction: dense row-major [`Matrix`] values, CSR [`sparse::Csr`]
 //! matrices for graph propagation, a tape-based reverse-mode autograd
 //! [`graph::Graph`], the [`optim`] optimizers (Adam with lazy
-//! row-sparse embedding updates, plain SGD), and the [`par`] fork/join
-//! primitives behind deterministic parallel client execution.
+//! row-sparse embedding updates, plain SGD), the [`par`] fork/join
+//! primitives (plus the [`par::Pool`] worker-scratch pool) behind
+//! deterministic parallel client execution, and the [`alloc`]
+//! counting-allocator shim behind heap accounting in the perf harness.
 //!
 //! The design is deliberately "define-by-run": every training batch builds a
 //! fresh [`graph::Graph`] over a shared [`params::Params`] store, computes a
@@ -34,6 +36,7 @@
 //! adam.step(&mut params, &grads);
 //! ```
 
+pub mod alloc;
 pub mod grad;
 pub mod graph;
 pub mod init;

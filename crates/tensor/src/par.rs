@@ -108,6 +108,76 @@ where
     })
 }
 
+/// A checkout/restore pool of reusable worker-scratch values.
+///
+/// The deterministic map primitives above run closures on scoped worker
+/// threads; hot-path callers give each closure invocation a scratch value
+/// from a shared `Pool` so steady-state iterations reuse warmed buffers
+/// instead of allocating. A `Pool` never affects results — scratch
+/// contents are cleared by the consumer before use — it only affects
+/// *where the bytes live*. The pool is a `Mutex<Vec<T>>` (two
+/// uncontended lock ops per checkout, no allocation once the slot vector
+/// has grown to the worker count), which is noise next to the per-item
+/// work these maps are designed for.
+///
+/// [`Pool::fresh`] builds a pass-through pool (checkout always constructs
+/// a default value, restore drops it) — the debug mode used to prove that
+/// buffer reuse is observationally pure.
+pub struct Pool<T> {
+    slots: std::sync::Mutex<Vec<T>>,
+    reuse: bool,
+}
+
+impl<T: Default> Pool<T> {
+    /// A reusing pool (the production mode).
+    pub fn new() -> Self {
+        Self::with_reuse(true)
+    }
+
+    /// A pass-through pool: every checkout is a fresh `T::default()`.
+    pub fn fresh() -> Self {
+        Self::with_reuse(false)
+    }
+
+    /// `reuse = false` gives the [`Pool::fresh`] behaviour.
+    pub fn with_reuse(reuse: bool) -> Self {
+        // capacity for more workers than any host exposes, so the slot
+        // vector itself never reallocates on the hot path
+        Self { slots: std::sync::Mutex::new(Vec::with_capacity(128)), reuse }
+    }
+
+    /// True if restored values are recycled (production mode).
+    pub fn reuses(&self) -> bool {
+        self.reuse
+    }
+
+    /// Takes a scratch value: a warmed one when available, else fresh.
+    pub fn checkout(&self) -> T {
+        if self.reuse {
+            if let Some(v) = self.slots.lock().expect("pool lock").pop() {
+                return v;
+            }
+        }
+        T::default()
+    }
+
+    /// Returns a scratch value for reuse (dropped in fresh mode).
+    pub fn restore(&self, value: T) {
+        if self.reuse {
+            let mut slots = self.slots.lock().expect("pool lock");
+            if slots.len() < slots.capacity() {
+                slots.push(value);
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for Pool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +235,40 @@ mod tests {
         assert_eq!(resolve_threads(0), available_threads());
         assert_eq!(resolve_threads(3), 3);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_recycles_restored_values() {
+        let pool: Pool<Vec<u32>> = Pool::new();
+        let mut v = pool.checkout();
+        v.reserve(1024);
+        let cap = v.capacity();
+        pool.restore(v);
+        assert!(pool.checkout().capacity() >= cap, "warmed buffer was not recycled");
+    }
+
+    #[test]
+    fn fresh_pool_never_recycles() {
+        let pool: Pool<Vec<u32>> = Pool::fresh();
+        let mut v = pool.checkout();
+        v.reserve(1024);
+        pool.restore(v);
+        assert_eq!(pool.checkout().capacity(), 0);
+        assert!(!pool.reuses());
+    }
+
+    #[test]
+    fn pool_is_safe_across_worker_threads() {
+        let pool: Pool<Vec<u64>> = Pool::new();
+        let out = map_indices(4, 64, |i| {
+            let mut s = pool.checkout();
+            s.clear();
+            s.extend(0..i as u64);
+            let sum: u64 = s.iter().sum();
+            pool.restore(s);
+            sum
+        });
+        let expected: Vec<u64> = (0..64).map(|i| (0..i as u64).sum()).collect();
+        assert_eq!(out, expected);
     }
 }

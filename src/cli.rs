@@ -87,7 +87,7 @@ USAGE:
     ptf stats    [--scale small|paper] [--seed N]
     ptf train    --dataset ml100k|steam|gowalla
                  [--protocol ptf|fcf|fedmf|metamf|centralized]
-                 [--client neumf|ngcf|lightgcn] [--server neumf|ngcf|lightgcn]
+                 [--client neumf|ngcf|lightgcn|mf] [--server neumf|ngcf|lightgcn|mf]
                  [--rounds N] [--scale S] [--seed N] [--k K] [--threads N]
                  [--save checkpoint.json] [--json]
     ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
@@ -120,7 +120,7 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
 }
 
 fn parse_model(s: &str) -> Result<ModelKind, String> {
-    ModelKind::parse(s).ok_or_else(|| format!("unknown model {s:?} (neumf|ngcf|lightgcn)"))
+    ModelKind::parse(s).ok_or_else(|| format!("unknown model {s:?} (neumf|ngcf|lightgcn|mf)"))
 }
 
 fn parse_defense(s: &str) -> Result<DefenseChoice, String> {

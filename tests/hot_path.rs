@@ -1,0 +1,100 @@
+//! Allocation accounting of the round hot path.
+//!
+//! This binary installs the `ptf_tensor::alloc::CountingAlloc` shim, so
+//! every protocol round reports how many heap allocations happened
+//! *inside* the parallel client phase (`PtfFedRec::last_round_client_allocs`).
+//! The headline assertion: with an allocation-free client model (MF) and
+//! the scratch-buffer pool warmed up, a steady-state PTF-FedRec round
+//! performs **zero** client-path heap allocations — negative sampling,
+//! training-pool assembly, local SGD, scoring, and upload staging all run
+//! inside reused buffers.
+
+use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig};
+use ptf_fedrec::data::{SyntheticConfig, TrainTestSplit};
+use ptf_fedrec::models::{ModelHyper, ModelKind};
+use ptf_fedrec::tensor::alloc;
+
+#[global_allocator]
+static COUNTER: alloc::CountingAlloc = alloc::CountingAlloc;
+
+fn split() -> TrainTestSplit {
+    let data =
+        SyntheticConfig::new("hot", 48, 96, 12.0).generate(&mut ptf_fedrec::data::test_rng(31));
+    TrainTestSplit::split_80_20(&data, &mut ptf_fedrec::data::test_rng(32))
+}
+
+#[test]
+fn steady_state_mf_rounds_allocate_nothing_on_the_client_path() {
+    let s = split();
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 5;
+    cfg.client_epochs = 2;
+    cfg.alpha = 8;
+    // NoDefense keeps the full trained pool on the upload path (the
+    // sampling defenses draw index vectors by design); one worker thread
+    // so a single warmed scratch serves every client deterministically
+    cfg.defense = DefenseKind::NoDefense;
+    cfg.threads = 1;
+    let mut fed = Federation::builder(&s.train)
+        .client_model(ModelKind::Mf)
+        .server_model(ModelKind::Mf)
+        .hyper(ModelHyper::small())
+        .config(cfg)
+        .build()
+        .expect("valid config");
+
+    // warm-up: round 1 grows the scratch/upload buffers, round 2 first
+    // sees server-dispersed soft labels (D̃ enlarges the training pool),
+    // round 3 confirms capacities have stabilized
+    for _ in 0..3 {
+        fed.run_round();
+    }
+    assert!(alloc::total_allocs() > 0, "the counting shim must be live in this binary");
+
+    for round in 3..5 {
+        fed.run_round();
+        assert_eq!(
+            fed.protocol().last_round_client_allocs(),
+            0,
+            "round {round}: steady-state client path must not touch the heap"
+        );
+    }
+}
+
+#[test]
+fn default_neumf_rounds_report_their_client_allocations() {
+    // the counter itself must work for allocating models too — NeuMF's
+    // autograd forward allocates, and the shim has to see it
+    let s = split();
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 2;
+    cfg.client_epochs = 1;
+    cfg.threads = 1;
+    let mut fed = Federation::builder(&s.train)
+        .client_model(ModelKind::NeuMf)
+        .server_model(ModelKind::NeuMf)
+        .hyper(ModelHyper::small())
+        .config(cfg)
+        .build()
+        .expect("valid config");
+    fed.run_round();
+    assert!(
+        fed.protocol().last_round_client_allocs() > 0,
+        "NeuMF clients allocate; a zero reading would mean the bracket is broken"
+    );
+}
+
+#[test]
+fn counters_track_allocations() {
+    // race-free assertions only: sibling tests allocate concurrently, so
+    // this checks per-thread counters and lower bounds the global peak
+    // (the instant the 4 MiB block is live, current ≥ 4 MiB, and the
+    // peak is a fetch_max over current — no reset_peak here, which
+    // would race the other tests in this binary)
+    let t0 = alloc::thread_allocs();
+    let buf: Vec<u8> = vec![0; 4 << 20];
+    assert!(alloc::thread_allocs() > t0, "thread-local counter must see the allocation");
+    assert!(alloc::peak_bytes() >= buf.len(), "peak must cover the live 4 MiB block");
+    assert!(alloc::total_bytes() >= buf.len() as u64);
+    drop(buf);
+}
