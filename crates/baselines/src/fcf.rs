@@ -21,20 +21,23 @@ use ptf_federated::{
 };
 use ptf_models::mf::{mf_sgd_step, MfModel};
 use ptf_models::Recommender;
+use ptf_tensor::RowTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
-/// Observer over one client's item-delta rows: `(client, rows, dim, V)`.
-type DeltaObserver<'a> = dyn FnMut(u32, &HashMap<u32, (Vec<f32>, f32)>, usize, usize) + 'a;
+/// Observer over one client's item-delta rows: `(client, delta, dim, V)`.
+/// The delta is a [`RowTable`] scoped to the items the client touched;
+/// each row is `[Δembedding.., Δbias]`.
+type DeltaObserver<'a> = dyn FnMut(u32, &RowTable, usize, usize) + 'a;
 
 /// One client's buffered contribution from the parallel phase.
 struct ClientResult {
     client: u32,
     /// Trained private user vector (written back serially).
     user_row: Vec<f32>,
-    /// Item-row deltas: `item → (Δrow, Δbias)`.
-    delta: HashMap<u32, (Vec<f32>, f32)>,
+    /// Item-row deltas, scoped to the touched items (sorted by id, so
+    /// serial aggregation order is deterministic by construction).
+    delta: RowTable,
     loss: f32,
 }
 
@@ -82,8 +85,8 @@ pub struct Fcf {
     cfg: FcfConfig,
     /// `user_emb` rows are the clients' *private* vectors (held here only
     /// because this is a single-process simulation — they never enter the
-    /// wire accounting); `item_emb`/`item_bias` are the global shared
-    /// state.
+    /// wire accounting); the item table (`item_embedding()`/`item_bias()`
+    /// per row, `item_row_mut()` for FedAvg) is the global shared state.
     model: MfModel,
     clients: Vec<ClientData>,
     trainable: Vec<u32>,
@@ -113,6 +116,12 @@ impl Fcf {
     /// (user row, item-row deltas, mean loss). Runs on scheduler workers —
     /// the only shared state it sees is the pre-round model, so the result
     /// depends solely on `(client, rng)`.
+    ///
+    /// The local working copies live in a [`RowTable`] scoped to the
+    /// client's pool (copy-on-first-touch from the server's current
+    /// rows): the same row-sparse client-item-state machinery PTF-FedRec
+    /// clients are built on, here sized to `positives × (1 + ratio)`
+    /// instead of the full catalogue.
     fn client_update(
         model: &MfModel,
         client: &ClientData,
@@ -120,9 +129,12 @@ impl Fcf {
         scratch: &mut RoundScratch,
         rng: &mut StdRng,
     ) -> ClientResult {
+        let dim = cfg.dim;
         let mut user_row = model.user_emb.row(client.id as usize).to_vec();
-        // local working copies of the item rows this client will touch
-        let mut local_rows: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
+        // local working copies of the item rows this client will touch:
+        // `[embedding.., bias]` per row, seeded from the pre-round model
+        let mut local = RowTable::sparse_zeroed(model.num_items(), dim + 1);
+        local.reserve_rows(client.positives.len() * (1 + cfg.neg_ratio));
         let mut loss_sum = 0.0f32;
         let mut steps = 0usize;
         for _ in 0..cfg.local_epochs {
@@ -143,25 +155,28 @@ impl Fcf {
                 samples.swap(i, j);
             }
             for &(item, label) in samples.iter() {
-                let (row, bias) = local_rows.entry(item).or_insert_with(|| {
-                    (model.item_emb.row(item as usize).to_vec(), model.item_bias[item as usize])
+                let r = local.ensure_with(item, |row| {
+                    row[..dim].copy_from_slice(model.item_embedding(item));
+                    row[dim] = model.item_bias(item);
                 });
-                loss_sum += mf_sgd_step(&mut user_row, row, bias, label, cfg.lr, cfg.reg);
+                let (row, bias) = local.row_mut(r).split_at_mut(dim);
+                loss_sum += mf_sgd_step(&mut user_row, row, &mut bias[0], label, cfg.lr, cfg.reg);
                 steps += 1;
             }
         }
         let loss = if steps == 0 { 0.0 } else { loss_sum / steps as f32 };
         // the gradient message: trained local rows minus the pre-round base
-        let delta: HashMap<u32, (Vec<f32>, f32)> = local_rows
-            .into_iter()
-            .map(|(item, (row, bias))| {
-                let base_row = model.item_emb.row(item as usize);
-                let base_bias = model.item_bias[item as usize];
-                let drow: Vec<f32> = row.iter().zip(base_row).map(|(new, old)| new - old).collect();
-                (item, (drow, bias - base_bias))
-            })
-            .collect();
-        ClientResult { client: client.id, user_row, delta, loss }
+        for r in 0..local.rows() {
+            let item = local.id_of(r);
+            let base_row = model.item_embedding(item);
+            let base_bias = model.item_bias(item);
+            let row = local.row_mut(r);
+            for (d, &old) in row[..dim].iter_mut().zip(base_row) {
+                *d -= old;
+            }
+            row[dim] -= base_bias;
+        }
+        ClientResult { client: client.id, user_row, delta: local, loss }
     }
 }
 
@@ -176,12 +191,10 @@ impl Fcf {
         ctx: &mut RoundCtx<'_>,
         mut on_delta: impl FnMut(u32, &ptf_tensor::Matrix),
     ) -> RoundTrace {
-        self.run_round_inner(ctx, &mut |cid, rows, dim, num_items| {
+        self.run_round_inner(ctx, &mut |cid, delta, dim, num_items| {
             let mut dense = ptf_tensor::Matrix::zeros(num_items, dim + 1);
-            for (&item, (drow, dbias)) in rows {
-                let out = dense.row_mut(item as usize);
-                out[..dim].copy_from_slice(drow);
-                out[dim] = *dbias;
+            for (item, row) in delta.iter() {
+                dense.row_mut(item as usize).copy_from_slice(row);
             }
             on_delta(cid, &dense);
         })
@@ -219,8 +232,9 @@ impl Fcf {
                 Self::client_update(model, &clients[cid as usize], cfg, scratch, &mut rng)
             });
 
-        // serial phase: replay in participant order
-        let mut delta_sum: HashMap<u32, (Vec<f32>, f32)> = HashMap::new();
+        // serial phase: replay in participant order; the round aggregate
+        // is itself a row-sparse table over the union of touched items
+        let mut delta_sum = RowTable::sparse_zeroed(num_items, dim + 1);
         let mut losses: Vec<f32> = Vec::with_capacity(results.len());
         for result in results {
             let cid = result.client;
@@ -228,25 +242,30 @@ impl Fcf {
             losses.push(result.loss);
             observer(cid, &result.delta, dim, num_items);
             // per-item accumulation commutes across items (disjoint
-            // entries); within an item the order is participant order
-            for (item, (drow, dbias)) in result.delta {
-                let entry = delta_sum.entry(item).or_insert_with(|| (vec![0.0; dim], 0.0));
-                for (d, new) in entry.0.iter_mut().zip(&drow) {
-                    *d += new;
+            // entries); within an item the order is participant order.
+            // Materialize this client's union of touched items in one
+            // backward-merge pass first — per-item `ensure` would shift
+            // the sorted arena once per fresh item (O(U²) per round at
+            // full participation)
+            if let Some(ids) = result.delta.ids() {
+                delta_sum.ensure_many(ids);
+            }
+            for (item, row) in result.delta.iter() {
+                let r = delta_sum.ensure(item);
+                for (d, &v) in delta_sum.row_mut(r).iter_mut().zip(row) {
+                    *d += v;
                 }
-                entry.1 += dbias;
             }
             ctx.upload(cid, "item-gradients", self.transfer_payload());
             self.model.user_emb.row_mut(cid as usize).copy_from_slice(&result.user_row);
         }
 
         // FedAvg over the participant set
-        for (item, (drow, dbias)) in delta_sum {
-            let row = self.model.item_emb.row_mut(item as usize);
-            for (p, d) in row.iter_mut().zip(&drow) {
+        for (item, drow) in delta_sum.iter() {
+            let row = self.model.item_row_mut(item);
+            for (p, d) in row.iter_mut().zip(drow) {
                 *p += d / n;
             }
-            self.model.item_bias[item as usize] += dbias / n;
         }
 
         let trace = RoundTrace::new(self.round, &losses, 0.0, ctx.bytes());

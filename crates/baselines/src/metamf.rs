@@ -28,7 +28,7 @@ use ptf_federated::{
 };
 use ptf_models::mf::bce_loss;
 use ptf_models::Recommender;
-use ptf_tensor::Matrix;
+use ptf_tensor::{Matrix, RowTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -155,10 +155,12 @@ impl MetaMf {
         let mut user_row = self.user_emb.row(cid as usize).to_vec();
 
         // per-client reduction targets: dL/d(gate) and the per-item rows
-        // of dL/dB (gradient through E_u = B ⊙ gate)
+        // of dL/dB (gradient through E_u = B ⊙ gate) — staged in a
+        // row-sparse table scoped to the client's pool, the same
+        // client-item-state machinery the scoped PTF clients run on
         let mut d_gate = vec![0.0f32; d];
-        let mut g_basis_rows: std::collections::HashMap<u32, Vec<f32>> =
-            std::collections::HashMap::new();
+        let mut g_basis_rows = RowTable::sparse_zeroed(num_items, d);
+        g_basis_rows.reserve_rows(positives.len() * (1 + self.cfg.neg_ratio));
         let mut client_loss = 0.0f32;
         let mut steps = 0usize;
         for _ in 0..self.cfg.local_epochs {
@@ -186,7 +188,8 @@ impl MetaMf {
                 steps += 1;
                 // dE_i = err · p, folded straight into the reductions
                 let brow = self.basis.row(item as usize);
-                let grow = g_basis_rows.entry(item).or_insert_with(|| vec![0.0; d]);
+                let r = g_basis_rows.ensure(item);
+                let grow = g_basis_rows.row_mut(r);
                 for k in 0..d {
                     let de = err * user_row[k];
                     d_gate[k] += de * brow[k];
@@ -210,8 +213,8 @@ struct MetaClientResult {
     user_row: Vec<f32>,
     /// Pre-reduced dL/d(gate) over the client's steps (in step order).
     d_gate: Vec<f32>,
-    /// Pre-reduced per-item rows of dL/dB.
-    g_basis_rows: std::collections::HashMap<u32, Vec<f32>>,
+    /// Pre-reduced per-item rows of dL/dB (sorted by item id).
+    g_basis_rows: RowTable,
     /// Gate pre-activation (reused by the server-side backprop so it
     /// matches what the client trained against).
     pre: Vec<f32>,
@@ -281,11 +284,12 @@ impl FederatedProtocol for MetaMf {
             self.user_emb.row_mut(cid as usize).copy_from_slice(&result.user_row);
 
             // fold the client's pre-reduced basis gradient into the round
-            // aggregate; rows are disjoint per item, so the HashMap's
-            // iteration order cannot affect the result
-            for (item, row) in result.g_basis_rows {
+            // aggregate; rows are disjoint per item, and the table
+            // iterates in sorted id order, so aggregation order is
+            // deterministic by construction
+            for (item, row) in result.g_basis_rows.iter() {
                 let grow = g_basis.row_mut(item as usize);
-                for (g, &v) in grow.iter_mut().zip(&row) {
+                for (g, &v) in grow.iter_mut().zip(row) {
                     *g += v;
                 }
             }

@@ -3,8 +3,10 @@
 //! Runs PTF-FedRec at the **full Table II scale** of all three presets
 //! (MovieLens-100K 943×1,682, Steam-200K 3,753×5,134, Gowalla
 //! 8,392×10,086 — ~391k interactions) for a few rounds each, on MF
-//! client/server models whose round hot path is allocation-free, and
-//! records the numbers that define the repo's perf trajectory:
+//! client/server models with **item-scoped clients** (each client holds
+//! only the embedding rows of its own pool — the PR-5 redesign that cut
+//! Gowalla peak heap from 10.9 GB and its 213 s build to a fraction),
+//! and records the numbers that define the repo's perf trajectory:
 //!
 //! * **rounds/sec** — federated round throughput (client phase + server
 //!   training + dispersal);
@@ -55,7 +57,14 @@ struct PresetRow {
     /// The Table IV metric at paper scale.
     avg_client_bytes_per_round: f64,
     /// Client-path heap allocations in the final (steady-state) round.
+    /// With item-scoped clients this is bounded by first-touch row
+    /// materialization (fresh negatives appear every round), not zero.
     final_round_client_allocs: u64,
+    /// Materialized item-embedding rows across the fleet after the run.
+    client_item_rows: usize,
+    /// What full per-client tables would hold (`clients × items`) — the
+    /// scoped-client memory story is the ratio of these two numbers.
+    full_table_rows: usize,
 }
 
 #[derive(Serialize)]
@@ -97,8 +106,8 @@ fn main() {
     let seed = env_u64("PTF_SEED", 2024);
 
     let mut table = Table::new(
-        "Paper-scale PTF-FedRec (MF/MF, allocation-free client path)",
-        &["dataset", "users×items", "rounds/sec", "peak heap MB", "KB/client/round"],
+        "Paper-scale PTF-FedRec (MF/MF, item-scoped clients)",
+        &["dataset", "users×items", "rounds/sec", "peak heap MB", "KB/client/round", "row cut"],
     );
     let mut rows = Vec::new();
 
@@ -135,15 +144,23 @@ fn main() {
         assert_eq!(trace.num_rounds(), rounds as usize);
         let final_round_client_allocs = fed.protocol().last_round_client_allocs();
         if rounds >= 3 {
-            assert_eq!(
-                final_round_client_allocs,
-                0,
-                "{}: steady-state client path allocated",
+            // scoped clients sample fresh negatives every round, so a few
+            // first-touch row materializations still happen in steady
+            // state; each costs at most a couple of (amortized) arena
+            // growths. Anything past this bound means per-sample
+            // allocations crept back into the hot path.
+            let bound = 16 * stats.users as u64;
+            assert!(
+                final_round_client_allocs <= bound,
+                "{}: steady-state client path allocated {final_round_client_allocs} times \
+                 (> {bound} = 16/client)",
                 preset.name()
             );
         }
 
         let summary = fed.ledger().summary();
+        let client_item_rows = fed.protocol().materialized_item_rows();
+        let full_table_rows = stats.users * stats.items;
         let row = PresetRow {
             preset: preset.name().to_string(),
             users: stats.users,
@@ -158,6 +175,8 @@ fn main() {
             bytes_per_round: summary.total_bytes as f64 / rounds.max(1) as f64,
             avg_client_bytes_per_round: summary.avg_client_bytes_per_round,
             final_round_client_allocs,
+            client_item_rows,
+            full_table_rows,
         };
         table.row(vec![
             row.preset.clone(),
@@ -165,6 +184,7 @@ fn main() {
             fmt4(row.rounds_per_sec),
             format!("{:.1}", row.peak_heap_bytes as f64 / (1024.0 * 1024.0)),
             format!("{:.2}", row.avg_client_bytes_per_round / 1024.0),
+            format!("{:.1}x", row.full_table_rows as f64 / row.client_item_rows.max(1) as f64),
         ]);
         rows.push(row);
     }

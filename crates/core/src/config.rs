@@ -134,6 +134,15 @@ pub struct PtfConfig {
     /// mode that must produce bit-identical runs, which the determinism
     /// suite asserts.
     pub scratch_reuse: bool,
+    /// Build client models item-scoped (the production mode): each client
+    /// holds only the embedding rows of its own pool — positives at
+    /// construction, sampled negatives and dispersed items on first touch
+    /// — cutting paper-scale peak heap ~15–50× and collapsing federation
+    /// build time (client init is parallel and proportional to the
+    /// partition, not the catalogue). `false` restores full per-client
+    /// `items × dim` tables built from one sequential RNG — a debug mode
+    /// for A/B-ing the scoped path.
+    pub scoped_clients: bool,
 }
 
 impl PtfConfig {
@@ -157,6 +166,7 @@ impl PtfConfig {
             seed: 17,
             threads: 0,
             scratch_reuse: true,
+            scoped_clients: true,
         }
     }
 

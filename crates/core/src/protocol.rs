@@ -21,8 +21,8 @@ use crate::upload::ClientUpload;
 use ptf_comm::Payload;
 use ptf_data::Dataset;
 use ptf_federated::{
-    partition_clients, round_rng, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler,
-    ScratchPool,
+    derive_seed, partition_clients, round_rng, ClientData, FederatedProtocol, RngStream, RoundCtx,
+    RoundTrace, Scheduler, ScratchPool,
 };
 use ptf_metrics::RankingReport;
 use ptf_models::{evaluate_model_with_threads, ModelHyper, ModelKind, Recommender};
@@ -53,6 +53,13 @@ impl PtfFedRec {
     /// server model, and fresh per-participant state. Fails (instead of
     /// panicking) if `cfg` is inconsistent.
     ///
+    /// With `cfg.scoped_clients` (the default) the whole fleet builds in
+    /// parallel on the scheduler: each client's partition *and*
+    /// item-scoped model come from one task seeded by its own derived
+    /// `RngStream::ClientInit` stream, so the build is bit-identical at
+    /// any thread count and no longer burns minutes on per-client
+    /// full-table `randn` (the PR-4 Gowalla build spent 213 s there).
+    ///
     /// Most callers want [`crate::Federation::builder`], which wraps this
     /// in an engine with an observer stack.
     pub fn try_new(
@@ -63,17 +70,33 @@ impl PtfFedRec {
         cfg: PtfConfig,
     ) -> Result<Self, ConfigError> {
         cfg.validate()?;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let partitions = partition_clients(train);
-        let trainable: Vec<u32> =
-            partitions.iter().filter(|p| p.is_trainable()).map(|p| p.id).collect();
-        let clients: Vec<PtfClient> = partitions
-            .into_iter()
-            .map(|p| PtfClient::new(p, client_kind, hyper, train.num_items(), &mut rng))
-            .collect();
-        let server =
-            PtfServer::new(train.num_users(), train.num_items(), server_kind, hyper, &mut rng);
         let scheduler = Scheduler::new(cfg.threads);
+        let num_items = train.num_items();
+        let (clients, server) = if cfg.scoped_clients {
+            let seed = cfg.seed;
+            let clients: Vec<PtfClient> = scheduler.map_indices(train.num_users(), |u| {
+                let u = u as u32;
+                let data = ClientData { id: u, positives: train.user_items(u).to_vec() };
+                let client_seed = derive_seed(seed, 0, RngStream::ClientInit(u).id());
+                PtfClient::new(data, client_kind, hyper, num_items, client_seed)
+            });
+            let mut server_rng =
+                StdRng::seed_from_u64(derive_seed(seed, 0, RngStream::ServerInit.id()));
+            let server =
+                PtfServer::new(train.num_users(), num_items, server_kind, hyper, &mut server_rng);
+            (clients, server)
+        } else {
+            // legacy debug path: full client tables off one sequential RNG
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let clients: Vec<PtfClient> = partition_clients(train)
+                .into_iter()
+                .map(|p| PtfClient::new_full(p, client_kind, hyper, num_items, &mut rng))
+                .collect();
+            let server = PtfServer::new(train.num_users(), num_items, server_kind, hyper, &mut rng);
+            (clients, server)
+        };
+        let trainable: Vec<u32> =
+            clients.iter().filter(|c| c.num_positives() > 0).map(|c| c.id).collect();
         let scratch = ScratchPool::with_reuse(cfg.scratch_reuse);
         Ok(Self {
             cfg,
@@ -86,6 +109,13 @@ impl PtfFedRec {
             last_uploads: Vec::new(),
             last_client_allocs: 0,
         })
+    }
+
+    /// Total materialized item-embedding rows across the client fleet —
+    /// the scoped-client memory story in one number (compare against
+    /// `num_clients × num_items`, what full tables would hold).
+    pub fn materialized_item_rows(&self) -> usize {
+        self.clients.iter().map(PtfClient::item_rows).sum()
     }
 
     pub fn server(&self) -> &PtfServer {

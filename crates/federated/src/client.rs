@@ -15,6 +15,18 @@ impl ClientData {
     pub fn is_trainable(&self) -> bool {
         !self.positives.is_empty()
     }
+
+    /// The item-embedding scope this partition justifies: exactly the
+    /// client's positives. Sampled negatives and server-dispersed items
+    /// materialize lazily on first touch, so a client model built from
+    /// this scope holds only rows it has actually used.
+    pub fn item_scope(&self, num_items: usize) -> ptf_tensor::ItemScope {
+        // the validating constructor sorts/dedups/range-checks: ClientData's
+        // fields are public, so hand-built partitions must not be able to
+        // smuggle an unsorted or out-of-range id set past the binary-search
+        // index invariants
+        ptf_tensor::ItemScope::rows(num_items, self.positives.clone())
+    }
 }
 
 /// Splits a training dataset into per-user client partitions. Every user

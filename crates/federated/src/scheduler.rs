@@ -58,6 +58,10 @@ use std::collections::HashSet;
 pub struct RoundScratch {
     /// Sampled negative item ids ([`ptf_data::negative::sample_negatives_into`]).
     pub negatives: Vec<u32>,
+    /// Sorted unique ids of the round's whole trained pool, handed to
+    /// `Recommender::prepare_items` so scoped models batch-materialize
+    /// their rows in one pass.
+    pub pool_ids: Vec<u32>,
     /// Rejection-sampling workspace for negative sampling.
     pub seen: HashSet<u32>,
     /// `(user, item, label)` training triples.
@@ -98,35 +102,38 @@ pub enum RngStream {
     Disperse(u32),
     /// Sample shuffling in protocols that shuffle a global pool.
     Shuffle,
+    /// Per-client model construction during the federation build (the
+    /// parallel build derives one stream per client, so client `c`'s
+    /// initial model never depends on how many siblings built before it).
+    ClientInit(u32),
+    /// Server model construction during the federation build.
+    ServerInit,
 }
 
 impl RngStream {
-    fn id(self) -> u64 {
+    /// The stream discriminant mixed into [`derive_seed`] (public so
+    /// callers outside the round loop — e.g. scoped model construction —
+    /// can derive seeds on the same namespace without collisions).
+    pub fn id(self) -> u64 {
         match self {
             Self::Participation => 0x0100_0000_0000,
             Self::Client(c) => 0x0200_0000_0000 | c as u64,
             Self::Server => 0x0300_0000_0000,
             Self::Disperse(c) => 0x0400_0000_0000 | c as u64,
             Self::Shuffle => 0x0500_0000_0000,
+            Self::ClientInit(c) => 0x0600_0000_0000 | c as u64,
+            Self::ServerInit => 0x0700_0000_0000,
         }
     }
 }
 
-/// Mixes `(master, round, stream)` into one well-distributed 64-bit seed.
-///
-/// SplitMix64-style: each input word is folded in with an odd constant,
-/// then the combined state goes through two xor-shift-multiply
-/// finalization rounds. Consecutive `(round, stream)` pairs land far
-/// apart, so per-client `StdRng`s (xoshiro256++ seeded through its own
-/// SplitMix expansion) are statistically independent in practice.
-pub fn derive_seed(master: u64, round: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Mixes `(master, round, stream)` into one well-distributed 64-bit seed
+/// — re-exported from [`ptf_tensor::rowtable`], which owns the
+/// workspace's single SplitMix-style derivation primitive (scoped
+/// embedding tables derive their per-row initializers from the same
+/// function, which is what keeps scheduler-driven lazy materialization
+/// deterministic).
+pub use ptf_tensor::rowtable::derive_seed;
 
 /// The per-round generator of one [`RngStream`] under `master`.
 pub fn round_rng(master: u64, round: u32, stream: RngStream) -> StdRng {
@@ -224,9 +231,11 @@ mod tests {
             derive_seed(7, 0, RngStream::Server.id()),
             derive_seed(7, 0, RngStream::Shuffle.id()),
         ];
+        seeds.push(derive_seed(7, 0, RngStream::ServerInit.id()));
         for c in 0..100u32 {
             seeds.push(derive_seed(7, 0, RngStream::Client(c).id()));
             seeds.push(derive_seed(7, 0, RngStream::Disperse(c).id()));
+            seeds.push(derive_seed(7, 0, RngStream::ClientInit(c).id()));
         }
         let n = seeds.len();
         seeds.sort_unstable();

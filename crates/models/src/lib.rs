@@ -22,6 +22,7 @@ pub mod mf;
 pub mod neumf;
 pub mod ngcf;
 pub mod registry;
+mod scoped;
 pub mod traits;
 
 pub use eval::{evaluate_model, evaluate_model_with_threads};
@@ -29,5 +30,7 @@ pub use lightgcn::{LightGcn, LightGcnConfig};
 pub use mf::MfModel;
 pub use neumf::{NeuMf, NeuMfConfig};
 pub use ngcf::{Ngcf, NgcfConfig};
-pub use registry::{build_model, ModelHyper, ModelKind};
-pub use traits::{train_on_samples, Recommender};
+pub use registry::{build_model, build_model_scoped, ModelHyper, ModelKind};
+pub use traits::{cached_id_range, train_on_samples, Recommender, ScopeView};
+
+pub use ptf_tensor::ItemScope;

@@ -5,10 +5,11 @@
 //! final representation is the layer mean `E = mean(E^{(0)}, …, E^{(L)})`
 //! and the score of `(u, i)` is `σ(⟨e_u, e_i⟩)`.
 
-use crate::graph::{empty_propagation, item_node, normalized_bipartite};
-use crate::traits::Recommender;
+use crate::graph::{empty_propagation, normalized_bipartite};
+use crate::scoped;
+use crate::traits::{Recommender, ScopeView};
 use ptf_tensor::prelude::*;
-use ptf_tensor::ParamId;
+use ptf_tensor::{init, ItemScope, ParamId, ScopeIndex};
 use rand::Rng;
 use std::sync::RwLock;
 
@@ -39,6 +40,15 @@ pub struct LightGcn {
     /// An `RwLock` (not `RefCell`) so concurrent evaluation threads can
     /// score through one shared model.
     cache: RwLock<Option<Matrix>>,
+    /// Which global item id backs which item block row of `emb` (rows
+    /// `num_users..` of the joint table); dense identity for full models.
+    scope: ScopeIndex,
+    /// Per-row derived init seed for lazily materialized item rows.
+    item_seed: u64,
+    /// The last `set_graph` edge list in *global* ids — a scoped model
+    /// re-derives its propagation operator from it whenever lazy
+    /// materialization shifts node indices. Unused (empty) when dense.
+    graph_edges: Vec<(u32, u32, f32)>,
 }
 
 impl LightGcn {
@@ -62,6 +72,97 @@ impl LightGcn {
             prop: empty_propagation(num_users, num_items),
             adam,
             cache: RwLock::new(None),
+            scope: ScopeIndex::dense(num_items),
+            item_seed: 0,
+            graph_edges: Vec::new(),
+        }
+    }
+
+    /// An item-scoped LightGCN: the item block of the joint node table
+    /// materializes only `scope` (plus whatever later training or graph
+    /// edges touch), every row initialized from its `(seed, id)`-derived
+    /// stream; user rows draw from a scope-independent stream. Node order
+    /// stays monotone in global item id, so propagation sums in the same
+    /// order as a full model's and shared rows stay bit-identical.
+    pub fn new_scoped(
+        num_users: usize,
+        cfg: &LightGcnConfig,
+        scope: &ItemScope,
+        seed: u64,
+    ) -> Self {
+        assert!(num_users > 0 && scope.num_items() > 0, "empty model");
+        assert!(cfg.layers > 0, "LightGCN needs at least one propagation layer");
+        let item_seed = scoped::item_seed(seed);
+        let mut rng = scoped::dense_rng(seed);
+        let user_rows = Matrix::randn(num_users, cfg.dim, 0.1, &mut rng);
+        let item_rows = scoped::scoped_item_rows(scope, cfg.dim, 0.1, item_seed);
+        let index = ScopeIndex::from_scope(scope);
+        let mut joint = Matrix::zeros(num_users + index.len(), cfg.dim);
+        for r in 0..num_users {
+            joint.row_mut(r).copy_from_slice(user_rows.row(r));
+        }
+        for r in 0..index.len() {
+            joint.row_mut(num_users + r).copy_from_slice(item_rows.row(r));
+        }
+        let mut params = Params::new();
+        let emb = params.push("emb", joint);
+        let adam = Adam::with_defaults(&params, cfg.lr);
+        let prop = empty_propagation(num_users, index.len());
+        Self {
+            num_users,
+            num_items: scope.num_items(),
+            layers: cfg.layers,
+            params,
+            emb,
+            prop,
+            adam,
+            cache: RwLock::new(None),
+            scope: index,
+            item_seed,
+            graph_edges: Vec::new(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.params.get(self.emb).cols()
+    }
+
+    /// Node index of a *materialized* item in the joint table.
+    fn node_of(&self, i: u32) -> Option<u32> {
+        self.scope.lookup(i).map(|r| (self.num_users + r) as u32)
+    }
+
+    /// Re-derives the propagation operator from the stored global edge
+    /// list under the current (possibly grown) scope mapping.
+    fn rebuild_scoped_prop(&mut self) {
+        debug_assert!(!self.scope.is_dense());
+        let remapped: Vec<(u32, u32, f32)> = self
+            .graph_edges
+            .iter()
+            .map(|&(u, i, w)| (u, self.scope.lookup(i).expect("edge item materialized") as u32, w))
+            .collect();
+        self.prop = normalized_bipartite(self.num_users, self.scope.len(), &remapped);
+    }
+
+    /// Materializes `ids` (embedding + optimizer rows); rebuilds the
+    /// propagation operator if node indices shifted.
+    fn ensure_items(&mut self, ids: impl Iterator<Item = u32>) {
+        if self.scope.is_dense() {
+            return;
+        }
+        let grew = scoped::ensure_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            self.item_seed,
+            0.1,
+            ids,
+        );
+        if grew {
+            self.rebuild_scoped_prop();
+            self.invalidate();
         }
     }
 
@@ -102,10 +203,13 @@ impl LightGcn {
         if batch.is_empty() {
             return 0.0;
         }
+        self.ensure_items(batch.iter().flat_map(|&(_, i, j)| [i, j]));
         self.invalidate();
         let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let pos: Vec<u32> = batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
-        let neg: Vec<u32> = batch.iter().map(|&(_, _, j)| item_node(self.num_users, j)).collect();
+        let pos: Vec<u32> =
+            batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")).collect();
+        let neg: Vec<u32> =
+            batch.iter().map(|&(_, _, j)| self.node_of(j).expect("ensured above")).collect();
         let (grads, loss) = {
             let mut g = Graph::new(&self.params);
             let f = self.build_final(&mut g);
@@ -139,18 +243,44 @@ impl Recommender for LightGcn {
         self.params.num_scalars()
     }
 
+    fn item_scope(&self) -> ScopeView<'_> {
+        match self.scope.ids() {
+            None => ScopeView::Full(self.num_items),
+            Some(ids) => ScopeView::Rows(ids),
+        }
+    }
+
+    fn prepare_items(&mut self, sorted_ids: &[u32]) {
+        self.ensure_items(sorted_ids.iter().copied());
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         debug_assert!((user as usize) < self.num_users, "user id out of range");
         self.ensure_cache();
         let cache = self.cache.read().expect("cache lock poisoned");
         let emb = cache.as_ref().expect("cache ensured above");
         let u = emb.row(user as usize);
+        // cold rows: an unmaterialized item is necessarily isolated, so
+        // its final embedding is its derived init scaled by the layer
+        // mean — exactly what a full model computes for an edgeless item
+        let mut cold: Vec<f32> = Vec::new();
+        let mean_scale = 1.0 / (self.layers + 1) as f32;
         items
             .iter()
             .map(|&i| {
                 debug_assert!((i as usize) < self.num_items, "item id out of range");
-                let v = emb.row(item_node(self.num_users, i) as usize);
-                let dot: f32 = u.iter().zip(v).map(|(&a, &b)| a * b).sum();
+                let dot: f32 = match self.node_of(i) {
+                    Some(node) => {
+                        let v = emb.row(node as usize);
+                        u.iter().zip(v).map(|(&a, &b)| a * b).sum()
+                    }
+                    None => {
+                        cold.clear();
+                        cold.resize(self.dim(), 0.0);
+                        init::derived_normal_row(self.item_seed, i, 0.1, &mut cold);
+                        u.iter().zip(&cold).map(|(&a, &b)| a * (b * mean_scale)).sum()
+                    }
+                };
                 stable_sigmoid(dot)
             })
             .collect()
@@ -160,9 +290,11 @@ impl Recommender for LightGcn {
         if batch.is_empty() {
             return 0.0;
         }
+        self.ensure_items(batch.iter().map(|&(_, i, _)| i));
         self.invalidate();
         let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> = batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let items: Vec<u32> =
+            batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")).collect();
         let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
         let (grads, loss) = {
             let mut g = Graph::new(&self.params);
@@ -178,7 +310,14 @@ impl Recommender for LightGcn {
     }
 
     fn set_graph(&mut self, edges: &[(u32, u32, f32)]) {
-        self.prop = normalized_bipartite(self.num_users, self.num_items, edges);
+        if self.scope.is_dense() {
+            self.prop = normalized_bipartite(self.num_users, self.num_items, edges);
+        } else {
+            self.graph_edges.clear();
+            self.graph_edges.extend_from_slice(edges);
+            self.ensure_items(edges.iter().map(|&(_, i, _)| i));
+            self.rebuild_scoped_prop();
+        }
         self.invalidate();
     }
 
@@ -187,13 +326,26 @@ impl Recommender for LightGcn {
     }
 
     fn export_state(&self) -> Option<String> {
-        serde_json::to_string(&self.params).ok()
+        scoped::export_state("LightGCN", &self.scope, &self.params, self.item_seed)
     }
 
     fn import_state(&mut self, json: &str) -> Result<(), String> {
-        let loaded: Params =
-            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
-        self.params.load_state_from(&loaded)?;
+        scoped::import_state(
+            "LightGCN",
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            &mut self.item_seed,
+            json,
+        )?;
+        if !self.scope.is_dense() {
+            // the restored scope need not cover the live edge list; the
+            // graph is not part of a checkpoint, so callers re-set it
+            self.graph_edges.clear();
+            self.prop = empty_propagation(self.num_users, self.scope.len());
+        }
         self.invalidate();
         Ok(())
     }

@@ -5,10 +5,17 @@
 //! math directly — the federated baselines need raw item-embedding
 //! gradients as *protocol messages* (FCF uploads them in the clear, FedMF
 //! encrypts them), so the math must be callable outside a training step.
+//!
+//! The item table is a [`RowTable`]: dense for servers and centralized
+//! runs, row-sparse for item-scoped clients, which hold only the
+//! embedding rows they have actually touched (positives at construction;
+//! sampled negatives and dispersed items materialize lazily with
+//! seed-derived deterministic init). The table's trailing column is the
+//! item bias, so one arena row carries the whole per-item state.
 
 use crate::lightgcn::stable_sigmoid;
-use crate::traits::Recommender;
-use ptf_tensor::Matrix;
+use crate::traits::{Recommender, ScopeView};
+use ptf_tensor::{ItemScope, Matrix, RowTable};
 use rand::Rng;
 
 /// Numerically stable BCE of a logit against a (soft) target.
@@ -63,18 +70,30 @@ pub fn mf_sgd_step(
     bce_loss(logit, label)
 }
 
-/// A plain MF model (user table, item table, item bias) implementing
-/// [`Recommender`] with per-sample SGD. Used as a centralized sanity
-/// baseline and as the building block the federated baselines decompose.
+/// A plain MF model (user table, item [`RowTable`] with a trailing bias
+/// column) implementing [`Recommender`] with per-sample SGD. Used as a
+/// centralized sanity baseline, the paper-scale throughput client, and
+/// the building block the federated baselines decompose.
 pub struct MfModel {
     pub user_emb: Matrix,
-    pub item_emb: Matrix,
-    pub item_bias: Vec<f32>,
+    /// Item state: `dim` embedding columns + 1 bias column per row.
+    items: RowTable,
     pub lr: f32,
     pub reg: f32,
 }
 
+/// Checkpoint wire form (state only; hyperparameters stay live).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MfWire {
+    arch: String,
+    user_emb: Matrix,
+    items: RowTable,
+}
+
 impl MfModel {
+    /// A dense MF model with the legacy sequential-RNG init (user and
+    /// item tables drawn from one `rng` stream, biases zero) — servers
+    /// and baselines that own the full catalogue.
     pub fn new(
         num_users: usize,
         num_items: usize,
@@ -82,25 +101,81 @@ impl MfModel {
         lr: f32,
         rng: &mut impl Rng,
     ) -> Self {
-        Self {
-            user_emb: Matrix::randn(num_users, dim, 0.1, rng),
-            item_emb: Matrix::randn(num_items, dim, 0.1, rng),
-            item_bias: vec![0.0; num_items],
-            lr,
-            reg: 1e-4,
-        }
+        let user_emb = Matrix::randn(num_users, dim, 0.1, rng);
+        let item_emb = Matrix::randn(num_items, dim, 0.1, rng);
+        let items = RowTable::dense_with(num_items, dim + 1, |r, row| {
+            row[..dim].copy_from_slice(item_emb.row(r));
+            row[dim] = 0.0;
+        });
+        Self { user_emb, items, lr, reg: 1e-4 }
+    }
+
+    /// An item-scoped MF model: the item table materializes only `scope`
+    /// (plus whatever later training touches), every row initialized from
+    /// its `(seed, id)`-derived stream. Two models with the same `seed`
+    /// — one `Full`, one `Rows` — hold bit-identical values on every
+    /// shared row.
+    pub fn new_scoped(num_users: usize, dim: usize, lr: f32, scope: &ItemScope, seed: u64) -> Self {
+        use ptf_tensor::derive_seed;
+        use rand::SeedableRng;
+        // the user table draws from its own derived stream so its values
+        // cannot depend on the item scope (Full vs Rows parity)
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(seed, 0, DENSE_INIT_STREAM));
+        let user_emb = Matrix::randn(num_users, dim, 0.1, &mut rng);
+        let items =
+            RowTable::from_scope(scope, dim + 1, dim, 0.1, derive_seed(seed, 0, ITEM_INIT_STREAM));
+        Self { user_emb, items, lr, reg: 1e-4 }
     }
 
     pub fn dim(&self) -> usize {
         self.user_emb.cols()
     }
 
+    /// The item table (scope inspection, delta staging in baselines).
+    pub fn items(&self) -> &RowTable {
+        &self.items
+    }
+
+    /// Embedding slice of a materialized item.
+    ///
+    /// # Panics
+    /// If `item` is not materialized (use [`Recommender::item_scope`] or
+    /// score through [`MfModel::logit`], which handles cold rows).
+    pub fn item_embedding(&self, item: u32) -> &[f32] {
+        let r = self.items.lookup(item).expect("item row not materialized");
+        &self.items.row(r)[..self.dim()]
+    }
+
+    /// Bias of a materialized item (see [`MfModel::item_embedding`]).
+    pub fn item_bias(&self, item: u32) -> f32 {
+        let r = self.items.lookup(item).expect("item row not materialized");
+        self.items.row(r)[self.dim()]
+    }
+
+    /// Mutable `[embedding.., bias]` row of an item, materializing it if
+    /// needed (FedAvg application in the baselines).
+    pub fn item_row_mut(&mut self, item: u32) -> &mut [f32] {
+        let r = self.items.ensure(item);
+        self.items.row_mut(r)
+    }
+
+    /// Pre-reserves item-row capacity (see [`RowTable::reserve_rows`]).
+    pub fn reserve_item_rows(&mut self, additional: usize) {
+        self.items.reserve_rows(additional);
+    }
+
     pub fn logit(&self, user: u32, item: u32) -> f32 {
         let u = self.user_emb.row(user as usize);
-        let v = self.item_emb.row(item as usize);
-        u.iter().zip(v).map(|(&a, &b)| a * b).sum::<f32>() + self.item_bias[item as usize]
+        let dim = u.len();
+        self.items.with_row(item, |row| {
+            u.iter().zip(&row[..dim]).map(|(&a, &b)| a * b).sum::<f32>() + row[dim]
+        })
     }
 }
+
+/// Stream discriminators inside one scoped model's seed namespace.
+const DENSE_INIT_STREAM: u64 = 1;
+const ITEM_INIT_STREAM: u64 = 2;
 
 impl Recommender for MfModel {
     fn name(&self) -> &'static str {
@@ -112,11 +187,23 @@ impl Recommender for MfModel {
     }
 
     fn num_items(&self) -> usize {
-        self.item_emb.rows()
+        self.items.num_items()
     }
 
     fn num_params(&self) -> usize {
-        self.user_emb.len() + self.item_emb.len() + self.item_bias.len()
+        // materialized rows only — the whole point of scoping
+        self.user_emb.len() + self.items.len()
+    }
+
+    fn item_scope(&self) -> ScopeView<'_> {
+        match self.items.ids() {
+            None => ScopeView::Full(self.items.num_items()),
+            Some(ids) => ScopeView::Rows(ids),
+        }
+    }
+
+    fn prepare_items(&mut self, sorted_ids: &[u32]) {
+        self.items.ensure_many(sorted_ids);
     }
 
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
@@ -137,21 +224,56 @@ impl Recommender for MfModel {
         if batch.is_empty() {
             return 0.0;
         }
-        // disjoint field borrows: the user row, item row, and bias live in
+        // disjoint field borrows: the user row and the item row live in
         // different containers, so the whole step runs in place
-        let Self { user_emb, item_emb, item_bias, lr, reg } = self;
+        let dim = self.dim();
+        let Self { user_emb, items, lr, reg } = self;
         let mut total = 0.0;
         for &(u, i, label) in batch {
-            total += mf_sgd_step(
-                user_emb.row_mut(u as usize),
-                item_emb.row_mut(i as usize),
-                &mut item_bias[i as usize],
-                label,
-                *lr,
-                *reg,
-            );
+            let r = items.ensure(i);
+            let (item_vec, bias) = items.row_mut(r).split_at_mut(dim);
+            total +=
+                mf_sgd_step(user_emb.row_mut(u as usize), item_vec, &mut bias[0], label, *lr, *reg);
         }
         total / batch.len() as f32
+    }
+
+    fn export_state(&self) -> Option<String> {
+        let wire = MfWire {
+            arch: "MF".to_string(),
+            user_emb: self.user_emb.clone(),
+            items: self.items.clone(),
+        };
+        serde_json::to_string(&wire).ok()
+    }
+
+    fn import_state(&mut self, json: &str) -> Result<(), String> {
+        let wire: MfWire =
+            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
+        if wire.arch != "MF" {
+            return Err(format!("architecture mismatch: expected MF, got {}", wire.arch));
+        }
+        if wire.user_emb.shape() != self.user_emb.shape() {
+            return Err(format!(
+                "shape mismatch for user_emb: {:?} vs {:?}",
+                wire.user_emb.shape(),
+                self.user_emb.shape()
+            ));
+        }
+        if wire.items.num_items() != self.items.num_items()
+            || wire.items.cols() != self.items.cols()
+        {
+            return Err(format!(
+                "shape mismatch for items: {}x{} vs {}x{}",
+                wire.items.num_items(),
+                wire.items.cols(),
+                self.items.num_items(),
+                self.items.cols()
+            ));
+        }
+        self.user_emb = wire.user_emb;
+        self.items = wire.items;
+        Ok(())
     }
 }
 
@@ -226,5 +348,56 @@ mod tests {
         assert_eq!(m.num_params(), 3 * 4 + 5 * 4 + 5);
         assert_eq!(m.score_all(1).len(), 5);
         assert_eq!(m.name(), "MF");
+        assert_eq!(m.item_scope(), ScopeView::Full(5));
+        assert!(!m.scoped());
+    }
+
+    #[test]
+    fn scoped_model_holds_only_its_rows_until_touched() {
+        let scope = ItemScope::rows(100, vec![3, 40, 77]);
+        let mut m = MfModel::new_scoped(1, 8, 0.1, &scope, 11);
+        assert_eq!(m.num_items(), 100);
+        assert_eq!(m.item_scope().len(), 3);
+        assert_eq!(m.num_params(), 8 + 3 * 9);
+        assert!(m.scoped());
+        // scoring an out-of-scope item works (cold init) without growing
+        let s = m.score(0, &[50])[0];
+        assert!((0.0..=1.0).contains(&s));
+        assert_eq!(m.item_scope().len(), 3, "scoring must not materialize");
+        // training one touches exactly that row
+        m.train_batch(&[(0, 50, 1.0)]);
+        assert_eq!(m.item_scope().len(), 4);
+        assert!(m.item_scope().contains(50));
+    }
+
+    #[test]
+    fn scoped_and_full_agree_on_shared_rows() {
+        let full = MfModel::new_scoped(2, 8, 0.1, &ItemScope::Full(50), 21);
+        let rows = MfModel::new_scoped(2, 8, 0.1, &ItemScope::rows(50, vec![5, 9, 30]), 21);
+        assert_eq!(full.score(1, &[5, 9, 30]), rows.score(1, &[5, 9, 30]));
+        // …including out-of-scope (cold) items
+        assert_eq!(full.score(0, &[17]), rows.score(0, &[17]));
+    }
+
+    #[test]
+    fn export_import_roundtrip_scoped() {
+        let scope = ItemScope::rows(30, vec![1, 4, 20]);
+        let mut m = MfModel::new_scoped(2, 4, 0.2, &scope, 5);
+        for _ in 0..20 {
+            m.train_batch(&[(0, 1, 1.0), (1, 4, 0.0), (0, 25, 1.0)]);
+        }
+        let ckpt = m.export_state().unwrap();
+        let expected = m.score(0, &[1, 4, 20, 25, 7]);
+
+        let mut fresh = MfModel::new_scoped(2, 4, 0.2, &scope, 999);
+        assert_ne!(fresh.score(0, &[1, 4, 20, 25, 7]), expected);
+        fresh.import_state(&ckpt).unwrap();
+        assert_eq!(fresh.score(0, &[1, 4, 20, 25, 7]), expected);
+        assert!(fresh.item_scope().contains(25), "materialized rows restored");
+
+        // wrong-shape and wrong-arch checkpoints are rejected
+        let mut other = MfModel::new_scoped(3, 4, 0.2, &scope, 5);
+        assert!(other.import_state(&ckpt).unwrap_err().contains("shape mismatch"));
+        assert!(m.import_state("{garbage").is_err());
     }
 }

@@ -5,9 +5,10 @@
 //! 32-dim embeddings), then a trainable head `h` produces the logit:
 //! `r̂_ij = σ(hᵀ MLP([u_i, v_j]))`.
 
-use crate::traits::Recommender;
+use crate::scoped;
+use crate::traits::{Recommender, ScopeView};
 use ptf_tensor::prelude::*;
-use ptf_tensor::{init, ParamId};
+use ptf_tensor::{init, ItemScope, ParamId, ScopeIndex};
 use rand::Rng;
 
 /// NeuMF hyperparameters (defaults follow §IV-D).
@@ -38,15 +39,58 @@ pub struct NeuMf {
     layers: Vec<(ParamId, ParamId)>,
     head: (ParamId, ParamId),
     adam: Adam,
+    /// Which global item id backs which `item_emb` row (dense identity
+    /// for full models; sorted + lazily growing for scoped clients).
+    scope: ScopeIndex,
+    /// Per-row derived init seed for lazily materialized item rows.
+    item_seed: u64,
 }
 
 impl NeuMf {
     pub fn new(num_users: usize, num_items: usize, cfg: &NeuMfConfig, rng: &mut impl Rng) -> Self {
         assert!(num_users > 0 && num_items > 0, "empty model");
+        // legacy draw order: user table, then item table, then layers
+        let user_emb = Matrix::randn(num_users, cfg.dim, 0.1, rng);
+        let item_emb = Matrix::randn(num_items, cfg.dim, 0.1, rng);
+        Self::assemble(num_items, cfg, user_emb, item_emb, ScopeIndex::dense(num_items), 0, rng)
+    }
+
+    /// An item-scoped NeuMF: the item table materializes only `scope`
+    /// (plus whatever later training touches), every row initialized from
+    /// its `(seed, id)`-derived stream; all other parameters draw from a
+    /// scope-independent derived stream, so `Full`- and `Rows`-scoped
+    /// models with the same seed are bit-identical on shared rows.
+    pub fn new_scoped(num_users: usize, cfg: &NeuMfConfig, scope: &ItemScope, seed: u64) -> Self {
+        assert!(num_users > 0 && scope.num_items() > 0, "empty model");
+        let item_seed = scoped::item_seed(seed);
+        let item_emb = scoped::scoped_item_rows(scope, cfg.dim, 0.1, item_seed);
+        let mut rng = scoped::dense_rng(seed);
+        let user_emb = Matrix::randn(num_users, cfg.dim, 0.1, &mut rng);
+        Self::assemble(
+            scope.num_items(),
+            cfg,
+            user_emb,
+            item_emb,
+            ScopeIndex::from_scope(scope),
+            item_seed,
+            &mut rng,
+        )
+    }
+
+    fn assemble(
+        num_items: usize,
+        cfg: &NeuMfConfig,
+        user_rows: Matrix,
+        item_rows: Matrix,
+        scope: ScopeIndex,
+        item_seed: u64,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(!cfg.layers.is_empty(), "NeuMF needs at least one MLP layer");
+        let num_users = user_rows.rows();
         let mut params = Params::new();
-        let user_emb = params.push("user_emb", Matrix::randn(num_users, cfg.dim, 0.1, rng));
-        let item_emb = params.push("item_emb", Matrix::randn(num_items, cfg.dim, 0.1, rng));
+        let user_emb = params.push("user_emb", user_rows);
+        let item_emb = params.push("item_emb", item_rows);
         let mut layers = Vec::with_capacity(cfg.layers.len());
         let mut fan_in = 2 * cfg.dim;
         for (l, &width) in cfg.layers.iter().enumerate() {
@@ -67,15 +111,17 @@ impl NeuMf {
             layers,
             head: (head_w, head_b),
             adam,
+            scope,
+            item_seed,
         }
     }
 
-    /// Builds the logit column for `(users[k], items[k])` pairs.
-    fn build_logits(&self, g: &mut Graph<'_>, users: &[u32], items: &[u32]) -> Var {
-        let ue = g.param(self.user_emb);
-        let ie = g.param(self.item_emb);
-        let u = g.gather(ue, users);
-        let v = g.gather(ie, items);
+    fn dim(&self) -> usize {
+        self.params.get(self.user_emb).cols()
+    }
+
+    /// Runs the MLP + head on top of the gathered user/item embeddings.
+    fn build_logits_from(&self, g: &mut Graph<'_>, u: Var, v: Var) -> Var {
         let mut h = g.concat_cols(u, v);
         for &(w, b) in &self.layers {
             let wv = g.param(w);
@@ -89,6 +135,32 @@ impl NeuMf {
         let hbv = g.param(hb);
         let out = g.matmul(h, hwv);
         g.add_row(out, hbv)
+    }
+
+    /// Builds the logit column for `(users[k], items[k])` pairs; item ids
+    /// must already be mapped to `item_emb` rows.
+    fn build_logits(&self, g: &mut Graph<'_>, users: &[u32], item_rows: &[u32]) -> Var {
+        let ue = g.param(self.user_emb);
+        let ie = g.param(self.item_emb);
+        let u = g.gather(ue, users);
+        let v = g.gather(ie, item_rows);
+        self.build_logits_from(g, u, v)
+    }
+
+    /// The gathered item-embedding rows for `items`, including the
+    /// derived init of any not-yet-materialized (cold) row — the scoped
+    /// `&self` scoring path.
+    fn gather_item_rows(&self, items: &[u32]) -> Matrix {
+        let dim = self.dim();
+        let table = self.params.get(self.item_emb);
+        let mut out = Matrix::zeros(items.len(), dim);
+        for (r, &i) in items.iter().enumerate() {
+            match self.scope.lookup(i) {
+                Some(row) => out.row_mut(r).copy_from_slice(table.row(row)),
+                None => init::derived_normal_row(self.item_seed, i, 0.1, out.row_mut(r)),
+            }
+        }
+        out
     }
 
     fn check_ids(&self, users: &[u32], items: &[u32]) {
@@ -114,11 +186,40 @@ impl Recommender for NeuMf {
         self.params.num_scalars()
     }
 
+    fn item_scope(&self) -> ScopeView<'_> {
+        match self.scope.ids() {
+            None => ScopeView::Full(self.num_items),
+            Some(ids) => ScopeView::Rows(ids),
+        }
+    }
+
+    fn prepare_items(&mut self, sorted_ids: &[u32]) {
+        scoped::ensure_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.item_emb,
+            0,
+            self.item_seed,
+            0.1,
+            sorted_ids.iter().copied(),
+        );
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         let users = vec![user; items.len()];
         self.check_ids(&users, items);
         let mut g = Graph::new(&self.params);
-        let logits = self.build_logits(&mut g, &users, items);
+        let logits = if self.scope.is_dense() {
+            self.build_logits(&mut g, &users, items)
+        } else {
+            // scoped `&self` path: gather the item rows by hand (cold rows
+            // get their derived init) and feed them as a graph leaf
+            let ue = g.param(self.user_emb);
+            let u = g.gather(ue, &users);
+            let v = g.leaf(self.gather_item_rows(items));
+            self.build_logits_from(&mut g, u, v)
+        };
         let probs = g.sigmoid(logits);
         g.value(probs).as_slice().to_vec()
     }
@@ -131,9 +232,23 @@ impl Recommender for NeuMf {
         let items: Vec<u32> = batch.iter().map(|&(_, i, _)| i).collect();
         let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
         self.check_ids(&users, &items);
+        // materialize any first-touched rows, then train against the
+        // row-mapped indices (identity when dense)
+        scoped::ensure_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.item_emb,
+            0,
+            self.item_seed,
+            0.1,
+            items.iter().copied(),
+        );
+        let rows: Vec<u32> =
+            items.iter().map(|&i| self.scope.lookup(i).expect("ensured above") as u32).collect();
         let (grads, loss) = {
             let mut g = Graph::new(&self.params);
-            let logits = self.build_logits(&mut g, &users, &items);
+            let logits = self.build_logits(&mut g, &users, &rows);
             let loss = g.bce_with_logits(logits, &labels);
             (g.backward(loss), g.scalar(loss))
         };
@@ -142,14 +257,20 @@ impl Recommender for NeuMf {
     }
 
     fn export_state(&self) -> Option<String> {
-        serde_json::to_string(&self.params).ok()
+        scoped::export_state("NeuMF", &self.scope, &self.params, self.item_seed)
     }
 
     fn import_state(&mut self, json: &str) -> Result<(), String> {
-        let loaded: Params =
-            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
-        self.params.load_state_from(&loaded)?;
-        Ok(())
+        scoped::import_state(
+            "NeuMF",
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.item_emb,
+            0,
+            &mut self.item_seed,
+            json,
+        )
     }
 }
 

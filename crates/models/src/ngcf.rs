@@ -11,11 +11,12 @@
 //! element-wise affinity term. The final representation concatenates every
 //! layer, `[E^{(0)} | … | E^{(L)}]`, and scores are sigmoid dot products.
 
-use crate::graph::{empty_propagation, item_node, normalized_bipartite};
+use crate::graph::{empty_propagation, normalized_bipartite};
 use crate::lightgcn::stable_sigmoid;
-use crate::traits::Recommender;
+use crate::scoped;
+use crate::traits::{Recommender, ScopeView};
 use ptf_tensor::prelude::*;
-use ptf_tensor::{init, ParamId};
+use ptf_tensor::{init, ItemScope, ParamId, ScopeIndex};
 use rand::Rng;
 use std::sync::RwLock;
 
@@ -62,14 +63,61 @@ pub struct Ngcf {
     /// Clean inference embeddings; `RwLock` so concurrent evaluation
     /// threads can score through one shared model.
     cache: RwLock<Option<Matrix>>,
+    /// Which global item id backs which item block row of `emb` (rows
+    /// `num_users..` of the joint table); dense identity for full models.
+    scope: ScopeIndex,
+    /// Per-row derived init seed for lazily materialized item rows.
+    item_seed: u64,
+    /// Last `set_graph` edge list in global ids (scoped models re-derive
+    /// the propagation operator from it when node indices shift).
+    graph_edges: Vec<(u32, u32, f32)>,
 }
 
 impl Ngcf {
     pub fn new(num_users: usize, num_items: usize, cfg: &NgcfConfig, rng: &mut impl Rng) -> Self {
         assert!(num_users > 0 && num_items > 0, "empty model");
+        let joint = Matrix::randn(num_users + num_items, cfg.dim, 0.1, rng);
+        Self::assemble(num_users, num_items, cfg, joint, ScopeIndex::dense(num_items), 0, rng)
+    }
+
+    /// An item-scoped NGCF: the item block of the joint node table
+    /// materializes only `scope` (plus whatever later training or graph
+    /// edges touch), every row initialized from its `(seed, id)`-derived
+    /// stream; user rows and propagation weights draw from a
+    /// scope-independent stream. With `message_dropout = 0`, a `Rows`
+    /// model is bit-identical to a `Full` model of the same seed on every
+    /// shared row (dropout masks cover the whole node space, so their
+    /// draw counts differ under scoping).
+    pub fn new_scoped(num_users: usize, cfg: &NgcfConfig, scope: &ItemScope, seed: u64) -> Self {
+        assert!(num_users > 0 && scope.num_items() > 0, "empty model");
+        let item_seed = scoped::item_seed(seed);
+        let mut rng = scoped::dense_rng(seed);
+        let user_rows = Matrix::randn(num_users, cfg.dim, 0.1, &mut rng);
+        let item_rows = scoped::scoped_item_rows(scope, cfg.dim, 0.1, item_seed);
+        let index = ScopeIndex::from_scope(scope);
+        let mut joint = Matrix::zeros(num_users + index.len(), cfg.dim);
+        for r in 0..num_users {
+            joint.row_mut(r).copy_from_slice(user_rows.row(r));
+        }
+        for r in 0..index.len() {
+            joint.row_mut(num_users + r).copy_from_slice(item_rows.row(r));
+        }
+        Self::assemble(num_users, scope.num_items(), cfg, joint, index, item_seed, &mut rng)
+    }
+
+    fn assemble(
+        num_users: usize,
+        num_items: usize,
+        cfg: &NgcfConfig,
+        joint: Matrix,
+        scope: ScopeIndex,
+        item_seed: u64,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(cfg.layers > 0, "NGCF needs at least one propagation layer");
+        let item_rows = scope.len();
         let mut params = Params::new();
-        let emb = params.push("emb", Matrix::randn(num_users + num_items, cfg.dim, 0.1, rng));
+        let emb = params.push("emb", joint);
         let mut w1 = Vec::with_capacity(cfg.layers);
         let mut w2 = Vec::with_capacity(cfg.layers);
         for l in 0..cfg.layers {
@@ -90,10 +138,86 @@ impl Ngcf {
             emb,
             w1,
             w2,
-            prop: empty_propagation(num_users, num_items),
+            prop: empty_propagation(num_users, item_rows),
             adam,
             dropout_rng,
             cache: RwLock::new(None),
+            scope,
+            item_seed,
+            graph_edges: Vec::new(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.params.get(self.emb).cols()
+    }
+
+    /// Node index of a *materialized* item in the joint table.
+    fn node_of(&self, i: u32) -> Option<u32> {
+        self.scope.lookup(i).map(|r| (self.num_users + r) as u32)
+    }
+
+    /// Re-derives the propagation operator from the stored global edge
+    /// list under the current (possibly grown) scope mapping.
+    fn rebuild_scoped_prop(&mut self) {
+        debug_assert!(!self.scope.is_dense());
+        let remapped: Vec<(u32, u32, f32)> = self
+            .graph_edges
+            .iter()
+            .map(|&(u, i, w)| (u, self.scope.lookup(i).expect("edge item materialized") as u32, w))
+            .collect();
+        self.prop = normalized_bipartite(self.num_users, self.scope.len(), &remapped);
+    }
+
+    /// Materializes `ids`; rebuilds the propagation operator if node
+    /// indices shifted.
+    fn ensure_items(&mut self, ids: impl Iterator<Item = u32>) {
+        if self.scope.is_dense() {
+            return;
+        }
+        let grew = scoped::ensure_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            self.item_seed,
+            0.1,
+            ids,
+        );
+        if grew {
+            self.rebuild_scoped_prop();
+            self.invalidate();
+        }
+    }
+
+    /// The final concatenated representation an *unmaterialized* (hence
+    /// isolated) item would get: zero messages and zero affinity leave
+    /// only the self path, `e ← LeakyReLU(e W₁⁽ˡ⁾)`, layer by layer —
+    /// computed in the same accumulation order as the autograd matmul so
+    /// the value matches a full model's edgeless item bit for bit.
+    fn cold_item_final(&self, id: u32, out: &mut Vec<f32>) {
+        let dim = self.dim();
+        let mut e = vec![0.0f32; dim];
+        init::derived_normal_row(self.item_seed, id, 0.1, &mut e);
+        out.clear();
+        out.extend_from_slice(&e);
+        let mut next = vec![0.0f32; dim];
+        for l in 0..self.layers {
+            let w1 = self.params.get(self.w1[l]);
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for (k, &a) in e.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (n, &b) in next.iter_mut().zip(w1.row(k)) {
+                    *n += a * b;
+                }
+            }
+            for (ek, &nk) in e.iter_mut().zip(&next) {
+                *ek = if nk > 0.0 { nk } else { self.leaky_slope * nk };
+            }
+            out.extend_from_slice(&e);
         }
     }
 
@@ -159,18 +283,38 @@ impl Recommender for Ngcf {
         self.params.num_scalars()
     }
 
+    fn item_scope(&self) -> ScopeView<'_> {
+        match self.scope.ids() {
+            None => ScopeView::Full(self.num_items),
+            Some(ids) => ScopeView::Rows(ids),
+        }
+    }
+
+    fn prepare_items(&mut self, sorted_ids: &[u32]) {
+        self.ensure_items(sorted_ids.iter().copied());
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         debug_assert!((user as usize) < self.num_users, "user id out of range");
         self.ensure_cache();
         let cache = self.cache.read().expect("cache lock poisoned");
         let emb = cache.as_ref().expect("cache ensured above");
         let u = emb.row(user as usize);
+        let mut cold: Vec<f32> = Vec::new();
         items
             .iter()
             .map(|&i| {
                 debug_assert!((i as usize) < self.num_items, "item id out of range");
-                let v = emb.row(item_node(self.num_users, i) as usize);
-                let dot: f32 = u.iter().zip(v).map(|(&a, &b)| a * b).sum();
+                let dot: f32 = match self.node_of(i) {
+                    Some(node) => {
+                        let v = emb.row(node as usize);
+                        u.iter().zip(v).map(|(&a, &b)| a * b).sum()
+                    }
+                    None => {
+                        self.cold_item_final(i, &mut cold);
+                        u.iter().zip(&cold).map(|(&a, &b)| a * b).sum()
+                    }
+                };
                 stable_sigmoid(dot)
             })
             .collect()
@@ -180,9 +324,11 @@ impl Recommender for Ngcf {
         if batch.is_empty() {
             return 0.0;
         }
+        self.ensure_items(batch.iter().map(|&(_, i, _)| i));
         self.invalidate();
         let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> = batch.iter().map(|&(_, i, _)| item_node(self.num_users, i)).collect();
+        let items: Vec<u32> =
+            batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")).collect();
         let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
         let mut dropout_rng = self.dropout_rng.clone();
         let (grads, loss) = {
@@ -212,7 +358,14 @@ impl Recommender for Ngcf {
     }
 
     fn set_graph(&mut self, edges: &[(u32, u32, f32)]) {
-        self.prop = normalized_bipartite(self.num_users, self.num_items, edges);
+        if self.scope.is_dense() {
+            self.prop = normalized_bipartite(self.num_users, self.num_items, edges);
+        } else {
+            self.graph_edges.clear();
+            self.graph_edges.extend_from_slice(edges);
+            self.ensure_items(edges.iter().map(|&(_, i, _)| i));
+            self.rebuild_scoped_prop();
+        }
         self.invalidate();
     }
 
@@ -221,13 +374,25 @@ impl Recommender for Ngcf {
     }
 
     fn export_state(&self) -> Option<String> {
-        serde_json::to_string(&self.params).ok()
+        scoped::export_state("NGCF", &self.scope, &self.params, self.item_seed)
     }
 
     fn import_state(&mut self, json: &str) -> Result<(), String> {
-        let loaded: Params =
-            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
-        self.params.load_state_from(&loaded)?;
+        scoped::import_state(
+            "NGCF",
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            &mut self.item_seed,
+            json,
+        )?;
+        if !self.scope.is_dense() {
+            // the graph is not part of a checkpoint; callers re-set it
+            self.graph_edges.clear();
+            self.prop = empty_propagation(self.num_users, self.scope.len());
+        }
         self.invalidate();
         Ok(())
     }

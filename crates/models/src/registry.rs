@@ -8,6 +8,7 @@ use crate::lightgcn::{LightGcn, LightGcnConfig};
 use crate::neumf::{NeuMf, NeuMfConfig};
 use crate::ngcf::{Ngcf, NgcfConfig};
 use crate::traits::Recommender;
+use ptf_tensor::ItemScope;
 use rand::Rng;
 
 /// The architectures the registry can build: the paper's three
@@ -140,6 +141,56 @@ pub fn build_model(
     }
 }
 
+/// Constructs a boxed model whose item embeddings cover exactly `scope`.
+///
+/// This is the item-scoped model-construction API: a federated client
+/// passes `ItemScope::Rows` over its private positives and gets a model
+/// holding only those embedding rows (sampled negatives and dispersed
+/// items materialize lazily on first touch, each from its
+/// `(seed, id)`-derived init). All randomness derives from `seed`, and
+/// the item-row draws are independent of the scope — so a `Rows` model
+/// and a `Full` model built from the same seed are bit-identical on
+/// every row both hold (for NGCF, under `message_dropout = 0`; see
+/// [`Ngcf::new_scoped`]).
+pub fn build_model_scoped(
+    kind: ModelKind,
+    num_users: usize,
+    hyper: &ModelHyper,
+    scope: &ItemScope,
+    seed: u64,
+) -> Box<dyn Recommender> {
+    match kind {
+        ModelKind::NeuMf => Box::new(NeuMf::new_scoped(
+            num_users,
+            &NeuMfConfig { dim: hyper.dim, layers: hyper.mlp_layers.clone(), lr: hyper.lr },
+            scope,
+            seed,
+        )),
+        ModelKind::Ngcf => Box::new(Ngcf::new_scoped(
+            num_users,
+            &NgcfConfig {
+                dim: hyper.dim,
+                layers: hyper.gcn_layers,
+                lr: hyper.lr,
+                leaky_slope: 0.2,
+                reg: hyper.ngcf_reg,
+                message_dropout: hyper.ngcf_dropout,
+            },
+            scope,
+            seed,
+        )),
+        ModelKind::LightGcn => Box::new(LightGcn::new_scoped(
+            num_users,
+            &LightGcnConfig { dim: hyper.dim, layers: hyper.gcn_layers, lr: hyper.lr },
+            scope,
+            seed,
+        )),
+        ModelKind::Mf => {
+            Box::new(crate::mf::MfModel::new_scoped(num_users, hyper.dim, hyper.lr, scope, seed))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +245,53 @@ mod tests {
                 last = m.train_batch(&batch);
             }
             assert!(last < first, "{kind}: loss {first} → {last} did not improve");
+        }
+    }
+
+    #[test]
+    fn scoped_registry_builds_every_kind() {
+        let hyper = ModelHyper::small();
+        let scope = ItemScope::rows(12, vec![1, 5, 9]);
+        for kind in [ModelKind::Mf, ModelKind::NeuMf, ModelKind::Ngcf, ModelKind::LightGcn] {
+            let mut m = build_model_scoped(kind, 2, &hyper, &scope, 7);
+            assert_eq!(m.name(), kind.name());
+            assert_eq!(m.num_items(), 12, "{kind}: ids stay global");
+            assert_eq!(m.item_scope().len(), 3, "{kind}: only scoped rows materialized");
+            assert!(m.scoped());
+            // out-of-scope items score (cold) without materializing…
+            let s = m.score(0, &[11]);
+            assert!((0.0..=1.0).contains(&s[0]), "{kind}: {s:?}");
+            assert_eq!(m.item_scope().len(), 3, "{kind}: scoring must not materialize");
+            // …and training one materializes exactly that row
+            m.set_graph(&[(0, 1, 1.0)]);
+            m.train_batch(&[(0, 11, 1.0), (1, 5, 0.0)]);
+            assert_eq!(m.item_scope().len(), 4, "{kind}");
+            assert!(m.item_scope().contains(11), "{kind}");
+        }
+    }
+
+    #[test]
+    fn scoped_checkpoints_roundtrip_sparse_tables() {
+        let hyper = ModelHyper::small();
+        let scope = ItemScope::rows(16, vec![0, 3, 7]);
+        for kind in [ModelKind::Mf, ModelKind::NeuMf, ModelKind::Ngcf, ModelKind::LightGcn] {
+            let mut trained = build_model_scoped(kind, 3, &hyper, &scope, 13);
+            trained.set_graph(&[(0, 0, 1.0), (1, 3, 1.0)]);
+            for _ in 0..10 {
+                trained.train_batch(&[(0, 0, 1.0), (0, 12, 0.0), (1, 3, 1.0)]);
+            }
+            let ckpt = trained.export_state().expect("scoped models checkpoint");
+            let probe = [0u32, 3, 7, 12];
+            let expected = trained.score(1, &probe);
+
+            let mut fresh = build_model_scoped(kind, 3, &hyper, &scope, 4242);
+            fresh.import_state(&ckpt).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            if kind == ModelKind::LightGcn || kind == ModelKind::Ngcf {
+                // the graph is not part of a checkpoint
+                fresh.set_graph(&[(0, 0, 1.0), (1, 3, 1.0)]);
+            }
+            assert_eq!(fresh.score(1, &probe), expected, "{kind}: state not restored");
+            assert!(fresh.item_scope().contains(12), "{kind}: lazily grown row lost");
         }
     }
 

@@ -1,0 +1,184 @@
+//! Shared machinery for item-scoped autograd models (NeuMF, NGCF,
+//! LightGCN): lazy growth of the item block of an embedding parameter,
+//! and the checkpoint envelope that round-trips the materialized id set.
+
+use ptf_tensor::{derive_seed, init, Adam, ItemScope, ParamId, Params, ScopeIndex};
+
+/// Stream discriminators inside one scoped model's seed namespace (the
+/// same constants as `MfModel`'s, applied to a different derived master).
+pub(crate) const DENSE_INIT_STREAM: u64 = 1;
+pub(crate) const ITEM_INIT_STREAM: u64 = 2;
+
+/// The RNG for a scoped model's non-item parameters (user embeddings,
+/// MLP/propagation weights). A separate stream from the item rows, so the
+/// dense draws cannot depend on the item scope — the keystone of
+/// `Full`-vs-`Rows` bit-parity.
+pub(crate) fn dense_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(derive_seed(seed, 0, DENSE_INIT_STREAM))
+}
+
+/// The per-row item-init seed of a scoped model.
+pub(crate) fn item_seed(seed: u64) -> u64 {
+    derive_seed(seed, 0, ITEM_INIT_STREAM)
+}
+
+/// Builds the eagerly materialized item block of an embedding parameter:
+/// one row per scoped id, each from its `(item_seed, id)`-derived stream.
+pub(crate) fn scoped_item_rows(
+    scope: &ItemScope,
+    dim: usize,
+    std: f32,
+    seed: u64,
+) -> ptf_tensor::Matrix {
+    match scope {
+        ItemScope::Full(n) => init::derived_normal_rows(0..*n as u32, dim, std, seed),
+        ItemScope::Rows { ids, .. } => {
+            init::derived_normal_rows(ids.iter().copied(), dim, std, seed)
+        }
+    }
+}
+
+/// Materializes every id in `ids` that the scope does not hold yet:
+/// inserts the derived-init row into the item block of `emb` (which
+/// starts `row_offset` rows into the parameter — NGCF/LightGCN put user
+/// rows first) and a zero row into the optimizer moments at the same
+/// position. Returns true if anything was inserted (graph models must
+/// rebuild their propagation operator, since node indices shifted).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ensure_item_rows(
+    scope: &mut ScopeIndex,
+    params: &mut Params,
+    adam: &mut Adam,
+    emb: ParamId,
+    row_offset: usize,
+    item_seed: u64,
+    std: f32,
+    ids: impl Iterator<Item = u32>,
+) -> bool {
+    let mut inserted_any = false;
+    let mut buf: Vec<f32> = Vec::new();
+    for id in ids {
+        let (pos, inserted) = scope.insert(id);
+        if !inserted {
+            continue;
+        }
+        inserted_any = true;
+        let dim = params.get(emb).cols();
+        buf.clear();
+        buf.resize(dim, 0.0);
+        init::derived_normal_row(item_seed, id, std, &mut buf);
+        params.get_mut(emb).insert_row(row_offset + pos, &buf);
+        adam.insert_zero_row(emb, row_offset + pos);
+    }
+    inserted_any
+}
+
+/// Checkpoint envelope of a scoped model: the parameter store, the
+/// materialized item ids (without which the row↔id mapping is lost), and
+/// the per-row init seed (without which cold rows would re-derive
+/// differently after a restore). The seed travels as hex — the vendored
+/// JSON layer rounds bare u64s ≥ 2⁵³ through `f64`.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ScopedWire {
+    arch: String,
+    item_ids: Vec<u32>,
+    item_seed: String,
+    params: Params,
+}
+
+/// Serializes a model's state: the plain `Params` JSON for dense models
+/// (the legacy checkpoint format, unchanged), the [`ScopedWire`]
+/// envelope when the model is item-scoped.
+pub(crate) fn export_state(
+    arch: &str,
+    scope: &ScopeIndex,
+    params: &Params,
+    item_seed: u64,
+) -> Option<String> {
+    match scope.ids() {
+        None => serde_json::to_string(params).ok(),
+        Some(ids) => serde_json::to_string(&ScopedWire {
+            arch: arch.to_string(),
+            item_ids: ids.to_vec(),
+            item_seed: format!("{item_seed:016x}"),
+            params: params.clone(),
+        })
+        .ok(),
+    }
+}
+
+/// Restores a checkpoint produced by [`export_state`] into
+/// `(scope, params, adam)`.
+///
+/// Dense models take the legacy path: plain `Params` payload, shapes
+/// must match exactly, optimizer moments are left alone. Scoped models
+/// parse the envelope and may *reshape*: a checkpoint's item block can
+/// hold more (or fewer) materialized rows than the live model, so the
+/// whole store is replaced, the id set restored, and the optimizer
+/// state re-zeroed (resuming training re-warms Adam's moments — the
+/// documented checkpoint contract).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn import_state(
+    arch: &str,
+    scope: &mut ScopeIndex,
+    params: &mut Params,
+    adam: &mut Adam,
+    emb: ParamId,
+    row_offset: usize,
+    live_item_seed: &mut u64,
+    json: &str,
+) -> Result<(), String> {
+    if scope.is_dense() {
+        let loaded: Params =
+            serde_json::from_str(json).map_err(|e| format!("bad checkpoint: {e}"))?;
+        return params.load_state_from(&loaded);
+    }
+    let wire: ScopedWire = serde_json::from_str(json)
+        .map_err(|e| format!("bad scoped checkpoint (expected {arch} envelope): {e}"))?;
+    if wire.arch != arch {
+        return Err(format!("architecture mismatch: expected {arch}, got {}", wire.arch));
+    }
+    if wire.params.len() != params.len() {
+        return Err(format!("parameter count mismatch: {} vs {}", wire.params.len(), params.len()));
+    }
+    for ((id, name_new, mat_new), (_, name_live, mat_live)) in wire.params.iter().zip(params.iter())
+    {
+        if name_new != name_live {
+            return Err(format!("parameter name mismatch: {name_new:?} vs {name_live:?}"));
+        }
+        if id == emb {
+            if mat_new.cols() != mat_live.cols()
+                || mat_new.rows() != row_offset + wire.item_ids.len()
+            {
+                return Err(format!(
+                    "shape mismatch for {name_new:?}: {:?} does not fit {} item rows",
+                    mat_new.shape(),
+                    wire.item_ids.len()
+                ));
+            }
+        } else if mat_new.shape() != mat_live.shape() {
+            return Err(format!(
+                "shape mismatch for {name_new:?}: {:?} vs {:?}",
+                mat_new.shape(),
+                mat_live.shape()
+            ));
+        }
+    }
+    if !wire.item_ids.windows(2).all(|w| w[0] < w[1]) {
+        return Err("checkpoint item ids must be sorted and unique".to_string());
+    }
+    if wire.item_ids.last().is_some_and(|&l| l as usize >= scope.num_items()) {
+        return Err("checkpoint item id out of range".to_string());
+    }
+    let item_seed = u64::from_str_radix(&wire.item_seed, 16)
+        .map_err(|e| format!("bad checkpoint item seed: {e}"))?;
+    *scope = ScopeIndex::from_scope(&ItemScope::Rows {
+        num_items: scope.num_items(),
+        ids: wire.item_ids,
+    });
+    *params = wire.params;
+    *live_item_seed = item_seed;
+    adam.reset_state(params);
+    Ok(())
+}

@@ -5,6 +5,81 @@
 //! model in this crate therefore implements [`Recommender`], and the
 //! protocol crates program against `Box<dyn Recommender>`.
 
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A borrowed view of which item-embedding rows a model holds.
+///
+/// `Full(n)` is the classic dense table over the whole catalogue; `Rows`
+/// lists the (sorted, global) ids an item-scoped model has materialized
+/// so far. Consumers that used to iterate `0..num_items` — upload
+/// staging, parameter accounting, state export — iterate the scope
+/// instead, so a scoped client never pays for rows it cannot touch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScopeView<'a> {
+    /// Every item of an `n`-item catalogue is materialized.
+    Full(usize),
+    /// Only these global item ids (sorted ascending) are materialized.
+    Rows(&'a [u32]),
+}
+
+impl<'a> ScopeView<'a> {
+    /// Number of materialized item rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Full(n) => *n,
+            Self::Rows(ids) => ids.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        matches!(self, Self::Full(_))
+    }
+
+    /// Iterates the materialized global item ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        let (range, ids) = match self {
+            Self::Full(n) => (0..*n as u32, [].as_slice()),
+            Self::Rows(ids) => (0..0, *ids),
+        };
+        range.chain(ids.iter().copied())
+    }
+
+    /// True if `id` is materialized.
+    pub fn contains(&self, id: u32) -> bool {
+        match self {
+            Self::Full(n) => (id as usize) < *n,
+            Self::Rows(ids) => ids.binary_search(&id).is_ok(),
+        }
+    }
+}
+
+/// A shared, monotonically growing `[0, 1, 2, …]` prefix cache.
+///
+/// `score_all`'s default implementation used to materialize a fresh
+/// `(0..num_items).collect::<Vec<u32>>()` on every call — one heap
+/// allocation and a full id write-out per user per round on the server
+/// dispersal path. All full-catalogue callers now share one cached arc
+/// and slice the prefix they need; the buffer only reallocates when a
+/// larger catalogue than ever before appears.
+pub fn cached_id_range(n: usize) -> Arc<Vec<u32>> {
+    static RANGE: OnceLock<RwLock<Arc<Vec<u32>>>> = OnceLock::new();
+    let lock = RANGE.get_or_init(|| RwLock::new(Arc::new(Vec::new())));
+    {
+        let cur = lock.read().expect("id-range lock poisoned");
+        if cur.len() >= n {
+            return cur.clone();
+        }
+    }
+    let mut cur = lock.write().expect("id-range lock poisoned");
+    if cur.len() < n {
+        *cur = Arc::new((0..n as u32).collect());
+    }
+    cur.clone()
+}
 /// A trainable implicit-feedback recommender.
 ///
 /// Scores are probabilities in `[0, 1]` (sigmoid outputs): the protocol
@@ -27,13 +102,41 @@ pub trait Recommender: Send + Sync {
     /// Number of scalar parameters (drives parameter-transmission costs).
     fn num_params(&self) -> usize;
 
+    /// Which item-embedding rows this model holds. Dense models report
+    /// [`ScopeView::Full`]; item-scoped models report the sorted global
+    /// ids materialized so far (which grows as dispersed or sampled items
+    /// are touched).
+    fn item_scope(&self) -> ScopeView<'_> {
+        ScopeView::Full(self.num_items())
+    }
+
+    /// True if this model holds only a scoped subset of the item rows.
+    fn scoped(&self) -> bool {
+        !self.item_scope().is_full()
+    }
+
+    /// Batch-materializes the item rows an upcoming training round will
+    /// touch (`sorted_ids` ascending, unique). Semantically identical to
+    /// letting `train_batch` materialize lazily — rows hold the same
+    /// derived init either way — but it lets a scoped model do the growth
+    /// up front: MF merges the whole batch into its row table in one
+    /// arena pass (which is what keeps paper-scale round throughput flat
+    /// under scoping); the autograd models currently still insert row by
+    /// row, just before the round instead of mid-batch. Dense models
+    /// ignore it.
+    fn prepare_items(&mut self, _sorted_ids: &[u32]) {}
+
     /// Predicted preference of `user` for each of `items`.
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32>;
 
     /// Predicted preference of `user` for every item.
+    ///
+    /// The default routes through the shared [`cached_id_range`] instead
+    /// of collecting a fresh id vector per call; the returned score
+    /// vector is the only allocation left.
     fn score_all(&self, user: u32) -> Vec<f32> {
-        let items: Vec<u32> = (0..self.num_items() as u32).collect();
-        self.score(user, &items)
+        let ids = cached_id_range(self.num_items());
+        self.score(user, &ids[..self.num_items()])
     }
 
     /// [`Recommender::score`] into a caller-owned buffer (cleared on
@@ -47,10 +150,13 @@ pub trait Recommender: Send + Sync {
     }
 
     /// [`Recommender::score_all`] into a caller-owned buffer (cleared on
-    /// entry); same contract as [`Recommender::score_into`].
+    /// entry); same contract as [`Recommender::score_into`]. The default
+    /// scores the shared [`cached_id_range`] through `score_into`, so a
+    /// model with an allocation-free `score_into` gets an
+    /// allocation-free `score_all_into` for free.
     fn score_all_into(&self, user: u32, out: &mut Vec<f32>) {
-        out.clear();
-        out.extend(self.score_all(user));
+        let ids = cached_id_range(self.num_items());
+        self.score_into(user, &ids[..self.num_items()], out);
     }
 
     /// True if [`Recommender::set_graph`] actually consumes edges. Lets
@@ -156,5 +262,37 @@ mod tests {
         let mut m = Constant { users: 1, items: 1, calls: 0 };
         assert_eq!(train_on_samples(&mut m, &[], 4), 0.0);
         assert_eq!(m.calls, 0);
+    }
+
+    #[test]
+    fn default_item_scope_is_full() {
+        let m = Constant { users: 1, items: 9, calls: 0 };
+        assert_eq!(m.item_scope(), ScopeView::Full(9));
+        assert!(!m.scoped());
+        assert!(m.item_scope().contains(8));
+        assert!(!m.item_scope().contains(9));
+    }
+
+    #[test]
+    fn scope_view_iterates_both_variants() {
+        let full: Vec<u32> = ScopeView::Full(4).iter().collect();
+        assert_eq!(full, vec![0, 1, 2, 3]);
+        let ids = [2u32, 5, 7];
+        let rows_view = ScopeView::Rows(&ids);
+        assert_eq!(rows_view.iter().collect::<Vec<_>>(), vec![2, 5, 7]);
+        assert_eq!(rows_view.len(), 3);
+        assert!(rows_view.contains(5));
+        assert!(!rows_view.contains(4));
+        assert!(!rows_view.is_full());
+    }
+
+    #[test]
+    fn cached_id_range_grows_and_is_shared() {
+        let a = cached_id_range(5);
+        assert_eq!(&a[..5], &[0, 1, 2, 3, 4]);
+        let b = cached_id_range(3);
+        assert_eq!(&b[..3], &[0, 1, 2]);
+        let c = cached_id_range(8);
+        assert_eq!(c[7], 7);
     }
 }

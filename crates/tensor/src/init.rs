@@ -20,6 +20,47 @@ pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
 }
 
+/// Stream discriminator separating per-row init draws from every other
+/// consumer of [`crate::rowtable::derive_seed`].
+const ROW_INIT_STREAM: u64 = 0x0520_4E49_5449_414C;
+
+/// Fills `out` with i.i.d. `N(0, std²)` entries drawn from the RNG
+/// derived from `(seed, id)` — the per-row initializer behind
+/// [`crate::rowtable::RowTable`].
+///
+/// Because the draw depends only on `(seed, id, std, out.len())`, a row
+/// holds bit-identical values whether it was materialized eagerly in a
+/// full table, eagerly in a scoped table, or lazily on first touch — the
+/// keystone of scoped-vs-full bit-comparability.
+pub fn derived_normal_row(seed: u64, id: u32, std: f32, out: &mut [f32]) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(crate::rowtable::derive_seed(
+        seed,
+        id as u64,
+        ROW_INIT_STREAM,
+    ));
+    let dist = Normal::new(0.0f32, std).expect("std must be finite and non-negative");
+    for x in out.iter_mut() {
+        *x = dist.sample(&mut rng);
+    }
+}
+
+/// A `rows × cols` matrix whose row `r` carries the derived init of
+/// global id `ids(r)` — the eager bulk form of [`derived_normal_row`].
+pub fn derived_normal_rows(
+    ids: impl ExactSizeIterator<Item = u32>,
+    cols: usize,
+    std: f32,
+    seed: u64,
+) -> Matrix {
+    let rows = ids.len();
+    let mut m = Matrix::zeros(rows, cols);
+    for (r, id) in ids.enumerate() {
+        derived_normal_row(seed, id, std, m.row_mut(r));
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,7 @@ pub mod matrix;
 pub mod optim;
 pub mod par;
 pub mod params;
+pub mod rowtable;
 pub mod sparse;
 
 pub use grad::{GradBuf, Grads, RowSparse};
@@ -51,6 +52,7 @@ pub use graph::{Graph, Var};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, Params};
+pub use rowtable::{derive_seed, ItemScope, RowTable, ScopeIndex};
 pub use sparse::{Csr, PropagationMatrix};
 
 /// Convenience prelude that re-exports the types almost every user needs.

@@ -237,6 +237,24 @@ impl Matrix {
         self.data.iter().map(|x| x * x).sum()
     }
 
+    /// Inserts `vals` as a new row at index `at`, shifting later rows
+    /// down. Backbone of lazily growing scoped embedding tables (the
+    /// optimizer shifts its per-row state identically, see
+    /// `Adam::insert_zero_row`).
+    pub fn insert_row(&mut self, at: usize, vals: &[f32]) {
+        assert!(at <= self.rows, "insert_row at {at} out of bounds ({} rows)", self.rows);
+        assert_eq!(
+            vals.len(),
+            self.cols,
+            "insert_row: row of {} vs {} cols",
+            vals.len(),
+            self.cols
+        );
+        let idx = at * self.cols;
+        self.data.splice(idx..idx, vals.iter().copied());
+        self.rows += 1;
+    }
+
     /// Gathers rows `idx` into a new `idx.len()×cols` matrix.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);

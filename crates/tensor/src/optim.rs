@@ -80,6 +80,31 @@ impl Adam {
         self.t
     }
 
+    /// Re-shapes the moment buffers to `params` (all zeros) and resets
+    /// the step counter — used after a state restore changes parameter
+    /// shapes (scoped checkpoints may carry a different number of
+    /// materialized item rows).
+    pub fn reset_state(&mut self, params: &Params) {
+        self.m = params.iter().map(|(_, _, p)| Matrix::zeros_like(p)).collect();
+        self.v = params.iter().map(|(_, _, p)| Matrix::zeros_like(p)).collect();
+        self.t = 0;
+    }
+
+    /// Mirrors a `Matrix::insert_row` on parameter `id`: inserts an
+    /// all-zero row into both moment matrices at `at`, so a lazily
+    /// materialized embedding row starts with fresh optimizer state while
+    /// every previously tracked row keeps its moments. A zero-moment row
+    /// is exactly what a dense Adam would hold for a row that never
+    /// received gradient, which keeps scoped and full training
+    /// bit-identical.
+    pub fn insert_zero_row(&mut self, id: crate::params::ParamId, at: usize) {
+        let i = id.index();
+        let cols = self.m[i].cols();
+        let zeros = vec![0.0f32; cols];
+        self.m[i].insert_row(at, &zeros);
+        self.v[i].insert_row(at, &zeros);
+    }
+
     pub fn step(&mut self, params: &mut Params, grads: &Grads) {
         self.t += 1;
         let b1 = self.cfg.beta1;

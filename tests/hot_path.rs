@@ -35,6 +35,11 @@ fn steady_state_mf_rounds_allocate_nothing_on_the_client_path() {
     // so a single warmed scratch serves every client deterministically
     cfg.defense = DefenseKind::NoDefense;
     cfg.threads = 1;
+    // full client tables: every item row exists up front, so the strict
+    // zero-allocation guarantee holds from the first steady-state round
+    // (the scoped path is covered by the sibling test below, where
+    // allocations may only come from first-touch row materialization)
+    cfg.scoped_clients = false;
     let mut fed = Federation::builder(&s.train)
         .client_model(ModelKind::Mf)
         .server_model(ModelKind::Mf)
@@ -57,6 +62,60 @@ fn steady_state_mf_rounds_allocate_nothing_on_the_client_path() {
             fed.protocol().last_round_client_allocs(),
             0,
             "round {round}: steady-state client path must not touch the heap"
+        );
+    }
+}
+
+#[test]
+fn steady_state_scoped_mf_rounds_allocate_nothing_once_rows_settle() {
+    // the Rows-scoped client guarantee: lazy row materialization may
+    // allocate on FIRST touch only — once a client has touched every item
+    // it will ever see, rounds are as allocation-free as full tables.
+    // A dense synthetic set (many positives per 40-item catalogue) makes
+    // the negative sampler return the whole complement each round, so the
+    // fleet's row set saturates during warm-up and the assertion is
+    // deterministic.
+    let data = SyntheticConfig::new("hot-scoped", 16, 40, 16.0)
+        .generate(&mut ptf_fedrec::data::test_rng(7));
+    let s = TrainTestSplit::split_80_20(&data, &mut ptf_fedrec::data::test_rng(8));
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 8;
+    cfg.client_epochs = 2;
+    cfg.alpha = 8;
+    cfg.defense = DefenseKind::NoDefense;
+    cfg.threads = 1;
+    assert!(cfg.scoped_clients, "scoped clients are the default");
+    let mut fed = Federation::builder(&s.train)
+        .client_model(ModelKind::Mf)
+        .server_model(ModelKind::Mf)
+        .hyper(ModelHyper::small())
+        .config(cfg)
+        .build()
+        .expect("valid config");
+
+    let full_rows = s.train.num_users() * s.train.num_items();
+    assert!(
+        fed.protocol().materialized_item_rows() < full_rows / 2,
+        "fresh scoped fleet should hold a fraction of {full_rows} rows"
+    );
+
+    // warm-up: scratch buffers + first-touch materialization of sampled
+    // negatives and dispersed items
+    for _ in 0..6 {
+        fed.run_round();
+    }
+    let settled = fed.protocol().materialized_item_rows();
+    for round in 6..8 {
+        fed.run_round();
+        assert_eq!(
+            fed.protocol().materialized_item_rows(),
+            settled,
+            "round {round}: row set was expected to be saturated by warm-up"
+        );
+        assert_eq!(
+            fed.protocol().last_round_client_allocs(),
+            0,
+            "round {round}: a scoped steady-state round (no new rows) must not touch the heap"
         );
     }
 }

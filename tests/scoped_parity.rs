@@ -1,0 +1,182 @@
+//! Scoped-vs-full model parity.
+//!
+//! The item-scoped model API promises that scoping changes *where rows
+//! live*, never *what they hold*: a `Rows`-scoped model and a `Full`
+//! model built from the same seed (`build_model_scoped`) are bit-identical
+//! on every row both hold — at init, through training, and through lazy
+//! materialization of rows the scoped model never started with.
+//!
+//! NGCF runs with `message_dropout = 0` here: dropout masks span the
+//! whole node space, so their RNG draw counts differ between a scoped and
+//! a full table (the values still match whenever no element is dropped,
+//! but training trajectories under active dropout are not comparable).
+
+use proptest::prelude::*;
+use ptf_fedrec::models::{build_model_scoped, ItemScope, ModelHyper, ModelKind};
+
+const NUM_ITEMS: usize = 24;
+
+fn hyper(kind: ModelKind) -> ModelHyper {
+    let mut h = ModelHyper::small();
+    h.dim = 8;
+    h.gcn_layers = 2;
+    h.mlp_layers = vec![16, 8];
+    if kind == ModelKind::Ngcf {
+        h.ngcf_dropout = 0.0;
+    }
+    h
+}
+
+const ALL_KINDS: [ModelKind; 4] =
+    [ModelKind::Mf, ModelKind::NeuMf, ModelKind::LightGcn, ModelKind::Ngcf];
+
+/// Sorted, deduplicated, non-empty scope ids.
+fn scope_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0u32..NUM_ITEMS as u32, 1..NUM_ITEMS)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+/// Training batches over arbitrary (possibly out-of-scope) items.
+fn batch_strategy() -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
+    proptest::collection::vec(
+        (0u32..2, 0u32..NUM_ITEMS as u32, 0u32..2)
+            .prop_map(|(u, i, pos)| (u, i, if pos == 1 { 1.0f32 } else { 0.0 })),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bit-identical scores and training losses between a `Rows`-scoped
+    /// and a `Full` model from the same seed, across every architecture,
+    /// including after training on in-scope *and* out-of-scope items
+    /// (the latter exercise lazy materialization mid-trajectory).
+    #[test]
+    fn scoped_and_full_models_are_bit_identical(
+        ids in scope_strategy(),
+        batches in proptest::collection::vec(batch_strategy(), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let all_items: Vec<u32> = (0..NUM_ITEMS as u32).collect();
+        for kind in ALL_KINDS {
+            let h = hyper(kind);
+            let mut full =
+                build_model_scoped(kind, 2, &h, &ItemScope::Full(NUM_ITEMS), seed);
+            let mut scoped = build_model_scoped(
+                kind,
+                2,
+                &h,
+                &ItemScope::rows(NUM_ITEMS, ids.clone()),
+                seed,
+            );
+            // graph models see the same (global-id) ego graph
+            if full.uses_graph() {
+                let edges: Vec<(u32, u32, f32)> =
+                    ids.iter().map(|&i| (0u32, i, 1.0f32)).collect();
+                full.set_graph(&edges);
+                scoped.set_graph(&edges);
+            }
+            prop_assert_eq!(
+                full.score(0, &all_items),
+                scoped.score(0, &all_items),
+                "{} init scores diverged", kind
+            );
+            for batch in &batches {
+                let lf = full.train_batch(batch);
+                let ls = scoped.train_batch(batch);
+                prop_assert_eq!(lf, ls, "{} training loss diverged", kind);
+            }
+            prop_assert_eq!(
+                full.score(1, &all_items),
+                scoped.score(1, &all_items),
+                "{} post-training scores diverged", kind
+            );
+            // the scoped model only ever materialized what it touched
+            prop_assert!(scoped.item_scope().len() <= NUM_ITEMS);
+        }
+    }
+}
+
+/// Regression: dispersing an item the client has never seen must
+/// materialize its row lazily *and deterministically* — training on it in
+/// a scoped model lands on exactly the row a full model always had, and
+/// materialization order cannot change the result.
+#[test]
+fn dispersed_out_of_scope_item_materializes_deterministically() {
+    for kind in ALL_KINDS {
+        let h = hyper(kind);
+        let scope = ItemScope::rows(NUM_ITEMS, vec![2, 5, 11]);
+        let mut full = build_model_scoped(kind, 1, &h, &ItemScope::Full(NUM_ITEMS), 99);
+        let mut scoped_a = build_model_scoped(kind, 1, &h, &scope, 99);
+        let mut scoped_b = build_model_scoped(kind, 1, &h, &scope, 99);
+        if full.uses_graph() {
+            let edges = [(0u32, 2u32, 1.0f32), (0, 5, 1.0)];
+            full.set_graph(&edges);
+            scoped_a.set_graph(&edges);
+            scoped_b.set_graph(&edges);
+        }
+
+        // "dispersal": item 17 arrives with a soft label; item 20 is a
+        // sampled negative. a and b touch them in opposite orders.
+        let disperse = (0u32, 17u32, 0.9f32);
+        let negative = (0u32, 20u32, 0.0f32);
+        for _ in 0..3 {
+            full.train_batch(&[disperse, negative]);
+            scoped_a.train_batch(&[disperse, negative]);
+            scoped_b.train_batch(&[negative, disperse]);
+        }
+        assert!(scoped_a.item_scope().contains(17), "{kind}: dispersed row not materialized");
+        assert!(scoped_a.item_scope().contains(20), "{kind}: negative row not materialized");
+
+        let probe: Vec<u32> = (0..NUM_ITEMS as u32).collect();
+        assert_eq!(
+            full.score(0, &probe),
+            scoped_a.score(0, &probe),
+            "{kind}: lazily materialized training diverged from full"
+        );
+        // same-order batches were identical, so a == full covers a;
+        // b touched rows in a different order within the batch and must
+        // still agree on every materialized row's *values* at init time —
+        // check by re-deriving fresh models trained identically
+        let mut scoped_c = build_model_scoped(kind, 1, &h, &scope, 99);
+        if scoped_c.uses_graph() {
+            scoped_c.set_graph(&[(0u32, 2u32, 1.0f32), (0, 5, 1.0)]);
+        }
+        for _ in 0..3 {
+            scoped_c.train_batch(&[negative, disperse]);
+        }
+        assert_eq!(
+            scoped_b.score(0, &probe),
+            scoped_c.score(0, &probe),
+            "{kind}: materialization order broke determinism"
+        );
+    }
+}
+
+/// The scoped checkpoint format survives a full export → import cycle
+/// with the lazily grown id set intact (tentpole acceptance: state
+/// round-trips sparse tables).
+#[test]
+fn scoped_state_roundtrips_through_checkpoints() {
+    for kind in ALL_KINDS {
+        let h = hyper(kind);
+        let scope = ItemScope::rows(NUM_ITEMS, vec![1, 8]);
+        let mut m = build_model_scoped(kind, 1, &h, &scope, 3);
+        if m.uses_graph() {
+            m.set_graph(&[(0, 1, 1.0)]);
+        }
+        for _ in 0..5 {
+            m.train_batch(&[(0, 1, 1.0), (0, 19, 0.0)]);
+        }
+        let ckpt = m.export_state().expect("scoped export");
+        let mut back = build_model_scoped(kind, 1, &h, &scope, 777);
+        back.import_state(&ckpt).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        if back.uses_graph() {
+            back.set_graph(&[(0, 1, 1.0)]);
+        }
+        let probe: Vec<u32> = (0..NUM_ITEMS as u32).collect();
+        assert_eq!(m.score(0, &probe), back.score(0, &probe), "{kind}: restore diverged");
+        assert!(back.item_scope().contains(19), "{kind}: grown id set lost in checkpoint");
+    }
+}
