@@ -24,6 +24,15 @@ ABSOLUTE_PEAK_LIMITS = {
     "Gowalla": 1 << 30,  # 1 GiB — was 10.9 GB before item-scoped clients
 }
 
+# Throughput floors in rounds/sec — the adaptive-storage win (ML-100K:
+# 1.70 r/s all-sparse -> ~2.2+ with the dense fallback) must not silently
+# regress. Runner speed still varies, so the floor is enforced with a
+# tolerance (PTF_RPS_TOLERANCE, default 15%) rather than as a hard edge.
+MIN_ROUNDS_PER_SEC = {
+    "MovieLens-100K": 2.2,
+}
+RPS_TOLERANCE = float(os.environ.get("PTF_RPS_TOLERANCE", "0.15"))
+
 # Steady-state client-path allocations: zero for full tables; item-scoped
 # clients may materialize first-touch rows (fresh negatives each round),
 # bounded by a small per-client constant.
@@ -61,6 +70,13 @@ def main():
             failures.append(
                 f"{preset}: peak heap {live_peak} exceeds baseline "
                 f"{base_peak} by more than {TOLERANCE:.0%}"
+            )
+        floor = MIN_ROUNDS_PER_SEC.get(preset)
+        if floor is not None and row["rounds_per_sec"] < floor * (1.0 - RPS_TOLERANCE):
+            failures.append(
+                f"{preset}: {row['rounds_per_sec']:.3f} rounds/sec is below the "
+                f"{floor} floor (tolerance {RPS_TOLERANCE:.0%}) — the adaptive "
+                "client-storage win regressed"
             )
         limit = ABSOLUTE_PEAK_LIMITS.get(preset)
         if limit is not None and live_peak > limit:

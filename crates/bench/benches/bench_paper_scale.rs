@@ -25,7 +25,7 @@
 //! `ml100k,steam,gowalla`; default all).
 
 use ptf_bench::{fmt4, Table};
-use ptf_core::{DefenseKind, Federation, PtfConfig};
+use ptf_core::{DefenseKind, Federation, PtfConfig, StorageMode};
 use ptf_data::{DatasetPreset, DatasetStats, TrainTestSplit};
 use ptf_models::{ModelHyper, ModelKind};
 use ptf_tensor::alloc;
@@ -60,6 +60,10 @@ struct PresetRow {
     /// With item-scoped clients this is bounded by first-touch row
     /// materialization (fresh negatives appear every round), not zero.
     final_round_client_allocs: u64,
+    /// Clients the storage policy built with a full (dense) item table —
+    /// the adaptive-storage decision at paper scale (ML-100K's ~100-positive
+    /// clients go dense and skip the id→row lookup; Gowalla's stay sparse).
+    dense_clients: usize,
     /// Materialized item-embedding rows across the fleet after the run.
     client_item_rows: usize,
     /// What full per-client tables would hold (`clients × items`) — the
@@ -125,6 +129,13 @@ fn main() {
         // NoDefense keeps upload staging on the recycled-buffer path, so
         // the steady-state zero-allocation guarantee is measurable here
         cfg.defense = DefenseKind::NoDefense;
+        // PTF_BENCH_STORAGE=sparse|auto|dense A/Bs the client storage
+        // policy (default: the adaptive Auto heuristic)
+        match std::env::var("PTF_BENCH_STORAGE").as_deref() {
+            Ok("sparse") => cfg.storage.mode = StorageMode::Sparse,
+            Ok("dense") => cfg.storage.mode = StorageMode::Dense,
+            _ => {}
+        }
 
         alloc::reset_peak();
         let start = Instant::now();
@@ -159,6 +170,7 @@ fn main() {
         }
 
         let summary = fed.ledger().summary();
+        let dense_clients = fed.protocol().dense_clients();
         let client_item_rows = fed.protocol().materialized_item_rows();
         let full_table_rows = stats.users * stats.items;
         let row = PresetRow {
@@ -175,6 +187,7 @@ fn main() {
             bytes_per_round: summary.total_bytes as f64 / rounds.max(1) as f64,
             avg_client_bytes_per_round: summary.avg_client_bytes_per_round,
             final_round_client_allocs,
+            dense_clients,
             client_item_rows,
             full_table_rows,
         };

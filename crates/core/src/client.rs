@@ -10,7 +10,9 @@ use crate::config::PtfConfig;
 use crate::upload::{build_upload_into, ClientUpload};
 use ptf_data::negative::sample_negatives_into;
 use ptf_federated::{ClientData, RoundScratch};
-use ptf_models::{build_model, build_model_scoped, ModelHyper, ModelKind, Recommender, ScopeView};
+use ptf_models::{
+    build_model, build_model_scoped, ItemScope, ModelHyper, ModelKind, Recommender, ScopeView,
+};
 use ptf_privacy::ScoredItem;
 use rand::Rng;
 
@@ -28,6 +30,15 @@ pub struct PtfClient {
     /// (see [`PtfClient::recycle_upload`]); per-client upload sizes are
     /// stable, so steady-state rounds reuse the same capacity.
     spare_upload: Option<(Vec<ScoredItem>, Vec<u32>)>,
+    /// Local rounds this client has trained (its own counter, robust
+    /// under partial participation); drives the eviction schedule.
+    local_rounds: u32,
+    /// `(item id, last local round it was touched)`, sorted by id — the
+    /// recency signal the eviction pass ranks cold rows by. Maintained
+    /// only when eviction is enabled.
+    touched: Vec<(u32, u32)>,
+    /// Reusable keep-set buffer for eviction passes.
+    keep: Vec<u32>,
 }
 
 impl PtfClient {
@@ -36,6 +47,12 @@ impl PtfClient {
     /// embedding rows of the client's positives — sampled negatives and
     /// dispersed items materialize lazily on first touch — so a client
     /// never allocates the full `items × dim` table it can never use.
+    ///
+    /// The storage policy may override the representation per client:
+    /// one whose expected training pool covers a large catalogue fraction
+    /// is built dense from the *same* derived seed (`ItemScope::Full`),
+    /// which skips the per-sample id→row binary search while holding
+    /// bit-identical values on every shared row.
     ///
     /// Seeding by value (not by a shared `&mut rng`) is what lets the
     /// federation build the whole fleet in parallel with bit-identical
@@ -46,8 +63,14 @@ impl PtfClient {
         hyper: &ModelHyper,
         num_items: usize,
         seed: u64,
+        cfg: &PtfConfig,
     ) -> Self {
-        let scope = data.item_scope(num_items);
+        let scope =
+            if cfg.storage.mode.wants_dense(data.positives.len(), cfg.neg_ratio, num_items) {
+                ItemScope::Full(num_items)
+            } else {
+                data.item_scope(num_items)
+            };
         Self {
             id: data.id,
             positives: data.positives,
@@ -55,6 +78,9 @@ impl PtfClient {
             model: build_model_scoped(kind, 1, hyper, &scope, seed),
             kind,
             spare_upload: None,
+            local_rounds: 0,
+            touched: Vec::new(),
+            keep: Vec::new(),
         }
     }
 
@@ -75,6 +101,9 @@ impl PtfClient {
             model: build_model(kind, 1, num_items, hyper, rng),
             kind,
             spare_upload: None,
+            local_rounds: 0,
+            touched: Vec::new(),
+            keep: Vec::new(),
         }
     }
 
@@ -212,7 +241,75 @@ impl PtfClient {
             predictions,
             audit,
         );
+
+        // 6. cold-row eviction: keep a client's materialized rows bounded
+        // over long runs. This is off the allocation-free hot path — an
+        // eviction round may allocate — but interval rounds in between
+        // stay clean because the whole block is skipped when disabled.
+        if cfg.storage.evict_interval > 0 {
+            self.local_rounds += 1;
+            self.note_touched(&scratch.pool_ids);
+            if self.local_rounds % cfg.storage.evict_interval == 0 {
+                self.evict_cold_rows(cfg.storage.evict_budget, &scratch.pool_ids);
+            }
+        }
+
         (upload, mean_loss)
+    }
+
+    /// Merges this round's trained pool into the recency index
+    /// (`touched` stays sorted by item id; each entry keeps its *last*
+    /// touched local round).
+    fn note_touched(&mut self, pool: &[u32]) {
+        let round = self.local_rounds;
+        let old = std::mem::take(&mut self.touched);
+        let mut merged = Vec::with_capacity(old.len() + pool.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < pool.len() {
+            match old[i].0.cmp(&pool[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((pool[j], round));
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((pool[j], round));
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&old[i..]);
+        merged.extend(pool[j..].iter().map(|&id| (id, round)));
+        self.touched = merged;
+    }
+
+    /// Drops cold embedding rows back to their derived init. The keep set
+    /// is this round's pool (⊇ positives, and for graph models ⊇ every
+    /// ego-graph edge item) topped up to `budget` rows with the most
+    /// recently touched survivors (ties broken by ascending id) — so the
+    /// working set a client re-touches every round is never churned.
+    fn evict_cold_rows(&mut self, budget: usize, pool: &[u32]) {
+        self.keep.clear();
+        self.keep.extend_from_slice(pool);
+        if self.keep.len() < budget {
+            let mut extra: Vec<(u32, u32)> = self
+                .touched
+                .iter()
+                .copied()
+                .filter(|(id, _)| pool.binary_search(id).is_err())
+                .collect();
+            extra.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            extra.truncate(budget - self.keep.len());
+            self.keep.extend(extra.iter().map(|&(id, _)| id));
+            self.keep.sort_unstable();
+        }
+        self.model.evict_items(&self.keep);
+        let keep = &self.keep;
+        self.touched.retain(|(id, _)| keep.binary_search(id).is_ok());
     }
 }
 
@@ -226,17 +323,20 @@ fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::DefenseKind;
+    use crate::config::{DefenseKind, StorageMode};
     use ptf_tensor::test_rng;
 
     fn client(kind: ModelKind) -> PtfClient {
         let data = ClientData { id: 7, positives: vec![1, 4, 9, 15, 22] };
-        PtfClient::new(data, kind, &ModelHyper::small(), 40, 1)
+        PtfClient::new(data, kind, &ModelHyper::small(), 40, 1, &cfg())
     }
 
     fn cfg() -> PtfConfig {
         let mut c = PtfConfig::small();
         c.client_epochs = 2;
+        // these tests assert scoped row counts; a 5-positive client over a
+        // 40-item catalogue would trip the dense fallback
+        c.storage.mode = StorageMode::Sparse;
         c
     }
 
@@ -326,6 +426,55 @@ mod tests {
         let (upload, loss) = c.local_round(&cfg(), &mut RoundScratch::default(), &mut test_rng(3));
         assert!(!upload.is_empty());
         assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn dense_fallback_builds_a_full_table_from_the_same_seed() {
+        let data = ClientData { id: 7, positives: vec![1, 4, 9, 15, 22] };
+        let mut auto_cfg = cfg();
+        // 5 positives × (1 + 4) = 25 expected pool ≥ ¼ of 40 → dense
+        auto_cfg.storage.mode = StorageMode::Auto { dense_fraction: 0.25 };
+        let dense =
+            PtfClient::new(data.clone(), ModelKind::Mf, &ModelHyper::small(), 40, 1, &auto_cfg);
+        assert_eq!(dense.item_rows(), 40, "dense fallback materializes the catalogue");
+
+        // same seed, forced sparse: every shared row must be bit-identical
+        let sparse = PtfClient::new(data, ModelKind::Mf, &ModelHyper::small(), 40, 1, &cfg());
+        assert_eq!(sparse.item_rows(), 5);
+        let items: Vec<u32> = vec![1, 4, 9, 15, 22];
+        assert_eq!(dense.score(&items), sparse.score(&items));
+    }
+
+    #[test]
+    fn eviction_keeps_rows_bounded_across_rounds() {
+        let mut evicting = client(ModelKind::Mf);
+        let mut control = client(ModelKind::Mf);
+        let mut config = cfg();
+        // budget must sit above the ~25-id per-round pool (5 positives ×
+        // (1 + neg_ratio)): the keep set never drops rows the client is
+        // actively training this round
+        config.storage.evict_interval = 2;
+        config.storage.evict_budget = 30;
+        let plain = cfg();
+        let mut rng_a = test_rng(11);
+        let mut rng_b = test_rng(11);
+        let mut scratch = RoundScratch::default();
+        for _ in 0..8 {
+            let _ = evicting.local_round(&config, &mut scratch, &mut rng_a);
+            let _ = control.local_round(&plain, &mut scratch, &mut rng_b);
+        }
+        // interval just elapsed: the evicting client sits at ≤ budget while
+        // the control has coupon-collected most of the catalogue
+        assert!(
+            evicting.item_rows() <= 30,
+            "evicting client holds {} rows, budget 30",
+            evicting.item_rows()
+        );
+        assert!(control.item_rows() > 30, "control should keep growing");
+        // positives are always in the keep set
+        for &p in &[1u32, 4, 9, 15, 22] {
+            assert!(evicting.item_scope().contains(p), "positive {p} was evicted");
+        }
     }
 
     #[test]

@@ -88,6 +88,66 @@ impl DisperseStrategy {
     }
 }
 
+/// How a client decides between row-sparse and dense item storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StorageMode {
+    /// Per-client heuristic: a client whose expected per-round training
+    /// pool `positives × (1 + neg_ratio)` reaches `dense_fraction` of the
+    /// catalogue is built dense (it would materialize most rows anyway,
+    /// and dense tables skip the binary-search id→row lookup per sample);
+    /// everyone else stays row-sparse. Either representation is built
+    /// from the same derived seed, so the choice never changes results.
+    Auto {
+        /// Catalogue fraction at which a client goes dense (default ¼).
+        dense_fraction: f64,
+    },
+    /// Every client row-sparse, regardless of density.
+    Sparse,
+    /// Every client dense (seed-derived full tables — *not* the legacy
+    /// `scoped_clients = false` sequential-RNG path).
+    Dense,
+}
+
+impl StorageMode {
+    /// True if a client with `positives` positive interactions over a
+    /// `num_items` catalogue should be built dense.
+    pub fn wants_dense(self, positives: usize, neg_ratio: usize, num_items: usize) -> bool {
+        match self {
+            Self::Sparse => false,
+            Self::Dense => true,
+            Self::Auto { dense_fraction } => {
+                let expected = (positives * (1 + neg_ratio)) as f64;
+                expected >= dense_fraction * num_items as f64
+            }
+        }
+    }
+}
+
+/// Per-client storage policy: the dense-fallback heuristic plus the
+/// cold-row eviction schedule that bounds a client's materialized row set
+/// over long runs (without eviction the set grows monotonically — every
+/// sampled negative materializes a row that is never dropped).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoragePolicy {
+    pub mode: StorageMode,
+    /// Evict cold rows every this many *local* rounds (0 = never — the
+    /// default; eviction is opt-in because it trades re-materialization
+    /// work for bounded memory).
+    pub evict_interval: u32,
+    /// Target materialized rows per client after an eviction pass. The
+    /// keep set is positives ∪ the current round's pool (always retained,
+    /// which also keeps every graph-edge item resolvable), topped up with
+    /// the most recently touched other rows — so the budget is a floor
+    /// the keep set can exceed only when a single round's pool does.
+    pub evict_budget: usize,
+}
+
+impl Default for StoragePolicy {
+    fn default() -> Self {
+        Self { mode: StorageMode::Auto { dense_fraction: 0.25 }, evict_interval: 0, evict_budget: 0 }
+    }
+}
+
 /// Full protocol configuration. [`PtfConfig::paper`] reproduces §IV-D;
 /// [`PtfConfig::small`] shrinks rounds/epochs for quick runs while keeping
 /// every mechanism active.
@@ -143,6 +203,10 @@ pub struct PtfConfig {
     /// `items × dim` tables built from one sequential RNG — a debug mode
     /// for A/B-ing the scoped path.
     pub scoped_clients: bool,
+    /// Per-client storage representation and eviction schedule (only
+    /// meaningful when `scoped_clients` is true; the legacy path always
+    /// builds full sequential-RNG tables, which cannot evict).
+    pub storage: StoragePolicy,
 }
 
 impl PtfConfig {
@@ -167,6 +231,7 @@ impl PtfConfig {
             threads: 0,
             scratch_reuse: true,
             scoped_clients: true,
+            storage: StoragePolicy::default(),
         }
     }
 
@@ -208,6 +273,12 @@ impl PtfConfig {
         unit(self.mu, "mu")?;
         unit(self.lambda, "lambda")?;
         unit(self.graph_threshold as f64, "graph_threshold")?;
+        if let StorageMode::Auto { dense_fraction } = self.storage.mode {
+            unit(dense_fraction, "storage.dense_fraction")?;
+        }
+        if self.storage.evict_interval > 0 {
+            positive(self.storage.evict_budget > 0, "storage.evict_budget")?;
+        }
         Ok(())
     }
 }
@@ -263,6 +334,36 @@ mod tests {
             set(&mut c);
             assert_eq!(c.validate(), Err(ConfigError::NotPositive(field)));
         }
+    }
+
+    #[test]
+    fn storage_defaults_and_validation() {
+        let c = PtfConfig::paper();
+        assert_eq!(c.storage.mode, StorageMode::Auto { dense_fraction: 0.25 });
+        assert_eq!(c.storage.evict_interval, 0, "eviction is opt-in");
+
+        let mut c = PtfConfig::paper();
+        c.storage.mode = StorageMode::Auto { dense_fraction: 1.5 };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OutOfUnitRange { field: "storage.dense_fraction", got: 1.5 })
+        );
+        let mut c = PtfConfig::paper();
+        c.storage.evict_interval = 5;
+        assert_eq!(c.validate(), Err(ConfigError::NotPositive("storage.evict_budget")));
+        c.storage.evict_budget = 64;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn dense_fallback_heuristic_matches_the_quarter_catalogue_rule() {
+        let auto = StorageMode::Auto { dense_fraction: 0.25 };
+        // 100 positives × (1+4) = 500 ≥ 0.25 × 1682 → dense (ML-100K shape)
+        assert!(auto.wants_dense(100, 4, 1682));
+        // 30 positives × 5 = 150 < 0.25 × 40_000 → sparse (Gowalla shape)
+        assert!(!auto.wants_dense(30, 4, 40_000));
+        assert!(!StorageMode::Sparse.wants_dense(1_000, 4, 100));
+        assert!(StorageMode::Dense.wants_dense(0, 4, 100));
     }
 
     #[test]

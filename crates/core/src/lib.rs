@@ -57,7 +57,7 @@ pub mod upload;
 
 pub use builder::{Federation, FederationBuilder};
 pub use client::PtfClient;
-pub use config::{ConfigError, DefenseKind, DisperseStrategy, PtfConfig};
+pub use config::{ConfigError, DefenseKind, DisperseStrategy, PtfConfig, StorageMode, StoragePolicy};
 pub use converge::ConvergedRun;
 pub use protocol::PtfFedRec;
 pub use server::PtfServer;

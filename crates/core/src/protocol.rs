@@ -74,11 +74,12 @@ impl PtfFedRec {
         let num_items = train.num_items();
         let (clients, server) = if cfg.scoped_clients {
             let seed = cfg.seed;
+            let cfg_ref = &cfg;
             let clients: Vec<PtfClient> = scheduler.map_indices(train.num_users(), |u| {
                 let u = u as u32;
                 let data = ClientData { id: u, positives: train.user_items(u).to_vec() };
                 let client_seed = derive_seed(seed, 0, RngStream::ClientInit(u).id());
-                PtfClient::new(data, client_kind, hyper, num_items, client_seed)
+                PtfClient::new(data, client_kind, hyper, num_items, client_seed, cfg_ref)
             });
             let mut server_rng =
                 StdRng::seed_from_u64(derive_seed(seed, 0, RngStream::ServerInit.id()));
@@ -116,6 +117,12 @@ impl PtfFedRec {
     /// `num_clients × num_items`, what full tables would hold).
     pub fn materialized_item_rows(&self) -> usize {
         self.clients.iter().map(PtfClient::item_rows).sum()
+    }
+
+    /// How many clients the storage policy built with a full (dense) item
+    /// table — the dense-fallback story in one number.
+    pub fn dense_clients(&self) -> usize {
+        self.clients.iter().filter(|c| c.item_scope().is_full()).count()
     }
 
     pub fn server(&self) -> &PtfServer {

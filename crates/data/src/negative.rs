@@ -46,9 +46,13 @@ pub fn sample_negatives_into(
         "cannot sample negatives: all {num_items} items are positive"
     );
     let count = count.min(available);
-    // dense candidate pool when the request covers most of the complement,
-    // rejection sampling otherwise
-    if count * 3 >= available {
+    // Dense candidate pool when the request covers most of the complement
+    // — or when the complement itself is a small slice of the catalogue:
+    // at ≥75% positive density a rejection draw mostly hits positives, so
+    // expected draws per accept (`num_items / available`) blow up even for
+    // tiny requests. One O(num_items) scan is cheaper and bounds the RNG
+    // draws at exactly `count`.
+    if count * 3 >= available || available * 4 <= num_items {
         out.extend((0..num_items as u32).filter(|c| sorted_positives.binary_search(c).is_err()));
         for i in 0..count {
             let j = rng.gen_range(i..out.len());
@@ -129,6 +133,50 @@ mod tests {
     #[should_panic(expected = "all 3 items are positive")]
     fn rejects_saturated_item_space() {
         let _ = sample_negatives(&[0, 1, 2], 3, 1, &mut crate::test_rng(3));
+    }
+
+    /// Wraps an RNG and counts the raw draws it serves — the probe the
+    /// high-density regression test uses to pin sampling cost.
+    struct CountingRng<R> {
+        inner: R,
+        calls: u64,
+    }
+
+    impl<R: rand::RngCore> rand::RngCore for CountingRng<R> {
+        fn next_u32(&mut self) -> u32 {
+            self.calls += 1;
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.calls += 1;
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.calls += 1;
+            self.inner.fill_bytes(dest)
+        }
+    }
+
+    #[test]
+    fn high_density_sampling_uses_bounded_rng_draws() {
+        // 90% positive density, small request: the old crossover
+        // (`count * 3 >= available` alone) kept this on the rejection path,
+        // where ~9 of 10 draws hit a positive — tens of wasted draws for a
+        // 20-item request. The density cutoff must route it dense-fill,
+        // which draws the RNG exactly once per returned negative.
+        let positives: Vec<u32> = (0..900).collect();
+        let mut rng = CountingRng { inner: crate::test_rng(7), calls: 0 };
+        let negs = sample_negatives(&positives, 1000, 20, &mut rng);
+        assert_eq!(negs.len(), 20);
+        for &n in &negs {
+            assert!((900..1000).contains(&n), "sampled a positive: {n}");
+        }
+        let mut sorted = negs;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "duplicates returned");
+        // one gen_range per kept negative; allow a small widening slack
+        assert!(rng.calls <= 2 * 20, "{} RNG draws for a 20-negative request", rng.calls);
     }
 
     #[test]

@@ -254,6 +254,37 @@ impl Recommender for LightGcn {
         self.ensure_items(sorted_ids.iter().copied());
     }
 
+    fn evict_items(&mut self, keep_sorted: &[u32]) -> usize {
+        // the keep set must cover every current graph-edge item (the
+        // protocol's keep set always does: edges come from positives and
+        // dispersed items) — an evicted edge item would leave the stored
+        // edge list pointing at a dropped node
+        debug_assert!(
+            self.scope.is_dense()
+                || self.graph_edges.iter().all(|&(_, i, _)| keep_sorted.binary_search(&i).is_ok()),
+            "keep set must cover all graph-edge items"
+        );
+        let evicted = scoped::evict_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            self.item_seed,
+            0.1,
+            keep_sorted,
+        );
+        if evicted > 0 {
+            if !self.scope.is_dense() {
+                // node indices shifted: re-derive the operator (the dense
+                // case keeps its node space, so only the cache is stale)
+                self.rebuild_scoped_prop();
+            }
+            self.invalidate();
+        }
+        evicted
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         debug_assert!((user as usize) < self.num_users, "user id out of range");
         self.ensure_cache();

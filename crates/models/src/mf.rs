@@ -206,6 +206,12 @@ impl Recommender for MfModel {
         self.items.ensure_many(sorted_ids);
     }
 
+    fn evict_items(&mut self, keep_sorted: &[u32]) -> usize {
+        // MF has no optimizer moments — the row table carries the whole
+        // per-item state, so table-level eviction is the entire operation
+        self.items.retain_ids(keep_sorted)
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         items.iter().map(|&i| stable_sigmoid(self.logit(user, i))).collect()
     }
@@ -377,6 +383,28 @@ mod tests {
         assert_eq!(full.score(1, &[5, 9, 30]), rows.score(1, &[5, 9, 30]));
         // …including out-of-scope (cold) items
         assert_eq!(full.score(0, &[17]), rows.score(0, &[17]));
+    }
+
+    #[test]
+    fn eviction_keeps_dense_and_sparse_tables_bit_identical() {
+        // the contract that makes eviction safe: a Full-scope model (rows
+        // reset in place) and a Rows-scope model (rows physically removed)
+        // stay bit-identical under the same train-and-evict schedule
+        let mut full = MfModel::new_scoped(2, 8, 0.1, &ItemScope::Full(50), 21);
+        let mut rows = MfModel::new_scoped(2, 8, 0.1, &ItemScope::rows(50, vec![5, 9]), 21);
+        let all: Vec<u32> = (0..50).collect();
+        let batch = [(0u32, 5u32, 1.0f32), (0, 30, 0.0), (1, 44, 1.0), (1, 9, 0.0)];
+        full.train_batch(&batch);
+        rows.train_batch(&batch);
+        let keep = [5u32, 9];
+        assert!(full.evict_items(&keep) > 0);
+        assert_eq!(rows.evict_items(&keep), 2, "rows 30 and 44 must drop");
+        assert_eq!(rows.item_scope().len(), 2, "sparse eviction bounds the row set");
+        assert_eq!(full.score(0, &all), rows.score(0, &all), "post-evict scores diverged");
+        // evicted rows re-materialize and keep training in lockstep
+        full.train_batch(&batch);
+        rows.train_batch(&batch);
+        assert_eq!(full.score(1, &all), rows.score(1, &all), "post-re-touch scores diverged");
     }
 
     #[test]

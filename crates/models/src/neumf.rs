@@ -206,6 +206,19 @@ impl Recommender for NeuMf {
         );
     }
 
+    fn evict_items(&mut self, keep_sorted: &[u32]) -> usize {
+        scoped::evict_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.item_emb,
+            0,
+            self.item_seed,
+            0.1,
+            keep_sorted,
+        )
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         let users = vec![user; items.len()];
         self.check_ids(&users, items);

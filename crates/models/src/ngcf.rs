@@ -294,6 +294,33 @@ impl Recommender for Ngcf {
         self.ensure_items(sorted_ids.iter().copied());
     }
 
+    fn evict_items(&mut self, keep_sorted: &[u32]) -> usize {
+        // see LightGcn::evict_items: the keep set must cover the current
+        // graph-edge items so the stored edge list stays resolvable
+        debug_assert!(
+            self.scope.is_dense()
+                || self.graph_edges.iter().all(|&(_, i, _)| keep_sorted.binary_search(&i).is_ok()),
+            "keep set must cover all graph-edge items"
+        );
+        let evicted = scoped::evict_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            self.item_seed,
+            0.1,
+            keep_sorted,
+        );
+        if evicted > 0 {
+            if !self.scope.is_dense() {
+                self.rebuild_scoped_prop();
+            }
+            self.invalidate();
+        }
+        evicted
+    }
+
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
         debug_assert!((user as usize) < self.num_users, "user id out of range");
         self.ensure_cache();

@@ -74,6 +74,72 @@ pub(crate) fn ensure_item_rows(
     inserted_any
 }
 
+/// Evicts every materialized id the keep set does not cover — the exact
+/// inverse of [`ensure_item_rows`], applied coherently to the embedding
+/// rows and the optimizer moments.
+///
+/// Row-scoped models remove id, parameter row, and both moment rows
+/// together (walking ids in descending order so earlier positions stay
+/// valid). Dense seed-derived models cannot shrink, so they reset the
+/// evicted rows in place — parameter row back to its derived init, moment
+/// rows to zero — which is the same post-state a row-scoped model
+/// re-materializes into. Legacy dense models built from a sequential RNG
+/// (`item_seed == 0` sentinel) have no reproducible init and evict
+/// nothing. Returns the number of rows evicted/reset.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evict_item_rows(
+    scope: &mut ScopeIndex,
+    params: &mut Params,
+    adam: &mut Adam,
+    emb: ParamId,
+    row_offset: usize,
+    item_seed: u64,
+    std: f32,
+    keep_sorted: &[u32],
+) -> usize {
+    debug_assert!(keep_sorted.windows(2).all(|w| w[0] < w[1]), "keep ids must be sorted unique");
+    match scope.ids() {
+        None => {
+            if item_seed == 0 {
+                return 0;
+            }
+            let dim = params.get(emb).cols();
+            let mut buf = vec![0.0f32; dim];
+            let mut k = 0usize;
+            let mut reset = 0usize;
+            for id in 0..scope.num_items() as u32 {
+                while k < keep_sorted.len() && keep_sorted[k] < id {
+                    k += 1;
+                }
+                if k < keep_sorted.len() && keep_sorted[k] == id {
+                    continue;
+                }
+                init::derived_normal_row(item_seed, id, std, &mut buf);
+                let at = row_offset + id as usize;
+                params.get_mut(emb).row_mut(at).copy_from_slice(&buf);
+                adam.zero_moment_row(emb, at);
+                reset += 1;
+            }
+            reset
+        }
+        Some(ids) => {
+            // snapshot the victims, then drop back-to-front so every
+            // not-yet-processed position is unaffected by earlier removals
+            let victims: Vec<u32> = ids
+                .iter()
+                .copied()
+                .filter(|id| keep_sorted.binary_search(id).is_err())
+                .collect();
+            for &id in victims.iter().rev() {
+                let pos = scope.remove(id).expect("victim was materialized");
+                params.get_mut(emb).remove_row(row_offset + pos);
+                adam.remove_row(emb, row_offset + pos);
+            }
+            victims.len()
+        }
+    }
+}
+
 /// Checkpoint envelope of a scoped model: the parameter store, the
 /// materialized item ids (without which the row↔id mapping is lost), and
 /// the per-row init seed (without which cold rows would re-derive

@@ -126,6 +126,27 @@ pub trait Recommender: Send + Sync {
     /// ignore it.
     fn prepare_items(&mut self, _sorted_ids: &[u32]) {}
 
+    /// Evicts every materialized item row whose global id is *not* in
+    /// `keep_sorted` (ascending, unique), returning how many rows were
+    /// dropped or reset. Eviction is the inverse of lazy materialization
+    /// and is semantically free on seed-derived models: an evicted row's
+    /// parameter state returns to its `(seed, id)`-derived init and its
+    /// optimizer moments to zero, exactly what a never-touched row holds,
+    /// so re-touching it later is bit-identical to a model that had never
+    /// materialized it. Row-scoped models physically remove the rows
+    /// (bounding client memory); dense seed-derived models reset them in
+    /// place — either way the two representations stay bit-identical
+    /// under the same train-and-evict schedule.
+    ///
+    /// Graph models require `keep_sorted` to cover every item referenced
+    /// by the current interaction graph (the caller's keep set naturally
+    /// does: graph edges come from positives and dispersed items, which
+    /// are always kept). Models with no reproducible init — the default —
+    /// evict nothing and return 0.
+    fn evict_items(&mut self, _keep_sorted: &[u32]) -> usize {
+        0
+    }
+
     /// Predicted preference of `user` for each of `items`.
     fn score(&self, user: u32, items: &[u32]) -> Vec<f32>;
 

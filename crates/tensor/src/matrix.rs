@@ -255,6 +255,17 @@ impl Matrix {
         self.rows += 1;
     }
 
+    /// Removes the row at index `at`, shifting later rows up — the exact
+    /// inverse of [`Matrix::insert_row`]. Backbone of cold-row eviction in
+    /// scoped embedding tables (the optimizer drops its per-row state
+    /// identically, see `Adam::remove_row`).
+    pub fn remove_row(&mut self, at: usize) {
+        assert!(at < self.rows, "remove_row at {at} out of bounds ({} rows)", self.rows);
+        let idx = at * self.cols;
+        self.data.drain(idx..idx + self.cols);
+        self.rows -= 1;
+    }
+
     /// Gathers rows `idx` into a new `idx.len()×cols` matrix.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);

@@ -193,6 +193,24 @@ impl ScopeIndex {
         }
     }
 
+    /// Removes `id` from a sparse index, returning the row position it
+    /// occupied; every later row shifts up by one (callers must shift any
+    /// parallel storage identically — the exact inverse of
+    /// [`ScopeIndex::insert`]). Dense identity scopes cannot drop ids and
+    /// return `None`, as does an id that was never materialized.
+    pub fn remove(&mut self, id: u32) -> Option<usize> {
+        match &mut self.ids {
+            None => None,
+            Some(ids) => match ids.binary_search(&id) {
+                Ok(p) => {
+                    ids.remove(p);
+                    Some(p)
+                }
+                Err(_) => None,
+            },
+        }
+    }
+
     /// Replaces the materialized id set (checkpoint restore). The new ids
     /// must be sorted, unique, in range, and — since parallel storage is
     /// not reshaped — of the same length.
@@ -479,6 +497,66 @@ impl RowTable {
         new_count
     }
 
+    /// Evicts every row whose global id is not in `keep_sorted`
+    /// (ascending, unique), returning how many rows were dropped.
+    ///
+    /// Eviction is *semantically free* on seed-derived tables: a dropped
+    /// row re-materializes bit-identically on next touch, because its init
+    /// is a pure function of `(table seed, id)`. Sparse tables compact the
+    /// arena in one forward merge pass (O(rows) movement); dense
+    /// seed-derived tables reset the evicted rows in place to their
+    /// derived init — the representation-independent meaning of "row
+    /// state is back to init". Dense tables built from caller-supplied
+    /// values ([`RowTable::dense_with`]) have no reproducible init to
+    /// return to, so they refuse to evict and return 0.
+    pub fn retain_ids(&mut self, keep_sorted: &[u32]) -> usize {
+        debug_assert!(
+            keep_sorted.windows(2).all(|w| w[0] < w[1]),
+            "keep ids must be sorted unique"
+        );
+        let cols = self.cols;
+        let init = self.init;
+        match &mut self.index.ids {
+            None => {
+                if matches!(init, RowInit::Zeros) {
+                    return 0;
+                }
+                // dense seed-derived table: reset non-kept rows in place,
+                // walking the keep list in lockstep with the identity rows
+                let mut k = 0usize;
+                let mut reset = 0usize;
+                for id in 0..self.index.num_items as u32 {
+                    while k < keep_sorted.len() && keep_sorted[k] < id {
+                        k += 1;
+                    }
+                    if k < keep_sorted.len() && keep_sorted[k] == id {
+                        continue;
+                    }
+                    let at = id as usize * cols;
+                    fill_row(init, id, &mut self.data[at..at + cols]);
+                    reset += 1;
+                }
+                reset
+            }
+            Some(ids) => {
+                let mut w = 0usize;
+                for r in 0..ids.len() {
+                    if keep_sorted.binary_search(&ids[r]).is_ok() {
+                        if w != r {
+                            ids[w] = ids[r];
+                            self.data.copy_within(r * cols..(r + 1) * cols, w * cols);
+                        }
+                        w += 1;
+                    }
+                }
+                let removed = ids.len() - w;
+                ids.truncate(w);
+                self.data.truncate(w * cols);
+                removed
+            }
+        }
+    }
+
     /// Like [`RowTable::ensure`], but a freshly materialized row is
     /// filled by `fill` instead of the table init (copy-on-first-touch —
     /// the FCF/MetaMF clients seed their local rows from the server's
@@ -698,6 +776,54 @@ mod tests {
         // both readings are 0 — the assertion is vacuous there but real in
         // tests/hot_path.rs, which runs the same path under the shim
         assert_eq!(crate::alloc::thread_allocs(), before, "reserved inserts must not allocate");
+    }
+
+    #[test]
+    fn retain_ids_compacts_sparse_tables_and_rematerializes_identically() {
+        let mut t = scoped(&[2, 5, 9, 13, 19]);
+        let keep_5 = t.row(t.lookup(5).unwrap()).to_vec();
+        let keep_13 = t.row(t.lookup(13).unwrap()).to_vec();
+        assert_eq!(t.retain_ids(&[5, 13]), 3);
+        assert_eq!(t.ids(), Some(&[5, 13][..]));
+        assert_eq!(t.row(0), &keep_5[..], "kept row moved bytes");
+        assert_eq!(t.row(1), &keep_13[..], "kept row moved bytes");
+        assert_eq!(t.len(), 2 * t.cols());
+        // an evicted row comes back bit-identical to a never-evicted twin
+        let twin = scoped(&[9]);
+        let r = t.ensure(9);
+        assert_eq!(t.row(r), twin.row(0), "re-materialization must be reproducible");
+        // keeping everything is a no-op
+        assert_eq!(t.retain_ids(&[5, 9, 13]), 0);
+    }
+
+    #[test]
+    fn retain_ids_resets_dense_seed_derived_rows_in_place() {
+        let mut dense = RowTable::from_scope(&ItemScope::Full(20), 4, 3, 0.1, 77);
+        let fresh = dense.clone();
+        // perturb two rows, keep one of them
+        dense.row_mut(6)[0] += 1.0;
+        dense.row_mut(11)[0] += 1.0;
+        let trained_11 = dense.row(11).to_vec();
+        assert!(dense.retain_ids(&[11]) > 0);
+        assert_eq!(dense.row(6), fresh.row(6), "evicted dense row must return to init");
+        assert_eq!(dense.row(11), &trained_11[..], "kept dense row must be untouched");
+        assert_eq!(dense.rows(), 20, "dense tables never drop rows, only reset them");
+        // legacy value-filled dense tables have no derived init: refuse
+        let mut legacy = RowTable::dense_with(3, 2, |r, row| row.fill(r as f32));
+        assert_eq!(legacy.retain_ids(&[0]), 0);
+        assert_eq!(legacy.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn scope_index_remove_is_inverse_of_insert() {
+        let mut s = ScopeIndex::from_scope(&ItemScope::rows(10, vec![2, 4, 7]));
+        assert_eq!(s.remove(4), Some(1));
+        assert_eq!(s.ids(), Some(&[2, 7][..]));
+        assert_eq!(s.remove(4), None, "double-remove must be a no-op");
+        assert_eq!(s.insert(4), (1, true));
+        assert_eq!(s.ids(), Some(&[2, 4, 7][..]));
+        let mut dense = ScopeIndex::dense(4);
+        assert_eq!(dense.remove(2), None, "dense identity cannot drop ids");
     }
 
     #[test]

@@ -9,9 +9,9 @@
 use ptf_fedrec::baselines::{
     Centralized, CentralizedConfig, Fcf, FcfConfig, FedMf, FedMfConfig, MetaMf, MetaMfConfig,
 };
-use ptf_fedrec::cli::{parse, Command, DefenseChoice, ProtocolChoice, USAGE};
+use ptf_fedrec::cli::{parse, Command, DefenseChoice, ProtocolChoice, StorageChoice, USAGE};
 use ptf_fedrec::comm::{format_bytes, LedgerSummary};
-use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig, PtfFedRec};
+use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig, PtfFedRec, StorageMode, StoragePolicy};
 use ptf_fedrec::data::{DatasetPreset, DatasetStats, Scale, TrainTestSplit};
 use ptf_fedrec::federated::{Engine, FederatedProtocol, RunTrace, TraceRecorder};
 use ptf_fedrec::metrics::RankingReport;
@@ -70,12 +70,14 @@ fn build_protocol(
     scale: Scale,
     seed: u64,
     threads: usize,
+    storage: StoragePolicy,
 ) -> Result<Box<dyn FederatedProtocol>, String> {
     let small = matches!(scale, Scale::Small);
     Ok(match choice {
         ProtocolChoice::Ptf => {
             let mut cfg = scaled_config(scale, seed);
             cfg.threads = threads;
+            cfg.storage = storage;
             if let Some(r) = rounds {
                 cfg.rounds = r;
             }
@@ -172,9 +174,21 @@ fn run(cmd: Command) -> Result<(), String> {
             k,
             threads,
             save,
+            storage,
+            evict_interval,
+            evict_budget,
             json,
         } => {
             let split = load_split(dataset, scale, seed);
+            let policy = StoragePolicy {
+                mode: match storage {
+                    StorageChoice::Auto => StoragePolicy::default().mode,
+                    StorageChoice::Sparse => StorageMode::Sparse,
+                    StorageChoice::Dense => StorageMode::Dense,
+                },
+                evict_interval,
+                evict_budget,
+            };
             let boxed = build_protocol(
                 protocol,
                 &split.train,
@@ -184,6 +198,7 @@ fn run(cmd: Command) -> Result<(), String> {
                 scale,
                 seed,
                 threads,
+                policy,
             )?;
             eprintln!(
                 "training {} on {} ({} clients, {} items)",

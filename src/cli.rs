@@ -38,6 +38,12 @@ pub enum Command {
         threads: usize,
         /// Write the trained model's checkpoint here after training.
         save: Option<String>,
+        /// Per-client storage representation policy.
+        storage: StorageChoice,
+        /// Evict cold embedding rows every N local rounds (`0` = never).
+        evict_interval: u32,
+        /// Row budget an eviction pass trims each client back to.
+        evict_budget: usize,
         /// Emit the run as machine-readable JSON on stdout.
         json: bool,
     },
@@ -57,6 +63,17 @@ pub enum Command {
     Generate { dataset: DatasetPreset, out: String, scale: Scale, seed: u64 },
     /// Print usage.
     Help,
+}
+
+/// CLI-level storage selector (maps onto `ptf_core::StorageMode`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageChoice {
+    /// Per-client density heuristic (the default).
+    Auto,
+    /// Force item-scoped tables on every client.
+    Sparse,
+    /// Force full tables on every client.
+    Dense,
 }
 
 /// CLI-level defense selector (maps onto `ptf_core::DefenseKind`).
@@ -89,7 +106,8 @@ USAGE:
                  [--protocol ptf|fcf|fedmf|metamf|centralized]
                  [--client neumf|ngcf|lightgcn|mf] [--server neumf|ngcf|lightgcn|mf]
                  [--rounds N] [--scale S] [--seed N] [--k K] [--threads N]
-                 [--save checkpoint.json] [--json]
+                 [--storage auto|sparse|dense] [--evict-interval N]
+                 [--evict-budget N] [--save checkpoint.json] [--json]
     ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
                  [--scale S] [--seed N] [--threads N] [--json]
     ptf generate --dataset D --out FILE [--scale S] [--seed N]
@@ -100,6 +118,9 @@ MF-family baselines (fcf, fedmf, metamf) use their paper dimensions and
 ignore both. `--json` prints {trace, report, communication} for tooling.
 `--threads N` sizes the parallel client scheduler (default: every hardware
 thread); with the same seed the output is byte-identical at any N.
+`--storage` picks the per-client table representation (auto = density
+heuristic); `--evict-interval`/`--evict-budget` bound client memory by
+resetting cold embedding rows every N local rounds.
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetPreset, String> {
@@ -121,6 +142,15 @@ fn parse_scale(s: &str) -> Result<Scale, String> {
 
 fn parse_model(s: &str) -> Result<ModelKind, String> {
     ModelKind::parse(s).ok_or_else(|| format!("unknown model {s:?} (neumf|ngcf|lightgcn|mf)"))
+}
+
+fn parse_storage(s: &str) -> Result<StorageChoice, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "auto" => Ok(StorageChoice::Auto),
+        "sparse" | "scoped" => Ok(StorageChoice::Sparse),
+        "dense" | "full" => Ok(StorageChoice::Dense),
+        other => Err(format!("unknown storage {other:?} (auto|sparse|dense)")),
+    }
 }
 
 fn parse_defense(s: &str) -> Result<DefenseChoice, String> {
@@ -215,8 +245,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let opts = parse_options(
                 rest,
                 &[
-                    "dataset", "protocol", "client", "server", "rounds", "scale", "seed", "k",
-                    "threads", "save",
+                    "dataset",
+                    "protocol",
+                    "client",
+                    "server",
+                    "rounds",
+                    "scale",
+                    "seed",
+                    "k",
+                    "threads",
+                    "save",
+                    "storage",
+                    "evict-interval",
+                    "evict-budget",
                 ],
                 &["json"],
             )?;
@@ -254,6 +295,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .unwrap_or(20),
                 threads: parse_threads(&opts)?,
                 save: opts.get("save").cloned(),
+                storage: opts
+                    .get("storage")
+                    .map(|s| parse_storage(s))
+                    .transpose()?
+                    .unwrap_or(StorageChoice::Auto),
+                evict_interval: opts
+                    .get("evict-interval")
+                    .map(|s| s.parse().map_err(|_| format!("bad --evict-interval {s:?}")))
+                    .transpose()?
+                    .unwrap_or(0),
+                evict_budget: opts
+                    .get("evict-budget")
+                    .map(|s| s.parse().map_err(|_| format!("bad --evict-budget {s:?}")))
+                    .transpose()?
+                    .unwrap_or(0),
                 json: opts.flag("json"),
             })
         }
@@ -348,9 +404,43 @@ mod tests {
                 k: 20,
                 threads: 0,
                 save: None,
+                storage: StorageChoice::Auto,
+                evict_interval: 0,
+                evict_budget: 0,
                 json: false,
             }
         );
+    }
+
+    #[test]
+    fn storage_and_eviction_flags_parse() {
+        match parse(&argv(
+            "train --dataset ml100k --storage sparse --evict-interval 5 --evict-budget 512",
+        ))
+        .unwrap()
+        {
+            Command::Train { storage, evict_interval, evict_budget, .. } => {
+                assert_eq!(storage, StorageChoice::Sparse);
+                assert_eq!(evict_interval, 5);
+                assert_eq!(evict_budget, 512);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for (s, want) in [
+            ("auto", StorageChoice::Auto),
+            ("dense", StorageChoice::Dense),
+            ("full", StorageChoice::Dense),
+            ("scoped", StorageChoice::Sparse),
+        ] {
+            match parse(&argv(&format!("train --dataset ml100k --storage {s}"))).unwrap() {
+                Command::Train { storage, .. } => assert_eq!(storage, want, "{s}"),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        let err = parse(&argv("train --dataset ml100k --storage ram")).unwrap_err();
+        assert!(err.contains("unknown storage"), "{err}");
+        let err = parse(&argv("train --dataset ml100k --evict-interval soon")).unwrap_err();
+        assert!(err.contains("--evict-interval"), "{err}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! training-pool assembly, local SGD, scoring, and upload staging all run
 //! inside reused buffers.
 
-use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig};
+use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig, StorageMode};
 use ptf_fedrec::data::{SyntheticConfig, TrainTestSplit};
 use ptf_fedrec::models::{ModelHyper, ModelKind};
 use ptf_fedrec::tensor::alloc;
@@ -85,6 +85,10 @@ fn steady_state_scoped_mf_rounds_allocate_nothing_once_rows_settle() {
     cfg.defense = DefenseKind::NoDefense;
     cfg.threads = 1;
     assert!(cfg.scoped_clients, "scoped clients are the default");
+    // this test asserts Rows-scoped behavior specifically; the ~16-positive
+    // clients over a 40-item catalogue would otherwise trip the dense
+    // fallback and hold all 40 rows from round one
+    cfg.storage.mode = StorageMode::Sparse;
     let mut fed = Federation::builder(&s.train)
         .client_model(ModelKind::Mf)
         .server_model(ModelKind::Mf)
@@ -118,6 +122,79 @@ fn steady_state_scoped_mf_rounds_allocate_nothing_once_rows_settle() {
             "round {round}: a scoped steady-state round (no new rows) must not touch the heap"
         );
     }
+}
+
+#[test]
+fn eviction_keeps_client_rows_bounded_over_fifty_rounds() {
+    // Without eviction, a sparse client's row set grows monotonically —
+    // every round's fresh negatives coupon-collect the catalogue. With
+    // `evict_interval`/`evict_budget` set, each client is trimmed back to
+    // its budget every interval, so 50 rounds stay bounded while the
+    // no-eviction control keeps climbing past the same budget.
+    let data = SyntheticConfig::new("bounded", 12, 400, 8.0)
+        .generate(&mut ptf_fedrec::data::test_rng(21));
+    let s = TrainTestSplit::split_80_20(&data, &mut ptf_fedrec::data::test_rng(22));
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 50;
+    cfg.client_epochs = 1;
+    cfg.defense = DefenseKind::NoDefense;
+    cfg.threads = 1;
+    cfg.storage.mode = StorageMode::Sparse;
+    cfg.storage.evict_interval = 5;
+    // comfortably above any single round's pool (positives + 4× negatives
+    // + dispersed items ≈ 50 ids) so the working set is never churned
+    let budget = 120;
+    cfg.storage.evict_budget = budget;
+    let control_cfg = {
+        let mut c = cfg.clone();
+        c.storage.evict_interval = 0;
+        c.storage.evict_budget = 0;
+        c
+    };
+    let build = |cfg: PtfConfig| {
+        Federation::builder(&s.train)
+            .client_model(ModelKind::Mf)
+            .server_model(ModelKind::Mf)
+            .hyper(ModelHyper::small())
+            .config(cfg)
+            .build()
+            .expect("valid config")
+    };
+    let mut evicting = build(cfg);
+    let mut control = build(control_cfg);
+
+    let num_users = s.train.num_users() as u32;
+    let mut plateau = Vec::new();
+    for round in 1..=50u32 {
+        evicting.run_round();
+        control.run_round();
+        if round % 5 == 0 {
+            let max_rows = (0..num_users)
+                .map(|u| evicting.protocol().client(u).item_rows())
+                .max()
+                .unwrap();
+            assert!(
+                max_rows <= budget,
+                "round {round}: a client holds {max_rows} rows, budget {budget}"
+            );
+            plateau.push(evicting.protocol().materialized_item_rows());
+        }
+    }
+    // boundedness is a plateau, not a slowed climb: the fleet's row count
+    // at interval boundaries stops growing once the budget binds
+    let mid = plateau[plateau.len() / 2];
+    let last = *plateau.last().unwrap();
+    assert!(
+        last <= mid + num_users as usize,
+        "fleet rows still climbing at boundaries: {plateau:?}"
+    );
+    // and the control demonstrates the problem being solved
+    let control_max =
+        (0..num_users).map(|u| control.protocol().client(u).item_rows()).max().unwrap();
+    assert!(
+        control_max > budget,
+        "control never exceeded the budget ({control_max} rows) — test shape too small"
+    );
 }
 
 #[test]

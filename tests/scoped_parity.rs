@@ -96,6 +96,75 @@ proptest! {
             prop_assert!(scoped.item_scope().len() <= NUM_ITEMS);
         }
     }
+
+    /// Eviction is representation-independent: a dense (`Full`) model
+    /// resets cold rows in place while a `Rows` model physically removes
+    /// them, but under the *same* train → evict → retrain schedule the two
+    /// stay bit-identical — on surviving rows, on evicted rows (both back
+    /// at derived init), and through rematerialization when training
+    /// touches an evicted row again.
+    #[test]
+    fn eviction_preserves_dense_sparse_parity(
+        ids in scope_strategy(),
+        batches in proptest::collection::vec(batch_strategy(), 1..3),
+        keep_extra in proptest::collection::btree_set(0u32..NUM_ITEMS as u32, 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let all_items: Vec<u32> = (0..NUM_ITEMS as u32).collect();
+        for kind in ALL_KINDS {
+            let h = hyper(kind);
+            let mut full =
+                build_model_scoped(kind, 2, &h, &ItemScope::Full(NUM_ITEMS), seed);
+            let mut scoped = build_model_scoped(
+                kind,
+                2,
+                &h,
+                &ItemScope::rows(NUM_ITEMS, ids.clone()),
+                seed,
+            );
+            let edge_ids: Vec<u32> = ids.iter().copied().take(3).collect();
+            if full.uses_graph() {
+                let edges: Vec<(u32, u32, f32)> =
+                    edge_ids.iter().map(|&i| (0u32, i, 1.0f32)).collect();
+                full.set_graph(&edges);
+                scoped.set_graph(&edges);
+            }
+            for batch in &batches {
+                full.train_batch(batch);
+                scoped.train_batch(batch);
+            }
+            // the keep set must cover every ego-graph edge item (the
+            // protocol guarantees this: edges derive from the pool)
+            let mut keep: Vec<u32> =
+                keep_extra.iter().copied().chain(edge_ids.iter().copied()).collect();
+            keep.sort_unstable();
+            keep.dedup();
+            full.evict_items(&keep);
+            scoped.evict_items(&keep);
+            prop_assert!(
+                scoped.item_scope().len() <= keep.len(),
+                "{} eviction left {} rows for a {}-id keep set",
+                kind, scoped.item_scope().len(), keep.len()
+            );
+            prop_assert_eq!(
+                full.score(0, &all_items),
+                scoped.score(0, &all_items),
+                "{} post-eviction scores diverged", kind
+            );
+            // retraining rematerializes evicted rows from derived init on
+            // both sides — the trajectories must not fork
+            for batch in &batches {
+                let lf = full.train_batch(batch);
+                let ls = scoped.train_batch(batch);
+                prop_assert_eq!(lf, ls, "{} post-eviction training loss diverged", kind);
+            }
+            prop_assert_eq!(
+                full.score(1, &all_items),
+                scoped.score(1, &all_items),
+                "{} retrained scores diverged", kind
+            );
+        }
+    }
 }
 
 /// Regression: dispersing an item the client has never seen must
