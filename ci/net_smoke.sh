@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Localhost TCP smoke for the networked deployment mode: one `ptf serve`
+# plus four `ptf client` processes, three rounds, ML-100K small preset
+# (120 clients), with the last shard induced to straggle past the final
+# round's deadline. Asserts the server completes with a valid JSON trace
+# that records exactly that shard's drops, and that the on-time shards
+# exit clean. Every process runs under a wall-clock timeout so a
+# deadlock fails CI instead of hanging it.
+set -euo pipefail
+
+BIN=${PTF_BIN:-target/release/ptf}
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+common=(--dataset ml100k --client mf --server mf --rounds 3)
+
+timeout 300 "$BIN" serve "${common[@]}" --port 0 \
+  --deadline-ms 10000 --gather-ms 60000 --json \
+  >"$OUT/serve.json" 2>"$OUT/serve.err" &
+SERVE_PID=$!
+
+# `--port 0` binds an ephemeral port; the bound address is the first
+# stderr line
+ADDR=""
+for _ in $(seq 1 300); do
+  ADDR=$(sed -n 's/^listening on //p' "$OUT/serve.err" | head -n1)
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    cat "$OUT/serve.err" >&2
+    echo "serve died before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "serve never printed its address" >&2
+  exit 1
+fi
+echo "serve bound on $ADDR"
+
+CLIENT_PIDS=()
+for ids in 0-29 30-59 60-89; do
+  timeout 300 "$BIN" client "${common[@]}" --addr "$ADDR" --ids "$ids" --json \
+    >"$OUT/client-$ids.json" 2>"$OUT/client-$ids.err" &
+  CLIENT_PIDS+=($!)
+done
+
+# the straggler shard sleeps through round 2's 10s deadline; once the
+# server is done it ends in a clean disconnect (exit 1, no panic) or is
+# reaped below — either is fine, only the server's view is asserted
+timeout 300 "$BIN" client "${common[@]}" --addr "$ADDR" --ids 90-119 \
+  --straggle-round 2 --straggle-ms 120000 \
+  >"$OUT/straggler.out" 2>"$OUT/straggler.err" &
+STRAGGLER_PID=$!
+
+if ! wait "$SERVE_PID"; then
+  echo "serve failed:" >&2
+  cat "$OUT/serve.err" >&2
+  exit 1
+fi
+
+for pid in "${CLIENT_PIDS[@]}"; do
+  if ! wait "$pid"; then
+    echo "an on-time client failed:" >&2
+    cat "$OUT"/client-*.err >&2
+    exit 1
+  fi
+done
+kill "$STRAGGLER_PID" 2>/dev/null || true
+wait "$STRAGGLER_PID" 2>/dev/null || true
+if grep -q panicked "$OUT/straggler.err" "$OUT"/client-*.err "$OUT/serve.err"; then
+  echo "a process panicked:" >&2
+  cat "$OUT/straggler.err" "$OUT"/client-*.err >&2
+  exit 1
+fi
+
+python3 - "$OUT/serve.json" "$OUT/client-0-29.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+rounds = report["trace"]["rounds"]
+assert len(rounds) == 3, rounds
+assert rounds[0]["participants"] == 120, rounds[0]
+assert rounds[2]["participants"] == 90, rounds[2]
+drops = report["stragglers"]
+assert len(drops) == 30, len(drops)
+assert all(d["round"] == 2 and 90 <= d["client"] <= 119 for d in drops), drops
+assert report["connections"] == 4, report["connections"]
+assert report["communication"]["total_bytes"] > 0
+shard = json.load(open(sys.argv[2]))["summary"]
+assert shard["rounds_finished"] == 3 and shard["dropped"] == 0, shard
+print("net smoke OK: 3 rounds, straggler shard dropped in round 2, trace valid")
+EOF

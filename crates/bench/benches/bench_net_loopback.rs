@@ -1,0 +1,175 @@
+//! Networked-mode overhead benchmark: loopback vs in-process.
+//!
+//! Runs PTF-FedRec at the ML-100K preset twice with the same seed —
+//! once through the in-process `Engine`, once through the `ptf-net`
+//! round server over the loopback transport (every frame through the
+//! real wire codec, fleet split over several connections) — and
+//! reports rounds/sec for both plus the relative overhead of the
+//! networked path. The traces are asserted byte-identical, so the
+//! number is a pure transport/codec cost, not a different computation.
+//!
+//! Writes `BENCH_net_loopback.json` at the workspace root. Knobs:
+//! `PTF_BENCH_ROUNDS` (default 3), `PTF_BENCH_EPOCHS` (default 2),
+//! `PTF_SEED`, `PTF_BENCH_SHARDS` (client connections, default 4),
+//! `PTF_SCALE` (`paper` default, `small` for quick runs).
+
+use ptf_bench::{fmt4, Table};
+use ptf_core::{DefenseKind, PtfConfig, PtfFedRec};
+use ptf_data::{DatasetPreset, Scale, TrainTestSplit};
+use ptf_federated::Engine;
+use ptf_models::{ModelHyper, ModelKind};
+use ptf_net::{loopback_hub, run_server, run_shard, NetServerOptions, ShardOptions};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct NetLoopbackReport {
+    preset: String,
+    users: usize,
+    items: usize,
+    rounds: u32,
+    client_epochs: u32,
+    seed: u64,
+    shards: usize,
+    in_process_seconds: f64,
+    in_process_rounds_per_sec: f64,
+    /// Includes the handshake/gather phase — what a deployment pays.
+    loopback_seconds: f64,
+    loopback_rounds_per_sec: f64,
+    /// `loopback_seconds / in_process_seconds - 1`, as a percentage.
+    overhead_pct: f64,
+    /// Protocol data bytes the ledger charged the networked run.
+    loopback_total_bytes: u64,
+    traces_identical: bool,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let rounds = env_u64("PTF_BENCH_ROUNDS", 3) as u32;
+    let epochs = env_u64("PTF_BENCH_EPOCHS", 2) as u32;
+    let seed = env_u64("PTF_SEED", 2024);
+    let shards = env_u64("PTF_BENCH_SHARDS", 4).max(1) as usize;
+    let scale = match std::env::var("PTF_SCALE").as_deref() {
+        Ok("small") => Scale::Small,
+        _ => Scale::Paper,
+    };
+
+    let preset = DatasetPreset::MovieLens100K;
+    let data = preset.generate(scale, &mut ptf_data::test_rng(seed));
+    let split = TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(seed ^ 1));
+    let train = &split.train;
+
+    let mut cfg = match scale {
+        Scale::Paper => PtfConfig::paper(),
+        Scale::Small => PtfConfig::small(),
+    };
+    cfg.rounds = rounds;
+    cfg.client_epochs = epochs;
+    cfg.seed = seed;
+    cfg.defense = DefenseKind::NoDefense;
+    let hyper = match scale {
+        Scale::Paper => ModelHyper::default(),
+        Scale::Small => ModelHyper::small(),
+    };
+
+    // in-process reference
+    let start = Instant::now();
+    let protocol = PtfFedRec::try_new(train, ModelKind::Mf, ModelKind::Mf, &hyper, cfg.clone())
+        .expect("bench config is valid");
+    let mut engine = Engine::new(protocol);
+    let trace = engine.run();
+    let in_process_seconds = start.elapsed().as_secs_f64();
+    let reference = serde_json::to_string(&trace).expect("trace serializes");
+
+    // networked run over loopback: same fleet split over `shards`
+    // connections, every frame through the wire codec
+    let users = train.num_users() as u32;
+    let per = users.div_ceil(shards as u32);
+    let opts = NetServerOptions {
+        cfg: cfg.clone(),
+        client_kind: ModelKind::Mf,
+        server_kind: ModelKind::Mf,
+        hyper: hyper.clone(),
+        round_deadline: Duration::from_secs(600),
+        gather_timeout: Duration::from_secs(600),
+        verbose: false,
+    };
+    let start = Instant::now();
+    let (hub, events) = loopback_hub();
+    let report = std::thread::scope(|scope| {
+        for s in 0..shards {
+            let ids: Vec<u32> = (s as u32 * per..users.min((s as u32 + 1) * per)).collect();
+            if ids.is_empty() {
+                continue;
+            }
+            let hub = hub.clone();
+            let shard_opts = ShardOptions {
+                cfg: cfg.clone(),
+                client_kind: ModelKind::Mf,
+                server_kind: ModelKind::Mf,
+                hyper: hyper.clone(),
+                ids,
+                straggle: None,
+            };
+            scope.spawn(move || {
+                let mut conn = hub.connect();
+                run_shard(train, &mut conn, &shard_opts).expect("shard completes");
+            });
+        }
+        let (report, _server) = run_server(train, &events, &opts).expect("server completes");
+        report
+    });
+    let loopback_seconds = start.elapsed().as_secs_f64();
+
+    let net_json = serde_json::to_string(&report.trace).expect("trace serializes");
+    assert!(report.stragglers.is_empty(), "nobody straggles under 600s deadlines");
+    assert_eq!(net_json, reference, "loopback trace must be bit-identical to the engine");
+
+    let out = NetLoopbackReport {
+        preset: preset.name().to_string(),
+        users: train.num_users(),
+        items: train.num_items(),
+        rounds,
+        client_epochs: epochs,
+        seed,
+        shards,
+        in_process_seconds,
+        in_process_rounds_per_sec: rounds as f64 / in_process_seconds,
+        loopback_seconds,
+        loopback_rounds_per_sec: rounds as f64 / loopback_seconds,
+        overhead_pct: (loopback_seconds / in_process_seconds - 1.0) * 100.0,
+        loopback_total_bytes: report.communication.total_bytes,
+        traces_identical: true,
+    };
+
+    let mut table = Table::new(
+        "Networked-mode overhead (ML-100K, MF/MF, loopback transport)",
+        &["path", "rounds/sec", "seconds"],
+    );
+    table.row(vec![
+        "in-process".to_string(),
+        fmt4(out.in_process_rounds_per_sec),
+        fmt4(out.in_process_seconds),
+    ]);
+    table.row(vec![
+        format!("loopback x{shards}"),
+        fmt4(out.loopback_rounds_per_sec),
+        fmt4(out.loopback_seconds),
+    ]);
+    table.print();
+    println!("overhead: {:.1}% (traces bit-identical)", out.overhead_pct);
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_net_loopback.json");
+    match serde_json::to_string_pretty(&out) {
+        Ok(json) => {
+            if std::fs::write(&path, json).is_ok() {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize net-loopback report: {e}"),
+    }
+}

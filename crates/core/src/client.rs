@@ -65,12 +65,12 @@ impl PtfClient {
         seed: u64,
         cfg: &PtfConfig,
     ) -> Self {
-        let scope =
-            if cfg.storage.mode.wants_dense(data.positives.len(), cfg.neg_ratio, num_items) {
-                ItemScope::Full(num_items)
-            } else {
-                data.item_scope(num_items)
-            };
+        let scope = if cfg.storage.mode.wants_dense(data.positives.len(), cfg.neg_ratio, num_items)
+        {
+            ItemScope::Full(num_items)
+        } else {
+            data.item_scope(num_items)
+        };
         Self {
             id: data.id,
             positives: data.positives,
@@ -249,7 +249,7 @@ impl PtfClient {
         if cfg.storage.evict_interval > 0 {
             self.local_rounds += 1;
             self.note_touched(&scratch.pool_ids);
-            if self.local_rounds % cfg.storage.evict_interval == 0 {
+            if self.local_rounds.is_multiple_of(cfg.storage.evict_interval) {
                 self.evict_cold_rows(cfg.storage.evict_budget, &scratch.pool_ids);
             }
         }

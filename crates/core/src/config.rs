@@ -144,7 +144,11 @@ pub struct StoragePolicy {
 
 impl Default for StoragePolicy {
     fn default() -> Self {
-        Self { mode: StorageMode::Auto { dense_fraction: 0.25 }, evict_interval: 0, evict_budget: 0 }
+        Self {
+            mode: StorageMode::Auto { dense_fraction: 0.25 },
+            evict_interval: 0,
+            evict_budget: 0,
+        }
     }
 }
 

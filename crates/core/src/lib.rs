@@ -52,12 +52,15 @@ pub mod config;
 pub mod converge;
 pub mod disperse;
 pub mod protocol;
+pub mod rounds;
 pub mod server;
 pub mod upload;
 
 pub use builder::{Federation, FederationBuilder};
 pub use client::PtfClient;
-pub use config::{ConfigError, DefenseKind, DisperseStrategy, PtfConfig, StorageMode, StoragePolicy};
+pub use config::{
+    ConfigError, DefenseKind, DisperseStrategy, PtfConfig, StorageMode, StoragePolicy,
+};
 pub use converge::ConvergedRun;
 pub use protocol::PtfFedRec;
 pub use server::PtfServer;

@@ -16,13 +16,12 @@
 
 use crate::client::PtfClient;
 use crate::config::{ConfigError, PtfConfig};
+use crate::rounds;
 use crate::server::PtfServer;
 use crate::upload::ClientUpload;
-use ptf_comm::Payload;
 use ptf_data::Dataset;
 use ptf_federated::{
-    derive_seed, partition_clients, round_rng, ClientData, FederatedProtocol, RngStream, RoundCtx,
-    RoundTrace, Scheduler, ScratchPool,
+    partition_clients, FederatedProtocol, RoundCtx, RoundTrace, Scheduler, ScratchPool,
 };
 use ptf_metrics::RankingReport;
 use ptf_models::{evaluate_model_with_threads, ModelHyper, ModelKind, Recommender};
@@ -73,18 +72,12 @@ impl PtfFedRec {
         let scheduler = Scheduler::new(cfg.threads);
         let num_items = train.num_items();
         let (clients, server) = if cfg.scoped_clients {
-            let seed = cfg.seed;
             let cfg_ref = &cfg;
             let clients: Vec<PtfClient> = scheduler.map_indices(train.num_users(), |u| {
-                let u = u as u32;
-                let data = ClientData { id: u, positives: train.user_items(u).to_vec() };
-                let client_seed = derive_seed(seed, 0, RngStream::ClientInit(u).id());
-                PtfClient::new(data, client_kind, hyper, num_items, client_seed, cfg_ref)
+                rounds::build_client(train, u as u32, client_kind, hyper, cfg_ref)
             });
-            let mut server_rng =
-                StdRng::seed_from_u64(derive_seed(seed, 0, RngStream::ServerInit.id()));
             let server =
-                PtfServer::new(train.num_users(), num_items, server_kind, hyper, &mut server_rng);
+                rounds::build_server(train.num_users(), num_items, server_kind, hyper, cfg_ref);
             (clients, server)
         } else {
             // legacy debug path: full client tables off one sequential RNG
@@ -156,6 +149,64 @@ impl PtfFedRec {
     pub fn evaluate(&self, train: &Dataset, test: &Dataset, k: usize) -> RankingReport {
         evaluate_model_with_threads(self.server.model(), train, test, k, self.scheduler.threads())
     }
+
+    /// The clients (ascending id) the participation policy may sample.
+    pub fn trainable(&self) -> &[u32] {
+        &self.trainable
+    }
+
+    /// One round over an explicit participant set: the shared body of
+    /// [`FederatedProtocol::run_round`] (which samples the set) and
+    /// [`FederatedProtocol::run_round_external`] (which is handed one by
+    /// an external driver, e.g. a networked round server replaying the
+    /// clients that made its deadline).
+    fn round_with(&mut self, ctx: &mut RoundCtx<'_>, participants: Vec<u32>) -> RoundTrace {
+        let round = self.round;
+        // hand the previous round's upload buffers back to their owners so
+        // steady-state upload staging reuses per-client capacity
+        for upload in self.last_uploads.drain(..) {
+            let owner = upload.client as usize;
+            self.clients[owner].recycle_upload(upload);
+        }
+        ctx.begin(&participants);
+
+        // lines 5–8, parallel phase: local training + upload construction
+        // on one derived RNG stream per client, all transient state in
+        // per-worker scratch buffers; the allocation counter brackets
+        // exactly the client-path work (thread-local, so parallel workers
+        // count independently)
+        let cfg = &self.cfg;
+        let mut refs = participant_refs(&mut self.clients, &participants);
+        let results: Vec<(ClientUpload, f32, u64)> =
+            self.scheduler.map_clients_with(&self.scratch, &mut refs, |scratch, _, client| {
+                let allocs_before = ptf_tensor::alloc::thread_allocs();
+                let (upload, loss) = rounds::client_round(client, cfg, round, scratch);
+                let allocs = ptf_tensor::alloc::thread_allocs() - allocs_before;
+                (upload, loss, allocs)
+            });
+        drop(refs);
+
+        // serial phase: replay uploads into the observer stack in
+        // participant order, train the hidden model, disperse (lines 9–12)
+        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(results.len());
+        let mut losses: Vec<f32> = Vec::with_capacity(results.len());
+        self.last_client_allocs = 0;
+        for (upload, loss, allocs) in results {
+            losses.push(loss);
+            self.last_client_allocs += allocs;
+            uploads.push(upload);
+        }
+        let (server_loss, disperses) =
+            rounds::server_phase(&mut self.server, &self.cfg, round, &uploads, ctx);
+        for (client, items) in disperses {
+            self.clients[client as usize].receive_disperse(items);
+        }
+
+        let trace = rounds::round_trace(round, &losses, server_loss, ctx);
+        self.last_uploads = uploads;
+        self.round += 1;
+        trace
+    }
 }
 
 /// Mutable references to the participating clients, in participant order
@@ -189,73 +240,27 @@ impl FederatedProtocol for PtfFedRec {
     /// Executes one global round of Algorithm 1 as a two-phase
     /// map/reduce (see the module docs).
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
-        let (seed, round) = (self.cfg.seed, self.round);
-        // hand the previous round's upload buffers back to their owners so
-        // steady-state upload staging reuses per-client capacity
-        for upload in self.last_uploads.drain(..) {
-            let owner = upload.client as usize;
-            self.clients[owner].recycle_upload(upload);
-        }
-        let mut part_rng = round_rng(seed, round, RngStream::Participation);
-        let participants = self.cfg.participation.sample(&self.trainable, &mut part_rng);
-        ctx.begin(&participants);
+        let participants = rounds::sample_participants(&self.cfg, &self.trainable, self.round);
+        self.round_with(ctx, participants)
+    }
 
-        // lines 5–8, parallel phase: local training + upload construction
-        // on one derived RNG stream per client, all transient state in
-        // per-worker scratch buffers; the allocation counter brackets
-        // exactly the client-path work (thread-local, so parallel workers
-        // count independently)
-        let cfg = &self.cfg;
-        let mut refs = participant_refs(&mut self.clients, &participants);
-        let results: Vec<(ClientUpload, f32, u64)> =
-            self.scheduler.map_clients_with(&self.scratch, &mut refs, |scratch, _, client| {
-                let mut rng = round_rng(seed, round, RngStream::Client(client.id));
-                let allocs_before = ptf_tensor::alloc::thread_allocs();
-                let (upload, loss) = client.local_round(cfg, scratch, &mut rng);
-                let allocs = ptf_tensor::alloc::thread_allocs() - allocs_before;
-                (upload, loss, allocs)
-            });
-        drop(refs);
-
-        // serial phase: replay uploads into the observer stack in
-        // participant order
-        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(results.len());
-        let mut losses: Vec<f32> = Vec::with_capacity(results.len());
-        self.last_client_allocs = 0;
-        for (upload, loss, allocs) in results {
-            losses.push(loss);
-            self.last_client_allocs += allocs;
-            ctx.upload(
-                upload.client,
-                "client-predictions",
-                Payload::Triples { count: upload.len() },
-            );
-            uploads.push(upload);
-        }
-
-        // lines 10–11: server model training on the collected predictions
-        let mut server_rng = round_rng(seed, round, RngStream::Server);
-        let server_loss = self.server.train_on_uploads(&uploads, &self.cfg, &mut server_rng);
-
-        // line 12: confidence-based hard knowledge dispersal
-        for up in &uploads {
-            let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
-            uploaded.sort_unstable();
-            let mut disperse_rng = round_rng(seed, round, RngStream::Disperse(up.client));
-            let disperse =
-                self.server.disperse_for(up.client, &uploaded, &self.cfg, &mut disperse_rng);
-            ctx.disperse(
-                up.client,
-                "server-predictions",
-                Payload::Triples { count: disperse.len() },
-            );
-            self.clients[up.client as usize].receive_disperse(disperse);
-        }
-
-        let trace = RoundTrace::new(self.round, &losses, server_loss, ctx.bytes());
-        self.last_uploads = uploads;
-        self.round += 1;
-        trace
+    /// PTF-FedRec honors externally-chosen participant sets: the body is
+    /// the same round as [`Self::run_round`] minus the participation
+    /// draw. Unknown or non-trainable ids are ignored (a networked driver
+    /// may hand in a deadline-filtered set).
+    fn run_round_external(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        participants: &[u32],
+    ) -> Option<RoundTrace> {
+        let mut chosen: Vec<u32> = participants
+            .iter()
+            .copied()
+            .filter(|id| self.trainable.binary_search(id).is_ok())
+            .collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        Some(self.round_with(ctx, chosen))
     }
 
     fn recommender(&self) -> &dyn Recommender {

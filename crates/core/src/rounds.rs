@@ -1,0 +1,129 @@
+//! The reusable halves of a PTF-FedRec round.
+//!
+//! The in-process engine (`ptf-federated`) and the networked deployment in
+//! `ptf-net` must produce bit-identical results for the same seed and
+//! config — the loopback parity test asserts a byte-equal `RunTrace`.
+//! Instead of keeping two copies of the round choreography in sync, the
+//! pieces live here and both drivers call them:
+//!
+//! * [`build_client`] / [`build_server`] — fleet construction from the
+//!   per-participant derived `ClientInit`/`ServerInit` RNG streams, so a
+//!   client built alone in a remote process is bit-identical to the same
+//!   client built inside the in-process fleet;
+//! * [`sample_participants`] — the per-round `Participation` draw;
+//! * [`client_round`] — one client's local training + upload on its own
+//!   `RngStream::Client` stream;
+//! * [`server_phase`] — the serial reduce: upload replay into the
+//!   observer stack (in ascending client order), hidden-model training,
+//!   and per-client dispersal on `RngStream::Disperse` streams.
+//!
+//! Everything here is deterministic given `(cfg.seed, round)`: no step
+//! reads ambient state, so the caller may be an in-process scheduler, a
+//! TCP server thread, or a test harness.
+
+use crate::client::PtfClient;
+use crate::config::PtfConfig;
+use crate::server::PtfServer;
+use crate::upload::ClientUpload;
+use ptf_comm::Payload;
+use ptf_data::Dataset;
+use ptf_federated::{
+    derive_seed, round_rng, ClientData, RngStream, RoundCtx, RoundScratch, RoundTrace,
+};
+use ptf_models::{ModelHyper, ModelKind};
+use ptf_privacy::ScoredItem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the client for user `id` exactly as the in-process fleet
+/// build does: partition from `train`, model seeded by the client's own
+/// derived `RngStream::ClientInit` stream. Callers that host only a
+/// subset of the fleet (a `ptf client` process) get bit-identical
+/// client state to an in-process run.
+pub fn build_client(
+    train: &Dataset,
+    id: u32,
+    kind: ModelKind,
+    hyper: &ModelHyper,
+    cfg: &PtfConfig,
+) -> PtfClient {
+    let data = ClientData { id, positives: train.user_items(id).to_vec() };
+    let client_seed = derive_seed(cfg.seed, 0, RngStream::ClientInit(id).id());
+    PtfClient::new(data, kind, hyper, train.num_items(), client_seed, cfg)
+}
+
+/// Builds the hidden server model from the `RngStream::ServerInit`
+/// stream — independent of client construction order (or location).
+pub fn build_server(
+    num_users: usize,
+    num_items: usize,
+    kind: ModelKind,
+    hyper: &ModelHyper,
+    cfg: &PtfConfig,
+) -> PtfServer {
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0, RngStream::ServerInit.id()));
+    PtfServer::new(num_users, num_items, kind, hyper, &mut rng)
+}
+
+/// Draws the round's participant set `U^t` from the trainable fleet on
+/// the `RngStream::Participation` stream (sorted ascending).
+pub fn sample_participants(cfg: &PtfConfig, trainable: &[u32], round: u32) -> Vec<u32> {
+    let mut rng = round_rng(cfg.seed, round, RngStream::Participation);
+    cfg.participation.sample(trainable, &mut rng)
+}
+
+/// One client's half of a round (Algorithm 1 lines 5–8): local training
+/// on `D_i ∪ D̃_i` plus upload construction, on the client's own derived
+/// `RngStream::Client` stream. Where the client runs — scheduler worker,
+/// remote process — cannot change the result.
+pub fn client_round(
+    client: &mut PtfClient,
+    cfg: &PtfConfig,
+    round: u32,
+    scratch: &mut RoundScratch,
+) -> (ClientUpload, f32) {
+    let mut rng = round_rng(cfg.seed, round, RngStream::Client(client.id));
+    client.local_round(cfg, scratch, &mut rng)
+}
+
+/// The server's serial half of a round (Algorithm 1 lines 9–12): replay
+/// the collected uploads into the observer stack, train the hidden model
+/// on their union, and compute each participant's dispersal set.
+///
+/// `uploads` must be in ascending client order — the order the
+/// in-process engine replays participants in, and the order a networked
+/// server must sort received uploads into before calling this.
+/// Returns the server training loss and one `(client, items)` dispersal
+/// per upload; delivering the items (locally or over a wire) is the
+/// caller's job.
+pub fn server_phase(
+    server: &mut PtfServer,
+    cfg: &PtfConfig,
+    round: u32,
+    uploads: &[ClientUpload],
+    ctx: &mut RoundCtx<'_>,
+) -> (f32, Vec<(u32, Vec<ScoredItem>)>) {
+    debug_assert!(uploads.windows(2).all(|w| w[0].client < w[1].client));
+    for up in uploads {
+        ctx.upload(up.client, "client-predictions", Payload::Triples { count: up.len() });
+    }
+    let mut server_rng = round_rng(cfg.seed, round, RngStream::Server);
+    let server_loss = server.train_on_uploads(uploads, cfg, &mut server_rng);
+    let mut disperses = Vec::with_capacity(uploads.len());
+    for up in uploads {
+        let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
+        uploaded.sort_unstable();
+        let mut disperse_rng = round_rng(cfg.seed, round, RngStream::Disperse(up.client));
+        let items = server.disperse_for(up.client, &uploaded, cfg, &mut disperse_rng);
+        ctx.disperse(up.client, "server-predictions", Payload::Triples { count: items.len() });
+        disperses.push((up.client, items));
+    }
+    (server_loss, disperses)
+}
+
+/// Assembles the round's trace exactly as the in-process protocol does:
+/// `losses` in participant order (ascending client id), the server loss,
+/// and the context's byte total.
+pub fn round_trace(round: u32, losses: &[f32], server_loss: f32, ctx: &RoundCtx<'_>) -> RoundTrace {
+    RoundTrace::new(round, losses, server_loss, ctx.bytes())
+}

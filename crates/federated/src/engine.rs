@@ -30,6 +30,20 @@ pub trait FederatedProtocol {
     /// Executes one global round, reporting traffic and hooks via `ctx`.
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace;
 
+    /// Executes one round over an *externally chosen* participant set
+    /// instead of sampling one — the hook externally-driven deployments
+    /// (a networked round server that collects uploads until a deadline,
+    /// or a replay harness) use to keep this in-process engine as their
+    /// bit-exact reference. Protocols that cannot honor an external set
+    /// return `None` (the default) and the round does not run.
+    fn run_round_external(
+        &mut self,
+        _ctx: &mut RoundCtx<'_>,
+        _participants: &[u32],
+    ) -> Option<RoundTrace> {
+        None
+    }
+
     /// A scoring view of the trained global model, for evaluation.
     fn recommender(&self) -> &dyn Recommender;
 
@@ -53,6 +67,14 @@ impl<P: FederatedProtocol + ?Sized> FederatedProtocol for Box<P> {
 
     fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
         (**self).run_round(ctx)
+    }
+
+    fn run_round_external(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        participants: &[u32],
+    ) -> Option<RoundTrace> {
+        (**self).run_round_external(ctx, participants)
     }
 
     fn recommender(&self) -> &dyn Recommender {
@@ -221,6 +243,25 @@ impl<P: FederatedProtocol> Engine<P> {
         ctx.finish(&trace);
         self.next_round += 1;
         trace
+    }
+
+    /// Executes one round over an externally chosen participant set (see
+    /// [`FederatedProtocol::run_round_external`]) through the same
+    /// observer stack as [`Engine::run_round`]. Returns `None` — without
+    /// consuming a round — if the protocol does not support external
+    /// participant sets.
+    pub fn run_round_external(&mut self, participants: &[u32]) -> Option<RoundTrace> {
+        let mut observers: Vec<&mut dyn RoundObserver> =
+            Vec::with_capacity(1 + self.observers.len());
+        observers.push(&mut self.ledger);
+        for o in &mut self.observers {
+            observers.push(o.as_mut());
+        }
+        let mut ctx = RoundCtx::new(self.next_round, observers);
+        let trace = self.protocol.run_round_external(&mut ctx, participants)?;
+        ctx.finish(&trace);
+        self.next_round += 1;
+        Some(trace)
     }
 
     /// Runs the remaining configured rounds and returns their trace.

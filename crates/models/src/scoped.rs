@@ -125,11 +125,8 @@ pub(crate) fn evict_item_rows(
         Some(ids) => {
             // snapshot the victims, then drop back-to-front so every
             // not-yet-processed position is unaffected by earlier removals
-            let victims: Vec<u32> = ids
-                .iter()
-                .copied()
-                .filter(|id| keep_sorted.binary_search(id).is_err())
-                .collect();
+            let victims: Vec<u32> =
+                ids.iter().copied().filter(|id| keep_sorted.binary_search(id).is_err()).collect();
             for &id in victims.iter().rev() {
                 let pos = scope.remove(id).expect("victim was materialized");
                 params.get_mut(emb).remove_row(row_offset + pos);

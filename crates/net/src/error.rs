@@ -1,0 +1,76 @@
+//! Error type shared by the codec, transports, and round drivers.
+
+use std::fmt;
+
+/// Anything that can go wrong between two PTF-FedRec processes. Network
+/// failures are expected operating conditions for a federated server, so
+/// every variant is a value, never a panic — the CLI maps them to an
+/// error message and exit code 1.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level I/O failure (bind, connect, read, write).
+    Io(std::io::Error),
+    /// A frame did not start with the protocol magic.
+    BadMagic(u16),
+    /// The peer speaks a different protocol version.
+    Version { got: u8, want: u8 },
+    /// A frame kind this version does not define.
+    UnknownKind(u8),
+    /// A frame ended before its declared content did.
+    Truncated(&'static str),
+    /// A frame body over the sanity limit (corrupt length prefix).
+    Oversized { kind: u8, len: usize },
+    /// A frame body longer than its content.
+    TrailingBytes { kind: u8 },
+    /// The peer violated the handshake (rejects, fingerprint mismatch).
+    Handshake(String),
+    /// The peer violated the round protocol.
+    Protocol(String),
+    /// A deadline expired (client gathering, never a round deadline —
+    /// round stragglers are dropped, not errors).
+    Timeout(String),
+    /// The peer went away mid-run.
+    Disconnected(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::BadMagic(m) => write!(f, "bad frame magic {m:#06x} (not a ptf peer?)"),
+            NetError::Version { got, want } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks v{got}, this build speaks v{want}"
+                )
+            }
+            NetError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            NetError::Truncated(what) => write!(f, "truncated frame: {what}"),
+            NetError::Oversized { kind, len } => {
+                write!(f, "frame kind {kind} declares oversized body ({len} bytes)")
+            }
+            NetError::TrailingBytes { kind } => {
+                write!(f, "frame kind {kind} has trailing bytes")
+            }
+            NetError::Handshake(why) => write!(f, "handshake failed: {why}"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Timeout(why) => write!(f, "timed out: {why}"),
+            NetError::Disconnected(why) => write!(f, "disconnected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}

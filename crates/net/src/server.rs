@@ -1,0 +1,393 @@
+//! The networked round server: session handling, round announcements,
+//! deadlines, and the server half of Algorithm 1.
+//!
+//! The server is a synchronous state machine over the transport's event
+//! queue. A run has two phases:
+//!
+//! 1. **Gather** — wait (bounded by `gather_timeout`) until every logical
+//!    client `0..fleet` has completed a `Hello` handshake (protocol
+//!    version checked by the codec, config fingerprint checked here).
+//!    The trainable set is fixed at gather end from the hello flags —
+//!    exactly the in-process `num_positives() > 0` filter.
+//! 2. **Rounds** — for each round: draw the participant set on the same
+//!    `RngStream::Participation` stream as the in-process engine,
+//!    announce it, collect uploads until the round deadline, drop
+//!    stragglers (the protocol's partial-participation path), sort
+//!    uploads into ascending client order, and run the shared
+//!    [`ptf_core::rounds::server_phase`] — which is what makes the
+//!    resulting `RunTrace` bit-identical to the in-process engine when
+//!    nobody straggles, and identical to an engine run with the
+//!    straggler unsampled when someone does.
+//!
+//! Reconnects are graceful: a client whose connection died may `Hello`
+//! again from a new connection at any time and resumes with the next
+//! round it is sampled into. Uploads for closed rounds are discarded.
+
+use crate::config_fingerprint;
+use crate::error::NetError;
+use crate::transport::{ConnId, Event, PeerHandle};
+use crate::wire::{Frame, RejectReason};
+use ptf_comm::{CommLedger, LedgerSummary};
+use ptf_core::rounds;
+use ptf_core::{ClientUpload, PtfConfig, PtfServer};
+use ptf_data::Dataset;
+use ptf_federated::{RoundCtx, RoundObserver, RunTrace};
+use ptf_models::{ModelHyper, ModelKind};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// How long the end-of-run flush waits per peer for its writer thread
+/// to drain the outbound queue. Generous: a healthy peer drains in
+/// microseconds; only a wedged transport hits this.
+const SHUTDOWN_FLUSH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Everything a round server needs besides the dataset and transport.
+pub struct NetServerOptions {
+    /// The protocol config — must validate, and must match what every
+    /// client runs with (enforced by the handshake fingerprint).
+    pub cfg: PtfConfig,
+    /// Client model architecture (fingerprinted; the server never builds
+    /// client models itself).
+    pub client_kind: ModelKind,
+    /// Hidden server model architecture.
+    pub server_kind: ModelKind,
+    pub hyper: ModelHyper,
+    /// How long each round waits for announced uploads before dropping
+    /// stragglers.
+    pub round_deadline: Duration,
+    /// How long the gather phase waits for the full fleet to handshake.
+    pub gather_timeout: Duration,
+    /// Log round progress to stderr.
+    pub verbose: bool,
+}
+
+/// One straggler drop event: `client` missed `round`'s deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct StragglerDrop {
+    pub round: u32,
+    pub client: u32,
+}
+
+/// What a networked run produced (the trained server model rides along
+/// separately so the caller can evaluate it).
+#[derive(Debug, Serialize)]
+pub struct NetRunReport {
+    /// Bit-identical to the in-process engine's trace for the same
+    /// seed/config (modulo dropped stragglers, which mirror unsampling).
+    pub trace: RunTrace,
+    /// Table IV style accounting of the protocol data that crossed the
+    /// wire (frame headers excluded — see `docs/wire-protocol.md`).
+    pub communication: LedgerSummary,
+    /// Every straggler drop, in round order.
+    pub stragglers: Vec<StragglerDrop>,
+    /// Connections accepted over the run (≥ 1 per client process;
+    /// reconnects count again).
+    pub connections: usize,
+}
+
+/// Per-fleet session state: which connection (if any) currently speaks
+/// for each logical client.
+struct Sessions {
+    /// Client id → live connection.
+    conn_of: Vec<Option<ConnId>>,
+    /// Client id → trainable flag from its (first) hello.
+    trainable_flag: Vec<Option<bool>>,
+    peers: HashMap<ConnId, PeerHandle>,
+    connections_seen: usize,
+}
+
+impl Sessions {
+    fn new(fleet: usize) -> Self {
+        Self {
+            conn_of: vec![None; fleet],
+            trainable_flag: vec![None; fleet],
+            peers: HashMap::new(),
+            connections_seen: 0,
+        }
+    }
+
+    fn opened(&mut self, conn: ConnId, peer: PeerHandle) {
+        self.peers.insert(conn, peer);
+        self.connections_seen += 1;
+    }
+
+    fn closed(&mut self, conn: ConnId) {
+        self.peers.remove(&conn);
+        for slot in self.conn_of.iter_mut() {
+            if *slot == Some(conn) {
+                *slot = None; // allows a graceful reconnect hello
+            }
+        }
+    }
+
+    fn peer_of(&self, client: u32) -> Option<&PeerHandle> {
+        self.conn_of[client as usize].and_then(|conn| self.peers.get(&conn))
+    }
+
+    fn hello(
+        &mut self,
+        conn: ConnId,
+        client: u32,
+        trainable: bool,
+        fingerprint: u64,
+        expected_fingerprint: u64,
+        rounds: u32,
+    ) {
+        let fleet = self.conn_of.len() as u32;
+        let reply = if fingerprint != expected_fingerprint {
+            Frame::Reject { client, reason: RejectReason::BadFingerprint }
+        } else if client >= fleet {
+            Frame::Reject { client, reason: RejectReason::UnknownClient }
+        } else if self.conn_of[client as usize].is_some_and(|c| self.peers.contains_key(&c)) {
+            Frame::Reject { client, reason: RejectReason::DuplicateClient }
+        } else {
+            // fresh registration or graceful reconnect; the trainable
+            // flag is sticky from the first hello so the sampling
+            // universe never shifts mid-run
+            self.conn_of[client as usize] = Some(conn);
+            self.trainable_flag[client as usize].get_or_insert(trainable);
+            Frame::Welcome { client, fleet, rounds }
+        };
+        if let Some(peer) = self.peers.get(&conn) {
+            peer.send(reply);
+        }
+    }
+
+    /// A client counts as gathered only while it has a *live*
+    /// connection — a hello followed by a disconnect before round 0
+    /// leaves the slot pending until the client reconnects (the
+    /// trainable flag stays sticky so the sampling universe is stable).
+    fn live(&self, client: usize) -> bool {
+        self.conn_of[client].is_some_and(|c| self.peers.contains_key(&c))
+    }
+
+    fn gathered(&self) -> usize {
+        (0..self.conn_of.len()).filter(|&i| self.live(i)).count()
+    }
+
+    fn all_gathered(&self) -> bool {
+        (0..self.conn_of.len()).all(|i| self.live(i))
+    }
+
+    fn trainable(&self) -> Vec<u32> {
+        self.trainable_flag
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == Some(true))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Runs a full federated training run over `events`, driving one round
+/// per configured round of `opts.cfg`. Returns the run report and the
+/// trained hidden server model (for evaluation).
+///
+/// `train` is used only for its dimensions (`num_users` = fleet size,
+/// `num_items`) and the fingerprint — interaction data stays on the
+/// clients, as the protocol requires.
+pub fn run_server(
+    train: &Dataset,
+    events: &Receiver<Event>,
+    opts: &NetServerOptions,
+) -> Result<(NetRunReport, PtfServer), NetError> {
+    opts.cfg.validate().map_err(|e| NetError::Protocol(e.to_string()))?;
+    let fleet = train.num_users();
+    let fingerprint = config_fingerprint(
+        &opts.cfg,
+        opts.client_kind,
+        opts.server_kind,
+        &opts.hyper,
+        fleet,
+        train.num_items(),
+    );
+    let mut sessions = Sessions::new(fleet);
+    let mut server =
+        rounds::build_server(fleet, train.num_items(), opts.server_kind, &opts.hyper, &opts.cfg);
+
+    // ── gather: the full fleet must handshake before round 0 ──────────
+    let gather_deadline = Instant::now() + opts.gather_timeout;
+    while !sessions.all_gathered() {
+        let remaining = gather_deadline.saturating_duration_since(Instant::now());
+        match recv_step(events, remaining, &mut sessions, fingerprint, opts.cfg.rounds)? {
+            Step::Frame(..) | Step::Nothing => {}
+            Step::TimedOut => {
+                return Err(NetError::Timeout(format!(
+                    "gather: {}/{} clients connected within {:?}",
+                    sessions.gathered(),
+                    fleet,
+                    opts.gather_timeout
+                )));
+            }
+        }
+    }
+    let trainable = sessions.trainable();
+    if opts.verbose {
+        eprintln!(
+            "gathered fleet: {} clients ({} trainable) over {} connections",
+            fleet,
+            trainable.len(),
+            sessions.peers.len()
+        );
+    }
+
+    // ── rounds ────────────────────────────────────────────────────────
+    let mut ledger = CommLedger::new();
+    let mut trace = RunTrace::default();
+    let mut stragglers = Vec::new();
+    let deadline_ms = opts.round_deadline.as_millis().min(u32::MAX as u128) as u32;
+
+    for round in 0..opts.cfg.rounds {
+        let participants = rounds::sample_participants(&opts.cfg, &trainable, round);
+        let mut ctx = RoundCtx::new(round, vec![&mut ledger]);
+        ctx.begin(&participants);
+
+        // announce; clients with no live connection are instant
+        // stragglers (they may reconnect for a later round)
+        let mut pending: Vec<u32> = Vec::with_capacity(participants.len());
+        for &p in &participants {
+            let announced = sessions
+                .peer_of(p)
+                .map(|peer| peer.send(Frame::Announce { client: p, round, deadline_ms }))
+                .unwrap_or(false);
+            pending.push(p); // even unreachable ones: dropped at deadline
+            let _ = announced;
+        }
+
+        // collect uploads until the deadline or until nobody is pending
+        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(pending.len());
+        let mut losses_by_client: HashMap<u32, f32> = HashMap::with_capacity(pending.len());
+        let round_deadline = Instant::now() + opts.round_deadline;
+        while !pending.is_empty() {
+            let remaining = round_deadline.saturating_duration_since(Instant::now());
+            match recv_step(events, remaining, &mut sessions, fingerprint, opts.cfg.rounds)? {
+                Step::Frame(conn, Frame::Upload { client, round: r, loss, triples }) => {
+                    if r != round {
+                        continue; // stale upload from a closed round
+                    }
+                    if sessions.conn_of.get(client as usize).copied().flatten() != Some(conn) {
+                        continue; // not the connection speaking for this id
+                    }
+                    let Some(at) = pending.iter().position(|&p| p == client) else {
+                        continue; // unsampled or duplicate upload
+                    };
+                    pending.swap_remove(at);
+                    losses_by_client.insert(client, loss);
+                    uploads.push(ClientUpload {
+                        client,
+                        predictions: triples
+                            .into_iter()
+                            .map(|(_, item, score)| (item, score))
+                            .collect(),
+                        audit_positives: Vec::new(),
+                    });
+                }
+                Step::Frame(_, _) | Step::Nothing => {}
+                Step::TimedOut => break,
+            }
+        }
+
+        // deadline passed: drop stragglers via partial participation
+        pending.sort_unstable();
+        for &p in &pending {
+            stragglers.push(StragglerDrop { round, client: p });
+            if let Some(peer) = sessions.peer_of(p) {
+                peer.send(Frame::Dropped { client: p, round });
+            }
+        }
+
+        // the shared serial half: replay in ascending client order,
+        // train the hidden model, compute dispersals
+        uploads.sort_unstable_by_key(|u| u.client);
+        let losses: Vec<f32> = uploads.iter().map(|u| losses_by_client[&u.client]).collect();
+        let (server_loss, disperses) =
+            rounds::server_phase(&mut server, &opts.cfg, round, &uploads, &mut ctx);
+        for (client, items) in disperses {
+            if let Some(peer) = sessions.peer_of(client) {
+                peer.send(Frame::Disperse {
+                    client,
+                    round,
+                    triples: items.iter().map(|&(item, score)| (client, item, score)).collect(),
+                });
+            }
+        }
+
+        let round_trace = rounds::round_trace(round, &losses, server_loss, &ctx);
+        drop(ctx);
+        ledger.on_round_end(&round_trace);
+        if opts.verbose {
+            eprintln!(
+                "  round {:>3}: {} participants ({} dropped), client loss {:.4}, server loss {:.4}",
+                round,
+                round_trace.participants,
+                pending.len(),
+                round_trace.mean_client_loss,
+                round_trace.server_loss
+            );
+        }
+        trace.push(round_trace);
+    }
+
+    // tell every live connection the run is over
+    for peer in sessions.peers.values() {
+        peer.send(Frame::Finished { rounds: opts.cfg.rounds });
+    }
+    // flush every outbound queue before returning: the caller may exit
+    // the process right away, and the last dispersals plus `Finished`
+    // are still sitting in the writer threads' queues — exiting now
+    // would silently drop them and peers would see EOF mid-protocol
+    for (_, peer) in sessions.peers.drain() {
+        peer.flush(SHUTDOWN_FLUSH_TIMEOUT);
+    }
+    let report = NetRunReport {
+        trace,
+        communication: ledger.summary(),
+        stragglers,
+        connections: sessions.connections_seen,
+    };
+    Ok((report, server))
+}
+
+/// One step of the event loop shared by the gather and round phases:
+/// handles session bookkeeping (opens, closes, hellos) internally and
+/// surfaces everything else to the caller.
+enum Step {
+    Frame(ConnId, Frame),
+    Nothing,
+    TimedOut,
+}
+
+fn recv_step(
+    events: &Receiver<Event>,
+    remaining: Duration,
+    sessions: &mut Sessions,
+    fingerprint: u64,
+    rounds: u32,
+) -> Result<Step, NetError> {
+    if remaining.is_zero() {
+        return Ok(Step::TimedOut);
+    }
+    match events.recv_timeout(remaining) {
+        Ok(Event::Opened { conn, peer }) => {
+            sessions.opened(conn, peer);
+            Ok(Step::Nothing)
+        }
+        Ok(Event::Closed { conn }) => {
+            sessions.closed(conn);
+            Ok(Step::Nothing)
+        }
+        Ok(Event::Frame { conn, frame }) => match frame {
+            Frame::Hello { client, trainable, fingerprint: fp } => {
+                sessions.hello(conn, client, trainable, fp, fingerprint, rounds);
+                Ok(Step::Nothing)
+            }
+            other => Ok(Step::Frame(conn, other)),
+        },
+        Err(RecvTimeoutError::Timeout) => Ok(Step::TimedOut),
+        Err(RecvTimeoutError::Disconnected) => {
+            Err(NetError::Disconnected("transport event queue closed".into()))
+        }
+    }
+}

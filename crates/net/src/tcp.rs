@@ -1,0 +1,73 @@
+//! TCP transport: `std::net` streams behind the frame traits.
+//!
+//! Thread-per-connection on the server (one acceptor + the reader/writer
+//! pumps of [`crate::transport::attach_peer`]); plain blocking streams on
+//! the client. `TCP_NODELAY` is set everywhere — the protocol is small
+//! request/response frames, and Nagle would serialize rounds on the RTT.
+
+use crate::error::NetError;
+use crate::transport::{attach_peer, ClientConn, Event, FrameRead, FrameWrite};
+use crate::wire::{read_frame, write_frame, Frame};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::Receiver;
+use std::thread;
+
+struct TcpFrameRead(BufReader<TcpStream>);
+
+impl FrameRead for TcpFrameRead {
+    fn read(&mut self) -> Result<Option<Frame>, NetError> {
+        read_frame(&mut self.0)
+    }
+}
+
+struct TcpFrameWrite(BufWriter<TcpStream>);
+
+impl FrameWrite for TcpFrameWrite {
+    fn write(&mut self, frame: &Frame) -> Result<(), NetError> {
+        write_frame(&mut self.0, frame)?;
+        self.0.flush().map_err(NetError::Io)
+    }
+}
+
+fn split(stream: TcpStream) -> Result<(TcpFrameRead, TcpFrameWrite), NetError> {
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    Ok((TcpFrameRead(BufReader::new(stream)), TcpFrameWrite(BufWriter::new(write_half))))
+}
+
+/// A bound TCP endpoint feeding a round server's event queue.
+pub struct TcpServer {
+    /// The actually bound address (resolves `:0` to the ephemeral port).
+    pub local_addr: SocketAddr,
+    /// The event queue to hand to [`crate::run_server`].
+    pub events: Receiver<Event>,
+}
+
+/// Binds `addr` and starts accepting connections. Bind failures (port in
+/// use, bad address) come back as `Err` — the CLI turns them into a
+/// clean exit, never a panic. The acceptor thread runs until the process
+/// exits or the event receiver is dropped.
+pub fn serve(addr: impl ToSocketAddrs) -> Result<TcpServer, NetError> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let (events_tx, events) = std::sync::mpsc::channel();
+    thread::spawn(move || {
+        // runs until process exit; attach_peer is a no-op (and the pump
+        // threads exit) once the event receiver is gone, so a finished
+        // server leaves this thread parked in accept() with no effect
+        for (conn, stream) in (0u64..).zip(listener.incoming()) {
+            let Ok(stream) = stream else { continue };
+            let Ok((read, write)) = split(stream) else { continue };
+            attach_peer(conn, read, write, events_tx.clone());
+        }
+    });
+    Ok(TcpServer { local_addr, events })
+}
+
+/// Connects to a `ptf serve` endpoint.
+pub fn connect(addr: impl ToSocketAddrs) -> Result<ClientConn, NetError> {
+    let stream = TcpStream::connect(addr)?;
+    let (read, write) = split(stream)?;
+    Ok(ClientConn::new(read, write))
+}

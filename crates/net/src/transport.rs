@@ -1,0 +1,332 @@
+//! Transport abstraction: frame streams, server-side peer pumps, and the
+//! in-memory loopback transport.
+//!
+//! The round server is a synchronous state machine over one event queue;
+//! every connection contributes a reader thread (decoding frames into
+//! [`Event`]s) and a writer thread (draining a **bounded** per-peer
+//! outbound queue) — the message-queue-per-peer shape around a
+//! synchronous core. Backpressure policy: a full queue makes the sender
+//! wait (bounded by [`PEER_SEND_TIMEOUT`]) as long as the peer keeps
+//! draining — protocol frames are too important to drop on a burst (a
+//! lost `Disperse` would silently diverge the client's model). Only a
+//! *wedged* peer — no progress for the whole timeout — gets its frame
+//! dropped and is treated as a straggler by the round logic, so a dead
+//! reader can stall the round loop for at most the timeout.
+//!
+//! The loopback transport carries *encoded* frames over in-memory
+//! channels — every byte still round-trips through the codec, so the
+//! loopback parity test exercises the same encode/decode path as TCP,
+//! minus only the socket.
+
+use crate::error::NetError;
+use crate::wire::{decode_frame, Frame};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc,
+};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Server-side identifier of one connection (not a client id — one
+/// connection may host many logical clients).
+pub type ConnId = u64;
+
+/// Bounded outbound frames queued per peer before the backpressure
+/// policy kicks in.
+pub const PEER_QUEUE_FRAMES: usize = 256;
+
+/// How long a send waits for one slot in a full peer queue before giving
+/// up. This is a *per-slot* progress bound, not a total transfer bound:
+/// a peer that drains at least one frame per timeout window never loses
+/// anything, however large the round's burst.
+pub const PEER_SEND_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Capacity (frames) of each loopback byte channel.
+const LOOPBACK_QUEUE_FRAMES: usize = 256;
+
+/// What the round server's event queue delivers.
+pub enum Event {
+    /// A connection opened; `peer` is its outbound frame queue.
+    Opened { conn: ConnId, peer: PeerHandle },
+    /// A decoded frame arrived on `conn`.
+    Frame { conn: ConnId, frame: Frame },
+    /// `conn` closed (EOF, I/O error, or decode error).
+    Closed { conn: ConnId },
+}
+
+/// The sending side of one peer's bounded outbound queue. Dropping every
+/// handle ends the peer's writer thread (flushing queued frames first).
+pub struct PeerHandle {
+    tx: SyncSender<Frame>,
+    /// Closed by the writer thread once it has drained the queue — the
+    /// other end of the flush handshake in [`PeerHandle::flush`].
+    done: Receiver<()>,
+}
+
+impl PeerHandle {
+    /// Queues a frame for the peer, waiting (bounded) for space if the
+    /// queue is full. Returns `false` if the peer is gone or wedged —
+    /// made no progress for [`PEER_SEND_TIMEOUT`] — in which case the
+    /// frame is dropped and the caller treats the peer as unreachable
+    /// this round.
+    pub fn send(&self, frame: Frame) -> bool {
+        let mut frame = frame;
+        let deadline = Instant::now() + PEER_SEND_TIMEOUT;
+        loop {
+            match self.tx.try_send(frame) {
+                Ok(()) => return true,
+                Err(TrySendError::Disconnected(_)) => return false,
+                Err(TrySendError::Full(returned)) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    frame = returned;
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Closes the queue and waits (bounded) for the writer thread to
+    /// finish draining it into the transport. Without this, a server
+    /// process exiting right after queuing `Finished` races the writer
+    /// thread and the final frames are silently lost. Returns `false`
+    /// if the peer was still draining when the timeout hit.
+    pub fn flush(self, timeout: Duration) -> bool {
+        let Self { tx, done } = self;
+        drop(tx); // writer's rx.recv() errors once the queue is empty
+        matches!(done.recv_timeout(timeout), Err(RecvTimeoutError::Disconnected))
+    }
+}
+
+/// The receiving half of a frame stream.
+pub trait FrameRead: Send {
+    /// Blocks for the next frame; `Ok(None)` is a clean close.
+    fn read(&mut self) -> Result<Option<Frame>, NetError>;
+}
+
+/// The sending half of a frame stream.
+pub trait FrameWrite: Send {
+    fn write(&mut self, frame: &Frame) -> Result<(), NetError>;
+}
+
+/// A client's synchronous duplex connection to the server.
+pub struct ClientConn {
+    read: Box<dyn FrameRead>,
+    write: Box<dyn FrameWrite>,
+}
+
+impl ClientConn {
+    pub fn new(read: impl FrameRead + 'static, write: impl FrameWrite + 'static) -> Self {
+        Self { read: Box::new(read), write: Box::new(write) }
+    }
+
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.write.write(frame)
+    }
+
+    /// Blocks for the next server frame; `Ok(None)` means the server
+    /// closed the connection.
+    pub fn recv(&mut self) -> Result<Option<Frame>, NetError> {
+        self.read.read()
+    }
+}
+
+/// Spawns the reader/writer pump threads for one server-side connection
+/// and announces it on the event queue. Both transports (TCP, loopback)
+/// go through here, so session handling is transport-agnostic.
+pub fn attach_peer(
+    conn: ConnId,
+    read: impl FrameRead + 'static,
+    write: impl FrameWrite + 'static,
+    events: Sender<Event>,
+) {
+    let (tx, rx) = sync_channel::<Frame>(PEER_QUEUE_FRAMES);
+    let (done_tx, done) = std::sync::mpsc::channel::<()>();
+    if events.send(Event::Opened { conn, peer: PeerHandle { tx, done } }).is_err() {
+        return; // server already gone
+    }
+    thread::spawn(move || {
+        let _flushed = done_tx; // dropped on exit = queue fully drained
+        let mut write = write;
+        while let Ok(frame) = rx.recv() {
+            if write.write(&frame).is_err() {
+                break; // peer unreachable; reader will report Closed
+            }
+        }
+    });
+    thread::spawn(move || {
+        let mut read = read;
+        loop {
+            match read.read() {
+                Ok(Some(frame)) => {
+                    if events.send(Event::Frame { conn, frame }).is_err() {
+                        return; // server done; stop pumping
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = events.send(Event::Closed { conn });
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// Reads frames from a channel of encoded frame buffers (loopback).
+struct ByteRx(Receiver<Vec<u8>>);
+
+impl FrameRead for ByteRx {
+    fn read(&mut self) -> Result<Option<Frame>, NetError> {
+        match self.0.recv() {
+            Ok(bytes) => decode_frame(&bytes).map(Some),
+            Err(_) => Ok(None), // all senders dropped = clean close
+        }
+    }
+}
+
+/// Writes encoded frames into a channel of frame buffers (loopback).
+struct ByteTx(SyncSender<Vec<u8>>);
+
+impl FrameWrite for ByteTx {
+    fn write(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.0
+            .send(frame.to_bytes())
+            .map_err(|_| NetError::Disconnected("loopback peer closed".into()))
+    }
+}
+
+/// The in-memory transport: deterministic, no sockets, same codec.
+///
+/// `connect` yields a [`ClientConn`] whose peer threads feed the hub's
+/// event queue exactly as a TCP connection would.
+#[derive(Clone)]
+pub struct LoopbackHub {
+    events: Sender<Event>,
+    next_conn: Arc<AtomicU64>,
+}
+
+/// Creates a loopback hub and the event queue a round server consumes.
+pub fn loopback_hub() -> (LoopbackHub, Receiver<Event>) {
+    let (events, rx) = std::sync::mpsc::channel();
+    (LoopbackHub { events, next_conn: Arc::new(AtomicU64::new(0)) }, rx)
+}
+
+impl LoopbackHub {
+    /// Opens a new connection to the hub's server.
+    pub fn connect(&self) -> ClientConn {
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let (c2s_tx, c2s_rx) = sync_channel::<Vec<u8>>(LOOPBACK_QUEUE_FRAMES);
+        let (s2c_tx, s2c_rx) = sync_channel::<Vec<u8>>(LOOPBACK_QUEUE_FRAMES);
+        attach_peer(conn, ByteRx(c2s_rx), ByteTx(s2c_tx), self.events.clone());
+        ClientConn::new(ByteRx(s2c_rx), ByteTx(c2s_tx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trips_frames_both_ways() {
+        let (hub, events) = loopback_hub();
+        let mut conn = hub.connect();
+        let peer = match events.recv().unwrap() {
+            Event::Opened { peer, .. } => peer,
+            _ => panic!("expected Opened"),
+        };
+        conn.send(&Frame::Hello { client: 3, trainable: true, fingerprint: 42 }).unwrap();
+        match events.recv().unwrap() {
+            Event::Frame {
+                frame: Frame::Hello { client: 3, trainable: true, fingerprint: 42 },
+                ..
+            } => {}
+            _ => panic!("expected the hello"),
+        }
+        assert!(peer.send(Frame::Welcome { client: 3, fleet: 10, rounds: 2 }));
+        assert_eq!(conn.recv().unwrap(), Some(Frame::Welcome { client: 3, fleet: 10, rounds: 2 }));
+        // dropping the client side surfaces Closed on the event queue
+        drop(conn);
+        loop {
+            match events.recv().unwrap() {
+                Event::Closed { .. } => break,
+                _ => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn wedged_peer_queue_reports_unreachable_after_the_timeout() {
+        let (hub, events) = loopback_hub();
+        let _conn = hub.connect(); // never reads: a wedged peer
+        let peer = match events.recv().unwrap() {
+            Event::Opened { peer, .. } => peer,
+            _ => panic!("expected Opened"),
+        };
+        // fill the bounded queue (writer thread drains into the loopback
+        // byte channel, which also bounds) — against a peer making no
+        // progress, send must give up after the per-slot timeout instead
+        // of blocking the "round loop" forever
+        let start = Instant::now();
+        let mut sent = 0;
+        for _ in 0..(PEER_QUEUE_FRAMES + LOOPBACK_QUEUE_FRAMES + 16) {
+            if peer.send(Frame::Finished { rounds: 1 }) {
+                sent += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(sent >= PEER_QUEUE_FRAMES, "queue should absorb its capacity");
+        assert!(
+            sent < PEER_QUEUE_FRAMES + LOOPBACK_QUEUE_FRAMES + 16,
+            "send must eventually refuse against a wedged peer"
+        );
+        assert!(
+            start.elapsed() < PEER_SEND_TIMEOUT * 4,
+            "giving up must cost about one timeout, not one per queued frame"
+        );
+    }
+
+    #[test]
+    fn flush_delivers_every_queued_frame_before_returning() {
+        let (hub, events) = loopback_hub();
+        let mut conn = hub.connect();
+        let peer = match events.recv().unwrap() {
+            Event::Opened { peer, .. } => peer,
+            _ => panic!("expected Opened"),
+        };
+        for r in 0..10u32 {
+            assert!(peer.send(Frame::Finished { rounds: r }));
+        }
+        // flush must not return until the writer thread has handed all
+        // ten frames to the transport — the "server exits right after
+        // queueing Finished" race
+        assert!(peer.flush(Duration::from_secs(5)), "writer must drain within the timeout");
+        for r in 0..10u32 {
+            assert_eq!(conn.recv().unwrap(), Some(Frame::Finished { rounds: r }));
+        }
+        assert_eq!(conn.recv().unwrap(), None, "flush closes the queue = clean EOF after");
+    }
+
+    #[test]
+    fn slow_but_draining_peer_loses_no_frames() {
+        let (hub, events) = loopback_hub();
+        let mut conn = hub.connect();
+        let peer = match events.recv().unwrap() {
+            Event::Opened { peer, .. } => peer,
+            _ => panic!("expected Opened"),
+        };
+        // a burst far past the queue bound, against a consumer that only
+        // starts draining afterwards: backpressure must hold every frame
+        let total = PEER_QUEUE_FRAMES + LOOPBACK_QUEUE_FRAMES + 64;
+        let producer = thread::spawn(move || {
+            (0..total).all(|r| peer.send(Frame::Finished { rounds: r as u32 }))
+        });
+        thread::sleep(Duration::from_millis(50));
+        for r in 0..total {
+            assert_eq!(conn.recv().unwrap(), Some(Frame::Finished { rounds: r as u32 }));
+        }
+        assert!(producer.join().unwrap(), "no send may give up against a draining peer");
+    }
+}

@@ -1,0 +1,284 @@
+//! The tentpole guarantee: a networked run is **bit-identical** to the
+//! in-process engine — same seed, same config, same `RunTrace`, compared
+//! as serialized JSON bytes. The loopback transport pushes every frame
+//! through the real codec, so these tests cover everything TCP does
+//! except the socket itself.
+
+use ptf_core::{PtfConfig, PtfFedRec};
+use ptf_data::{Dataset, SyntheticConfig};
+use ptf_federated::{Engine, Participation};
+use ptf_models::{ModelHyper, ModelKind};
+use ptf_net::{
+    loopback_hub, run_server, run_shard, NetError, NetServerOptions, ShardOptions, Straggle,
+    StragglerDrop,
+};
+use std::time::Duration;
+
+const CLIENT: ModelKind = ModelKind::Mf;
+const SERVER: ModelKind = ModelKind::Mf;
+
+fn dataset() -> Dataset {
+    SyntheticConfig::new("net-parity", 24, 48, 10.0).generate(&mut ptf_data::test_rng(77))
+}
+
+fn config(threads: usize) -> PtfConfig {
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 3;
+    cfg.client_epochs = 2;
+    cfg.seed = 2024;
+    cfg.threads = threads;
+    cfg
+}
+
+fn server_options(cfg: &PtfConfig) -> NetServerOptions {
+    NetServerOptions {
+        cfg: cfg.clone(),
+        client_kind: CLIENT,
+        server_kind: SERVER,
+        hyper: ModelHyper::small(),
+        round_deadline: Duration::from_secs(30),
+        gather_timeout: Duration::from_secs(30),
+        verbose: false,
+    }
+}
+
+/// Runs the in-process engine to completion and returns its trace JSON.
+fn engine_trace_json(train: &Dataset, cfg: &PtfConfig) -> String {
+    let protocol =
+        PtfFedRec::try_new(train, CLIENT, SERVER, &ModelHyper::small(), cfg.clone()).unwrap();
+    let mut engine = Engine::new(protocol);
+    serde_json::to_string(&engine.run()).unwrap()
+}
+
+/// Runs a loopback networked run with the fleet split over `shards`
+/// connections and returns (trace JSON, straggler drops).
+fn loopback_trace_json(
+    train: &Dataset,
+    cfg: &PtfConfig,
+    shards: &[Vec<u32>],
+    straggle: Option<(usize, Straggle)>,
+    deadline: Duration,
+) -> (String, Vec<StragglerDrop>) {
+    let (hub, events) = loopback_hub();
+    let mut opts = server_options(cfg);
+    opts.round_deadline = deadline;
+    let report = std::thread::scope(|scope| {
+        for (at, ids) in shards.iter().enumerate() {
+            let hub = hub.clone();
+            let shard_opts = ShardOptions {
+                cfg: cfg.clone(),
+                client_kind: CLIENT,
+                server_kind: SERVER,
+                hyper: ModelHyper::small(),
+                ids: ids.clone(),
+                straggle: straggle.and_then(|(s, plan)| (s == at).then_some(plan)),
+            };
+            scope.spawn(move || {
+                let mut conn = hub.connect();
+                run_shard(train, &mut conn, &shard_opts)
+            });
+        }
+        let (report, _server) = run_server(train, &events, &opts).unwrap();
+        report
+    });
+    (serde_json::to_string(&report.trace).unwrap(), report.stragglers)
+}
+
+fn whole_fleet_shards() -> Vec<Vec<u32>> {
+    vec![(0..8).collect(), (8..16).collect(), (16..24).collect()]
+}
+
+#[test]
+fn loopback_run_is_bit_identical_to_engine_at_one_thread() {
+    let train = dataset();
+    let cfg = config(1);
+    let reference = engine_trace_json(&train, &cfg);
+    let (net, stragglers) =
+        loopback_trace_json(&train, &cfg, &whole_fleet_shards(), None, Duration::from_secs(30));
+    assert!(stragglers.is_empty());
+    assert_eq!(net, reference, "networked trace must match the engine byte-for-byte");
+}
+
+#[test]
+fn loopback_run_is_bit_identical_to_engine_at_four_threads() {
+    let train = dataset();
+    let cfg = config(4);
+    let reference = engine_trace_json(&train, &cfg);
+    // the networked fleet shards differently than the engine threads —
+    // parity must hold regardless
+    let shards: Vec<Vec<u32>> = vec![(0..5).collect(), (5..23).collect(), vec![23]];
+    let (net, stragglers) =
+        loopback_trace_json(&train, &cfg, &shards, None, Duration::from_secs(30));
+    assert!(stragglers.is_empty());
+    assert_eq!(net, reference);
+    // and the engine itself is thread-count invariant, so 4-thread
+    // networked == 1-thread engine too
+    assert_eq!(net, engine_trace_json(&train, &config(1)));
+}
+
+#[test]
+fn loopback_partial_participation_matches_engine() {
+    let train = dataset();
+    let mut cfg = config(2);
+    cfg.participation = Participation { fraction: 0.5, min_clients: 1 };
+    let reference = engine_trace_json(&train, &cfg);
+    let (net, stragglers) =
+        loopback_trace_json(&train, &cfg, &whole_fleet_shards(), None, Duration::from_secs(30));
+    assert!(stragglers.is_empty());
+    assert_eq!(net, reference, "participation sampling must use the same RNG stream");
+}
+
+#[test]
+fn straggler_is_dropped_and_trace_matches_unsampled_reference() {
+    let train = dataset();
+    let cfg = config(1);
+    let last_round = cfg.rounds - 1;
+    let straggler = 7u32;
+
+    // reference: run all but the last round normally, then the last
+    // round with the straggler excluded from the participant set — the
+    // trace a run would have had if the straggler were never sampled
+    let protocol =
+        PtfFedRec::try_new(&train, CLIENT, SERVER, &ModelHyper::small(), cfg.clone()).unwrap();
+    let trainable = protocol.trainable().to_vec();
+    assert!(trainable.contains(&straggler), "test needs a trainable straggler");
+    let mut engine = Engine::new(protocol);
+    let mut reference = ptf_federated::RunTrace::default();
+    for _ in 0..last_round {
+        reference.push(engine.run_round());
+    }
+    let reduced: Vec<u32> = trainable.iter().copied().filter(|&c| c != straggler).collect();
+    reference.push(engine.run_round_external(&reduced).expect("protocol supports external sets"));
+    let reference = serde_json::to_string(&reference).unwrap();
+
+    // networked: the straggler's shard sleeps through the last round's
+    // deadline and gets dropped for that round only
+    let shards: Vec<Vec<u32>> =
+        vec![(0..24).filter(|&c| c != straggler).collect(), vec![straggler]];
+    let plan = Straggle { round: last_round, delay: Duration::from_millis(4000) };
+    let (net, stragglers) =
+        loopback_trace_json(&train, &cfg, &shards, Some((1, plan)), Duration::from_millis(1000));
+    assert_eq!(stragglers, vec![StragglerDrop { round: last_round, client: straggler }]);
+    assert_eq!(net, reference, "dropped straggler must equal an unsampled client");
+}
+
+#[test]
+fn client_reconnect_during_gather_still_reaches_parity() {
+    let train = dataset();
+    let cfg = config(1);
+    let reference = engine_trace_json(&train, &cfg);
+
+    let (hub, events) = loopback_hub();
+    let opts = server_options(&cfg);
+    let train = &train;
+
+    // client 0 hellos and its connection dies before the server even
+    // starts — the events (hello, then close) are queued ahead of the
+    // rest of the fleet, so the server must notice the dead slot and
+    // hold the gather open for the reconnect
+    {
+        let mut conn = hub.connect();
+        let fp = ptf_net::config_fingerprint(
+            &cfg,
+            CLIENT,
+            SERVER,
+            &ModelHyper::small(),
+            train.num_users(),
+            train.num_items(),
+        );
+        conn.send(&ptf_net::wire::Frame::Hello { client: 0, trainable: true, fingerprint: fp })
+            .unwrap();
+    }
+    // let the dead connection's pump threads enqueue hello + close
+    std::thread::sleep(Duration::from_millis(50));
+
+    let report = std::thread::scope(|scope| {
+        // the rest of the fleet
+        {
+            let hub = hub.clone();
+            let shard_opts = ShardOptions {
+                cfg: cfg.clone(),
+                client_kind: CLIENT,
+                server_kind: SERVER,
+                hyper: ModelHyper::small(),
+                ids: (1..24).collect(),
+                straggle: None,
+            };
+            scope.spawn(move || {
+                let mut conn = hub.connect();
+                run_shard(train, &mut conn, &shard_opts).unwrap();
+            });
+        }
+        // client 0 reconnects from a fresh connection; a `DuplicateClient`
+        // reject only means the server has not yet processed the old
+        // connection's close — retry until the slot frees up
+        {
+            let hub = hub.clone();
+            let shard_opts = ShardOptions {
+                cfg: cfg.clone(),
+                client_kind: CLIENT,
+                server_kind: SERVER,
+                hyper: ModelHyper::small(),
+                ids: vec![0],
+                straggle: None,
+            };
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    let mut conn = hub.connect();
+                    match run_shard(train, &mut conn, &shard_opts) {
+                        Ok(_) => return,
+                        Err(NetError::Handshake(msg)) if msg.contains("already connected") => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => panic!("reconnect failed: {e}"),
+                    }
+                }
+                panic!("client 0 never managed to reconnect");
+            });
+        }
+        let (report, _server) = run_server(train, &events, &opts).unwrap();
+        report
+    });
+    assert!(report.stragglers.is_empty(), "nobody straggled: {:?}", report.stragglers);
+    assert!(report.connections >= 3, "the reconnect must show up as an extra connection");
+    assert_eq!(serde_json::to_string(&report.trace).unwrap(), reference);
+}
+
+#[test]
+fn fingerprint_mismatch_is_rejected_at_handshake() {
+    let train = dataset();
+    let cfg = config(1);
+    let (hub, events) = loopback_hub();
+    let mut drifted = cfg.clone();
+    drifted.seed += 1; // any semantic drift must be caught before round 0
+    let mut opts = server_options(&cfg);
+    opts.gather_timeout = Duration::from_millis(400);
+    let train = &train;
+    let (server_res, client_res) = std::thread::scope(|scope| {
+        let shard = scope.spawn({
+            let hub = hub.clone();
+            move || {
+                let mut conn = hub.connect();
+                let shard_opts = ShardOptions {
+                    cfg: drifted,
+                    client_kind: CLIENT,
+                    server_kind: SERVER,
+                    hyper: ModelHyper::small(),
+                    ids: vec![0],
+                    straggle: None,
+                };
+                run_shard(train, &mut conn, &shard_opts)
+            }
+        });
+        // the only client is rejected, so the gather must time out
+        let server_res = run_server(train, &events, &opts);
+        (server_res, shard.join().unwrap())
+    });
+    let server_err = match server_res {
+        Err(e) => e,
+        Ok(_) => panic!("the server must not gather a fleet of rejected clients"),
+    };
+    assert!(matches!(server_err, NetError::Timeout(_)), "got {server_err}");
+    let client_err = client_res.unwrap_err();
+    assert!(matches!(client_err, NetError::Handshake(_)), "got {client_err}");
+}

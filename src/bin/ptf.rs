@@ -15,10 +15,15 @@ use ptf_fedrec::core::{DefenseKind, Federation, PtfConfig, PtfFedRec, StorageMod
 use ptf_fedrec::data::{DatasetPreset, DatasetStats, Scale, TrainTestSplit};
 use ptf_fedrec::federated::{Engine, FederatedProtocol, RunTrace, TraceRecorder};
 use ptf_fedrec::metrics::RankingReport;
-use ptf_fedrec::models::{ModelHyper, ModelKind};
+use ptf_fedrec::models::{evaluate_model, ModelHyper, ModelKind};
+use ptf_fedrec::net::{
+    run_server, run_shard, tcp, NetServerOptions, ShardOptions, ShardSummary, Straggle,
+    StragglerDrop,
+};
 use ptf_fedrec::privacy::TopGuessAttack;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +61,18 @@ fn load_split(dataset: DatasetPreset, scale: Scale, seed: u64) -> TrainTestSplit
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let data = dataset.generate(scale, &mut rng);
     TrainTestSplit::split_80_20(&data, &mut rng)
+}
+
+/// The config a networked run uses. `ptf serve` and every `ptf client`
+/// build this independently from the same flags — the handshake
+/// fingerprint rejects the connection if they disagree.
+fn net_config(scale: Scale, seed: u64, rounds: Option<u32>, participation: f64) -> PtfConfig {
+    let mut cfg = scaled_config(scale, seed);
+    if let Some(r) = rounds {
+        cfg.rounds = r;
+    }
+    cfg.participation.fraction = participation;
+    cfg
 }
 
 /// One `match`, one `Box<dyn FederatedProtocol>`: everything downstream
@@ -135,6 +152,28 @@ struct TrainJson {
     trace: RunTrace,
     report: RankingReport,
     communication: LedgerSummary,
+}
+
+/// The machine-readable shape of `ptf serve --json` — `ptf train`'s
+/// fields plus the networked extras.
+#[derive(Serialize)]
+struct ServeJson {
+    dataset: String,
+    seed: u64,
+    trace: RunTrace,
+    report: RankingReport,
+    communication: LedgerSummary,
+    stragglers: Vec<StragglerDrop>,
+    connections: usize,
+}
+
+/// The machine-readable shape of `ptf client --json`.
+#[derive(Serialize)]
+struct ClientJson {
+    dataset: String,
+    seed: u64,
+    addr: String,
+    summary: ShardSummary,
 }
 
 /// The machine-readable shape of `ptf privacy --json`.
@@ -290,6 +329,129 @@ fn run(cmd: Command) -> Result<(), String> {
                 println!("defense: {defense_name}");
                 println!("top-guess attack F1: {f1:.4} (lower = better privacy)");
                 println!("{report}");
+            }
+            Ok(())
+        }
+        Command::Serve {
+            dataset,
+            client,
+            server,
+            rounds,
+            scale,
+            seed,
+            k,
+            port,
+            participation,
+            deadline_ms,
+            gather_ms,
+            json,
+        } => {
+            let split = load_split(dataset, scale, seed);
+            let opts = NetServerOptions {
+                cfg: net_config(scale, seed, rounds, participation),
+                client_kind: client,
+                server_kind: server,
+                hyper: scaled_hyper(scale),
+                round_deadline: Duration::from_millis(deadline_ms),
+                gather_timeout: Duration::from_millis(gather_ms),
+                verbose: true,
+            };
+            let endpoint = tcp::serve(("127.0.0.1", port))
+                .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+            // the smoke tests (and humans scripting ephemeral ports) parse
+            // this line, so it goes out before anything blocks
+            eprintln!("listening on {}", endpoint.local_addr);
+            eprintln!(
+                "serving ptf-fedrec on {} ({} clients, {} items, {} rounds)",
+                dataset.name(),
+                split.train.num_users(),
+                split.train.num_items(),
+                opts.cfg.rounds,
+            );
+            let (report, trained) =
+                run_server(&split.train, &endpoint.events, &opts).map_err(|e| e.to_string())?;
+            let ranking = evaluate_model(trained.model(), &split.train, &split.test, k);
+            if json {
+                let out = ServeJson {
+                    dataset: dataset.name().to_string(),
+                    seed,
+                    trace: report.trace,
+                    report: ranking,
+                    communication: report.communication,
+                    stragglers: report.stragglers,
+                    connections: report.connections,
+                };
+                println!("{}", serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?);
+            } else {
+                println!("{ranking}");
+                println!(
+                    "communication: {} per client-round (total {})",
+                    format_bytes(report.communication.avg_client_bytes_per_round),
+                    format_bytes(report.communication.total_bytes as f64)
+                );
+                println!(
+                    "connections: {}, stragglers dropped: {}",
+                    report.connections,
+                    report.stragglers.len()
+                );
+                for s in &report.stragglers {
+                    println!("  round {:>3}: dropped client {}", s.round, s.client);
+                }
+            }
+            Ok(())
+        }
+        Command::Client {
+            addr,
+            dataset,
+            client,
+            server,
+            rounds,
+            scale,
+            seed,
+            ids,
+            participation,
+            straggle_round,
+            straggle_ms,
+            json,
+        } => {
+            let split = load_split(dataset, scale, seed);
+            let fleet = split.train.num_users() as u32;
+            let ids: Vec<u32> = match ids {
+                Some((lo, hi)) => (lo..=hi).collect(),
+                None => (0..fleet).collect(),
+            };
+            let opts = ShardOptions {
+                cfg: net_config(scale, seed, rounds, participation),
+                client_kind: client,
+                server_kind: server,
+                hyper: scaled_hyper(scale),
+                ids,
+                straggle: straggle_round
+                    .map(|round| Straggle { round, delay: Duration::from_millis(straggle_ms) }),
+            };
+            eprintln!(
+                "hosting clients {}..={} of {} on {}",
+                opts.ids.first().copied().unwrap_or(0),
+                opts.ids.last().copied().unwrap_or(0),
+                fleet,
+                addr,
+            );
+            let mut conn = tcp::connect(addr.as_str())
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let summary = run_shard(&split.train, &mut conn, &opts).map_err(|e| e.to_string())?;
+            if json {
+                let out = ClientJson { dataset: dataset.name().to_string(), seed, addr, summary };
+                println!("{}", serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?);
+            } else {
+                println!(
+                    "shard done: {} clients, {} uploads, {} dropped, {} rounds, {} up / {} down",
+                    summary.clients,
+                    summary.participations,
+                    summary.dropped,
+                    summary.rounds_finished,
+                    format_bytes(summary.bytes_up as f64),
+                    format_bytes(summary.bytes_down as f64),
+                );
             }
             Ok(())
         }

@@ -61,6 +61,52 @@ pub enum Command {
     },
     /// Export a synthetic dataset as JSON.
     Generate { dataset: DatasetPreset, out: String, scale: Scale, seed: u64 },
+    /// Run the networked round server (`ptf serve`).
+    Serve {
+        dataset: DatasetPreset,
+        client: ModelKind,
+        server: ModelKind,
+        rounds: Option<u32>,
+        scale: Scale,
+        seed: u64,
+        k: usize,
+        /// TCP port to bind on 127.0.0.1 (`0` = ephemeral; the bound
+        /// address is printed to stderr).
+        port: u16,
+        /// Fraction of trainable clients sampled per round (must match
+        /// the clients' `--participation`).
+        participation: f64,
+        /// Per-round upload deadline; clients past it are dropped for
+        /// that round.
+        deadline_ms: u64,
+        /// How long to wait for the full fleet to connect before
+        /// giving up.
+        gather_ms: u64,
+        /// Emit the run as machine-readable JSON on stdout.
+        json: bool,
+    },
+    /// Run a networked client shard (`ptf client`).
+    Client {
+        /// Server address, e.g. `127.0.0.1:7878`.
+        addr: String,
+        dataset: DatasetPreset,
+        client: ModelKind,
+        server: ModelKind,
+        rounds: Option<u32>,
+        scale: Scale,
+        seed: u64,
+        /// Inclusive client-id range `A-B` (or a single id `A`) this
+        /// process hosts; `None` hosts the whole fleet.
+        ids: Option<(u32, u32)>,
+        /// Must match the server's `--participation`.
+        participation: f64,
+        /// Test/chaos hook: before uploading in this round, sleep
+        /// `--straggle-ms` (the server drops the shard for that round).
+        straggle_round: Option<u32>,
+        straggle_ms: u64,
+        /// Emit the shard summary as machine-readable JSON on stdout.
+        json: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -111,6 +157,13 @@ USAGE:
     ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
                  [--scale S] [--seed N] [--threads N] [--json]
     ptf generate --dataset D --out FILE [--scale S] [--seed N]
+    ptf serve    --dataset D [--port P] [--client M] [--server M] [--rounds N]
+                 [--scale S] [--seed N] [--k K] [--participation F]
+                 [--deadline-ms N] [--gather-ms N] [--json]
+    ptf client   --addr HOST:PORT --dataset D [--ids A-B] [--client M]
+                 [--server M] [--rounds N] [--scale S] [--seed N]
+                 [--participation F] [--straggle-round N] [--straggle-ms N]
+                 [--json]
 
 `--client`/`--server` select the model architectures for the ptf protocol;
 centralized trains the --server architecture (ignoring --client), and the
@@ -121,6 +174,14 @@ thread); with the same seed the output is byte-identical at any N.
 `--storage` picks the per-client table representation (auto = density
 heuristic); `--evict-interval`/`--evict-budget` bound client memory by
 resetting cold embedding rows every N local rounds.
+
+`serve`/`client` run the same protocol over TCP: the server binds
+127.0.0.1:PORT (default 7878, 0 = ephemeral — the bound address is
+printed to stderr) and waits for every client id to connect; client
+processes host `--ids A-B` each (default: the whole fleet). Both sides
+must agree on dataset, scale, seed, rounds, models, and participation —
+a config-fingerprint handshake rejects drift. With the same seed the
+run's trace is byte-identical to `ptf train`. See docs/wire-protocol.md.
 ";
 
 fn parse_dataset(s: &str) -> Result<DatasetPreset, String> {
@@ -354,8 +415,155 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: parse_seed(&opts)?,
             })
         }
+        "serve" => {
+            let opts = parse_options(
+                rest,
+                &[
+                    "dataset",
+                    "client",
+                    "server",
+                    "rounds",
+                    "scale",
+                    "seed",
+                    "k",
+                    "port",
+                    "participation",
+                    "deadline-ms",
+                    "gather-ms",
+                ],
+                &["json"],
+            )?;
+            Ok(Command::Serve {
+                dataset: parse_dataset(opts.get("dataset").ok_or("serve requires --dataset")?)?,
+                client: opts
+                    .get("client")
+                    .map(|s| parse_model(s))
+                    .transpose()?
+                    .unwrap_or(ModelKind::NeuMf),
+                server: opts
+                    .get("server")
+                    .map(|s| parse_model(s))
+                    .transpose()?
+                    .unwrap_or(ModelKind::Ngcf),
+                rounds: opts
+                    .get("rounds")
+                    .map(|s| s.parse().map_err(|_| format!("bad --rounds {s:?}")))
+                    .transpose()?,
+                scale: opts
+                    .get("scale")
+                    .map(|s| parse_scale(s))
+                    .transpose()?
+                    .unwrap_or(Scale::Small),
+                seed: parse_seed(&opts)?,
+                k: opts
+                    .get("k")
+                    .map(|s| s.parse().map_err(|_| format!("bad --k {s:?}")))
+                    .transpose()?
+                    .unwrap_or(20),
+                port: opts
+                    .get("port")
+                    .map(|s| s.parse().map_err(|_| format!("bad --port {s:?}")))
+                    .transpose()?
+                    .unwrap_or(7878),
+                participation: parse_participation(&opts)?,
+                deadline_ms: opts
+                    .get("deadline-ms")
+                    .map(|s| s.parse().map_err(|_| format!("bad --deadline-ms {s:?}")))
+                    .transpose()?
+                    .unwrap_or(30_000),
+                gather_ms: opts
+                    .get("gather-ms")
+                    .map(|s| s.parse().map_err(|_| format!("bad --gather-ms {s:?}")))
+                    .transpose()?
+                    .unwrap_or(30_000),
+                json: opts.flag("json"),
+            })
+        }
+        "client" => {
+            let opts = parse_options(
+                rest,
+                &[
+                    "addr",
+                    "dataset",
+                    "client",
+                    "server",
+                    "rounds",
+                    "scale",
+                    "seed",
+                    "ids",
+                    "participation",
+                    "straggle-round",
+                    "straggle-ms",
+                ],
+                &["json"],
+            )?;
+            Ok(Command::Client {
+                addr: opts.get("addr").ok_or("client requires --addr HOST:PORT")?.clone(),
+                dataset: parse_dataset(opts.get("dataset").ok_or("client requires --dataset")?)?,
+                client: opts
+                    .get("client")
+                    .map(|s| parse_model(s))
+                    .transpose()?
+                    .unwrap_or(ModelKind::NeuMf),
+                server: opts
+                    .get("server")
+                    .map(|s| parse_model(s))
+                    .transpose()?
+                    .unwrap_or(ModelKind::Ngcf),
+                rounds: opts
+                    .get("rounds")
+                    .map(|s| s.parse().map_err(|_| format!("bad --rounds {s:?}")))
+                    .transpose()?,
+                scale: opts
+                    .get("scale")
+                    .map(|s| parse_scale(s))
+                    .transpose()?
+                    .unwrap_or(Scale::Small),
+                seed: parse_seed(&opts)?,
+                ids: opts.get("ids").map(|s| parse_ids(s)).transpose()?,
+                participation: parse_participation(&opts)?,
+                straggle_round: opts
+                    .get("straggle-round")
+                    .map(|s| s.parse().map_err(|_| format!("bad --straggle-round {s:?}")))
+                    .transpose()?,
+                straggle_ms: opts
+                    .get("straggle-ms")
+                    .map(|s| s.parse().map_err(|_| format!("bad --straggle-ms {s:?}")))
+                    .transpose()?
+                    .unwrap_or(0),
+                json: opts.flag("json"),
+            })
+        }
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
+}
+
+/// `--ids A-B` (inclusive) or a single id `--ids A`.
+fn parse_ids(s: &str) -> Result<(u32, u32), String> {
+    let bad = || format!("bad --ids {s:?} (expected A-B or a single id A)");
+    let (lo, hi) = match s.split_once('-') {
+        Some((lo, hi)) => (lo, hi),
+        None => (s, s),
+    };
+    let lo: u32 = lo.trim().parse().map_err(|_| bad())?;
+    let hi: u32 = hi.trim().parse().map_err(|_| bad())?;
+    if lo > hi {
+        return Err(format!("bad --ids {s:?}: {lo} > {hi}"));
+    }
+    Ok((lo, hi))
+}
+
+/// `--participation F` in (0, 1]; the default `1.0` samples every client.
+fn parse_participation(opts: &Options) -> Result<f64, String> {
+    let f = opts
+        .get("participation")
+        .map(|s| s.parse::<f64>().map_err(|_| format!("bad --participation {s:?}")))
+        .transpose()?
+        .unwrap_or(1.0);
+    if !(f > 0.0 && f <= 1.0) {
+        return Err(format!("--participation must be in (0, 1], got {f}"));
+    }
+    Ok(f)
 }
 
 fn parse_seed(opts: &Options) -> Result<u64, String> {
@@ -567,6 +775,99 @@ mod tests {
     fn generate_requires_out() {
         let err = parse(&argv("generate --dataset ml100k")).unwrap_err();
         assert!(err.contains("--out"), "{err}");
+    }
+
+    #[test]
+    fn serve_with_defaults() {
+        let cmd = parse(&argv("serve --dataset ml100k")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                dataset: DatasetPreset::MovieLens100K,
+                client: ModelKind::NeuMf,
+                server: ModelKind::Ngcf,
+                rounds: None,
+                scale: Scale::Small,
+                seed: 2024,
+                k: 20,
+                port: 7878,
+                participation: 1.0,
+                deadline_ms: 30_000,
+                gather_ms: 30_000,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn serve_full_options() {
+        match parse(&argv(
+            "serve --dataset steam --port 0 --client mf --server mf --rounds 3 \
+             --participation 0.5 --deadline-ms 2000 --gather-ms 9000 --json",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                port, participation, deadline_ms, gather_ms, rounds, json, ..
+            } => {
+                assert_eq!(port, 0);
+                assert_eq!(participation, 0.5);
+                assert_eq!(deadline_ms, 2000);
+                assert_eq!(gather_ms, 9000);
+                assert_eq!(rounds, Some(3));
+                assert!(json);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&argv("serve --dataset ml100k --participation 1.5")).unwrap_err();
+        assert!(err.contains("--participation"), "{err}");
+        let err = parse(&argv("serve")).unwrap_err();
+        assert!(err.contains("--dataset"), "{err}");
+    }
+
+    #[test]
+    fn client_requires_addr_and_parses_ids() {
+        let err = parse(&argv("client --dataset ml100k")).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        match parse(&argv("client --addr 127.0.0.1:7878 --dataset ml100k --ids 3-9")).unwrap() {
+            Command::Client { addr, ids, straggle_round, straggle_ms, .. } => {
+                assert_eq!(addr, "127.0.0.1:7878");
+                assert_eq!(ids, Some((3, 9)));
+                assert_eq!(straggle_round, None);
+                assert_eq!(straggle_ms, 0);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // a single id hosts exactly that client; omitted hosts the fleet
+        match parse(&argv("client --addr h:1 --dataset ml100k --ids 5")).unwrap() {
+            Command::Client { ids, .. } => assert_eq!(ids, Some((5, 5))),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("client --addr h:1 --dataset ml100k")).unwrap() {
+            Command::Client { ids, .. } => assert_eq!(ids, None),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in ["9-3", "a-b", "3-", "-3"] {
+            let err = parse(&argv(&format!("client --addr h:1 --dataset ml100k --ids {bad}")))
+                .unwrap_err();
+            assert!(err.contains("--ids"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn client_straggle_options_parse() {
+        match parse(&argv(
+            "client --addr h:1 --dataset ml100k --straggle-round 2 --straggle-ms 5000 --json",
+        ))
+        .unwrap()
+        {
+            Command::Client { straggle_round, straggle_ms, json, .. } => {
+                assert_eq!(straggle_round, Some(2));
+                assert_eq!(straggle_ms, 5000);
+                assert!(json);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 }
 

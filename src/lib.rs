@@ -19,6 +19,9 @@
 //!   `Federation::builder` front door.
 //! * [`baselines`] — centralized trainers, FCF, FedMF, MetaMF — all
 //!   implementing the same `FederatedProtocol` as PTF-FedRec.
+//! * [`net`] — networked deployment: wire protocol, loopback/TCP
+//!   transports, the round server (`ptf serve`) and client runner
+//!   (`ptf client`), bit-identical to the in-process engine.
 //!
 //! See `examples/quickstart.rs` for an end-to-end federated run through
 //! the builder, `examples/communication_report.rs` for heterogeneous
@@ -34,5 +37,6 @@ pub use ptf_data as data;
 pub use ptf_federated as federated;
 pub use ptf_metrics as metrics;
 pub use ptf_models as models;
+pub use ptf_net as net;
 pub use ptf_privacy as privacy;
 pub use ptf_tensor as tensor;

@@ -131,8 +131,8 @@ fn eviction_keeps_client_rows_bounded_over_fifty_rounds() {
     // `evict_interval`/`evict_budget` set, each client is trimmed back to
     // its budget every interval, so 50 rounds stay bounded while the
     // no-eviction control keeps climbing past the same budget.
-    let data = SyntheticConfig::new("bounded", 12, 400, 8.0)
-        .generate(&mut ptf_fedrec::data::test_rng(21));
+    let data =
+        SyntheticConfig::new("bounded", 12, 400, 8.0).generate(&mut ptf_fedrec::data::test_rng(21));
     let s = TrainTestSplit::split_80_20(&data, &mut ptf_fedrec::data::test_rng(22));
     let mut cfg = PtfConfig::small();
     cfg.rounds = 50;
@@ -169,10 +169,8 @@ fn eviction_keeps_client_rows_bounded_over_fifty_rounds() {
         evicting.run_round();
         control.run_round();
         if round % 5 == 0 {
-            let max_rows = (0..num_users)
-                .map(|u| evicting.protocol().client(u).item_rows())
-                .max()
-                .unwrap();
+            let max_rows =
+                (0..num_users).map(|u| evicting.protocol().client(u).item_rows()).max().unwrap();
             assert!(
                 max_rows <= budget,
                 "round {round}: a client holds {max_rows} rows, budget {budget}"

@@ -117,6 +117,87 @@ tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, F);
 
+/// Strategy producing any value of a primitive type (uniform over the
+/// type's whole domain).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — uniform strategy over all of `T` (primitives only).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_strategy {
+    ($($t:ty => |$rng:ident| $sample:expr),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, $rng: &mut StdRng) -> $t {
+                $sample
+            }
+        }
+    )*};
+}
+any_strategy!(
+    u8 => |rng| rng.gen::<u32>() as u8,
+    u16 => |rng| rng.gen::<u32>() as u16,
+    u32 => |rng| rng.gen(),
+    u64 => |rng| rng.gen(),
+    usize => |rng| rng.gen::<u64>() as usize,
+    i8 => |rng| rng.gen::<u32>() as i8,
+    i16 => |rng| rng.gen::<u32>() as i16,
+    i32 => |rng| rng.gen::<u32>() as i32,
+    i64 => |rng| rng.gen::<u64>() as i64,
+    bool => |rng| rng.gen::<u32>() & 1 == 1,
+);
+
+/// Strategy always yielding a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies of one value type (the
+/// [`prop_oneof!`] macro's runtime).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let at = rng.gen_range(0..self.options.len());
+        self.options[at].sample(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`] (macro support; unifies value types).
+pub fn boxed_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Uniformly picks one of several strategies per case. Unlike real
+/// proptest there are no per-arm weights — `N => strategy` arms are not
+/// supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strategy)),+])
+    };
+}
+
 /// Collection sizes accepted by [`collection::vec`] / `btree_set`.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -219,7 +300,8 @@ pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
 
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, Any, Just, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     pub use crate::{ProptestConfig, Strategy, TestCaseError};
 }
 
