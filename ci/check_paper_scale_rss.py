@@ -25,11 +25,14 @@ ABSOLUTE_PEAK_LIMITS = {
 }
 
 # Throughput floors in rounds/sec — the adaptive-storage win (ML-100K:
-# 1.70 r/s all-sparse -> ~2.2+ with the dense fallback) must not silently
-# regress. Runner speed still varies, so the floor is enforced with a
-# tolerance (PTF_RPS_TOLERANCE, default 15%) rather than as a hard edge.
+# 1.70 r/s all-sparse -> ~2.2+ with the dense fallback) and the
+# vectorized-kernel win on top of it (PR 8: chunked-reduction kernels +
+# arena autograd tape, ~+10% MF/MF end-to-end on the same box) must not
+# silently regress. Runner speed still varies, so the floor is enforced
+# with a tolerance (PTF_RPS_TOLERANCE, default 15%) rather than as a
+# hard edge.
 MIN_ROUNDS_PER_SEC = {
-    "MovieLens-100K": 2.2,
+    "MovieLens-100K": 2.4,
 }
 RPS_TOLERANCE = float(os.environ.get("PTF_RPS_TOLERANCE", "0.15"))
 

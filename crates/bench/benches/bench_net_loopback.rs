@@ -31,6 +31,8 @@ struct NetLoopbackReport {
     client_epochs: u32,
     seed: u64,
     shards: usize,
+    /// Compute-kernel backend the run used ("scalar" or "vector").
+    kernel_backend: String,
     in_process_seconds: f64,
     in_process_rounds_per_sec: f64,
     /// Includes the handshake/gather phase — what a deployment pays.
@@ -136,6 +138,7 @@ fn main() {
         client_epochs: epochs,
         seed,
         shards,
+        kernel_backend: ptf_tensor::kernels::backend().name().to_string(),
         in_process_seconds,
         in_process_rounds_per_sec: rounds as f64 / in_process_seconds,
         loopback_seconds,

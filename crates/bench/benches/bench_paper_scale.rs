@@ -22,13 +22,21 @@
 //! Writes `BENCH_paper_scale.json` at the workspace root. Knobs:
 //! `PTF_BENCH_ROUNDS` (default 3), `PTF_BENCH_EPOCHS` (client epochs,
 //! default 2), `PTF_SEED`, `PTF_BENCH_PRESETS` (comma list of
-//! `ml100k,steam,gowalla`; default all).
+//! `ml100k,steam,gowalla`; default all), `PTF_BENCH_KERNEL`
+//! (`scalar|vector` pins the compute-kernel backend; `ab` runs every
+//! preset under **both** backends and records the scalar rounds/sec
+//! and the vector speedup per row; the primary backend is recorded as
+//! `kernel_backend` in the JSON), and `PTF_BENCH_MODELS`
+//! (`client/server`, e.g. `neumf/ngcf` — swaps the MF/MF throughput
+//! pairing for one of the paper's autograd models; the pairing is
+//! recorded as `client_model`/`server_model`).
 
 use ptf_bench::{fmt4, Table};
 use ptf_core::{DefenseKind, Federation, PtfConfig, StorageMode};
 use ptf_data::{DatasetPreset, DatasetStats, TrainTestSplit};
 use ptf_models::{ModelHyper, ModelKind};
 use ptf_tensor::alloc;
+use ptf_tensor::kernels::{set_backend, Backend};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -69,6 +77,12 @@ struct PresetRow {
     /// What full per-client tables would hold (`clients × items`) — the
     /// scoped-client memory story is the ratio of these two numbers.
     full_table_rows: usize,
+    /// Scalar-backend rounds/sec for the same preset — present (non-null)
+    /// only in `PTF_BENCH_KERNEL=ab` runs, where `rounds_per_sec` above
+    /// is the vector backend's number for the same seed and config.
+    scalar_rounds_per_sec: Option<f64>,
+    /// `rounds_per_sec / scalar_rounds_per_sec` (A/B runs only).
+    kernel_speedup: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -76,6 +90,13 @@ struct PaperScaleReport {
     hardware_threads: usize,
     seed: u64,
     client_epochs: u32,
+    /// Which compute-kernel backend the run used ("scalar" or "vector")
+    /// — the `PTF_BENCH_KERNEL` A/B axis.
+    kernel_backend: String,
+    /// Client/server architecture pairing — the `PTF_BENCH_MODELS` axis
+    /// (default MF/MF; `neumf/ngcf` exercises the autograd tape).
+    client_model: String,
+    server_model: String,
     rows: Vec<PresetRow>,
 }
 
@@ -104,92 +125,179 @@ fn wanted_presets() -> Vec<DatasetPreset> {
     }
 }
 
+/// `PTF_BENCH_MODELS=client/server` swaps the model pairing: MF/MF is
+/// the default (allocation-free, sampling-bound — the throughput
+/// pairing), while e.g. `neumf/ngcf` measures the paper's autograd
+/// models, where the kernel layer and arena tape carry the round.
+fn wanted_models() -> (ModelKind, ModelKind) {
+    let default = (ModelKind::Mf, ModelKind::Mf);
+    let Ok(spec) = std::env::var("PTF_BENCH_MODELS") else {
+        return default;
+    };
+    let parse = |s: &str| {
+        ModelKind::parse(s.trim()).unwrap_or_else(|| {
+            eprintln!("[bench_paper_scale] unknown model {s:?} in PTF_BENCH_MODELS, using MF");
+            ModelKind::Mf
+        })
+    };
+    match spec.split_once('/') {
+        Some((client, server)) => (parse(client), parse(server)),
+        None => (parse(&spec), parse(&spec)),
+    }
+}
+
+/// The `PTF_BENCH_KERNEL` axis: pin one backend, or `ab` — run every
+/// preset under both and record the pair in one report.
+enum KernelMode {
+    Default,
+    Pinned(Backend),
+    Ab,
+}
+
+fn kernel_mode() -> KernelMode {
+    match std::env::var("PTF_BENCH_KERNEL").as_deref() {
+        Ok("scalar") => KernelMode::Pinned(Backend::Scalar),
+        Ok("vector") => KernelMode::Pinned(Backend::Vector),
+        Ok("ab") => KernelMode::Ab,
+        Ok(other) => {
+            eprintln!("[bench_paper_scale] unknown PTF_BENCH_KERNEL {other:?}, ignoring");
+            KernelMode::Default
+        }
+        Err(_) => KernelMode::Default,
+    }
+}
+
+/// One full build + run of a preset under the currently active kernel
+/// backend; returns the measured row.
+fn run_preset(
+    preset: DatasetPreset,
+    rounds: u32,
+    epochs: u32,
+    seed: u64,
+    client_kind: ModelKind,
+    server_kind: ModelKind,
+) -> PresetRow {
+    let heap_before = alloc::current_bytes();
+    let data = preset.paper().generate(&mut ptf_data::test_rng(seed));
+    let split = TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(seed ^ 1));
+    let stats = DatasetStats::of(&data);
+    let dataset_heap_bytes = alloc::current_bytes().saturating_sub(heap_before);
+
+    let mut cfg = PtfConfig::paper();
+    cfg.rounds = rounds;
+    cfg.client_epochs = epochs;
+    cfg.seed = seed;
+    // NoDefense keeps upload staging on the recycled-buffer path, so
+    // the steady-state zero-allocation guarantee is measurable here
+    cfg.defense = DefenseKind::NoDefense;
+    // PTF_BENCH_STORAGE=sparse|auto|dense A/Bs the client storage
+    // policy (default: the adaptive Auto heuristic)
+    match std::env::var("PTF_BENCH_STORAGE").as_deref() {
+        Ok("sparse") => cfg.storage.mode = StorageMode::Sparse,
+        Ok("dense") => cfg.storage.mode = StorageMode::Dense,
+        _ => {}
+    }
+
+    alloc::reset_peak();
+    let start = Instant::now();
+    let mut fed = Federation::builder(&split.train)
+        .client_model(client_kind)
+        .server_model(server_kind)
+        .hyper(ModelHyper::default())
+        .config(cfg)
+        .build()
+        .expect("paper-scale config is valid");
+    let build_seconds = start.elapsed().as_secs_f64();
+    let run_start = Instant::now();
+    let trace = fed.run();
+    let run_seconds = run_start.elapsed().as_secs_f64();
+    let peak_heap_bytes = alloc::peak_bytes();
+
+    assert_eq!(trace.num_rounds(), rounds as usize);
+    let final_round_client_allocs = fed.protocol().last_round_client_allocs();
+    // the strict steady-state allocation bound is an MF-client
+    // guarantee; autograd clients warm per-thread arenas instead
+    if rounds >= 3 && client_kind == ModelKind::Mf {
+        // scoped clients sample fresh negatives every round, so a few
+        // first-touch row materializations still happen in steady
+        // state; each costs at most a couple of (amortized) arena
+        // growths. Anything past this bound means per-sample
+        // allocations crept back into the hot path.
+        let bound = 16 * stats.users as u64;
+        assert!(
+            final_round_client_allocs <= bound,
+            "{}: steady-state client path allocated {final_round_client_allocs} times \
+             (> {bound} = 16/client)",
+            preset.name()
+        );
+    }
+
+    let summary = fed.ledger().summary();
+    let dense_clients = fed.protocol().dense_clients();
+    let client_item_rows = fed.protocol().materialized_item_rows();
+    let full_table_rows = stats.users * stats.items;
+    PresetRow {
+        preset: preset.name().to_string(),
+        users: stats.users,
+        items: stats.items,
+        interactions: stats.interactions,
+        rounds,
+        build_seconds,
+        run_seconds,
+        rounds_per_sec: rounds as f64 / run_seconds,
+        peak_heap_bytes,
+        dataset_heap_bytes,
+        bytes_per_round: summary.total_bytes as f64 / rounds.max(1) as f64,
+        avg_client_bytes_per_round: summary.avg_client_bytes_per_round,
+        final_round_client_allocs,
+        dense_clients,
+        client_item_rows,
+        full_table_rows,
+        scalar_rounds_per_sec: None,
+        kernel_speedup: None,
+    }
+}
+
 fn main() {
     let rounds = env_u64("PTF_BENCH_ROUNDS", 3) as u32;
     let epochs = env_u64("PTF_BENCH_EPOCHS", 2) as u32;
     let seed = env_u64("PTF_SEED", 2024);
+    let mode = kernel_mode();
+    if let KernelMode::Pinned(b) = mode {
+        set_backend(b);
+    }
+    let (client_kind, server_kind) = wanted_models();
 
+    let title =
+        format!("Paper-scale PTF-FedRec ({client_kind}/{server_kind}, item-scoped clients)");
     let mut table = Table::new(
-        "Paper-scale PTF-FedRec (MF/MF, item-scoped clients)",
+        title,
         &["dataset", "users×items", "rounds/sec", "peak heap MB", "KB/client/round", "row cut"],
     );
     let mut rows = Vec::new();
 
     for preset in wanted_presets() {
-        let heap_before = alloc::current_bytes();
-        let data = preset.paper().generate(&mut ptf_data::test_rng(seed));
-        let split = TrainTestSplit::split_80_20(&data, &mut ptf_data::test_rng(seed ^ 1));
-        let stats = DatasetStats::of(&data);
-        let dataset_heap_bytes = alloc::current_bytes().saturating_sub(heap_before);
-
-        let mut cfg = PtfConfig::paper();
-        cfg.rounds = rounds;
-        cfg.client_epochs = epochs;
-        cfg.seed = seed;
-        // NoDefense keeps upload staging on the recycled-buffer path, so
-        // the steady-state zero-allocation guarantee is measurable here
-        cfg.defense = DefenseKind::NoDefense;
-        // PTF_BENCH_STORAGE=sparse|auto|dense A/Bs the client storage
-        // policy (default: the adaptive Auto heuristic)
-        match std::env::var("PTF_BENCH_STORAGE").as_deref() {
-            Ok("sparse") => cfg.storage.mode = StorageMode::Sparse,
-            Ok("dense") => cfg.storage.mode = StorageMode::Dense,
-            _ => {}
-        }
-
-        alloc::reset_peak();
-        let start = Instant::now();
-        let mut fed = Federation::builder(&split.train)
-            .client_model(ModelKind::Mf)
-            .server_model(ModelKind::Mf)
-            .hyper(ModelHyper::default())
-            .config(cfg)
-            .build()
-            .expect("paper-scale config is valid");
-        let build_seconds = start.elapsed().as_secs_f64();
-        let run_start = Instant::now();
-        let trace = fed.run();
-        let run_seconds = run_start.elapsed().as_secs_f64();
-        let peak_heap_bytes = alloc::peak_bytes();
-
-        assert_eq!(trace.num_rounds(), rounds as usize);
-        let final_round_client_allocs = fed.protocol().last_round_client_allocs();
-        if rounds >= 3 {
-            // scoped clients sample fresh negatives every round, so a few
-            // first-touch row materializations still happen in steady
-            // state; each costs at most a couple of (amortized) arena
-            // growths. Anything past this bound means per-sample
-            // allocations crept back into the hot path.
-            let bound = 16 * stats.users as u64;
-            assert!(
-                final_round_client_allocs <= bound,
-                "{}: steady-state client path allocated {final_round_client_allocs} times \
-                 (> {bound} = 16/client)",
-                preset.name()
-            );
-        }
-
-        let summary = fed.ledger().summary();
-        let dense_clients = fed.protocol().dense_clients();
-        let client_item_rows = fed.protocol().materialized_item_rows();
-        let full_table_rows = stats.users * stats.items;
-        let row = PresetRow {
-            preset: preset.name().to_string(),
-            users: stats.users,
-            items: stats.items,
-            interactions: stats.interactions,
-            rounds,
-            build_seconds,
-            run_seconds,
-            rounds_per_sec: rounds as f64 / run_seconds,
-            peak_heap_bytes,
-            dataset_heap_bytes,
-            bytes_per_round: summary.total_bytes as f64 / rounds.max(1) as f64,
-            avg_client_bytes_per_round: summary.avg_client_bytes_per_round,
-            final_round_client_allocs,
-            dense_clients,
-            client_item_rows,
-            full_table_rows,
+        let row = match mode {
+            KernelMode::Ab => {
+                // scalar first, vector second: the committed report's
+                // primary numbers are the default (vector) backend's
+                set_backend(Backend::Scalar);
+                let scalar = run_preset(preset, rounds, epochs, seed, client_kind, server_kind);
+                set_backend(Backend::Vector);
+                let mut vector = run_preset(preset, rounds, epochs, seed, client_kind, server_kind);
+                let speedup = vector.rounds_per_sec / scalar.rounds_per_sec;
+                println!(
+                    "[A/B {}] scalar {:.4} r/s, vector {:.4} r/s ({:+.1}%)",
+                    preset.name(),
+                    scalar.rounds_per_sec,
+                    vector.rounds_per_sec,
+                    (speedup - 1.0) * 100.0
+                );
+                vector.scalar_rounds_per_sec = Some(scalar.rounds_per_sec);
+                vector.kernel_speedup = Some(speedup);
+                vector
+            }
+            _ => run_preset(preset, rounds, epochs, seed, client_kind, server_kind),
         };
         table.row(vec![
             row.preset.clone(),
@@ -208,6 +316,9 @@ fn main() {
         hardware_threads: ptf_tensor::par::available_threads(),
         seed,
         client_epochs: epochs,
+        kernel_backend: ptf_tensor::kernels::backend().name().to_string(),
+        client_model: client_kind.name().to_string(),
+        server_model: server_kind.name().to_string(),
         rows,
     };
     let path =

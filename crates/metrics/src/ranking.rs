@@ -62,7 +62,17 @@ pub fn top_k_indices_into(
     debug_assert!(excluded.windows(2).all(|w| w[0] < w[1]), "excluded must be sorted");
     candidates.clear();
     head.clear();
-    candidates.extend((0..scores.len() as u32).filter(|i| excluded.binary_search(i).is_err()));
+    // single merge walk over the sorted exclusion list instead of a
+    // binary search per candidate — same result, O(n + m) not O(n log m),
+    // and this filter runs once per user per evaluation pass
+    let mut ex = 0usize;
+    for i in 0..scores.len() as u32 {
+        if ex < excluded.len() && excluded[ex] == i {
+            ex += 1;
+        } else {
+            candidates.push(i);
+        }
+    }
     let k = k.min(candidates.len());
     if k == 0 {
         return;

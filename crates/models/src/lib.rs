@@ -23,6 +23,7 @@ pub mod neumf;
 pub mod ngcf;
 pub mod registry;
 mod scoped;
+mod scratch;
 pub mod traits;
 
 pub use eval::{evaluate_model, evaluate_model_with_threads};

@@ -7,7 +7,9 @@
 
 use crate::graph::{empty_propagation, normalized_bipartite};
 use crate::scoped;
+use crate::scratch::BatchScratch;
 use crate::traits::{Recommender, ScopeView};
+use ptf_tensor::kernels;
 use ptf_tensor::prelude::*;
 use ptf_tensor::{init, ItemScope, ParamId, ScopeIndex};
 use rand::Rng;
@@ -49,6 +51,9 @@ pub struct LightGcn {
     /// re-derives its propagation operator from it whenever lazy
     /// materialization shifts node indices. Unused (empty) when dense.
     graph_edges: Vec<(u32, u32, f32)>,
+    /// Reused batch-staging vectors + autograd arena (steady-state
+    /// training is allocation-free after the first batch).
+    scratch: BatchScratch,
 }
 
 impl LightGcn {
@@ -75,6 +80,7 @@ impl LightGcn {
             scope: ScopeIndex::dense(num_items),
             item_seed: 0,
             graph_edges: Vec::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -120,6 +126,7 @@ impl LightGcn {
             scope: index,
             item_seed,
             graph_edges: Vec::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -301,15 +308,15 @@ impl Recommender for LightGcn {
             .map(|&i| {
                 debug_assert!((i as usize) < self.num_items, "item id out of range");
                 let dot: f32 = match self.node_of(i) {
-                    Some(node) => {
-                        let v = emb.row(node as usize);
-                        u.iter().zip(v).map(|(&a, &b)| a * b).sum()
-                    }
+                    Some(node) => kernels::dot(u, emb.row(node as usize)),
                     None => {
                         cold.clear();
                         cold.resize(self.dim(), 0.0);
                         init::derived_normal_row(self.item_seed, i, 0.1, &mut cold);
-                        u.iter().zip(&cold).map(|(&a, &b)| a * (b * mean_scale)).sum()
+                        // scale first so the dot reduces in the same
+                        // kernel order as the materialized path
+                        cold.iter_mut().for_each(|b| *b *= mean_scale);
+                        kernels::dot(u, &cold)
                     }
                 };
                 stable_sigmoid(dot)
@@ -323,20 +330,27 @@ impl Recommender for LightGcn {
         }
         self.ensure_items(batch.iter().map(|&(_, i, _)| i));
         self.invalidate();
-        let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> =
-            batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")).collect();
-        let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.users.clear();
+        scratch.users.extend(batch.iter().map(|&(u, _, _)| u));
+        scratch.items.clear();
+        scratch
+            .items
+            .extend(batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")));
+        scratch.labels.clear();
+        scratch.labels.extend(batch.iter().map(|&(_, _, l)| l));
         let (grads, loss) = {
-            let mut g = Graph::new(&self.params);
+            let mut g = Graph::with_arena(&self.params, &mut scratch.arena);
             let f = self.build_final(&mut g);
-            let u = g.gather(f, &users);
-            let v = g.gather(f, &items);
+            let u = g.gather(f, &scratch.users);
+            let v = g.gather(f, &scratch.items);
             let logits = g.row_dot(u, v);
-            let loss = g.bce_with_logits(logits, &labels);
+            let loss = g.bce_with_logits(logits, &scratch.labels);
             (g.backward(loss), g.scalar(loss))
         };
         self.adam.step(&mut self.params, &grads);
+        scratch.arena.recycle(grads);
+        self.scratch = scratch;
         loss
     }
 

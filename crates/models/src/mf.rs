@@ -15,6 +15,7 @@
 
 use crate::lightgcn::stable_sigmoid;
 use crate::traits::{Recommender, ScopeView};
+use ptf_tensor::kernels;
 use ptf_tensor::{ItemScope, Matrix, RowTable};
 use rand::Rng;
 
@@ -24,7 +25,33 @@ pub fn bce_loss(logit: f32, target: f32) -> f32 {
 }
 
 /// Per-sample MF gradients for `σ(⟨u, v⟩ + b) ≈ label` under BCE with L2
-/// regularization `reg` on both embeddings.
+/// regularization `reg` on both embeddings, written into caller-owned
+/// scratch buffers (resized to `dim`, previous contents overwritten).
+///
+/// This is the allocation-free form the federated round loops use: FCF
+/// and FedMF compute these gradients once *per sample per round*, so two
+/// fresh `Vec`s per call would dominate their heap traffic. Returns
+/// `(db, loss)`.
+pub fn mf_gradients_into(
+    du: &mut Vec<f32>,
+    dv: &mut Vec<f32>,
+    user_vec: &[f32],
+    item_vec: &[f32],
+    item_bias: f32,
+    label: f32,
+    reg: f32,
+) -> (f32, f32) {
+    debug_assert_eq!(user_vec.len(), item_vec.len());
+    let logit = kernels::dot(user_vec, item_vec) + item_bias;
+    let err = stable_sigmoid(logit) - label;
+    du.clear();
+    du.extend(user_vec.iter().zip(item_vec).map(|(&u, &v)| err * v + reg * u));
+    dv.clear();
+    dv.extend(user_vec.iter().zip(item_vec).map(|(&u, &v)| err * u + reg * v));
+    (err, bce_loss(logit, label))
+}
+
+/// Allocating convenience wrapper over [`mf_gradients_into`].
 ///
 /// Returns `(du, dv, db, loss)`.
 pub fn mf_gradients(
@@ -34,12 +61,10 @@ pub fn mf_gradients(
     label: f32,
     reg: f32,
 ) -> (Vec<f32>, Vec<f32>, f32, f32) {
-    debug_assert_eq!(user_vec.len(), item_vec.len());
-    let logit: f32 = user_vec.iter().zip(item_vec).map(|(&a, &b)| a * b).sum::<f32>() + item_bias;
-    let err = stable_sigmoid(logit) - label;
-    let du: Vec<f32> = user_vec.iter().zip(item_vec).map(|(&u, &v)| err * v + reg * u).collect();
-    let dv: Vec<f32> = user_vec.iter().zip(item_vec).map(|(&u, &v)| err * u + reg * v).collect();
-    (du, dv, err, bce_loss(logit, label))
+    let mut du = Vec::new();
+    let mut dv = Vec::new();
+    let (db, loss) = mf_gradients_into(&mut du, &mut dv, user_vec, item_vec, item_bias, label, reg);
+    (du, dv, db, loss)
 }
 
 /// Applies one SGD step in place; returns the sample's loss.
@@ -58,14 +83,9 @@ pub fn mf_sgd_step(
     reg: f32,
 ) -> f32 {
     debug_assert_eq!(user_vec.len(), item_vec.len());
-    let logit: f32 =
-        user_vec.iter().zip(item_vec.iter()).map(|(&a, &b)| a * b).sum::<f32>() + *item_bias;
+    let logit = kernels::dot(user_vec, item_vec) + *item_bias;
     let err = stable_sigmoid(logit) - label;
-    for (u, v) in user_vec.iter_mut().zip(item_vec.iter_mut()) {
-        let (uk, vk) = (*u, *v);
-        *u = uk - lr * (err * vk + reg * uk);
-        *v = vk - lr * (err * uk + reg * vk);
-    }
+    kernels::mf_sgd_update(user_vec, item_vec, err, lr, reg);
     *item_bias -= lr * err;
     bce_loss(logit, label)
 }
@@ -167,9 +187,7 @@ impl MfModel {
     pub fn logit(&self, user: u32, item: u32) -> f32 {
         let u = self.user_emb.row(user as usize);
         let dim = u.len();
-        self.items.with_row(item, |row| {
-            u.iter().zip(&row[..dim]).map(|(&a, &b)| a * b).sum::<f32>() + row[dim]
-        })
+        self.items.with_row(item, |row| kernels::dot(u, &row[..dim]) + row[dim])
     }
 }
 

@@ -6,6 +6,7 @@
 //! `r̂_ij = σ(hᵀ MLP([u_i, v_j]))`.
 
 use crate::scoped;
+use crate::scratch::BatchScratch;
 use crate::traits::{Recommender, ScopeView};
 use ptf_tensor::prelude::*;
 use ptf_tensor::{init, ItemScope, ParamId, ScopeIndex};
@@ -44,6 +45,9 @@ pub struct NeuMf {
     scope: ScopeIndex,
     /// Per-row derived init seed for lazily materialized item rows.
     item_seed: u64,
+    /// Reused batch-staging vectors + autograd arena (steady-state
+    /// training is allocation-free after the first batch).
+    scratch: BatchScratch,
 }
 
 impl NeuMf {
@@ -113,6 +117,7 @@ impl NeuMf {
             adam,
             scope,
             item_seed,
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -241,10 +246,14 @@ impl Recommender for NeuMf {
         if batch.is_empty() {
             return 0.0;
         }
-        let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> = batch.iter().map(|&(_, i, _)| i).collect();
-        let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
-        self.check_ids(&users, &items);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.users.clear();
+        scratch.users.extend(batch.iter().map(|&(u, _, _)| u));
+        scratch.items.clear();
+        scratch.items.extend(batch.iter().map(|&(_, i, _)| i));
+        scratch.labels.clear();
+        scratch.labels.extend(batch.iter().map(|&(_, _, l)| l));
+        self.check_ids(&scratch.users, &scratch.items);
         // materialize any first-touched rows, then train against the
         // row-mapped indices (identity when dense)
         scoped::ensure_item_rows(
@@ -255,17 +264,21 @@ impl Recommender for NeuMf {
             0,
             self.item_seed,
             0.1,
-            items.iter().copied(),
+            scratch.items.iter().copied(),
         );
-        let rows: Vec<u32> =
-            items.iter().map(|&i| self.scope.lookup(i).expect("ensured above") as u32).collect();
+        scratch.rows.clear();
+        for &i in &scratch.items {
+            scratch.rows.push(self.scope.lookup(i).expect("ensured above") as u32);
+        }
         let (grads, loss) = {
-            let mut g = Graph::new(&self.params);
-            let logits = self.build_logits(&mut g, &users, &rows);
-            let loss = g.bce_with_logits(logits, &labels);
+            let mut g = Graph::with_arena(&self.params, &mut scratch.arena);
+            let logits = self.build_logits(&mut g, &scratch.users, &scratch.rows);
+            let loss = g.bce_with_logits(logits, &scratch.labels);
             (g.backward(loss), g.scalar(loss))
         };
         self.adam.step(&mut self.params, &grads);
+        scratch.arena.recycle(grads);
+        self.scratch = scratch;
         loss
     }
 

@@ -14,7 +14,9 @@
 use crate::graph::{empty_propagation, normalized_bipartite};
 use crate::lightgcn::stable_sigmoid;
 use crate::scoped;
+use crate::scratch::BatchScratch;
 use crate::traits::{Recommender, ScopeView};
+use ptf_tensor::kernels;
 use ptf_tensor::prelude::*;
 use ptf_tensor::{init, ItemScope, ParamId, ScopeIndex};
 use rand::Rng;
@@ -71,6 +73,9 @@ pub struct Ngcf {
     /// Last `set_graph` edge list in global ids (scoped models re-derive
     /// the propagation operator from it when node indices shift).
     graph_edges: Vec<(u32, u32, f32)>,
+    /// Reused batch-staging vectors + autograd arena (steady-state
+    /// training is allocation-free after the first batch).
+    scratch: BatchScratch,
 }
 
 impl Ngcf {
@@ -145,6 +150,7 @@ impl Ngcf {
             scope,
             item_seed,
             graph_edges: Vec::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -210,9 +216,7 @@ impl Ngcf {
                 if a == 0.0 {
                     continue;
                 }
-                for (n, &b) in next.iter_mut().zip(w1.row(k)) {
-                    *n += a * b;
-                }
+                kernels::axpy(a, w1.row(k), &mut next);
             }
             for (ek, &nk) in e.iter_mut().zip(&next) {
                 *ek = if nk > 0.0 { nk } else { self.leaky_slope * nk };
@@ -333,13 +337,10 @@ impl Recommender for Ngcf {
             .map(|&i| {
                 debug_assert!((i as usize) < self.num_items, "item id out of range");
                 let dot: f32 = match self.node_of(i) {
-                    Some(node) => {
-                        let v = emb.row(node as usize);
-                        u.iter().zip(v).map(|(&a, &b)| a * b).sum()
-                    }
+                    Some(node) => kernels::dot(u, emb.row(node as usize)),
                     None => {
                         self.cold_item_final(i, &mut cold);
-                        u.iter().zip(&cold).map(|(&a, &b)| a * b).sum()
+                        kernels::dot(u, &cold)
                     }
                 };
                 stable_sigmoid(dot)
@@ -353,18 +354,23 @@ impl Recommender for Ngcf {
         }
         self.ensure_items(batch.iter().map(|&(_, i, _)| i));
         self.invalidate();
-        let users: Vec<u32> = batch.iter().map(|&(u, _, _)| u).collect();
-        let items: Vec<u32> =
-            batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")).collect();
-        let labels: Vec<f32> = batch.iter().map(|&(_, _, l)| l).collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.users.clear();
+        scratch.users.extend(batch.iter().map(|&(u, _, _)| u));
+        scratch.items.clear();
+        scratch
+            .items
+            .extend(batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")));
+        scratch.labels.clear();
+        scratch.labels.extend(batch.iter().map(|&(_, _, l)| l));
         let mut dropout_rng = self.dropout_rng.clone();
         let (grads, loss) = {
-            let mut g = Graph::new(&self.params);
+            let mut g = Graph::with_arena(&self.params, &mut scratch.arena);
             let f = self.build_final(&mut g, Some(&mut dropout_rng));
-            let u = g.gather(f, &users);
-            let v = g.gather(f, &items);
+            let u = g.gather(f, &scratch.users);
+            let v = g.gather(f, &scratch.items);
             let logits = g.row_dot(u, v);
-            let data_loss = g.bce_with_logits(logits, &labels);
+            let data_loss = g.bce_with_logits(logits, &scratch.labels);
             // L2 over the batch's final embeddings and the propagation
             // weights (reference NGCF's decay term)
             let mut penalty = g.frob_sq(u);
@@ -380,6 +386,8 @@ impl Recommender for Ngcf {
             (g.backward(loss), g.scalar(data_loss))
         };
         self.adam.step(&mut self.params, &grads);
+        scratch.arena.recycle(grads);
+        self.scratch = scratch;
         self.dropout_rng = dropout_rng;
         loss
     }

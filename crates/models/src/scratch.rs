@@ -1,0 +1,24 @@
+//! Reusable per-model training scratch.
+//!
+//! Every autograd-backed model's `train_batch` needs the same transient
+//! state: staging vectors splitting the batch into user/item/label
+//! columns, and a [`GraphArena`] for the tape. Holding one
+//! [`BatchScratch`] per model and rebuilding each batch over it makes the
+//! steady-state training loop allocation-free — the buffers grow to the
+//! largest batch seen and are then reused verbatim (asserted by the
+//! counting-allocator hot-path tests).
+
+use ptf_tensor::GraphArena;
+
+/// Batch-staging vectors plus the autograd arena, reused across
+/// `train_batch` calls.
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    pub users: Vec<u32>,
+    /// Item ids (or node/row-mapped indices, per model).
+    pub items: Vec<u32>,
+    pub labels: Vec<f32>,
+    /// Secondary index column (row-mapped items, BPR negatives, …).
+    pub rows: Vec<u32>,
+    pub arena: GraphArena,
+}

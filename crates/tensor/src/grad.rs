@@ -48,6 +48,14 @@ impl RowSparse {
         }
     }
 
+    /// Drops all accumulated rows, keeping the allocation (and `cols`)
+    /// for reuse — the recycling path of the autograd arena.
+    pub fn clear(&mut self) {
+        self.slot_of_row.clear();
+        self.rows.clear();
+        self.data.clear();
+    }
+
     /// Iterates `(row, values)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
         self.rows
@@ -125,12 +133,19 @@ impl GradBuf {
 /// Gradients for every parameter of a [`Params`] store, aligned by index.
 #[derive(Clone, Debug)]
 pub struct Grads {
-    bufs: Vec<Option<GradBuf>>,
+    pub(crate) bufs: Vec<Option<GradBuf>>,
 }
 
 impl Grads {
     pub fn new_for(params: &Params) -> Self {
         Self { bufs: (0..params.len()).map(|_| None).collect() }
+    }
+
+    /// Empties every slot and re-sizes to `params`, keeping the `Vec`
+    /// allocation — used when a recycled `Grads` shell is reused.
+    pub(crate) fn reset_for(&mut self, params: &Params) {
+        self.bufs.clear();
+        self.bufs.resize_with(params.len(), || None);
     }
 
     /// Mutable access to the gradient slot of `id` (used by the graph's
@@ -179,6 +194,19 @@ mod tests {
         assert_eq!(d.row(3), &[2.0, 1.0]);
         assert_eq!(d.row(1), &[5.0, 5.0]);
         assert_eq!(d.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_sparse_clear_keeps_cols_and_forgets_rows() {
+        let mut rs = RowSparse::new(3);
+        rs.add_row(1, &[1.0, 2.0, 3.0]);
+        rs.clear();
+        assert_eq!(rs.num_rows(), 0);
+        assert_eq!(rs.cols(), 3);
+        rs.add_row(2, &[4.0, 5.0, 6.0]);
+        let d = rs.to_dense(3);
+        assert_eq!(d.row(2), &[4.0, 5.0, 6.0]);
+        assert_eq!(d.row(1), &[0.0; 3]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Tape-based reverse-mode automatic differentiation.
+//! Arena-backed tape for reverse-mode automatic differentiation.
 //!
 //! A [`Graph`] is built fresh for every training batch ("define-by-run"):
 //! operations execute eagerly, recording just enough structure for
@@ -6,21 +6,31 @@
 //! Parameters live *outside* the graph in a [`Params`] store that the graph
 //! borrows; their gradients are returned in a [`Grads`] aligned with the
 //! store, with embedding-style lookups producing row-sparse buffers.
+//!
+//! Tape state lives in a [`GraphArena`]: nodes are plain entries in a
+//! `Vec` indexed by [`Var`] (no `Rc` cells), forward values and gradients
+//! sit in parallel pools of reusable [`Matrix`] buffers, and variable-size
+//! op payloads (gather indices, BCE targets, dropout masks) are staged as
+//! ranges into shared scratch vectors. [`Graph::new`] owns a private arena
+//! for one-off graphs; hot paths hold a long-lived arena and rebuild
+//! batches over it with [`Graph::with_arena`], which [`GraphArena::reset`]s
+//! lengths but keeps every buffer's capacity — after a warmup batch the
+//! forward+backward pass performs no steady-state heap allocation.
+//! [`GraphArena::recycle`] additionally parks a consumed [`Grads`] so the
+//! gradient buffers themselves are reused across optimizer steps.
 
 use crate::grad::{GradBuf, Grads, RowSparse};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, Params};
 use crate::sparse::PropagationMatrix;
-// `Rc` (not `Arc`) is deliberate: a `Graph` is a single-batch tape that is
-// created, differentiated, and dropped on one thread — it never crosses a
-// scheduler boundary (models are `Send + Sync`; their *tapes* are not and
-// need not be). Shared state that does cross threads (the propagation
-// matrices) lives behind `Arc` in `crate::sparse`.
-use std::rc::Rc;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(usize);
+
+/// `(start, len)` range into one of the arena's staging buffers.
+type BufRange = (usize, usize);
 
 #[derive(Clone, Copy, Debug)]
 enum UnaryOp {
@@ -38,6 +48,7 @@ enum BinOp {
     Mul,
 }
 
+#[derive(Clone)]
 enum Source {
     /// Constant input; receives no gradient.
     Leaf,
@@ -61,9 +72,10 @@ enum Source {
         prop: PropagationMatrix,
         b: Var,
     },
+    /// Row lookup; `idx` ranges into the arena's `idx_buf`.
     Gather {
         src: Var,
-        idx: Rc<[u32]>,
+        idx: BufRange,
     },
     ConcatCols {
         a: Var,
@@ -89,10 +101,11 @@ enum Source {
         p: Var,
         c: f32,
     },
-    /// Mean binary cross-entropy over an n×1 logit column.
+    /// Mean binary cross-entropy over an n×1 logit column; `targets`
+    /// ranges into the arena's `f32_buf`.
     BceWithLogits {
         logits: Var,
-        targets: Rc<[f32]>,
+        targets: BufRange,
     },
     /// Mean BPR (pairwise) loss over two n×1 logit columns.
     BprLoss {
@@ -103,45 +116,199 @@ enum Source {
     FrobSq {
         p: Var,
     },
-    /// Inverted dropout: forward multiplies by a frozen 0/(1−rate)⁻¹ mask.
+    /// Inverted dropout: forward multiplies by a frozen 0/(1−rate)⁻¹
+    /// mask; `mask` ranges into the arena's `f32_buf`.
     Dropout {
         p: Var,
-        mask: Rc<[f32]>,
+        mask: BufRange,
     },
 }
 
-enum NodeValue {
-    Owned(Matrix),
+#[derive(Clone, Copy)]
+enum ValRef {
+    /// Value owned by the arena's `vals` pool.
+    Slot(usize),
     /// Value lives in the borrowed parameter store.
     Param(ParamId),
 }
 
 struct Node {
-    value: NodeValue,
+    value: ValRef,
     src: Source,
 }
 
-/// A single-use autodiff tape over a borrowed parameter store.
+/// Reusable tape storage shared across batches (see module docs).
+///
+/// `Default`-constructed arenas are empty and allocation-free; buffers
+/// grow on first use and are then reused by every later graph built with
+/// [`Graph::with_arena`].
+#[derive(Default)]
+pub struct GraphArena {
+    nodes: Vec<Node>,
+    /// Forward-value pool; slots `..vals_used` belong to the live graph,
+    /// later slots are parked buffers from earlier (larger) graphs.
+    vals: Vec<Matrix>,
+    vals_used: usize,
+    /// Per-node gradient pool, parallel to `nodes`.
+    gvals: Vec<Matrix>,
+    /// Whether `gvals[i]` holds a live gradient for the current backward.
+    gset: Vec<bool>,
+    /// Staged gather indices.
+    idx_buf: Vec<u32>,
+    /// Staged f32 payloads (BCE targets, dropout masks).
+    f32_buf: Vec<f32>,
+    /// Recycled per-parameter gradient buffers, aligned with [`Params`].
+    spare_bufs: Vec<Option<GradBuf>>,
+    /// Recycled [`Grads`] shell.
+    spare_grads: Option<Grads>,
+}
+
+impl GraphArena {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears per-graph state, keeping every buffer's capacity. Called by
+    /// [`Graph::with_arena`]; only needed directly when reusing an arena
+    /// without building a graph.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.vals_used = 0;
+        self.idx_buf.clear();
+        self.f32_buf.clear();
+        self.gset.clear();
+    }
+
+    /// Parks a consumed [`Grads`] (after the optimizer step) so the next
+    /// [`Graph::backward`] over this arena reuses its buffers instead of
+    /// allocating: dense gradients keep their matrices (re-zeroed on
+    /// reuse), row-sparse ones keep their table capacity.
+    pub fn recycle(&mut self, mut grads: Grads) {
+        let n = grads.bufs.len();
+        if self.spare_bufs.len() < n {
+            self.spare_bufs.resize_with(n, || None);
+        }
+        for (i, slot) in grads.bufs.iter_mut().enumerate() {
+            if let Some(mut buf) = slot.take() {
+                if let GradBuf::Rows(rs) = &mut buf {
+                    rs.clear();
+                }
+                self.spare_bufs[i] = Some(buf);
+            }
+        }
+        grads.bufs.clear();
+        self.spare_grads = Some(grads);
+    }
+
+    fn idx_range(&self, (start, len): BufRange) -> &[u32] {
+        &self.idx_buf[start..start + len]
+    }
+
+    fn f32_range(&self, (start, len): BufRange) -> &[f32] {
+        &self.f32_buf[start..start + len]
+    }
+}
+
+enum ArenaRef<'p> {
+    Owned(Box<GraphArena>),
+    Borrowed(&'p mut GraphArena),
+}
+
+/// Where a taken gradient-destination buffer must be returned to.
+enum DestSlot {
+    Node(usize),
+    Param(ParamId),
+}
+
+/// A single-batch autodiff tape over a borrowed parameter store.
 pub struct Graph<'p> {
     params: &'p Params,
-    nodes: Vec<Node>,
+    arena: ArenaRef<'p>,
+}
+
+/// `out = f(x)`, element-wise, reusing `out`'s buffer.
+fn map_into(out: &mut Matrix, x: &Matrix, f: impl Fn(f32) -> f32) {
+    out.reset_to(x.rows(), x.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = f(v);
+    }
+}
+
+/// `out = f(x, y)`, element-wise, reusing `out`'s buffer.
+fn zip_into(out: &mut Matrix, x: &Matrix, y: &Matrix, f: impl Fn(f32, f32) -> f32) {
+    assert_eq!(x.shape(), y.shape(), "zip_map shape mismatch");
+    out.reset_to(x.rows(), x.cols());
+    for ((o, &a), &b) in out.as_mut_slice().iter_mut().zip(x.as_slice()).zip(y.as_slice()) {
+        *o = f(a, b);
+    }
 }
 
 impl<'p> Graph<'p> {
+    /// A graph over a fresh private arena (one-off use: tests, scoring).
     pub fn new(params: &'p Params) -> Self {
-        Self { params, nodes: Vec::with_capacity(32) }
+        Self { params, arena: ArenaRef::Owned(Box::default()) }
     }
 
-    fn push(&mut self, value: Matrix, src: Source) -> Var {
-        self.nodes.push(Node { value: NodeValue::Owned(value), src });
-        Var(self.nodes.len() - 1)
+    /// A graph over a caller-owned arena, reusing its buffers. This is
+    /// the hot-path constructor: hold one [`GraphArena`] per model and
+    /// rebuild every batch's tape over it.
+    pub fn with_arena(params: &'p Params, arena: &'p mut GraphArena) -> Self {
+        arena.reset();
+        Self { params, arena: ArenaRef::Borrowed(arena) }
+    }
+
+    fn arena(&self) -> &GraphArena {
+        match &self.arena {
+            ArenaRef::Owned(a) => a,
+            ArenaRef::Borrowed(a) => a,
+        }
+    }
+
+    fn arena_mut(&mut self) -> &mut GraphArena {
+        match &mut self.arena {
+            ArenaRef::Owned(a) => a,
+            ArenaRef::Borrowed(a) => a,
+        }
+    }
+
+    /// Claims the next pooled value slot, handing out its (taken) buffer.
+    fn new_slot(&mut self) -> (usize, Matrix) {
+        let a = self.arena_mut();
+        if a.vals_used == a.vals.len() {
+            a.vals.push(Matrix::default());
+        }
+        let s = a.vals_used;
+        a.vals_used += 1;
+        (s, std::mem::take(&mut a.vals[s]))
+    }
+
+    /// Returns a filled buffer to its slot and records the node.
+    fn finish(&mut self, slot: usize, value: Matrix, src: Source) -> Var {
+        let a = self.arena_mut();
+        a.vals[slot] = value;
+        a.nodes.push(Node { value: ValRef::Slot(slot), src });
+        Var(a.nodes.len() - 1)
+    }
+
+    fn stage_idx(&mut self, idx: &[u32]) -> BufRange {
+        let a = self.arena_mut();
+        let start = a.idx_buf.len();
+        a.idx_buf.extend_from_slice(idx);
+        (start, idx.len())
+    }
+
+    fn stage_f32(&mut self, vals: &[f32]) -> BufRange {
+        let a = self.arena_mut();
+        let start = a.f32_buf.len();
+        a.f32_buf.extend_from_slice(vals);
+        (start, vals.len())
     }
 
     /// The forward value of `v`.
     pub fn value(&self, v: Var) -> &Matrix {
-        match &self.nodes[v.0].value {
-            NodeValue::Owned(m) => m,
-            NodeValue::Param(id) => self.params.get(*id),
+        match self.arena().nodes[v.0].value {
+            ValRef::Slot(s) => &self.arena().vals[s],
+            ValRef::Param(id) => self.params.get(id),
         }
     }
 
@@ -157,76 +324,98 @@ impl<'p> Graph<'p> {
 
     /// Inserts a constant (no gradient flows into it).
     pub fn leaf(&mut self, value: Matrix) -> Var {
-        self.push(value, Source::Leaf)
+        self.leaf_ref(&value)
+    }
+
+    /// Like [`Graph::leaf`], but copies from a borrowed matrix into a
+    /// pooled buffer, so hot paths can keep a reusable staging matrix on
+    /// the caller's side.
+    pub fn leaf_ref(&mut self, value: &Matrix) -> Var {
+        let (s, mut out) = self.new_slot();
+        out.reset_to(value.rows(), value.cols());
+        out.as_mut_slice().copy_from_slice(value.as_slice());
+        self.finish(s, out, Source::Leaf)
     }
 
     /// Inserts a reference to parameter `id` (no copy is made).
     pub fn param(&mut self, id: ParamId) -> Var {
         assert!(id.index() < self.params.len(), "unknown ParamId");
-        self.nodes.push(Node { value: NodeValue::Param(id), src: Source::Param(id) });
-        Var(self.nodes.len() - 1)
+        let a = self.arena_mut();
+        a.nodes.push(Node { value: ValRef::Param(id), src: Source::Param(id) });
+        Var(a.nodes.len() - 1)
     }
 
     /// Dense matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Source::MatMul { a, b })
+        let (s, mut out) = self.new_slot();
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.finish(s, out, Source::MatMul { a, b })
     }
 
     /// Sparse propagation `prop × b` (NGCF/LightGCN message passing).
     pub fn spmm(&mut self, prop: &PropagationMatrix, b: Var) -> Var {
-        let v = prop.forward().matmul(self.value(b));
-        self.push(v, Source::Spmm { prop: prop.clone(), b })
+        let (s, mut out) = self.new_slot();
+        prop.forward().matmul_into(self.value(b), &mut out);
+        self.finish(s, out, Source::Spmm { prop: prop.clone(), b })
     }
 
     /// Element-wise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x + y);
-        self.push(v, Source::Binary { a, b, op: BinOp::Add })
+        let (s, mut out) = self.new_slot();
+        zip_into(&mut out, self.value(a), self.value(b), |x, y| x + y);
+        self.finish(s, out, Source::Binary { a, b, op: BinOp::Add })
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x - y);
-        self.push(v, Source::Binary { a, b, op: BinOp::Sub })
+        let (s, mut out) = self.new_slot();
+        zip_into(&mut out, self.value(a), self.value(b), |x, y| x - y);
+        self.finish(s, out, Source::Binary { a, b, op: BinOp::Sub })
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).zip_map(self.value(b), |x, y| x * y);
-        self.push(v, Source::Binary { a, b, op: BinOp::Mul })
+        let (s, mut out) = self.new_slot();
+        zip_into(&mut out, self.value(a), self.value(b), |x, y| x * y);
+        self.finish(s, out, Source::Binary { a, b, op: BinOp::Mul })
     }
 
     /// Multiplication by a compile-time constant.
     pub fn scale(&mut self, p: Var, c: f32) -> Var {
-        let v = self.value(p).map(|x| c * x);
-        self.push(v, Source::Scale { p, c })
+        let (s, mut out) = self.new_slot();
+        map_into(&mut out, self.value(p), |x| c * x);
+        self.finish(s, out, Source::Scale { p, c })
     }
 
     pub fn sigmoid(&mut self, p: Var) -> Var {
-        let v = self.value(p).map(sigmoid);
-        self.push(v, Source::Unary { p, op: UnaryOp::Sigmoid })
+        let (s, mut out) = self.new_slot();
+        map_into(&mut out, self.value(p), sigmoid);
+        self.finish(s, out, Source::Unary { p, op: UnaryOp::Sigmoid })
     }
 
     pub fn relu(&mut self, p: Var) -> Var {
-        let v = self.value(p).map(|x| x.max(0.0));
-        self.push(v, Source::Unary { p, op: UnaryOp::Relu })
+        let (s, mut out) = self.new_slot();
+        map_into(&mut out, self.value(p), |x| x.max(0.0));
+        self.finish(s, out, Source::Unary { p, op: UnaryOp::Relu })
     }
 
     /// Leaky ReLU with negative slope `alpha` (NGCF uses 0.2).
     pub fn leaky_relu(&mut self, p: Var, alpha: f32) -> Var {
-        let v = self.value(p).map(|x| if x > 0.0 { x } else { alpha * x });
-        self.push(v, Source::Unary { p, op: UnaryOp::LeakyRelu(alpha) })
+        let (s, mut out) = self.new_slot();
+        map_into(&mut out, self.value(p), |x| if x > 0.0 { x } else { alpha * x });
+        self.finish(s, out, Source::Unary { p, op: UnaryOp::LeakyRelu(alpha) })
     }
 
     pub fn tanh(&mut self, p: Var) -> Var {
-        let v = self.value(p).map(f32::tanh);
-        self.push(v, Source::Unary { p, op: UnaryOp::Tanh })
+        let (s, mut out) = self.new_slot();
+        map_into(&mut out, self.value(p), f32::tanh);
+        self.finish(s, out, Source::Unary { p, op: UnaryOp::Tanh })
     }
 
     pub fn neg(&mut self, p: Var) -> Var {
-        let v = self.value(p).map(|x| -x);
-        self.push(v, Source::Unary { p, op: UnaryOp::Neg })
+        let (s, mut out) = self.new_slot();
+        map_into(&mut out, self.value(p), |x| -x);
+        self.finish(s, out, Source::Unary { p, op: UnaryOp::Neg })
     }
 
     /// Horizontal concatenation `[a | b]`.
@@ -234,66 +423,78 @@ impl<'p> Graph<'p> {
         let (ar, ac) = self.shape(a);
         let (br, bc) = self.shape(b);
         assert_eq!(ar, br, "concat_cols: row mismatch {ar} vs {br}");
-        let mut out = Matrix::zeros(ar, ac + bc);
+        let (s, mut out) = self.new_slot();
+        out.reset_to(ar, ac + bc);
+        let av = self.value(a);
+        let bv = self.value(b);
         for r in 0..ar {
-            out.row_mut(r)[..ac].copy_from_slice(self.value(a).row(r));
-            out.row_mut(r)[ac..].copy_from_slice(self.value(b).row(r));
+            out.row_mut(r)[..ac].copy_from_slice(av.row(r));
+            out.row_mut(r)[ac..].copy_from_slice(bv.row(r));
         }
-        self.push(out, Source::ConcatCols { a, b })
+        self.finish(s, out, Source::ConcatCols { a, b })
     }
 
     /// Gathers rows `idx` of `src` (embedding lookup). Gradients to a
     /// parameter source are accumulated row-sparsely.
     pub fn gather(&mut self, src: Var, idx: &[u32]) -> Var {
-        let v = self.value(src).gather_rows(idx);
-        self.push(v, Source::Gather { src, idx: idx.into() })
+        let range = self.stage_idx(idx);
+        let (s, mut out) = self.new_slot();
+        self.value(src).gather_rows_into(idx, &mut out);
+        self.finish(s, out, Source::Gather { src, idx: range })
     }
 
     /// Row-wise dot product of two equally-shaped matrices → n×1 column.
     pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
         let (ar, ac) = self.shape(a);
         assert_eq!((ar, ac), self.shape(b), "row_dot shape mismatch");
-        let mut out = Matrix::zeros(ar, 1);
+        let (s, mut out) = self.new_slot();
+        out.reset_to(ar, 1);
+        let av = self.value(a);
+        let bv = self.value(b);
         for r in 0..ar {
-            let dot: f32 =
-                self.value(a).row(r).iter().zip(self.value(b).row(r)).map(|(&x, &y)| x * y).sum();
-            out.set(r, 0, dot);
+            out.as_mut_slice()[r] = kernels::dot(av.row(r), bv.row(r));
         }
-        self.push(out, Source::RowDot { a, b })
+        self.finish(s, out, Source::RowDot { a, b })
     }
 
     /// Sum of all elements → 1×1.
     pub fn sum_all(&mut self, p: Var) -> Var {
-        let v = Matrix::full(1, 1, self.value(p).sum());
-        self.push(v, Source::SumAll { p })
+        let (s, mut out) = self.new_slot();
+        out.reset_to(1, 1);
+        out.as_mut_slice()[0] = self.value(p).sum();
+        self.finish(s, out, Source::SumAll { p })
     }
 
     /// Mean of all elements → 1×1.
     pub fn mean_all(&mut self, p: Var) -> Var {
+        let (s, mut out) = self.new_slot();
+        out.reset_to(1, 1);
         let n = self.value(p).len() as f32;
-        let v = Matrix::full(1, 1, self.value(p).sum() / n);
-        self.push(v, Source::MeanAll { p })
+        out.as_mut_slice()[0] = self.value(p).sum() / n;
+        self.finish(s, out, Source::MeanAll { p })
     }
 
     /// Squared Frobenius norm → 1×1.
     pub fn frob_sq(&mut self, p: Var) -> Var {
-        let v = Matrix::full(1, 1, self.value(p).frob_sq());
-        self.push(v, Source::FrobSq { p })
+        let (s, mut out) = self.new_slot();
+        out.reset_to(1, 1);
+        out.as_mut_slice()[0] = self.value(p).frob_sq();
+        self.finish(s, out, Source::FrobSq { p })
     }
 
     /// Broadcast-adds a 1×d row vector over the rows of an n×d matrix.
     pub fn add_row(&mut self, m: Var, row: Var) -> Var {
-        let (_, mc) = self.shape(m);
+        let (mr, mc) = self.shape(m);
         let (rr, rc) = self.shape(row);
         assert_eq!((rr, rc), (1, mc), "add_row: bias must be 1x{mc}, got {rr}x{rc}");
-        let bias = self.value(row).as_slice().to_vec();
-        let mut out = self.value(m).clone();
-        for r in 0..out.rows() {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias) {
-                *o += b;
-            }
+        let (s, mut out) = self.new_slot();
+        out.reset_to(mr, mc);
+        out.as_mut_slice().copy_from_slice(self.value(m).as_slice());
+        let bias = self.value(row);
+        for r in 0..mr {
+            kernels::add_assign(out.row_mut(r), bias.as_slice());
         }
-        self.push(out, Source::AddRow { m, row })
+        self.finish(s, out, Source::AddRow { m, row })
     }
 
     /// Numerically stable mean binary cross-entropy over an n×1 logit
@@ -304,14 +505,17 @@ impl<'p> Graph<'p> {
         let (n, c) = self.shape(logits);
         assert_eq!(c, 1, "bce_with_logits expects an n×1 logit column");
         assert_eq!(n, targets.len(), "bce_with_logits: {n} logits vs {} targets", targets.len());
+        let range = self.stage_f32(targets);
+        let (s, mut out) = self.new_slot();
+        out.reset_to(1, 1);
         let x = self.value(logits).as_slice();
         let mut total = 0.0f64;
         for (&xi, &ti) in x.iter().zip(targets) {
             debug_assert!((0.0..=1.0).contains(&ti), "target {ti} outside [0,1]");
             total += (xi.max(0.0) - xi * ti + (-xi.abs()).exp().ln_1p()) as f64;
         }
-        let v = Matrix::full(1, 1, (total / n as f64) as f32);
-        self.push(v, Source::BceWithLogits { logits, targets: targets.into() })
+        out.as_mut_slice()[0] = (total / n as f64) as f32;
+        self.finish(s, out, Source::BceWithLogits { logits, targets: range })
     }
 
     /// Mean Bayesian Personalized Ranking loss `−mean ln σ(xᵖ − xⁿ)` over
@@ -320,6 +524,8 @@ impl<'p> Graph<'p> {
         let (n, c) = self.shape(pos);
         assert_eq!(c, 1, "bpr_loss expects n×1 logit columns");
         assert_eq!((n, c), self.shape(neg), "bpr_loss: pos/neg shape mismatch");
+        let (s, mut out) = self.new_slot();
+        out.reset_to(1, 1);
         let p = self.value(pos).as_slice();
         let q = self.value(neg).as_slice();
         let mut total = 0.0f64;
@@ -328,8 +534,8 @@ impl<'p> Graph<'p> {
             // −ln σ(d) = softplus(−d), computed stably
             total += ((-d).max(0.0) + (-(-d).abs()).exp().ln_1p()) as f64;
         }
-        let v = Matrix::full(1, 1, (total / n as f64) as f32);
-        self.push(v, Source::BprLoss { pos, neg })
+        out.as_mut_slice()[0] = (total / n as f64) as f32;
+        self.finish(s, out, Source::BprLoss { pos, neg })
     }
 
     /// Inverted dropout with the given drop `rate`: each element is zeroed
@@ -343,215 +549,376 @@ impl<'p> Graph<'p> {
         }
         let keep = 1.0 - rate;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..self.value(p).len())
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
-        let v = {
-            let x = self.value(p);
-            let mut out = x.clone();
-            for (o, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
-                *o *= m;
+        let n = self.value(p).len();
+        let range = {
+            let a = self.arena_mut();
+            let start = a.f32_buf.len();
+            for _ in 0..n {
+                a.f32_buf.push(if rng.gen::<f32>() < keep { scale } else { 0.0 });
             }
-            out
+            (start, n)
         };
-        self.push(v, Source::Dropout { p, mask: mask.into() })
+        let (s, mut out) = self.new_slot();
+        {
+            let x = self.value(p);
+            out.reset_to(x.rows(), x.cols());
+            let mask = self.arena().f32_range(range);
+            for ((o, &v), &m) in out.as_mut_slice().iter_mut().zip(x.as_slice()).zip(mask) {
+                *o = v * m;
+            }
+        }
+        self.finish(s, out, Source::Dropout { p, mask: range })
     }
 
     /// Runs the chain rule backwards from the 1×1 node `loss`, returning
-    /// gradients for every parameter the loss depends on.
+    /// gradients for every parameter the loss depends on. Gradients are
+    /// accumulated in the arena's pooled buffers; recycled [`Grads`]
+    /// storage (see [`GraphArena::recycle`]) is reused when available.
     ///
     /// # Panics
     /// If `loss` is not 1×1.
-    pub fn backward(&self, loss: Var) -> Grads {
+    pub fn backward(&mut self, loss: Var) -> Grads {
         assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1×1 scalar");
-        let mut node_grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
-        let mut grads = Grads::new_for(self.params);
-        node_grads[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        let n = self.arena().nodes.len();
+        let params_len = self.params.len();
+        {
+            let a = self.arena_mut();
+            if a.gvals.len() < n {
+                a.gvals.resize_with(n, Matrix::default);
+            }
+            a.gset.clear();
+            a.gset.resize(n, false);
+            if a.spare_bufs.len() < params_len {
+                a.spare_bufs.resize_with(params_len, || None);
+            }
+        }
+        let mut grads = match self.arena_mut().spare_grads.take() {
+            Some(mut g) => {
+                g.reset_for(self.params);
+                g
+            }
+            None => Grads::new_for(self.params),
+        };
+        {
+            let a = self.arena_mut();
+            a.gvals[loss.0].reset_to(1, 1);
+            a.gvals[loss.0].as_mut_slice()[0] = 1.0;
+            a.gset[loss.0] = true;
+        }
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = node_grads[i].take() else { continue };
-            match &self.nodes[i].src {
+            if !self.arena().gset[i] {
+                continue;
+            }
+            let g = std::mem::take(&mut self.arena_mut().gvals[i]);
+            let src = self.arena().nodes[i].src.clone();
+            match src {
                 Source::Leaf => {}
-                Source::Param(id) => {
-                    grads
-                        .slot_mut(*id)
-                        .get_or_insert_with(|| {
-                            GradBuf::Dense(Matrix::zeros_like(self.params.get(*id)))
-                        })
-                        .add_dense(&g);
+                Source::Param(_) => {
+                    // the seed node was the parameter itself
+                    self.add_to(&mut grads, Var(i), |_, d| {
+                        kernels::add_assign(d.as_mut_slice(), g.as_slice());
+                    });
                 }
                 Source::Unary { p, op } => {
-                    let dg = match op {
-                        UnaryOp::Sigmoid => {
-                            // y(1-y) in terms of the stored output
-                            let y = self.value(Var(i));
-                            y.zip_map(&g, |y, g| y * (1.0 - y) * g)
+                    self.add_to(&mut grads, p, |s, d| {
+                        let gs = g.as_slice();
+                        let dst = d.as_mut_slice();
+                        match op {
+                            UnaryOp::Sigmoid => {
+                                // y(1-y) in terms of the stored output
+                                let y = s.value(Var(i)).as_slice();
+                                for k in 0..dst.len() {
+                                    dst[k] += y[k] * (1.0 - y[k]) * gs[k];
+                                }
+                            }
+                            UnaryOp::Relu => {
+                                let x = s.value(p).as_slice();
+                                for k in 0..dst.len() {
+                                    dst[k] += if x[k] > 0.0 { gs[k] } else { 0.0 };
+                                }
+                            }
+                            UnaryOp::LeakyRelu(a) => {
+                                let x = s.value(p).as_slice();
+                                for k in 0..dst.len() {
+                                    dst[k] += if x[k] > 0.0 { gs[k] } else { a * gs[k] };
+                                }
+                            }
+                            UnaryOp::Tanh => {
+                                let y = s.value(Var(i)).as_slice();
+                                for k in 0..dst.len() {
+                                    dst[k] += (1.0 - y[k] * y[k]) * gs[k];
+                                }
+                            }
+                            UnaryOp::Neg => {
+                                for k in 0..dst.len() {
+                                    dst[k] -= gs[k];
+                                }
+                            }
                         }
-                        UnaryOp::Relu => {
-                            self.value(*p).zip_map(&g, |x, g| if x > 0.0 { g } else { 0.0 })
-                        }
-                        UnaryOp::LeakyRelu(a) => {
-                            let a = *a;
-                            self.value(*p).zip_map(&g, move |x, g| if x > 0.0 { g } else { a * g })
-                        }
-                        UnaryOp::Tanh => {
-                            let y = self.value(Var(i));
-                            y.zip_map(&g, |y, g| (1.0 - y * y) * g)
-                        }
-                        UnaryOp::Neg => g.map(|x| -x),
-                    };
-                    self.accumulate(&mut node_grads, &mut grads, *p, dg);
+                    });
                 }
                 Source::Binary { a, b, op } => match op {
                     BinOp::Add => {
-                        self.accumulate(&mut node_grads, &mut grads, *a, g.clone());
-                        self.accumulate(&mut node_grads, &mut grads, *b, g);
+                        self.add_to(&mut grads, a, |_, d| {
+                            kernels::add_assign(d.as_mut_slice(), g.as_slice());
+                        });
+                        self.add_to(&mut grads, b, |_, d| {
+                            kernels::add_assign(d.as_mut_slice(), g.as_slice());
+                        });
                     }
                     BinOp::Sub => {
-                        self.accumulate(&mut node_grads, &mut grads, *a, g.clone());
-                        self.accumulate(&mut node_grads, &mut grads, *b, g.map(|x| -x));
+                        self.add_to(&mut grads, a, |_, d| {
+                            kernels::add_assign(d.as_mut_slice(), g.as_slice());
+                        });
+                        self.add_to(&mut grads, b, |_, d| {
+                            for (dd, &gv) in d.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                                *dd -= gv;
+                            }
+                        });
                     }
                     BinOp::Mul => {
-                        let da = self.value(*b).zip_map(&g, |b, g| b * g);
-                        let db = self.value(*a).zip_map(&g, |a, g| a * g);
-                        self.accumulate(&mut node_grads, &mut grads, *a, da);
-                        self.accumulate(&mut node_grads, &mut grads, *b, db);
+                        self.add_to(&mut grads, a, |s, d| {
+                            let bv = s.value(b).as_slice();
+                            let gs = g.as_slice();
+                            for (k, dd) in d.as_mut_slice().iter_mut().enumerate() {
+                                *dd += bv[k] * gs[k];
+                            }
+                        });
+                        self.add_to(&mut grads, b, |s, d| {
+                            let av = s.value(a).as_slice();
+                            let gs = g.as_slice();
+                            for (k, dd) in d.as_mut_slice().iter_mut().enumerate() {
+                                *dd += av[k] * gs[k];
+                            }
+                        });
                     }
                 },
                 Source::MatMul { a, b } => {
-                    let da = g.matmul(&self.value(*b).transpose());
-                    let db = self.value(*a).transpose().matmul(&g);
-                    self.accumulate(&mut node_grads, &mut grads, *a, da);
-                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                    // dA += g × Bᵀ, dB += Aᵀ × g — both transpose-free
+                    self.add_to(&mut grads, a, |s, d| g.matmul_nt_acc(s.value(b), d));
+                    self.add_to(&mut grads, b, |s, d| s.value(a).matmul_tn_acc(&g, d));
                 }
                 Source::Spmm { prop, b } => {
-                    let db = prop.backward().matmul(&g);
-                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                    self.add_to(&mut grads, b, |_, d| prop.backward().matmul_acc(&g, d));
                 }
                 Source::Gather { src, idx } => {
-                    // Row-sparse fast path straight into a parameter table.
-                    if let Source::Param(id) = &self.nodes[src.0].src {
-                        let cols = self.params.get(*id).cols();
-                        grads
-                            .slot_mut(*id)
-                            .get_or_insert_with(|| GradBuf::Rows(RowSparse::new(cols)))
-                            .add_rows(idx, &g);
+                    let param_src = match &self.arena().nodes[src.0].src {
+                        Source::Param(id) => Some(*id),
+                        _ => None,
+                    };
+                    if let Some(id) = param_src {
+                        // Row-sparse fast path straight into a parameter table.
+                        let cols = self.params.get(id).cols();
+                        self.ensure_param_rows(&mut grads, id, cols);
+                        let idx_s = self.arena().idx_range(idx);
+                        if let Some(buf) = grads.slot_mut(id).as_mut() {
+                            buf.add_rows(idx_s, &g);
+                        }
                     } else {
-                        let mut dsrc = Matrix::zeros_like(self.value(*src));
-                        dsrc.scatter_add_rows(idx, &g);
-                        self.accumulate(&mut node_grads, &mut grads, *src, dsrc);
+                        self.add_to(&mut grads, src, |s, d| {
+                            d.scatter_add_rows(s.arena().idx_range(idx), &g);
+                        });
                     }
                 }
                 Source::ConcatCols { a, b } => {
-                    let ac = self.value(*a).cols();
-                    let (gr, gc) = g.shape();
-                    let mut da = Matrix::zeros(gr, ac);
-                    let mut db = Matrix::zeros(gr, gc - ac);
-                    for r in 0..gr {
-                        da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
-                        db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
-                    }
-                    self.accumulate(&mut node_grads, &mut grads, *a, da);
-                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                    let ac = self.shape(a).1;
+                    self.add_to(&mut grads, a, |_, d| {
+                        for r in 0..g.rows() {
+                            kernels::add_assign(d.row_mut(r), &g.row(r)[..ac]);
+                        }
+                    });
+                    self.add_to(&mut grads, b, |_, d| {
+                        for r in 0..g.rows() {
+                            kernels::add_assign(d.row_mut(r), &g.row(r)[ac..]);
+                        }
+                    });
                 }
                 Source::RowDot { a, b } => {
-                    let av = self.value(*a);
-                    let bv = self.value(*b);
-                    let mut da = Matrix::zeros_like(av);
-                    let mut db = Matrix::zeros_like(bv);
-                    for r in 0..av.rows() {
-                        let gr = g.get(r, 0);
-                        for (c, (&x, &y)) in av.row(r).iter().zip(bv.row(r)).enumerate() {
-                            da.row_mut(r)[c] = gr * y;
-                            db.row_mut(r)[c] = gr * x;
+                    self.add_to(&mut grads, a, |s, d| {
+                        let bv = s.value(b);
+                        for r in 0..bv.rows() {
+                            kernels::axpy(g.as_slice()[r], bv.row(r), d.row_mut(r));
                         }
-                    }
-                    self.accumulate(&mut node_grads, &mut grads, *a, da);
-                    self.accumulate(&mut node_grads, &mut grads, *b, db);
+                    });
+                    self.add_to(&mut grads, b, |s, d| {
+                        let av = s.value(a);
+                        for r in 0..av.rows() {
+                            kernels::axpy(g.as_slice()[r], av.row(r), d.row_mut(r));
+                        }
+                    });
                 }
                 Source::SumAll { p } => {
-                    let s = g.scalar();
-                    let dp = Matrix::full(self.value(*p).rows(), self.value(*p).cols(), s);
-                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                    let sv = g.scalar();
+                    self.add_to(&mut grads, p, |_, d| {
+                        for dd in d.as_mut_slice() {
+                            *dd += sv;
+                        }
+                    });
                 }
                 Source::MeanAll { p } => {
-                    let n = self.value(*p).len() as f32;
-                    let s = g.scalar() / n;
-                    let dp = Matrix::full(self.value(*p).rows(), self.value(*p).cols(), s);
-                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                    let nf = self.value(p).len() as f32;
+                    let sv = g.scalar() / nf;
+                    self.add_to(&mut grads, p, |_, d| {
+                        for dd in d.as_mut_slice() {
+                            *dd += sv;
+                        }
+                    });
                 }
                 Source::FrobSq { p } => {
-                    let s = g.scalar();
-                    let dp = self.value(*p).map(|x| 2.0 * s * x);
-                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                    let sv = g.scalar();
+                    self.add_to(&mut grads, p, |s, d| {
+                        let x = s.value(p).as_slice();
+                        for (dd, &xv) in d.as_mut_slice().iter_mut().zip(x) {
+                            *dd += 2.0 * sv * xv;
+                        }
+                    });
                 }
                 Source::AddRow { m, row } => {
-                    let drow = g.col_sums();
-                    self.accumulate(&mut node_grads, &mut grads, *m, g);
-                    self.accumulate(&mut node_grads, &mut grads, *row, drow);
+                    self.add_to(&mut grads, m, |_, d| {
+                        kernels::add_assign(d.as_mut_slice(), g.as_slice());
+                    });
+                    self.add_to(&mut grads, row, |_, d| {
+                        for r in 0..g.rows() {
+                            kernels::add_assign(d.as_mut_slice(), g.row(r));
+                        }
+                    });
                 }
                 Source::Scale { p, c } => {
-                    let c = *c;
-                    self.accumulate(&mut node_grads, &mut grads, *p, g.map(|x| c * x));
+                    self.add_to(&mut grads, p, |_, d| {
+                        kernels::axpy(c, g.as_slice(), d.as_mut_slice());
+                    });
                 }
                 Source::BceWithLogits { logits, targets } => {
-                    let s = g.scalar();
-                    let n = targets.len() as f32;
-                    let x = self.value(*logits);
-                    let mut dl = Matrix::zeros(targets.len(), 1);
-                    for (r, &t) in targets.iter().enumerate() {
-                        dl.set(r, 0, s * (sigmoid(x.get(r, 0)) - t) / n);
-                    }
-                    self.accumulate(&mut node_grads, &mut grads, *logits, dl);
+                    let sv = g.scalar();
+                    self.add_to(&mut grads, logits, |s, d| {
+                        let x = s.value(logits).as_slice();
+                        let t = s.arena().f32_range(targets);
+                        let nf = t.len() as f32;
+                        for (k, &ti) in t.iter().enumerate() {
+                            d.as_mut_slice()[k] += sv * (sigmoid(x[k]) - ti) / nf;
+                        }
+                    });
                 }
                 Source::BprLoss { pos, neg } => {
-                    let s = g.scalar();
-                    let p = self.value(*pos);
-                    let q = self.value(*neg);
-                    let n = p.rows() as f32;
-                    let mut dp = Matrix::zeros(p.rows(), 1);
-                    let mut dq = Matrix::zeros(p.rows(), 1);
-                    for r in 0..p.rows() {
-                        // d/dxp [−ln σ(xp−xn)] = σ(xn−xp)
-                        let coeff = s * sigmoid(q.get(r, 0) - p.get(r, 0)) / n;
-                        dp.set(r, 0, -coeff);
-                        dq.set(r, 0, coeff);
-                    }
-                    self.accumulate(&mut node_grads, &mut grads, *pos, dp);
-                    self.accumulate(&mut node_grads, &mut grads, *neg, dq);
+                    let sv = g.scalar();
+                    // d/dxp [−ln σ(xp−xn)] = −σ(xn−xp); the negative of dxn
+                    self.add_to(&mut grads, pos, |s, d| {
+                        let pv = s.value(pos).as_slice();
+                        let qv = s.value(neg).as_slice();
+                        let nf = pv.len() as f32;
+                        for (k, dd) in d.as_mut_slice().iter_mut().enumerate() {
+                            *dd -= sv * sigmoid(qv[k] - pv[k]) / nf;
+                        }
+                    });
+                    self.add_to(&mut grads, neg, |s, d| {
+                        let pv = s.value(pos).as_slice();
+                        let qv = s.value(neg).as_slice();
+                        let nf = pv.len() as f32;
+                        for (k, dd) in d.as_mut_slice().iter_mut().enumerate() {
+                            *dd += sv * sigmoid(qv[k] - pv[k]) / nf;
+                        }
+                    });
                 }
                 Source::Dropout { p, mask } => {
-                    let mut dp = g;
-                    for (d, &m) in dp.as_mut_slice().iter_mut().zip(mask.iter()) {
-                        *d *= m;
-                    }
-                    self.accumulate(&mut node_grads, &mut grads, *p, dp);
+                    self.add_to(&mut grads, p, |s, d| {
+                        let mv = s.arena().f32_range(mask);
+                        let gs = g.as_slice();
+                        for (k, dd) in d.as_mut_slice().iter_mut().enumerate() {
+                            *dd += gs[k] * mv[k];
+                        }
+                    });
                 }
             }
+            // return the buffer so the next backward reuses its capacity
+            self.arena_mut().gvals[i] = g;
         }
         grads
     }
 
-    fn accumulate(
-        &self,
-        node_grads: &mut [Option<Matrix>],
-        grads: &mut Grads,
-        target: Var,
-        g: Matrix,
-    ) {
-        match &self.nodes[target.0].src {
-            Source::Leaf => {} // constants absorb nothing
-            Source::Param(id) => {
-                grads
-                    .slot_mut(*id)
-                    .get_or_insert_with(|| GradBuf::Dense(Matrix::zeros_like(self.params.get(*id))))
-                    .add_dense(&g);
+    /// Adds a gradient contribution to `target`: takes its destination
+    /// buffer (node-grad pool or parameter slot), lets `f` accumulate
+    /// into it, and returns it. Leaves absorb nothing.
+    fn add_to(&mut self, grads: &mut Grads, target: Var, f: impl FnOnce(&Self, &mut Matrix)) {
+        let Some((slot, mut dst)) = self.take_dest(grads, target) else { return };
+        f(self, &mut dst);
+        self.put_dest(grads, slot, dst);
+    }
+
+    fn take_dest(&mut self, grads: &mut Grads, target: Var) -> Option<(DestSlot, Matrix)> {
+        let param_id = match &self.arena().nodes[target.0].src {
+            Source::Leaf => return None, // constants absorb nothing
+            Source::Param(id) => Some(*id),
+            _ => None,
+        };
+        if let Some(id) = param_id {
+            Some((DestSlot::Param(id), self.take_param_dense(grads, id)))
+        } else {
+            let t = target.0;
+            if !self.arena().gset[t] {
+                let (r, c) = self.shape(target);
+                let a = self.arena_mut();
+                a.gvals[t].reset_to(r, c);
+                a.gset[t] = true;
             }
-            _ => match &mut node_grads[target.0] {
-                Some(acc) => acc.add_assign(&g),
-                slot @ None => *slot = Some(g),
-            },
+            Some((DestSlot::Node(t), std::mem::take(&mut self.arena_mut().gvals[t])))
         }
+    }
+
+    fn put_dest(&mut self, grads: &mut Grads, slot: DestSlot, m: Matrix) {
+        match slot {
+            DestSlot::Node(t) => self.arena_mut().gvals[t] = m,
+            DestSlot::Param(id) => *grads.slot_mut(id) = Some(GradBuf::Dense(m)),
+        }
+    }
+
+    /// Takes the dense gradient matrix for parameter `id`, creating (or
+    /// recycling) a zeroed one on first touch and promoting a row-sparse
+    /// buffer if a dense contribution arrives on top of gathered rows.
+    fn take_param_dense(&mut self, grads: &mut Grads, id: ParamId) -> Matrix {
+        match grads.slot_mut(id).take() {
+            Some(GradBuf::Dense(m)) => m,
+            Some(GradBuf::Rows(rs)) => {
+                // rare: the same table fed both a gather and a dense op
+                let mut d = self.fresh_param_dense(id);
+                rs.add_into_dense(&mut d);
+                d
+            }
+            None => self.fresh_param_dense(id),
+        }
+    }
+
+    /// A zeroed dense gradient for `id`, recycled from the arena's spare
+    /// buffers when one of the right kind is parked there.
+    fn fresh_param_dense(&mut self, id: ParamId) -> Matrix {
+        let (r, c) = self.params.get(id).shape();
+        let slot = &mut self.arena_mut().spare_bufs[id.index()];
+        if matches!(slot, Some(GradBuf::Dense(_))) {
+            if let Some(GradBuf::Dense(mut m)) = slot.take() {
+                m.reset_to(r, c);
+                return m;
+            }
+        }
+        Matrix::zeros(r, c)
+    }
+
+    /// Ensures parameter `id` has a gradient buffer for row-sparse
+    /// accumulation, recycling a parked one when its width matches.
+    fn ensure_param_rows(&mut self, grads: &mut Grads, id: ParamId, cols: usize) {
+        if grads.get(id).is_some() {
+            return;
+        }
+        let slot = &mut self.arena_mut().spare_bufs[id.index()];
+        let take_spare = matches!(slot, Some(GradBuf::Rows(rs)) if rs.cols() == cols);
+        let rs = if take_spare {
+            match slot.take() {
+                Some(GradBuf::Rows(rs)) => rs,
+                _ => unreachable!(),
+            }
+        } else {
+            RowSparse::new(cols)
+        };
+        *grads.slot_mut(id) = Some(GradBuf::Rows(rs));
     }
 }
 
@@ -936,6 +1303,174 @@ mod tests {
         let l = g.sum_all(y);
         let grads = g.backward(l); // must not panic on the leaf
         assert_eq!(grads.num_touched(), 1);
+    }
+
+    /// The NeuMF shape in miniature: MLP over a leaf plus a gathered
+    /// embedding interaction, exercising most op kinds in one tape.
+    fn composite_loss(g: &mut Graph, x: &Matrix, targets: &[f32]) -> Var {
+        let xv = g.leaf_ref(x);
+        let w1 = g.param(ParamId(0));
+        let b1 = g.param(ParamId(1));
+        let emb = g.param(ParamId(2));
+        let h = g.matmul(xv, w1);
+        let h = g.add_row(h, b1);
+        let h = g.leaky_relu(h, 0.2);
+        let rows = g.gather(emb, &[0, 2, 2, 5, 1]);
+        let d = g.row_dot(h, rows);
+        let fit = g.bce_with_logits(d, targets);
+        let reg = g.frob_sq(emb);
+        let reg = g.scale(reg, 1e-3);
+        g.add(fit, reg)
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_across_batches() {
+        let mut p = Params::new();
+        p.push("w1", test_matrix(4, 3, 0.9));
+        p.push("b1", test_matrix(1, 3, 0.2));
+        p.push("emb", test_matrix(6, 3, 1.0));
+        let x = test_matrix(5, 4, 1.0);
+        let targets = [1.0, 0.0, 1.0, 0.0, 1.0];
+
+        // reference: a fresh single-use graph
+        let (ref_grads, ref_loss) = {
+            let mut g = Graph::new(&p);
+            let l = composite_loss(&mut g, &x, &targets);
+            (g.backward(l), g.scalar(l))
+        };
+
+        // reused arena with grad-buffer recycling: every round must match
+        // the fresh graph bit for bit
+        let mut arena = GraphArena::new();
+        for round in 0..3 {
+            let grads = {
+                let mut g = Graph::with_arena(&p, &mut arena);
+                let l = composite_loss(&mut g, &x, &targets);
+                let loss = g.scalar(l);
+                assert_eq!(loss.to_bits(), ref_loss.to_bits(), "loss differs in round {round}");
+                g.backward(l)
+            };
+            for (id, _, _) in p.iter() {
+                assert_eq!(
+                    grads.dense(id, &p).as_slice(),
+                    ref_grads.dense(id, &p).as_slice(),
+                    "grad for param {} differs in round {round}",
+                    id.index()
+                );
+            }
+            arena.recycle(grads);
+        }
+    }
+
+    #[test]
+    fn ngcf_style_arena_reuse_is_bit_identical() {
+        // the NGCF layer shape: sparse propagation, element-wise affinity,
+        // dropout (with a reseeded mask each round), tanh, column concat
+        let adj = Csr::from_triplets(
+            4,
+            4,
+            &[(0, 1, 0.5), (1, 0, 0.5), (1, 2, 0.7), (2, 1, 0.7), (3, 3, 1.0)],
+        );
+        let prop = PropagationMatrix::new(adj);
+        let mut p = Params::new();
+        let emb = p.push("emb", test_matrix(4, 3, 1.1));
+        let w1 = p.push("w1", test_matrix(3, 3, 0.8));
+
+        let layer = |g: &mut Graph| {
+            let e = g.param(emb);
+            let w = g.param(w1);
+            let side = g.spmm(&prop, e);
+            let aff = g.mul(side, e);
+            let lin = g.matmul(aff, w);
+            let mut rng = crate::test_rng(40);
+            let drop = g.dropout(lin, 0.3, &mut rng);
+            let act = g.tanh(drop);
+            let both = g.concat_cols(act, e);
+            g.frob_sq(both)
+        };
+
+        let (ref_grads, ref_loss) = {
+            let mut g = Graph::new(&p);
+            let l = layer(&mut g);
+            (g.backward(l), g.scalar(l))
+        };
+        let mut arena = GraphArena::new();
+        for round in 0..3 {
+            let grads = {
+                let mut g = Graph::with_arena(&p, &mut arena);
+                let l = layer(&mut g);
+                assert_eq!(g.scalar(l).to_bits(), ref_loss.to_bits(), "round {round}");
+                g.backward(l)
+            };
+            for id in [emb, w1] {
+                assert_eq!(
+                    grads.dense(id, &p).as_slice(),
+                    ref_grads.dense(id, &p).as_slice(),
+                    "grad for param {} differs in round {round}",
+                    id.index()
+                );
+            }
+            arena.recycle(grads);
+        }
+    }
+
+    #[test]
+    fn arena_recycles_row_sparse_buffers_without_leaking_rows() {
+        let mut p = Params::new();
+        let emb = p.push("emb", test_matrix(6, 3, 1.0));
+        let mut arena = GraphArena::new();
+        // round 1 touches rows {4, 1}
+        let grads = {
+            let mut g = Graph::with_arena(&p, &mut arena);
+            let e = g.param(emb);
+            let rows = g.gather(e, &[4, 1, 4]);
+            let l = g.sum_all(rows);
+            g.backward(l)
+        };
+        assert!(matches!(grads.get(emb), Some(GradBuf::Rows(rs)) if rs.num_rows() == 2));
+        arena.recycle(grads);
+        // round 2 touches row {0} only — recycled buffer must not leak 4/1
+        let grads = {
+            let mut g = Graph::with_arena(&p, &mut arena);
+            let e = g.param(emb);
+            let rows = g.gather(e, &[0]);
+            let l = g.sum_all(rows);
+            g.backward(l)
+        };
+        match grads.get(emb) {
+            Some(GradBuf::Rows(rs)) => {
+                assert_eq!(rs.num_rows(), 1);
+                let d = rs.to_dense(6);
+                assert_eq!(d.row(0), &[1.0, 1.0, 1.0]);
+                assert_eq!(d.row(4), &[0.0, 0.0, 0.0]);
+            }
+            other => panic!("expected recycled row-sparse grad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arena_handles_shrinking_graphs() {
+        let mut p = Params::new();
+        p.push("w", test_matrix(3, 3, 1.0));
+        let mut arena = GraphArena::new();
+        {
+            let mut g = Graph::with_arena(&p, &mut arena);
+            let w = g.param(ParamId(0));
+            let s = g.sigmoid(w);
+            let t = g.tanh(s);
+            let l = g.frob_sq(t);
+            let _ = g.backward(l);
+        }
+        // a smaller follow-up graph over the same arena must not see any
+        // stale nodes, values, or gradient flags
+        {
+            let mut g = Graph::with_arena(&p, &mut arena);
+            let w = g.param(ParamId(0));
+            let l = g.sum_all(w);
+            let grads = g.backward(l);
+            let d = grads.dense(ParamId(0), &p);
+            assert!(d.as_slice().iter().all(|&v| v == 1.0), "stale arena state leaked: {d:?}");
+        }
     }
 }
 

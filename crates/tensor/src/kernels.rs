@@ -1,0 +1,447 @@
+//! Env-selectable compute kernels for the workspace's f32 hot loops.
+//!
+//! Every dot product, AXPY, reduction and fused SGD update in the
+//! workspace routes through this module, which dispatches between two
+//! backends:
+//!
+//! * [`Backend::Scalar`] — sequential reference loops
+//!   (`PTF_KERNEL=scalar`). Reductions accumulate left-to-right in one
+//!   chain.
+//! * [`Backend::Vector`] — the default: **reductions** ([`dot`],
+//!   [`sum`], [`frob_sq`]) use 8-lane chunked accumulation with
+//!   independent per-lane partials, the one transform LLVM cannot apply
+//!   itself (reassociating an f32 sum changes rounding), and the one
+//!   that makes a dim-32 dot ~2.5× faster here. Plain `a * b + acc`
+//!   per lane; `f32::mul_add` is deliberately avoided because baseline
+//!   x86-64 has no FMA and it lowers to a libm call. Chunked results
+//!   may differ from the scalar chain at the ulp level (see
+//!   `tests/kernel_parity.rs`).
+//!
+//! **Element-wise kernels** ([`axpy`], [`add_assign`],
+//! [`mf_sgd_update`], [`adam_update`]) are backend-independent — both
+//! backends run the same sequential loop and are therefore trivially
+//! bit-identical. This is a measured decision, not an omission: an
+//! element-wise loop has no reassociation barrier, so LLVM already
+//! auto-vectorizes the plain form; an earlier hand-chunked 8-lane
+//! variant of these kernels benchmarked 1.5–1.8× *slower* end-to-end
+//! on the axpy-heavy autograd models (NGCF 8.4 → 14.5 ms/batch) — the
+//! chunk/remainder bookkeeping defeated the optimizer on the many
+//! short slices the tape emits.
+//!
+//! Both backends are pure functions of their inputs: results are
+//! independent of thread count, so the determinism suite passes under
+//! either. The backend is process-global, read once from `PTF_KERNEL`
+//! on first use; benchmarks may override it with [`set_backend`] to A/B
+//! both in one process (single-threaded phases only — flipping the
+//! backend mid-flight changes results, not soundness).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A compute-kernel implementation choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Sequential reference loops (bit-exact baseline, `PTF_KERNEL=scalar`).
+    Scalar,
+    /// Chunked 8-lane accumulation (the default).
+    Vector,
+}
+
+impl Backend {
+    /// Stable name, as accepted by `PTF_KERNEL` and recorded by benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Vector => "vector",
+        }
+    }
+}
+
+const UNSET: u8 = 0;
+const SCALAR: u8 = 1;
+const VECTOR: u8 = 2;
+
+static BACKEND: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active backend: `PTF_KERNEL=scalar` forces the reference loops,
+/// anything else (including unset) selects the vectorized default. Read
+/// lazily on first use and cached; [`set_backend`] overrides it.
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        SCALAR => Backend::Scalar,
+        VECTOR => Backend::Vector,
+        _ => {
+            let b = match std::env::var("PTF_KERNEL").as_deref() {
+                Ok("scalar") => Backend::Scalar,
+                _ => Backend::Vector,
+            };
+            set_backend(b);
+            b
+        }
+    }
+}
+
+/// Overrides the process-global backend (benchmark A/B knob). Callers
+/// must not flip this while other threads are inside kernel calls.
+pub fn set_backend(b: Backend) {
+    let v = match b {
+        Backend::Scalar => SCALAR,
+        Backend::Vector => VECTOR,
+    };
+    BACKEND.store(v, Ordering::Relaxed);
+}
+
+const LANES: usize = 8;
+
+/// Dot product `⟨a, b⟩` (reduction: backends may differ by ulps).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_with(backend(), a, b)
+}
+
+/// [`dot`] with an explicit backend (parity tests, reference checks).
+#[inline]
+pub fn dot_with(backend: Backend, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match backend {
+        Backend::Scalar => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
+        Backend::Vector => {
+            // short slices (the tape's length-1 output layers) skip the
+            // lane machinery entirely — the result is the same pure
+            // left-to-right chain the remainder loop would compute
+            if a.len() < LANES {
+                return a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+            }
+            let mut acc = [0.0f32; LANES];
+            let ca = a.chunks_exact(LANES);
+            let cb = b.chunks_exact(LANES);
+            let (ra, rb) = (ca.remainder(), cb.remainder());
+            for (xa, xb) in ca.zip(cb) {
+                for l in 0..LANES {
+                    acc[l] += xa[l] * xb[l];
+                }
+            }
+            let mut tail = 0.0f32;
+            for (&x, &y) in ra.iter().zip(rb) {
+                tail += x * y;
+            }
+            reduce_lanes(&acc) + tail
+        }
+    }
+}
+
+/// Sum of all elements (reduction: backends may differ by ulps).
+#[inline]
+pub fn sum(x: &[f32]) -> f32 {
+    sum_with(backend(), x)
+}
+
+/// [`sum`] with an explicit backend.
+#[inline]
+pub fn sum_with(backend: Backend, x: &[f32]) -> f32 {
+    match backend {
+        Backend::Scalar => x.iter().sum(),
+        Backend::Vector => {
+            if x.len() < LANES {
+                return x.iter().sum();
+            }
+            let mut acc = [0.0f32; LANES];
+            let chunks = x.chunks_exact(LANES);
+            let rem = chunks.remainder();
+            for c in chunks {
+                for l in 0..LANES {
+                    acc[l] += c[l];
+                }
+            }
+            let mut tail = 0.0f32;
+            for &v in rem {
+                tail += v;
+            }
+            reduce_lanes(&acc) + tail
+        }
+    }
+}
+
+/// Squared Frobenius norm `Σ xᵢ²` (reduction: backends may differ by ulps).
+#[inline]
+pub fn frob_sq(x: &[f32]) -> f32 {
+    frob_sq_with(backend(), x)
+}
+
+/// [`frob_sq`] with an explicit backend.
+#[inline]
+pub fn frob_sq_with(backend: Backend, x: &[f32]) -> f32 {
+    match backend {
+        Backend::Scalar => x.iter().map(|v| v * v).sum(),
+        Backend::Vector => dot_with(Backend::Vector, x, x),
+    }
+}
+
+/// `y += alpha * x` (element-wise: backend-independent, see module docs).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_with(backend(), alpha, x, y)
+}
+
+/// [`axpy`] with an explicit backend (accepted for API uniformity —
+/// element-wise kernels run the same loop under both).
+#[inline]
+pub fn axpy_with(_backend: Backend, alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (y, &x) in y.iter_mut().zip(x) {
+        *y += alpha * x;
+    }
+}
+
+/// `y += x` (element-wise: backend-independent, see module docs).
+#[inline]
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    add_assign_with(backend(), y, x)
+}
+
+/// [`add_assign`] with an explicit backend (accepted for API
+/// uniformity — element-wise kernels run the same loop under both).
+#[inline]
+pub fn add_assign_with(_backend: Backend, y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    for (y, &x) in y.iter_mut().zip(x) {
+        *y += x;
+    }
+}
+
+/// Fused per-sample MF SGD update from pre-step values (element-wise:
+/// backend-independent, see module docs):
+/// `uₖ ← uₖ − lr·(err·vₖ + reg·uₖ)`, `vₖ ← vₖ − lr·(err·uₖ + reg·vₖ)`.
+#[inline]
+pub fn mf_sgd_update(u: &mut [f32], v: &mut [f32], err: f32, lr: f32, reg: f32) {
+    mf_sgd_update_with(backend(), u, v, err, lr, reg)
+}
+
+/// [`mf_sgd_update`] with an explicit backend (accepted for API
+/// uniformity — element-wise kernels run the same loop under both).
+#[inline]
+pub fn mf_sgd_update_with(
+    _backend: Backend,
+    u: &mut [f32],
+    v: &mut [f32],
+    err: f32,
+    lr: f32,
+    reg: f32,
+) {
+    debug_assert_eq!(u.len(), v.len(), "mf_sgd_update length mismatch");
+    for (u, v) in u.iter_mut().zip(v.iter_mut()) {
+        let (uk, vk) = (*u, *v);
+        *u = uk - lr * (err * vk + reg * uk);
+        *v = vk - lr * (err * uk + reg * vk);
+    }
+}
+
+/// Fused Adam slice update (element-wise: backend-independent, see
+/// module docs): one pass updating first/second moments and the
+/// parameter slice with precomputed bias corrections `bc1 = 1−β₁ᵗ`,
+/// `bc2 = 1−β₂ᵗ`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update(
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    adam_update_with(backend(), p, m, v, g, lr, beta1, beta2, eps, bc1, bc2)
+}
+
+/// [`adam_update`] with an explicit backend (accepted for API
+/// uniformity — element-wise kernels run the same loop under both).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update_with(
+    _backend: Backend,
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    debug_assert!(p.len() == m.len() && m.len() == v.len() && v.len() == g.len());
+    #[inline(always)]
+    fn step(
+        p: &mut f32,
+        m: &mut f32,
+        v: &mut f32,
+        g: f32,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        bc1: f32,
+        bc2: f32,
+    ) {
+        *m = beta1 * *m + (1.0 - beta1) * g;
+        *v = beta2 * *v + (1.0 - beta2) * g * g;
+        let m_hat = *m / bc1;
+        let v_hat = *v / bc2;
+        *p -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+    for k in 0..p.len() {
+        step(&mut p[k], &mut m[k], &mut v[k], g[k], lr, beta1, beta2, eps, bc1, bc2);
+    }
+}
+
+/// Pairwise lane reduction with a fixed tree order (independent of data).
+#[inline]
+fn reduce_lanes(acc: &[f32; LANES]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random f32 in roughly [-1, 1.5).
+    fn lcg_vals(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.5 - 1.0
+            })
+            .collect()
+    }
+
+    /// Worst-case ulp distance budget for a reassociated n-term reduction.
+    fn reduction_tol(terms: usize, magnitude: f32) -> f32 {
+        (terms.max(1) as f32) * magnitude.max(1e-6) * f32::EPSILON * 4.0
+    }
+
+    #[test]
+    fn dot_parity_across_dims_including_remainders() {
+        for dim in 0..=64usize {
+            let a = lcg_vals(dim, 3 + dim as u64);
+            let b = lcg_vals(dim, 77 + dim as u64);
+            let s = dot_with(Backend::Scalar, &a, &b);
+            let v = dot_with(Backend::Vector, &a, &b);
+            let mag: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            assert!(
+                (s - v).abs() <= reduction_tol(dim, mag),
+                "dim {dim}: scalar {s} vs vector {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_and_frob_parity() {
+        for dim in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64] {
+            let x = lcg_vals(dim, dim as u64);
+            let mag: f32 = x.iter().map(|v| v.abs()).sum();
+            let (ss, sv) = (sum_with(Backend::Scalar, &x), sum_with(Backend::Vector, &x));
+            assert!((ss - sv).abs() <= reduction_tol(dim, mag), "sum dim {dim}: {ss} vs {sv}");
+            let (fs, fv) = (frob_sq_with(Backend::Scalar, &x), frob_sq_with(Backend::Vector, &x));
+            assert!((fs - fv).abs() <= reduction_tol(dim, mag), "frob dim {dim}: {fs} vs {fv}");
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bit_identical_across_backends() {
+        for dim in [0usize, 1, 5, 8, 13, 16, 24, 40, 64] {
+            let x = lcg_vals(dim, 11);
+            let base = lcg_vals(dim, 22);
+            let mut ys = base.clone();
+            let mut yv = base.clone();
+            axpy_with(Backend::Scalar, 0.37, &x, &mut ys);
+            axpy_with(Backend::Vector, 0.37, &x, &mut yv);
+            assert_eq!(ys, yv, "axpy dim {dim}");
+            add_assign_with(Backend::Scalar, &mut ys, &x);
+            add_assign_with(Backend::Vector, &mut yv, &x);
+            assert_eq!(ys, yv, "add_assign dim {dim}");
+
+            let (mut us, mut vs) = (lcg_vals(dim, 33), lcg_vals(dim, 44));
+            let (mut uv, mut vv) = (us.clone(), vs.clone());
+            mf_sgd_update_with(Backend::Scalar, &mut us, &mut vs, 0.21, 0.05, 1e-4);
+            mf_sgd_update_with(Backend::Vector, &mut uv, &mut vv, 0.21, 0.05, 1e-4);
+            assert_eq!(us, uv, "mf u dim {dim}");
+            assert_eq!(vs, vv, "mf v dim {dim}");
+
+            let g = lcg_vals(dim, 55);
+            let (mut p1, mut m1, mut v1) = (lcg_vals(dim, 66), lcg_vals(dim, 67), vec![0.1; dim]);
+            let (mut p2, mut m2, mut v2) = (p1.clone(), m1.clone(), v1.clone());
+            adam_update_with(
+                Backend::Scalar,
+                &mut p1,
+                &mut m1,
+                &mut v1,
+                &g,
+                1e-3,
+                0.9,
+                0.999,
+                1e-8,
+                0.1,
+                0.01,
+            );
+            adam_update_with(
+                Backend::Vector,
+                &mut p2,
+                &mut m2,
+                &mut v2,
+                &g,
+                1e-3,
+                0.9,
+                0.999,
+                1e-8,
+                0.1,
+                0.01,
+            );
+            assert_eq!(p1, p2, "adam p dim {dim}");
+            assert_eq!(m1, m2, "adam m dim {dim}");
+            assert_eq!(v1, v2, "adam v dim {dim}");
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_lanes_propagate_in_both_backends() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            for pos in [0usize, 3, 8, 12] {
+                let mut a = lcg_vals(13, 5);
+                a[pos] = bad;
+                let b = lcg_vals(13, 6);
+                for be in [Backend::Scalar, Backend::Vector] {
+                    let d = dot_with(be, &a, &b);
+                    assert!(!d.is_finite() || d.is_nan(), "{be:?} dot swallowed {bad} at {pos}");
+                    let s = sum_with(be, &a);
+                    assert!(!s.is_finite() || s.is_nan(), "{be:?} sum swallowed {bad} at {pos}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slices_are_identities() {
+        for be in [Backend::Scalar, Backend::Vector] {
+            assert_eq!(dot_with(be, &[], &[]), 0.0);
+            assert_eq!(sum_with(be, &[]), 0.0);
+            assert_eq!(frob_sq_with(be, &[]), 0.0);
+            let mut y: [f32; 0] = [];
+            axpy_with(be, 2.0, &[], &mut y);
+            add_assign_with(be, &mut y, &[]);
+        }
+    }
+
+    #[test]
+    fn backend_name_and_env_contract() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Vector.name(), "vector");
+        // the global backend resolves to something and stays stable
+        let b = backend();
+        assert_eq!(backend(), b);
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! A small, dependency-light numeric substrate for the PTF-FedRec
 //! reproduction: dense row-major [`Matrix`] values, CSR [`sparse::Csr`]
-//! matrices for graph propagation, a tape-based reverse-mode autograd
-//! [`graph::Graph`], the [`optim`] optimizers (Adam with lazy
-//! row-sparse embedding updates, plain SGD), the [`par`] fork/join
+//! matrices for graph propagation, an arena-backed reverse-mode autograd
+//! tape ([`graph::Graph`] over a reusable [`graph::GraphArena`]), the
+//! env-selectable [`kernels`] (chunked 8-lane vector backend vs the
+//! scalar reference, `PTF_KERNEL`), the [`optim`] optimizers (Adam with
+//! lazy row-sparse embedding updates, plain SGD), the [`par`] fork/join
 //! primitives (plus the [`par::Pool`] worker-scratch pool) behind
 //! deterministic parallel client execution, and the [`alloc`]
 //! counting-allocator shim behind heap accounting in the perf harness.
@@ -40,6 +42,7 @@ pub mod alloc;
 pub mod grad;
 pub mod graph;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod par;
@@ -48,7 +51,7 @@ pub mod rowtable;
 pub mod sparse;
 
 pub use grad::{GradBuf, Grads, RowSparse};
-pub use graph::{Graph, Var};
+pub use graph::{Graph, GraphArena, Var};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, Params};
@@ -58,7 +61,7 @@ pub use sparse::{Csr, PropagationMatrix};
 /// Convenience prelude that re-exports the types almost every user needs.
 pub mod prelude {
     pub use crate::grad::{GradBuf, Grads};
-    pub use crate::graph::{Graph, Var};
+    pub use crate::graph::{Graph, GraphArena, Var};
     pub use crate::matrix::Matrix;
     pub use crate::optim::{Adam, Sgd};
     pub use crate::params::{ParamId, Params};

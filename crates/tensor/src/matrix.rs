@@ -5,6 +5,7 @@
 //! involved, since silent broadcasting bugs are the classic failure mode of
 //! hand-rolled training loops.
 
+use crate::kernels;
 use rand::Rng;
 
 /// A dense row-major matrix of `f32`.
@@ -13,6 +14,14 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// An empty 0×0 matrix (no allocation) — the "parked buffer" state of
+/// arena-pooled matrices.
+impl Default for Matrix {
+    fn default() -> Self {
+        Self { rows: 0, cols: 0, data: Vec::new() }
+    }
 }
 
 impl std::fmt::Debug for Matrix {
@@ -147,6 +156,16 @@ impl Matrix {
         self.data.iter_mut().for_each(|x| *x = v);
     }
 
+    /// Reshapes this matrix in place to `rows × cols`, zero-filled.
+    /// Existing buffer capacity is reused — the steady-state path of the
+    /// autograd arena performs no heap allocation once warmed.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix transpose (allocates).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -163,42 +182,79 @@ impl Matrix {
     /// for row-major operands at the small-to-medium sizes this workspace
     /// uses).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place [`Matrix::matmul`]: overwrites `out` with `self × rhs`,
+    /// reusing its buffer. The k-accumulation is serial per output
+    /// element, so the result is bit-identical across kernel backends.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} × {}x{} shape mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.reset_to(self.rows, rhs.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
                 let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                kernels::axpy(a, b_row, out_row);
             }
         }
-        out
+    }
+
+    /// `out += self × rhsᵀ` — the `dA = dY × Bᵀ` backward form, computed
+    /// without materializing the transpose. Each output element is a row
+    /// dot, so the result routes through the active reduction kernel.
+    pub fn matmul_nt_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt_acc: inner dim mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_nt_acc: out shape mismatch");
+        for i in 0..self.rows {
+            let g_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (k, o) in out_row.iter_mut().enumerate() {
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                *o += kernels::dot(g_row, b_row);
+            }
+        }
+    }
+
+    /// `out += selfᵀ × rhs` — the `dB = Aᵀ × dY` backward form, computed
+    /// without materializing the transpose. Accumulation over the shared
+    /// dimension is serial (axpy per row), bit-identical across backends.
+    pub fn matmul_tn_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn_acc: inner dim mismatch");
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_tn_acc: out shape mismatch");
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let g_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+                kernels::axpy(a, g_row, out_row);
+            }
+        }
     }
 
     /// `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::add_assign(&mut self.data, &other.data);
     }
 
     /// `self += alpha * other` (axpy).
     pub fn scaled_add_assign(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "scaled_add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Element-wise map into a new matrix.
@@ -216,9 +272,9 @@ impl Matrix {
         }
     }
 
-    /// Sum over all elements.
+    /// Sum over all elements (routes through the active reduction kernel).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        kernels::sum(&self.data)
     }
 
     /// Column sums as a 1×cols row vector.
@@ -232,9 +288,9 @@ impl Matrix {
         out
     }
 
-    /// Squared Frobenius norm.
+    /// Squared Frobenius norm (routes through the active reduction kernel).
     pub fn frob_sq(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum()
+        kernels::frob_sq(&self.data)
     }
 
     /// Inserts `vals` as a new row at index `at`, shifting later rows
@@ -268,13 +324,19 @@ impl Matrix {
 
     /// Gathers rows `idx` into a new `idx.len()×cols` matrix.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let mut out = Matrix::default();
+        self.gather_rows_into(idx, &mut out);
+        out
+    }
+
+    /// In-place [`Matrix::gather_rows`], reusing `out`'s buffer.
+    pub fn gather_rows_into(&self, idx: &[u32], out: &mut Matrix) {
+        out.reset_to(idx.len(), self.cols);
         for (o, &i) in idx.iter().enumerate() {
             let i = i as usize;
             assert!(i < self.rows, "gather_rows: row {i} out of bounds ({} rows)", self.rows);
             out.row_mut(o).copy_from_slice(self.row(i));
         }
-        out
     }
 
     /// Scatter-adds the rows of `src` into rows `idx` of `self`
@@ -385,6 +447,49 @@ mod tests {
     #[test]
     fn scalar_extraction() {
         assert_eq!(Matrix::full(1, 1, 3.5).scalar(), 3.5);
+    }
+
+    #[test]
+    fn reset_to_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        m.reset_to(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.as_slice(), &[0.0; 6]);
+        // shrink then grow back within the original capacity
+        m.reset_to(1, 2);
+        assert_eq!(m.len(), 2);
+        m.reset_to(2, 3);
+        assert_eq!(m.as_slice(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let mut out = Matrix::full(5, 5, 9.9); // wrong shape + dirty buffer
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.as_slice(), a.matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn transposed_accumulate_forms_match_explicit_transpose() {
+        let g = Matrix::from_vec(2, 3, vec![1., -2., 3., 0.5, 0., -1.]);
+        let b = Matrix::from_vec(4, 3, vec![2., 1., 0., -1., 3., 2., 0., 0., 1., 1., -1., 4.]);
+        let mut nt = Matrix::zeros(2, 4);
+        g.matmul_nt_acc(&b, &mut nt);
+        let expect_nt = g.matmul(&b.transpose());
+        assert!(nt.max_abs_diff(&expect_nt) < 1e-6);
+        // accumulation adds on top of existing contents
+        g.matmul_nt_acc(&b, &mut nt);
+        let mut doubled = expect_nt.clone();
+        doubled.add_assign(&expect_nt);
+        assert!(nt.max_abs_diff(&doubled) < 1e-6);
+
+        let a = Matrix::from_vec(2, 4, vec![1., 2., 0., -1., 3., 0., 2., 1.]);
+        let mut tn = Matrix::zeros(4, 3);
+        a.matmul_tn_acc(&g, &mut tn);
+        let expect_tn = a.transpose().matmul(&g);
+        assert!(tn.max_abs_diff(&expect_tn) < 1e-6);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Optimizers: Adam (with lazy row-sparse embedding updates) and SGD.
 
 use crate::grad::{GradBuf, Grads};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::params::Params;
 
@@ -22,10 +23,7 @@ impl Sgd {
                 GradBuf::Rows(rs) => {
                     let table = params.get_mut(id);
                     for (r, vals) in rs.iter() {
-                        let row = table.row_mut(r as usize);
-                        for (p, &v) in row.iter_mut().zip(vals) {
-                            *p -= self.lr * v;
-                        }
+                        kernels::axpy(-self.lr, vals, table.row_mut(r as usize));
                     }
                 }
             }
@@ -143,14 +141,7 @@ impl Adam {
                     let m = self.m[i].as_mut_slice();
                     let v = self.v[i].as_mut_slice();
                     let p = params.get_mut(id).as_mut_slice();
-                    for k in 0..g.len() {
-                        let gk = g.as_slice()[k];
-                        m[k] = b1 * m[k] + (1.0 - b1) * gk;
-                        v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
-                        let mhat = m[k] / bc1;
-                        let vhat = v[k] / bc2;
-                        p[k] -= lr * mhat / (vhat.sqrt() + eps);
-                    }
+                    kernels::adam_update(p, m, v, g.as_slice(), lr, b1, b2, eps, bc1, bc2);
                 }
                 GradBuf::Rows(rs) => {
                     let cols = rs.cols();
@@ -159,14 +150,7 @@ impl Adam {
                         let m = &mut self.m[i].as_mut_slice()[r * cols..(r + 1) * cols];
                         let v = &mut self.v[i].as_mut_slice()[r * cols..(r + 1) * cols];
                         let prow = params.get_mut(id).row_mut(r);
-                        for k in 0..cols {
-                            let gk = vals[k];
-                            m[k] = b1 * m[k] + (1.0 - b1) * gk;
-                            v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
-                            let mhat = m[k] / bc1;
-                            let vhat = v[k] / bc2;
-                            prow[k] -= lr * mhat / (vhat.sqrt() + eps);
-                        }
+                        kernels::adam_update(prow, m, v, vals, lr, b1, b2, eps, bc1, bc2);
                     }
                 }
             }

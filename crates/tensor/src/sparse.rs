@@ -112,6 +112,22 @@ impl Csr {
 
     /// Sparse × dense product `self × rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// In-place [`Csr::matmul`]: overwrites `out` with `self × rhs`,
+    /// reusing its buffer.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.reset_to(self.rows, rhs.cols());
+        self.matmul_acc(rhs, out);
+    }
+
+    /// Accumulating sparse × dense product `out += self × rhs`. The
+    /// per-row accumulation is serial over stored entries (an axpy per
+    /// entry), so the result is bit-identical across kernel backends.
+    pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows(),
@@ -122,19 +138,16 @@ impl Csr {
             rhs.cols()
         );
         let d = rhs.cols();
-        let mut out = Matrix::zeros(self.rows, d);
+        assert_eq!(out.shape(), (self.rows, d), "spmm: out shape mismatch");
         for r in 0..self.rows {
             let out_row = &mut out.as_mut_slice()[r * d..(r + 1) * d];
             for k in self.indptr[r]..self.indptr[r + 1] {
                 let c = self.indices[k] as usize;
                 let v = self.values[k];
                 let rhs_row = &rhs.as_slice()[c * d..(c + 1) * d];
-                for (o, &x) in out_row.iter_mut().zip(rhs_row) {
-                    *o += v * x;
-                }
+                crate::kernels::axpy(v, rhs_row, out_row);
             }
         }
-        out
     }
 
     /// Transposed copy.
@@ -270,6 +283,20 @@ mod tests {
     fn identity_propagates_unchanged() {
         let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(Csr::identity(3).matmul(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn matmul_into_reuses_dirty_buffer() {
+        let m = sample();
+        let x = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let mut out = Matrix::full(1, 7, 9.0); // wrong shape + dirty contents
+        m.matmul_into(&x, &mut out);
+        assert_eq!(out.as_slice(), m.matmul(&x).as_slice());
+        // the accumulating form adds on top
+        m.matmul_acc(&x, &mut out);
+        let mut doubled = m.matmul(&x);
+        doubled.add_assign(&m.matmul(&x));
+        assert_eq!(out.as_slice(), doubled.as_slice());
     }
 
     #[test]

@@ -219,6 +219,52 @@ fn default_neumf_rounds_report_their_client_allocations() {
 }
 
 #[test]
+fn neumf_server_batch_loop_is_allocation_free_after_warmup() {
+    // The server phase trains its hidden model (NeuMF here) on the
+    // crowdsourced pool batch after batch, every round, for the lifetime
+    // of the federation. With the arena-backed tape the whole
+    // forward/backward/Adam cycle must reuse pooled node slots, staged
+    // index buffers, and recycled gradient buffers: after the first few
+    // batches grow every capacity, further batches of the same shape may
+    // not touch the heap at all.
+    use ptf_fedrec::models::{NeuMf, NeuMfConfig, Recommender};
+    let cfg = NeuMfConfig { dim: 8, layers: vec![16, 8], lr: 1e-3 };
+    let mut m = NeuMf::new(6, 24, &cfg, &mut ptf_fedrec::data::test_rng(11));
+    let batch: Vec<(u32, u32, f32)> =
+        (0..32u32).map(|k| (k % 6, (k * 7) % 24, if k % 2 == 0 { 1.0 } else { 0.3 })).collect();
+    for _ in 0..3 {
+        m.train_batch(&batch);
+    }
+    let t0 = alloc::thread_allocs();
+    for _ in 0..20 {
+        m.train_batch(&batch);
+    }
+    assert_eq!(
+        alloc::thread_allocs() - t0,
+        0,
+        "arena-tape NeuMF training must not allocate once warm"
+    );
+}
+
+#[test]
+fn mf_gradients_into_is_allocation_free_per_sample() {
+    // the explicit-gradient MF API the baselines decompose: after the
+    // caller's scratch vectors size themselves once, every further sample
+    // is pure arithmetic
+    use ptf_fedrec::models::mf::mf_gradients_into;
+    let user: Vec<f32> = (0..16).map(|k| 0.01 * k as f32).collect();
+    let item: Vec<f32> = (0..16).map(|k| 0.02 * k as f32).collect();
+    let (mut du, mut dv) = (Vec::new(), Vec::new());
+    mf_gradients_into(&mut du, &mut dv, &user, &item, 0.1, 1.0, 0.01);
+    let t0 = alloc::thread_allocs();
+    for s in 0..200 {
+        let label = if s % 2 == 0 { 1.0 } else { 0.0 };
+        mf_gradients_into(&mut du, &mut dv, &user, &item, 0.1, label, 0.01);
+    }
+    assert_eq!(alloc::thread_allocs() - t0, 0, "per-sample gradients must reuse du/dv");
+}
+
+#[test]
 fn counters_track_allocations() {
     // race-free assertions only: sibling tests allocate concurrently, so
     // this checks per-thread counters and lower bounds the global peak
