@@ -100,6 +100,7 @@ impl CommLedger {
         if self.by_client_round.is_empty() {
             return 0.0;
         }
+        // lint: allow(determinism) — u64 sum over values is order-independent
         let sum: u64 = self.by_client_round.values().sum();
         sum as f64 / self.by_client_round.len() as f64
     }

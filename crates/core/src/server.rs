@@ -10,7 +10,7 @@ use crate::upload::ClientUpload;
 use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
 use ptf_privacy::ScoredItem;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The central server: hidden model + the state backing D̃ construction.
 pub struct PtfServer {
@@ -19,8 +19,10 @@ pub struct PtfServer {
     /// Per-item embedding-update counts — the confidence signal (§III-B3).
     item_update_counts: Vec<u64>,
     /// Persistent soft-edge memory `(user, item) → last uploaded score`,
-    /// backing the graph models' adjacency (DESIGN.md §5).
-    edges: HashMap<(u32, u32), f32>,
+    /// backing the graph models' adjacency (DESIGN.md §5). A `BTreeMap`
+    /// so iteration order — which feeds `set_graph` — is a function of
+    /// the keys, never of a per-process hash seed.
+    edges: BTreeMap<(u32, u32), f32>,
 }
 
 impl PtfServer {
@@ -35,7 +37,7 @@ impl PtfServer {
             model: build_model(kind, num_users, num_items, hyper, rng),
             kind,
             item_update_counts: vec![0; num_items],
-            edges: HashMap::new(),
+            edges: BTreeMap::new(),
         }
     }
 

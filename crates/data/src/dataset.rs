@@ -295,6 +295,8 @@ mod tests {
         assert_eq!(d.indices(), &[1, 3, 0, 0, 4]);
         // slice views alias the arena (zero-copy)
         let arena = d.indices().as_ptr();
+        // SAFETY: `indptr` says user 1's slice starts at offset 2 of the
+        // 5-element indices arena, so `arena.add(2)` stays in bounds.
         assert_eq!(d.user_items(1).as_ptr(), unsafe { arena.add(2) });
     }
 

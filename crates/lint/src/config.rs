@@ -1,0 +1,140 @@
+//! The hot-path declaration file (`crates/lint/hot_paths.toml`) and its
+//! minimal hand-rolled parser.
+//!
+//! The file is the static counterpart of the `CountingAlloc` runtime
+//! proof: it declares which functions are on the allocation-free round
+//! hot path, and the alloc-discipline lint then bans allocating
+//! constructs inside exactly those spans. Only the TOML subset the file
+//! needs is parsed (ptf-lint is dependency-free by design):
+//!
+//! ```toml
+//! [[hot_path]]
+//! path = "crates/tensor/src/kernels.rs"   # whole file when `fns` absent
+//! fns = ["dot", "sum"]                    # otherwise just these spans
+//! reason = "why this is hot"
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+/// One declared hot region: a file, optionally narrowed to functions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotPath {
+    pub path: String,
+    /// Function names whose bodies are hot; empty = the whole file.
+    pub fns: Vec<String>,
+    pub reason: String,
+}
+
+/// Loads and parses the hot-path list.
+pub fn load_hot_paths(path: &Path) -> Result<Vec<HotPath>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    parse_hot_paths(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parses the restricted TOML subset documented in the module header.
+pub fn parse_hot_paths(text: &str) -> Result<Vec<HotPath>, String> {
+    let mut out: Vec<HotPath> = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut n = 0;
+    while n < lines.len() {
+        let mut line = strip_toml_comment(lines[n]).trim().to_string();
+        // join a multi-line array onto one logical line
+        while line.contains('[')
+            && !line.contains(']')
+            && !line.starts_with("[[")
+            && n + 1 < lines.len()
+        {
+            n += 1;
+            line.push(' ');
+            line.push_str(strip_toml_comment(lines[n]).trim());
+        }
+        let line = line.as_str();
+        n += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[hot_path]]" {
+            out.push(HotPath { path: String::new(), fns: Vec::new(), reason: String::new() });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {n}: expected `key = value`, got {line:?}"));
+        };
+        let entry = out.last_mut().ok_or(format!("line {n}: key before [[hot_path]]"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "path" => entry.path = parse_str(value).ok_or(bad(n, key, value))?,
+            "reason" => entry.reason = parse_str(value).ok_or(bad(n, key, value))?,
+            "fns" => entry.fns = parse_str_array(value).ok_or(bad(n, key, value))?,
+            other => return Err(format!("line {n}: unknown key {other:?}")),
+        }
+    }
+    for e in &out {
+        if e.path.is_empty() {
+            return Err("every [[hot_path]] needs a `path`".to_string());
+        }
+        if e.reason.is_empty() {
+            return Err(format!("{}: every [[hot_path]] needs a `reason`", e.path));
+        }
+    }
+    Ok(out)
+}
+
+fn bad(n: usize, key: &str, value: &str) -> String {
+    format!("line {n}: bad value for {key}: {value:?}")
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_str(v: &str) -> Option<String> {
+    let v = v.trim();
+    v.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+fn parse_str_array(v: &str) -> Option<Vec<String>> {
+    let v = v.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for part in v.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_str(part)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_and_without_fns() {
+        let text = "\n# comment\n[[hot_path]]\npath = \"a/b.rs\" # trailing\nreason = \"whole file\"\n\n[[hot_path]]\npath = \"c.rs\"\nfns = [\"f\", \"g\"]\nreason = \"two fns\"\n";
+        let got = parse_hot_paths(text).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].path, "a/b.rs");
+        assert!(got[0].fns.is_empty());
+        assert_eq!(got[1].fns, vec!["f".to_string(), "g".to_string()]);
+    }
+
+    #[test]
+    fn rejects_missing_path_and_stray_keys() {
+        assert!(parse_hot_paths("[[hot_path]]\nreason = \"x\"\n").is_err());
+        assert!(parse_hot_paths("path = \"x\"\n").is_err());
+        assert!(parse_hot_paths("[[hot_path]]\npath = \"x\"\nbogus = \"y\"\n").is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! The five lint families. Each module exposes a `NAME` and a `check`
+//! entry point; scoping (which files a lint applies to) lives with the
+//! lint itself, orchestration in [`crate::run_all`].
+
+pub mod alloc_discipline;
+pub mod determinism;
+pub mod panic_policy;
+pub mod spec;
+pub mod unsafe_audit;

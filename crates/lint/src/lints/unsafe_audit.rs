@@ -1,0 +1,139 @@
+//! Unsafe audit: every `unsafe` site needs an adjacent `// SAFETY:`
+//! comment, and the file must be inventoried in
+//! `docs/unsafe-inventory.md` with a matching site count.
+//!
+//! The inventory makes the entire unsafe surface reviewable in one
+//! place; the count check turns silent growth (or a stale entry after a
+//! removal) into a lint failure. Unlike the behavioral lints, test code
+//! is *not* exempt — unsoundness does not care where it runs.
+
+use crate::diag::Diagnostic;
+use crate::source::{tokens, SourceFile};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+pub const NAME: &str = "unsafe-audit";
+
+/// Parsed `docs/unsafe-inventory.md`: file → declared site count.
+pub type Inventory = BTreeMap<String, usize>;
+
+/// Checks one file's `unsafe` sites for SAFETY comments and returns the
+/// diagnostics plus the number of sites found (for the inventory check).
+pub fn check(sf: &SourceFile) -> (Vec<Diagnostic>, usize) {
+    let mut diags = Vec::new();
+    let mut sites = 0usize;
+    for i in 0..sf.len() {
+        let n = tokens(&sf.code[i]).iter().filter(|t| *t == "unsafe").count();
+        if n == 0 {
+            continue;
+        }
+        sites += n;
+        if !sf.has_safety_comment(i) && !sf.allows(i, NAME) {
+            diags.push(Diagnostic::new(
+                &sf.rel,
+                i + 1,
+                NAME,
+                "`unsafe` without an adjacent `// SAFETY:` comment stating the invariant \
+                 that makes it sound"
+                    .to_string(),
+            ));
+        }
+    }
+    (diags, sites)
+}
+
+/// Loads the inventory table. Rows look like
+/// `| crates/tensor/src/alloc.rs | 5 | why |`; non-numeric second cells
+/// (header, separator) are skipped.
+pub fn load_inventory(path: &Path) -> Result<Inventory, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    Ok(parse_inventory(&text))
+}
+
+pub fn parse_inventory(text: &str) -> Inventory {
+    let mut inv = Inventory::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let file = cells[0].trim_matches('`');
+        if let Ok(count) = cells[1].parse::<usize>() {
+            inv.insert(file.to_string(), count);
+        }
+    }
+    inv
+}
+
+/// Compares counted sites against the inventory, both directions.
+pub fn inventory_drift(counts: &BTreeMap<String, usize>, inv: &Inventory) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (file, &n) in counts {
+        match inv.get(file) {
+            None => diags.push(Diagnostic::new(
+                file,
+                1,
+                NAME,
+                format!("{n} unsafe site(s) but no entry in docs/unsafe-inventory.md"),
+            )),
+            Some(&m) if m != n => diags.push(Diagnostic::new(
+                file,
+                1,
+                NAME,
+                format!("{n} unsafe site(s) but docs/unsafe-inventory.md declares {m} — update the inventory"),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (file, &m) in inv {
+        if !counts.contains_key(file) {
+            diags.push(Diagnostic::new(
+                "docs/unsafe-inventory.md",
+                1,
+                NAME,
+                format!("stale entry: {file} declares {m} unsafe site(s) but the file has none"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_unsafe_passes_undocumented_fails() {
+        let src = "// SAFETY: delegates to System\nunsafe impl A for B {}\n\nfn f() {\n    let p = unsafe { q.add(1) };\n}\n";
+        let (diags, sites) = check(&SourceFile::from_text("x.rs", src));
+        assert_eq!(sites, 2);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn inventory_drift_is_caught_both_ways() {
+        let inv = parse_inventory(
+            "| file | sites | why |\n|---|---:|---|\n| a.rs | 2 | x |\n| gone.rs | 1 | y |\n",
+        );
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 3); // count mismatch
+        counts.insert("new.rs".to_string(), 1); // unlisted
+        let diags = inventory_drift(&counts, &inv);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+    }
+
+    #[test]
+    fn matching_inventory_is_clean() {
+        let inv = parse_inventory("| `a.rs` | 2 | x |\n");
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 2);
+        assert!(inventory_drift(&counts, &inv).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! `ptf-lint` CLI. Exit codes: 0 clean, 1 findings, 2 usage or
+//! infrastructure error — so CI can distinguish "violations" from
+//! "the linter itself broke".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ptf-lint — workspace invariant checker (see docs/static-analysis notes in README)
+
+USAGE:
+    ptf-lint [--root DIR]     lint the workspace (default: this repo)
+    ptf-lint --list           list the enforced lints
+    ptf-lint --explain LINT   print the rationale for one lint
+    ptf-lint --help           this text
+
+Suppress a justified finding at one site with
+    // lint: allow(<lint-name>) — <why>
+on the offending line or the line above.";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ptf-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--list" => {
+                for (name, _) in ptf_lint::diag::LINTS {
+                    println!("{name}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--explain" => {
+                let name = args.get(i + 1).ok_or("--explain needs a lint name")?;
+                match ptf_lint::diag::explain(name) {
+                    Some(text) => {
+                        println!("{name}\n\n{text}");
+                        return Ok(ExitCode::SUCCESS);
+                    }
+                    None => {
+                        return Err(format!(
+                            "unknown lint {name:?}; `ptf-lint --list` shows the lint names"
+                        ))
+                    }
+                }
+            }
+            "--root" => {
+                let dir = args.get(i + 1).ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let root = root.unwrap_or_else(ptf_lint::default_root);
+    let report = ptf_lint::run_all(&root)?;
+    for d in &report.diags {
+        println!("{d}");
+    }
+    if report.diags.is_empty() {
+        println!(
+            "ptf-lint: clean — {} files scanned, {} unsafe site(s) inventoried",
+            report.files_scanned, report.unsafe_sites
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "ptf-lint: {} finding(s); `ptf-lint --explain <lint>` explains each check",
+            report.diags.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,363 @@
+//! The source model every lint runs on: a small Rust lexer that strips
+//! comments and string-literal *contents* out of each line (so token
+//! scans never fire inside a doc comment or an error message), while
+//! keeping the comment text alongside (so `// SAFETY:` and
+//! `// lint: allow(...)` annotations stay visible).
+//!
+//! This is deliberately a lexer, not a parser: the lints are tidy-style
+//! textual invariants with `file:line` anchors, and a token-accurate
+//! line model is all they need. The one structural fact recovered is
+//! which lines live inside a `#[cfg(test)] mod` (test code is exempt
+//! from the behavioral lints, never from the unsafe audit).
+
+use std::fs;
+use std::path::Path;
+
+/// One lexed `.rs` file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (diagnostic anchor).
+    pub rel: String,
+    /// Per line: code with comments removed and string contents blanked
+    /// (quotes kept, so `"..."` lexes as an empty literal).
+    pub code: Vec<String>,
+    /// Per line: the comment text (`//`, `///`, `/* */` interiors).
+    pub comments: Vec<String>,
+    /// Per line: inside a `#[cfg(test)] mod { .. }` region.
+    pub is_test: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn load(root: &Path, rel: &str) -> Result<Self, String> {
+        let text =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: cannot read: {e}"))?;
+        Ok(Self::from_text(rel, &text))
+    }
+
+    pub fn from_text(rel: &str, text: &str) -> Self {
+        let (code, comments) = lex(text);
+        let is_test = mark_test_regions(&code);
+        Self { rel: rel.to_string(), code, comments, is_test }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Whether line `i` (0-based) carries a `lint: allow(<name>)`
+    /// annotation on the same line, or on a comment-only line directly
+    /// above (a trailing comment on the *previous code line* does not
+    /// reach forward).
+    pub fn allows(&self, i: usize, lint: &str) -> bool {
+        let needle = format!("lint:allow({lint})");
+        let has = |s: &str| {
+            let squashed: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+            squashed.contains(&needle)
+        };
+        has(&self.comments[i])
+            || (i > 0 && self.code[i - 1].trim().is_empty() && has(&self.comments[i - 1]))
+    }
+
+    /// Whether an `unsafe` on line `i` is covered by a `SAFETY:` comment:
+    /// on the same line, or in the contiguous comment block directly
+    /// above (blank and attribute-free comment lines only).
+    pub fn has_safety_comment(&self, i: usize) -> bool {
+        if self.comments[i].contains("SAFETY:") {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let code_empty = self.code[j].trim().is_empty();
+            if self.comments[j].contains("SAFETY:") && code_empty {
+                return true;
+            }
+            // stop at the first line that is actual code (or an attribute)
+            if !code_empty {
+                return false;
+            }
+            // blank line with no comment also ends the adjacent block
+            if self.comments[j].trim().is_empty() {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Lexer state.
+enum St {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits `text` into per-line (code, comment) strings. String literal
+/// contents are dropped (the delimiting quotes are kept), comments are
+/// routed to the comment channel, everything else to the code channel.
+fn lex(text: &str) -> (Vec<String>, Vec<String>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            if matches!(st, St::LineComment) {
+                st = St::Code;
+            }
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied().unwrap_or('\0');
+        match st {
+            St::Code => {
+                if c == '/' && next == '/' {
+                    st = St::LineComment;
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    st = St::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    st = St::Str;
+                    i += 1;
+                } else if c == 'b' && next == '"' && !prev_is_ident(&code) {
+                    code.push('"');
+                    st = St::Str;
+                    i += 2;
+                } else if c == 'r' && (next == '"' || next == '#') && !prev_is_ident(&code) {
+                    // raw string r"..." / r#"..."# (any hash depth)
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        code.push('"');
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        code.push(c); // raw identifier or bare `r`
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // char literal vs lifetime: '\...' or 'x' is a literal
+                    if next == '\\' || chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("''");
+                        st = St::CharLit;
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            St::BlockComment(d) => {
+                if c == '/' && next == '*' {
+                    st = St::BlockComment(d + 1);
+                    i += 2;
+                } else if c == '*' && next == '/' {
+                    st = if d == 1 { St::Code } else { St::BlockComment(d - 1) };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' && next != '\n' {
+                    i += 2; // skip the escaped char ('\n' falls through for line bookkeeping)
+                } else if c == '"' {
+                    code.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr(h) => {
+                if c == '"' && (0..h).all(|k| chars.get(i + 1 + k as usize) == Some(&'#')) {
+                    code.push('"');
+                    st = St::Code;
+                    i += 1 + h as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            St::CharLit => {
+                if c == '\\' && next != '\n' {
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    (code_lines, comment_lines)
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Marks the line span of every `#[cfg(test)] mod … { … }` block.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            // the mod declaration follows the attribute (possibly after
+            // further attributes), on this or one of the next few lines
+            let m = (i..code.len().min(i + 4)).find(|&j| {
+                let t = code[j].trim_start();
+                t.starts_with("mod ") || t.starts_with("pub mod ") || code[j].contains(" mod ")
+            });
+            if let Some(m) = m {
+                let end = match_braces_from(code, m);
+                for flag in is_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    is_test
+}
+
+/// Returns the 0-based line index of the brace closing the first `{`
+/// found at or after line `start` (or the last line if unbalanced).
+fn match_braces_from(code: &[String], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (j, line) in code.iter().enumerate().skip(start) {
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    code.len() - 1
+}
+
+/// Splits a code line into identifier and punctuation tokens (whitespace
+/// dropped; `::` and `->` kept as single tokens).
+pub fn tokens(line: &str) -> Vec<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut ident = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                ident.push(chars[i]);
+                i += 1;
+            }
+            out.push(ident);
+        } else if c == ':' && chars.get(i + 1) == Some(&':') {
+            out.push("::".to_string());
+            i += 2;
+        } else if c == '-' && chars.get(i + 1) == Some(&'>') {
+            out.push("->".to_string());
+            i += 2;
+        } else {
+            out.push(c.to_string());
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let sf = SourceFile::from_text(
+            "x.rs",
+            "let x = \"HashMap.iter()\"; // SAFETY: not really\nlet y = 2; /* thread_rng */\n",
+        );
+        assert!(!sf.code[0].contains("HashMap"));
+        assert!(sf.code[0].contains("let x = \"\";"));
+        assert!(sf.comments[0].contains("SAFETY: not really"));
+        assert!(!sf.code[1].contains("thread_rng"));
+        assert!(sf.comments[1].contains("thread_rng"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_lex_through() {
+        let sf = SourceFile::from_text(
+            "x.rs",
+            "let s = r#\"multi \" line\nstill string .unwrap()\"#;\nlet c = '\\n'; let lt: &'static str = \"\";\n",
+        );
+        assert!(!sf.code[1].contains("unwrap"));
+        assert!(sf.code[2].contains("&'static str"));
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let sf = SourceFile::from_text("x.rs", src);
+        assert!(!sf.is_test[0]);
+        assert!(sf.is_test[1] && sf.is_test[2] && sf.is_test[3] && sf.is_test[4]);
+        assert!(!sf.is_test[5]);
+    }
+
+    #[test]
+    fn allow_annotations_match_same_line_and_above() {
+        let src = "a(); // lint: allow(determinism) — order-independent sum\nb();\n// lint: allow(panic-policy) — infallible\nc();\n";
+        let sf = SourceFile::from_text("x.rs", src);
+        assert!(sf.allows(0, "determinism"));
+        assert!(!sf.allows(1, "determinism"));
+        assert!(sf.allows(3, "panic-policy"));
+    }
+
+    #[test]
+    fn safety_comment_lookup_scans_the_adjacent_block() {
+        let src = "// SAFETY: delegates to System\nunsafe impl X for Y {}\n\nunsafe fn undocumented() {}\n";
+        let sf = SourceFile::from_text("x.rs", src);
+        assert!(sf.has_safety_comment(1));
+        assert!(!sf.has_safety_comment(3));
+    }
+}

@@ -1,0 +1,45 @@
+//! Workspace file discovery: every first-party `.rs` file, in a
+//! deterministic order (the lint practices what it preaches).
+
+use std::fs;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Path prefixes excluded from scanning: the fixture corpus contains
+/// deliberate violations the self-tests assert on.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Returns workspace-relative paths (forward slashes) of every `.rs`
+/// file under `root`, sorted.
+pub fn rust_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    collect(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, rel: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries = fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let sub = rel.join(name.as_ref());
+        let sub_str = sub.to_string_lossy().replace('\\', "/");
+        if SKIP_PREFIXES.iter().any(|p| sub_str.starts_with(p)) {
+            continue;
+        }
+        let ty = entry.file_type().map_err(|e| format!("{sub_str}: {e}"))?;
+        if ty.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect(root, &sub, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(sub_str);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// Fixture: allocations inside a declared hot function (and a cold one
+// the lint must leave alone when only `hot_fn` is declared).
+pub fn hot_fn(xs: &[f32]) -> Vec<f32> {
+    let mut out = xs.to_vec();
+    out.push(format!("{}", xs.len()).len() as f32);
+    out
+}
+
+pub fn cold_fn(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}

@@ -1,0 +1,6 @@
+// Fixture: a hot function written scratch-style — reuses its caller's
+// buffer, never allocates.
+pub fn hot_fn(xs: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.extend_from_slice(xs);
+}

@@ -1,0 +1,16 @@
+// Fixture: the deterministic counterparts — sorted iteration, hash
+// lookups (fine), and an annotated order-independent reduction.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered_sum(counts: &BTreeMap<u32, u64>) -> u64 {
+    counts.values().sum()
+}
+
+pub fn lookup(index: &HashMap<u32, u64>, k: u32) -> u64 {
+    *index.get(&k).unwrap_or(&0)
+}
+
+pub fn allowed_sum(index: &HashMap<u32, u64>) -> u64 {
+    // lint: allow(determinism) — u64 sum over values is order-independent
+    index.values().sum()
+}

@@ -1,0 +1,12 @@
+// Fixture: every panic-policy violation class on a production path.
+pub fn parse(input: &str) -> u32 {
+    let n: u32 = input.parse().unwrap();
+    if n > 100 {
+        panic!("too big");
+    }
+    n
+}
+
+pub fn fetch(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).expect("missing key")
+}

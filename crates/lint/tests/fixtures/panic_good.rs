@@ -1,0 +1,16 @@
+// Fixture: the propagating counterparts, plus a test module (exempt).
+pub fn parse(input: &str) -> Result<u32, String> {
+    input.parse().map_err(|e| format!("bad number: {e}"))
+}
+
+pub fn fetch(map: &std::collections::HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap_or(&0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::parse("3").unwrap();
+    }
+}

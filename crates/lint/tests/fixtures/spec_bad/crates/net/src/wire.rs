@@ -1,0 +1,5 @@
+pub enum FrameKind {
+    Hello = 1,
+    Welcome = 2,
+    Reject = 3,
+}

@@ -1,0 +1,4 @@
+pub enum FrameKind {
+    Hello = 1,
+    Welcome = 2,
+}

@@ -1,0 +1,9 @@
+pub const USAGE: &str = "\
+ptf — fixture tool
+
+USAGE:
+    ptf stats [--scale small|paper] [--seed N]
+    ptf train --dataset D [--json]
+
+Notes follow the blank line and are not checked.
+";

@@ -1,0 +1,4 @@
+// Fixture: an unsafe block with no SAFETY comment.
+pub fn first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

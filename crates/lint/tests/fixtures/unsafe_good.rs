@@ -1,0 +1,7 @@
+// Fixture: the same unsafe block, documented.
+pub fn first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees `xs` has an element 0, so
+    // `as_ptr()` points at initialized memory we may read.
+    unsafe { *xs.as_ptr() }
+}

@@ -88,6 +88,39 @@ impl RejectReason {
     }
 }
 
+/// The `kind` byte of every frame, as a real enum so the kind table is
+/// one parseable artifact: `docs/wire-protocol.md`'s frame-kind table is
+/// checked against these discriminants by `ptf-lint` (spec-conformance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Hello = 1,
+    Welcome = 2,
+    Reject = 3,
+    Announce = 4,
+    Upload = 5,
+    Disperse = 6,
+    Dropped = 7,
+    Finished = 8,
+}
+
+impl FrameKind {
+    /// Decodes a wire `kind` byte; `None` for unknown kinds.
+    pub fn from_u8(kind: u8) -> Option<Self> {
+        match kind {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Welcome),
+            3 => Some(FrameKind::Reject),
+            4 => Some(FrameKind::Announce),
+            5 => Some(FrameKind::Upload),
+            6 => Some(FrameKind::Disperse),
+            7 => Some(FrameKind::Dropped),
+            8 => Some(FrameKind::Finished),
+            _ => None,
+        }
+    }
+}
+
 /// Every message of the networked protocol. See `docs/wire-protocol.md`
 /// for the byte-level layout and the handshake/round state machine.
 #[derive(Clone, Debug, PartialEq)]
@@ -117,16 +150,17 @@ pub enum Frame {
 }
 
 impl Frame {
-    fn kind(&self) -> u8 {
+    /// This frame's wire kind.
+    pub fn kind(&self) -> FrameKind {
         match self {
-            Frame::Hello { .. } => 1,
-            Frame::Welcome { .. } => 2,
-            Frame::Reject { .. } => 3,
-            Frame::Announce { .. } => 4,
-            Frame::Upload { .. } => 5,
-            Frame::Disperse { .. } => 6,
-            Frame::Dropped { .. } => 7,
-            Frame::Finished { .. } => 8,
+            Frame::Hello { .. } => FrameKind::Hello,
+            Frame::Welcome { .. } => FrameKind::Welcome,
+            Frame::Reject { .. } => FrameKind::Reject,
+            Frame::Announce { .. } => FrameKind::Announce,
+            Frame::Upload { .. } => FrameKind::Upload,
+            Frame::Disperse { .. } => FrameKind::Disperse,
+            Frame::Dropped { .. } => FrameKind::Dropped,
+            Frame::Finished { .. } => FrameKind::Finished,
         }
     }
 
@@ -159,7 +193,7 @@ impl Frame {
     pub fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.push(VERSION);
-        buf.push(self.kind());
+        buf.push(self.kind() as u8);
         let len_at = buf.len();
         buf.extend_from_slice(&0u32.to_le_bytes()); // patched below
         match *self {
@@ -246,11 +280,13 @@ impl<'a> Body<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, NetError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self) -> Result<u64, NetError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     fn f32(&mut self) -> Result<f32, NetError> {
@@ -295,7 +331,7 @@ fn decode_header(header: &[u8; HEADER_BYTES]) -> Result<(u8, usize), NetError> {
         return Err(NetError::Version { got: version, want: VERSION });
     }
     let kind = header[3];
-    let body_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let body_len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
     if body_len > MAX_BODY_BYTES {
         return Err(NetError::Oversized { kind, len: body_len });
     }
@@ -304,27 +340,34 @@ fn decode_header(header: &[u8; HEADER_BYTES]) -> Result<(u8, usize), NetError> {
 
 fn decode_body(kind: u8, bytes: &[u8]) -> Result<Frame, NetError> {
     let mut b = Body::new(bytes);
-    let frame = match kind {
-        1 => Frame::Hello { client: b.u32()?, trainable: b.u8()? != 0, fingerprint: b.u64()? },
-        2 => Frame::Welcome { client: b.u32()?, fleet: b.u32()?, rounds: b.u32()? },
-        3 => {
+    let frame = match FrameKind::from_u8(kind).ok_or(NetError::UnknownKind(kind))? {
+        FrameKind::Hello => {
+            Frame::Hello { client: b.u32()?, trainable: b.u8()? != 0, fingerprint: b.u64()? }
+        }
+        FrameKind::Welcome => {
+            Frame::Welcome { client: b.u32()?, fleet: b.u32()?, rounds: b.u32()? }
+        }
+        FrameKind::Reject => {
             let client = b.u32()?;
             let code = b.u8()?;
             let reason =
                 RejectReason::from_code(code).ok_or(NetError::Truncated("bad reject code"))?;
             Frame::Reject { client, reason }
         }
-        4 => Frame::Announce { client: b.u32()?, round: b.u32()?, deadline_ms: b.u32()? },
-        5 => Frame::Upload {
+        FrameKind::Announce => {
+            Frame::Announce { client: b.u32()?, round: b.u32()?, deadline_ms: b.u32()? }
+        }
+        FrameKind::Upload => Frame::Upload {
             client: b.u32()?,
             round: b.u32()?,
             loss: b.f32()?,
             triples: b.triples()?,
         },
-        6 => Frame::Disperse { client: b.u32()?, round: b.u32()?, triples: b.triples()? },
-        7 => Frame::Dropped { client: b.u32()?, round: b.u32()? },
-        8 => Frame::Finished { rounds: b.u32()? },
-        other => return Err(NetError::UnknownKind(other)),
+        FrameKind::Disperse => {
+            Frame::Disperse { client: b.u32()?, round: b.u32()?, triples: b.triples()? }
+        }
+        FrameKind::Dropped => Frame::Dropped { client: b.u32()?, round: b.u32()? },
+        FrameKind::Finished => Frame::Finished { rounds: b.u32()? },
     };
     b.finish(kind)?;
     Ok(frame)
@@ -336,7 +379,8 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
     if bytes.len() < HEADER_BYTES {
         return Err(NetError::Truncated("frame header"));
     }
-    let header: [u8; HEADER_BYTES] = bytes[..HEADER_BYTES].try_into().unwrap();
+    let mut header = [0u8; HEADER_BYTES];
+    header.copy_from_slice(&bytes[..HEADER_BYTES]);
     let (kind, body_len) = decode_header(&header)?;
     let body = &bytes[HEADER_BYTES..];
     if body.len() != body_len {

@@ -55,21 +55,29 @@ pub struct CountingAlloc;
 // SAFETY: delegates every operation to `System`; the bookkeeping around it
 // touches only atomics and a const-initialized thread-local.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`, which upholds
+    // the `GlobalAlloc` contract; the counter update never allocates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         on_alloc(layout.size());
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from a matching `alloc` on this same
+    // `System` delegate, so forwarding them to `System.dealloc` is sound.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         on_dealloc(layout.size());
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same argument as `alloc`; `System.alloc_zeroed` upholds the
+    // zero-initialization contract itself.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         on_alloc(layout.size());
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from a matching `alloc`, and `new_size`
+    // is forwarded unchanged, so `System.realloc`'s contract is met.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // a grow/shrink counts as one allocation event and adjusts the
         // live-byte figure by the delta
