@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate the cohort runtime's flat-heap guarantee.
+
+Reads the `scale_rows` section of BENCH_paper_scale.json (written by
+`PTF_BENCH_PRESETS=scale-10k,scale-100k,... cargo bench --bench
+bench_paper_scale`) and fails unless peak heap stays bounded by the
+cohort — not the user count — as the fleet grows.
+
+The runtime's heap has two parts:
+
+* an O(cohort) part — resident client models, server state, scratch —
+  identical across presets (same cohort/participant knobs), and
+* O(users) *index* transients that are fundamental and cheap: the arena
+  writer's u64 indptr (8 B/user, freed when generation finishes), the
+  trainable-user sweep and the per-round partial Fisher-Yates
+  participation draw (4 B/user of u32 each).
+
+So the gate allows peak(large) - peak(small) up to
+PER_USER_BYTES * (users_large - users_small) + ABS_SLACK_BYTES and
+nothing more. Any per-user *model* state (~tens of KB/user) blows the
+bound by orders of magnitude immediately. Measured on the dev container
+(MF/MF, 3 rounds, 256 participants, cohort 1024): 10k users -> 7.0 MB
+peak, 100k -> 7.8 MB, 1M -> 14.9 MB — ~8 B/user of growth, i.e. the
+indptr.
+"""
+
+import json
+import os
+import sys
+
+# 2x the measured ~8 B/user so runner variance in transient high-water
+# marks cannot flake the gate, while per-user model state still fails.
+PER_USER_BYTES = int(os.environ.get("PTF_SCALE_PER_USER_BYTES", "16"))
+ABS_SLACK_BYTES = int(os.environ.get("PTF_SCALE_ABS_SLACK", str(8 << 20)))
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main():
+    path = os.path.join(ROOT, "BENCH_paper_scale.json")
+    with open(path) as f:
+        rows = json.load(f).get("scale_rows", [])
+    if len(rows) < 2:
+        print(f"::error::need at least two scale_rows in {path} to compare, got {len(rows)}")
+        sys.exit(1)
+    rows.sort(key=lambda r: r["users"])
+    for row in rows:
+        print(
+            f"{row['preset']:12} {row['users']:>9} users  "
+            f"peak heap {row['peak_heap_bytes'] / 2**20:8.1f} MB  "
+            f"arena {row['arena_bytes'] / 2**20:8.1f} MB (on disk)  "
+            f"rounds/sec {row['rounds_per_sec']:.3f}"
+        )
+    failures = []
+    small = rows[0]
+    for large in rows[1:]:
+        growth = large["peak_heap_bytes"] - small["peak_heap_bytes"]
+        allowed = PER_USER_BYTES * (large["users"] - small["users"]) + ABS_SLACK_BYTES
+        verdict = "OK" if growth <= allowed else "NOT FLAT"
+        print(
+            f"{small['preset']} -> {large['preset']}: "
+            f"{large['users'] / small['users']:.0f}x users, heap growth "
+            f"{growth / 2**20:+.1f} MB (allowed {allowed / 2**20:.1f} MB)  {verdict}"
+        )
+        if growth > allowed:
+            failures.append(
+                f"{large['preset']}: peak heap grew {growth} bytes over "
+                f"{small['preset']} (> {allowed} = {PER_USER_BYTES} B/user "
+                "+ slack) — per-user state leaked into the cohort runtime"
+            )
+    if failures:
+        for f in failures:
+            print(f"::error::{f}")
+        sys.exit(1)
+    print("scale flat-heap gate passed")
+
+
+if __name__ == "__main__":
+    main()

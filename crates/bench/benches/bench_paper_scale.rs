@@ -22,18 +22,34 @@
 //! Writes `BENCH_paper_scale.json` at the workspace root. Knobs:
 //! `PTF_BENCH_ROUNDS` (default 3), `PTF_BENCH_EPOCHS` (client epochs,
 //! default 2), `PTF_SEED`, `PTF_BENCH_PRESETS` (comma list of
-//! `ml100k,steam,gowalla`; default all), `PTF_BENCH_KERNEL`
-//! (`scalar|vector` pins the compute-kernel backend; `ab` runs every
-//! preset under **both** backends and records the scalar rounds/sec
-//! and the vector speedup per row; the primary backend is recorded as
-//! `kernel_backend` in the JSON), and `PTF_BENCH_MODELS`
-//! (`client/server`, e.g. `neumf/ngcf` — swaps the MF/MF throughput
-//! pairing for one of the paper's autograd models; the pairing is
-//! recorded as `client_model`/`server_model`).
+//! `ml100k,steam,gowalla,scale-10k,scale-100k,scale-1m`; default the
+//! three paper presets), `PTF_BENCH_KERNEL` (`scalar|vector` pins the
+//! compute-kernel backend; `ab` runs every paper preset under **both**
+//! backends and records the scalar rounds/sec and the vector speedup
+//! per row; the primary backend is recorded as `kernel_backend` in the
+//! JSON), and `PTF_BENCH_MODELS` (`client/server`, e.g. `neumf/ngcf` —
+//! swaps the MF/MF throughput pairing for one of the paper's autograd
+//! models; the pairing is recorded as `client_model`/`server_model`).
+//!
+//! The `scale-*` presets exercise the million-user cohort runtime
+//! instead of the resident fleet: the dataset is generated streaming
+//! into an on-disk CSR arena and trained through `CohortFedRec`
+//! (`ServerScope::ActiveParticipants`, envelopes on disk), so the row's
+//! `peak_heap_bytes` is the number the flat-heap story stands on —
+//! `ci/check_scale_flat_heap.py` gates that it stays bounded by the
+//! cohort, not the user count, as users grow 10×. Scale rows always run
+//! MF/MF under the active backend (no A/B) with
+//! `PTF_BENCH_SCALE_PARTICIPANTS` sampled clients per round (default
+//! 256) in cohorts of `PTF_BENCH_SCALE_COHORT` (default 1024), and
+//! land in the report's separate `scale_rows` section.
 
 use ptf_bench::{fmt4, Table};
-use ptf_core::{DefenseKind, Federation, PtfConfig, StorageMode};
-use ptf_data::{DatasetPreset, DatasetStats, TrainTestSplit};
+use ptf_core::{
+    CohortData, CohortFedRec, CohortOptions, DefenseKind, Federation, PtfConfig, ServerScope,
+    StorageMode, StoreKind,
+};
+use ptf_data::{CsrArena, DatasetPreset, DatasetStats, ScaleConfig, TrainTestSplit};
+use ptf_federated::{Engine, Participation};
 use ptf_models::{ModelHyper, ModelKind};
 use ptf_tensor::alloc;
 use ptf_tensor::kernels::{set_backend, Backend};
@@ -85,6 +101,43 @@ struct PresetRow {
     kernel_speedup: Option<f64>,
 }
 
+/// One run of a `scale-*` preset through the cohort runtime. The
+/// resident-fleet metrics (`dense_clients`, per-round alloc counts) do
+/// not apply — clients live in envelopes between participations — so
+/// scale rows carry their own schema.
+#[derive(Serialize)]
+struct ScaleRow {
+    preset: String,
+    users: usize,
+    items: usize,
+    /// Total interactions in the generated arena.
+    interactions: u64,
+    rounds: u32,
+    /// Sampled clients per round (`Participation::min_clients`).
+    participants: usize,
+    /// Max clients resident during the parallel client phase.
+    cohort: usize,
+    /// Streaming arena generation (the dataset never goes resident).
+    gen_seconds: f64,
+    /// `CohortFedRec` construction (trainable sweep + server build).
+    build_seconds: f64,
+    run_seconds: f64,
+    rounds_per_sec: f64,
+    /// Live-heap high-water mark over generation + build + all rounds.
+    /// The flat-heap claim: bounded by `O(cohort)` model state plus
+    /// `O(users)` *index* transients (u32/u64 vectors in the arena
+    /// writer, trainable sweep, and participation draw) — never by
+    /// per-user model state.
+    peak_heap_bytes: usize,
+    /// On-disk size of the CSR arena (the part that stayed off-heap).
+    arena_bytes: u64,
+    /// Rows of the server's user table — the ever-participating set
+    /// under `ServerScope::ActiveParticipants`, not the fleet.
+    server_user_rows: usize,
+    bytes_per_round: f64,
+    avg_client_bytes_per_round: f64,
+}
+
 #[derive(Serialize)]
 struct PaperScaleReport {
     hardware_threads: usize,
@@ -98,28 +151,40 @@ struct PaperScaleReport {
     client_model: String,
     server_model: String,
     rows: Vec<PresetRow>,
+    /// `scale-*` presets through the cohort runtime (MF/MF).
+    scale_rows: Vec<ScaleRow>,
 }
 
 fn env_u64(key: &str, default: u64) -> u64 {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
-fn wanted_presets() -> Vec<DatasetPreset> {
+/// A benchmarkable preset: a paper dataset through the resident-fleet
+/// engine, or a `scale-*` synthetic through the cohort runtime.
+enum BenchPreset {
+    Paper(DatasetPreset),
+    Scale(&'static str),
+}
+
+fn wanted_presets() -> Vec<BenchPreset> {
     let Ok(spec) = std::env::var("PTF_BENCH_PRESETS") else {
-        return DatasetPreset::ALL.to_vec();
+        return DatasetPreset::ALL.iter().copied().map(BenchPreset::Paper).collect();
     };
     let mut out = Vec::new();
     for token in spec.split(',') {
         match token.trim().to_ascii_lowercase().as_str() {
-            "ml100k" | "movielens" => out.push(DatasetPreset::MovieLens100K),
-            "steam" => out.push(DatasetPreset::Steam200K),
-            "gowalla" => out.push(DatasetPreset::Gowalla),
+            "ml100k" | "movielens" => out.push(BenchPreset::Paper(DatasetPreset::MovieLens100K)),
+            "steam" => out.push(BenchPreset::Paper(DatasetPreset::Steam200K)),
+            "gowalla" => out.push(BenchPreset::Paper(DatasetPreset::Gowalla)),
+            "scale-10k" | "scale10k" => out.push(BenchPreset::Scale("scale-10k")),
+            "scale-100k" | "scale100k" => out.push(BenchPreset::Scale("scale-100k")),
+            "scale-1m" | "scale1m" => out.push(BenchPreset::Scale("scale-1m")),
             "" => {}
             other => eprintln!("[bench_paper_scale] unknown preset {other:?}, skipping"),
         }
     }
     if out.is_empty() {
-        DatasetPreset::ALL.to_vec()
+        DatasetPreset::ALL.iter().copied().map(BenchPreset::Paper).collect()
     } else {
         out
     }
@@ -258,6 +323,82 @@ fn run_preset(
     }
 }
 
+/// One `scale-*` preset through the cohort runtime: streamed arena
+/// generation, `CohortFedRec` with on-disk envelopes and an
+/// active-participant server scope, MF/MF models.
+fn run_scale_preset(name: &str, rounds: u32, epochs: u32, seed: u64) -> ScaleRow {
+    let sc = ScaleConfig::preset(name).expect("known scale preset");
+    let participants =
+        (env_u64("PTF_BENCH_SCALE_PARTICIPANTS", 256) as usize).clamp(1, sc.num_users);
+    let cohort = env_u64("PTF_BENCH_SCALE_COHORT", 1024) as usize;
+
+    let root = std::env::temp_dir().join(format!("ptf-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench scratch dir");
+    let arena_path = root.join("data.arena");
+
+    let mut cfg = PtfConfig::paper();
+    cfg.rounds = rounds;
+    cfg.client_epochs = epochs;
+    cfg.seed = seed;
+    cfg.defense = DefenseKind::NoDefense;
+    cfg.participation = Participation { fraction: 0.0, min_clients: participants };
+
+    alloc::reset_peak();
+    let gen_start = Instant::now();
+    sc.write_arena(seed, &arena_path).expect("arena generation");
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
+    let arena_bytes = std::fs::metadata(&arena_path).map(|m| m.len()).unwrap_or(0);
+    let arena = CsrArena::open(&arena_path).expect("arena open");
+    let interactions = arena.nnz();
+
+    let build_start = Instant::now();
+    let opts = CohortOptions {
+        cohort,
+        store: StoreKind::Disk(root.join("clients")),
+        server_scope: ServerScope::ActiveParticipants,
+    };
+    let cohort_fed = CohortFedRec::try_new(
+        CohortData::Arena(arena),
+        ModelKind::Mf,
+        ModelKind::Mf,
+        &ModelHyper::default(),
+        cfg,
+        opts,
+    )
+    .expect("scale config is valid");
+    let build_seconds = build_start.elapsed().as_secs_f64();
+    let server_user_rows = cohort_fed.server_users();
+
+    let mut engine = Engine::new(cohort_fed);
+    let run_start = Instant::now();
+    let trace = engine.run();
+    let run_seconds = run_start.elapsed().as_secs_f64();
+    let peak_heap_bytes = alloc::peak_bytes();
+    assert_eq!(trace.num_rounds(), rounds as usize);
+
+    let summary = engine.ledger().summary();
+    let _ = std::fs::remove_dir_all(&root);
+    ScaleRow {
+        preset: name.to_string(),
+        users: sc.num_users,
+        items: sc.num_items,
+        interactions,
+        rounds,
+        participants,
+        cohort,
+        gen_seconds,
+        build_seconds,
+        run_seconds,
+        rounds_per_sec: rounds as f64 / run_seconds,
+        peak_heap_bytes,
+        arena_bytes,
+        server_user_rows,
+        bytes_per_round: summary.total_bytes as f64 / rounds.max(1) as f64,
+        avg_client_bytes_per_round: summary.avg_client_bytes_per_round,
+    }
+}
+
 fn main() {
     let rounds = env_u64("PTF_BENCH_ROUNDS", 3) as u32;
     let epochs = env_u64("PTF_BENCH_EPOCHS", 2) as u32;
@@ -274,9 +415,35 @@ fn main() {
         title,
         &["dataset", "users×items", "rounds/sec", "peak heap MB", "KB/client/round", "row cut"],
     );
+    let mut scale_table = Table::new(
+        "Million-user cohort runtime (MF/MF, streamed arena)".to_string(),
+        &["preset", "users", "rounds/sec", "peak heap MB", "arena MB", "gen s"],
+    );
     let mut rows = Vec::new();
+    let mut scale_rows = Vec::new();
 
     for preset in wanted_presets() {
+        let preset = match preset {
+            BenchPreset::Paper(p) => p,
+            BenchPreset::Scale(name) => {
+                // scale rows run once under the primary backend — in ab
+                // mode that is vector, the committed report's default
+                if matches!(mode, KernelMode::Ab) {
+                    set_backend(Backend::Vector);
+                }
+                let row = run_scale_preset(name, rounds, epochs, seed);
+                scale_table.row(vec![
+                    row.preset.clone(),
+                    row.users.to_string(),
+                    fmt4(row.rounds_per_sec),
+                    format!("{:.1}", row.peak_heap_bytes as f64 / (1024.0 * 1024.0)),
+                    format!("{:.1}", row.arena_bytes as f64 / (1024.0 * 1024.0)),
+                    format!("{:.1}", row.gen_seconds),
+                ]);
+                scale_rows.push(row);
+                continue;
+            }
+        };
         let row = match mode {
             KernelMode::Ab => {
                 // scalar first, vector second: the committed report's
@@ -310,7 +477,12 @@ fn main() {
         rows.push(row);
     }
 
-    table.print();
+    if !rows.is_empty() {
+        table.print();
+    }
+    if !scale_rows.is_empty() {
+        scale_table.print();
+    }
 
     let report = PaperScaleReport {
         hardware_threads: ptf_tensor::par::available_threads(),
@@ -320,6 +492,7 @@ fn main() {
         client_model: client_kind.name().to_string(),
         server_model: server_kind.name().to_string(),
         rows,
+        scale_rows,
     };
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_paper_scale.json");

@@ -1,7 +1,7 @@
 //! The communication ledger.
 
 use crate::message::{Endpoint, Message, Payload};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Append-only record of every message a protocol run produced, with the
@@ -21,6 +21,23 @@ pub struct CommLedger {
     downloads_bytes: u64,
     messages: u64,
     rounds_seen: u32,
+}
+
+/// Serialized form of a [`CommLedger`], used by checkpoint manifests.
+///
+/// The per-(client, round) map is flattened into three parallel arrays
+/// sorted by `(client, round)` so the encoding is deterministic (the
+/// in-memory map is a `HashMap`, whose iteration order is not).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LedgerWire {
+    pub total_bytes: u64,
+    pub uploads_bytes: u64,
+    pub downloads_bytes: u64,
+    pub messages: u64,
+    pub rounds_seen: u32,
+    pub entry_clients: Vec<u32>,
+    pub entry_rounds: Vec<u32>,
+    pub entry_bytes: Vec<u64>,
 }
 
 /// Aggregated view of a ledger.
@@ -105,6 +122,53 @@ impl CommLedger {
         sum as f64 / self.by_client_round.len() as f64
     }
 
+    /// Captures the full ledger state for a checkpoint manifest.
+    pub fn snapshot(&self) -> LedgerWire {
+        let mut entries: Vec<(u32, u32, u64)> =
+            // lint: allow(determinism) — entries are sorted before encoding
+            self.by_client_round.iter().map(|(&(c, r), &b)| (c, r, b)).collect();
+        entries.sort_unstable();
+        LedgerWire {
+            total_bytes: self.total_bytes,
+            uploads_bytes: self.uploads_bytes,
+            downloads_bytes: self.downloads_bytes,
+            messages: self.messages,
+            rounds_seen: self.rounds_seen,
+            entry_clients: entries.iter().map(|e| e.0).collect(),
+            entry_rounds: entries.iter().map(|e| e.1).collect(),
+            entry_bytes: entries.iter().map(|e| e.2).collect(),
+        }
+    }
+
+    /// Rebuilds a ledger from a [`snapshot`](Self::snapshot).
+    ///
+    /// Fails if the parallel entry arrays disagree in length.
+    pub fn restore(wire: &LedgerWire) -> Result<Self, String> {
+        if wire.entry_clients.len() != wire.entry_rounds.len()
+            || wire.entry_clients.len() != wire.entry_bytes.len()
+        {
+            return Err(format!(
+                "ledger snapshot arrays disagree: {} clients, {} rounds, {} bytes",
+                wire.entry_clients.len(),
+                wire.entry_rounds.len(),
+                wire.entry_bytes.len()
+            ));
+        }
+        let mut by_client_round = HashMap::with_capacity(wire.entry_clients.len());
+        for i in 0..wire.entry_clients.len() {
+            by_client_round
+                .insert((wire.entry_clients[i], wire.entry_rounds[i]), wire.entry_bytes[i]);
+        }
+        Ok(Self {
+            total_bytes: wire.total_bytes,
+            by_client_round,
+            uploads_bytes: wire.uploads_bytes,
+            downloads_bytes: wire.downloads_bytes,
+            messages: wire.messages,
+            rounds_seen: wire.rounds_seen,
+        })
+    }
+
     pub fn summary(&self) -> LedgerSummary {
         LedgerSummary {
             total_bytes: self.total_bytes,
@@ -160,5 +224,33 @@ mod tests {
         let s = ledger.summary();
         assert_eq!(s.rounds, 3, "empty rounds must count");
         assert_eq!(s.messages, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut ledger = CommLedger::new();
+        ledger.begin_round(0);
+        ledger.upload(3, 0, "up", Payload::Triples { count: 5 });
+        ledger.download(3, 0, "down", Payload::ScoredItems { count: 2 });
+        ledger.begin_round(1);
+        ledger.upload(1, 1, "up", Payload::Triples { count: 9 });
+        let wire = ledger.snapshot();
+        // entries are sorted by (client, round) for deterministic encoding
+        assert_eq!(wire.entry_clients, vec![1, 3]);
+        let restored = CommLedger::restore(&wire).expect("restore");
+        assert_eq!(restored.summary(), ledger.summary());
+        // restored ledger keeps accumulating correctly
+        let mut a = ledger.clone();
+        let mut b = restored;
+        a.upload(2, 2, "up", Payload::Triples { count: 1 });
+        b.upload(2, 2, "up", Payload::Triples { count: 1 });
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn restore_rejects_ragged_arrays() {
+        let mut wire = CommLedger::new().snapshot();
+        wire.entry_clients.push(0);
+        assert!(CommLedger::restore(&wire).is_err());
     }
 }

@@ -17,6 +17,6 @@ pub mod ledger;
 pub mod message;
 pub mod report;
 
-pub use ledger::{CommLedger, LedgerSummary};
+pub use ledger::{CommLedger, LedgerSummary, LedgerWire};
 pub use message::{Endpoint, Message, Payload};
 pub use report::format_bytes;

@@ -1,0 +1,221 @@
+//! Durable checkpoint/resume for cohort runs.
+//!
+//! A checkpoint is a directory the trainer can be pointed back at after a
+//! crash (or a deliberate kill) such that the resumed run reproduces the
+//! uninterrupted run's `RunTrace` byte for byte. The layout and the
+//! guarantees are specified normatively in `docs/checkpoint-format.md`;
+//! in short:
+//!
+//! ```text
+//! CKPT/
+//!   manifest.json        round counter, config fingerprint, traces,
+//!                        ledger snapshot, server full-state envelope
+//!   commit-r{N}/         committed client envelopes as of round N
+//!     {id % 256:02x}/{id}.json
+//! ```
+//!
+//! **Crash safety by ordering.** A commit is written as (1) fresh
+//! `commit-r{N}` directory, (2) `manifest.json` via tmp-file + rename,
+//! (3) prune of older `commit-r{M}` directories. The manifest rename is
+//! the atomic commit point: a crash before it leaves the previous
+//! manifest (pointing at the previous, still-present commit dir) in
+//! force; a crash after it leaves at worst a stale `commit-r{M}` that the
+//! next save prunes. The live client store is *never* the thing resumed
+//! from — resume copies the committed envelopes back over it, discarding
+//! whatever the interrupted run wrote after the commit.
+//!
+//! **Validation before state.** [`load_manifest`] checks the format
+//! version and [`Manifest::verify_fingerprint`] checks the config
+//! fingerprint before any state is touched, so resuming with a drifted
+//! config/model/dataset shape fails with an error (CLI exit 1), not a
+//! panic or a silently diverging run.
+
+use crate::cohort::CohortFedRec;
+use ptf_comm::{CommLedger, LedgerWire};
+use ptf_federated::RoundTrace;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the manifest or envelope wire shapes change.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The checkpoint manifest — everything a resume needs besides the
+/// committed client envelopes.
+#[derive(Serialize, Deserialize)]
+pub struct Manifest {
+    pub version: u32,
+    /// `crate::config_fingerprint` of the run, as a 16-digit hex string
+    /// (a full-range u64 does not survive the JSON number channel).
+    pub fingerprint: String,
+    /// The next round the resumed engine will execute; `commit-r{next_round}`
+    /// holds the matching client envelopes.
+    pub next_round: u32,
+    /// Traces of rounds `0..next_round`, replayed into the resumed
+    /// recorder so the final `RunTrace` covers the whole run.
+    pub traces: Vec<RoundTrace>,
+    /// Communication-ledger snapshot at the commit point.
+    pub ledger: LedgerWire,
+    /// `PtfServer::export_full_state` envelope.
+    pub server: String,
+}
+
+impl Manifest {
+    /// Decodes the hex fingerprint field.
+    pub fn fingerprint_u64(&self) -> Result<u64, CheckpointError> {
+        u64::from_str_radix(&self.fingerprint, 16).map_err(|_| {
+            CheckpointError::Corrupt(format!(
+                "manifest fingerprint is not hex: {}",
+                self.fingerprint
+            ))
+        })
+    }
+
+    /// Rejects a manifest written under a different config/model/dataset
+    /// shape than the one the resume was invoked with.
+    pub fn verify_fingerprint(&self, expected: u64) -> Result<(), CheckpointError> {
+        let found = self.fingerprint_u64()?;
+        if found != expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "config fingerprint mismatch: checkpoint {found:016x}, run {expected:016x} \
+                 (the resumed invocation must use the original config, models, and dataset)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Why a checkpoint could not be written or resumed from.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    /// Unparseable or internally inconsistent checkpoint contents.
+    Corrupt(String),
+    /// Valid contents that do not belong to this run (version or
+    /// fingerprint drift).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint io: {e}"),
+            Self::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
+            Self::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Path of the manifest inside a checkpoint directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.json")
+}
+
+/// Path of the committed-envelope directory for a given `next_round`.
+pub fn commit_dir(dir: &Path, next_round: u32) -> PathBuf {
+    dir.join(format!("commit-r{next_round}"))
+}
+
+/// Commits the run's state after `protocol.rounds_completed()` rounds:
+/// client envelopes, then the manifest (the atomic commit point), then
+/// the prune of older commits. See the module docs for the crash-safety
+/// argument.
+pub fn save_checkpoint(
+    dir: &Path,
+    protocol: &CohortFedRec,
+    ledger: &CommLedger,
+    traces: &[RoundTrace],
+    fingerprint: u64,
+) -> Result<(), CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let next_round = protocol.rounds_completed();
+    let commit = commit_dir(dir, next_round);
+    if commit.exists() {
+        // leftover from a crash between envelope copy and manifest rename
+        std::fs::remove_dir_all(&commit)?;
+    }
+    protocol.snapshot_clients_to(&commit).map_err(CheckpointError::Corrupt)?;
+    let server = protocol.export_server_state().ok_or_else(|| {
+        CheckpointError::Corrupt("server model does not support full-state export".to_string())
+    })?;
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        fingerprint: format!("{fingerprint:016x}"),
+        next_round,
+        traces: traces.to_vec(),
+        ledger: ledger.snapshot(),
+        server,
+    };
+    let json =
+        serde_json::to_string(&manifest).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+    let tmp = dir.join("manifest.json.tmp");
+    std::fs::write(&tmp, json.as_bytes())?;
+    std::fs::rename(&tmp, manifest_path(dir))?;
+    prune_old_commits(dir, next_round)?;
+    Ok(())
+}
+
+/// Removes `commit-r{M}` directories other than the one the manifest
+/// points at. Unrecognized entries are left alone.
+fn prune_old_commits(dir: &Path, keep: u32) -> Result<(), CheckpointError> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(num) = name.strip_prefix("commit-r") else { continue };
+        match num.parse::<u32>() {
+            Ok(n) if n != keep => std::fs::remove_dir_all(entry.path())?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Reads and structurally validates the manifest. The config fingerprint
+/// is *not* checked here — the caller computes its own and calls
+/// [`Manifest::verify_fingerprint`], so the two failure modes (unreadable
+/// checkpoint vs. wrong run) stay distinguishable.
+pub fn load_manifest(dir: &Path) -> Result<Manifest, CheckpointError> {
+    let path = manifest_path(dir);
+    let text = std::fs::read_to_string(&path)?;
+    let manifest: Manifest = serde_json::from_str(&text)
+        .map_err(|e| CheckpointError::Corrupt(format!("manifest: {e}")))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(CheckpointError::Mismatch(format!(
+            "manifest version {} (this build reads version {MANIFEST_VERSION})",
+            manifest.version
+        )));
+    }
+    if manifest.traces.len() != manifest.next_round as usize {
+        return Err(CheckpointError::Corrupt(format!(
+            "manifest holds {} traces for next_round {}",
+            manifest.traces.len(),
+            manifest.next_round
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Rewinds a freshly constructed protocol to the manifest's commit
+/// point: server state, committed client envelopes (each validated to
+/// parse), round counter. The caller pairs this with
+/// `ptf_federated::Engine::resume` at the same round and a
+/// `CommLedger::restore` of the manifest's ledger snapshot.
+pub fn resume_protocol(
+    dir: &Path,
+    manifest: &Manifest,
+    protocol: &mut CohortFedRec,
+) -> Result<(), CheckpointError> {
+    protocol.restore_server_state(&manifest.server).map_err(CheckpointError::Corrupt)?;
+    let commit = commit_dir(dir, manifest.next_round);
+    protocol.reset_clients_from(&commit).map_err(CheckpointError::Corrupt)?;
+    protocol.set_rounds_completed(manifest.next_round);
+    Ok(())
+}

@@ -136,6 +136,37 @@ impl PtfClient {
         self.server_data = data;
     }
 
+    /// Serializes the model's complete training state (parameters,
+    /// optimizer moments, RNG streams) as a portable envelope, or `None`
+    /// for models without full-state support. The cohort runtime stores
+    /// this between a client's participations; together with
+    /// [`eviction_state`](Self::eviction_state) and
+    /// [`server_data`](Self::server_data) it captures everything that
+    /// carries across rounds (upload buffers are capacity-only, and the
+    /// ego graph is rebuilt each local round).
+    pub fn export_model_state(&self) -> Option<String> {
+        self.model.export_full_state()
+    }
+
+    /// Restores a model envelope from [`Self::export_model_state`]. The client
+    /// must have been built from the same architecture, per-client seed,
+    /// and data partition as the exporter.
+    pub fn import_model_state(&mut self, envelope: &str) -> Result<(), String> {
+        self.model.import_full_state(envelope)
+    }
+
+    /// The eviction-schedule state that must survive a client being
+    /// recycled: its local-round counter and the recency index.
+    pub fn eviction_state(&self) -> (u32, &[(u32, u32)]) {
+        (self.local_rounds, &self.touched)
+    }
+
+    /// Restores [`eviction_state`](Self::eviction_state).
+    pub fn restore_eviction_state(&mut self, local_rounds: u32, touched: Vec<(u32, u32)>) {
+        self.local_rounds = local_rounds;
+        self.touched = touched;
+    }
+
     /// Returns a spent upload's backing storage for reuse by this
     /// client's next round. The protocol calls this with the previous
     /// round's retained uploads before sampling the next one.
@@ -186,6 +217,23 @@ impl PtfClient {
         scratch.pool_ids.extend(self.server_data.iter().map(|&(i, _)| i));
         scratch.pool_ids.sort_unstable();
         scratch.pool_ids.dedup();
+
+        // Auto storage re-evaluation: the construction-time dense/sparse
+        // choice only sees `D_i`, but the dispersed set `D̃_i` grows the
+        // trained pool over rounds. Once the actual pool crosses the
+        // dense threshold, switch to the dense representation — a one-way
+        // ratchet that is bit-identical on every shared row (`densify` is
+        // representation-only). Skipped under eviction (the opposite
+        // policy: bound rows, don't materialize them all) and for NGCF,
+        // whose message-dropout stream is drawn over materialized rows —
+        // densifying would shift that stream.
+        if cfg.storage.evict_interval == 0
+            && self.kind != ModelKind::Ngcf
+            && self.model.scoped()
+            && cfg.storage.mode.wants_dense_pool(scratch.pool_ids.len(), num_items)
+        {
+            self.model.densify();
+        }
         self.model.prepare_items(&scratch.pool_ids);
 
         // 3. training samples (user id 0 inside the local model)

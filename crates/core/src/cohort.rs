@@ -1,0 +1,604 @@
+//! Cohort-sharded federation: the million-user runtime.
+//!
+//! [`crate::PtfFedRec`] keeps the whole client fleet resident — one
+//! `PtfClient` (model + optimizer state) per user — which is exactly
+//! right up to ~10⁵ users and hopeless at 10⁶. [`CohortFedRec`] runs the
+//! *same* protocol with peak memory `O(cohort)` instead of `O(users)`:
+//!
+//! * the dataset stays on disk ([`CohortData::Arena`] reads one user row
+//!   per client construction — see `ptf_data::arena`);
+//! * each round's participants are processed in bounded **cohorts**: a
+//!   cohort's clients are constructed (or restored from their envelopes),
+//!   trained in parallel, exported back to the client store, and
+//!   dropped before the next cohort starts;
+//! * a client's cross-round state travels as a `ClientEnvelope` —
+//!   model full-state envelope, dispersed set `D̃_i`, and the eviction
+//!   recency index. Everything else a resident client holds is either
+//!   rebuilt per round (the ego graph) or capacity-only (upload buffers).
+//!
+//! **Bit-parity.** Every RNG stream in a round is `(seed, round, id)`-
+//! derived and client construction is seed-derived, so a client restored
+//! from its envelope is indistinguishable from one that stayed resident.
+//! The trace of a cohort run is byte-identical to the unsharded engine at
+//! any cohort size and thread count — the parity suite in
+//! `tests/cohort_parity.rs` asserts exactly that.
+//!
+//! **Server scope.** The hidden server model has a `users × dim` user
+//! table — the one inherently `O(users)` structure in the protocol.
+//! Under [`ServerScope::FullFleet`] it is built exactly as the unsharded
+//! engine builds it (required for parity with [`crate::PtfFedRec`]).
+//! Under [`ServerScope::ActiveParticipants`] the table covers only the
+//! users that can ever participate (the union of every round's
+//! participation draw — deterministic given the config), keyed by their
+//! rank in that set; with partial participation this removes the last
+//! `O(users)` term from a scale run's heap. The id compaction is visible
+//! only inside the server model — ledger records, dispersal keys, and
+//! all RNG streams stay on raw user ids (see
+//! [`crate::rounds::server_phase_mapped`]).
+
+use crate::client::PtfClient;
+use crate::config::{ConfigError, PtfConfig};
+use crate::rounds;
+use crate::server::PtfServer;
+use crate::upload::ClientUpload;
+use ptf_data::{CsrArena, Dataset};
+use ptf_federated::{
+    derive_seed, ClientData, FederatedProtocol, RngStream, RoundCtx, RoundTrace, Scheduler,
+    ScratchPool,
+};
+use ptf_models::{ModelHyper, ModelKind, Recommender};
+use ptf_privacy::ScoredItem;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The interaction data backing a cohort run.
+pub enum CohortData {
+    /// Fully materialized dataset (parity tests, small presets).
+    Mem(Dataset),
+    /// On-disk CSR arena — one row resident at a time.
+    Arena(CsrArena),
+}
+
+impl CohortData {
+    pub fn num_users(&self) -> usize {
+        match self {
+            Self::Mem(d) => d.num_users(),
+            Self::Arena(a) => a.num_users(),
+        }
+    }
+
+    pub fn num_items(&self) -> usize {
+        match self {
+            Self::Mem(d) => d.num_items(),
+            Self::Arena(a) => a.num_items(),
+        }
+    }
+
+    /// Reads `user`'s positives into `out` (cleared on entry).
+    fn row_into(&self, user: u32, out: &mut Vec<u32>) {
+        match self {
+            Self::Mem(d) => {
+                out.clear();
+                out.extend_from_slice(d.user_items(user));
+            }
+            Self::Arena(a) => {
+                a.read_user_into(user, out).expect("arena row read");
+            }
+        }
+    }
+
+    /// Users with at least one interaction, ascending.
+    fn trainable(&self) -> Vec<u32> {
+        match self {
+            Self::Mem(d) => {
+                (0..d.num_users() as u32).filter(|&u| !d.user_items(u).is_empty()).collect()
+            }
+            Self::Arena(a) => a.nonempty_users().expect("arena indptr sweep"),
+        }
+    }
+}
+
+/// Where client envelopes live between participations.
+#[derive(Clone, Debug)]
+pub enum StoreKind {
+    /// In-process map — `O(touched clients)` heap. Fine for parity tests
+    /// and small runs; scale runs want [`StoreKind::Disk`].
+    Memory,
+    /// On-disk store rooted at the given directory (created if absent).
+    /// The run's heap stays `O(cohort)`; the directory grows
+    /// `O(touched clients)`.
+    Disk(PathBuf),
+}
+
+/// How the hidden server model's user table is scoped (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerScope {
+    /// One row per fleet user — bit-identical to the unsharded engine.
+    FullFleet,
+    /// One row per ever-participating user (compact ids). Scale mode;
+    /// self-consistent across cohort sizes/threads/resume, but a
+    /// different run than `FullFleet` (different server init draws).
+    ActiveParticipants,
+}
+
+/// Construction knobs for [`CohortFedRec`].
+#[derive(Clone, Debug)]
+pub struct CohortOptions {
+    /// Max clients resident during the parallel client phase
+    /// (0 = all of the round's participants in one cohort).
+    pub cohort: usize,
+    pub store: StoreKind,
+    pub server_scope: ServerScope,
+}
+
+impl Default for CohortOptions {
+    fn default() -> Self {
+        Self { cohort: 0, store: StoreKind::Memory, server_scope: ServerScope::FullFleet }
+    }
+}
+
+/// A client's cross-round state at rest. Parallel arrays instead of
+/// tuple vectors keep the encoding in the workspace's minimal JSON
+/// vocabulary; the model rides along as its own nested full-state
+/// envelope (see `docs/checkpoint-format.md`).
+#[derive(Serialize, Deserialize)]
+struct ClientEnvelope {
+    /// Global round this envelope was last written in (debug/validation).
+    round: u32,
+    /// Eviction schedule: the client's local-round counter…
+    local_rounds: u32,
+    /// …and the recency index, split `(item, last-touched round)`.
+    touched_items: Vec<u32>,
+    touched_rounds: Vec<u32>,
+    /// The dispersed set `D̃_i`, split `(item, score)`.
+    disp_items: Vec<u32>,
+    disp_scores: Vec<f32>,
+    /// `Recommender::export_full_state` envelope.
+    model: String,
+}
+
+/// Envelope storage: load is read-only (called from parallel workers);
+/// save is serial.
+enum ClientStore {
+    Memory(BTreeMap<u32, String>),
+    Disk { root: PathBuf },
+}
+
+/// `id`-sharded relative path of a client's envelope file.
+fn envelope_rel(id: u32) -> (String, String) {
+    (format!("{:02x}", id % 256), format!("{id}.json"))
+}
+
+impl ClientStore {
+    fn load(&self, id: u32) -> Option<String> {
+        match self {
+            Self::Memory(map) => map.get(&id).cloned(),
+            Self::Disk { root } => {
+                let (shard, file) = envelope_rel(id);
+                match std::fs::read_to_string(root.join(shard).join(file)) {
+                    Ok(s) => Some(s),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                    Err(e) => panic!("client store read for {id}: {e}"),
+                }
+            }
+        }
+    }
+
+    fn save(&mut self, id: u32, json: &str) {
+        match self {
+            Self::Memory(map) => {
+                map.insert(id, json.to_string());
+            }
+            Self::Disk { root } => {
+                let (shard, file) = envelope_rel(id);
+                let dir = root.join(shard);
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| panic!("client store shard dir: {e}"));
+                // tmp + rename so a crash mid-write never leaves a torn
+                // envelope where a resume would read it
+                let tmp = dir.join(format!("{id}.json.tmp"));
+                std::fs::write(&tmp, json).unwrap_or_else(|e| panic!("client store write: {e}"));
+                std::fs::rename(&tmp, dir.join(file))
+                    .unwrap_or_else(|e| panic!("client store rename: {e}"));
+            }
+        }
+    }
+}
+
+/// Cohort-sharded PTF-FedRec (see module docs).
+pub struct CohortFedRec {
+    pub cfg: PtfConfig,
+    client_kind: ModelKind,
+    server_kind: ModelKind,
+    hyper: ModelHyper,
+    data: CohortData,
+    trainable: Vec<u32>,
+    server: PtfServer,
+    /// `Some(active)` under [`ServerScope::ActiveParticipants`]: the
+    /// sorted ever-participating user set the server model is keyed by.
+    user_map: Option<Vec<u32>>,
+    scheduler: Scheduler,
+    scratch: ScratchPool,
+    store: ClientStore,
+    cohort: usize,
+    round: u32,
+}
+
+impl CohortFedRec {
+    /// Builds the cohort runtime. Unlike [`crate::PtfFedRec::try_new`]
+    /// this constructs *no* clients — they materialize lazily, cohort by
+    /// cohort, as rounds sample them.
+    pub fn try_new(
+        data: CohortData,
+        client_kind: ModelKind,
+        server_kind: ModelKind,
+        hyper: &ModelHyper,
+        cfg: PtfConfig,
+        opts: CohortOptions,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let scheduler = Scheduler::new(cfg.threads);
+        let trainable = data.trainable();
+        let user_map = match opts.server_scope {
+            ServerScope::FullFleet => None,
+            ServerScope::ActiveParticipants => Some(active_users(&cfg, &trainable)),
+        };
+        let server_users = user_map.as_ref().map_or(data.num_users(), Vec::len);
+        let server = rounds::build_server(server_users, data.num_items(), server_kind, hyper, &cfg);
+        let store = match opts.store {
+            StoreKind::Memory => ClientStore::Memory(BTreeMap::new()),
+            StoreKind::Disk(root) => {
+                std::fs::create_dir_all(&root)
+                    .unwrap_or_else(|e| panic!("client store root {}: {e}", root.display()));
+                ClientStore::Disk { root }
+            }
+        };
+        let scratch = ScratchPool::with_reuse(cfg.scratch_reuse);
+        Ok(Self {
+            cfg,
+            client_kind,
+            server_kind,
+            hyper: hyper.clone(),
+            data,
+            trainable,
+            server,
+            user_map,
+            scheduler,
+            scratch,
+            store,
+            cohort: opts.cohort,
+            round: 0,
+        })
+    }
+
+    pub fn rounds_completed(&self) -> u32 {
+        self.round
+    }
+
+    /// The clients (ascending id) the participation policy may sample.
+    pub fn trainable(&self) -> &[u32] {
+        &self.trainable
+    }
+
+    /// Rows of the hidden server model's user table — `num_users` under
+    /// [`ServerScope::FullFleet`], the active-participant count under
+    /// [`ServerScope::ActiveParticipants`].
+    pub fn server_users(&self) -> usize {
+        self.user_map.as_ref().map_or(self.data.num_users(), Vec::len)
+    }
+
+    pub fn server(&self) -> &PtfServer {
+        &self.server
+    }
+
+    /// Serializes the server's full state for a checkpoint manifest.
+    pub fn export_server_state(&self) -> Option<String> {
+        self.server.export_full_state()
+    }
+
+    /// Restores the server from a checkpoint manifest's envelope.
+    pub fn restore_server_state(&mut self, envelope: &str) -> Result<(), String> {
+        self.server = PtfServer::import_full_state(
+            envelope,
+            self.server_users(),
+            self.data.num_items(),
+            self.server_kind,
+            &self.hyper,
+            self.cfg.graph_threshold,
+        )?;
+        Ok(())
+    }
+
+    /// Fast-forwards the round counter to a checkpoint's `next_round`.
+    /// Only meaningful right after construction, together with
+    /// [`restore_server_state`](Self::restore_server_state) and
+    /// [`reset_clients_from`](Self::reset_clients_from); the engine must
+    /// be resumed at the same round (`ptf_federated::Engine::resume`).
+    pub fn set_rounds_completed(&mut self, round: u32) {
+        self.round = round;
+    }
+
+    /// Copies every stored client envelope into `dir` (created fresh) —
+    /// the client half of a checkpoint commit.
+    pub fn snapshot_clients_to(&self, dir: &Path) -> Result<(), String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("snapshot dir: {e}"))?;
+        match &self.store {
+            ClientStore::Memory(map) => {
+                for (&id, json) in map {
+                    let (shard, file) = envelope_rel(id);
+                    let sdir = dir.join(shard);
+                    std::fs::create_dir_all(&sdir).map_err(|e| format!("snapshot shard: {e}"))?;
+                    std::fs::write(sdir.join(file), json)
+                        .map_err(|e| format!("snapshot write for client {id}: {e}"))?;
+                }
+                Ok(())
+            }
+            ClientStore::Disk { root } => walk_envelopes(root, |id, src| {
+                let (shard, file) = envelope_rel(id);
+                let sdir = dir.join(shard);
+                std::fs::create_dir_all(&sdir).map_err(|e| format!("snapshot shard: {e}"))?;
+                std::fs::copy(src, sdir.join(file))
+                    .map_err(|e| format!("snapshot copy for client {id}: {e}"))?;
+                Ok(())
+            }),
+        }
+    }
+
+    /// Replaces the live client store with the committed envelopes in
+    /// `dir` — the client half of a resume. Every envelope is validated
+    /// to parse (a corrupted one fails the resume here, not mid-round).
+    pub fn reset_clients_from(&mut self, dir: &Path) -> Result<(), String> {
+        match &mut self.store {
+            ClientStore::Memory(map) => {
+                map.clear();
+                let map = std::cell::RefCell::new(map);
+                walk_envelopes(dir, |id, src| {
+                    let json = std::fs::read_to_string(&src)
+                        .map_err(|e| format!("committed envelope for client {id}: {e}"))?;
+                    validate_envelope(id, &json)?;
+                    map.borrow_mut().insert(id, json);
+                    Ok(())
+                })
+            }
+            ClientStore::Disk { root } => {
+                let root = root.clone();
+                // drop any post-checkpoint state from the interrupted run
+                if root.exists() {
+                    std::fs::remove_dir_all(&root).map_err(|e| format!("clear store: {e}"))?;
+                }
+                std::fs::create_dir_all(&root).map_err(|e| format!("recreate store: {e}"))?;
+                walk_envelopes(dir, |id, src| {
+                    let json = std::fs::read_to_string(&src)
+                        .map_err(|e| format!("committed envelope for client {id}: {e}"))?;
+                    validate_envelope(id, &json)?;
+                    let (shard, file) = envelope_rel(id);
+                    let sdir = root.join(shard);
+                    std::fs::create_dir_all(&sdir).map_err(|e| format!("restore shard: {e}"))?;
+                    std::fs::write(sdir.join(file), &json)
+                        .map_err(|e| format!("restore write for client {id}: {e}"))?;
+                    Ok(())
+                })
+            }
+        }
+    }
+
+    /// Builds user `id`'s client exactly as the resident fleet would —
+    /// same partition, same derived `ClientInit` seed.
+    fn build_fresh(&self, id: u32) -> PtfClient {
+        let mut positives = Vec::new();
+        self.data.row_into(id, &mut positives);
+        let seed = derive_seed(self.cfg.seed, 0, RngStream::ClientInit(id).id());
+        PtfClient::new(
+            ClientData { id, positives },
+            self.client_kind,
+            &self.hyper,
+            self.data.num_items(),
+            seed,
+            &self.cfg,
+        )
+    }
+
+    /// Builds the client, then replays its envelope (model state,
+    /// dispersed set, eviction index) onto it.
+    fn restore_client(&self, id: u32, json: &str) -> PtfClient {
+        let env: ClientEnvelope =
+            serde_json::from_str(json).unwrap_or_else(|e| panic!("client {id} envelope: {e}"));
+        let mut client = self.build_fresh(id);
+        client
+            .import_model_state(&env.model)
+            .unwrap_or_else(|e| panic!("client {id} model restore: {e}"));
+        let touched: Vec<(u32, u32)> =
+            env.touched_items.iter().copied().zip(env.touched_rounds.iter().copied()).collect();
+        client.restore_eviction_state(env.local_rounds, touched);
+        let disp: Vec<ScoredItem> =
+            env.disp_items.iter().copied().zip(env.disp_scores.iter().copied()).collect();
+        client.receive_disperse(disp);
+        client
+    }
+
+    fn save_envelope(&mut self, client: &PtfClient, round: u32) {
+        let model =
+            client.export_model_state().expect("cohort runtime requires full-state model support");
+        let (local_rounds, touched) = client.eviction_state();
+        let env = ClientEnvelope {
+            round,
+            local_rounds,
+            touched_items: touched.iter().map(|&(i, _)| i).collect(),
+            touched_rounds: touched.iter().map(|&(_, r)| r).collect(),
+            disp_items: client.server_data().iter().map(|&(i, _)| i).collect(),
+            disp_scores: client.server_data().iter().map(|&(_, s)| s).collect(),
+            model,
+        };
+        let json = serde_json::to_string(&env).expect("client envelope encodes");
+        self.store.save(client.id, &json);
+    }
+
+    /// Rewrites a participant's stored envelope with the round's
+    /// dispersal — the stored counterpart of
+    /// [`PtfClient::receive_disperse`].
+    fn save_disperse(&mut self, client: u32, items: &[ScoredItem], round: u32) {
+        let json = self.store.load(client).expect("participant envelope exists after its cohort");
+        let mut env: ClientEnvelope =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("client {client} envelope: {e}"));
+        env.round = round;
+        env.disp_items = items.iter().map(|&(i, _)| i).collect();
+        env.disp_scores = items.iter().map(|&(_, s)| s).collect();
+        let json = serde_json::to_string(&env).expect("client envelope encodes");
+        self.store.save(client, &json);
+    }
+
+    /// One round over an explicit participant set — the cohort-sharded
+    /// equivalent of the unsharded protocol's `round_with`, with
+    /// identical observable ordering: `ctx.begin`, the parallel client
+    /// phase (in cohort-sized slices), uploads replayed in ascending
+    /// client order, server training/dispersal, trace assembly.
+    fn round_with(&mut self, ctx: &mut RoundCtx<'_>, participants: Vec<u32>) -> RoundTrace {
+        let round = self.round;
+        ctx.begin(&participants);
+
+        let cohort = if self.cohort == 0 { participants.len().max(1) } else { self.cohort };
+        let mut uploads: Vec<ClientUpload> = Vec::with_capacity(participants.len());
+        let mut losses: Vec<f32> = Vec::with_capacity(participants.len());
+        for chunk in participants.chunks(cohort) {
+            // parallel phase: construct-or-restore + local round, one
+            // derived RNG stream per client — bit-identical regardless of
+            // chunking or thread count
+            let cfg = &self.cfg;
+            let this = &*self;
+            let mut cohort_clients: Vec<(PtfClient, ClientUpload, f32)> =
+                self.scheduler.map_indices_with(&self.scratch, chunk.len(), |scratch, i| {
+                    let id = chunk[i];
+                    let mut client = match this.store.load(id) {
+                        Some(json) => this.restore_client(id, &json),
+                        None => this.build_fresh(id),
+                    };
+                    let (upload, loss) = rounds::client_round(&mut client, cfg, round, scratch);
+                    (client, upload, loss)
+                });
+            // serial: persist post-training envelopes, collect uploads in
+            // participant order, drop the cohort's clients
+            for (client, upload, loss) in cohort_clients.drain(..) {
+                self.save_envelope(&client, round);
+                uploads.push(upload);
+                losses.push(loss);
+            }
+        }
+
+        let (server_loss, disperses) = rounds::server_phase_mapped(
+            &mut self.server,
+            &self.cfg,
+            round,
+            &uploads,
+            ctx,
+            self.user_map.as_deref(),
+        );
+        for (client, items) in &disperses {
+            self.save_disperse(*client, items, round);
+        }
+
+        let trace = rounds::round_trace(round, &losses, server_loss, ctx);
+        self.round += 1;
+        trace
+    }
+}
+
+impl FederatedProtocol for CohortFedRec {
+    fn name(&self) -> &'static str {
+        "PTF-FedRec/cohort"
+    }
+
+    fn configured_rounds(&self) -> u32 {
+        self.cfg.rounds
+    }
+
+    fn run_round(&mut self, ctx: &mut RoundCtx<'_>) -> RoundTrace {
+        let participants = rounds::sample_participants(&self.cfg, &self.trainable, self.round);
+        self.round_with(ctx, participants)
+    }
+
+    fn run_round_external(
+        &mut self,
+        ctx: &mut RoundCtx<'_>,
+        participants: &[u32],
+    ) -> Option<RoundTrace> {
+        let mut chosen: Vec<u32> = participants
+            .iter()
+            .copied()
+            .filter(|id| self.trainable.binary_search(id).is_ok())
+            .collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        Some(self.round_with(ctx, chosen))
+    }
+
+    fn recommender(&self) -> &dyn Recommender {
+        self.server.model()
+    }
+
+    fn threads(&self) -> usize {
+        self.scheduler.threads()
+    }
+}
+
+/// The union of every round's participation draw — the users the server
+/// can ever see. Deterministic given the config, so an unsharded, a
+/// cohort-sharded, and a resumed run all compute the same set.
+fn active_users(cfg: &PtfConfig, trainable: &[u32]) -> Vec<u32> {
+    if cfg.participation.fraction >= 1.0 {
+        return trainable.to_vec();
+    }
+    let mut active: Vec<u32> = Vec::new();
+    for round in 0..cfg.rounds {
+        let p = rounds::sample_participants(cfg, trainable, round);
+        active.extend(p);
+        active.sort_unstable();
+        active.dedup();
+    }
+    active
+}
+
+/// Visits every envelope file under a sharded store directory as
+/// `(client id, path)`. Filesystem iteration order is irrelevant: the
+/// visit only moves bytes keyed by id.
+fn walk_envelopes(
+    dir: &Path,
+    mut f: impl FnMut(u32, PathBuf) -> Result<(), String>,
+) -> Result<(), String> {
+    let shards = std::fs::read_dir(dir).map_err(|e| format!("store dir {}: {e}", dir.display()))?;
+    for shard in shards {
+        let shard = shard.map_err(|e| format!("store dir entry: {e}"))?;
+        if !shard.file_type().map_err(|e| format!("store entry type: {e}"))?.is_dir() {
+            continue;
+        }
+        let files =
+            std::fs::read_dir(shard.path()).map_err(|e| format!("store shard read: {e}"))?;
+        for file in files {
+            let file = file.map_err(|e| format!("store shard entry: {e}"))?;
+            let path = file.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { continue };
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let id: u32 = stem
+                .parse()
+                .map_err(|_| format!("unexpected file in client store: {}", path.display()))?;
+            f(id, path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses an envelope, rejecting internal inconsistencies — resume-time
+/// validation so corruption fails cleanly instead of mid-round.
+fn validate_envelope(id: u32, json: &str) -> Result<(), String> {
+    let env: ClientEnvelope =
+        serde_json::from_str(json).map_err(|e| format!("client {id} envelope: {e}"))?;
+    if env.touched_items.len() != env.touched_rounds.len() {
+        return Err(format!("client {id} envelope: ragged recency index"));
+    }
+    if env.disp_items.len() != env.disp_scores.len() {
+        return Err(format!("client {id} envelope: ragged dispersed set"));
+    }
+    Ok(())
+}

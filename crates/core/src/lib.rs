@@ -47,21 +47,27 @@
 //! ```
 
 pub mod builder;
+pub mod checkpoint;
 pub mod client;
+pub mod cohort;
 pub mod config;
 pub mod converge;
 pub mod disperse;
+pub mod fingerprint;
 pub mod protocol;
 pub mod rounds;
 pub mod server;
 pub mod upload;
 
 pub use builder::{Federation, FederationBuilder};
+pub use checkpoint::{CheckpointError, Manifest, MANIFEST_VERSION};
 pub use client::PtfClient;
+pub use cohort::{CohortData, CohortFedRec, CohortOptions, ServerScope, StoreKind};
 pub use config::{
     ConfigError, DefenseKind, DisperseStrategy, PtfConfig, StorageMode, StoragePolicy,
 };
 pub use converge::ConvergedRun;
+pub use fingerprint::{config_fingerprint, fnv1a64};
 pub use protocol::PtfFedRec;
 pub use server::PtfServer;
 pub use upload::{build_upload, ClientUpload};

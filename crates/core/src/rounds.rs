@@ -103,18 +103,59 @@ pub fn server_phase(
     uploads: &[ClientUpload],
     ctx: &mut RoundCtx<'_>,
 ) -> (f32, Vec<(u32, Vec<ScoredItem>)>) {
+    server_phase_mapped(server, cfg, round, uploads, ctx, None)
+}
+
+/// [`server_phase`] with an optional user-id compaction map.
+///
+/// The cohort runtime's *active-participants* server scope builds the
+/// hidden model over only the users that can ever participate, indexed
+/// by their position in the sorted active set. With `map = Some(active)`
+/// the server model and its soft-edge memory see compact ids, while
+/// everything observable from outside — observer/ledger records, the
+/// dispersal keys, and every RNG stream — stays keyed by the raw client
+/// id. With `map = None` this *is* [`server_phase`], byte for byte.
+pub fn server_phase_mapped(
+    server: &mut PtfServer,
+    cfg: &PtfConfig,
+    round: u32,
+    uploads: &[ClientUpload],
+    ctx: &mut RoundCtx<'_>,
+    map: Option<&[u32]>,
+) -> (f32, Vec<(u32, Vec<ScoredItem>)>) {
     debug_assert!(uploads.windows(2).all(|w| w[0].client < w[1].client));
     for up in uploads {
         ctx.upload(up.client, "client-predictions", Payload::Triples { count: up.len() });
     }
+    let compact = |raw: u32| -> u32 {
+        match map {
+            None => raw,
+            Some(active) => {
+                active.binary_search(&raw).expect("participant missing from the active-user map")
+                    as u32
+            }
+        }
+    };
     let mut server_rng = round_rng(cfg.seed, round, RngStream::Server);
-    let server_loss = server.train_on_uploads(uploads, cfg, &mut server_rng);
+    let server_loss = if map.is_none() {
+        server.train_on_uploads(uploads, cfg, &mut server_rng)
+    } else {
+        let remapped: Vec<ClientUpload> = uploads
+            .iter()
+            .map(|up| ClientUpload {
+                client: compact(up.client),
+                predictions: up.predictions.clone(),
+                audit_positives: up.audit_positives.clone(),
+            })
+            .collect();
+        server.train_on_uploads(&remapped, cfg, &mut server_rng)
+    };
     let mut disperses = Vec::with_capacity(uploads.len());
     for up in uploads {
         let mut uploaded: Vec<u32> = up.predictions.iter().map(|&(i, _)| i).collect();
         uploaded.sort_unstable();
         let mut disperse_rng = round_rng(cfg.seed, round, RngStream::Disperse(up.client));
-        let items = server.disperse_for(up.client, &uploaded, cfg, &mut disperse_rng);
+        let items = server.disperse_for(compact(up.client), &uploaded, cfg, &mut disperse_rng);
         ctx.disperse(up.client, "server-predictions", Payload::Triples { count: items.len() });
         disperses.push((up.client, items));
     }

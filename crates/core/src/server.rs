@@ -9,8 +9,23 @@ use crate::disperse::select_disperse_items;
 use crate::upload::ClientUpload;
 use ptf_models::{build_model, ModelHyper, ModelKind, Recommender};
 use ptf_privacy::ScoredItem;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Checkpoint wire format of the server's full state. The soft-edge
+/// memory is flattened into parallel arrays in `BTreeMap` (key) order,
+/// so the encoding is deterministic; the model rides along as its own
+/// nested full-state envelope.
+#[derive(Serialize, Deserialize)]
+struct ServerWire {
+    kind: String,
+    model: String,
+    counts: Vec<u64>,
+    edge_users: Vec<u32>,
+    edge_items: Vec<u32>,
+    edge_scores: Vec<f32>,
+}
 
 /// The central server: hidden model + the state backing D̃ construction.
 pub struct PtfServer {
@@ -111,6 +126,82 @@ impl PtfServer {
             rng,
         );
         items.into_iter().map(|i| (i, scores[i as usize])).collect()
+    }
+
+    /// Serializes the server's complete training state — hidden-model
+    /// envelope, per-item update counts, and the soft-edge memory — for a
+    /// checkpoint manifest. Returns `None` if the model does not support
+    /// full-state export.
+    pub fn export_full_state(&self) -> Option<String> {
+        let model = self.model.export_full_state()?;
+        let wire = ServerWire {
+            kind: self.kind.name().to_string(),
+            model,
+            counts: self.item_update_counts.clone(),
+            edge_users: self.edges.keys().map(|&(u, _)| u).collect(),
+            edge_items: self.edges.keys().map(|&(_, i)| i).collect(),
+            edge_scores: self.edges.values().copied().collect(),
+        };
+        serde_json::to_string(&wire).ok()
+    }
+
+    /// Rebuilds a server from [`export_full_state`](Self::export_full_state).
+    ///
+    /// `num_users`/`num_items`/`kind`/`hyper` must match the exporting
+    /// server's construction; `graph_threshold` is needed because the
+    /// model's graph is not part of any envelope — it is re-derived here
+    /// from the restored soft edges, exactly as `train_on_uploads` would.
+    pub fn import_full_state(
+        envelope: &str,
+        num_users: usize,
+        num_items: usize,
+        kind: ModelKind,
+        hyper: &ModelHyper,
+        graph_threshold: f32,
+    ) -> Result<Self, String> {
+        let wire: ServerWire =
+            serde_json::from_str(envelope).map_err(|e| format!("server envelope: {e}"))?;
+        if wire.kind != kind.name() {
+            return Err(format!(
+                "server model mismatch: checkpoint has {}, run configured {}",
+                wire.kind,
+                kind.name()
+            ));
+        }
+        if wire.counts.len() != num_items {
+            return Err(format!(
+                "server item count mismatch: checkpoint has {}, run has {num_items}",
+                wire.counts.len()
+            ));
+        }
+        if wire.edge_users.len() != wire.edge_items.len()
+            || wire.edge_users.len() != wire.edge_scores.len()
+        {
+            return Err(format!(
+                "server edge arrays disagree: {} users, {} items, {} scores",
+                wire.edge_users.len(),
+                wire.edge_items.len(),
+                wire.edge_scores.len()
+            ));
+        }
+        // throwaway init — every parameter is overwritten by the envelope
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut model = build_model(kind, num_users, num_items, hyper, &mut rng);
+        model.import_full_state(&wire.model)?;
+        let mut edges = BTreeMap::new();
+        for k in 0..wire.edge_users.len() {
+            edges.insert((wire.edge_users[k], wire.edge_items[k]), wire.edge_scores[k]);
+        }
+        // the graph is not part of the model envelope: re-derive it so a
+        // resumed server disperses identically even if its first
+        // post-resume round trains on nothing
+        let graph: Vec<(u32, u32, f32)> = edges
+            .iter()
+            .filter(|&(_, &s)| s >= graph_threshold)
+            .map(|(&(u, i), &s)| (u, i, s))
+            .collect();
+        model.set_graph(&graph);
+        Ok(Self { model, kind, item_update_counts: wire.counts, edges })
     }
 }
 

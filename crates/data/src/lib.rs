@@ -17,16 +17,20 @@
 //!   do have the original files on disk.
 //! * [`stats`] — Table II style dataset statistics.
 
+pub mod arena;
 pub mod dataset;
 pub mod loader;
 pub mod negative;
 pub mod presets;
+pub mod scale;
 pub mod split;
 pub mod stats;
 pub mod synthetic;
 
+pub use arena::{ArenaError, ArenaWriter, CsrArena};
 pub use dataset::{Dataset, DatasetBuilder, UserId};
 pub use presets::{DatasetPreset, Scale};
+pub use scale::{ScaleConfig, SCALE_STREAM};
 pub use split::{ThreeWaySplit, TrainTestSplit};
 pub use stats::DatasetStats;
 pub use synthetic::SyntheticConfig;

@@ -202,6 +202,16 @@ impl<P: FederatedProtocol> Engine<P> {
         Self { protocol, ledger: CommLedger::new(), observers: Vec::new(), next_round: 0 }
     }
 
+    /// Wraps a protocol restored from a checkpoint: the engine continues
+    /// at `next_round` with the restored ledger, so a resumed run's
+    /// accounting is indistinguishable from one that never stopped. The
+    /// protocol's internal round counter must already agree with
+    /// `next_round` (the checkpoint subsystem restores both from one
+    /// manifest).
+    pub fn resume(protocol: P, ledger: CommLedger, next_round: u32) -> Self {
+        Self { protocol, ledger, observers: Vec::new(), next_round }
+    }
+
     /// Attaches an observer (builder style).
     pub fn with_observer(mut self, observer: impl RoundObserver + 'static) -> Self {
         self.add_observer(Box::new(observer));

@@ -123,6 +123,9 @@ impl RngStream {
             Self::Shuffle => 0x0500_0000_0000,
             Self::ClientInit(c) => 0x0600_0000_0000 | c as u64,
             Self::ServerInit => 0x0700_0000_0000,
+            // 0x0800_0000_0000 is reserved by `ptf_data::scale::SCALE_STREAM`
+            // (per-user synthetic row generation) — keep new variants clear
+            // of it.
         }
     }
 }

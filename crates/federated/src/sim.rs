@@ -1,9 +1,9 @@
 //! Run traces: what every federated protocol reports per round.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Statistics of one global round.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundTrace {
     pub round: u32,
     /// Mean client-side training loss over this round's participants.
@@ -44,7 +44,7 @@ impl RoundTrace {
 }
 
 /// The full trace of a federated run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunTrace {
     pub rounds: Vec<RoundTrace>,
 }

@@ -299,6 +299,21 @@ impl Recommender for MfModel {
         self.items = wire.items;
         Ok(())
     }
+
+    fn export_full_state(&self) -> Option<String> {
+        // MF trains with plain SGD (no optimizer moments, no RNG), so the
+        // ordinary checkpoint — user table + full row table with its ids
+        // and init seed — is already lossless for bit-identical resume
+        self.export_state()
+    }
+
+    fn import_full_state(&mut self, json: &str) -> Result<(), String> {
+        self.import_state(json)
+    }
+
+    fn densify(&mut self) -> bool {
+        self.items.densify()
+    }
 }
 
 #[cfg(test)]

@@ -298,6 +298,43 @@ impl Recommender for NeuMf {
             json,
         )
     }
+
+    fn export_full_state(&self) -> Option<String> {
+        scoped::export_full_state(
+            "NeuMF",
+            &self.scope,
+            &self.params,
+            self.item_seed,
+            &self.adam,
+            None,
+        )
+    }
+
+    fn import_full_state(&mut self, json: &str) -> Result<(), String> {
+        scoped::import_full_state(
+            "NeuMF",
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.item_emb,
+            0,
+            &mut self.item_seed,
+            json,
+        )?;
+        Ok(())
+    }
+
+    fn densify(&mut self) -> bool {
+        scoped::densify_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.item_emb,
+            0,
+            self.item_seed,
+            0.1,
+        )
+    }
 }
 
 #[cfg(test)]

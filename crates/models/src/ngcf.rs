@@ -363,6 +363,7 @@ impl Recommender for Ngcf {
             .extend(batch.iter().map(|&(_, i, _)| self.node_of(i).expect("ensured above")));
         scratch.labels.clear();
         scratch.labels.extend(batch.iter().map(|&(_, _, l)| l));
+        // lint: allow(alloc-discipline) — StdRng clone is a 32-byte inline state copy, no heap
         let mut dropout_rng = self.dropout_rng.clone();
         let (grads, loss) = {
             let mut g = Graph::with_arena(&self.params, &mut scratch.arena);
@@ -430,6 +431,57 @@ impl Recommender for Ngcf {
         }
         self.invalidate();
         Ok(())
+    }
+
+    fn export_full_state(&self) -> Option<String> {
+        scoped::export_full_state(
+            "NGCF",
+            &self.scope,
+            &self.params,
+            self.item_seed,
+            &self.adam,
+            Some(&self.dropout_rng),
+        )
+    }
+
+    fn import_full_state(&mut self, json: &str) -> Result<(), String> {
+        let rng = scoped::import_full_state(
+            "NGCF",
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            &mut self.item_seed,
+            json,
+        )?;
+        // the dropout stream is part of the training state: without it a
+        // resumed model would draw different masks than the original
+        self.dropout_rng =
+            rng.ok_or_else(|| "NGCF checkpoint is missing the dropout RNG state".to_string())?;
+        // the graph is not part of the envelope; callers re-set it
+        self.graph_edges.clear();
+        self.prop = empty_propagation(self.num_users, self.scope.len());
+        self.invalidate();
+        Ok(())
+    }
+
+    fn densify(&mut self) -> bool {
+        let grew = scoped::densify_item_rows(
+            &mut self.scope,
+            &mut self.params,
+            &mut self.adam,
+            self.emb,
+            self.num_users,
+            self.item_seed,
+            0.1,
+        );
+        if grew {
+            self.prop = normalized_bipartite(self.num_users, self.num_items, &self.graph_edges);
+            self.graph_edges.clear();
+            self.invalidate();
+        }
+        grew
     }
 }
 

@@ -2,7 +2,7 @@
 //! LightGCN): lazy growth of the item block of an embedding parameter,
 //! and the checkpoint envelope that round-trips the materialized id set.
 
-use ptf_tensor::{derive_seed, init, Adam, ItemScope, ParamId, Params, ScopeIndex};
+use ptf_tensor::{derive_seed, init, Adam, ItemScope, Matrix, ParamId, Params, ScopeIndex};
 
 /// Stream discriminators inside one scoped model's seed namespace (the
 /// same constants as `MfModel`'s, applied to a different derived master).
@@ -137,6 +137,61 @@ pub(crate) fn evict_item_rows(
     }
 }
 
+/// Converts a scoped model's item block to the dense identity layout in
+/// one pass: a new embedding matrix holds every catalogue row (kept rows
+/// copied byte-for-byte, missing rows filled with their derived init) and
+/// the optimizer moments grow matching zero rows at the fresh positions —
+/// exactly the state a scoped model would reach by materializing every
+/// remaining row lazily, so densifying is representation-only for
+/// dropout-free models. Returns `false` (no-op) when already dense.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn densify_item_rows(
+    scope: &mut ScopeIndex,
+    params: &mut Params,
+    adam: &mut Adam,
+    emb: ParamId,
+    row_offset: usize,
+    item_seed: u64,
+    std: f32,
+) -> bool {
+    let Some(ids) = scope.ids().map(<[u32]>::to_vec) else {
+        return false;
+    };
+    let num_items = scope.num_items();
+    let dim = params.get(emb).cols();
+    let old = params.get(emb);
+    let mut dense = Matrix::zeros(row_offset + num_items, dim);
+    for r in 0..row_offset {
+        dense.row_mut(r).copy_from_slice(old.row(r));
+    }
+    let mut pos = 0usize;
+    for id in 0..num_items as u32 {
+        let at = row_offset + id as usize;
+        if pos < ids.len() && ids[pos] == id {
+            dense.row_mut(at).copy_from_slice(old.row(row_offset + pos));
+            pos += 1;
+        } else {
+            init::derived_normal_row(item_seed, id, std, dense.row_mut(at));
+        }
+    }
+    let (t, mut m, mut v) = adam.export_state();
+    for buf in [&mut m, &mut v] {
+        let old_m = &buf[emb.index()];
+        let mut grown = Matrix::zeros(row_offset + num_items, old_m.cols());
+        for r in 0..row_offset {
+            grown.row_mut(r).copy_from_slice(old_m.row(r));
+        }
+        for (p, &id) in ids.iter().enumerate() {
+            grown.row_mut(row_offset + id as usize).copy_from_slice(old_m.row(row_offset + p));
+        }
+        buf[emb.index()] = grown;
+    }
+    *params.get_mut(emb) = dense;
+    *scope = ScopeIndex::dense(num_items);
+    adam.restore_state(params, t, m, v).expect("densified moments match densified params");
+    true
+}
+
 /// Checkpoint envelope of a scoped model: the parameter store, the
 /// materialized item ids (without which the row↔id mapping is lost), and
 /// the per-row init seed (without which cold rows would re-derive
@@ -244,4 +299,138 @@ pub(crate) fn import_state(
     *live_item_seed = item_seed;
     adam.reset_state(params);
     Ok(())
+}
+
+/// Full-state envelope: everything a model needs to *resume training
+/// bit-identically* — parameters, scope mapping, init seed, optimizer
+/// step counter + both moment buffers, and (for models that own one) the
+/// raw state of the training-time RNG. This is the cohort runtime's
+/// client-recycling format; [`ScopedWire`] stays the lighter
+/// inference-grade checkpoint. All u64s travel as hex strings — the
+/// vendored JSON layer routes bare integers through `f64`, which silently
+/// rounds values ≥ 2⁵³.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct FullWire {
+    arch: String,
+    /// `None` = dense identity mapping over the whole catalogue.
+    item_ids: Option<Vec<u32>>,
+    item_seed: String,
+    params: Params,
+    adam_t: String,
+    adam_m: Vec<Matrix>,
+    adam_v: Vec<Matrix>,
+    /// xoshiro256++ state of the model-owned training RNG (NGCF's
+    /// dropout stream), 4 hex words; `None` for RNG-free models.
+    rng: Option<Vec<String>>,
+}
+
+/// Serializes a model's complete training state as a [`FullWire`]
+/// envelope (dense and scoped models alike — the scope travels inside).
+pub(crate) fn export_full_state(
+    arch: &str,
+    scope: &ScopeIndex,
+    params: &Params,
+    item_seed: u64,
+    adam: &Adam,
+    rng: Option<&rand::rngs::StdRng>,
+) -> Option<String> {
+    let (t, m, v) = adam.export_state();
+    serde_json::to_string(&FullWire {
+        arch: arch.to_string(),
+        item_ids: scope.ids().map(<[u32]>::to_vec),
+        item_seed: format!("{item_seed:016x}"),
+        params: params.clone(),
+        adam_t: format!("{t:x}"),
+        adam_m: m,
+        adam_v: v,
+        rng: rng.map(|r| r.state().iter().map(|w| format!("{w:016x}")).collect()),
+    })
+    .ok()
+}
+
+/// Restores a [`export_full_state`] envelope into
+/// `(scope, params, adam)`, returning the envelope's training RNG if it
+/// carried one. The scope may *reshape* in either direction: a sparse
+/// envelope restores its id set (however grown), a dense envelope
+/// densifies the live model — either way the whole parameter store and
+/// both optimizer moment buffers are replaced, so the restored model
+/// continues training bit-identically to the exported one.
+///
+/// On error the model may be left partially restored; callers must
+/// discard it (the cohort runtime rebuilds from scratch or aborts).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn import_full_state(
+    arch: &str,
+    scope: &mut ScopeIndex,
+    params: &mut Params,
+    adam: &mut Adam,
+    emb: ParamId,
+    row_offset: usize,
+    live_item_seed: &mut u64,
+    json: &str,
+) -> Result<Option<rand::rngs::StdRng>, String> {
+    let wire: FullWire = serde_json::from_str(json)
+        .map_err(|e| format!("bad full-state checkpoint (expected {arch} envelope): {e}"))?;
+    if wire.arch != arch {
+        return Err(format!("architecture mismatch: expected {arch}, got {}", wire.arch));
+    }
+    if wire.params.len() != params.len() {
+        return Err(format!("parameter count mismatch: {} vs {}", wire.params.len(), params.len()));
+    }
+    let num_items = scope.num_items();
+    let item_rows = wire.item_ids.as_ref().map_or(num_items, Vec::len);
+    for ((id, name_new, mat_new), (_, name_live, mat_live)) in wire.params.iter().zip(params.iter())
+    {
+        if name_new != name_live {
+            return Err(format!("parameter name mismatch: {name_new:?} vs {name_live:?}"));
+        }
+        if id == emb {
+            if mat_new.cols() != mat_live.cols() || mat_new.rows() != row_offset + item_rows {
+                return Err(format!(
+                    "shape mismatch for {name_new:?}: {:?} does not fit {item_rows} item rows",
+                    mat_new.shape(),
+                ));
+            }
+        } else if mat_new.shape() != mat_live.shape() {
+            return Err(format!(
+                "shape mismatch for {name_new:?}: {:?} vs {:?}",
+                mat_new.shape(),
+                mat_live.shape()
+            ));
+        }
+    }
+    if let Some(ids) = &wire.item_ids {
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err("checkpoint item ids must be sorted and unique".to_string());
+        }
+        if ids.last().is_some_and(|&l| l as usize >= num_items) {
+            return Err("checkpoint item id out of range".to_string());
+        }
+    }
+    let item_seed = u64::from_str_radix(&wire.item_seed, 16)
+        .map_err(|e| format!("bad checkpoint item seed: {e}"))?;
+    let t = u64::from_str_radix(&wire.adam_t, 16)
+        .map_err(|e| format!("bad checkpoint step counter: {e}"))?;
+    let rng = match &wire.rng {
+        None => None,
+        Some(words) => {
+            if words.len() != 4 {
+                return Err(format!("rng state must be 4 words, got {}", words.len()));
+            }
+            let mut s = [0u64; 4];
+            for (slot, word) in s.iter_mut().zip(words) {
+                *slot = u64::from_str_radix(word, 16)
+                    .map_err(|e| format!("bad checkpoint rng word: {e}"))?;
+            }
+            Some(rand::rngs::StdRng::from_state(s))
+        }
+    };
+    *scope = match wire.item_ids {
+        None => ScopeIndex::dense(num_items),
+        Some(ids) => ScopeIndex::from_scope(&ItemScope::Rows { num_items, ids }),
+    };
+    *params = wire.params;
+    *live_item_seed = item_seed;
+    adam.restore_state(params, t, wire.adam_m, wire.adam_v)?;
+    Ok(rng)
 }

@@ -207,6 +207,43 @@ pub trait Recommender: Send + Sync {
     fn import_state(&mut self, _json: &str) -> Result<(), String> {
         Err("this model does not support checkpointing".to_string())
     }
+
+    /// Serializes *everything* needed to resume training bit-identically:
+    /// parameters, scope mapping, init seed, optimizer step counter and
+    /// moment buffers, and any model-owned training RNG. This is the
+    /// cohort runtime's client-recycling format — a model restored via
+    /// [`Recommender::import_full_state`] produces the same bytes per
+    /// training step as one that was never serialized.
+    /// [`Recommender::export_state`] remains the lighter inference-grade
+    /// checkpoint (no optimizer state). Models that cannot make the
+    /// bit-resume guarantee return `None`.
+    fn export_full_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores a [`Recommender::export_full_state`] envelope. The item
+    /// scope may reshape in either direction (grown id set, or a dense
+    /// envelope densifying a scoped model). Graph structure is *not* part
+    /// of the envelope — graph models reset their propagation operator and
+    /// callers re-`set_graph` after restoring. On error the model may be
+    /// left partially restored; discard it.
+    fn import_full_state(&mut self, _json: &str) -> Result<(), String> {
+        Err("this model does not support full-state checkpointing".to_string())
+    }
+
+    /// Converts a scoped model to the dense identity representation in
+    /// place: every catalogue row materializes (kept rows byte-identical,
+    /// fresh rows at their derived init, optimizer moments zero), which is
+    /// exactly the state lazy materialization would have reached — so for
+    /// models without training-time RNG draws over the node space,
+    /// training continues bit-identically to the un-densified twin.
+    /// (NGCF with `message_dropout > 0` draws masks over all materialized
+    /// nodes, so its draws change after densifying.) `StorageMode::Auto`
+    /// uses this when a client's touched-row fraction outgrows the sparse
+    /// representation. Returns `false` when already dense or unsupported.
+    fn densify(&mut self) -> bool {
+        false
+    }
 }
 
 /// Trains on `samples` in fixed-size batches (caller shuffles), returning

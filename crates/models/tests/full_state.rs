@@ -1,0 +1,204 @@
+//! Full-state envelope guarantees: a model restored from
+//! `export_full_state` continues training bit-identically to the model
+//! that exported it, and `densify` is representation-only (a densified
+//! scoped model trains in lockstep with its un-densified twin).
+
+use ptf_models::{
+    ItemScope, LightGcn, LightGcnConfig, MfModel, NeuMf, NeuMfConfig, Ngcf, NgcfConfig, Recommender,
+};
+
+const USERS: usize = 4;
+const ITEMS: usize = 20;
+
+fn scope() -> ItemScope {
+    ItemScope::rows(ITEMS, vec![1, 4, 7, 11])
+}
+
+fn warmup_batch() -> Vec<(u32, u32, f32)> {
+    vec![(0, 1, 1.0), (1, 4, 0.0), (2, 7, 1.0), (3, 11, 0.3), (0, 15, 1.0)]
+}
+
+fn probe_batch() -> Vec<(u32, u32, f32)> {
+    vec![(0, 2, 1.0), (1, 7, 0.0), (3, 18, 0.6), (2, 1, 1.0)]
+}
+
+fn all_items() -> Vec<u32> {
+    (0..ITEMS as u32).collect()
+}
+
+fn edges() -> Vec<(u32, u32, f32)> {
+    vec![(0, 1, 1.0), (1, 4, 0.9), (2, 7, 1.0)]
+}
+
+/// Exports `a` mid-training, restores into `b` (built from a *different*
+/// seed, so nothing can match by accident), then trains both on the same
+/// batches and asserts bit-equal scores throughout.
+fn assert_bit_resume(
+    a: &mut dyn Recommender,
+    b: &mut dyn Recommender,
+    graph: Option<&[(u32, u32, f32)]>,
+) {
+    for _ in 0..3 {
+        a.train_batch(&warmup_batch());
+    }
+    let envelope = a.export_full_state().expect("model supports full-state export");
+    b.import_full_state(&envelope).expect("restore succeeds");
+    // graph structure is not part of the envelope; re-set on both sides
+    if let Some(e) = graph {
+        a.set_graph(e);
+        b.set_graph(e);
+    }
+    assert_eq!(a.score(0, &all_items()), b.score(0, &all_items()), "restored state diverged");
+    for step in 0..4 {
+        let la = a.train_batch(&probe_batch());
+        let lb = b.train_batch(&probe_batch());
+        assert_eq!(la.to_bits(), lb.to_bits(), "loss diverged at resumed step {step}");
+        assert_eq!(
+            a.score(1, &all_items()),
+            b.score(1, &all_items()),
+            "scores diverged at resumed step {step}"
+        );
+    }
+}
+
+#[test]
+fn neumf_full_state_resumes_bit_identically() {
+    let cfg = NeuMfConfig { dim: 8, layers: vec![16, 8], lr: 0.01 };
+    let mut a = NeuMf::new_scoped(USERS, &cfg, &scope(), 42);
+    let mut b = NeuMf::new_scoped(USERS, &cfg, &scope(), 999);
+    assert_bit_resume(&mut a, &mut b, None);
+}
+
+#[test]
+fn lightgcn_full_state_resumes_bit_identically() {
+    let cfg = LightGcnConfig { dim: 8, layers: 2, lr: 0.02 };
+    let mut a = LightGcn::new_scoped(USERS, &cfg, &scope(), 42);
+    let mut b = LightGcn::new_scoped(USERS, &cfg, &scope(), 999);
+    a.set_graph(&edges());
+    assert_bit_resume(&mut a, &mut b, Some(&edges()));
+}
+
+#[test]
+fn ngcf_full_state_carries_the_dropout_stream() {
+    // message_dropout > 0 makes the dropout RNG part of the training
+    // state: resume only stays bit-identical if the stream position
+    // travels in the envelope
+    let cfg = NgcfConfig {
+        dim: 8,
+        layers: 2,
+        lr: 0.02,
+        leaky_slope: 0.2,
+        reg: 1e-3,
+        message_dropout: 0.3,
+    };
+    let mut a = Ngcf::new_scoped(USERS, &cfg, &scope(), 42);
+    let mut b = Ngcf::new_scoped(USERS, &cfg, &scope(), 999);
+    a.set_graph(&edges());
+    assert_bit_resume(&mut a, &mut b, Some(&edges()));
+}
+
+#[test]
+fn mf_full_state_resumes_bit_identically() {
+    let mut a = MfModel::new_scoped(USERS, 8, 0.1, &scope(), 42);
+    let mut b = MfModel::new_scoped(USERS, 8, 0.1, &scope(), 999);
+    assert_bit_resume(&mut a, &mut b, None);
+}
+
+#[test]
+fn dense_envelope_densifies_a_scoped_model() {
+    // a client that densified mid-run saves a dense envelope; restoring
+    // it into a freshly built (sparse) model must densify the model
+    let cfg = NeuMfConfig { dim: 8, layers: vec![16, 8], lr: 0.01 };
+    let mut a = NeuMf::new_scoped(USERS, &cfg, &scope(), 42);
+    a.train_batch(&warmup_batch());
+    assert!(a.densify());
+    assert!(!a.scoped());
+    a.train_batch(&probe_batch());
+    let envelope = a.export_full_state().unwrap();
+    let mut b = NeuMf::new_scoped(USERS, &cfg, &scope(), 999);
+    assert!(b.scoped());
+    b.import_full_state(&envelope).unwrap();
+    assert!(!b.scoped(), "dense envelope must densify the restored model");
+    assert_eq!(a.score(0, &all_items()), b.score(0, &all_items()));
+    let la = a.train_batch(&probe_batch());
+    let lb = b.train_batch(&probe_batch());
+    assert_eq!(la.to_bits(), lb.to_bits());
+}
+
+/// Densify mid-run, then train the dense model and its sparse twin on
+/// identical batches: scores must stay bit-equal (the Auto storage-mode
+/// re-evaluation leans on exactly this property).
+fn assert_densify_parity(
+    dense: &mut dyn Recommender,
+    sparse: &mut dyn Recommender,
+    graph: Option<&[(u32, u32, f32)]>,
+) {
+    if let Some(e) = graph {
+        dense.set_graph(e);
+        sparse.set_graph(e);
+    }
+    for _ in 0..3 {
+        dense.train_batch(&warmup_batch());
+        sparse.train_batch(&warmup_batch());
+    }
+    assert!(dense.densify(), "first densify converts");
+    assert!(!dense.densify(), "second densify is a no-op");
+    assert!(!dense.scoped());
+    assert!(sparse.scoped());
+    assert_eq!(
+        dense.score(0, &all_items()),
+        sparse.score(0, &all_items()),
+        "densify changed model output"
+    );
+    for step in 0..4 {
+        let ld = dense.train_batch(&probe_batch());
+        let ls = sparse.train_batch(&probe_batch());
+        assert_eq!(ld.to_bits(), ls.to_bits(), "loss diverged at post-densify step {step}");
+        assert_eq!(
+            dense.score(2, &all_items()),
+            sparse.score(2, &all_items()),
+            "scores diverged at post-densify step {step}"
+        );
+    }
+}
+
+#[test]
+fn neumf_densify_keeps_training_in_lockstep() {
+    let cfg = NeuMfConfig { dim: 8, layers: vec![16, 8], lr: 0.01 };
+    let mut dense = NeuMf::new_scoped(USERS, &cfg, &scope(), 42);
+    let mut sparse = NeuMf::new_scoped(USERS, &cfg, &scope(), 42);
+    assert_densify_parity(&mut dense, &mut sparse, None);
+}
+
+#[test]
+fn lightgcn_densify_keeps_training_in_lockstep() {
+    let cfg = LightGcnConfig { dim: 8, layers: 2, lr: 0.02 };
+    let mut dense = LightGcn::new_scoped(USERS, &cfg, &scope(), 42);
+    let mut sparse = LightGcn::new_scoped(USERS, &cfg, &scope(), 42);
+    assert_densify_parity(&mut dense, &mut sparse, Some(&edges()));
+}
+
+#[test]
+fn mf_densify_keeps_training_in_lockstep() {
+    let mut dense = MfModel::new_scoped(USERS, 8, 0.1, &scope(), 42);
+    let mut sparse = MfModel::new_scoped(USERS, 8, 0.1, &scope(), 42);
+    assert_densify_parity(&mut dense, &mut sparse, None);
+}
+
+#[test]
+fn corrupt_full_state_envelopes_are_rejected() {
+    let cfg = NeuMfConfig { dim: 8, layers: vec![16, 8], lr: 0.01 };
+    let mut m = NeuMf::new_scoped(USERS, &cfg, &scope(), 42);
+    assert!(m.import_full_state("{garbage").is_err(), "syntax error accepted");
+    // wrong architecture
+    let lg =
+        LightGcn::new_scoped(USERS, &LightGcnConfig { dim: 8, layers: 2, lr: 0.02 }, &scope(), 42);
+    let other = lg.export_full_state().unwrap();
+    assert!(
+        m.import_full_state(&other).unwrap_err().contains("architecture mismatch"),
+        "cross-architecture envelope accepted"
+    );
+    // legacy inference checkpoint is not a full-state envelope
+    let legacy = m.export_state().unwrap();
+    assert!(m.import_full_state(&legacy).is_err(), "legacy checkpoint accepted as full state");
+}

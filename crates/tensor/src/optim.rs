@@ -88,6 +88,49 @@ impl Adam {
         self.t = 0;
     }
 
+    /// Snapshots the optimizer state — step counter and both moment
+    /// buffers — for a *full* checkpoint ([`Adam::restore_state`] is the
+    /// inverse). Unlike [`Adam::reset_state`]-based restores, a
+    /// round-tripped optimizer continues training bit-identically.
+    pub fn export_state(&self) -> (u64, Vec<Matrix>, Vec<Matrix>) {
+        (self.t, self.m.clone(), self.v.clone())
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_state`]. The moment
+    /// buffers must match `params` shape-for-shape — a checkpoint written
+    /// against different parameter shapes is rejected.
+    pub fn restore_state(
+        &mut self,
+        params: &Params,
+        t: u64,
+        m: Vec<Matrix>,
+        v: Vec<Matrix>,
+    ) -> Result<(), String> {
+        let shapes: Vec<(usize, usize)> = params.iter().map(|(_, _, p)| p.shape()).collect();
+        for (which, buf) in [("first", &m), ("second", &v)] {
+            if buf.len() != shapes.len() {
+                return Err(format!(
+                    "optimizer {which}-moment count mismatch: {} vs {} parameters",
+                    buf.len(),
+                    shapes.len()
+                ));
+            }
+            for (i, mat) in buf.iter().enumerate() {
+                if mat.shape() != shapes[i] {
+                    return Err(format!(
+                        "optimizer {which}-moment shape mismatch at parameter {i}: {:?} vs {:?}",
+                        mat.shape(),
+                        shapes[i]
+                    ));
+                }
+            }
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
+
     /// Mirrors a `Matrix::insert_row` on parameter `id`: inserts an
     /// all-zero row into both moment matrices at `at`, so a lazily
     /// materialized embedding row starts with fresh optimizer state while
@@ -323,6 +366,43 @@ mod tests {
         assert_eq!(adam.m[id.index()].row(1), &[0.0, 0.0]);
         assert_eq!(adam.v[id.index()].row(1), &[0.0, 0.0]);
         assert!(adam.m[id.index()].row(0).iter().any(|&x| x != 0.0), "other rows untouched");
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        let init = Matrix::from_fn(3, 2, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
+        let grad = Matrix::from_fn(3, 2, |r, c| 0.05 * (r + 2 * c) as f32 + 0.01);
+        let mut p = Params::new();
+        let id = p.push("w", init);
+        let mut adam = Adam::with_defaults(&p, 0.01);
+        let mut g = Grads::new_for(&p);
+        *g.slot_mut(id) = Some(GradBuf::Dense(grad.clone()));
+        for _ in 0..4 {
+            adam.step(&mut p, &g);
+        }
+        // snapshot, then diverge one copy and restore the other
+        let (t, m, v) = adam.export_state();
+        let p_snap = p.clone();
+        let mut resumed = Adam::with_defaults(&p_snap, 0.01);
+        resumed.restore_state(&p_snap, t, m, v).unwrap();
+        assert_eq!(resumed.steps(), 4);
+
+        let mut p_live = p.clone();
+        let mut p_back = p_snap.clone();
+        adam.step(&mut p_live, &g);
+        resumed.step(&mut p_back, &g);
+        assert_eq!(
+            p_live.get(id).as_slice(),
+            p_back.get(id).as_slice(),
+            "restored optimizer diverged from the uninterrupted one"
+        );
+
+        // shape drift is rejected
+        let mut other = Params::new();
+        other.push("w", Matrix::zeros(2, 2));
+        let (t, m, v) = adam.export_state();
+        let mut bad = Adam::with_defaults(&other, 0.01);
+        assert!(bad.restore_state(&other, t, m, v).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub enum Command {
     Stats { scale: Scale, seed: u64 },
     /// Run a federated protocol and report metrics + traffic.
     Train {
-        dataset: DatasetPreset,
+        dataset: DataChoice,
         /// Which protocol drives the run (all share one engine code path).
         protocol: ProtocolChoice,
         client: ModelKind,
@@ -44,6 +44,27 @@ pub enum Command {
         evict_interval: u32,
         /// Row budget an eviction pass trims each client back to.
         evict_budget: usize,
+        /// Override a scale preset's user count (scale datasets only).
+        users: Option<usize>,
+        /// Clients resident in memory at once during the parallel phase
+        /// (`0` = the whole fleet; cohorting is what bounds peak heap).
+        /// Defaults to the whole fleet on the in-RAM presets and 1024 on
+        /// the scale presets.
+        cohort: Option<usize>,
+        /// Exact number of participants sampled per round (scale
+        /// datasets only; default 64 there).
+        participants: Option<usize>,
+        /// Durable checkpoint directory (written every
+        /// `--checkpoint-every` rounds and at the end of the run).
+        checkpoint: Option<String>,
+        /// Commit a checkpoint every N completed rounds (`0` = only at
+        /// the end of the run).
+        checkpoint_every: u32,
+        /// Resume from `--checkpoint` instead of starting from round 0.
+        resume: bool,
+        /// Stop (with a checkpoint, if configured) after N completed
+        /// rounds — the kill half of kill-and-resume tests.
+        halt_after: Option<u32>,
         /// Emit the run as machine-readable JSON on stdout.
         json: bool,
     },
@@ -111,6 +132,27 @@ pub enum Command {
     Help,
 }
 
+/// What `ptf train --dataset` names: a Table II synthetic preset or a
+/// streamed million-user scale preset (`ptf_data::ScaleConfig`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataChoice {
+    /// One of the paper's three synthetic presets (materialized in RAM).
+    Preset(DatasetPreset),
+    /// A `ScaleConfig` preset name (`scale-10k`/`scale-100k`/`scale-1m`),
+    /// streamed to an on-disk CSR arena instead of materialized.
+    Scale(&'static str),
+}
+
+impl DataChoice {
+    /// Display name of the dataset (the `dataset` field in `--json`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Preset(p) => p.name(),
+            Self::Scale(name) => name,
+        }
+    }
+}
+
 /// CLI-level storage selector (maps onto `ptf_core::StorageMode`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StorageChoice {
@@ -148,12 +190,14 @@ ptf — PTF-FedRec: parameter transmission-free federated recommendation
 
 USAGE:
     ptf stats    [--scale small|paper] [--seed N]
-    ptf train    --dataset ml100k|steam|gowalla
+    ptf train    --dataset ml100k|steam|gowalla|scale-10k|scale-100k|scale-1m
                  [--protocol ptf|fcf|fedmf|metamf|centralized]
                  [--client neumf|ngcf|lightgcn|mf] [--server neumf|ngcf|lightgcn|mf]
                  [--rounds N] [--scale S] [--seed N] [--k K] [--threads N]
                  [--storage auto|sparse|dense] [--evict-interval N]
-                 [--evict-budget N] [--save checkpoint.json] [--json]
+                 [--evict-budget N] [--users N] [--cohort N] [--participants N]
+                 [--checkpoint DIR] [--checkpoint-every N] [--resume]
+                 [--halt-after N] [--save checkpoint.json] [--json]
     ptf privacy  --dataset D [--defense none|ldp|sampling|full] [--epsilon E]
                  [--scale S] [--seed N] [--threads N] [--json]
     ptf generate --dataset D --out FILE [--scale S] [--seed N]
@@ -175,6 +219,17 @@ thread); with the same seed the output is byte-identical at any N.
 heuristic); `--evict-interval`/`--evict-budget` bound client memory by
 resetting cold embedding rows every N local rounds.
 
+The `scale-*` datasets stream a deterministic synthetic fleet
+(10k/100k/1M users; `--users N` overrides) into an on-disk CSR arena and
+train with cohort scheduling: `--cohort N` clients are resident at once
+(default 1024 there; `0` = whole fleet), `--participants N` are sampled
+per round (default 64), client state lives in per-client envelopes on
+disk, and ranking evaluation is skipped. `--cohort` also works on the
+in-RAM presets. `--checkpoint DIR` makes any ptf-protocol cohort run
+durable: a crash-safe commit every `--checkpoint-every N` rounds (and at
+the end), resumed with `--resume` to a byte-identical trace;
+`--halt-after N` stops early after N rounds for kill-and-resume testing.
+
 `serve`/`client` run the same protocol over TCP: the server binds
 127.0.0.1:PORT (default 7878, 0 = ephemeral — the bound address is
 printed to stderr) and waits for every client id to connect; client
@@ -190,6 +245,19 @@ fn parse_dataset(s: &str) -> Result<DatasetPreset, String> {
         "steam" | "steam200k" | "steam-200k" => Ok(DatasetPreset::Steam200K),
         "gowalla" => Ok(DatasetPreset::Gowalla),
         other => Err(format!("unknown dataset {other:?} (ml100k|steam|gowalla)")),
+    }
+}
+
+/// `--dataset` for `train`: the Table II presets plus the streamed scale
+/// presets. The canonical scale names match `ScaleConfig::preset`.
+fn parse_data(s: &str) -> Result<DataChoice, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "scale-10k" | "scale10k" => Ok(DataChoice::Scale("scale-10k")),
+        "scale-100k" | "scale100k" => Ok(DataChoice::Scale("scale-100k")),
+        "scale-1m" | "scale1m" => Ok(DataChoice::Scale("scale-1m")),
+        _ => parse_dataset(s).map(DataChoice::Preset).map_err(|_| {
+            format!("unknown dataset {s:?} (ml100k|steam|gowalla|scale-10k|scale-100k|scale-1m)")
+        }),
     }
 }
 
@@ -319,11 +387,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "storage",
                     "evict-interval",
                     "evict-budget",
+                    "users",
+                    "cohort",
+                    "participants",
+                    "checkpoint",
+                    "checkpoint-every",
+                    "halt-after",
                 ],
-                &["json"],
+                &["json", "resume"],
             )?;
             Ok(Command::Train {
-                dataset: parse_dataset(opts.get("dataset").ok_or("train requires --dataset")?)?,
+                dataset: parse_data(opts.get("dataset").ok_or("train requires --dataset")?)?,
                 protocol: opts
                     .get("protocol")
                     .map(|s| parse_protocol(s))
@@ -371,6 +445,29 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|s| s.parse().map_err(|_| format!("bad --evict-budget {s:?}")))
                     .transpose()?
                     .unwrap_or(0),
+                users: opts
+                    .get("users")
+                    .map(|s| s.parse().map_err(|_| format!("bad --users {s:?}")))
+                    .transpose()?,
+                cohort: opts
+                    .get("cohort")
+                    .map(|s| s.parse().map_err(|_| format!("bad --cohort {s:?}")))
+                    .transpose()?,
+                participants: opts
+                    .get("participants")
+                    .map(|s| s.parse().map_err(|_| format!("bad --participants {s:?}")))
+                    .transpose()?,
+                checkpoint: opts.get("checkpoint").cloned(),
+                checkpoint_every: opts
+                    .get("checkpoint-every")
+                    .map(|s| s.parse().map_err(|_| format!("bad --checkpoint-every {s:?}")))
+                    .transpose()?
+                    .unwrap_or(0),
+                resume: opts.flag("resume"),
+                halt_after: opts
+                    .get("halt-after")
+                    .map(|s| s.parse().map_err(|_| format!("bad --halt-after {s:?}")))
+                    .transpose()?,
                 json: opts.flag("json"),
             })
         }
@@ -602,7 +699,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Train {
-                dataset: DatasetPreset::MovieLens100K,
+                dataset: DataChoice::Preset(DatasetPreset::MovieLens100K),
                 protocol: ProtocolChoice::Ptf,
                 client: ModelKind::NeuMf,
                 server: ModelKind::Ngcf,
@@ -615,6 +712,13 @@ mod tests {
                 storage: StorageChoice::Auto,
                 evict_interval: 0,
                 evict_budget: 0,
+                users: None,
+                cohort: None,
+                participants: None,
+                checkpoint: None,
+                checkpoint_every: 0,
+                resume: false,
+                halt_after: None,
                 json: false,
             }
         );
@@ -659,7 +763,7 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Train { dataset, client, server, rounds, scale, seed, k, save, .. } => {
-                assert_eq!(dataset, DatasetPreset::Gowalla);
+                assert_eq!(dataset, DataChoice::Preset(DatasetPreset::Gowalla));
                 assert_eq!(save, None);
                 assert_eq!(client, ModelKind::LightGcn);
                 assert_eq!(server, ModelKind::NeuMf);
@@ -690,6 +794,69 @@ mod tests {
         assert!(parse(&argv("train --dataset ml100k --threads many"))
             .unwrap_err()
             .contains("--threads"));
+    }
+
+    #[test]
+    fn scale_datasets_and_cohort_flags_parse() {
+        for (s, want) in
+            [("scale-10k", "scale-10k"), ("SCALE-100K", "scale-100k"), ("scale1m", "scale-1m")]
+        {
+            match parse(&argv(&format!("train --dataset {s}"))).unwrap() {
+                Command::Train { dataset, .. } => {
+                    assert_eq!(dataset, DataChoice::Scale(want), "{s}")
+                }
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        match parse(&argv("train --dataset scale-10k --users 5000 --cohort 256 --participants 32"))
+            .unwrap()
+        {
+            Command::Train { users, cohort, participants, .. } => {
+                assert_eq!(users, Some(5000));
+                assert_eq!(cohort, Some(256));
+                assert_eq!(participants, Some(32));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // unset: defaults are decided by the binary per dataset kind
+        match parse(&argv("train --dataset scale-1m")).unwrap() {
+            Command::Train { users, cohort, participants, .. } => {
+                assert_eq!(users, None);
+                assert_eq!(cohort, None);
+                assert_eq!(participants, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&argv("train --dataset scale-2g")).unwrap_err();
+        assert!(err.contains("scale-1m"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        match parse(&argv(
+            "train --dataset ml100k --checkpoint ckpt --checkpoint-every 2 --halt-after 3",
+        ))
+        .unwrap()
+        {
+            Command::Train { checkpoint, checkpoint_every, resume, halt_after, .. } => {
+                assert_eq!(checkpoint.as_deref(), Some("ckpt"));
+                assert_eq!(checkpoint_every, 2);
+                assert!(!resume);
+                assert_eq!(halt_after, Some(3));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // --resume is a valueless flag: it must not swallow the next option
+        match parse(&argv("train --dataset ml100k --checkpoint ckpt --resume --rounds 4")).unwrap()
+        {
+            Command::Train { resume, rounds, .. } => {
+                assert!(resume);
+                assert_eq!(rounds, Some(4));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&argv("train --dataset ml100k --checkpoint-every soon")).unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Smoke tests of the `ptf train` cohort/checkpoint/scale surface, shelling
+//! out to the compiled binary: kill-and-resume byte parity, streamed scale
+//! datasets, and checkpoint robustness (corruption, truncation, fingerprint
+//! drift) as a user would hit them.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ptf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ptf"))
+}
+
+/// Fresh per-test scratch dir (tests run concurrently in one process).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptf-ckpt-smoke-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A fast `ptf train --json` invocation on the ml100k preset.
+fn preset_args() -> Vec<String> {
+    "train --dataset ml100k --scale small --client mf --server mf --rounds 3 --seed 11 --json"
+        .split_whitespace()
+        .map(String::from)
+        .collect()
+}
+
+/// A fast streamed scale invocation (small --users override keeps debug
+/// binaries quick; the preset name still exercises the full scale path).
+fn scale_args() -> Vec<String> {
+    "train --dataset scale-10k --users 1500 --client mf --server mf --rounds 3 \
+     --participants 16 --cohort 8 --seed 11 --json"
+        .split_whitespace()
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn cohort_cli_run_matches_plain_engine_run() {
+    let plain = ptf().args(preset_args()).output().expect("spawn failed");
+    assert!(plain.status.success(), "stderr: {}", stderr_of(&plain));
+    let mut args = preset_args();
+    args.extend(["--cohort".into(), "32".into(), "--threads".into(), "2".into()]);
+    let cohort = ptf().args(args).output().expect("spawn failed");
+    assert!(cohort.status.success(), "stderr: {}", stderr_of(&cohort));
+    // identical run modulo the protocol's display name
+    let strip = |s: String| {
+        s.lines().filter(|l| !l.contains("\"protocol\"")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(
+        strip(stdout_of(&plain)),
+        strip(stdout_of(&cohort)),
+        "cohort scheduling must not change the run"
+    );
+    assert!(stdout_of(&cohort).contains("PTF-FedRec/cohort"));
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run_byte_for_byte() {
+    let full_dir = fresh_dir("resume-full");
+    let kill_dir = fresh_dir("resume-kill");
+    let with_ckpt = |dir: &PathBuf, extra: &[&str]| {
+        let mut args = preset_args();
+        args.extend(["--checkpoint".into(), dir.display().to_string()]);
+        args.extend(["--checkpoint-every".into(), "1".into()]);
+        args.extend(extra.iter().map(|s| s.to_string()));
+        ptf().args(args).output().expect("spawn failed")
+    };
+
+    // checkpointing must not perturb the run at all
+    let plain = ptf().args(preset_args()).output().expect("spawn failed");
+    let full = with_ckpt(&full_dir, &[]);
+    assert!(full.status.success(), "stderr: {}", stderr_of(&full));
+    let strip = |s: String| {
+        s.lines().filter(|l| !l.contains("\"protocol\"")).collect::<Vec<_>>().join("\n")
+    };
+    assert_eq!(strip(stdout_of(&plain)), strip(stdout_of(&full)));
+
+    // kill after 2 of 3 rounds, then resume: stdout must be byte-equal to
+    // the uninterrupted checkpointed run
+    let halted = with_ckpt(&kill_dir, &["--halt-after", "2"]);
+    assert!(halted.status.success(), "stderr: {}", stderr_of(&halted));
+    assert!(stderr_of(&halted).contains("halting after round 2"));
+    let resumed = with_ckpt(&kill_dir, &["--resume"]);
+    assert!(resumed.status.success(), "stderr: {}", stderr_of(&resumed));
+    assert!(stderr_of(&resumed).contains("resumed at round 2"));
+    assert_eq!(stdout_of(&full), stdout_of(&resumed), "resume diverged from uninterrupted run");
+
+    // resuming a finished run replays zero rounds and reprints the output
+    let again = with_ckpt(&kill_dir, &["--resume"]);
+    assert!(again.status.success(), "stderr: {}", stderr_of(&again));
+    assert!(stderr_of(&again).contains("resumed at round 3"));
+    assert_eq!(stdout_of(&full), stdout_of(&again));
+
+    std::fs::remove_dir_all(&full_dir).ok();
+    std::fs::remove_dir_all(&kill_dir).ok();
+}
+
+#[test]
+fn scale_dataset_streams_and_is_cohort_and_thread_invariant() {
+    let a = ptf().args(scale_args()).output().expect("spawn failed");
+    assert!(a.status.success(), "stderr: {}", stderr_of(&a));
+    let stdout = stdout_of(&a);
+    assert!(stdout.contains("\"users\": 1500"), "{stdout}");
+    assert!(stdout.contains("\"dataset\": \"scale-10k\""), "{stdout}");
+    assert_eq!(stdout.matches("\"mean_client_loss\"").count(), 3);
+
+    // different cohort size and thread count: byte-identical output
+    let mut args = scale_args();
+    for (flag, v) in [("--cohort", "3"), ("--threads", "2")] {
+        let i = args.iter().position(|a| a == flag);
+        match i {
+            Some(i) => args[i + 1] = v.into(),
+            None => args.extend([flag.to_string(), v.to_string()]),
+        }
+    }
+    let b = ptf().args(args).output().expect("spawn failed");
+    assert!(b.status.success(), "stderr: {}", stderr_of(&b));
+    assert_eq!(stdout, stdout_of(&b), "cohort size/threads changed a scale run");
+}
+
+#[test]
+fn scale_kill_and_resume_is_byte_identical() {
+    let full_dir = fresh_dir("scale-full");
+    let kill_dir = fresh_dir("scale-kill");
+    let with_ckpt = |dir: &PathBuf, extra: &[&str]| {
+        let mut args = scale_args();
+        args.extend(["--checkpoint".into(), dir.display().to_string()]);
+        args.extend(["--checkpoint-every".into(), "1".into()]);
+        args.extend(extra.iter().map(|s| s.to_string()));
+        ptf().args(args).output().expect("spawn failed")
+    };
+    let full = with_ckpt(&full_dir, &[]);
+    assert!(full.status.success(), "stderr: {}", stderr_of(&full));
+    let halted = with_ckpt(&kill_dir, &["--halt-after", "1"]);
+    assert!(halted.status.success(), "stderr: {}", stderr_of(&halted));
+    let resumed = with_ckpt(&kill_dir, &["--resume"]);
+    assert!(resumed.status.success(), "stderr: {}", stderr_of(&resumed));
+    assert_eq!(stdout_of(&full), stdout_of(&resumed));
+    std::fs::remove_dir_all(&full_dir).ok();
+    std::fs::remove_dir_all(&kill_dir).ok();
+}
+
+#[test]
+fn damaged_checkpoints_fail_cleanly_not_with_a_panic() {
+    let dir = fresh_dir("damage");
+    let run = |extra: &[&str]| {
+        let mut args = preset_args();
+        args.extend(["--checkpoint".into(), dir.display().to_string()]);
+        args.extend(extra.iter().map(|s| s.to_string()));
+        ptf().args(args).output().expect("spawn failed")
+    };
+    // seed a valid checkpoint
+    let seeded = run(&["--halt-after", "2", "--checkpoint-every", "1"]);
+    assert!(seeded.status.success(), "stderr: {}", stderr_of(&seeded));
+    let manifest = dir.join("manifest.json");
+    let good = std::fs::read_to_string(&manifest).expect("manifest written");
+
+    let expect_clean_failure = |out: Output, want: &str, label: &str| {
+        assert_eq!(out.status.code(), Some(1), "{label} should exit 1");
+        let stderr = stderr_of(&out);
+        assert!(stderr.contains(want), "{label}: expected {want:?} in stderr:\n{stderr}");
+        assert!(!stderr.contains("panicked"), "{label} panicked:\n{stderr}");
+    };
+
+    // missing manifest
+    std::fs::remove_file(&manifest).expect("remove manifest");
+    expect_clean_failure(run(&["--resume"]), "checkpoint io", "missing manifest");
+
+    // truncated manifest
+    std::fs::write(&manifest, &good[..40]).expect("truncate");
+    expect_clean_failure(run(&["--resume"]), "checkpoint corrupt", "truncated manifest");
+
+    // corrupted (unparseable) manifest
+    std::fs::write(&manifest, "{\"version\": tru").expect("corrupt");
+    expect_clean_failure(run(&["--resume"]), "checkpoint corrupt", "corrupt manifest");
+
+    // fingerprint drift: valid manifest, different run config
+    std::fs::write(&manifest, &good).expect("restore manifest");
+    let mut args = preset_args();
+    let i = args.iter().position(|a| a == "--seed").expect("--seed in args");
+    args[i + 1] = "999".into();
+    args.extend(["--checkpoint".into(), dir.display().to_string(), "--resume".into()]);
+    let drifted = ptf().args(args).output().expect("spawn failed");
+    expect_clean_failure(drifted, "fingerprint mismatch", "drifted config");
+
+    // the intact checkpoint still resumes after all that
+    let ok = run(&["--resume"]);
+    assert!(ok.status.success(), "stderr: {}", stderr_of(&ok));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flag_misuse_is_rejected_with_an_error() {
+    let cases: &[(&str, &str)] = &[
+        ("train --dataset ml100k --resume", "--resume requires --checkpoint"),
+        ("train --dataset ml100k --checkpoint-every 2", "--checkpoint-every requires"),
+        ("train --dataset ml100k --users 500", "scale-* datasets"),
+        ("train --dataset ml100k --participants 8", "scale-* datasets"),
+        ("train --dataset ml100k --halt-after 1", "--halt-after requires"),
+        ("train --dataset scale-10k --protocol fcf", "--protocol ptf only"),
+        ("train --dataset ml100k --cohort 8 --protocol fedmf", "--protocol ptf only"),
+        ("train --dataset scale-10k --users 0", "--users must be > 0"),
+    ];
+    for (cmd, want) in cases {
+        let args: Vec<String> = cmd.split_whitespace().map(String::from).collect();
+        let out = ptf().args(&args).output().expect("spawn failed");
+        assert_eq!(out.status.code(), Some(1), "{cmd:?} should be a run error");
+        let stderr = stderr_of(&out);
+        assert!(stderr.contains(want), "{cmd:?}: expected {want:?} in stderr:\n{stderr}");
+        assert!(!stderr.contains("panicked"), "{cmd:?} panicked:\n{stderr}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Cohort-sharded runtime parity — the tentpole guarantee of the
+//! million-user runtime.
+//!
+//! [`CohortFedRec`] trains clients in bounded cohorts, parking their
+//! cross-round state in envelopes between participations; the whole
+//! point is that this is a *memory* optimization, never a *semantic*
+//! one. These tests pin the contract:
+//!
+//! * a cohort run's `RunTrace` (and the trained server's ranking
+//!   report) is bit-identical to the unsharded [`Federation`] engine at
+//!   every cohort size and thread count;
+//! * the on-disk envelope store is bit-identical to the in-memory one;
+//! * a checkpointed-then-resumed run reproduces the uninterrupted run's
+//!   trace byte for byte, with the ledger carrying over exactly;
+//! * resume refuses (with an error, not a panic) manifests that are
+//!   truncated, corrupt, or fingerprinted by a different config.
+
+use ptf_fedrec::core::{
+    checkpoint, config_fingerprint, CheckpointError, CohortData, CohortFedRec, CohortOptions,
+    Federation, PtfConfig, ServerScope, StorageMode, StoreKind,
+};
+use ptf_fedrec::data::{SyntheticConfig, TrainTestSplit};
+use ptf_fedrec::federated::{Engine, Participation, RunTrace};
+use ptf_fedrec::metrics::RankingReport;
+use ptf_fedrec::models::{ModelHyper, ModelKind};
+use std::path::PathBuf;
+
+fn split(users: usize) -> TrainTestSplit {
+    let data = SyntheticConfig::new("cohort", users, 80, 10.0)
+        .generate(&mut ptf_fedrec::data::test_rng(41));
+    TrainTestSplit::split_80_20(&data, &mut ptf_fedrec::data::test_rng(42))
+}
+
+fn cfg(threads: usize) -> PtfConfig {
+    let mut cfg = PtfConfig::small();
+    cfg.rounds = 3;
+    cfg.client_epochs = 1;
+    cfg.alpha = 6;
+    cfg.threads = threads;
+    cfg
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptf-cohort-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear temp dir");
+    }
+    dir
+}
+
+/// Runs a cohort protocol to completion and evaluates it.
+fn run_cohort(
+    s: &TrainTestSplit,
+    client: ModelKind,
+    server: ModelKind,
+    cfg: PtfConfig,
+    opts: CohortOptions,
+) -> (RunTrace, RankingReport) {
+    let protocol = CohortFedRec::try_new(
+        CohortData::Mem(s.train.clone()),
+        client,
+        server,
+        &ModelHyper::small(),
+        cfg,
+        opts,
+    )
+    .expect("valid config");
+    let mut engine = Engine::new(protocol);
+    let trace = engine.run();
+    let report = engine.evaluate(&s.train, &s.test, 10);
+    (trace, report)
+}
+
+/// The headline acceptance matrix: cohort sizes {64, 1024, all} ×
+/// threads {1, 4}, each bit-identical to the unsharded engine. 150
+/// trainable users with full participation make cohort 64 genuinely
+/// multi-chunk and cohort 1024 a single chunk larger than the fleet.
+#[test]
+fn cohort_runs_match_unsharded_bit_for_bit() {
+    let s = split(150);
+    let reference = {
+        let mut engine = Federation::builder(&s.train)
+            .client_model(ModelKind::Mf)
+            .server_model(ModelKind::NeuMf)
+            .hyper(ModelHyper::small())
+            .config(cfg(1))
+            .build()
+            .expect("valid config");
+        let trace = engine.run();
+        let report = engine.evaluate(&s.train, &s.test, 10);
+        (trace, report)
+    };
+    assert!(reference.0.num_rounds() > 0, "empty reference run");
+    for cohort in [64usize, 1024, 0] {
+        for threads in [1usize, 4] {
+            let opts = CohortOptions { cohort, ..CohortOptions::default() };
+            let got = run_cohort(&s, ModelKind::Mf, ModelKind::NeuMf, cfg(threads), opts);
+            assert_eq!(
+                reference.0, got.0,
+                "RunTrace diverged at cohort={cohort} threads={threads}"
+            );
+            assert_eq!(
+                reference.1, got.1,
+                "RankingReport diverged at cohort={cohort} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Every model family round-trips through envelopes identically —
+/// including the graph models (per-round ego-graph rebuild + RwLock
+/// propagation caches) and NGCF's message-dropout RNG stream.
+#[test]
+fn cohort_parity_holds_for_every_architecture() {
+    let s = split(30);
+    for (client, server) in [
+        (ModelKind::NeuMf, ModelKind::NeuMf),
+        (ModelKind::LightGcn, ModelKind::NeuMf),
+        (ModelKind::Ngcf, ModelKind::LightGcn),
+    ] {
+        let mut c = cfg(2);
+        c.rounds = 2;
+        let reference = {
+            let mut engine = Federation::builder(&s.train)
+                .client_model(client)
+                .server_model(server)
+                .hyper(ModelHyper::small())
+                .config(c.clone())
+                .build()
+                .expect("valid config");
+            (engine.run(), engine.evaluate(&s.train, &s.test, 10))
+        };
+        let got = run_cohort(
+            &s,
+            client,
+            server,
+            c,
+            CohortOptions { cohort: 7, ..CohortOptions::default() },
+        );
+        assert_eq!(reference.0, got.0, "{client}->{server}: RunTrace diverged");
+        assert_eq!(reference.1, got.1, "{client}->{server}: RankingReport diverged");
+    }
+}
+
+/// The on-disk envelope store is an implementation detail: byte-equal
+/// results to the in-memory store at a chunked cohort size.
+#[test]
+fn disk_store_matches_memory_store() {
+    let s = split(40);
+    let mem = run_cohort(
+        &s,
+        ModelKind::Mf,
+        ModelKind::NeuMf,
+        cfg(2),
+        CohortOptions { cohort: 16, ..CohortOptions::default() },
+    );
+    let root = fresh_dir("store");
+    let disk = run_cohort(
+        &s,
+        ModelKind::Mf,
+        ModelKind::NeuMf,
+        cfg(2),
+        CohortOptions {
+            cohort: 16,
+            store: StoreKind::Disk(root.clone()),
+            ..CohortOptions::default()
+        },
+    );
+    std::fs::remove_dir_all(&root).ok();
+    assert_eq!(mem.0, disk.0, "disk store changed the RunTrace");
+    assert_eq!(mem.1, disk.1, "disk store changed the RankingReport");
+}
+
+/// `ServerScope::ActiveParticipants` is a different run than
+/// `FullFleet` (smaller server user table ⇒ different init draws) but
+/// must be self-consistent: the same trace at every cohort size and
+/// thread count, and a server table sized by the active union, not the
+/// fleet.
+#[test]
+fn active_scope_is_self_consistent_across_cohorts_and_threads() {
+    let s = split(60);
+    let mut base = cfg(1);
+    base.participation = Participation { fraction: 0.3, min_clients: 4 };
+    base.rounds = 4;
+    let build = |cohort: usize, threads: usize| {
+        let mut c = base.clone();
+        c.threads = threads;
+        CohortFedRec::try_new(
+            CohortData::Mem(s.train.clone()),
+            ModelKind::Mf,
+            ModelKind::NeuMf,
+            &ModelHyper::small(),
+            c,
+            CohortOptions {
+                cohort,
+                server_scope: ServerScope::ActiveParticipants,
+                ..CohortOptions::default()
+            },
+        )
+        .expect("valid config")
+    };
+    let reference_protocol = build(0, 1);
+    let active_users = reference_protocol.server_users();
+    assert!(
+        active_users < s.train.num_users(),
+        "partial participation should leave some users outside the active set \
+         ({active_users} of {})",
+        s.train.num_users()
+    );
+    let reference = Engine::new(reference_protocol).run();
+    assert!(reference.num_rounds() > 0);
+    for (cohort, threads) in [(5usize, 1usize), (5, 4), (0, 4)] {
+        let got = Engine::new(build(cohort, threads)).run();
+        assert_eq!(
+            reference, got,
+            "active-scope trace diverged at cohort={cohort} threads={threads}"
+        );
+    }
+}
+
+/// `StorageMode::Auto` re-evaluates the dense-fallback decision as the
+/// dispersed set grows the training pool; flipping representation
+/// mid-run must be invisible in the results (NGCF excluded by design —
+/// its dropout stream is drawn over materialized rows).
+#[test]
+fn auto_storage_reevaluation_matches_sparse() {
+    let s = split(30);
+    let run = |mode: StorageMode| {
+        let mut c = cfg(2);
+        c.rounds = 3;
+        c.storage.mode = mode;
+        let mut engine = Federation::builder(&s.train)
+            .client_model(ModelKind::NeuMf)
+            .server_model(ModelKind::NeuMf)
+            .hyper(ModelHyper::small())
+            .config(c)
+            .build()
+            .expect("valid config");
+        (engine.run(), engine.evaluate(&s.train, &s.test, 10))
+    };
+    let sparse = run(StorageMode::Sparse);
+    // a threshold low enough that dispersal growth trips it mid-run for
+    // clients that started sparse
+    let auto = run(StorageMode::Auto { dense_fraction: 0.05 });
+    assert_eq!(sparse.0, auto.0, "auto densification changed the RunTrace");
+    assert_eq!(sparse.1, auto.1, "auto densification changed the RankingReport");
+}
+
+/// Kill-and-resume byte parity at the library level: run 2 of 5 rounds,
+/// checkpoint, rebuild everything from the manifest, finish — the
+/// stitched trace and the final ledger must equal the uninterrupted
+/// run's exactly.
+#[test]
+fn checkpoint_resume_reproduces_uninterrupted_run() {
+    let s = split(40);
+    let mut c = cfg(2);
+    c.rounds = 5;
+    let hyper = ModelHyper::small();
+    let fingerprint = config_fingerprint(
+        &c,
+        ModelKind::Mf,
+        ModelKind::NeuMf,
+        &hyper,
+        s.train.num_users(),
+        s.train.num_items(),
+    );
+    let build = || {
+        CohortFedRec::try_new(
+            CohortData::Mem(s.train.clone()),
+            ModelKind::Mf,
+            ModelKind::NeuMf,
+            &hyper,
+            c.clone(),
+            CohortOptions { cohort: 16, ..CohortOptions::default() },
+        )
+        .expect("valid config")
+    };
+
+    let (full_trace, full_report, full_ledger) = {
+        let mut engine = Engine::new(build());
+        let trace = engine.run();
+        let report = engine.evaluate(&s.train, &s.test, 10);
+        (trace, report, engine.ledger().summary())
+    };
+
+    let ckpt = fresh_dir("ckpt");
+    {
+        let mut engine = Engine::new(build());
+        let mut traces = Vec::new();
+        for _ in 0..2 {
+            traces.push(engine.run_round());
+        }
+        checkpoint::save_checkpoint(
+            &ckpt,
+            engine.protocol(),
+            engine.ledger(),
+            &traces,
+            fingerprint,
+        )
+        .expect("checkpoint saves");
+        // the interrupted run trains one more round *after* the commit;
+        // resume must discard it, not replay on top of it
+        engine.run_round();
+    }
+
+    let manifest = checkpoint::load_manifest(&ckpt).expect("manifest loads");
+    manifest.verify_fingerprint(fingerprint).expect("fingerprint matches");
+    assert_eq!(manifest.next_round, 2);
+    let mut protocol = build();
+    checkpoint::resume_protocol(&ckpt, &manifest, &mut protocol).expect("resume succeeds");
+    let ledger = ptf_fedrec::comm::CommLedger::restore(&manifest.ledger).expect("ledger restores");
+    let mut engine = Engine::resume(protocol, ledger, manifest.next_round);
+    let rest = engine.run();
+    let report = engine.evaluate(&s.train, &s.test, 10);
+
+    let mut stitched = RunTrace::default();
+    for t in &manifest.traces {
+        stitched.push(*t);
+    }
+    for t in &rest.rounds {
+        stitched.push(*t);
+    }
+    assert_eq!(full_trace, stitched, "resumed trace diverged from the uninterrupted run");
+    assert_eq!(full_report, report, "resumed model diverged from the uninterrupted run");
+    assert_eq!(full_ledger, engine.ledger().summary(), "resumed ledger diverged");
+    std::fs::remove_dir_all(&ckpt).ok();
+}
+
+/// Resume robustness: a missing manifest is an `Io` error, a truncated
+/// or garbage manifest is `Corrupt`, a foreign fingerprint is
+/// `Mismatch` — all plain `Err`s a CLI can turn into exit 1.
+#[test]
+fn checkpoint_loading_rejects_damage_without_panicking() {
+    let dir = fresh_dir("damage");
+    assert!(
+        matches!(checkpoint::load_manifest(&dir), Err(CheckpointError::Io(_))),
+        "missing checkpoint dir must be an Io error"
+    );
+
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let manifest_file = checkpoint::manifest_path(&dir);
+    std::fs::write(&manifest_file, "{not json").expect("write");
+    assert!(
+        matches!(checkpoint::load_manifest(&dir), Err(CheckpointError::Corrupt(_))),
+        "garbage manifest must be Corrupt"
+    );
+
+    // a real manifest, truncated mid-file
+    let s = split(20);
+    let c = cfg(1);
+    let hyper = ModelHyper::small();
+    let fingerprint = config_fingerprint(
+        &c,
+        ModelKind::Mf,
+        ModelKind::NeuMf,
+        &hyper,
+        s.train.num_users(),
+        s.train.num_items(),
+    );
+    let protocol = CohortFedRec::try_new(
+        CohortData::Mem(s.train.clone()),
+        ModelKind::Mf,
+        ModelKind::NeuMf,
+        &hyper,
+        c.clone(),
+        CohortOptions::default(),
+    )
+    .expect("valid config");
+    let mut engine = Engine::new(protocol);
+    let t0 = engine.run_round();
+    checkpoint::save_checkpoint(&dir, engine.protocol(), engine.ledger(), &[t0], fingerprint)
+        .expect("checkpoint saves");
+    let intact = std::fs::read_to_string(&manifest_file).expect("read manifest");
+    std::fs::write(&manifest_file, &intact[..intact.len() / 2]).expect("truncate");
+    assert!(
+        matches!(checkpoint::load_manifest(&dir), Err(CheckpointError::Corrupt(_))),
+        "truncated manifest must be Corrupt"
+    );
+
+    // restore the manifest; a different config fingerprint must refuse
+    std::fs::write(&manifest_file, &intact).expect("restore manifest");
+    let manifest = checkpoint::load_manifest(&dir).expect("intact manifest loads");
+    assert!(
+        matches!(manifest.verify_fingerprint(fingerprint ^ 1), Err(CheckpointError::Mismatch(_))),
+        "foreign fingerprint must be Mismatch"
+    );
+    manifest.verify_fingerprint(fingerprint).expect("own fingerprint verifies");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -185,6 +185,18 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream. [`StdRng::from_state`] restores it exactly, so a
+        /// saved-and-restored generator continues the same sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         fn from_splitmix(seed: u64) -> Self {
             let mut x = seed;
             let mut next = || {
